@@ -1,0 +1,67 @@
+/// \file bench_perf_model.cpp
+/// Reproduces Fig. 8: performance-model validation. The Eq. 4 segment
+/// estimator is calibrated on a small sample, then predicted vs measured
+/// segment counts are compared across a sweep of track counts; the paper
+/// reports relative error within 1.1%.
+///
+/// Also microbenchmarks the model itself (the point of Eqs. 2-7 is that
+/// they are cheap enough to drive load mapping decisions).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "perfmodel/perfmodel.h"
+
+namespace {
+
+using namespace antmoc;
+using namespace antmoc::bench;
+
+void report_fig8() {
+  // Calibration sample: same geometry, dense-but-small laydown.
+  Problem sample(scaled_core(), 4, 0.20, 2, 1.0);
+  const auto ratios =
+      perf::SegmentRatios::calibrate(sample.gen, sample.stacks);
+
+  std::vector<std::vector<std::string>> rows;
+  for (double spacing : {0.15, 0.12, 0.10, 0.08, 0.06}) {
+    Problem p(scaled_core(), 4, spacing, 2, 1.0);
+    const long n3d = p.stacks.num_tracks();
+    const long measured = p.stacks.total_segments();
+    const long predicted = ratios.predict_segments_3d(n3d);
+    const double err =
+        std::abs(double(predicted) - double(measured)) / double(measured);
+    rows.push_back({fmt(double(n3d), "%.0f"), fmt(double(predicted), "%.0f"),
+                    fmt(double(measured), "%.0f"),
+                    fmt(100.0 * err, "%.2f%%")});
+  }
+  print_table(
+      "Fig. 8 — predicted vs measured 3D segment counts "
+      "(paper: relative error fluctuates within 1.1%)",
+      {"3D tracks", "predicted segs", "measured segs", "rel. error"}, rows);
+}
+
+void bm_predict_tracks_3d(benchmark::State& state) {
+  Problem p(scaled_core(), 4, 0.2, 2, 1.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        perf::predict_num_tracks_3d(p.gen, 0.0, 9.639, 1.0));
+}
+BENCHMARK(bm_predict_tracks_3d);
+
+void bm_calibrate_ratios(benchmark::State& state) {
+  Problem p(scaled_core(), 4, 0.3, 2, 1.5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        perf::SegmentRatios::calibrate(p.gen, p.stacks));
+}
+BENCHMARK(bm_calibrate_ratios);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  report_fig8();
+  return 0;
+}

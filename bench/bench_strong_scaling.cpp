@@ -1,0 +1,77 @@
+/// \file bench_strong_scaling.cpp
+/// Reproduces Fig. 11: strong scalability 1000 -> 16000 GPUs on the
+/// simulated cluster (MI60-class nodes, HDR-IB-class links; see
+/// DESIGN.md §1 for the substitution). Paper headline: 70.69% parallel
+/// efficiency at 16,000 GPUs with all optimizations, a residency-driven
+/// efficiency bump at 8000 GPUs, and >= 12% gain from load balancing at
+/// the largest scale.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "cluster/scaling.h"
+
+namespace {
+
+using namespace antmoc;
+using namespace antmoc::bench;
+using namespace antmoc::cluster;
+
+const std::vector<int> kGpuCounts{1000, 2000, 4000, 8000, 16000};
+
+WorkloadSpec workload() {
+  WorkloadSpec w;
+  w.strong = true;
+  w.tracks_per_gpu_base = 54581544;  // paper §5.5 strong baseline
+  w.base_gpus = 1000;
+  return w;
+}
+
+void report_fig11() {
+  const ScalingSimulator sim(MachineSpec{}, workload());
+  const auto with = sim.sweep(kGpuCounts, MappingConfig::all());
+  const auto without = sim.sweep(kGpuCounts, MappingConfig::none());
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < with.size(); ++i) {
+    rows.push_back({std::to_string(with[i].gpus),
+                    fmt(with[i].time_per_iteration_s, "%.4f"),
+                    fmt(100 * with[i].efficiency, "%.1f%%"),
+                    fmt(without[i].time_per_iteration_s, "%.4f"),
+                    fmt(100 * without[i].efficiency, "%.1f%%"),
+                    fmt(with[i].resident_fraction, "%.2f"),
+                    fmt(with[i].gpu_load_uniformity, "%.3f")});
+  }
+  print_table(
+      "Fig. 11 — strong scalability, 100-billion-(directed-)track problem "
+      "(paper: 70.69% efficiency at 16,000 GPUs; balancing worth >= 12%)",
+      {"GPUs", "t/iter (bal)", "eff (bal)", "t/iter (none)", "eff (none)",
+       "resident", "GPU uniformity"},
+      rows);
+
+  const auto& b = with.back();
+  const auto& n = without.back();
+  std::printf(
+      "At 16000 GPUs: efficiency %.2f%% (paper 70.69%%); balancing gain "
+      "%.1f%% (paper: up to 12%%)\n",
+      100 * b.efficiency,
+      100 * (n.time_per_iteration_s - b.time_per_iteration_s) /
+          n.time_per_iteration_s);
+}
+
+void bm_evaluate_point(benchmark::State& state) {
+  const ScalingSimulator sim(MachineSpec{}, workload());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sim.evaluate(int(state.range(0)), MappingConfig::all()));
+}
+BENCHMARK(bm_evaluate_point)->Arg(1000)->Arg(4000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  report_fig11();
+  return 0;
+}

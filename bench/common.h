@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file common.h
+/// Shared scaffolding for the paper-reproduction benches: scaled C5G7
+/// problems sized for a single host, laydown helpers, and table printing.
+///
+/// Every bench regenerates one table or figure of the paper's evaluation
+/// (§5); EXPERIMENTS.md maps bench binaries to paper artifacts and records
+/// paper-vs-measured values.
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "io/writers.h"
+#include "models/c5g7_model.h"
+#include "solver/transport_solver.h"
+#include "track/generator2d.h"
+#include "track/track3d.h"
+
+namespace antmoc::bench {
+
+/// One fully laid-down problem: geometry + materials + traced tracks.
+struct Problem {
+  models::C5G7Model model;
+  Quadrature quad;
+  TrackGenerator2D gen;
+  TrackStacks stacks;
+
+  Problem(models::C5G7Model m, int num_azim, double spacing, int num_polar,
+          double z_spacing)
+      : model(std::move(m)),
+        quad(num_azim, spacing, model.geometry.bounds().width_x(),
+             model.geometry.bounds().width_y(), num_polar),
+        gen(quad, model.geometry.bounds(), radial_kinds(model.geometry)),
+        stacks((gen.trace(model.geometry), gen), model.geometry,
+               model.geometry.bounds().z_min,
+               model.geometry.bounds().z_max, z_spacing) {}
+
+  static std::array<LinkKind, 4> radial_kinds(const Geometry& g) {
+    return {to_link_kind(g.boundary(Face::kXMin)),
+            to_link_kind(g.boundary(Face::kXMax)),
+            to_link_kind(g.boundary(Face::kYMin)),
+            to_link_kind(g.boundary(Face::kYMax))};
+  }
+};
+
+/// The scaled C5G7 core every bench uses: full 3x3-assembly heterogeneity
+/// (two UO2, two MOX, five reflector assemblies, top axial reflector) with
+/// 5x5-pin assemblies and a reduced axial extent so laptop-scale runs
+/// finish in seconds.
+inline models::C5G7Model scaled_core(int fuel_layers = 3,
+                                     int reflector_layers = 1,
+                                     double height_scale = 0.15) {
+  models::C5G7Options opt;
+  opt.pins_per_assembly = 5;
+  opt.fuel_layers = fuel_layers;
+  opt.reflector_layers = reflector_layers;
+  opt.height_scale = height_scale;
+  return models::build_core(opt);
+}
+
+/// Prints a paper-style table with a caption.
+inline void print_table(const std::string& caption,
+                        const std::vector<std::string>& headers,
+                        const std::vector<std::vector<std::string>>& rows) {
+  std::printf("\n=== %s ===\n%s", caption.c_str(),
+              io::format_table(headers, rows).c_str());
+  std::fflush(stdout);
+}
+
+inline std::string fmt(double v, const char* spec = "%.4g") {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, spec, v);
+  return buf;
+}
+
+}  // namespace antmoc::bench

@@ -1,0 +1,5 @@
+#!/bin/sh
+# Regenerates the paper artifact for c5g7-correctness (see benchmarks/README.md).
+# The artifact's cluster equivalent: sbatch slurm.job -> mpirun newmoc.
+cd "$(dirname "$0")/../.."
+exec ./build/bench/bench_correctness "$@"

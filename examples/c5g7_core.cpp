@@ -1,0 +1,144 @@
+/// \file c5g7_core.cpp
+/// The paper's flagship workload end to end: the C5G7 3D extension core
+/// (Fig. 6) solved with spatial decomposition across simulated GPUs, one
+/// in-process rank per sub-geometry, exactly the §3.1 pipeline:
+/// read configuration -> geometry construction -> track generation & ray
+/// tracing -> transport solve -> output generation (fission-rate CSV,
+/// pin-power map, and a ParaView-compatible VTK volume — the Fig. 7 data).
+///
+///   ./c5g7_core [--config=examples/c5g7.yaml] [--pins=5] [--domains=2]
+///               [--device=true] [--rodded=A|B] [--out=./]
+
+#include <cstdio>
+
+#include "io/writers.h"
+#include "models/c5g7_model.h"
+#include "solver/domain_solver.h"
+#include "util/cli.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+using namespace antmoc;
+
+int main(int argc, char** argv) {
+  // --- Read Configuration (paper §3.1 stage 1) ----------------------------
+  const Config cfg = parse_cli(argc, argv);
+  models::C5G7Options mopt;
+  mopt.pins_per_assembly = static_cast<int>(cfg.get_int("pins", 5));
+  mopt.fuel_layers = static_cast<int>(cfg.get_int("fuel_layers", 3));
+  mopt.reflector_layers =
+      static_cast<int>(cfg.get_int("reflector_layers", 1));
+  mopt.height_scale = cfg.get_double("height_scale", 0.15);
+  const std::string rodded = cfg.get_string("rodded", "none");
+  if (rodded == "A") mopt.config = models::RodConfig::kRoddedA;
+  if (rodded == "B") mopt.config = models::RodConfig::kRoddedB;
+
+  const int d = static_cast<int>(cfg.get_int("domains", 2));
+  const Decomposition decomp{d, d, d};
+
+  DomainRunParams params;
+  params.num_azim = static_cast<int>(cfg.get_int("track.azim", 4));
+  params.azim_spacing = cfg.get_double("track.spacing", 0.5);
+  params.num_polar = static_cast<int>(cfg.get_int("track.polar", 2));
+  params.z_spacing = cfg.get_double("track.z_spacing", 1.0);
+  params.use_device = cfg.get_bool("device", true);
+  params.device_spec = gpusim::DeviceSpec::scaled(
+      static_cast<std::size_t>(cfg.get_int("device.memory_mib", 1024))
+          << 20,
+      static_cast<int>(cfg.get_int("device.cus", 16)));
+  params.gpu_options.policy = TrackPolicy::kManaged;
+  params.gpu_options.resident_budget_bytes =
+      static_cast<std::size_t>(params.device_spec.memory_bytes * 0.384);
+
+  // --- Geometry Construction (stage 2) ------------------------------------
+  const models::C5G7Model model = models::build_core(mopt);
+  log::info("C5G7 core: ", model.geometry.num_fsrs(), " FSRs, ",
+            decomp.num_domains(), " sub-geometries, rodded=", rodded);
+
+  // --- Track generation, ray tracing, transport solve (stages 3-4) --------
+  SolveOptions opts;
+  opts.tolerance = cfg.get_double("tolerance", 1e-5);
+  opts.max_iterations =
+      static_cast<int>(cfg.get_int("max_iterations", 20000));
+
+  Timer wall;
+  wall.start();
+  const DomainRunSummary run = solve_decomposed(
+      model.geometry, model.materials, decomp, params, opts);
+  wall.stop();
+
+  std::printf(
+      "k_eff = %.6f (%d iterations, converged: %s) in %.2f s\n"
+      "3D tracks: %ld, 3D segments: %ld, interface flux: %llu B/iter, "
+      "domain load uniformity: %.3f\n",
+      run.result.k_eff, run.result.iterations,
+      run.result.converged ? "yes" : "no", wall.seconds(),
+      run.total_tracks_3d, run.total_segments_3d,
+      static_cast<unsigned long long>(run.flux_bytes_per_iter),
+      run.domain_load_uniformity);
+
+  // --- Output Generation (stage 5; the Fig. 7 visualization data) ---------
+  const std::string out = cfg.get_string("out", ".");
+  const Geometry& g = model.geometry;
+
+  // FSR volumes for the writers, from a quick host laydown.
+  std::vector<double> volumes(g.num_fsrs(), 0.0);
+  {
+    const Quadrature quad(params.num_azim, params.azim_spacing,
+                          g.bounds().width_x(), g.bounds().width_y(),
+                          params.num_polar);
+    TrackGenerator2D gen(quad, g.bounds(),
+                         {LinkKind::kReflective, LinkKind::kVacuum,
+                          LinkKind::kReflective, LinkKind::kVacuum});
+    gen.trace(g);
+    const TrackStacks stacks(gen, g, g.bounds().z_min, g.bounds().z_max,
+                             params.z_spacing);
+    constexpr double k4Pi = 4.0 * 3.14159265358979323846;
+    for (long id = 0; id < stacks.num_tracks(); ++id) {
+      const double w = 2.0 * stacks.direction_weight(id) / k4Pi *
+                       stacks.track_area(id);
+      stacks.for_each_segment(id, true, [&](long fsr, double len) {
+        volumes[fsr] += w * len;
+      });
+    }
+  }
+
+  io::write_fission_rate_csv(out + "/c5g7_fission_rate.csv", g,
+                             run.fission_rate, volumes);
+
+  const int pins = 3 * mopt.pins_per_assembly;
+  const auto power =
+      models::pin_powers(g, run.fission_rate, volumes, pins, pins);
+  io::write_pin_power_csv(out + "/c5g7_pin_power.csv", power, pins, pins);
+
+  // Radial pin-power map replicated per axial layer -> a coarse volume
+  // ParaView renders like the paper's Fig. 7.
+  std::vector<double> volume_data;
+  volume_data.reserve(static_cast<std::size_t>(pins) * pins *
+                      g.num_axial_layers());
+  for (int l = 0; l < g.num_axial_layers(); ++l)
+    for (int j = 0; j < pins; ++j)
+      for (int i = 0; i < pins; ++i) {
+        const Point2 center{g.bounds().x_min +
+                                (i + 0.5) * g.bounds().width_x() / pins,
+                            g.bounds().y_min +
+                                (j + 0.5) * g.bounds().width_y() / pins};
+        const int region = g.find_radial(center).region;
+        volume_data.push_back(run.fission_rate[g.fsr_id(region, l)]);
+      }
+  io::write_vtk_volume(out + "/c5g7_fission_rate.vtk", "fission_rate",
+                       pins, pins, g.num_axial_layers(), 1.26, 1.26,
+                       g.bounds().width_z() / g.num_axial_layers(),
+                       volume_data);
+
+  std::printf("wrote %s/c5g7_fission_rate.csv, c5g7_pin_power.csv, "
+              "c5g7_fission_rate.vtk\n",
+              out.c_str());
+
+  // Run log: per-stage execution times, the artifact's log-based analysis
+  // surface ("the execution time and storage usage of each stage ... can
+  // be analyzed through the log file").
+  std::printf("\n--- run log: stage timings ---\n%s",
+              TimerRegistry::instance().report().c_str());
+  return run.result.converged ? 0 : 1;
+}

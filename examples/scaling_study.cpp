@@ -1,0 +1,46 @@
+/// \file scaling_study.cpp
+/// Drives the cluster simulator interactively: pick strong/weak scaling,
+/// GPU counts, and mapping levels, and print the Fig. 11/12-style series.
+///
+///   ./scaling_study [--mode=strong|weak] [--max_gpus=16000]
+///                   [--l1=true --l2=true --l3=true]
+
+#include <cstdio>
+
+#include "cluster/scaling.h"
+#include "util/cli.h"
+
+using namespace antmoc;
+using namespace antmoc::cluster;
+
+int main(int argc, char** argv) {
+  const Config cfg = parse_cli(argc, argv);
+  const bool strong = cfg.get_string("mode", "strong") == "strong";
+
+  WorkloadSpec workload;
+  workload.strong = strong;
+  workload.tracks_per_gpu_base = strong ? 54581544 : 5124596;
+
+  MappingConfig mapping;
+  mapping.l1 = cfg.get_bool("l1", true);
+  mapping.l2 = cfg.get_bool("l2", true);
+  mapping.l3 = cfg.get_bool("l3", true);
+
+  std::vector<int> counts;
+  const int max_gpus = static_cast<int>(cfg.get_int("max_gpus", 16000));
+  for (int n = 1000; n <= max_gpus; n *= 2) counts.push_back(n);
+
+  const ScalingSimulator sim(MachineSpec{}, workload);
+  const auto points = sim.sweep(counts, mapping);
+
+  std::printf("%s scaling, mapping L1=%d L2=%d L3=%d\n",
+              strong ? "strong" : "weak", mapping.l1, mapping.l2,
+              mapping.l3);
+  std::printf("%8s %12s %12s %10s %10s %10s\n", "GPUs", "t/iter(s)",
+              "compute(s)", "comm(s)", "efficiency", "resident");
+  for (const auto& pt : points)
+    std::printf("%8d %12.5f %12.5f %10.5f %9.1f%% %9.2f\n", pt.gpus,
+                pt.time_per_iteration_s, pt.compute_s, pt.comm_s,
+                100.0 * pt.efficiency, pt.resident_fraction);
+  return 0;
+}

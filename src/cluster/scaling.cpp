@@ -1,0 +1,229 @@
+#include "cluster/scaling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "partition/load_mapper.h"
+#include "track/track3d.h"
+#include "partition/partitioner.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace antmoc::cluster {
+namespace {
+
+/// Synthetic per-domain loads reproducing the C5G7 core's heterogeneity:
+/// a reflector subset at a fraction of the fuel load, multiplicative
+/// jitter elsewhere. Deterministic in the seed.
+std::vector<double> domain_loads(int num_domains, const WorkloadSpec& w,
+                                 double total_segments) {
+  Rng rng(w.seed);
+  // Scale-dependent contrast: coarse domains blend fuel and reflector,
+  // fine domains are purely one or the other (see WorkloadSpec).
+  const double contrast =
+      std::min(1.0, num_domains / w.heterogeneity_scale_domains);
+  std::vector<double> load(num_domains);
+  for (int d = 0; d < num_domains; ++d) {
+    const bool reflector = rng.next_double() < w.reflector_fraction;
+    const double base =
+        reflector ? 1.0 - contrast * (1.0 - w.reflector_load_ratio) : 1.0;
+    load[d] = base * (1.0 + contrast * w.load_noise *
+                                (2.0 * rng.next_double() - 1.0));
+  }
+  const double sum = std::accumulate(load.begin(), load.end(), 0.0);
+  for (auto& v : load) v *= total_segments / sum;
+  return load;
+}
+
+/// 3D grid graph over the domains (edge weight ~ interface area, i.e. the
+/// 2/3 power of the neighboring loads).
+partition::Graph domain_graph(const std::vector<double>& load) {
+  const int n = static_cast<int>(load.size());
+  const int nx = std::max(1, static_cast<int>(std::cbrt(double(n))));
+  const int ny = nx;
+  partition::Graph g(n);
+  for (int d = 0; d < n; ++d) g.set_weight(d, load[d]);
+  auto idx = [&](int i, int j, int k) { return i + nx * (j + ny * k); };
+  const int nz = (n + nx * ny - 1) / (nx * ny);
+  for (int k = 0; k < nz; ++k)
+    for (int j = 0; j < ny; ++j)
+      for (int i = 0; i < nx; ++i) {
+        const int d = idx(i, j, k);
+        if (d >= n) continue;
+        for (int axis = 0; axis < 3; ++axis) {
+          const int ni = i + (axis == 0);
+          const int nj = j + (axis == 1);
+          const int nk = k + (axis == 2);
+          if (ni >= nx || nj >= ny) continue;
+          const int nd = idx(ni, nj, nk);
+          if (nd >= n) continue;
+          g.add_edge(d, nd,
+                     std::pow(0.5 * (load[d] + load[nd]), 2.0 / 3.0));
+        }
+      }
+  return g;
+}
+
+/// L3 factor: per-track cost spectrum sampled once, mapped to CUs sorted
+/// round-robin (balanced) or naturally blocked.
+double l3_factor(const MachineSpec& m, const WorkloadSpec& w, bool l3) {
+  Rng rng(w.seed ^ 0x5bd1e995u);
+  // Track costs ~ segment counts: a broad right-skewed spectrum (corner
+  // tracks are short, central tracks long).
+  std::vector<double> costs(20000);
+  for (auto& c : costs) {
+    const double u = rng.next_double();
+    c = 1.0 + 40.0 * u * u;  // quadratic ramp: heavy tail of long tracks
+  }
+  return partition::cu_uniformity(std::move(costs), m.cus_per_gpu, l3);
+}
+
+}  // namespace
+
+ScalingPoint ScalingSimulator::evaluate(int num_gpus,
+                                        const MappingConfig& mapping) const {
+  const MachineSpec& m = machine_;
+  const WorkloadSpec& w = workload_;
+  require(num_gpus >= m.gpus_per_node, "need at least one full node");
+
+  ScalingPoint pt;
+  pt.gpus = num_gpus;
+  const int nodes = num_gpus / m.gpus_per_node;
+  const int domains =
+      std::max(nodes, static_cast<int>(w.domains_per_node * nodes));
+
+  pt.total_tracks = w.strong
+                        ? w.tracks_per_gpu_base * w.base_gpus
+                        : w.tracks_per_gpu_base * num_gpus;
+
+  // Spatial decomposition adds boundary grids as domains shrink (§5.5).
+  const int base_domains = std::max(
+      1, static_cast<int>(w.domains_per_node * w.base_gpus /
+                          m.gpus_per_node));
+  const double growth =
+      1.0 + w.grid_growth_per_doubling *
+                std::log2(std::max(1.0, double(domains) / base_domains));
+  const double total_segments =
+      static_cast<double>(pt.total_tracks) * w.segments_per_track * growth;
+  pt.directed_tracks = 2.0 * static_cast<double>(pt.total_tracks) * growth;
+
+  // --- L1: domains -> nodes -------------------------------------------------
+  const auto load = domain_loads(domains, w, total_segments);
+  std::vector<int> node_of_domain;
+  if (mapping.l1) {
+    const auto graph = domain_graph(load);
+    node_of_domain = partition::partition_kway(graph, nodes);
+  } else {
+    node_of_domain = partition::partition_blocks(domains, nodes);
+  }
+
+  // --- L2: fused node load -> GPUs -------------------------------------------
+  std::vector<double> gpu_load(static_cast<std::size_t>(num_gpus), 0.0);
+  if (mapping.l2) {
+    // Fused geometry split by azimuthal angle: per-angle loads are nearly
+    // symmetric, so the node's total divides almost evenly; the residual
+    // angle-granularity error is 1/(2*num_azim_2) of a GPU share.
+    Rng rng(w.seed ^ 0x9e3779b9u);
+    for (int node = 0; node < nodes; ++node) {
+      double node_load = 0.0;
+      for (int d = 0; d < domains; ++d)
+        if (node_of_domain[d] == node) node_load += load[d];
+      std::vector<double> azim(w.num_azim_2);
+      double sum = 0.0;
+      for (auto& a : azim) {
+        a = 1.0 + 0.10 * (2.0 * rng.next_double() - 1.0);
+        sum += a;
+      }
+      std::vector<double> gpus(m.gpus_per_node, 0.0);
+      // Heaviest angle onto the lightest GPU.
+      std::sort(azim.begin(), azim.end(), std::greater<double>());
+      for (double a : azim) {
+        auto it = std::min_element(gpus.begin(), gpus.end());
+        *it += node_load * a / sum;
+      }
+      for (int g = 0; g < m.gpus_per_node; ++g)
+        gpu_load[static_cast<std::size_t>(node) * m.gpus_per_node + g] =
+            gpus[g];
+    }
+  } else {
+    // Baseline: each GPU takes a contiguous block of the node's domains
+    // (coarse granularity — the dominant imbalance the paper measures).
+    for (int node = 0; node < nodes; ++node) {
+      std::vector<int> mine;
+      for (int d = 0; d < domains; ++d)
+        if (node_of_domain[d] == node) mine.push_back(d);
+      const int per =
+          (static_cast<int>(mine.size()) + m.gpus_per_node - 1) /
+          std::max(1, m.gpus_per_node);
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        const int g = std::min(static_cast<int>(i) / std::max(1, per),
+                               m.gpus_per_node - 1);
+        gpu_load[static_cast<std::size_t>(node) * m.gpus_per_node + g] +=
+            load[mine[i]];
+      }
+    }
+  }
+
+  const double total_gpu_load =
+      std::accumulate(gpu_load.begin(), gpu_load.end(), 0.0);
+  const double avg_gpu_load = total_gpu_load / num_gpus;
+  const double max_gpu_load =
+      *std::max_element(gpu_load.begin(), gpu_load.end());
+  pt.gpu_load_uniformity = avg_gpu_load > 0 ? max_gpu_load / avg_gpu_load
+                                            : 1.0;
+
+  // --- residency: Manager budget vs per-GPU segment storage ------------------
+  const double seg_bytes =
+      max_gpu_load * static_cast<double>(sizeof(Segment3D));
+  const double budget = static_cast<double>(m.gpu_memory_bytes) *
+                        m.resident_budget_fraction;
+  pt.resident_fraction = std::min(1.0, budget / std::max(seg_bytes, 1.0));
+  const double cost_factor =
+      pt.resident_fraction +
+      (1.0 - pt.resident_fraction) * w.otf_cost_factor;
+
+  // --- compute time ----------------------------------------------------------
+  pt.cu_uniformity = l3_factor(m, w, mapping.l3);
+  const double gpu_throughput =
+      m.cus_per_gpu * m.gpu_clock_ghz * 1e9;  // cycles/s
+  pt.compute_s = max_gpu_load * w.num_groups * m.cycles_per_segment_group *
+                 cost_factor * pt.cu_uniformity / gpu_throughput;
+
+  // --- communication (Eq. 7 over boundary-crossing tracks) -------------------
+  // Crossing track ends per domain scale with the domain surface, i.e.
+  // (tracks per domain)^(2/3); each carries 2 * G * 4 bytes.
+  const double tracks_per_domain =
+      static_cast<double>(pt.total_tracks) / domains;
+  const double crossing_per_domain =
+      w.crossing_coefficient * std::pow(tracks_per_domain, 2.0 / 3.0);
+  const double bytes_per_node = crossing_per_domain * w.domains_per_node *
+                                2.0 * w.num_groups * 4.0;
+  pt.comm_s = bytes_per_node / m.link_bandwidth_bytes_per_s +
+              m.link_latency_s * 6.0 * w.domains_per_node;
+
+  pt.time_per_iteration_s = pt.compute_s + pt.comm_s;
+  return pt;
+}
+
+std::vector<ScalingPoint> ScalingSimulator::sweep(
+    const std::vector<int>& gpu_counts, const MappingConfig& mapping) const {
+  std::vector<ScalingPoint> points;
+  points.reserve(gpu_counts.size());
+  for (int n : gpu_counts) points.push_back(evaluate(n, mapping));
+  if (points.empty()) return points;
+  const double t0 = points.front().time_per_iteration_s;
+  const double n0 = points.front().gpus;
+  for (auto& pt : points) {
+    if (workload_.strong) {
+      pt.speedup = t0 / pt.time_per_iteration_s;
+      pt.efficiency = pt.speedup * n0 / pt.gpus;
+    } else {
+      pt.speedup = static_cast<double>(pt.gpus) / n0;
+      pt.efficiency = t0 / pt.time_per_iteration_s;
+    }
+  }
+  return points;
+}
+
+}  // namespace antmoc::cluster

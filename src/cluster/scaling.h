@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file scaling.h
+/// Trace-driven cluster simulator for the paper's scalability study
+/// (§5.5, Figs. 11-12). In-process transport runs cannot span 16,000
+/// GPUs, so the full machine is modeled analytically from the same
+/// ingredients the real runs depend on:
+///
+///  * per-segment sweep cost and the OTF/Manager cost factor (§4.1,
+///    matching solver/track_policy.h constants via perfmodel);
+///  * the heterogeneous per-domain load spectrum of a C5G7-style core
+///    (fuel vs. reflector domains) and the 10-domains-per-node rule;
+///  * the three mapping levels, reusing partition/ (the actual L1 graph
+///    partitioner and L2/L3 mapping code paths);
+///  * residency: per-GPU segment storage against the Manager budget
+///    (6.144 GB of a 16 GB MI60) — the cause of the paper's superlinear
+///    strong-scaling bump once everything fits (>= 8000 GPUs);
+///  * an HDR-InfiniBand-like link model (200 Gb/s, per-message latency)
+///    fed by the Eq. 7 communication volume of boundary-crossing tracks.
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device_spec.h"
+
+namespace antmoc::cluster {
+
+struct MachineSpec {
+  int gpus_per_node = 4;
+  int cus_per_gpu = 64;
+  double gpu_clock_ghz = 1.8;
+  std::uint64_t gpu_memory_bytes = std::uint64_t{16} << 30;
+  /// Manager resident-track budget as a fraction of device memory
+  /// (6.144 GB / 16 GB in the paper's setup).
+  double resident_budget_fraction = 0.384;
+  double link_bandwidth_bytes_per_s = 25.0e9;  ///< 200 Gb/s HDR
+  double link_latency_s = 1.5e-6;
+  /// Device cycles to sweep one stored segment for one energy group.
+  double cycles_per_segment_group = 1.0;
+};
+
+struct WorkloadSpec {
+  /// Tracks per GPU at the baseline GPU count (paper: 54,581,544 strong,
+  /// 5,124,596 weak).
+  long tracks_per_gpu_base = 54581544;
+  int base_gpus = 1000;
+  bool strong = true;  ///< strong scaling (fixed problem) vs weak
+  int num_groups = 7;
+  /// Eq. 4 ratio: 3D segments per 3D track. The paper's own numbers
+  /// bracket this (132.6 TB of segments over 100 B tracks implies ~80;
+  /// "trillion segments" implies ~10); 45 places the strong-scaling
+  /// residency knee at 8000 GPUs exactly as §5.5 describes.
+  double segments_per_track = 45.0;
+  /// Sub-geometries per node (paper §4.2.1: "usually about tenfold").
+  double domains_per_node = 10.0;
+  int num_azim_2 = 32;  ///< scalar azimuthal angles for the L2 split
+
+  // C5G7 heterogeneity: a fraction of domains fall in reflector regions
+  // and carry a fraction of the fuel-domain load; the rest jitters.
+  // The contrast is scale-dependent: with few domains each cuboid spans
+  // fuel *and* reflector and loads average out; as the decomposition
+  // refines, domains become purely one or the other and the spread grows.
+  // Full contrast is reached at `heterogeneity_scale_domains`.
+  double reflector_fraction = 0.40;
+  double reflector_load_ratio = 0.40;
+  double load_noise = 0.20;
+  double heterogeneity_scale_domains = 40000.0;
+
+  /// Weak-scaling grid growth: extra segments per doubling of the domain
+  /// count (the paper's "additional grids ... increase computational
+  /// complexity").
+  double grid_growth_per_doubling = 0.02;
+
+  /// Effective slowdown of sweeping a temporary (OTF) segment relative to
+  /// a resident one at cluster scale. The raw kernel ratio is 6x
+  /// (track_policy.h), but regeneration overlaps with memory-bound sweep
+  /// phases on real hardware; 1.15 is calibrated so the strong-scaling
+  /// residency bump matches the modest effect in the paper's Fig. 11.
+  double otf_cost_factor = 1.15;
+
+  /// Boundary-crossing track ends per domain = chi * (tracks/domain)^(2/3).
+  double crossing_coefficient = 34.0;
+
+  std::uint64_t seed = 42;
+};
+
+struct MappingConfig {
+  bool l1 = true;
+  bool l2 = true;
+  bool l3 = true;
+
+  static MappingConfig none() { return {false, false, false}; }
+  static MappingConfig all() { return {true, true, true}; }
+};
+
+struct ScalingPoint {
+  int gpus = 0;
+  double time_per_iteration_s = 0.0;
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  double gpu_load_uniformity = 1.0;  ///< MAX/AVG across GPUs
+  double cu_uniformity = 1.0;        ///< within-GPU L3 factor
+  double resident_fraction = 1.0;
+  long total_tracks = 0;
+  /// Tracks in the paper's counting currency: both sweep directions, and
+  /// including the decomposition grid growth (the paper's "100 billion
+  /// tracks" strong case is 2 x 54.58M x 1000; its weak 174.66B is
+  /// 2 x 5.12M x 16000 x growth).
+  double directed_tracks = 0.0;
+  /// Filled by sweep(): parallel efficiency relative to the first point.
+  double efficiency = 1.0;
+  double speedup = 1.0;
+};
+
+class ScalingSimulator {
+ public:
+  ScalingSimulator(MachineSpec machine, WorkloadSpec workload)
+      : machine_(machine), workload_(workload) {}
+
+  /// Models one configuration at `num_gpus` (deterministic for a seed).
+  ScalingPoint evaluate(int num_gpus, const MappingConfig& mapping) const;
+
+  /// Evaluates all counts and fills efficiency/speedup relative to the
+  /// first entry (strong: E = T0*N0/(T*N); weak: E = T0/T).
+  std::vector<ScalingPoint> sweep(const std::vector<int>& gpu_counts,
+                                  const MappingConfig& mapping) const;
+
+ private:
+  MachineSpec machine_;
+  WorkloadSpec workload_;
+};
+
+}  // namespace antmoc::cluster

@@ -1,0 +1,144 @@
+#include "comm/communicator.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace antmoc::comm {
+
+namespace detail {
+
+SharedState::SharedState(int n)
+    : nranks(n), bytes_sent(n), messages_sent(n) {
+  mailboxes.reserve(n);
+  for (int i = 0; i < n; ++i)
+    mailboxes.push_back(std::make_unique<Mailbox>());
+}
+
+}  // namespace detail
+
+void Communicator::send(int dest, int tag, const void* data,
+                        std::size_t bytes) {
+  require(dest >= 0 && dest < size(), "send: destination rank out of range");
+  detail::Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.payload.resize(bytes);
+  std::memcpy(msg.payload.data(), data, bytes);
+
+  auto& box = *state_->mailboxes[dest];
+  {
+    std::lock_guard lock(box.mutex);
+    box.queue.push_back(std::move(msg));
+  }
+  state_->bytes_sent[rank_].fetch_add(bytes, std::memory_order_relaxed);
+  state_->messages_sent[rank_].fetch_add(1, std::memory_order_relaxed);
+  box.ready.notify_all();
+}
+
+void Communicator::recv(int source, int tag, void* data, std::size_t bytes) {
+  require(source >= 0 && source < size(), "recv: source rank out of range");
+  auto& box = *state_->mailboxes[rank_];
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                           [&](const detail::Message& m) {
+                             return m.source == source && m.tag == tag;
+                           });
+    if (it != box.queue.end()) {
+      require(it->payload.size() == bytes,
+              "recv: message size mismatch (expected " +
+                  std::to_string(bytes) + ", got " +
+                  std::to_string(it->payload.size()) + ")");
+      std::memcpy(data, it->payload.data(), bytes);
+      box.queue.erase(it);
+      return;
+    }
+    box.ready.wait(lock);
+  }
+}
+
+void Communicator::barrier() {
+  auto& s = *state_;
+  std::unique_lock lock(s.barrier_mutex);
+  const std::uint64_t generation = s.barrier_generation;
+  if (++s.barrier_arrived == s.nranks) {
+    s.barrier_arrived = 0;
+    ++s.barrier_generation;
+    s.barrier_cv.notify_all();
+  } else {
+    s.barrier_cv.wait(
+        lock, [&] { return s.barrier_generation != generation; });
+  }
+}
+
+void Communicator::allreduce(std::vector<double>& values, ReduceOp op) {
+  auto& s = *state_;
+  std::unique_lock lock(s.reduce_mutex);
+  const std::uint64_t generation = s.reduce_generation;
+
+  if (s.reduce_arrived == 0) {
+    s.reduce_buffer = values;  // first contributor seeds the accumulator
+  } else {
+    require(s.reduce_buffer.size() == values.size(),
+            "allreduce: ranks passed different value counts");
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      switch (op) {
+        case ReduceOp::kSum:
+          s.reduce_buffer[i] += values[i];
+          break;
+        case ReduceOp::kMax:
+          s.reduce_buffer[i] = std::max(s.reduce_buffer[i], values[i]);
+          break;
+        case ReduceOp::kMin:
+          s.reduce_buffer[i] = std::min(s.reduce_buffer[i], values[i]);
+          break;
+      }
+    }
+  }
+
+  if (++s.reduce_arrived == s.nranks) {
+    s.reduce_result = s.reduce_buffer;
+    s.reduce_arrived = 0;
+    ++s.reduce_generation;
+    values = s.reduce_result;
+    s.reduce_cv.notify_all();
+  } else {
+    s.reduce_cv.wait(lock,
+                     [&] { return s.reduce_generation != generation; });
+    values = s.reduce_result;
+  }
+}
+
+void Communicator::broadcast(void* data, std::size_t bytes, int root) {
+  constexpr int kTag = 900;
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r)
+      if (r != root) send(r, kTag, data, bytes);
+  } else {
+    recv(root, kTag, data, bytes);
+  }
+}
+
+double Communicator::allreduce(double value, ReduceOp op) {
+  std::vector<double> v{value};
+  allreduce(v, op);
+  return v[0];
+}
+
+std::uint64_t Communicator::bytes_sent() const {
+  return state_->bytes_sent[rank_].load(std::memory_order_relaxed);
+}
+
+std::uint64_t Communicator::messages_sent() const {
+  return state_->messages_sent[rank_].load(std::memory_order_relaxed);
+}
+
+std::uint64_t Communicator::total_bytes_sent() const {
+  std::uint64_t total = 0;
+  for (int r = 0; r < size(); ++r)
+    total += state_->bytes_sent[r].load(std::memory_order_relaxed);
+  return total;
+}
+
+}  // namespace antmoc::comm

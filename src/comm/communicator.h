@@ -1,0 +1,158 @@
+#pragma once
+
+/// \file communicator.h
+/// In-process message-passing runtime standing in for MPI (see DESIGN.md §1).
+///
+/// Ranks execute as threads inside one process; a Communicator gives each
+/// rank MPI-like point-to-point and collective operations. Sends are
+/// *buffered* (they copy into the destination mailbox and return
+/// immediately), matching the "Buffered Synchronous algorithm" the paper
+/// uses for angular-flux exchange (§3.3, Eq. 7): every domain posts its tail
+/// fluxes, then all domains receive head fluxes from neighbors without
+/// deadlock regardless of ordering.
+///
+/// All traffic is byte-counted so the communication model (Eq. 7) can be
+/// validated against actually transferred bytes.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace antmoc::comm {
+
+/// Reduction operator for allreduce.
+enum class ReduceOp { kSum, kMax, kMin };
+
+namespace detail {
+
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::deque<Message> queue;
+};
+
+/// State shared by all ranks of one Runtime::run() invocation.
+struct SharedState {
+  explicit SharedState(int nranks);
+
+  int nranks;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+
+  // Dissemination-free central barrier (generation counted).
+  std::mutex barrier_mutex;
+  std::condition_variable barrier_cv;
+  int barrier_arrived = 0;
+  std::uint64_t barrier_generation = 0;
+
+  // Allreduce scratch: contributions gathered under a mutex; the last
+  // arriving rank publishes the result for the current generation.
+  std::mutex reduce_mutex;
+  std::condition_variable reduce_cv;
+  int reduce_arrived = 0;
+  std::uint64_t reduce_generation = 0;
+  std::vector<double> reduce_buffer;
+  std::vector<double> reduce_result;
+
+  // Byte counters, indexed by source rank.
+  std::vector<std::atomic<std::uint64_t>> bytes_sent;
+  std::vector<std::atomic<std::uint64_t>> messages_sent;
+};
+
+}  // namespace detail
+
+/// Per-rank handle to the message-passing world.
+class Communicator {
+ public:
+  Communicator(int rank, std::shared_ptr<detail::SharedState> state)
+      : rank_(rank), state_(std::move(state)) {}
+
+  int rank() const { return rank_; }
+  int size() const { return state_->nranks; }
+
+  /// Buffered send: copies `bytes` bytes into `dest`'s mailbox; returns
+  /// immediately. Tags disambiguate concurrent exchanges.
+  void send(int dest, int tag, const void* data, std::size_t bytes);
+
+  /// Blocking receive matching (source, tag); copies exactly `bytes` bytes.
+  /// Throws antmoc::Error if the matched message has a different size.
+  void recv(int source, int tag, void* data, std::size_t bytes);
+
+  template <class T>
+  void send(int dest, int tag, const std::vector<T>& v) {
+    send(dest, tag, v.data(), v.size() * sizeof(T));
+  }
+  template <class T>
+  void recv(int source, int tag, std::vector<T>& v) {
+    recv(source, tag, v.data(), v.size() * sizeof(T));
+  }
+
+  /// Combined post-then-collect exchange with one peer.
+  template <class T>
+  void sendrecv(int peer, int tag, const std::vector<T>& out,
+                std::vector<T>& in) {
+    send(peer, tag, out);
+    recv(peer, tag, in);
+  }
+
+  /// Blocks until all ranks arrive.
+  void barrier();
+
+  /// Element-wise allreduce over all ranks; every rank gets the result.
+  void allreduce(std::vector<double>& values, ReduceOp op);
+  double allreduce(double value, ReduceOp op);
+
+  /// Root's buffer is copied to every rank (sizes must already agree).
+  void broadcast(void* data, std::size_t bytes, int root);
+  template <class T>
+  void broadcast(std::vector<T>& v, int root) {
+    broadcast(v.data(), v.size() * sizeof(T), root);
+  }
+
+  /// Gathers equal-sized contributions onto `root`: on root, `all` is
+  /// resized to size() * local.size() with rank r's data at offset
+  /// r * local.size(); on other ranks `all` is left empty.
+  template <class T>
+  void gather(const std::vector<T>& local, std::vector<T>& all, int root) {
+    constexpr int kTag = 901;
+    if (rank_ == root) {
+      all.assign(static_cast<std::size_t>(size()) * local.size(), T{});
+      std::copy(local.begin(), local.end(),
+                all.begin() + static_cast<std::size_t>(root) * local.size());
+      for (int r = 0; r < size(); ++r) {
+        if (r == root) continue;
+        recv(r, kTag, all.data() + static_cast<std::size_t>(r) * local.size(),
+             local.size() * sizeof(T));
+      }
+    } else {
+      all.clear();
+      send(root, kTag, local.data(), local.size() * sizeof(T));
+    }
+  }
+
+  /// Total bytes this rank has sent via point-to-point messages.
+  std::uint64_t bytes_sent() const;
+  std::uint64_t messages_sent() const;
+
+  /// Sum of point-to-point bytes sent by all ranks (call after barrier).
+  std::uint64_t total_bytes_sent() const;
+
+ private:
+  int rank_;
+  std::shared_ptr<detail::SharedState> state_;
+};
+
+}  // namespace antmoc::comm

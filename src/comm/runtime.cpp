@@ -1,0 +1,46 @@
+#include "comm/runtime.h"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+
+namespace antmoc::comm {
+
+std::uint64_t Runtime::run(int nranks,
+                           const std::function<void(Communicator&)>& fn) {
+  require(nranks >= 1, "Runtime::run needs at least one rank");
+  auto state = std::make_shared<detail::SharedState>(nranks);
+
+  if (nranks == 1) {
+    // Fast path: no thread spawn for serial worlds.
+    Communicator comm(0, state);
+    fn(comm);
+    return comm.total_bytes_sent();
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(nranks);
+  threads.reserve(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm(r, state);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& err : errors)
+    if (err) std::rethrow_exception(err);
+
+  std::uint64_t total = 0;
+  for (int r = 0; r < nranks; ++r)
+    total += state->bytes_sent[r].load(std::memory_order_relaxed);
+  return total;
+}
+
+}  // namespace antmoc::comm

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file runtime.h
+/// Launches a fixed-size "world" of ranks, each running the same function
+/// on its own thread — the moral equivalent of `mpirun -n <nranks>`.
+
+#include <functional>
+
+#include "comm/communicator.h"
+
+namespace antmoc::comm {
+
+class Runtime {
+ public:
+  /// Runs `fn` on `nranks` concurrent ranks and joins them all.
+  /// The first exception thrown by any rank is rethrown on the caller's
+  /// thread after every rank has been joined.
+  ///
+  /// Returns the total point-to-point bytes sent across all ranks, so
+  /// callers can validate the paper's communication model (Eq. 7).
+  static std::uint64_t run(int nranks,
+                           const std::function<void(Communicator&)>& fn);
+};
+
+}  // namespace antmoc::comm

@@ -1,0 +1,299 @@
+#include "geometry/builder.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace antmoc {
+
+int GeometryBuilder::add_x_plane(double x0) {
+  surfaces_.push_back(Surface2D::x_plane(x0));
+  return static_cast<int>(surfaces_.size()) - 1;
+}
+
+int GeometryBuilder::add_y_plane(double y0) {
+  surfaces_.push_back(Surface2D::y_plane(y0));
+  return static_cast<int>(surfaces_.size()) - 1;
+}
+
+int GeometryBuilder::add_circle(double cx, double cy, double r) {
+  require(r > 0.0, "circle radius must be positive");
+  surfaces_.push_back(Surface2D::circle(cx, cy, r));
+  return static_cast<int>(surfaces_.size()) - 1;
+}
+
+int GeometryBuilder::add_line(double a, double b, double c) {
+  require(a != 0.0 || b != 0.0, "line normal must be non-zero");
+  surfaces_.push_back(Surface2D::line(a, b, c));
+  return static_cast<int>(surfaces_.size()) - 1;
+}
+
+int GeometryBuilder::add_universe(const std::string& name) {
+  Universe u;
+  u.name = name;
+  universes_.push_back(std::move(u));
+  return static_cast<int>(universes_.size()) - 1;
+}
+
+int GeometryBuilder::add_cell(int universe, const std::string& name,
+                              int material, std::vector<Halfspace> region) {
+  require(universe >= 0 && universe < static_cast<int>(universes_.size()),
+          "add_cell: unknown universe id");
+  require(!universes_[universe].is_lattice,
+          "add_cell: cannot add cells to a lattice universe");
+  require(material >= 0, "add_cell: material id must be >= 0");
+  Cell cell;
+  cell.name = name;
+  cell.material = material;
+  cell.region = std::move(region);
+  cells_.push_back(std::move(cell));
+  const int id = static_cast<int>(cells_.size()) - 1;
+  universes_[universe].cells.push_back(id);
+  return id;
+}
+
+int GeometryBuilder::add_fill_cell(int universe, const std::string& name,
+                                   int fill_universe,
+                                   std::vector<Halfspace> region) {
+  require(universe >= 0 && universe < static_cast<int>(universes_.size()),
+          "add_fill_cell: unknown universe id");
+  require(fill_universe >= 0 &&
+              fill_universe < static_cast<int>(universes_.size()),
+          "add_fill_cell: unknown fill universe id");
+  Cell cell;
+  cell.name = name;
+  cell.fill = fill_universe;
+  cell.region = std::move(region);
+  cells_.push_back(std::move(cell));
+  const int id = static_cast<int>(cells_.size()) - 1;
+  universes_[universe].cells.push_back(id);
+  return id;
+}
+
+int GeometryBuilder::add_pin_universe(const std::string& name,
+                                      int fuel_material,
+                                      int moderator_material, double radius,
+                                      const PinSubdivision& sub) {
+  require(sub.fuel_rings >= 1 && sub.fuel_sectors >= 1 &&
+              sub.moderator_sectors >= 1,
+          "pin subdivision counts must be >= 1");
+  const int u = add_universe(name);
+
+  // Equal-area ring radii: r_i = R * sqrt((i+1)/rings).
+  std::vector<int> ring_circles(sub.fuel_rings);
+  for (int i = 0; i < sub.fuel_rings; ++i)
+    ring_circles[i] = add_circle(
+        0.0, 0.0,
+        radius * std::sqrt(double(i + 1) / sub.fuel_rings));
+
+  // Sector planes through the pin center: line_j has normal
+  // (-sin t_j, cos t_j), so a point at polar angle a evaluates to
+  // r*sin(a - t_j); the wedge [t_j, t_j+1] is (>= 0 on line_j, <= 0 on
+  // line_{j+1}), valid while the wedge spans at most pi (sectors >= 2).
+  auto sector_lines = [&](int sectors) {
+    std::vector<int> lines;
+    if (sectors < 2) return lines;  // unsectorized: no planes needed
+    for (int j = 0; j < sectors; ++j) {
+      const double t =
+          sub.sector_offset + 2.0 * 3.14159265358979323846 * j / sectors;
+      lines.push_back(add_line(-std::sin(t), std::cos(t), 0.0));
+    }
+    return lines;
+  };
+  auto sector_region = [&](const std::vector<int>& lines, int j) {
+    std::vector<Halfspace> region;
+    if (lines.size() < 2) return region;
+    region.push_back(outside(lines[j]));
+    region.push_back(inside(lines[(j + 1) % lines.size()]));
+    return region;
+  };
+
+  const auto fuel_lines = sector_lines(sub.fuel_sectors);
+  for (int i = 0; i < sub.fuel_rings; ++i)
+    for (int j = 0; j < sub.fuel_sectors; ++j) {
+      auto region = sector_region(fuel_lines, j);
+      region.push_back(inside(ring_circles[i]));
+      if (i > 0) region.push_back(outside(ring_circles[i - 1]));
+      add_cell(u,
+               "fuel_r" + std::to_string(i) + "s" + std::to_string(j),
+               fuel_material, std::move(region));
+    }
+
+  const auto mod_lines = sector_lines(sub.moderator_sectors);
+  for (int j = 0; j < sub.moderator_sectors; ++j) {
+    auto region = sector_region(mod_lines, j);
+    region.push_back(outside(ring_circles.back()));
+    add_cell(u, "mod_s" + std::to_string(j), moderator_material,
+             std::move(region));
+  }
+  return u;
+}
+
+int GeometryBuilder::add_lattice(const std::string& name, int nx, int ny,
+                                 double pitch_x, double pitch_y, double x0,
+                                 double y0, std::vector<int> universes) {
+  require(nx > 0 && ny > 0, "lattice dimensions must be positive");
+  require(pitch_x > 0.0 && pitch_y > 0.0, "lattice pitch must be positive");
+  require(static_cast<int>(universes.size()) == nx * ny,
+          "lattice universe array must have nx*ny entries");
+  for (int id : universes)
+    require(id >= 0 && id < static_cast<int>(universes_.size()),
+            "lattice references unknown universe id");
+  Universe u;
+  u.name = name;
+  u.is_lattice = true;
+  u.nx = nx;
+  u.ny = ny;
+  u.pitch_x = pitch_x;
+  u.pitch_y = pitch_y;
+  u.x0 = x0;
+  u.y0 = y0;
+  u.lattice_universes = std::move(universes);
+  universes_.push_back(std::move(u));
+  return static_cast<int>(universes_.size()) - 1;
+}
+
+int GeometryBuilder::add_centered_lattice(const std::string& name, int nx,
+                                          int ny, double pitch_x,
+                                          double pitch_y,
+                                          std::vector<int> universes) {
+  return add_lattice(name, nx, ny, pitch_x, pitch_y, -0.5 * nx * pitch_x,
+                     -0.5 * ny * pitch_y, std::move(universes));
+}
+
+void GeometryBuilder::set_root(int universe) { root_ = universe; }
+
+void GeometryBuilder::set_bounds(const Bounds& bounds) {
+  require(bounds.width_x() > 0 && bounds.width_y() > 0,
+          "bounds must have positive radial extent");
+  bounds_ = bounds;
+  bounds_set_ = true;
+}
+
+void GeometryBuilder::set_boundary(Face f, BoundaryType bc) {
+  boundaries_[static_cast<int>(f)] = bc;
+}
+
+void GeometryBuilder::set_all_radial_boundaries(BoundaryType bc) {
+  for (Face f : {Face::kXMin, Face::kXMax, Face::kYMin, Face::kYMax})
+    set_boundary(f, bc);
+}
+
+void GeometryBuilder::add_axial_zone(double z_lo, double z_hi, int num_layers,
+                                     std::vector<int> material_override) {
+  require(z_hi > z_lo, "axial zone must have positive thickness");
+  require(num_layers >= 1, "axial zone needs at least one layer");
+  if (!zones_.empty())
+    require(std::abs(zones_.back().z_hi - z_lo) < 1e-9,
+            "axial zones must be contiguous and added bottom-up");
+  AxialZone zone;
+  zone.z_lo = z_lo;
+  zone.z_hi = z_hi;
+  zone.num_layers = num_layers;
+  zone.material_override = std::move(material_override);
+  zones_.push_back(std::move(zone));
+}
+
+void GeometryBuilder::override_zone_material(int zone_index, int from,
+                                             int to) {
+  require(zone_index >= 0 && zone_index < static_cast<int>(zones_.size()),
+          "override_zone_material: unknown zone");
+  override_rules_.push_back({zone_index, from, to});
+}
+
+int GeometryBuilder::enumerate(Geometry& g, int universe,
+                               const std::string& path,
+                               std::vector<int>& next_region) const {
+  Geometry::InstNode node;
+  node.universe = universe;
+  const Universe& u = universes_[universe];
+
+  // Reserve this node's slot before recursing so ids are stable.
+  const int node_id = static_cast<int>(g.nodes_.size());
+  g.nodes_.push_back(node);
+
+  if (u.is_lattice) {
+    std::vector<int> child(u.lattice_universes.size());
+    for (int j = 0; j < u.ny; ++j)
+      for (int i = 0; i < u.nx; ++i) {
+        const int k = j * u.nx + i;
+        child[k] = enumerate(g, u.lattice_universes[k],
+                             path + "[" + std::to_string(i) + "," +
+                                 std::to_string(j) + "]",
+                             next_region);
+      }
+    g.nodes_[node_id].child = std::move(child);
+  } else {
+    require(!u.cells.empty(),
+            "universe '" + u.name + "' has no cells; cannot be traced");
+    std::vector<int> child(u.cells.size(), -1);
+    std::vector<int> region(u.cells.size(), -1);
+    for (std::size_t k = 0; k < u.cells.size(); ++k) {
+      const Cell& cell = cells_[u.cells[k]];
+      if (cell.material >= 0) {
+        region[k] = next_region[0]++;
+        g.region_base_material_.push_back(cell.material);
+        g.region_names_.push_back(path + "/" + cell.name);
+      } else {
+        child[k] = enumerate(g, cell.fill, path + "/" + cell.name,
+                             next_region);
+      }
+    }
+    g.nodes_[node_id].child = std::move(child);
+    g.nodes_[node_id].region = std::move(region);
+  }
+  return node_id;
+}
+
+Geometry GeometryBuilder::build() const {
+  require(root_ >= 0, "geometry has no root universe");
+  require(bounds_set_, "geometry bounds were not set");
+  require(!zones_.empty(), "geometry needs at least one axial zone");
+
+  Geometry g;
+  g.surfaces_ = surfaces_;
+  g.cells_ = cells_;
+  g.universes_ = universes_;
+  g.root_universe_ = root_;
+  g.bounds_ = bounds_;
+  g.bounds_.z_min = zones_.front().z_lo;
+  g.bounds_.z_max = zones_.back().z_hi;
+  for (int f = 0; f < 6; ++f) g.boundaries_[f] = boundaries_[f];
+
+  std::vector<int> next_region{0};
+  g.root_node_ = enumerate(g, root_, "", next_region);
+
+  int max_material = -1;
+  for (int m : g.region_base_material_) max_material = std::max(max_material, m);
+
+  // Axial zones & layers.
+  g.zones_ = zones_;
+  for (auto& zone : g.zones_)
+    if (!zone.material_override.empty())
+      require(static_cast<int>(zone.material_override.size()) ==
+                  g.num_radial_regions(),
+              "zone material_override must have one entry per radial region");
+  for (const auto& rule : override_rules_) {
+    auto& zone = g.zones_[rule.zone];
+    if (zone.material_override.empty())
+      zone.material_override.assign(g.num_radial_regions(), -1);
+    for (int r = 0; r < g.num_radial_regions(); ++r)
+      if (g.region_base_material_[r] == rule.from)
+        zone.material_override[r] = rule.to;
+    max_material = std::max(max_material, rule.to);
+  }
+  g.num_materials_ = max_material + 1;
+
+  for (std::size_t zi = 0; zi < g.zones_.size(); ++zi) {
+    const auto& zone = g.zones_[zi];
+    const double dz = (zone.z_hi - zone.z_lo) / zone.num_layers;
+    for (int l = 0; l < zone.num_layers; ++l) {
+      g.layer_z_lo_.push_back(zone.z_lo + l * dz);
+      g.layer_z_hi_.push_back(zone.z_lo + (l + 1) * dz);
+      g.layer_zone_.push_back(static_cast<int>(zi));
+    }
+  }
+  return g;
+}
+
+}  // namespace antmoc

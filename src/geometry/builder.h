@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file builder.h
+/// Fluent construction of Geometry objects (paper §3.1 stage 2,
+/// "Geometry Construction" with the CSG method).
+///
+/// Usage sketch (a pin lattice):
+///   GeometryBuilder b;
+///   int circ = b.add_circle(0, 0, 0.54);
+///   int pin  = b.add_universe("uo2_pin");
+///   b.add_cell(pin, "fuel", kUO2, {b.inside(circ)});
+///   b.add_cell(pin, "mod",  kModerator, {b.outside(circ)});
+///   int lat  = b.add_lattice("assembly", 17, 17, 1.26, 1.26, uids);
+///   b.set_root(lat);
+///   b.set_bounds({...});
+///   b.add_axial_zone(0.0, 42.84, 3);
+///   Geometry g = b.build();
+
+#include <string>
+#include <vector>
+
+#include "geometry/geometry.h"
+
+namespace antmoc {
+
+/// FSR refinement of a pin cell (the "fine meshes" of §2.2 / [33]):
+/// equal-area fuel rings plus angular sectors in fuel and moderator.
+struct PinSubdivision {
+  int fuel_rings = 1;
+  int fuel_sectors = 1;
+  int moderator_sectors = 1;
+  /// Rotates the sector planes off the coordinate axes (radians) so track
+  /// angles do not ride along FSR boundaries.
+  double sector_offset = 0.125;
+};
+
+class GeometryBuilder {
+ public:
+  // --- surfaces ------------------------------------------------------------
+  int add_x_plane(double x0);
+  int add_y_plane(double y0);
+  int add_circle(double cx, double cy, double r);
+  /// General line a*x + b*y + c = 0 (normal is normalized).
+  int add_line(double a, double b, double c);
+
+  Halfspace inside(int surface) const { return {surface, -1}; }
+  Halfspace outside(int surface) const { return {surface, +1}; }
+
+  // --- cells & universes -----------------------------------------------------
+  /// Creates an empty (non-lattice) universe and returns its id.
+  int add_universe(const std::string& name);
+
+  /// Adds a material cell to a universe.
+  int add_cell(int universe, const std::string& name, int material,
+               std::vector<Halfspace> region);
+
+  /// Adds a universe-filled cell to a universe.
+  int add_fill_cell(int universe, const std::string& name, int fill_universe,
+                    std::vector<Halfspace> region);
+
+  /// Builds a complete pin universe — a fuel circle of `radius` centered
+  /// on the local origin inside an unbounded moderator — optionally
+  /// subdivided into equal-area rings and angular sectors. Returns the
+  /// universe id. Region count:
+  /// fuel_rings*fuel_sectors + moderator_sectors.
+  int add_pin_universe(const std::string& name, int fuel_material,
+                       int moderator_material, double radius,
+                       const PinSubdivision& subdivision = {});
+
+  /// Creates a rectangular lattice universe. `universes` is row-major
+  /// (j*nx + i) with j increasing with y; the lattice spans
+  /// [x0, x0+nx*pitch_x) x [y0, y0+ny*pitch_y) in its local frame.
+  /// For a root lattice the local frame is the global frame.
+  int add_lattice(const std::string& name, int nx, int ny, double pitch_x,
+                  double pitch_y, double x0, double y0,
+                  std::vector<int> universes);
+
+  /// Convenience: lattice whose local frame is centered on the origin
+  /// (typical for pin lattices nested inside assembly cells).
+  int add_centered_lattice(const std::string& name, int nx, int ny,
+                           double pitch_x, double pitch_y,
+                           std::vector<int> universes);
+
+  void set_root(int universe);
+  void set_bounds(const Bounds& bounds);
+  void set_boundary(Face f, BoundaryType bc);
+  void set_all_radial_boundaries(BoundaryType bc);
+
+  /// Appends an axial zone on top of the previous one; zones must be added
+  /// bottom-up and contiguous. `material_override` maps radial region ->
+  /// material (empty or -1 entries mean "keep the radial material").
+  /// Overrides are resolved by region id after enumeration; use
+  /// override_material_everywhere for the common "flood a zone" case.
+  void add_axial_zone(double z_lo, double z_hi, int num_layers,
+                      std::vector<int> material_override = {});
+
+  /// In zone `zone_index`, replaces every region whose base material is
+  /// `from` with `to` (applied at build() time, after enumeration).
+  void override_zone_material(int zone_index, int from, int to);
+
+  /// Validates and assembles the Geometry (enumerates radial regions by
+  /// building the universe-instance tree). Throws GeometryError on
+  /// malformed input (dangling ids, zone gaps, missing root, ...).
+  Geometry build() const;
+
+ private:
+  struct ZoneOverrideRule {
+    int zone = -1;
+    int from = -1;
+    int to = -1;
+  };
+
+  int enumerate(Geometry& g, int universe, const std::string& path,
+                std::vector<int>& next_region) const;
+
+  std::vector<Surface2D> surfaces_;
+  std::vector<Cell> cells_;
+  std::vector<Universe> universes_;
+  int root_ = -1;
+  Bounds bounds_;
+  bool bounds_set_ = false;
+  BoundaryType boundaries_[6] = {
+      BoundaryType::kVacuum, BoundaryType::kVacuum, BoundaryType::kVacuum,
+      BoundaryType::kVacuum, BoundaryType::kVacuum, BoundaryType::kVacuum};
+  std::vector<AxialZone> zones_;
+  std::vector<ZoneOverrideRule> override_rules_;
+};
+
+}  // namespace antmoc

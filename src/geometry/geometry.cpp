@@ -1,0 +1,130 @@
+#include "geometry/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace antmoc {
+
+int Geometry::fsr_material(long fsr) const {
+  const int region = fsr_radial_region(fsr);
+  const int zone = layer_zone_[fsr_layer(fsr)];
+  const auto& override = zones_[zone].material_override;
+  if (!override.empty() && override[region] >= 0) return override[region];
+  return region_base_material_[region];
+}
+
+int Geometry::layer_at(double z) const {
+  const int n = num_axial_layers();
+  // Layers are contiguous and sorted; binary search the lower bound.
+  int lo = 0, hi = n - 1;
+  if (z <= layer_z_lo_[0]) return 0;
+  if (z >= layer_z_hi_[n - 1]) return n - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (z < layer_z_hi_[mid])
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return lo;
+}
+
+bool Geometry::cell_contains(const Cell& cell, Point2 local) const {
+  for (const Halfspace& hs : cell.region) {
+    const double v = surfaces_[hs.surface].evaluate(local);
+    if (hs.sign < 0 ? v > 0.0 : v < 0.0) return false;
+  }
+  return true;
+}
+
+RadialFind Geometry::find_radial(Point2 p) const {
+  if (!bounds_.contains_xy(p, kRayEpsilon))
+    fail<GeometryError>("point (" + std::to_string(p.x) + ", " +
+                        std::to_string(p.y) + ") outside geometry bounds");
+
+  int node = root_node_;
+  Point2 local = p;
+  for (int depth = 0; depth < 64; ++depth) {
+    const InstNode& inst = nodes_[node];
+    const Universe& u = universes_[inst.universe];
+    if (u.is_lattice) {
+      int i = static_cast<int>(std::floor((local.x - u.x0) / u.pitch_x));
+      int j = static_cast<int>(std::floor((local.y - u.y0) / u.pitch_y));
+      i = std::clamp(i, 0, u.nx - 1);
+      j = std::clamp(j, 0, u.ny - 1);
+      const int k = j * u.nx + i;
+      // Child coordinates are relative to the lattice element center.
+      local.x -= u.x0 + (i + 0.5) * u.pitch_x;
+      local.y -= u.y0 + (j + 0.5) * u.pitch_y;
+      node = inst.child[k];
+      continue;
+    }
+    for (std::size_t k = 0; k < u.cells.size(); ++k) {
+      const Cell& cell = cells_[u.cells[k]];
+      if (!cell_contains(cell, local)) continue;
+      if (cell.material >= 0)
+        return {inst.region[k], cell.material};
+      node = inst.child[k];
+      goto next_level;  // descend into the fill universe (same frame)
+    }
+    fail<GeometryError>("point in universe '" + u.name +
+                        "' not contained in any cell (gap in CSG model)");
+  next_level:;
+  }
+  fail<GeometryError>("universe nesting deeper than 64 levels (cycle?)");
+}
+
+double Geometry::distance_to_boundary(Point2 p, double ux, double uy) const {
+  double best = kInfDistance;
+
+  // Outer boundary planes.
+  if (ux > 0.0) best = std::min(best, (bounds_.x_max - p.x) / ux);
+  if (ux < 0.0) best = std::min(best, (bounds_.x_min - p.x) / ux);
+  if (uy > 0.0) best = std::min(best, (bounds_.y_max - p.y) / uy);
+  if (uy < 0.0) best = std::min(best, (bounds_.y_min - p.y) / uy);
+
+  int node = root_node_;
+  Point2 local = p;
+  for (int depth = 0; depth < 64; ++depth) {
+    const InstNode& inst = nodes_[node];
+    const Universe& u = universes_[inst.universe];
+    if (u.is_lattice) {
+      int i = static_cast<int>(std::floor((local.x - u.x0) / u.pitch_x));
+      int j = static_cast<int>(std::floor((local.y - u.y0) / u.pitch_y));
+      i = std::clamp(i, 0, u.nx - 1);
+      j = std::clamp(j, 0, u.ny - 1);
+      // Lattice element walls in the current local frame.
+      const double cx_lo = u.x0 + i * u.pitch_x;
+      const double cy_lo = u.y0 + j * u.pitch_y;
+      if (ux > 0.0)
+        best = std::min(best, (cx_lo + u.pitch_x - local.x) / ux);
+      if (ux < 0.0) best = std::min(best, (cx_lo - local.x) / ux);
+      if (uy > 0.0)
+        best = std::min(best, (cy_lo + u.pitch_y - local.y) / uy);
+      if (uy < 0.0) best = std::min(best, (cy_lo - local.y) / uy);
+
+      local.x -= u.x0 + (i + 0.5) * u.pitch_x;
+      local.y -= u.y0 + (j + 0.5) * u.pitch_y;
+      node = inst.child[j * u.nx + i];
+      continue;
+    }
+    for (std::size_t k = 0; k < u.cells.size(); ++k) {
+      const Cell& cell = cells_[u.cells[k]];
+      if (!cell_contains(cell, local)) continue;
+      for (const Halfspace& hs : cell.region)
+        best = std::min(best,
+                        surfaces_[hs.surface].ray_distance(local, ux, uy));
+      if (cell.material >= 0) return best;
+      node = inst.child[k];
+      goto next_level;
+    }
+    fail<GeometryError>("point in universe '" + u.name +
+                        "' not contained in any cell (gap in CSG model)");
+  next_level:;
+  }
+  fail<GeometryError>("universe nesting deeper than 64 levels (cycle?)");
+}
+
+}  // namespace antmoc

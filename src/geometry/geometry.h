@@ -1,0 +1,168 @@
+#pragma once
+
+/// \file geometry.h
+/// Axially extruded CSG geometry with flat-source-region (FSR) enumeration.
+///
+/// A Geometry is a radial CSG description (universes of cells, rectangular
+/// lattices of universes, arbitrarily nested) extruded along z through a
+/// stack of *axial zones*. All zones share the same radial mesh — the
+/// property the paper's OTF/chord-classification axial tracking depends on
+/// (§2.2, [26]) — but each zone may override the material of any radial
+/// region (how C5G7's top reflector and inserted control rods are modeled).
+///
+/// FSR numbering: fsr = radial_region * num_axial_layers + layer.
+
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/surface.h"
+
+namespace antmoc {
+
+/// A homogeneous-material or universe-filled region of a universe.
+struct Cell {
+  std::string name;
+  /// Material id (>= 0) for leaf cells; -1 when filled by a universe.
+  int material = -1;
+  /// Fill universe id (>= 0), or -1 for material cells.
+  int fill = -1;
+  /// Intersection of halfspaces defining the cell in local coordinates.
+  std::vector<Halfspace> region;
+};
+
+/// Either a set of cells tiling local space or a rectangular lattice.
+struct Universe {
+  std::string name;
+  bool is_lattice = false;
+
+  /// Cell ids (cell universes only).
+  std::vector<int> cells;
+
+  // Lattice fields (is_lattice == true). Element (i, j) spans
+  //   x in [x0 + i*pitch_x, x0 + (i+1)*pitch_x), similarly y,
+  // with universes stored row-major, j*nx + i, j increasing with y.
+  int nx = 0, ny = 0;
+  double pitch_x = 0.0, pitch_y = 0.0;
+  double x0 = 0.0, y0 = 0.0;
+  std::vector<int> lattice_universes;
+};
+
+/// One axial slab of the extrusion.
+struct AxialZone {
+  double z_lo = 0.0;
+  double z_hi = 0.0;
+  /// Equal-thickness layers this zone is subdivided into (>= 1).
+  int num_layers = 1;
+  /// Per-radial-region material override; empty = use the radial materials.
+  std::vector<int> material_override;
+};
+
+/// Result of locating a point in the radial plane.
+struct RadialFind {
+  int region = -1;    ///< radial region id
+  int material = -1;  ///< base material (before axial-zone override)
+};
+
+class GeometryBuilder;
+
+class Geometry {
+ public:
+  // --- shape -------------------------------------------------------------
+  const Bounds& bounds() const { return bounds_; }
+  BoundaryType boundary(Face f) const {
+    return boundaries_[static_cast<int>(f)];
+  }
+
+  int num_radial_regions() const {
+    return static_cast<int>(region_base_material_.size());
+  }
+  int num_axial_layers() const { return static_cast<int>(layer_z_lo_.size()); }
+  long num_fsrs() const {
+    return static_cast<long>(num_radial_regions()) * num_axial_layers();
+  }
+  int num_materials() const { return num_materials_; }
+
+  long fsr_id(int radial_region, int layer) const {
+    return static_cast<long>(radial_region) * num_axial_layers() + layer;
+  }
+  int fsr_radial_region(long fsr) const {
+    return static_cast<int>(fsr / num_axial_layers());
+  }
+  int fsr_layer(long fsr) const {
+    return static_cast<int>(fsr % num_axial_layers());
+  }
+
+  /// Material of an FSR (axial-zone override applied).
+  int fsr_material(long fsr) const;
+
+  /// Base (zone-independent) material of a radial region.
+  int region_material(int radial_region) const {
+    return region_base_material_[radial_region];
+  }
+
+  /// Human-readable label of a radial region (cell path), for diagnostics.
+  const std::string& region_name(int radial_region) const {
+    return region_names_[radial_region];
+  }
+
+  // --- axial mesh ----------------------------------------------------------
+  double layer_z_lo(int layer) const { return layer_z_lo_[layer]; }
+  double layer_z_hi(int layer) const { return layer_z_hi_[layer]; }
+  int layer_zone(int layer) const { return layer_zone_[layer]; }
+  int num_zones() const { return static_cast<int>(zones_.size()); }
+  const AxialZone& zone(int i) const { return zones_[i]; }
+
+  /// Layer containing z (clamped to the valid range).
+  int layer_at(double z) const;
+
+  // --- point queries -------------------------------------------------------
+  /// Locates the radial region containing p; throws GeometryError if p is
+  /// outside the geometry or falls in a gap between cells.
+  RadialFind find_radial(Point2 p) const;
+
+  /// Distance along (ux, uy) from p to the nearest surface bounding the
+  /// radial region containing p (cell surfaces, lattice walls, and the
+  /// outer boundary all count). Never returns 0; may return kInfDistance
+  /// if p heads to infinity inside an unbounded region (a modeling error).
+  double distance_to_boundary(Point2 p, double ux, double uy) const;
+
+ private:
+  friend class GeometryBuilder;
+
+  /// Node of the pre-built universe-instance tree: region ids become O(1)
+  /// lookups during the (hot) find/trace walks.
+  struct InstNode {
+    int universe = -1;
+    /// child[k]: for lattices, node of lattice element k; for cell
+    /// universes, node of cell k's fill universe (-1 for material cells).
+    std::vector<int> child;
+    /// region[k]: radial region id of material cell k (-1 otherwise).
+    std::vector<int> region;
+  };
+
+  std::vector<Surface2D> surfaces_;
+  std::vector<Cell> cells_;
+  std::vector<Universe> universes_;
+  int root_universe_ = -1;
+  int num_materials_ = 0;
+
+  std::vector<InstNode> nodes_;
+  int root_node_ = -1;
+
+  std::vector<int> region_base_material_;
+  std::vector<std::string> region_names_;
+
+  Bounds bounds_;
+  BoundaryType boundaries_[6] = {
+      BoundaryType::kVacuum, BoundaryType::kVacuum, BoundaryType::kVacuum,
+      BoundaryType::kVacuum, BoundaryType::kVacuum, BoundaryType::kVacuum};
+
+  std::vector<AxialZone> zones_;
+  std::vector<double> layer_z_lo_, layer_z_hi_;
+  std::vector<int> layer_zone_;
+
+  bool cell_contains(const Cell& cell, Point2 local) const;
+};
+
+}  // namespace antmoc

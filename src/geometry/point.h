@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file point.h
+/// Plain geometric value types shared by the geometry and track modules.
+
+#include <cmath>
+
+namespace antmoc {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point2 operator+(Point2 o) const { return {x + o.x, y + o.y}; }
+  Point2 operator-(Point2 o) const { return {x - o.x, y - o.y}; }
+  Point2 operator*(double s) const { return {x * s, y * s}; }
+
+  double dot(Point2 o) const { return x * o.x + y * o.y; }
+  double norm() const { return std::sqrt(x * x + y * y); }
+  double distance(Point2 o) const { return (*this - o).norm(); }
+};
+
+struct Point3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Point2 xy() const { return {x, y}; }
+};
+
+/// Faces of the rectangular-cuboid geometry boundary, used to attach
+/// boundary conditions and to link tracks across domain interfaces.
+enum class Face : int {
+  kXMin = 0,
+  kXMax = 1,
+  kYMin = 2,
+  kYMax = 3,
+  kZMin = 4,
+  kZMax = 5,
+};
+
+enum class BoundaryType { kVacuum, kReflective, kPeriodic, kInterface };
+
+/// Axis-aligned bounding cuboid of a geometry or sub-geometry.
+struct Bounds {
+  double x_min = 0.0, x_max = 0.0;
+  double y_min = 0.0, y_max = 0.0;
+  double z_min = 0.0, z_max = 0.0;
+
+  double width_x() const { return x_max - x_min; }
+  double width_y() const { return y_max - y_min; }
+  double width_z() const { return z_max - z_min; }
+
+  bool contains_xy(Point2 p, double tol = 0.0) const {
+    return p.x >= x_min - tol && p.x <= x_max + tol && p.y >= y_min - tol &&
+           p.y <= y_max + tol;
+  }
+};
+
+}  // namespace antmoc

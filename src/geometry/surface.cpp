@@ -1,0 +1,68 @@
+#include "geometry/surface.h"
+
+#include <cmath>
+
+namespace antmoc {
+
+Surface2D Surface2D::line(double a, double b, double c) {
+  const double norm = std::sqrt(a * a + b * b);
+  return {SurfaceKind::kLine, a / norm, b / norm, c / norm};
+}
+
+double Surface2D::evaluate(Point2 p) const {
+  switch (kind) {
+    case SurfaceKind::kXPlane:
+      return p.x - p0;
+    case SurfaceKind::kYPlane:
+      return p.y - p0;
+    case SurfaceKind::kCircle: {
+      const double dx = p.x - p0;
+      const double dy = p.y - p1;
+      return dx * dx + dy * dy - radius * radius;
+    }
+    case SurfaceKind::kLine:
+      return p0 * p.x + p1 * p.y + radius;
+  }
+  return 0.0;
+}
+
+double Surface2D::ray_distance(Point2 p, double ux, double uy) const {
+  switch (kind) {
+    case SurfaceKind::kXPlane: {
+      if (ux == 0.0) return kInfDistance;
+      const double t = (p0 - p.x) / ux;
+      return t > kRayEpsilon ? t : kInfDistance;
+    }
+    case SurfaceKind::kYPlane: {
+      if (uy == 0.0) return kInfDistance;
+      const double t = (p0 - p.y) / uy;
+      return t > kRayEpsilon ? t : kInfDistance;
+    }
+    case SurfaceKind::kCircle: {
+      // |p + t u - c|^2 = r^2 with |u| = 1:
+      //   t^2 + 2 t b + c0 = 0,  b = (p-c).u,  c0 = |p-c|^2 - r^2
+      const double dx = p.x - p0;
+      const double dy = p.y - p1;
+      const double b = dx * ux + dy * uy;
+      const double c0 = dx * dx + dy * dy - radius * radius;
+      const double disc = b * b - c0;
+      if (disc < 0.0) return kInfDistance;
+      const double sq = std::sqrt(disc);
+      const double t1 = -b - sq;
+      if (t1 > kRayEpsilon) return t1;
+      const double t2 = -b + sq;
+      if (t2 > kRayEpsilon) return t2;
+      return kInfDistance;
+    }
+    case SurfaceKind::kLine: {
+      // (p + t u) . n + c = 0  ->  t = -(p . n + c) / (u . n)
+      const double denom = p0 * ux + p1 * uy;
+      if (denom == 0.0) return kInfDistance;
+      const double t = -(p0 * p.x + p1 * p.y + radius) / denom;
+      return t > kRayEpsilon ? t : kInfDistance;
+    }
+  }
+  return kInfDistance;
+}
+
+}  // namespace antmoc

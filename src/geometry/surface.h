@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file surface.h
+/// Radial (2D) CSG surfaces. ANT-MOC geometry is axially extruded (the
+/// chord-classification / OTF approach of the paper requires it): the
+/// radial plane is described by planes and circles (z-cylinders in 3D),
+/// and the axial direction by a mesh of z-planes handled separately.
+
+#include <limits>
+
+#include "geometry/point.h"
+
+namespace antmoc {
+
+inline constexpr double kInfDistance = std::numeric_limits<double>::max();
+
+/// Minimum ray-advance used to step off a surface after a crossing; also
+/// the tolerance for "on surface" tests during tracing.
+inline constexpr double kRayEpsilon = 1e-10;
+
+enum class SurfaceKind { kXPlane, kYPlane, kCircle, kLine };
+
+/// A 2D surface in the local frame of its universe.
+///   kXPlane: x = p0
+///   kYPlane: y = p0
+///   kCircle: (x-p0)^2 + (y-p1)^2 = r^2
+///   kLine:   p0*x + p1*y + radius = 0   (general line; unit normal (p0,p1))
+struct Surface2D {
+  SurfaceKind kind = SurfaceKind::kXPlane;
+  double p0 = 0.0;
+  double p1 = 0.0;
+  double radius = 0.0;
+
+  static Surface2D x_plane(double x0) {
+    return {SurfaceKind::kXPlane, x0, 0.0, 0.0};
+  }
+  static Surface2D y_plane(double y0) {
+    return {SurfaceKind::kYPlane, y0, 0.0, 0.0};
+  }
+  static Surface2D circle(double cx, double cy, double r) {
+    return {SurfaceKind::kCircle, cx, cy, r};
+  }
+  /// Line a*x + b*y + c = 0; (a, b) is normalized internally.
+  static Surface2D line(double a, double b, double c);
+
+  /// Signed evaluation: negative strictly inside the negative halfspace
+  /// (inside a circle / below a plane), positive outside.
+  double evaluate(Point2 p) const;
+
+  /// Distance along the ray p + t*(ux, uy) to the nearest crossing with
+  /// t > kRayEpsilon, or kInfDistance if the ray never crosses.
+  double ray_distance(Point2 p, double ux, double uy) const;
+};
+
+/// One side of a surface: sign < 0 selects evaluate() < 0.
+struct Halfspace {
+  int surface = -1;
+  int sign = -1;
+};
+
+}  // namespace antmoc

@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file atomic.h
+/// Device-atomic helpers. Kernel bodies that accumulate into FSR scalar
+/// fluxes (a one-to-many track->FSR relationship, paper §3.2.3) must use
+/// these: items on different CUs may execute concurrently.
+
+#include <atomic>
+
+namespace antmoc::gpusim {
+
+/// Equivalent of CUDA atomicAdd on a float/double in global memory.
+template <class T>
+inline void device_atomic_add(T& target, T value) {
+  std::atomic_ref<T> ref(target);
+  ref.fetch_add(value, std::memory_order_relaxed);
+}
+
+}  // namespace antmoc::gpusim

@@ -1,0 +1,55 @@
+#include "gpusim/device_memory.h"
+
+#include <algorithm>
+
+namespace antmoc::gpusim {
+
+void DeviceMemory::charge(const std::string& label, std::size_t bytes) {
+  std::lock_guard lock(mutex_);
+  if (used_ + bytes > capacity_)
+    fail<DeviceOutOfMemory>(
+        "device memory exhausted: requested " + std::to_string(bytes) +
+        " B for '" + label + "', used " + std::to_string(used_) + " of " +
+        std::to_string(capacity_) + " B");
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+  by_label_[label] += bytes;
+}
+
+void DeviceMemory::release(const std::string& label, std::size_t bytes) {
+  std::lock_guard lock(mutex_);
+  auto it = by_label_.find(label);
+  require(it != by_label_.end() && it->second >= bytes && used_ >= bytes,
+          "release of bytes never charged under label '" + label + "'");
+  it->second -= bytes;
+  if (it->second == 0) by_label_.erase(it);
+  used_ -= bytes;
+}
+
+std::size_t DeviceMemory::used() const {
+  std::lock_guard lock(mutex_);
+  return used_;
+}
+
+std::size_t DeviceMemory::peak_used() const {
+  std::lock_guard lock(mutex_);
+  return peak_;
+}
+
+std::size_t DeviceMemory::available() const {
+  std::lock_guard lock(mutex_);
+  return capacity_ - used_;
+}
+
+std::size_t DeviceMemory::used_by(const std::string& label) const {
+  std::lock_guard lock(mutex_);
+  auto it = by_label_.find(label);
+  return it == by_label_.end() ? 0 : it->second;
+}
+
+std::map<std::string, std::size_t> DeviceMemory::breakdown() const {
+  std::lock_guard lock(mutex_);
+  return by_label_;
+}
+
+}  // namespace antmoc::gpusim

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file device_spec.h
+/// Static description of a simulated GPU. Defaults model the AMD Instinct
+/// MI60 used in the paper's evaluation: 64 CUs and 16 GB of global memory.
+
+#include <cstddef>
+#include <string>
+
+namespace antmoc::gpusim {
+
+struct DeviceSpec {
+  std::string name = "SIM-MI60";
+
+  /// Number of compute units (SM-equivalents); L3 load mapping targets these.
+  int num_cus = 64;
+
+  /// Global memory capacity enforced by the DeviceMemory arena.
+  std::size_t memory_bytes = std::size_t{16} << 30;
+
+  /// Core clock used to convert simulated busy cycles into modeled seconds.
+  double clock_ghz = 1.8;
+
+  /// Device-to-device DMA bandwidth (bytes/s) for modeled transfer times.
+  double dma_bytes_per_second = 64.0e9;
+
+  /// An MI60-like spec scaled down so in-process tests exercise the memory
+  /// capacity wall without allocating gigabytes of host RAM.
+  static DeviceSpec scaled(std::size_t memory_bytes, int num_cus = 64) {
+    DeviceSpec spec;
+    spec.memory_bytes = memory_bytes;
+    spec.num_cus = num_cus;
+    return spec;
+  }
+};
+
+}  // namespace antmoc::gpusim

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file kernel.h
+/// Kernel-launch result types for the simulated GPU.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace antmoc::gpusim {
+
+/// How launch items (tracks) are mapped onto CUs.
+///
+/// kRoundRobin reproduces the paper's L3 strategy: after tracks are sorted
+/// by descending segment count, item i goes to CU i % num_cus, dealing the
+/// heaviest tracks out like cards. kBlocked is the unbalanced baseline:
+/// contiguous chunks of the natural track order.
+enum class Assignment { kRoundRobin, kBlocked };
+
+/// Result of one kernel launch, with per-CU simulated busy cycles.
+struct KernelStats {
+  std::string name;
+  std::size_t num_items = 0;
+
+  /// Simulated busy cycles accumulated by each CU.
+  std::vector<double> cu_cycles;
+
+  double total_cycles = 0.0;  ///< sum over CUs
+  double max_cycles = 0.0;    ///< critical-path CU
+
+  /// Modeled kernel time: critical-path cycles at the device clock.
+  double modeled_seconds = 0.0;
+
+  /// Host wall-clock spent executing the launch (not the modeled time).
+  double wall_seconds = 0.0;
+
+  /// Load-uniformity index (paper §5.4): MAX over CUs / AVG over CUs, >= 1.
+  double load_uniformity() const {
+    if (cu_cycles.empty() || total_cycles <= 0.0) return 1.0;
+    const double avg = total_cycles / static_cast<double>(cu_cycles.size());
+    return avg > 0.0 ? max_cycles / avg : 1.0;
+  }
+};
+
+/// Cumulative per-kernel-name accounting (for the kernel-breakdown bench:
+/// the paper states track generation + ray tracing + source computation are
+/// ~70 % of the workload).
+struct KernelAccum {
+  std::uint64_t launches = 0;
+  std::uint64_t items = 0;
+  double total_cycles = 0.0;
+  double modeled_seconds = 0.0;
+  double wall_seconds = 0.0;
+};
+
+}  // namespace antmoc::gpusim

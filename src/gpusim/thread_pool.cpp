@@ -1,0 +1,76 @@
+#include "gpusim/thread_pool.h"
+
+#include <algorithm>
+
+namespace antmoc::gpusim {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0)
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  // Worker 0 is the caller's thread; spawn the rest.
+  for (unsigned i = 1; i < workers; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run(const std::function<void(unsigned)>& fn) {
+  if (threads_.empty()) {
+    fn(0);  // single-worker pool: no synchronization needed
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &fn;
+    error_ = nullptr;
+    remaining_ = static_cast<unsigned>(threads_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  try {
+    fn(0);
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (error_) std::rethrow_exception(error_);
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(
+          lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(index);
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace antmoc::gpusim

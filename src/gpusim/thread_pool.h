@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file thread_pool.h
+/// Persistent worker pool used by Device to execute kernel launches.
+/// Workers are created once per Device so repeated launches (thousands of
+/// transport-sweep kernels) pay no thread-spawn cost.
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace antmoc::gpusim {
+
+class ThreadPool {
+ public:
+  /// `workers == 0` selects std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(threads_.size() + 1); }
+
+  /// Runs fn(worker_index) for worker_index in [0, size()) and blocks until
+  /// all invocations return. Worker 0 runs on the calling thread.
+  /// Exceptions from workers are rethrown on the caller (first one wins).
+  void run(const std::function<void(unsigned)>& fn);
+
+ private:
+  void worker_loop(unsigned index);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned remaining_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace antmoc::gpusim

@@ -1,0 +1,119 @@
+#include "io/writers.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/error.h"
+
+namespace antmoc::io {
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail<Error>("cannot open output file: " + path);
+  return out;
+}
+
+}  // namespace
+
+void write_fission_rate_csv(const std::string& path,
+                            const Geometry& geometry,
+                            const std::vector<double>& fission_rate,
+                            const std::vector<double>& volumes) {
+  require(static_cast<long>(fission_rate.size()) == geometry.num_fsrs(),
+          "fission_rate size mismatch");
+  require(static_cast<long>(volumes.size()) == geometry.num_fsrs(),
+          "volumes size mismatch");
+  auto out = open_or_throw(path);
+  out << "fsr,radial_region,layer,material,volume,fission_rate\n";
+  for (long fsr = 0; fsr < geometry.num_fsrs(); ++fsr)
+    out << fsr << ',' << geometry.fsr_radial_region(fsr) << ','
+        << geometry.fsr_layer(fsr) << ',' << geometry.fsr_material(fsr)
+        << ',' << volumes[fsr] << ',' << fission_rate[fsr] << '\n';
+  require(static_cast<bool>(out), "write failed: " + path);
+}
+
+void write_pin_power_csv(const std::string& path,
+                         const std::vector<double>& power, int pins_x,
+                         int pins_y) {
+  require(static_cast<int>(power.size()) == pins_x * pins_y,
+          "pin power grid size mismatch");
+  auto out = open_or_throw(path);
+  for (int j = pins_y - 1; j >= 0; --j) {  // top row first, map-style
+    for (int i = 0; i < pins_x; ++i) {
+      if (i) out << ',';
+      out << power[static_cast<std::size_t>(j) * pins_x + i];
+    }
+    out << '\n';
+  }
+  require(static_cast<bool>(out), "write failed: " + path);
+}
+
+void write_vtk_volume(const std::string& path, const std::string& name,
+                      int nx, int ny, int nz, double spacing_x,
+                      double spacing_y, double spacing_z,
+                      const std::vector<double>& values) {
+  require(static_cast<long>(values.size()) ==
+              static_cast<long>(nx) * ny * nz,
+          "VTK volume size mismatch");
+  auto out = open_or_throw(path);
+  out << "# vtk DataFile Version 3.0\n"
+      << name << "\nASCII\nDATASET STRUCTURED_POINTS\n"
+      << "DIMENSIONS " << nx << ' ' << ny << ' ' << nz << '\n'
+      << "ORIGIN 0 0 0\n"
+      << "SPACING " << spacing_x << ' ' << spacing_y << ' ' << spacing_z
+      << '\n'
+      << "POINT_DATA " << values.size() << '\n'
+      << "SCALARS " << name << " double 1\nLOOKUP_TABLE default\n";
+  for (double v : values) out << v << '\n';
+  require(static_cast<bool>(out), "write failed: " + path);
+}
+
+void write_material_map_pgm(const std::string& path,
+                            const Geometry& geometry, int resolution) {
+  require(resolution >= 2, "material map needs at least 2x2 samples");
+  auto out = open_or_throw(path);
+  const Bounds& b = geometry.bounds();
+  const int max_gray = 255;
+  out << "P2\n" << resolution << ' ' << resolution << '\n' << max_gray
+      << '\n';
+  const int num_materials = std::max(1, geometry.num_materials());
+  for (int j = resolution - 1; j >= 0; --j) {  // image rows top-down
+    for (int i = 0; i < resolution; ++i) {
+      const Point2 p{b.x_min + (i + 0.5) * b.width_x() / resolution,
+                     b.y_min + (j + 0.5) * b.width_y() / resolution};
+      const int m = geometry.find_radial(p).material;
+      out << (m * max_gray / num_materials) << ' ';
+    }
+    out << '\n';
+  }
+  require(static_cast<bool>(out), "write failed: " + path);
+}
+
+std::string format_table(const std::vector<std::string>& headers,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> width(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c)
+    width[c] = headers[c].size();
+  for (const auto& row : rows) {
+    require(row.size() == headers.size(), "table row width mismatch");
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out.append(width[c] - row[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  emit_row(headers);
+  for (std::size_t c = 0; c < headers.size(); ++c)
+    out.append(width[c], '-').append(2, ' ');
+  out += '\n';
+  for (const auto& row : rows) emit_row(row);
+  return out;
+}
+
+}  // namespace antmoc::io

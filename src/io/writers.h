@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file writers.h
+/// Output generation (paper §3.1 stage 5): FSR fission-rate data to CSV,
+/// pin-power maps, legacy-VTK volumes for ParaView (the paper's Fig. 7
+/// visualization path), and aligned text tables for the run log.
+
+#include <string>
+#include <vector>
+
+#include "geometry/geometry.h"
+
+namespace antmoc::io {
+
+/// Writes one row per FSR: fsr, radial_region, layer, material, volume,
+/// fission_rate. Throws antmoc::Error if the file cannot be written.
+void write_fission_rate_csv(const std::string& path,
+                            const Geometry& geometry,
+                            const std::vector<double>& fission_rate,
+                            const std::vector<double>& volumes);
+
+/// Writes a pin-power map (row-major, j increasing with y) as CSV.
+void write_pin_power_csv(const std::string& path,
+                         const std::vector<double>& power, int pins_x,
+                         int pins_y);
+
+/// Legacy-VTK STRUCTURED_POINTS scalar volume (ParaView-compatible; the
+/// paper renders Fig. 7 with ParaView). `values` is x-fastest.
+void write_vtk_volume(const std::string& path, const std::string& name,
+                      int nx, int ny, int nz, double spacing_x,
+                      double spacing_y, double spacing_z,
+                      const std::vector<double>& values);
+
+/// Rasterizes the radial material map at `resolution` samples per axis
+/// into a PGM (portable graymap) image — a zero-dependency way to eyeball
+/// a CSG model (materials map to evenly spaced gray levels).
+void write_material_map_pgm(const std::string& path,
+                            const Geometry& geometry, int resolution);
+
+/// Aligned fixed-width text table (benches print paper-style tables).
+std::string format_table(const std::vector<std::string>& headers,
+                         const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace antmoc::io

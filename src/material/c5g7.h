@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file c5g7.h
+/// The OECD/NEA C5G7 benchmark 7-group cross-section set — the problem the
+/// paper uses for all correctness, performance, and scalability runs (§5).
+/// Values transcribed from the benchmark specification (NEA/NSC/DOC(2003)16)
+/// as distributed with OpenMOC; see DESIGN.md §5 for the transcription
+/// caveat.
+
+#include <vector>
+
+#include "material/material.h"
+
+namespace antmoc::c5g7 {
+
+/// Material ids in the vector returned by materials(): stable and dense, so
+/// they double as geometry material ids.
+enum Id : int {
+  kUO2 = 0,
+  kMOX43 = 1,
+  kMOX70 = 2,
+  kMOX87 = 3,
+  kFissionChamber = 4,
+  kGuideTube = 5,
+  kModerator = 6,
+  kControlRod = 7,
+};
+
+inline constexpr int kNumGroups = 7;
+inline constexpr int kNumMaterials = 8;
+
+/// All eight benchmark materials, indexed by Id. Each is validate()d.
+std::vector<Material> materials();
+
+}  // namespace antmoc::c5g7

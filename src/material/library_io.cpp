@@ -1,0 +1,129 @@
+#include "material/library_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/config.h"
+#include "util/error.h"
+
+namespace antmoc::material_io {
+namespace {
+
+std::vector<double> parse_list(const std::string& raw,
+                               const std::string& what, int expected) {
+  // Reuse the config list parser by round-tripping one key.
+  const auto cfg = Config::parse("v: " + raw + "\n");
+  const auto values = cfg.get_double_list("v");
+  require(static_cast<int>(values.size()) == expected,
+          what + ": expected " + std::to_string(expected) +
+              " entries, got " + std::to_string(values.size()));
+  return values;
+}
+
+std::string strip(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::vector<Material> parse_library(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int groups = 0;
+  std::vector<Material> materials;
+  Material* current = nullptr;
+  bool has_chi = false;
+
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = strip(line);
+    if (line.empty()) continue;
+
+    const auto colon = line.find(':');
+    require(colon != std::string::npos,
+            "library line " + std::to_string(lineno) + " has no ':'");
+    const std::string key = strip(line.substr(0, colon));
+    const std::string value = strip(line.substr(colon + 1));
+
+    if (key == "groups") {
+      require(groups == 0, "duplicate 'groups' directive");
+      groups = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+      require(groups >= 1, "'groups' must be a positive integer");
+    } else if (key == "material") {
+      require(groups > 0, "'groups' must precede the first material");
+      require(!value.empty(), "material needs a name");
+      if (current != nullptr && !has_chi && current->is_fissile())
+        fail<Error>("fissile material '" + current->name() +
+                    "' has no chi spectrum");
+      materials.emplace_back(value, groups);
+      current = &materials.back();
+      has_chi = false;
+    } else {
+      require(current != nullptr,
+              "datum '" + key + "' outside a material block");
+      if (key == "sigma_t")
+        current->set_sigma_t(parse_list(value, key, groups));
+      else if (key == "sigma_s")
+        current->set_sigma_s(parse_list(value, key, groups * groups));
+      else if (key == "sigma_f")
+        current->set_sigma_f(parse_list(value, key, groups));
+      else if (key == "nu_sigma_f")
+        current->set_nu_sigma_f(parse_list(value, key, groups));
+      else if (key == "chi") {
+        current->set_chi(parse_list(value, key, groups));
+        has_chi = true;
+      } else {
+        fail<Error>("unknown library key '" + key + "' at line " +
+                    std::to_string(lineno));
+      }
+    }
+  }
+  require(!materials.empty(), "library defines no materials");
+  for (const auto& m : materials) m.validate();
+  return materials;
+}
+
+std::vector<Material> load_library(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail<Error>("cannot open material library: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_library(ss.str());
+}
+
+std::string format_library(const std::vector<Material>& materials) {
+  require(!materials.empty(), "cannot format an empty library");
+  const int groups = materials.front().num_groups();
+  std::ostringstream out;
+  out << "groups: " << groups << "\n";
+  auto list = [&](const char* key, auto getter, int count) {
+    out << "  " << key << ": [";
+    for (int i = 0; i < count; ++i) {
+      if (i) out << ", ";
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.9g", getter(i));
+      out << buf;
+    }
+    out << "]\n";
+  };
+  for (const auto& m : materials) {
+    out << "material: " << m.name() << "\n";
+    list("sigma_t", [&](int g) { return m.sigma_t(g); }, groups);
+    list("sigma_s",
+         [&](int i) { return m.sigma_s(i / groups, i % groups); },
+         groups * groups);
+    list("sigma_f", [&](int g) { return m.sigma_f(g); }, groups);
+    list("nu_sigma_f", [&](int g) { return m.nu_sigma_f(g); }, groups);
+    list("chi", [&](int g) { return m.chi(g); }, groups);
+  }
+  return out.str();
+}
+
+}  // namespace antmoc::material_io

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file library_io.h
+/// Text-format multigroup cross-section libraries, so downstream users can
+/// solve with their own data instead of the built-in C5G7 set.
+///
+/// Format (parsed with the project config reader; '#' comments allowed):
+///
+///     groups: 2
+///     material: fuel          # starts a material block
+///       sigma_t:    [1.0, 2.0]
+///       sigma_s:    [0.3, 0.2,  0.0, 1.5]   # row-major, from->to
+///       sigma_f:    [0.05, 0.3]             # optional (default 0)
+///       nu_sigma_f: [0.12, 0.75]            # optional (default 0)
+///       chi:        [1.0, 0.0]              # optional (default 0)
+///     material: water
+///       ...
+///
+/// Materials are returned in file order and validate()d; ids are their
+/// positions, ready for GeometryBuilder.
+
+#include <string>
+#include <vector>
+
+#include "material/material.h"
+
+namespace antmoc::material_io {
+
+/// Parses a library from text; throws ConfigError/Error on malformed data.
+std::vector<Material> parse_library(const std::string& text);
+
+/// Loads a library file from disk.
+std::vector<Material> load_library(const std::string& path);
+
+/// Writes materials in the same format (round-trips through parse).
+std::string format_library(const std::vector<Material>& materials);
+
+}  // namespace antmoc::material_io

@@ -1,0 +1,160 @@
+#include "material/material.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace antmoc {
+
+Material::Material(std::string name, int num_groups)
+    : name_(std::move(name)), num_groups_(num_groups) {
+  require(num_groups >= 1, "material needs at least one energy group");
+  sigma_t_.assign(num_groups, 0.0);
+  sigma_f_.assign(num_groups, 0.0);
+  nu_sigma_f_.assign(num_groups, 0.0);
+  chi_.assign(num_groups, 0.0);
+  sigma_s_.assign(static_cast<std::size_t>(num_groups) * num_groups, 0.0);
+}
+
+namespace {
+void check_size(const std::vector<double>& v, int expected,
+                const char* what) {
+  require(static_cast<int>(v.size()) == expected,
+          std::string(what) + ": expected " + std::to_string(expected) +
+              " entries, got " + std::to_string(v.size()));
+}
+}  // namespace
+
+void Material::set_sigma_t(std::vector<double> v) {
+  check_size(v, num_groups_, "sigma_t");
+  sigma_t_ = std::move(v);
+}
+void Material::set_sigma_f(std::vector<double> v) {
+  check_size(v, num_groups_, "sigma_f");
+  sigma_f_ = std::move(v);
+}
+void Material::set_nu_sigma_f(std::vector<double> v) {
+  check_size(v, num_groups_, "nu_sigma_f");
+  nu_sigma_f_ = std::move(v);
+}
+void Material::set_chi(std::vector<double> v) {
+  check_size(v, num_groups_, "chi");
+  chi_ = std::move(v);
+}
+void Material::set_sigma_s(std::vector<double> flat) {
+  check_size(flat, num_groups_ * num_groups_, "sigma_s");
+  sigma_s_ = std::move(flat);
+}
+
+double Material::sigma_a(int g) const {
+  double out_scatter = 0.0;
+  for (int gp = 0; gp < num_groups_; ++gp) out_scatter += sigma_s(g, gp);
+  return sigma_t_[g] - out_scatter;
+}
+
+bool Material::is_fissile() const {
+  for (double v : nu_sigma_f_)
+    if (v > 0.0) return true;
+  return false;
+}
+
+void Material::validate() const {
+  for (int g = 0; g < num_groups_; ++g) {
+    require(sigma_t_[g] > 0.0,
+            name_ + ": sigma_t must be positive in group " +
+                std::to_string(g));
+    require(sigma_f_[g] >= 0.0 && nu_sigma_f_[g] >= 0.0 && chi_[g] >= 0.0,
+            name_ + ": negative cross-section datum in group " +
+                std::to_string(g));
+    for (int gp = 0; gp < num_groups_; ++gp)
+      require(sigma_s(g, gp) >= 0.0,
+              name_ + ": negative scattering entry " + std::to_string(g) +
+                  "->" + std::to_string(gp));
+    // Allow a small tolerance: transport-corrected data can make Σa tiny.
+    require(sigma_a(g) > -1e-8,
+            name_ + ": total out-scatter exceeds sigma_t in group " +
+                std::to_string(g));
+  }
+  const double chi_sum =
+      std::accumulate(chi_.begin(), chi_.end(), 0.0);
+  if (is_fissile())
+    require(std::abs(chi_sum - 1.0) < 1e-4,
+            name_ + ": chi must sum to 1 for fissile materials (got " +
+                std::to_string(chi_sum) + ")");
+}
+
+double infinite_medium_k(const Material& m, double tolerance) {
+  if (!m.is_fissile()) return 0.0;
+  const int G = m.num_groups();
+  std::vector<double> phi(G, 1.0), next(G, 0.0);
+  double k = 1.0;
+
+  for (int iter = 0; iter < 100000; ++iter) {
+    double fission = 0.0;
+    for (int g = 0; g < G; ++g) fission += m.nu_sigma_f(g) * phi[g];
+
+    // Solve Σt φ' = S^T φ' + χ (fission / k), sweeping groups with a
+    // Gauss-Seidel pass on the (nearly lower-triangular) scatter matrix.
+    next = phi;
+    for (int sweep = 0; sweep < 200; ++sweep) {
+      double delta = 0.0;
+      for (int g = 0; g < G; ++g) {
+        double in_scatter = 0.0;
+        for (int gp = 0; gp < G; ++gp)
+          if (gp != g) in_scatter += m.sigma_s(gp, g) * next[gp];
+        const double removal = m.sigma_t(g) - m.sigma_s(g, g);
+        const double updated =
+            (in_scatter + m.chi(g) * fission / k) / removal;
+        delta = std::max(delta, std::abs(updated - next[g]));
+        next[g] = updated;
+      }
+      if (delta < tolerance * 1e-2) break;
+    }
+
+    double new_fission = 0.0;
+    for (int g = 0; g < G; ++g) new_fission += m.nu_sigma_f(g) * next[g];
+    const double k_new = k * new_fission / fission;
+
+    // L1-normalize to avoid drift.
+    double norm = 0.0;
+    for (double v : next) norm += std::abs(v);
+    for (auto& v : next) v /= norm;
+    phi = next;
+
+    if (std::abs(k_new - k) < tolerance) return k_new;
+    k = k_new;
+  }
+  fail<SolverError>("infinite_medium_k failed to converge for material " +
+                    m.name());
+}
+
+std::vector<double> infinite_medium_flux(const Material& m,
+                                         double tolerance) {
+  require(m.is_fissile(), "infinite_medium_flux requires a fissile material");
+  const int G = m.num_groups();
+  const double k = infinite_medium_k(m, tolerance);
+  std::vector<double> phi(G, 1.0);
+  // One more converged flux solve at the final k.
+  for (int sweep = 0; sweep < 2000; ++sweep) {
+    double fission = 0.0;
+    for (int g = 0; g < G; ++g) fission += m.nu_sigma_f(g) * phi[g];
+    double delta = 0.0;
+    for (int g = 0; g < G; ++g) {
+      double in_scatter = 0.0;
+      for (int gp = 0; gp < G; ++gp)
+        if (gp != g) in_scatter += m.sigma_s(gp, g) * phi[gp];
+      const double removal = m.sigma_t(g) - m.sigma_s(g, g);
+      const double updated = (in_scatter + m.chi(g) * fission / k) / removal;
+      delta = std::max(delta, std::abs(updated - phi[g]));
+      phi[g] = updated;
+    }
+    double norm = 0.0;
+    for (double v : phi) norm += std::abs(v);
+    for (auto& v : phi) v /= norm;
+    if (delta < tolerance) break;
+  }
+  return phi;
+}
+
+}  // namespace antmoc

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file material.h
+/// Multigroup macroscopic cross sections. ANT-MOC solves the multigroup
+/// NTE; each flat source region references one Material.
+
+#include <string>
+#include <vector>
+
+namespace antmoc {
+
+class Material {
+ public:
+  Material() = default;
+  Material(std::string name, int num_groups);
+
+  const std::string& name() const { return name_; }
+  int num_groups() const { return num_groups_; }
+
+  // --- setters (used by cross-section libraries) -----------------------------
+  void set_sigma_t(std::vector<double> v);
+  void set_sigma_f(std::vector<double> v);
+  void set_nu_sigma_f(std::vector<double> v);
+  void set_chi(std::vector<double> v);
+  /// Row-major scattering matrix: element [g*G + g'] is Σs(g -> g').
+  void set_sigma_s(std::vector<double> flat);
+
+  // --- accessors -------------------------------------------------------------
+  double sigma_t(int g) const { return sigma_t_[g]; }
+  double sigma_f(int g) const { return sigma_f_[g]; }
+  double nu_sigma_f(int g) const { return nu_sigma_f_[g]; }
+  double chi(int g) const { return chi_[g]; }
+  double sigma_s(int from, int to) const {
+    return sigma_s_[from * num_groups_ + to];
+  }
+
+  /// Absorption: Σt minus total out-scatter (includes within-group term
+  /// cancellation; Σa(g) = Σt(g) - Σ_{g'} Σs(g -> g')).
+  double sigma_a(int g) const;
+
+  /// True if any group has νΣf > 0.
+  bool is_fissile() const;
+
+  /// Checks physical sanity: non-negative data, χ sums to ~1 for fissile
+  /// materials, Σt >= total out-scatter in every group. Throws
+  /// antmoc::Error with a description of the first violation.
+  void validate() const;
+
+ private:
+  std::string name_;
+  int num_groups_ = 0;
+  std::vector<double> sigma_t_, sigma_f_, nu_sigma_f_, chi_, sigma_s_;
+};
+
+/// k-infinity of a homogeneous infinite medium of this material, computed
+/// by direct power iteration on the G x G multigroup balance
+///   Σt φ = S^T φ + (χ/k) F^T φ.
+/// Returns 0 for non-fissile materials. Used as an analytic oracle by the
+/// solver property tests (an infinite-medium MOC solve must match this).
+double infinite_medium_k(const Material& m, double tolerance = 1e-10);
+
+/// The accompanying infinite-medium group flux (L1-normalized).
+std::vector<double> infinite_medium_flux(const Material& m,
+                                         double tolerance = 1e-10);
+
+}  // namespace antmoc

@@ -1,0 +1,272 @@
+#include "models/c5g7_model.h"
+
+#include <array>
+
+#include "geometry/builder.h"
+#include "material/c5g7.h"
+#include "util/error.h"
+
+namespace antmoc::models {
+namespace {
+
+constexpr double kPinPitch = 1.26;
+constexpr double kPinRadius = 0.54;
+constexpr double kFuelHeight = 42.84;
+constexpr double kTotalHeight = 64.26;
+
+/// Alias material ids used to target rod insertion per assembly class
+/// (the zone-override mechanism replaces materials by id).
+constexpr int kGtInnerUo2 = 8;  ///< guide tubes of the inner UO2 assembly
+constexpr int kGtMox = 9;       ///< guide tubes of the MOX assemblies
+
+/// The 24 guide-tube positions of the 17x17 benchmark assembly
+/// (fission chamber at (8,8) handled separately).
+constexpr std::array<std::array<int, 2>, 24> kGuideTubes = {{
+    {{2, 5}},  {{2, 8}},  {{2, 11}}, {{3, 3}},  {{3, 13}},
+    {{5, 2}},  {{5, 5}},  {{5, 8}},  {{5, 11}}, {{5, 14}},
+    {{8, 2}},  {{8, 5}},  {{8, 11}}, {{8, 14}},
+    {{11, 2}}, {{11, 5}}, {{11, 8}}, {{11, 11}}, {{11, 14}},
+    {{13, 3}}, {{13, 13}},
+    {{14, 5}}, {{14, 8}}, {{14, 11}},
+}};
+
+bool is_guide_tube(int i, int j) {
+  for (const auto& gt : kGuideTubes)
+    if (gt[0] == j && gt[1] == i) return true;
+  return false;
+}
+
+/// MOX enrichment zoning (benchmark figure): 4.3% on the outer ring,
+/// 7.0% in the next three rings and at the corners of the central zone,
+/// 8.7% in the octagonal center.
+int mox_material(int i, int j, int n) {
+  const int d = std::min(std::min(i, j), std::min(n - 1 - i, n - 1 - j));
+  if (d == 0) return c5g7::kMOX43;
+  if (d <= 3) return c5g7::kMOX70;
+  const bool corner_of_center =
+      (i == 4 || i == n - 5) && (j == 4 || j == n - 5);
+  return corner_of_center ? c5g7::kMOX70 : c5g7::kMOX87;
+}
+
+enum class AssemblyKind { kUo2Inner, kUo2Outer, kMox, kReflector };
+
+/// Pin material map for one assembly position.
+int pin_material(AssemblyKind kind, int i, int j, int n) {
+  const int center = n / 2;
+  if (i == center && j == center) return c5g7::kFissionChamber;
+  if (n == 17 && is_guide_tube(i, j)) {
+    switch (kind) {
+      case AssemblyKind::kUo2Inner: return kGtInnerUo2;
+      case AssemblyKind::kMox: return kGtMox;
+      default: return c5g7::kGuideTube;
+    }
+  }
+  if (kind == AssemblyKind::kMox) return mox_material(i, j, n);
+  return c5g7::kUO2;
+}
+
+std::vector<Material> benchmark_materials() {
+  auto mats = c5g7::materials();
+  // Aliases for per-assembly rod targeting (same physics as GuideTube).
+  Material gt_inner = mats[c5g7::kGuideTube];
+  Material gt_mox = mats[c5g7::kGuideTube];
+  mats.push_back(gt_inner);  // id 8
+  mats.push_back(gt_mox);    // id 9
+  return mats;
+}
+
+/// Builds one assembly universe; returns its universe id. Pin universes
+/// are created per distinct material on demand.
+int build_assembly_universe(GeometryBuilder& b, AssemblyKind kind, int n,
+                            std::vector<int>& pin_universe_of_material,
+                            const PinSubdivision& subdivision) {
+  if (kind == AssemblyKind::kReflector) {
+    const int u = b.add_universe("reflector_assembly");
+    b.add_cell(u, "water", c5g7::kModerator, {});
+    return u;
+  }
+  std::vector<int> pins(n * n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) {
+      const int m = pin_material(kind, i, j, n);
+      if (pin_universe_of_material[m] < 0)
+        pin_universe_of_material[m] = b.add_pin_universe(
+            "pin_m" + std::to_string(m), m, c5g7::kModerator, kPinRadius,
+            subdivision);
+      pins[j * n + i] = pin_universe_of_material[m];
+    }
+  const char* name = kind == AssemblyKind::kMox ? "mox_assembly"
+                                                : "uo2_assembly";
+  const int lat =
+      b.add_centered_lattice(name, n, n, kPinPitch, kPinPitch, pins);
+  const int u = b.add_universe(std::string(name) + "_u");
+  b.add_fill_cell(u, "lat", lat, {});
+  return u;
+}
+
+/// Appends the 4 axial zones (3 fuel thirds + top reflector) and the rod
+/// configuration's material overrides.
+void add_axial_zones(GeometryBuilder& b, const C5G7Options& opt) {
+  const double hs = opt.height_scale;
+  require(hs > 0.0, "height_scale must be positive");
+  const double fuel_h = kFuelHeight * hs;
+  const double total_h = kTotalHeight * hs;
+  const int third_layers = std::max(1, opt.fuel_layers / 3);
+  b.add_axial_zone(0.0, fuel_h / 3, third_layers);
+  b.add_axial_zone(fuel_h / 3, 2 * fuel_h / 3, third_layers);
+  b.add_axial_zone(2 * fuel_h / 3, fuel_h, third_layers);
+  b.add_axial_zone(fuel_h, total_h, std::max(1, opt.reflector_layers));
+
+  // Top reflector: every fuel column becomes water; guide tubes persist.
+  for (int m : {static_cast<int>(c5g7::kUO2), static_cast<int>(c5g7::kMOX43),
+                static_cast<int>(c5g7::kMOX70),
+                static_cast<int>(c5g7::kMOX87),
+                static_cast<int>(c5g7::kFissionChamber)})
+    b.override_zone_material(3, m, c5g7::kModerator);
+
+  switch (opt.config) {
+    case RodConfig::kUnrodded:
+      break;
+    case RodConfig::kRoddedA:
+      // Inner UO2 rods: upper third of the core + the reflector above it.
+      b.override_zone_material(3, kGtInnerUo2, c5g7::kControlRod);
+      b.override_zone_material(2, kGtInnerUo2, c5g7::kControlRod);
+      break;
+    case RodConfig::kRoddedB:
+      b.override_zone_material(3, kGtInnerUo2, c5g7::kControlRod);
+      b.override_zone_material(2, kGtInnerUo2, c5g7::kControlRod);
+      b.override_zone_material(1, kGtInnerUo2, c5g7::kControlRod);
+      b.override_zone_material(3, kGtMox, c5g7::kControlRod);
+      b.override_zone_material(2, kGtMox, c5g7::kControlRod);
+      break;
+  }
+}
+
+void set_benchmark_boundaries(GeometryBuilder& b) {
+  // Quarter-core symmetry: reflective toward the core center planes.
+  b.set_boundary(Face::kXMin, BoundaryType::kReflective);
+  b.set_boundary(Face::kYMin, BoundaryType::kReflective);
+  b.set_boundary(Face::kZMin, BoundaryType::kReflective);
+  b.set_boundary(Face::kXMax, BoundaryType::kVacuum);
+  b.set_boundary(Face::kYMax, BoundaryType::kVacuum);
+  b.set_boundary(Face::kZMax, BoundaryType::kVacuum);
+}
+
+}  // namespace
+
+C5G7Model build_core(const C5G7Options& opt) {
+  require(opt.pins_per_assembly >= 1 && opt.pins_per_assembly % 2 == 1,
+          "pins_per_assembly must be odd");
+  const int n = opt.pins_per_assembly;
+  const double asm_w = n * kPinPitch;
+
+  GeometryBuilder b;
+  std::vector<int> pin_universe(c5g7::kNumMaterials + 2, -1);
+  const int uo2_inner = build_assembly_universe(
+      b, AssemblyKind::kUo2Inner, n, pin_universe, opt.subdivision);
+  const int uo2_outer = build_assembly_universe(
+      b, AssemblyKind::kUo2Outer, n, pin_universe, opt.subdivision);
+  const int mox = build_assembly_universe(b, AssemblyKind::kMox, n,
+                                          pin_universe, opt.subdivision);
+  const int refl = build_assembly_universe(b, AssemblyKind::kReflector, n,
+                                           pin_universe, opt.subdivision);
+
+  // Fig. 6 quarter-core: inner UO2 at the symmetry corner, MOX on the
+  // anti-diagonal, reflector along the outer L.
+  const std::vector<int> core = {
+      uo2_inner, mox,       refl,  // j = 0 (y_min row)
+      mox,       uo2_outer, refl,  // j = 1
+      refl,      refl,      refl,  // j = 2
+  };
+  const int root =
+      b.add_lattice("core", 3, 3, asm_w, asm_w, 0.0, 0.0, core);
+  b.set_root(root);
+
+  Bounds bounds;
+  bounds.x_max = 3 * asm_w;
+  bounds.y_max = 3 * asm_w;
+  b.set_bounds(bounds);
+  set_benchmark_boundaries(b);
+  add_axial_zones(b, opt);
+
+  return {b.build(), benchmark_materials()};
+}
+
+C5G7Model build_assembly(const C5G7Options& opt) {
+  require(opt.pins_per_assembly >= 1 && opt.pins_per_assembly % 2 == 1,
+          "pins_per_assembly must be odd");
+  const int n = opt.pins_per_assembly;
+  const double asm_w = n * kPinPitch;
+
+  GeometryBuilder b;
+  std::vector<int> pin_universe(c5g7::kNumMaterials + 2, -1);
+  const int u = build_assembly_universe(b, AssemblyKind::kUo2Inner, n,
+                                        pin_universe, opt.subdivision);
+  const int root = b.add_lattice("root", 1, 1, asm_w, asm_w, 0.0, 0.0, {u});
+  b.set_root(root);
+
+  Bounds bounds;
+  bounds.x_max = asm_w;
+  bounds.y_max = asm_w;
+  b.set_bounds(bounds);
+  b.set_all_radial_boundaries(BoundaryType::kReflective);
+  b.set_boundary(Face::kZMin, BoundaryType::kReflective);
+  b.set_boundary(Face::kZMax, BoundaryType::kVacuum);
+  add_axial_zones(b, opt);
+
+  return {b.build(), benchmark_materials()};
+}
+
+C5G7Model build_pin_cell(int axial_layers, double height) {
+  GeometryBuilder b;
+  const int circ = b.add_circle(0.0, 0.0, kPinRadius);
+  const int pin = b.add_universe("pin");
+  b.add_cell(pin, "fuel", c5g7::kUO2, {b.inside(circ)});
+  b.add_cell(pin, "mod", c5g7::kModerator, {b.outside(circ)});
+  const int root =
+      b.add_lattice("root", 1, 1, kPinPitch, kPinPitch, 0.0, 0.0, {pin});
+  b.set_root(root);
+
+  Bounds bounds;
+  bounds.x_max = kPinPitch;
+  bounds.y_max = kPinPitch;
+  b.set_bounds(bounds);
+  b.set_all_radial_boundaries(BoundaryType::kReflective);
+  b.set_boundary(Face::kZMin, BoundaryType::kReflective);
+  b.set_boundary(Face::kZMax, BoundaryType::kReflective);
+  b.add_axial_zone(0.0, height, axial_layers);
+
+  return {b.build(), benchmark_materials()};
+}
+
+std::vector<double> pin_powers(const Geometry& geometry,
+                               const std::vector<double>& fission_rate,
+                               const std::vector<double>& volumes,
+                               int pins_x, int pins_y) {
+  require(static_cast<long>(fission_rate.size()) == geometry.num_fsrs(),
+          "fission_rate size mismatch");
+  require(static_cast<long>(volumes.size()) == geometry.num_fsrs(),
+          "volumes size mismatch");
+  const Bounds& b = geometry.bounds();
+  const double px = b.width_x() / pins_x;
+  const double py = b.width_y() / pins_y;
+
+  // The fission power of a pin cell is carried by its (unique) fuel
+  // region; locate it by the pin center and integrate over layers.
+  std::vector<double> power(static_cast<std::size_t>(pins_x) * pins_y, 0.0);
+  for (int j = 0; j < pins_y; ++j)
+    for (int i = 0; i < pins_x; ++i) {
+      const Point2 center{b.x_min + (i + 0.5) * px,
+                          b.y_min + (j + 0.5) * py};
+      const int region = geometry.find_radial(center).region;
+      double p = 0.0;
+      for (int l = 0; l < geometry.num_axial_layers(); ++l) {
+        const long fsr = geometry.fsr_id(region, l);
+        p += fission_rate[fsr] * volumes[fsr];
+      }
+      power[static_cast<std::size_t>(j) * pins_x + i] = p;
+    }
+  return power;
+}
+
+}  // namespace antmoc::models

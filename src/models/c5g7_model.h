@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file c5g7_model.h
+/// Builders for the OECD/NEA C5G7 3D extension benchmark geometry
+/// (paper §5, Fig. 6): a 3x3 arrangement of two UO2 assemblies, two MOX
+/// assemblies, and five reflector assemblies; 17x17 pin cells of 1.26 cm
+/// pitch and 0.54 cm pin radius; 64.26 cm axial extent with the top third
+/// an axial water reflector. Reflective boundaries on x_min/y_min/z_min
+/// (the benchmark's quarter-core symmetry planes), vacuum elsewhere.
+///
+/// Scaled-down variants (fewer pins per assembly, reduced height, coarser
+/// axial layering) keep the full heterogeneity structure for tests and
+/// laptop-scale benches.
+
+#include <vector>
+
+#include "geometry/builder.h"
+#include "geometry/geometry.h"
+#include "material/material.h"
+
+namespace antmoc::models {
+
+enum class RodConfig {
+  kUnrodded,  ///< control rods withdrawn (rods only above the core)
+  kRoddedA,   ///< rods inserted into the inner UO2 assembly's upper third
+  kRoddedB,   ///< rods into inner UO2 (2/3) and both MOX (1/3) assemblies
+};
+
+struct C5G7Options {
+  RodConfig config = RodConfig::kUnrodded;
+
+  /// Pins per assembly side. 17 reproduces the benchmark (guide-tube and
+  /// MOX-enrichment maps included); other odd values build a scaled
+  /// assembly with a central fission chamber and no guide tubes.
+  int pins_per_assembly = 17;
+
+  /// Axial layers in the fuel zone and in the top reflector zone.
+  int fuel_layers = 3;
+  int reflector_layers = 1;
+
+  /// Scales the axial extent (1.0 = the benchmark's 64.26 cm).
+  double height_scale = 1.0;
+
+  /// FSR refinement of every pin (rings/sectors); default = 2 regions/pin.
+  PinSubdivision subdivision;
+};
+
+struct C5G7Model {
+  Geometry geometry;
+  std::vector<Material> materials;
+};
+
+/// Full 3x3-assembly core (Fig. 6).
+C5G7Model build_core(const C5G7Options& options = {});
+
+/// One UO2 assembly with reflective radial boundaries (infinite lattice).
+C5G7Model build_assembly(const C5G7Options& options = {});
+
+/// A single UO2 pin cell with reflective radial boundaries.
+C5G7Model build_pin_cell(int axial_layers = 2, double height = 4.0);
+
+/// Pin-cell mesh index helpers for the §5.1 pin-wise fission-rate
+/// comparison: averages FSR fission rates onto a (pins_x, pins_y) radial
+/// pin grid, weighting by FSR volume.
+std::vector<double> pin_powers(const Geometry& geometry,
+                               const std::vector<double>& fission_rate,
+                               const std::vector<double>& volumes,
+                               int pins_x, int pins_y);
+
+}  // namespace antmoc::models

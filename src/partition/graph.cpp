@@ -1,0 +1,26 @@
+#include "partition/graph.h"
+
+namespace antmoc::partition {
+
+void Graph::add_edge(int u, int v, double w) {
+  require(u >= 0 && u < num_vertices() && v >= 0 && v < num_vertices(),
+          "edge endpoint out of range");
+  require(u != v, "self-loops are not allowed");
+  for (auto& [n, weight] : adj_[u])
+    if (n == v) {
+      weight += w;
+      for (auto& [m, weight2] : adj_[v])
+        if (m == u) weight2 += w;
+      return;
+    }
+  adj_[u].emplace_back(v, w);
+  adj_[v].emplace_back(u, w);
+}
+
+double Graph::total_weight() const {
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  return total;
+}
+
+}  // namespace antmoc::partition

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file graph.h
+/// Weighted undirected graph of sub-geometries: vertex weights are
+/// predicted computational loads (Eq. 4 segment counts), edge weights the
+/// interface communication volume (paper §4.2.1, Fig. 5(1)).
+
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace antmoc::partition {
+
+class Graph {
+ public:
+  explicit Graph(int num_vertices)
+      : weights_(num_vertices, 0.0), adj_(num_vertices) {}
+
+  int num_vertices() const { return static_cast<int>(weights_.size()); }
+
+  void set_weight(int v, double w) { weights_[v] = w; }
+  double weight(int v) const { return weights_[v]; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Adds an undirected edge (accumulates if it already exists).
+  void add_edge(int u, int v, double w);
+
+  const std::vector<std::pair<int, double>>& neighbors(int v) const {
+    return adj_[v];
+  }
+
+  double total_weight() const;
+
+ private:
+  std::vector<double> weights_;
+  std::vector<std::vector<std::pair<int, double>>> adj_;
+};
+
+}  // namespace antmoc::partition

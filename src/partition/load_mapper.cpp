@@ -1,0 +1,151 @@
+#include "partition/load_mapper.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "perfmodel/perfmodel.h"
+#include "track/generator2d.h"
+#include "util/error.h"
+
+namespace antmoc::partition {
+
+DecompositionLoads measure_loads(const Geometry& geometry,
+                                 const Decomposition& decomp, int num_azim,
+                                 double azim_spacing, int num_polar,
+                                 double z_spacing) {
+  const int d_count = decomp.num_domains();
+  DecompositionLoads loads;
+  loads.domain_load.assign(d_count, 0.0);
+  loads.azim_load.assign(d_count, {});
+  loads.graph = Graph(d_count);
+  loads.num_azim_2 = num_azim / 2;
+
+  for (int d = 0; d < d_count; ++d) {
+    const Bounds b = decomp.domain_bounds(geometry.bounds(), d);
+    const Quadrature quad(num_azim, azim_spacing, b.width_x(), b.width_y(),
+                          num_polar);
+    TrackGenerator2D gen(quad, b, decomp.radial_kinds(geometry, d));
+    gen.trace(geometry);
+
+    // Every point of a 2D track is covered by exactly wz/dz up-going and
+    // wz/dz down-going 3D tracks per polar angle, so the 3D segment count
+    // of the domain is ~ 2 * (wz/dz) * num_polar * (2D segments) — the
+    // Eq. 4 proxy this level balances on.
+    const double wz = b.width_z();
+    const long n = std::max(1L, std::lround(wz / z_spacing));
+    const double stack_factor = 2.0 * static_cast<double>(n) * num_polar;
+
+    auto& per_azim = loads.azim_load[d];
+    per_azim.assign(quad.num_azim_2(), 0.0);
+    for (const auto& track : gen.tracks())
+      per_azim[track.azim] +=
+          stack_factor * static_cast<double>(track.segments.size());
+    loads.domain_load[d] =
+        std::accumulate(per_azim.begin(), per_azim.end(), 0.0);
+    loads.graph.set_weight(d, loads.domain_load[d]);
+    loads.total_tracks_3d +=
+        perf::predict_num_tracks_3d(gen, b.z_min, b.z_max, z_spacing);
+  }
+
+  // Edges: interface area between neighboring domains (proportional to
+  // the crossing-flux communication volume).
+  for (int d = 0; d < d_count; ++d) {
+    const Bounds b = decomp.domain_bounds(geometry.bounds(), d);
+    for (Face f : {Face::kXMax, Face::kYMax, Face::kZMax}) {
+      const int nbr = decomp.neighbor(d, f);
+      if (nbr < 0) continue;
+      double area = 0.0;
+      switch (f) {
+        case Face::kXMax: area = b.width_y() * b.width_z(); break;
+        case Face::kYMax: area = b.width_x() * b.width_z(); break;
+        default: area = b.width_x() * b.width_y(); break;
+      }
+      loads.graph.add_edge(d, nbr, area);
+    }
+  }
+  return loads;
+}
+
+std::vector<int> map_domains_to_nodes(const DecompositionLoads& loads,
+                                      int num_nodes, bool balance) {
+  if (!balance)
+    return partition_blocks(
+        static_cast<int>(loads.domain_load.size()), num_nodes);
+  return partition_kway(loads.graph, num_nodes);
+}
+
+std::vector<double> map_azim_to_gpus(const DecompositionLoads& loads,
+                                     const std::vector<int>& node_of_domain,
+                                     int num_nodes, int gpus_per_node,
+                                     bool balance) {
+  require(gpus_per_node >= 1, "need at least one GPU per node");
+  const int n_azim = loads.num_azim_2;
+  std::vector<double> gpu_load(
+      static_cast<std::size_t>(num_nodes) * gpus_per_node, 0.0);
+
+  std::vector<double> node_azim(n_azim);
+  for (int node = 0; node < num_nodes; ++node) {
+    std::fill(node_azim.begin(), node_azim.end(), 0.0);
+    for (std::size_t d = 0; d < node_of_domain.size(); ++d)
+      if (node_of_domain[d] == node)
+        for (int a = 0; a < n_azim; ++a)
+          node_azim[a] += loads.azim_load[d][a];
+
+    double* gpus = gpu_load.data() +
+                   static_cast<std::size_t>(node) * gpus_per_node;
+    if (balance) {
+      // Heaviest angle first onto the currently lightest GPU.
+      std::vector<int> order(n_azim);
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return node_azim[a] > node_azim[b];
+      });
+      for (int a : order) {
+        int lightest = 0;
+        for (int g = 1; g < gpus_per_node; ++g)
+          if (gpus[g] < gpus[lightest]) lightest = g;
+        gpus[lightest] += node_azim[a];
+      }
+    } else {
+      // Baseline (the paper's "No balance" / OpenMOC-style mapping): no
+      // geometry fusion — each GPU takes a contiguous block of whole
+      // sub-geometries, so granularity is one domain.
+      std::vector<int> mine;
+      for (std::size_t d = 0; d < node_of_domain.size(); ++d)
+        if (node_of_domain[d] == node) mine.push_back(static_cast<int>(d));
+      const int per = (static_cast<int>(mine.size()) + gpus_per_node - 1) /
+                      gpus_per_node;
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        const int g = std::min(static_cast<int>(i) / std::max(1, per),
+                               gpus_per_node - 1);
+        gpus[g] += loads.domain_load[mine[i]];
+      }
+      (void)node_azim;
+    }
+  }
+  return gpu_load;
+}
+
+double cu_uniformity(std::vector<double> track_costs, int num_cus,
+                     bool balance) {
+  require(num_cus >= 1, "need at least one CU");
+  std::vector<double> cu(num_cus, 0.0);
+  if (balance) {
+    std::stable_sort(track_costs.begin(), track_costs.end(),
+                     std::greater<double>());
+    for (std::size_t i = 0; i < track_costs.size(); ++i)
+      cu[i % num_cus] += track_costs[i];
+  } else {
+    const std::size_t chunk =
+        (track_costs.size() + num_cus - 1) / num_cus;
+    for (std::size_t i = 0; i < track_costs.size(); ++i)
+      cu[std::min(i / chunk, static_cast<std::size_t>(num_cus) - 1)] +=
+          track_costs[i];
+  }
+  const double total = std::accumulate(cu.begin(), cu.end(), 0.0);
+  if (total <= 0.0) return 1.0;
+  return *std::max_element(cu.begin(), cu.end()) / (total / num_cus);
+}
+
+}  // namespace antmoc::partition

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file load_mapper.h
+/// The three-level load-mapping strategy (paper §4.2, Fig. 5):
+///   L1 — sub-geometries onto nodes via weighted graph partitioning;
+///   L2 — a fused node's tracks onto its GPUs by azimuthal angle;
+///   L3 — a GPU's 3D tracks onto CUs, sorted by segment count and dealt
+///        round-robin.
+/// Each level exposes both the balanced strategy and the "No balance"
+/// baseline so §5.4's Fig. 10 (load uniformity vs. GPU count) can be
+/// regenerated.
+
+#include <vector>
+
+#include "partition/graph.h"
+#include "partition/partitioner.h"
+#include "solver/decomposition.h"
+
+namespace antmoc::partition {
+
+/// Per-domain/per-angle loads measured from an actual decomposed track
+/// laydown (loads are predicted 3D-segment counts, the Eq. 4/6 proxy for
+/// sweep cost).
+struct DecompositionLoads {
+  std::vector<double> domain_load;             ///< [domain]
+  std::vector<std::vector<double>> azim_load;  ///< [domain][scalar azim]
+  Graph graph{0};                              ///< L1 input graph
+  long total_tracks_3d = 0;
+  int num_azim_2 = 0;
+};
+
+/// Lays tracks in every domain of `decomp` and measures loads.
+DecompositionLoads measure_loads(const Geometry& geometry,
+                                 const Decomposition& decomp, int num_azim,
+                                 double azim_spacing, int num_polar,
+                                 double z_spacing);
+
+/// L1: domains -> nodes. `balance` = graph partitioning; otherwise the
+/// natural contiguous baseline.
+std::vector<int> map_domains_to_nodes(const DecompositionLoads& loads,
+                                      int num_nodes, bool balance);
+
+/// L2: fuse each node's domains and split their tracks across the node's
+/// GPUs by azimuthal angle (heaviest-angle-first onto the lightest GPU).
+/// The `balance = false` baseline is the paper's OpenMOC-style mapping:
+/// no fusion, each GPU takes a contiguous block of whole sub-geometries.
+/// Returns per-GPU loads, flattened [node * gpus_per_node + g].
+std::vector<double> map_azim_to_gpus(const DecompositionLoads& loads,
+                                     const std::vector<int>& node_of_domain,
+                                     int num_nodes, int gpus_per_node,
+                                     bool balance);
+
+/// L3: CU-level load uniformity (MAX/AVG) for a set of per-track costs
+/// mapped onto `num_cus` CUs: sorted + round-robin when `balance`,
+/// natural order in contiguous blocks otherwise.
+double cu_uniformity(std::vector<double> track_costs, int num_cus,
+                     bool balance);
+
+}  // namespace antmoc::partition

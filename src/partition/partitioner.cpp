@@ -1,0 +1,117 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace antmoc::partition {
+
+std::vector<int> partition_blocks(int num_vertices, int k) {
+  require(k >= 1, "need at least one part");
+  std::vector<int> part(num_vertices);
+  const int chunk = (num_vertices + k - 1) / std::max(1, k);
+  for (int v = 0; v < num_vertices; ++v)
+    part[v] = std::min(v / std::max(1, chunk), k - 1);
+  return part;
+}
+
+std::vector<int> partition_kway(const Graph& graph, int k,
+                                const PartitionOptions& options) {
+  require(k >= 1, "need at least one part");
+  const int n = graph.num_vertices();
+  std::vector<int> part(n, -1);
+  if (k == 1 || n == 0) {
+    std::fill(part.begin(), part.end(), 0);
+    return part;
+  }
+
+  const double mean_weight =
+      graph.total_weight() / std::max(1, n);
+  const double affinity = options.affinity * std::max(mean_weight, 1e-30);
+
+  // --- seeding: heaviest vertices first onto the best part ---------------
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return graph.weight(a) > graph.weight(b);
+  });
+
+  std::vector<double> load(k, 0.0);
+  std::vector<double> adj_to_part(k, 0.0);
+  for (int v : order) {
+    std::fill(adj_to_part.begin(), adj_to_part.end(), 0.0);
+    double adj_norm = 0.0;
+    for (const auto& [u, w] : graph.neighbors(v)) {
+      if (part[u] >= 0) adj_to_part[part[u]] += w;
+      adj_norm += w;
+    }
+    int best = 0;
+    double best_score = std::numeric_limits<double>::max();
+    for (int p = 0; p < k; ++p) {
+      // Lower load is better; adjacency to the part earns a bonus.
+      const double score =
+          load[p] -
+          (adj_norm > 0 ? affinity * adj_to_part[p] / adj_norm : 0.0);
+      if (score < best_score) {
+        best_score = score;
+        best = p;
+      }
+    }
+    part[v] = best;
+    load[best] += graph.weight(v);
+  }
+
+  // --- refinement: single moves that reduce the maximum part load --------
+  for (int pass = 0; pass < options.refine_passes; ++pass) {
+    const int heaviest = static_cast<int>(
+        std::max_element(load.begin(), load.end()) - load.begin());
+    // Among the heaviest part's vertices, pick the move that minimizes
+    // the new pairwise peak the most.
+    int best_v = -1, best_p = -1;
+    double best_peak = load[heaviest];
+    for (int v = 0; v < n; ++v) {
+      if (part[v] != heaviest) continue;
+      const double w = graph.weight(v);
+      for (int p = 0; p < k; ++p) {
+        if (p == heaviest) continue;
+        const double peak = std::max(load[heaviest] - w, load[p] + w);
+        if (peak < best_peak - 1e-12) {
+          best_peak = peak;
+          best_v = v;
+          best_p = p;
+        }
+      }
+    }
+    if (best_v < 0) break;
+    load[heaviest] -= graph.weight(best_v);
+    load[best_p] += graph.weight(best_v);
+    part[best_v] = best_p;
+  }
+  return part;
+}
+
+std::vector<double> part_loads(const std::vector<double>& weights,
+                               const std::vector<int>& part, int k) {
+  std::vector<double> load(k, 0.0);
+  for (std::size_t v = 0; v < weights.size(); ++v) load[part[v]] += weights[v];
+  return load;
+}
+
+double load_uniformity(const std::vector<double>& weights,
+                       const std::vector<int>& part, int k) {
+  const auto load = part_loads(weights, part, k);
+  const double total = std::accumulate(load.begin(), load.end(), 0.0);
+  if (total <= 0.0) return 1.0;
+  const double avg = total / k;
+  return *std::max_element(load.begin(), load.end()) / avg;
+}
+
+double edge_cut(const Graph& graph, const std::vector<int>& part) {
+  double cut = 0.0;
+  for (int v = 0; v < graph.num_vertices(); ++v)
+    for (const auto& [u, w] : graph.neighbors(v))
+      if (u > v && part[u] != part[v]) cut += w;
+  return cut;
+}
+
+}  // namespace antmoc::partition

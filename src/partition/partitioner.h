@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file partitioner.h
+/// Balanced k-way graph partitioning — the ParMETIS role in the paper's
+/// L1 mapping (§4.2.1): sub-geometries (vertices weighted by predicted
+/// load) are grouped onto compute nodes so that per-node loads even out
+/// while cut communication stays low.
+///
+/// Algorithm: greedy heaviest-first seeding onto the least-loaded part
+/// (with an affinity bonus toward parts already holding neighbors),
+/// followed by Kernighan–Lin-style single-vertex refinement moves that
+/// reduce the maximum part load, tie-broken by edge cut.
+
+#include <vector>
+
+#include "partition/graph.h"
+
+namespace antmoc::partition {
+
+struct PartitionOptions {
+  int refine_passes = 256;
+  /// Edge-affinity bonus weight during seeding, relative to the mean
+  /// vertex weight.
+  double affinity = 0.25;
+};
+
+/// Returns part[v] in [0, k). Deterministic.
+std::vector<int> partition_kway(const Graph& graph, int k,
+                                const PartitionOptions& options = {});
+
+/// Contiguous block assignment (the "No balance" baseline of §5.4:
+/// domains in natural grid order, equal counts per part).
+std::vector<int> partition_blocks(int num_vertices, int k);
+
+/// MAX/AVG of per-part loads (paper's load uniformity index, >= 1).
+double load_uniformity(const std::vector<double>& weights,
+                       const std::vector<int>& part, int k);
+
+/// Sum of edge weights crossing parts.
+double edge_cut(const Graph& graph, const std::vector<int>& part);
+
+/// Per-part total loads.
+std::vector<double> part_loads(const std::vector<double>& weights,
+                               const std::vector<int>& part, int k);
+
+}  // namespace antmoc::partition

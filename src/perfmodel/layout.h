@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file layout.h
+/// Device memory footprints of the persistent per-object records
+/// (paper Table 3's vector inventory). Shared by the GPU solver's arena
+/// accounting and the performance model (Eq. 5) so predictions and charges
+/// agree byte-for-byte.
+
+#include <cstddef>
+
+namespace antmoc::perf {
+
+/// Compact device record of a 2D track: endpoints, angle, length, links.
+inline constexpr std::size_t kTrack2DBytes = 64;
+/// One 2D segment: region id + length.
+inline constexpr std::size_t kSegment2DBytes = 16;
+/// One 3D track: stack index, z-intercept bookkeeping, two links.
+inline constexpr std::size_t kTrack3DBytes = 32;
+/// One 3D segment: FSR id + length (matches sizeof(Segment3D)).
+inline constexpr std::size_t kSegment3DBytes = 16;
+/// Boundary angular flux per track: 2 directions, single precision
+/// (paper §3.3), double-buffered.
+inline constexpr std::size_t kFluxBytesPerTrackGroup = 2 * 4 * 2;
+
+}  // namespace antmoc::perf

@@ -1,0 +1,98 @@
+#include "perfmodel/perfmodel.h"
+
+#include <cmath>
+
+#include "perfmodel/layout.h"
+#include "solver/track_policy.h"
+#include "util/error.h"
+
+namespace antmoc::perf {
+
+long predict_num_tracks_2d(const Quadrature& quadrature) {
+  long total = 0;
+  for (int a = 0; a < quadrature.num_azim_2(); ++a)
+    total += quadrature.num_tracks(a);
+  return total;
+}
+
+long predict_num_tracks_3d(const TrackGenerator2D& gen, double z_lo,
+                           double z_hi, double z_spacing) {
+  // Mirrors TrackStacks' z-intercept lattice arithmetic without building
+  // the stacks (usable before tracing).
+  require(z_hi > z_lo && z_spacing > 0, "bad axial parameters");
+  const double wz = z_hi - z_lo;
+  const long n = std::max(1L, std::lround(wz / z_spacing));
+  const double dz = wz / static_cast<double>(n);
+  const auto& quad = gen.quadrature();
+
+  long total = 0;
+  for (int t = 0; t < gen.num_tracks(); ++t) {
+    const double len = gen.track(t).length;
+    for (int p = 0; p < quad.num_polar(); ++p) {
+      const double lc = len * quad.cot_theta(p);
+      const int m_lo_up =
+          static_cast<int>(std::floor(-lc / dz - 0.5 + 1e-9)) + 1;
+      const int m_hi_up = static_cast<int>(std::floor(wz / dz - 0.5 - 1e-9));
+      const int m_hi_dn =
+          static_cast<int>(std::floor((wz + lc) / dz - 0.5 - 1e-9));
+      total += std::max(0, m_hi_up - m_lo_up + 1);  // up stack
+      total += std::max(0, m_hi_dn + 1);            // down stack (m_lo = 0)
+    }
+  }
+  return total;
+}
+
+SegmentRatios SegmentRatios::calibrate(const TrackGenerator2D& sample_gen,
+                                       const TrackStacks& sample_stacks) {
+  SegmentRatios r;
+  const long n2d = sample_gen.num_tracks();
+  const long n3d = sample_stacks.num_tracks();
+  require(n2d > 0 && n3d > 0, "calibration sample has no tracks");
+  require(sample_gen.num_segments() > 0,
+          "calibration sample must be traced first");
+  r.per_track_2d =
+      static_cast<double>(sample_gen.num_segments()) / n2d;
+  r.per_track_3d =
+      static_cast<double>(sample_stacks.total_segments()) / n3d;
+  return r;
+}
+
+long SegmentRatios::predict_segments_2d(long num_tracks_2d) const {
+  return std::lround(per_track_2d * static_cast<double>(num_tracks_2d));
+}
+
+long SegmentRatios::predict_segments_3d(long num_tracks_3d) const {
+  return std::lround(per_track_3d * static_cast<double>(num_tracks_3d));
+}
+
+MemoryModel::Breakdown MemoryModel::predict(long n2d, long n2dseg, long n3d,
+                                            long n3dseg,
+                                            double resident_fraction) const {
+  require(resident_fraction >= 0.0 && resident_fraction <= 1.0,
+          "resident_fraction must be in [0, 1]");
+  Breakdown b;
+  b.tracks_2d = static_cast<std::uint64_t>(n2d) * kTrack2DBytes;
+  b.segments_2d = static_cast<std::uint64_t>(n2dseg) * kSegment2DBytes;
+  b.tracks_3d = static_cast<std::uint64_t>(n3d) * kTrack3DBytes;
+  b.segments_3d = static_cast<std::uint64_t>(
+      static_cast<double>(n3dseg) * resident_fraction * kSegment3DBytes);
+  b.track_fluxes = static_cast<std::uint64_t>(n3d) * num_groups *
+                   kFluxBytesPerTrackGroup;
+  b.fixed = fixed_bytes;
+  return b;
+}
+
+double predict_sweep_cycles(long n3dseg, double resident_fraction) {
+  require(resident_fraction >= 0.0 && resident_fraction <= 1.0,
+          "resident_fraction must be in [0, 1]");
+  const double resident = static_cast<double>(n3dseg) * resident_fraction;
+  const double temporary = static_cast<double>(n3dseg) - resident;
+  return resident * kSweepCostPerSegment + temporary * kOtfCostPerSegment;
+}
+
+std::uint64_t communication_bytes(long n3d, int num_groups) {
+  return static_cast<std::uint64_t>(n3d) * 2u *
+         static_cast<std::uint64_t>(num_groups) * 4u;
+}
+
+}  // namespace antmoc::perf

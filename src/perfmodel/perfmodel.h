@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file perfmodel.h
+/// The ANT-MOC performance model (paper §3.3, Eqs. 2-7): closed-form
+/// predictors for track counts, segment counts (calibrated on a small
+/// sample), memory footprint, computation, and communication traffic.
+/// §4's track-management and load-mapping strategies consume these
+/// predictions, and Fig. 8 validates the segment estimate against
+/// measured values.
+
+#include <cstdint>
+
+#include "track/generator2d.h"
+#include "track/track3d.h"
+
+namespace antmoc::perf {
+
+/// Eq. 2: N_2D = sum over scalar angles of f(a), where f is the
+/// track-laying rule (nx + ny for the cyclic laydown).
+long predict_num_tracks_2d(const Quadrature& quadrature);
+
+/// Eq. 3: N_3D = sum over (2D track, polar) of g(a, i, p) — the stack
+/// sizes implied by the z-intercept lattice. Closed form; does not expand
+/// any track.
+long predict_num_tracks_3d(const TrackGenerator2D& gen, double z_lo,
+                           double z_hi, double z_spacing);
+
+/// Eq. 4 calibration: segment-per-track ratios B_seg/B measured on a
+/// small traced sample, reused to predict segment counts for any track
+/// density on the same geometry.
+struct SegmentRatios {
+  double per_track_2d = 0.0;  ///< B_2Dseg / B_2D
+  double per_track_3d = 0.0;  ///< B_3Dseg / B_3D
+
+  static SegmentRatios calibrate(const TrackGenerator2D& sample_gen,
+                                 const TrackStacks& sample_stacks);
+
+  long predict_segments_2d(long num_tracks_2d) const;
+  long predict_segments_3d(long num_tracks_3d) const;
+};
+
+/// Eq. 5 terms: per-structure device memory. `resident_fraction` scales
+/// the 3D segment storage (1 = EXP, 0 = OTF, in between = Manager).
+struct MemoryModel {
+  int num_groups = 7;
+  std::size_t fixed_bytes = 0;  ///< F in Eq. 5 (constants, XS tables, ...)
+
+  struct Breakdown {
+    std::uint64_t tracks_2d = 0;
+    std::uint64_t segments_2d = 0;
+    std::uint64_t tracks_3d = 0;
+    std::uint64_t segments_3d = 0;
+    std::uint64_t track_fluxes = 0;
+    std::uint64_t fixed = 0;
+
+    std::uint64_t total() const {
+      return tracks_2d + segments_2d + tracks_3d + segments_3d +
+             track_fluxes + fixed;
+    }
+    /// Share of one item in the total (Table 3 percentages).
+    double share(std::uint64_t item) const {
+      return total() > 0 ? static_cast<double>(item) / total() : 0.0;
+    }
+  };
+
+  Breakdown predict(long n2d, long n2dseg, long n3d, long n3dseg,
+                    double resident_fraction = 1.0) const;
+};
+
+/// Eq. 6: computation ~ N_3Dseg. Returns modeled device cycles for one
+/// transport sweep given the policy's resident fraction (temporary
+/// segments pay the OTF regeneration factor).
+double predict_sweep_cycles(long n3dseg, double resident_fraction);
+
+/// Eq. 7: communication = N_3D * 2 * num_groups * 4 bytes — the full
+/// boundary-flux state exchanged by the buffered-synchronous scheme.
+std::uint64_t communication_bytes(long n3d, int num_groups);
+
+}  // namespace antmoc::perf

@@ -1,0 +1,36 @@
+#include "solver/cpu_solver.h"
+
+namespace antmoc {
+
+void CpuSolver::sweep() {
+  const int G = fsr_.num_groups();
+  const auto& sigma_t = fsr_.sigma_t_flat();
+  const auto& qos = fsr_.q_over_sigma_t();
+  auto& accum = fsr_.accumulator();
+  std::vector<double> psi(G);
+
+  for (long id = 0; id < stacks_.num_tracks(); ++id) {
+    const Track3DInfo info = stacks_.info(id);
+    const double w =
+        stacks_.direction_weight(id) * stacks_.track_area(id);
+    for (int dir = 0; dir < 2; ++dir) {
+      const bool forward = dir == 0;
+      const float* in = psi_in_.data() + (id * 2 + dir) * G;
+      for (int g = 0; g < G; ++g) psi[g] = in[g];
+
+      stacks_.for_each_segment(info, forward, [&](long fsr_id, double len) {
+        const long base = fsr_id * G;
+        for (int g = 0; g < G; ++g) {
+          const double ex = attenuation(sigma_t[base + g] * len);
+          const double delta = (psi[g] - qos[base + g]) * ex;
+          psi[g] -= delta;
+          accum[base + g] += w * delta;
+        }
+      });
+
+      deposit(id, forward, psi.data(), /*atomic=*/false);
+    }
+  }
+}
+
+}  // namespace antmoc

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file cpu_solver.h
+/// Sequential host reference solver ("OpenMOC-3D-like"). Identical physics
+/// to GpuSolver — same segments, same double-buffered flux hand-off — so
+/// the §5.1 cross-code comparison (pin fission rates, k_eff) can be
+/// reproduced by comparing the two within this repository.
+
+#include "solver/exponential.h"
+#include "solver/transport_solver.h"
+
+namespace antmoc {
+
+class CpuSolver : public TransportSolver {
+ public:
+  CpuSolver(const TrackStacks& stacks,
+            const std::vector<Material>& materials)
+      : TransportSolver(stacks, materials) {}
+
+ protected:
+  void sweep() override;
+};
+
+}  // namespace antmoc

@@ -1,0 +1,68 @@
+#include "solver/decomposition.h"
+
+#include "solver/transport_solver.h"
+#include "util/error.h"
+
+namespace antmoc {
+
+Face opposite_face(Face f) {
+  switch (f) {
+    case Face::kXMin: return Face::kXMax;
+    case Face::kXMax: return Face::kXMin;
+    case Face::kYMin: return Face::kYMax;
+    case Face::kYMax: return Face::kYMin;
+    case Face::kZMin: return Face::kZMax;
+    case Face::kZMax: return Face::kZMin;
+  }
+  return f;
+}
+
+int Decomposition::neighbor(int rank, Face f) const {
+  auto [i, j, k] = coords(rank);
+  switch (f) {
+    case Face::kXMin: i -= 1; break;
+    case Face::kXMax: i += 1; break;
+    case Face::kYMin: j -= 1; break;
+    case Face::kYMax: j += 1; break;
+    case Face::kZMin: k -= 1; break;
+    case Face::kZMax: k += 1; break;
+  }
+  if (i < 0 || i >= nx || j < 0 || j >= ny || k < 0 || k >= nz) return -1;
+  return rank_of(i, j, k);
+}
+
+Bounds Decomposition::domain_bounds(const Bounds& global, int rank) const {
+  require(nx >= 1 && ny >= 1 && nz >= 1, "invalid decomposition grid");
+  const auto [i, j, k] = coords(rank);
+  const double wx = global.width_x() / nx;
+  const double wy = global.width_y() / ny;
+  const double wz = global.width_z() / nz;
+  Bounds b;
+  b.x_min = global.x_min + i * wx;
+  b.x_max = global.x_min + (i + 1) * wx;
+  b.y_min = global.y_min + j * wy;
+  b.y_max = global.y_min + (j + 1) * wy;
+  b.z_min = global.z_min + k * wz;
+  b.z_max = global.z_min + (k + 1) * wz;
+  return b;
+}
+
+std::array<LinkKind, 4> Decomposition::radial_kinds(const Geometry& g,
+                                                    int rank) const {
+  std::array<LinkKind, 4> kinds;
+  for (Face f : {Face::kXMin, Face::kXMax, Face::kYMin, Face::kYMax}) {
+    const int idx = static_cast<int>(f);
+    kinds[idx] = neighbor(rank, f) >= 0 ? LinkKind::kInterface
+                                        : to_link_kind(g.boundary(f));
+  }
+  return kinds;
+}
+
+LinkKind Decomposition::z_kind(const Geometry& g, int rank, Face f) const {
+  require(f == Face::kZMin || f == Face::kZMax,
+          "z_kind expects an axial face");
+  return neighbor(rank, f) >= 0 ? LinkKind::kInterface
+                                : to_link_kind(g.boundary(f));
+}
+
+}  // namespace antmoc

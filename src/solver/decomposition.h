@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file decomposition.h
+/// Spatial decomposition of the geometry into an nx x ny x nz grid of
+/// equal cuboid sub-geometries (paper §3.2: "evenly divided into multiple
+/// cuboid sub-geometries arranged in 3D space"). Faces between domains
+/// become kInterface; outer faces inherit the geometry's boundary
+/// conditions.
+
+#include <array>
+
+#include "geometry/geometry.h"
+#include "track/track2d.h"
+
+namespace antmoc {
+
+struct Decomposition {
+  int nx = 1, ny = 1, nz = 1;
+
+  int num_domains() const { return nx * ny * nz; }
+
+  /// rank = i + nx * (j + ny * k)
+  int rank_of(int i, int j, int k) const { return i + nx * (j + ny * k); }
+
+  std::array<int, 3> coords(int rank) const {
+    return {rank % nx, (rank / nx) % ny, rank / (nx * ny)};
+  }
+
+  /// Neighboring rank across face f, or -1 at the outer boundary.
+  int neighbor(int rank, Face f) const;
+
+  /// Sub-cuboid of domain `rank` within `global`.
+  Bounds domain_bounds(const Bounds& global, int rank) const;
+
+  /// Radial face link kinds of domain `rank`: kInterface toward neighbors,
+  /// otherwise the geometry boundary condition.
+  std::array<LinkKind, 4> radial_kinds(const Geometry& g, int rank) const;
+
+  /// z-face link kind (Face::kZMin or kZMax).
+  LinkKind z_kind(const Geometry& g, int rank, Face f) const;
+};
+
+/// The face seen from the other side of an interface.
+Face opposite_face(Face f);
+
+}  // namespace antmoc

@@ -1,0 +1,214 @@
+#include "solver/domain_solver.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+#include "solver/cpu_solver.h"
+#include "util/error.h"
+
+namespace antmoc {
+namespace {
+
+constexpr int kListTagBase = 1000;  ///< one-time interface target lists
+constexpr int kSizeTagBase = 2000;  ///< list sizes
+constexpr int kFluxTagBase = 3000;  ///< per-iteration flux payloads
+
+/// One interface crossing: the receiving track slot in the neighbor.
+struct IfaceSlot {
+  long track;
+  int forward;
+};
+
+/// Adds neighbor flux exchange and global reductions to a sweep engine
+/// (CpuSolver or GpuSolver).
+template <class Base>
+class DomainImpl : public Base {
+ public:
+  template <class... Extra>
+  DomainImpl(const TrackStacks& stacks, const std::vector<Material>& mats,
+             const Decomposition& decomp, comm::Communicator& comm,
+             Extra&&... extra)
+      : Base(stacks, mats, std::forward<Extra>(extra)...),
+        decomp_(decomp),
+        comm_(&comm),
+        rank_(comm.rank()) {
+    const Geometry& g = stacks.geometry();
+    this->set_z_kinds(decomp.z_kind(g, rank_, Face::kZMin),
+                      decomp.z_kind(g, rank_, Face::kZMax));
+    this->build_links();
+    setup_interfaces();
+  }
+
+  std::uint64_t flux_bytes_per_iter() const {
+    std::uint64_t bytes = 0;
+    for (const auto& buf : out_flux_) bytes += buf.size() * sizeof(float);
+    return bytes;
+  }
+
+ protected:
+  void compute_volumes() override {
+    Base::compute_volumes();
+    auto vols = this->fsr().volumes();
+    comm_->allreduce(vols, comm::ReduceOp::kSum);
+    this->fsr().set_volumes(std::move(vols));
+  }
+
+  void handle_interface(long id, bool forward, const Link3D& link,
+                        const double* psi) override {
+    const int G = this->fsr().num_groups();
+    const int f = static_cast<int>(link.face);
+    const long slot = slot_index_[id * 2 + (forward ? 0 : 1)];
+    float* out = out_flux_[f].data() + slot * G;
+    for (int g = 0; g < G; ++g) out[g] = static_cast<float>(psi[g]);
+  }
+
+  void exchange() override {
+    const int G = this->fsr().num_groups();
+    // Global FSR accumulators: every rank then closes identical fluxes,
+    // so k, normalization, and convergence stay consistent with no
+    // further communication.
+    comm_->allreduce(this->fsr().accumulator(), comm::ReduceOp::kSum);
+
+    // Buffered-synchronous flux exchange: post all sends, then collect.
+    for (int f = 0; f < 6; ++f) {
+      const int nbr = decomp_.neighbor(rank_, static_cast<Face>(f));
+      if (nbr < 0) continue;
+      comm_->send(nbr, kFluxTagBase + f, out_flux_[f]);
+    }
+    for (int f = 0; f < 6; ++f) {
+      const int nbr = decomp_.neighbor(rank_, static_cast<Face>(f));
+      if (nbr < 0) continue;
+      const int sender_face =
+          static_cast<int>(opposite_face(static_cast<Face>(f)));
+      comm_->recv(nbr, kFluxTagBase + sender_face, in_flux_[f]);
+      const auto& imports = import_slots_[f];
+      for (std::size_t i = 0; i < imports.size(); ++i) {
+        float* slot = this->psi_next().data() +
+                      (imports[i].track * 2 + (imports[i].forward ? 0 : 1)) *
+                          G;
+        const float* in = in_flux_[f].data() + i * G;
+        for (int g = 0; g < G; ++g) slot[g] += in[g];
+      }
+    }
+  }
+
+ private:
+  void setup_interfaces() {
+    const int G = this->fsr().num_groups();
+    const auto& links = this->links();
+    slot_index_.assign(links.size(), -1);
+    std::array<std::vector<IfaceSlot>, 6> exports;
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      if (links[i].kind != Link3D::Kind::kInterface) continue;
+      const int f = static_cast<int>(links[i].face);
+      slot_index_[i] = static_cast<long>(exports[f].size());
+      exports[f].push_back({links[i].track, links[i].forward ? 1 : 0});
+    }
+    for (int f = 0; f < 6; ++f) {
+      const int nbr = decomp_.neighbor(rank_, static_cast<Face>(f));
+      if (nbr < 0) {
+        require(exports[f].empty(),
+                "interface link on a face with no neighbor");
+        continue;
+      }
+      out_flux_[f].assign(exports[f].size() * G, 0.0f);
+      // Ship the target list once; per-iteration messages carry only flux.
+      const long count = static_cast<long>(exports[f].size());
+      comm_->send(nbr, kSizeTagBase + f, &count, sizeof(count));
+      comm_->send(nbr, kListTagBase + f, exports[f]);
+    }
+    for (int f = 0; f < 6; ++f) {
+      const int nbr = decomp_.neighbor(rank_, static_cast<Face>(f));
+      if (nbr < 0) continue;
+      const int sender_face =
+          static_cast<int>(opposite_face(static_cast<Face>(f)));
+      long count = 0;
+      comm_->recv(nbr, kSizeTagBase + sender_face, &count, sizeof(count));
+      import_slots_[f].resize(count);
+      comm_->recv(nbr, kListTagBase + sender_face, import_slots_[f]);
+      in_flux_[f].assign(count * G, 0.0f);
+      for (const auto& slot : import_slots_[f])
+        require(slot.track >= 0 && slot.track < this->stacks().num_tracks(),
+                "neighbor sent an out-of-range interface target");
+    }
+  }
+
+  const Decomposition& decomp_;
+  comm::Communicator* comm_;
+  int rank_;
+  std::vector<long> slot_index_;
+  std::array<std::vector<float>, 6> out_flux_, in_flux_;
+  std::array<std::vector<IfaceSlot>, 6> import_slots_;
+};
+
+}  // namespace
+
+DomainRunSummary solve_decomposed(const Geometry& geometry,
+                                  const std::vector<Material>& materials,
+                                  const Decomposition& decomp,
+                                  const DomainRunParams& params,
+                                  const SolveOptions& options) {
+  DomainRunSummary summary;
+  std::mutex mutex;
+  std::vector<long> domain_segments(decomp.num_domains(), 0);
+
+  const std::uint64_t total_bytes = comm::Runtime::run(
+      decomp.num_domains(), [&](comm::Communicator& comm) {
+        const int rank = comm.rank();
+        const Bounds bounds =
+            decomp.domain_bounds(geometry.bounds(), rank);
+        const Quadrature quad(params.num_azim, params.azim_spacing,
+                              bounds.width_x(), bounds.width_y(),
+                              params.num_polar);
+        TrackGenerator2D gen(quad, bounds,
+                             decomp.radial_kinds(geometry, rank));
+        gen.trace(geometry);
+        const TrackStacks stacks(gen, geometry, bounds.z_min, bounds.z_max,
+                                 params.z_spacing);
+
+        SolveResult result;
+        std::uint64_t flux_bytes = 0;
+        std::vector<double> fission, flux;
+        std::unique_ptr<gpusim::Device> device;
+
+        if (params.use_device) {
+          device = std::make_unique<gpusim::Device>(params.device_spec);
+          DomainImpl<GpuSolver> solver(stacks, materials, decomp, comm,
+                                       *device, params.gpu_options);
+          result = solver.solve(options);
+          flux_bytes = solver.flux_bytes_per_iter();
+          fission = solver.fsr().fission_rate();
+          flux = solver.fsr().scalar_flux();
+        } else {
+          DomainImpl<CpuSolver> solver(stacks, materials, decomp, comm);
+          result = solver.solve(options);
+          flux_bytes = solver.flux_bytes_per_iter();
+          fission = solver.fsr().fission_rate();
+          flux = solver.fsr().scalar_flux();
+        }
+
+        const long segments = stacks.total_segments();
+        std::lock_guard lock(mutex);
+        domain_segments[rank] = segments;
+        summary.total_tracks_3d += stacks.num_tracks();
+        summary.total_segments_3d += segments;
+        summary.flux_bytes_per_iter += flux_bytes;
+        if (rank == 0) {
+          summary.result = result;
+          summary.fission_rate = std::move(fission);
+          summary.scalar_flux = std::move(flux);
+        }
+      });
+
+  summary.total_bytes_sent = total_bytes;
+  const long max_seg =
+      *std::max_element(domain_segments.begin(), domain_segments.end());
+  const double avg_seg =
+      static_cast<double>(summary.total_segments_3d) / decomp.num_domains();
+  summary.domain_load_uniformity =
+      avg_seg > 0 ? static_cast<double>(max_seg) / avg_seg : 1.0;
+  return summary;
+}
+
+}  // namespace antmoc

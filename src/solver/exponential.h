@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file exponential.h
+/// Evaluation of the MOC attenuation factor F(tau) = 1 - exp(-tau)
+/// (paper Eq. 1, the escape probability term).
+///
+/// Two evaluators are provided:
+///  * exact — expm1-based, used by default by both the host and the
+///    simulated-device solvers so their results are bit-comparable;
+///  * tabulated — linear interpolation on a uniform grid, the classic GPU
+///    optimization; max interpolation error is (dx^2)/8 * max|F''| <=
+///    dx^2/8, selectable for performance studies.
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace antmoc {
+
+/// F(tau) = 1 - exp(-tau), accurate for small tau.
+inline double exp_f1(double tau) { return -std::expm1(-tau); }
+
+/// Tabulated linear-interpolation evaluator for F(tau).
+class ExpTable {
+ public:
+  /// \param max_tau  largest optical length the table covers; larger
+  ///                 arguments saturate to 1 (correct to ~exp(-max_tau)).
+  /// \param max_error  target absolute interpolation error.
+  explicit ExpTable(double max_tau = 40.0, double max_error = 1e-6) {
+    require(max_tau > 0 && max_error > 0, "bad ExpTable parameters");
+    // Linear interpolation error bound: dx^2/8 * max|F''| with |F''| <= 1.
+    dx_ = std::sqrt(8.0 * max_error);
+    const std::size_t n = static_cast<std::size_t>(max_tau / dx_) + 2;
+    values_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) values_[i] = exp_f1(i * dx_);
+    max_tau_ = (n - 1) * dx_;
+  }
+
+  double operator()(double tau) const {
+    if (tau >= max_tau_) return 1.0;
+    if (tau <= 0.0) return 0.0;
+    const double x = tau / dx_;
+    const std::size_t i = static_cast<std::size_t>(x);
+    const double f = x - static_cast<double>(i);
+    return values_[i] * (1.0 - f) + values_[i + 1] * f;
+  }
+
+  double table_spacing() const { return dx_; }
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  double dx_;
+  double max_tau_;
+  std::vector<double> values_;
+};
+
+}  // namespace antmoc

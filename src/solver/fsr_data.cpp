@@ -1,0 +1,167 @@
+#include "solver/fsr_data.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace antmoc {
+
+namespace {
+constexpr double k4Pi = 4.0 * 3.14159265358979323846;
+constexpr double kInv4Pi = 1.0 / k4Pi;
+}  // namespace
+
+FsrData::FsrData(const Geometry& geometry,
+                 const std::vector<Material>& materials)
+    : geometry_(&geometry),
+      materials_(&materials),
+      num_fsrs_(geometry.num_fsrs()),
+      num_groups_(materials.empty() ? 0 : materials.front().num_groups()) {
+  require(!materials.empty(), "FsrData needs at least one material");
+  require(geometry.num_materials() <= static_cast<int>(materials.size()),
+          "geometry references materials beyond the provided set");
+  for (const auto& m : materials)
+    require(m.num_groups() == num_groups_,
+            "all materials must share the group structure");
+
+  material_of_.resize(num_fsrs_);
+  sigma_t_.resize(num_fsrs_ * num_groups_);
+  for (long r = 0; r < num_fsrs_; ++r) {
+    const int m = geometry.fsr_material(r);
+    material_of_[r] = m;
+    for (int g = 0; g < num_groups_; ++g)
+      sigma_t_[r * num_groups_ + g] = materials[m].sigma_t(g);
+  }
+  volumes_.assign(num_fsrs_, 0.0);
+  flux_.assign(num_fsrs_ * num_groups_, 1.0);
+  qos_.assign(num_fsrs_ * num_groups_, 0.0);
+  accum_.assign(num_fsrs_ * num_groups_, 0.0);
+  old_fission_.assign(num_fsrs_, 0.0);
+}
+
+void FsrData::set_volumes(std::vector<double> volumes) {
+  require(static_cast<long>(volumes.size()) == num_fsrs_,
+          "volume array size mismatch");
+  volumes_ = std::move(volumes);
+}
+
+void FsrData::set_scalar_flux(std::vector<double> flux) {
+  require(flux.size() == flux_.size(), "scalar flux size mismatch");
+  flux_ = std::move(flux);
+}
+
+void FsrData::zero_accumulator() {
+  std::fill(accum_.begin(), accum_.end(), 0.0);
+}
+
+void FsrData::update_source(double k) {
+  require(k > 0.0, "update_source needs a positive k");
+  const auto& mats = *materials_;
+  for (long r = 0; r < num_fsrs_; ++r) {
+    const Material& m = mats[material_of_[r]];
+    const double* phi = &flux_[r * num_groups_];
+    double fission = 0.0;
+    for (int g = 0; g < num_groups_; ++g) fission += m.nu_sigma_f(g) * phi[g];
+    fission /= k;
+    for (int g = 0; g < num_groups_; ++g) {
+      double scatter = 0.0;
+      for (int gp = 0; gp < num_groups_; ++gp)
+        scatter += m.sigma_s(gp, g) * phi[gp];
+      const double q = kInv4Pi * (scatter + m.chi(g) * fission);
+      qos_[r * num_groups_ + g] = q / sigma_t_[r * num_groups_ + g];
+    }
+  }
+}
+
+void FsrData::update_source_fixed(const std::vector<double>& external) {
+  require(external.empty() ||
+              static_cast<long>(external.size()) ==
+                  num_fsrs_ * num_groups_,
+          "external source must have one entry per (fsr, group)");
+  const auto& mats = *materials_;
+  for (long r = 0; r < num_fsrs_; ++r) {
+    const Material& m = mats[material_of_[r]];
+    const double* phi = &flux_[r * num_groups_];
+    double fission = 0.0;
+    for (int g = 0; g < num_groups_; ++g) fission += m.nu_sigma_f(g) * phi[g];
+    for (int g = 0; g < num_groups_; ++g) {
+      double scatter = 0.0;
+      for (int gp = 0; gp < num_groups_; ++gp)
+        scatter += m.sigma_s(gp, g) * phi[gp];
+      double q = kInv4Pi * (scatter + m.chi(g) * fission);
+      if (!external.empty())
+        q += kInv4Pi * external[r * num_groups_ + g];
+      qos_[r * num_groups_ + g] = q / sigma_t_[r * num_groups_ + g];
+    }
+  }
+}
+
+void FsrData::close_scalar_flux() {
+  for (long r = 0; r < num_fsrs_; ++r) {
+    const double v = volumes_[r];
+    for (int g = 0; g < num_groups_; ++g) {
+      const long i = r * num_groups_ + g;
+      flux_[i] = k4Pi * qos_[i];
+      if (v > 0.0) flux_[i] += accum_[i] / (sigma_t_[i] * v);
+    }
+  }
+}
+
+double FsrData::fission_production() const {
+  const auto& mats = *materials_;
+  double total = 0.0;
+  for (long r = 0; r < num_fsrs_; ++r) {
+    const Material& m = mats[material_of_[r]];
+    if (!m.is_fissile()) continue;
+    double f = 0.0;
+    for (int g = 0; g < num_groups_; ++g)
+      f += m.nu_sigma_f(g) * flux_[r * num_groups_ + g];
+    total += volumes_[r] * f;
+  }
+  return total;
+}
+
+std::vector<double> FsrData::fission_rate() const {
+  const auto& mats = *materials_;
+  std::vector<double> rate(num_fsrs_, 0.0);
+  for (long r = 0; r < num_fsrs_; ++r) {
+    const Material& m = mats[material_of_[r]];
+    for (int g = 0; g < num_groups_; ++g)
+      rate[r] += m.sigma_f(g) * flux_[r * num_groups_ + g];
+  }
+  return rate;
+}
+
+double FsrData::fission_source_residual() {
+  const auto& mats = *materials_;
+  double sum_sq = 0.0;
+  long count = 0;
+  for (long r = 0; r < num_fsrs_; ++r) {
+    const Material& m = mats[material_of_[r]];
+    if (!m.is_fissile() || volumes_[r] <= 0.0) continue;
+    double f = 0.0;
+    for (int g = 0; g < num_groups_; ++g)
+      f += m.nu_sigma_f(g) * flux_[r * num_groups_ + g];
+    if (f > 0.0 && old_fission_[r] > 0.0) {
+      const double rel = (f - old_fission_[r]) / f;
+      sum_sq += rel * rel;
+      ++count;
+    } else if (f != old_fission_[r]) {
+      sum_sq += 1.0;
+      ++count;
+    }
+    old_fission_[r] = f;
+  }
+  if (count == 0) return 0.0;
+  return std::sqrt(sum_sq / static_cast<double>(count));
+}
+
+void FsrData::scale_flux(double factor) {
+  for (auto& v : flux_) v *= factor;
+}
+
+void FsrData::fill_flux(double value) {
+  std::fill(flux_.begin(), flux_.end(), value);
+}
+
+}  // namespace antmoc

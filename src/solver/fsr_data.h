@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file fsr_data.h
+/// Per-flat-source-region state of the transport solve: cross sections
+/// expanded per FSR, scalar fluxes, reduced sources, and the sweep
+/// accumulators (paper §3.2.3 source computation).
+
+#include <vector>
+
+#include "geometry/geometry.h"
+#include "material/material.h"
+
+namespace antmoc {
+
+class FsrData {
+ public:
+  FsrData(const Geometry& geometry, const std::vector<Material>& materials);
+
+  long num_fsrs() const { return num_fsrs_; }
+  int num_groups() const { return num_groups_; }
+
+  /// Track-based FSR volumes (must be set before the first closure).
+  void set_volumes(std::vector<double> volumes);
+  const std::vector<double>& volumes() const { return volumes_; }
+
+  const std::vector<double>& scalar_flux() const { return flux_; }
+  double flux(long fsr, int g) const { return flux_[fsr * num_groups_ + g]; }
+
+  /// Replaces the scalar flux wholesale (checkpoint restore).
+  void set_scalar_flux(std::vector<double> flux);
+
+  double sigma_t(long fsr, int g) const {
+    return sigma_t_[fsr * num_groups_ + g];
+  }
+  const std::vector<double>& sigma_t_flat() const { return sigma_t_; }
+
+  /// Reduced source divided by sigma_t: the quantity the sweep kernel
+  /// subtracts from the angular flux, qos = q/(sigma_t), with
+  /// q = (1/4pi) * [scatter + chi * fission / k].
+  const std::vector<double>& q_over_sigma_t() const { return qos_; }
+
+  /// The sweep accumulator Sum_k w_k * A_k * dpsi_k per (fsr, group).
+  std::vector<double>& accumulator() { return accum_; }
+  const std::vector<double>& accumulator() const { return accum_; }
+  void zero_accumulator();
+
+  /// Recomputes the reduced source from the current flux and k
+  /// (eigenvalue mode: scatter + chi*fission/k).
+  void update_source(double k);
+
+  /// Recomputes the reduced source for a fixed-source problem:
+  /// scatter + chi*fission (at k=1) + the external isotropic source
+  /// (per cm^3 s; empty disables). Used by the fixed-source solve mode.
+  void update_source_fixed(const std::vector<double>& external);
+
+  /// Closes the scalar flux from the sweep accumulator:
+  ///   phi = 4pi * qos + accum / (sigma_t * V).
+  /// FSRs with no tracked volume keep the source-only term.
+  void close_scalar_flux();
+
+  /// Total fission production Sum_r V_r * Sum_g nuSigmaF phi.
+  double fission_production() const;
+
+  /// Per-FSR fission rate density Sum_g SigmaF * phi (for output and the
+  /// §5.1 pin-power comparison).
+  std::vector<double> fission_rate() const;
+
+  /// RMS relative change of the per-FSR fission source since the last call
+  /// (first call returns a large number). Matches the paper's "flux
+  /// residual below a threshold" convergence test.
+  double fission_source_residual();
+
+  /// Scales flux by `factor` (used with boundary fluxes to normalize the
+  /// eigenvector each power iteration).
+  void scale_flux(double factor);
+
+  /// Sets all fluxes to `value` (initial guess).
+  void fill_flux(double value);
+
+ private:
+  const Geometry* geometry_;
+  const std::vector<Material>* materials_;
+  long num_fsrs_;
+  int num_groups_;
+
+  std::vector<int> material_of_;  ///< material id per FSR
+  std::vector<double> sigma_t_;   ///< [fsr*G]
+  std::vector<double> volumes_;
+  std::vector<double> flux_, qos_, accum_;
+  std::vector<double> old_fission_;
+};
+
+}  // namespace antmoc

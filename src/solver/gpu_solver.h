@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file gpu_solver.h
+/// The device transport solver (paper §3.2): 3D tracks map to GPU threads
+/// (Algorithm 1), FSR flux accumulation uses device atomics (§3.2.3), and
+/// segment storage follows the track-management policy (§4.1). Device
+/// memory for every major vector of Table 3 is charged to the device
+/// arena, so `device.memory().breakdown()` regenerates that table and an
+/// over-capacity EXP configuration fails exactly like the paper's.
+
+#include "gpusim/device.h"
+#include "solver/exponential.h"
+#include "solver/track_policy.h"
+#include "solver/transport_solver.h"
+
+namespace antmoc {
+
+struct GpuSolverOptions {
+  TrackPolicy policy = TrackPolicy::kManaged;
+  /// Resident-segment memory threshold for kManaged (paper: 6.144 GB).
+  std::size_t resident_budget_bytes = std::size_t{6442450944};
+  /// L3 load mapping (paper §4.2.3): sort tracks by descending segment
+  /// count and deal them round-robin onto CUs. Off = natural order in
+  /// contiguous blocks (the unbalanced baseline).
+  bool l3_sort = true;
+};
+
+class GpuSolver : public TransportSolver {
+ public:
+  GpuSolver(const TrackStacks& stacks,
+            const std::vector<Material>& materials, gpusim::Device& device,
+            const GpuSolverOptions& options = {});
+  ~GpuSolver() override;
+
+  const TrackManager& manager() const { return manager_; }
+  gpusim::Device& device() { return device_; }
+
+  /// Per-CU statistics of the most recent transport-sweep launch; its
+  /// load_uniformity() is the paper's MAX/AVG metric at the CU level.
+  const gpusim::KernelStats& last_sweep_stats() const { return last_stats_; }
+
+ protected:
+  void sweep() override;
+
+ private:
+  /// RAII accounting charge against the device arena. Move-only: the
+  /// moved-from charge must forget its arena or vector reallocation would
+  /// double-release.
+  struct Charge {
+    gpusim::DeviceMemory* arena = nullptr;
+    std::string label;
+    std::size_t bytes = 0;
+
+    Charge() = default;
+    Charge(gpusim::DeviceMemory* a, std::string l, std::size_t b)
+        : arena(a), label(std::move(l)), bytes(b) {}
+    Charge(Charge&& o) noexcept
+        : arena(o.arena), label(std::move(o.label)), bytes(o.bytes) {
+      o.arena = nullptr;
+    }
+    Charge& operator=(Charge&& o) noexcept {
+      if (this != &o) {
+        release();
+        arena = o.arena;
+        label = std::move(o.label);
+        bytes = o.bytes;
+        o.arena = nullptr;
+      }
+      return *this;
+    }
+    Charge(const Charge&) = delete;
+    Charge& operator=(const Charge&) = delete;
+    ~Charge() { release(); }
+
+    void release() {
+      if (arena != nullptr && bytes > 0) arena->release(label, bytes);
+      arena = nullptr;
+    }
+  };
+
+  void charge(const std::string& label, std::size_t bytes);
+
+  gpusim::Device& device_;
+  GpuSolverOptions options_;
+  TrackManager manager_;
+  std::vector<long> order_;
+  gpusim::KernelStats last_stats_;
+  std::vector<Charge> charges_;
+};
+
+}  // namespace antmoc

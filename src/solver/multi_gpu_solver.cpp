@@ -1,0 +1,162 @@
+#include "solver/multi_gpu_solver.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gpusim/atomic.h"
+#include "util/error.h"
+
+namespace antmoc {
+namespace {
+constexpr int kMaxGroups = 64;
+}
+
+MultiGpuSolver::MultiGpuSolver(const TrackStacks& stacks,
+                               const std::vector<Material>& materials,
+                               const MultiGpuOptions& options)
+    : TransportSolver(stacks, materials),
+      options_(options),
+      // Residency is tracked host-side here; per-device arena charging of
+      // a distributed resident set is modeled by the cluster simulator.
+      manager_(stacks, options.policy, nullptr,
+               options.resident_budget_bytes) {
+  require(options.num_devices >= 1, "need at least one device");
+  require(fsr_.num_groups() <= kMaxGroups,
+          "MultiGpuSolver supports at most 64 energy groups");
+
+  for (int d = 0; d < options.num_devices; ++d)
+    devices_.push_back(std::make_unique<gpusim::Device>(options.device_spec));
+
+  // --- L2: azimuthal angles -> devices ------------------------------------
+  const auto& gen = stacks.generator();
+  const auto& quad = gen.quadrature();
+  const auto& counts = manager_.segment_counts();
+  const int n_azim = quad.num_azim_2();
+
+  std::vector<double> azim_load(n_azim, 0.0);
+  for (long id = 0; id < stacks.num_tracks(); ++id) {
+    const Track3DInfo t = stacks.info(id);
+    azim_load[gen.track(t.track2d).azim] += double(counts[id]);
+  }
+
+  device_of_azim_.assign(n_azim, 0);
+  if (options.balance_angles) {
+    // Heaviest angle onto the lightest device (Fig. 5(2)).
+    std::vector<int> order(n_azim);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return azim_load[a] > azim_load[b];
+    });
+    std::vector<double> dev_load(options.num_devices, 0.0);
+    for (int a : order) {
+      const int lightest = static_cast<int>(
+          std::min_element(dev_load.begin(), dev_load.end()) -
+          dev_load.begin());
+      device_of_azim_[a] = lightest;
+      dev_load[lightest] += azim_load[a];
+    }
+  } else {
+    const int chunk = (n_azim + options.num_devices - 1) /
+                      options.num_devices;
+    for (int a = 0; a < n_azim; ++a)
+      device_of_azim_[a] = std::min(a / chunk, options.num_devices - 1);
+  }
+
+  device_of_track_.resize(stacks.num_tracks());
+  device_order_.resize(options.num_devices);
+  for (long id = 0; id < stacks.num_tracks(); ++id) {
+    const Track3DInfo t = stacks.info(id);
+    const int d = device_of_azim_[gen.track(t.track2d).azim];
+    device_of_track_[id] = d;
+    device_order_[d].push_back(id);
+  }
+  if (options.l3_sort)
+    for (auto& order : device_order_)
+      std::stable_sort(order.begin(), order.end(), [&](long a, long b) {
+        return counts[a] > counts[b];
+      });
+}
+
+double MultiGpuSolver::device_load_uniformity() const {
+  const double total =
+      std::accumulate(last_cycles_.begin(), last_cycles_.end(), 0.0);
+  if (total <= 0.0 || last_cycles_.empty()) return 1.0;
+  return *std::max_element(last_cycles_.begin(), last_cycles_.end()) /
+         (total / last_cycles_.size());
+}
+
+void MultiGpuSolver::sweep() {
+  const int G = fsr_.num_groups();
+  const double* sigma_t = fsr_.sigma_t_flat().data();
+  const double* qos = fsr_.q_over_sigma_t().data();
+  double* accum = fsr_.accumulator().data();
+
+  last_cycles_.assign(devices_.size(), 0.0);
+  last_dma_bytes_ = 0;
+
+  const auto assignment = options_.l3_sort
+                              ? gpusim::Assignment::kRoundRobin
+                              : gpusim::Assignment::kBlocked;
+
+  for (int d = 0; d < num_devices(); ++d) {
+    const auto& order = device_order_[d];
+    if (order.empty()) continue;
+    const auto stats = devices_[d]->launch(
+        "transport_sweep", order.size(), assignment,
+        [&](std::size_t item) {
+          const long id = order[item];
+          const Track3DInfo info = stacks_.info(id);
+          const double w =
+              stacks_.direction_weight(id) * stacks_.track_area(id);
+          double psi[kMaxGroups];
+
+          long seg_count = 0;
+          const Segment3D* segs = manager_.segments(id, seg_count);
+
+          for (int dir = 0; dir < 2; ++dir) {
+            const bool forward = dir == 0;
+            const float* in = psi_in_.data() + (id * 2 + dir) * G;
+            for (int g = 0; g < G; ++g) psi[g] = in[g];
+
+            auto apply = [&](long fsr_id, double len) {
+              const long base = fsr_id * G;
+              for (int g = 0; g < G; ++g) {
+                const double ex = attenuation(sigma_t[base + g] * len);
+                const double delta = (psi[g] - qos[base + g]) * ex;
+                psi[g] -= delta;
+                gpusim::device_atomic_add(accum[base + g], w * delta);
+              }
+            };
+
+            if (segs != nullptr) {
+              if (forward)
+                for (long s = 0; s < seg_count; ++s)
+                  apply(segs[s].fsr, segs[s].length);
+              else
+                for (long s = seg_count - 1; s >= 0; --s)
+                  apply(segs[s].fsr, segs[s].length);
+            } else {
+              stacks_.for_each_segment(info, forward, apply);
+            }
+
+            // Cross-device hand-off goes over the node's DMA fabric
+            // before landing in the target device's incoming flux.
+            const Link3D& link = links_[id * 2 + dir];
+            if (link.kind == Link3D::Kind::kLocal) {
+              const int target = device_of_track_[link.track];
+              if (target != d) {
+                devices_[d]->dma_copy_to(*devices_[target],
+                                         std::size_t(G) * sizeof(float));
+                gpusim::device_atomic_add(
+                    last_dma_bytes_, std::uint64_t(G) * sizeof(float));
+              }
+            }
+            deposit(id, forward, psi, /*atomic=*/true);
+          }
+          return manager_.track_cost(id);
+        });
+    last_cycles_[d] = stats.max_cycles;
+  }
+}
+
+}  // namespace antmoc

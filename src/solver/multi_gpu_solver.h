@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file multi_gpu_solver.h
+/// In-process realization of the L2 mapping (paper §3.2 and §4.2.2): one
+/// node's fused geometry solved across several simulated GPUs, with the
+/// track population split by azimuthal angle. Tracks whose boundary link
+/// crosses into an angle group owned by another device hand their flux
+/// over via device-to-device DMA — "track fluxes are transferred between
+/// GPUs via DMA within the same node" — and the transfer volume is
+/// accounted per device pair.
+
+#include <memory>
+
+#include "solver/gpu_solver.h"
+#include "solver/track_policy.h"
+#include "solver/transport_solver.h"
+
+namespace antmoc {
+
+struct MultiGpuOptions {
+  int num_devices = 2;
+  gpusim::DeviceSpec device_spec;
+  TrackPolicy policy = TrackPolicy::kOnTheFly;
+  std::size_t resident_budget_bytes = std::size_t{6442450944};
+  /// L2 balancing: heaviest azimuthal angle onto the lightest device;
+  /// off = contiguous angle blocks (the unbalanced baseline).
+  bool balance_angles = true;
+  /// L3 within each device.
+  bool l3_sort = true;
+};
+
+class MultiGpuSolver : public TransportSolver {
+ public:
+  MultiGpuSolver(const TrackStacks& stacks,
+                 const std::vector<Material>& materials,
+                 const MultiGpuOptions& options);
+
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  gpusim::Device& device(int d) { return *devices_[d]; }
+
+  /// Device owning a scalar azimuthal angle.
+  int device_of_azim(int azim) const { return device_of_azim_[azim]; }
+
+  /// Bytes of boundary flux DMA-transferred between devices in the last
+  /// sweep (total over all ordered pairs).
+  std::uint64_t last_sweep_dma_bytes() const { return last_dma_bytes_; }
+
+  /// Per-device simulated busy cycles of the last sweep; MAX/AVG across
+  /// devices is the node-level L2 uniformity.
+  const std::vector<double>& last_device_cycles() const {
+    return last_cycles_;
+  }
+  double device_load_uniformity() const;
+
+ protected:
+  void sweep() override;
+
+ private:
+  MultiGpuOptions options_;
+  TrackManager manager_;
+  std::vector<std::unique_ptr<gpusim::Device>> devices_;
+  std::vector<int> device_of_azim_;
+  std::vector<int> device_of_track_;          ///< per 3D track
+  std::vector<std::vector<long>> device_order_;  ///< sweep order per device
+  std::vector<double> last_cycles_;
+  std::uint64_t last_dma_bytes_ = 0;
+};
+
+}  // namespace antmoc

@@ -1,0 +1,139 @@
+#include "solver/solver2d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace antmoc {
+namespace {
+constexpr double k4Pi = 4.0 * 3.14159265358979323846;
+}
+
+Solver2D::Solver2D(const TrackGenerator2D& gen, const Geometry& geometry,
+                   const std::vector<Material>& materials)
+    : gen_(gen),
+      fsr_(geometry, materials),
+      num_polar_(gen.quadrature().num_polar()) {
+  require(geometry.num_axial_layers() == 1,
+          "Solver2D requires a single-layer (2D) geometry");
+  require(gen.num_segments() > 0, "Solver2D requires traced tracks");
+  const long slots = static_cast<long>(gen.num_tracks()) * 2 * num_polar_ *
+                     fsr_.num_groups();
+  psi_in_.assign(slots, 0.0f);
+  psi_next_.assign(slots, 0.0f);
+}
+
+void Solver2D::compute_areas() {
+  // Track-based area estimate, identical in form to the 3D volume
+  // estimate: every (angle, polar, sign) direction tiles the plane.
+  const auto& quad = gen_.quadrature();
+  std::vector<double> area(fsr_.num_fsrs(), 0.0);
+  for (const auto& track : gen_.tracks()) {
+    const double w = quad.azim_frac(track.azim) *
+                     quad.spacing_eff(track.azim);
+    for (const auto& seg : track.segments)
+      area[seg.region] += w * seg.length;
+  }
+  fsr_.set_volumes(std::move(area));
+}
+
+void Solver2D::sweep() {
+  const auto& quad = gen_.quadrature();
+  const int G = fsr_.num_groups();
+  const double* sigma_t = fsr_.sigma_t_flat().data();
+  const double* qos = fsr_.q_over_sigma_t().data();
+  auto& accum = fsr_.accumulator();
+  std::vector<double> psi(G);
+
+  for (long t = 0; t < gen_.num_tracks(); ++t) {
+    const Track2D& track = gen_.track(t);
+    for (int dir = 0; dir < 2; ++dir) {
+      const bool forward = dir == 0;
+      for (int p = 0; p < num_polar_; ++p) {
+        // 2 polar sign images are folded into this sweep: the axially
+        // uniform problem makes up- and down-going fluxes identical, so
+        // each (dir, p) slot carries both with doubled weight.
+        const double w = 2.0 * quad.direction_weight(track.azim, p) *
+                         quad.spacing_eff(track.azim) *
+                         quad.sin_theta(p);
+        const double inv_sin = 1.0 / quad.sin_theta(p);
+        const float* in = psi_in_.data() + slot(t, dir, p);
+        for (int g = 0; g < G; ++g) psi[g] = in[g];
+
+        auto apply = [&](const Segment2D& seg) {
+          const long base = static_cast<long>(seg.region) * G;
+          for (int g = 0; g < G; ++g) {
+            const double tau = sigma_t[base + g] * seg.length * inv_sin;
+            const double delta = (psi[g] - qos[base + g]) * exp_f1(tau);
+            psi[g] -= delta;
+            accum[base + g] += w * delta;
+          }
+        };
+        if (forward)
+          for (const auto& seg : track.segments) apply(seg);
+        else
+          for (auto it = track.segments.rbegin();
+               it != track.segments.rend(); ++it)
+            apply(*it);
+
+        const TrackLink& link = forward ? track.fwd_link : track.bwd_link;
+        if (link.kind == LinkKind::kVacuum) continue;
+        require(link.kind != LinkKind::kInterface,
+                "Solver2D does not support domain interfaces");
+        float* out =
+            psi_next_.data() + slot(link.track, link.forward ? 0 : 1, p);
+        for (int g = 0; g < G; ++g) out[g] += static_cast<float>(psi[g]);
+      }
+    }
+  }
+}
+
+SolveResult Solver2D::solve(const SolveOptions& options) {
+  ScopedTimer probe("solver2d/solve");
+  compute_areas();
+
+  fsr_.fill_flux(1.0);
+  std::fill(psi_in_.begin(), psi_in_.end(), 0.0f);
+  k_ = 1.0;
+  const double p0 = fsr_.fission_production();
+  require(p0 > 0.0, "2D eigenvalue solve needs fissile material");
+  fsr_.scale_flux(1.0 / p0);
+  fsr_.update_source(k_);
+  fsr_.fission_source_residual();
+
+  SolveResult result;
+  const int max_iter = options.fixed_iterations > 0
+                           ? options.fixed_iterations
+                           : options.max_iterations;
+  for (int iter = 1; iter <= max_iter; ++iter) {
+    fsr_.zero_accumulator();
+    std::fill(psi_next_.begin(), psi_next_.end(), 0.0f);
+    sweep();
+    std::swap(psi_in_, psi_next_);
+    fsr_.close_scalar_flux();
+
+    const double production = fsr_.fission_production();
+    require(production > 0.0, "fission production vanished mid-solve");
+    k_ *= production;
+    const double scale = 1.0 / production;
+    fsr_.scale_flux(scale);
+    for (auto& v : psi_in_) v = static_cast<float>(v * scale);
+
+    result.residual = fsr_.fission_source_residual();
+    result.iterations = iter;
+    result.k_eff = k_;
+    fsr_.update_source(k_);
+    if (options.fixed_iterations <= 0 && iter >= 3 &&
+        result.residual < options.tolerance &&
+        std::abs(production - 1.0) < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  if (options.fixed_iterations > 0) result.converged = true;
+  return result;
+}
+
+}  // namespace antmoc

@@ -1,0 +1,134 @@
+#include "solver/tallies.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace antmoc::tallies {
+namespace {
+
+double micro_rate(const Material& m, const double* phi, Reaction reaction) {
+  double rate = 0.0;
+  for (int g = 0; g < m.num_groups(); ++g) {
+    double sigma = 0.0;
+    switch (reaction) {
+      case Reaction::kFission: sigma = m.sigma_f(g); break;
+      case Reaction::kNuFission: sigma = m.nu_sigma_f(g); break;
+      case Reaction::kAbsorption: sigma = m.sigma_a(g); break;
+      case Reaction::kTotal: sigma = m.sigma_t(g); break;
+    }
+    rate += sigma * phi[g];
+  }
+  return rate;
+}
+
+void check_sizes(const Geometry& g, const std::vector<double>& flux,
+                 const std::vector<double>& volumes, int num_groups) {
+  require(static_cast<long>(volumes.size()) == g.num_fsrs(),
+          "tallies: volume array size mismatch");
+  require(static_cast<long>(flux.size()) == g.num_fsrs() * num_groups,
+          "tallies: flux array size mismatch");
+}
+
+}  // namespace
+
+std::vector<double> rate_by_material(const Geometry& geometry,
+                                     const std::vector<Material>& materials,
+                                     const std::vector<double>& flux,
+                                     const std::vector<double>& volumes,
+                                     Reaction reaction) {
+  const int G = materials.front().num_groups();
+  check_sizes(geometry, flux, volumes, G);
+  std::vector<double> rate(materials.size(), 0.0);
+  for (long r = 0; r < geometry.num_fsrs(); ++r) {
+    const int m = geometry.fsr_material(r);
+    rate[m] += volumes[r] *
+               micro_rate(materials[m], &flux[r * G], reaction);
+  }
+  return rate;
+}
+
+double total_rate(const Geometry& geometry,
+                  const std::vector<Material>& materials,
+                  const std::vector<double>& flux,
+                  const std::vector<double>& volumes, Reaction reaction) {
+  double total = 0.0;
+  for (double v :
+       rate_by_material(geometry, materials, flux, volumes, reaction))
+    total += v;
+  return total;
+}
+
+std::vector<double> axial_power_profile(
+    const Geometry& geometry, const std::vector<double>& fission_rate,
+    const std::vector<double>& volumes) {
+  require(static_cast<long>(fission_rate.size()) == geometry.num_fsrs(),
+          "tallies: fission_rate size mismatch");
+  const int layers = geometry.num_axial_layers();
+  std::vector<double> power(layers, 0.0);
+  for (long r = 0; r < geometry.num_fsrs(); ++r)
+    power[geometry.fsr_layer(r)] += fission_rate[r] * volumes[r];
+
+  double fueled_sum = 0.0;
+  int fueled = 0;
+  for (double p : power)
+    if (p > 0.0) {
+      fueled_sum += p;
+      ++fueled;
+    }
+  if (fueled > 0) {
+    const double mean = fueled_sum / fueled;
+    for (auto& p : power) p /= mean;
+  }
+  return power;
+}
+
+std::vector<double> radial_power_map(const Geometry& geometry,
+                                     const std::vector<double>& fission_rate,
+                                     const std::vector<double>& volumes,
+                                     int nx, int ny) {
+  require(nx >= 1 && ny >= 1, "tallies: power map needs a positive grid");
+  require(static_cast<long>(fission_rate.size()) == geometry.num_fsrs(),
+          "tallies: fission_rate size mismatch");
+  const Bounds& b = geometry.bounds();
+  const double px = b.width_x() / nx;
+  const double py = b.width_y() / ny;
+
+  // Tile power via sampled fuel columns: every radial region is sampled
+  // on a sub-pin grid so a tile accumulates all its regions.
+  std::vector<double> power(static_cast<std::size_t>(nx) * ny, 0.0);
+  std::vector<char> seen(geometry.num_radial_regions(), 0);
+  const int samples = 8;
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i)
+      for (int sj = 0; sj < samples; ++sj)
+        for (int si = 0; si < samples; ++si) {
+          const Point2 p{b.x_min + (i + (si + 0.5) / samples) * px,
+                         b.y_min + (j + (sj + 0.5) / samples) * py};
+          const int region = geometry.find_radial(p).region;
+          if (seen[region]) continue;
+          seen[region] = 1;
+          double column = 0.0;
+          for (int l = 0; l < geometry.num_axial_layers(); ++l) {
+            const long fsr = geometry.fsr_id(region, l);
+            column += fission_rate[fsr] * volumes[fsr];
+          }
+          power[static_cast<std::size_t>(j) * nx + i] += column;
+        }
+  return power;
+}
+
+double peaking_factor(const std::vector<double>& power) {
+  double sum = 0.0, peak = 0.0;
+  int count = 0;
+  for (double p : power)
+    if (p > 0.0) {
+      sum += p;
+      peak = std::max(peak, p);
+      ++count;
+    }
+  if (count == 0 || sum <= 0.0) return 0.0;
+  return peak / (sum / count);
+}
+
+}  // namespace antmoc::tallies

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file tallies.h
+/// Post-solve reaction-rate tallies: the quantities a reactor analyst
+/// extracts from a converged flux — per-material reaction rates, axial
+/// power profiles, assembly powers. These back the paper's §5.1 output
+/// ("FSR fission rate data") and the Fig. 7 visualization pipeline.
+
+#include <vector>
+
+#include "geometry/geometry.h"
+#include "material/material.h"
+
+namespace antmoc::tallies {
+
+enum class Reaction { kFission, kNuFission, kAbsorption, kTotal };
+
+/// Volume-integrated reaction rate per material id:
+///   R_m = sum over FSRs of material m of V_r * sum_g sigma_x phi_{r,g}.
+std::vector<double> rate_by_material(const Geometry& geometry,
+                                     const std::vector<Material>& materials,
+                                     const std::vector<double>& flux,
+                                     const std::vector<double>& volumes,
+                                     Reaction reaction);
+
+/// Volume-integrated reaction rate over the whole geometry.
+double total_rate(const Geometry& geometry,
+                  const std::vector<Material>& materials,
+                  const std::vector<double>& flux,
+                  const std::vector<double>& volumes, Reaction reaction);
+
+/// Fission power per axial layer (normalized so the mean fueled layer is
+/// 1; zero-power layers stay 0). The classic axial power shape.
+std::vector<double> axial_power_profile(const Geometry& geometry,
+                                        const std::vector<double>& fission_rate,
+                                        const std::vector<double>& volumes);
+
+/// Fission power per (nx x ny) radial tile (assembly powers when the tile
+/// grid matches the assembly lattice), row-major with j increasing in y.
+std::vector<double> radial_power_map(const Geometry& geometry,
+                                     const std::vector<double>& fission_rate,
+                                     const std::vector<double>& volumes,
+                                     int nx, int ny);
+
+/// Peak-to-average of the positive entries of a power map (the pin/assembly
+/// peaking factor used in core design).
+double peaking_factor(const std::vector<double>& power);
+
+}  // namespace antmoc::tallies

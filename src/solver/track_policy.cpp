@@ -1,0 +1,75 @@
+#include "solver/track_policy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace antmoc {
+
+TrackManager::TrackManager(const TrackStacks& stacks, TrackPolicy policy,
+                           gpusim::Device* device,
+                           std::size_t resident_budget_bytes)
+    : policy_(policy), device_(device) {
+  const long n = stacks.num_tracks();
+  counts_.resize(n);
+  offset_.assign(n, -1);
+  for (long id = 0; id < n; ++id) {
+    counts_[id] = stacks.count_segments(id);
+    total_segments_ += counts_[id];
+  }
+  if (policy == TrackPolicy::kOnTheFly) return;
+
+  // Rank tracks by descending segment count (paper §4.1: prefer storing
+  // tracks with more segments to save the most regeneration work per byte).
+  std::vector<long> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](long a, long b) {
+    return counts_[a] > counts_[b];
+  });
+
+  const std::size_t budget = policy == TrackPolicy::kExplicit
+                                 ? static_cast<std::size_t>(-1)
+                                 : resident_budget_bytes;
+
+  long resident_segments = 0;
+  std::vector<long> chosen;
+  std::size_t bytes = 0;
+  for (long id : order) {
+    const std::size_t need =
+        static_cast<std::size_t>(counts_[id]) * sizeof(Segment3D);
+    if (policy == TrackPolicy::kManaged && bytes + need > budget) continue;
+    bytes += need;
+    chosen.push_back(id);
+    resident_segments += counts_[id];
+  }
+  if (policy == TrackPolicy::kExplicit)
+    require(static_cast<long>(chosen.size()) == n,
+            "explicit policy must store every track");
+
+  // Charge the device arena before materializing: an over-capacity EXP run
+  // must fail here, not after host allocation.
+  if (device_ != nullptr)
+    device_->memory().charge("3d_segments",
+                             resident_segments * sizeof(Segment3D));
+
+  storage_.reserve(resident_segments);
+  for (long id : chosen) {
+    offset_[id] = static_cast<long>(storage_.size());
+    stacks.for_each_segment(id, /*forward=*/true,
+                            [&](long fsr, double len) {
+                              storage_.push_back({fsr, len});
+                            });
+    require(static_cast<long>(storage_.size()) - offset_[id] == counts_[id],
+            "segment expansion count mismatch");
+  }
+  num_resident_ = static_cast<long>(chosen.size());
+}
+
+TrackManager::~TrackManager() {
+  if (device_ != nullptr && !storage_.empty())
+    device_->memory().release("3d_segments",
+                              storage_.size() * sizeof(Segment3D));
+}
+
+}  // namespace antmoc

@@ -1,0 +1,280 @@
+#include "solver/transport_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "gpusim/atomic.h"
+#include "util/error.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace antmoc {
+
+namespace {
+constexpr double k4Pi = 4.0 * 3.14159265358979323846;
+}
+
+LinkKind to_link_kind(BoundaryType bc) {
+  switch (bc) {
+    case BoundaryType::kVacuum:
+      return LinkKind::kVacuum;
+    case BoundaryType::kReflective:
+      return LinkKind::kReflective;
+    case BoundaryType::kPeriodic:
+      return LinkKind::kPeriodic;
+    case BoundaryType::kInterface:
+      return LinkKind::kInterface;
+  }
+  return LinkKind::kVacuum;
+}
+
+TransportSolver::TransportSolver(const TrackStacks& stacks,
+                                 const std::vector<Material>& materials)
+    : stacks_(stacks),
+      fsr_(stacks.geometry(), materials),
+      z_min_kind_(to_link_kind(stacks.geometry().boundary(Face::kZMin))),
+      z_max_kind_(to_link_kind(stacks.geometry().boundary(Face::kZMax))) {
+  const long slots = stacks.num_tracks() * 2 * fsr_.num_groups();
+  psi_in_.assign(slots, 0.0f);
+  psi_next_.assign(slots, 0.0f);
+}
+
+void TransportSolver::set_z_kinds(LinkKind z_min, LinkKind z_max) {
+  require(!links_built_, "z-face kinds must be set before links are built");
+  z_min_kind_ = z_min;
+  z_max_kind_ = z_max;
+}
+
+void TransportSolver::build_links() {
+  if (links_built_) return;
+  links_.resize(stacks_.num_tracks() * 2);
+  for (long id = 0; id < stacks_.num_tracks(); ++id) {
+    links_[id * 2 + 0] = stacks_.link(id, true, z_min_kind_, z_max_kind_);
+    links_[id * 2 + 1] = stacks_.link(id, false, z_min_kind_, z_max_kind_);
+  }
+  links_built_ = true;
+}
+
+void TransportSolver::deposit(long id, bool forward, const double* psi,
+                              bool atomic) {
+  const int G = fsr_.num_groups();
+  const Link3D& link = links_[id * 2 + (forward ? 0 : 1)];
+  switch (link.kind) {
+    case Link3D::Kind::kVacuum:
+      return;
+    case Link3D::Kind::kLocal: {
+      float* slot =
+          psi_next_.data() + (link.track * 2 + (link.forward ? 0 : 1)) * G;
+      if (atomic) {
+        for (int g = 0; g < G; ++g)
+          gpusim::device_atomic_add(slot[g], static_cast<float>(psi[g]));
+      } else {
+        for (int g = 0; g < G; ++g) slot[g] += static_cast<float>(psi[g]);
+      }
+      return;
+    }
+    case Link3D::Kind::kInterface:
+      handle_interface(id, forward, link, psi);
+      return;
+  }
+}
+
+void TransportSolver::compute_volumes() {
+  ScopedTimer probe("solver/volumes");
+  std::vector<double> vol(fsr_.num_fsrs(), 0.0);
+  for (long id = 0; id < stacks_.num_tracks(); ++id) {
+    // Both sweep directions traverse the same segments.
+    const double w = 2.0 * stacks_.direction_weight(id) / k4Pi *
+                     stacks_.track_area(id);
+    stacks_.for_each_segment(id, true, [&](long fsr_id, double len) {
+      vol[fsr_id] += w * len;
+    });
+  }
+  fsr_.set_volumes(std::move(vol));
+}
+
+SolveResult TransportSolver::solve_fixed_source(
+    const std::vector<double>& external, const SolveOptions& options) {
+  ScopedTimer probe("solver/solve_fixed_source");
+  build_links();
+  if (!volumes_ready_) {
+    compute_volumes();
+    volumes_ready_ = true;
+  }
+
+  fsr_.fill_flux(0.0);
+  std::fill(psi_in_.begin(), psi_in_.end(), 0.0f);
+  std::vector<double> prev_flux;
+
+  SolveResult result;
+  const int max_iter = options.fixed_iterations > 0
+                           ? options.fixed_iterations
+                           : options.max_iterations;
+  for (int iter = 1; iter <= max_iter; ++iter) {
+    fsr_.update_source_fixed(external);
+    fsr_.zero_accumulator();
+    std::fill(psi_next_.begin(), psi_next_.end(), 0.0f);
+    {
+      ScopedTimer sweep_probe("solver/transport_sweep");
+      sweep();
+    }
+    exchange();
+    std::swap(psi_in_, psi_next_);
+    fsr_.close_scalar_flux();
+
+    // Max relative change of the scalar flux since the last iteration.
+    const auto& flux = fsr_.scalar_flux();
+    double residual = 1.0;
+    if (!prev_flux.empty()) {
+      residual = 0.0;
+      for (std::size_t i = 0; i < flux.size(); ++i)
+        if (flux[i] > 0.0)
+          residual = std::max(residual,
+                              std::abs(flux[i] - prev_flux[i]) / flux[i]);
+    }
+    prev_flux.assign(flux.begin(), flux.end());
+
+    result.iterations = iter;
+    result.residual = residual;
+    if (options.verbose)
+      log::info("fixed-source iter ", iter, "  residual=", residual);
+    if (options.fixed_iterations <= 0 && iter >= 2 &&
+        residual < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  if (options.fixed_iterations > 0) result.converged = true;
+  return result;
+}
+
+namespace {
+constexpr char kCheckpointMagic[8] = {'A', 'N', 'T', 'M', 'O', 'C', '0', '1'};
+}
+
+void TransportSolver::save_state(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail<Error>("cannot open checkpoint for writing: " + path);
+  const std::int64_t num_fsrs = fsr_.num_fsrs();
+  const std::int32_t groups = fsr_.num_groups();
+  const std::int64_t psi_size = static_cast<std::int64_t>(psi_in_.size());
+  out.write(kCheckpointMagic, sizeof kCheckpointMagic);
+  out.write(reinterpret_cast<const char*>(&num_fsrs), sizeof num_fsrs);
+  out.write(reinterpret_cast<const char*>(&groups), sizeof groups);
+  out.write(reinterpret_cast<const char*>(&psi_size), sizeof psi_size);
+  out.write(reinterpret_cast<const char*>(&k_), sizeof k_);
+  const auto& flux = fsr_.scalar_flux();
+  out.write(reinterpret_cast<const char*>(flux.data()),
+            flux.size() * sizeof(double));
+  out.write(reinterpret_cast<const char*>(psi_in_.data()),
+            psi_in_.size() * sizeof(float));
+  require(static_cast<bool>(out), "checkpoint write failed: " + path);
+}
+
+void TransportSolver::load_state(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail<Error>("cannot open checkpoint: " + path);
+  char magic[8];
+  std::int64_t num_fsrs = 0, psi_size = 0;
+  std::int32_t groups = 0;
+  in.read(magic, sizeof magic);
+  require(in && std::equal(magic, magic + 8, kCheckpointMagic),
+          "not an ANT-MOC checkpoint: " + path);
+  in.read(reinterpret_cast<char*>(&num_fsrs), sizeof num_fsrs);
+  in.read(reinterpret_cast<char*>(&groups), sizeof groups);
+  in.read(reinterpret_cast<char*>(&psi_size), sizeof psi_size);
+  require(num_fsrs == fsr_.num_fsrs() && groups == fsr_.num_groups() &&
+              psi_size == static_cast<std::int64_t>(psi_in_.size()),
+          "checkpoint shape does not match this solver: " + path);
+  in.read(reinterpret_cast<char*>(&k_), sizeof k_);
+  std::vector<double> flux(num_fsrs * groups);
+  in.read(reinterpret_cast<char*>(flux.data()),
+          flux.size() * sizeof(double));
+  in.read(reinterpret_cast<char*>(psi_in_.data()),
+          psi_in_.size() * sizeof(float));
+  require(static_cast<bool>(in), "checkpoint truncated: " + path);
+  // Restore the flux through the public surface.
+  for (long r = 0; r < fsr_.num_fsrs(); ++r)
+    for (int g = 0; g < groups; ++g)
+      fsr_.accumulator()[r * groups + g] = 0.0;
+  fsr_.set_scalar_flux(std::move(flux));
+  state_loaded_ = true;
+}
+
+SolveResult TransportSolver::solve(const SolveOptions& options) {
+  ScopedTimer probe("solver/solve");
+  build_links();
+  if (!volumes_ready_) {
+    compute_volumes();
+    volumes_ready_ = true;
+  }
+
+  if (options.resume) {
+    require(state_loaded_, "resume requested but no checkpoint was loaded");
+    // Normalize the restored eigenvector exactly like a fresh iterate.
+    const double p = fsr_.fission_production();
+    require(p > 0.0, "restored state has no fission production");
+    fsr_.scale_flux(1.0 / p);
+    for (auto& v : psi_in_) v = static_cast<float>(v / p);
+    fsr_.update_source(k_);
+    fsr_.fission_source_residual();  // seed the residual history
+  } else {
+    // Initial guess: flat flux normalized to unit fission production.
+    fsr_.fill_flux(1.0);
+    std::fill(psi_in_.begin(), psi_in_.end(), 0.0f);
+    k_ = 1.0;
+    const double p0 = fsr_.fission_production();
+    require(p0 > 0.0,
+            "eigenvalue solve needs fissile material with tracked volume");
+    fsr_.scale_flux(1.0 / p0);
+    fsr_.update_source(k_);
+    fsr_.fission_source_residual();  // seed the residual history
+  }
+
+  SolveResult result;
+  const int max_iter = options.fixed_iterations > 0
+                           ? options.fixed_iterations
+                           : options.max_iterations;
+  for (int iter = 1; iter <= max_iter; ++iter) {
+    fsr_.zero_accumulator();
+    std::fill(psi_next_.begin(), psi_next_.end(), 0.0f);
+    {
+      ScopedTimer sweep_probe("solver/transport_sweep");
+      sweep();
+    }
+    exchange();
+    std::swap(psi_in_, psi_next_);
+    fsr_.close_scalar_flux();
+
+    // Power iteration: previous production was normalized to 1.
+    const double production = fsr_.fission_production();
+    require(production > 0.0, "fission production vanished mid-solve");
+    k_ *= production;
+    const double scale = 1.0 / production;
+    fsr_.scale_flux(scale);
+    for (auto& v : psi_in_) v = static_cast<float>(v * scale);
+
+    result.residual = fsr_.fission_source_residual();
+    result.iterations = iter;
+    result.k_eff = k_;
+    fsr_.update_source(k_);
+
+    if (options.verbose)
+      log::info("iter ", iter, "  k_eff=", k_, "  residual=",
+                result.residual);
+    // Converged when both the fission-source *shape* (residual) and the
+    // eigenvalue (successive production ratio, = k_n/k_{n-1}) are stable:
+    // a flat source converges in shape immediately while k still drifts.
+    if (options.fixed_iterations <= 0 && iter >= 3 &&
+        result.residual < options.tolerance &&
+        std::abs(production - 1.0) < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  if (options.fixed_iterations > 0) result.converged = true;
+  return result;
+}
+
+}  // namespace antmoc

@@ -1,0 +1,151 @@
+#pragma once
+
+/// \file transport_solver.h
+/// The k-eigenvalue transport solve (paper §3.1 stage 4).
+///
+/// Shared power-iteration driver over a virtual transport sweep:
+///   1. update the reduced source from the current flux and k,
+///   2. sweep every 3D track in both directions, attenuating the angular
+///      flux segment by segment (Eq. 1) and accumulating dpsi into FSRs,
+///   3. hand outgoing boundary fluxes to linked tracks (double-buffered —
+///      the Point-Jacobi update of §2.1 — so parallel sweeps are
+///      deterministic and domain decomposition needs no ordering),
+///   4. close the scalar flux, update k from the fission production ratio,
+///      normalize, and test the fission-source residual.
+
+#include <string>
+#include <vector>
+
+#include "material/material.h"
+#include "solver/exponential.h"
+#include "solver/fsr_data.h"
+#include "track/track3d.h"
+
+namespace antmoc {
+
+struct SolveOptions {
+  double tolerance = 1e-5;
+  int max_iterations = 2000;
+  /// Continue from state previously restored with load_state() instead of
+  /// re-initializing the flux guess.
+  bool resume = false;
+  /// Run exactly this many iterations, ignoring convergence (benchmarking
+  /// mode; <= 0 disables).
+  int fixed_iterations = 0;
+  bool verbose = false;
+};
+
+struct SolveResult {
+  double k_eff = 0.0;
+  int iterations = 0;
+  bool converged = false;
+  double residual = 0.0;
+};
+
+class TransportSolver {
+ public:
+  /// z-face link kinds default to the geometry's boundary conditions;
+  /// domain-decomposed solvers override them with kInterface.
+  TransportSolver(const TrackStacks& stacks,
+                  const std::vector<Material>& materials);
+  virtual ~TransportSolver() = default;
+
+  TransportSolver(const TransportSolver&) = delete;
+  TransportSolver& operator=(const TransportSolver&) = delete;
+
+  SolveResult solve(const SolveOptions& options = {});
+
+  /// Fixed-source mode: solves the subcritical transport problem with an
+  /// external isotropic source `external` [(fsr, group), neutrons/cm^3 s]
+  /// instead of the eigenvalue problem. Scattering and fission (at k=1)
+  /// remain in the source; the configuration must be subcritical or the
+  /// iteration diverges. Returns k_eff = 0 in the result; convergence is
+  /// on the max relative scalar-flux change.
+  SolveResult solve_fixed_source(const std::vector<double>& external,
+                                 const SolveOptions& options = {});
+
+  /// Writes the full iteration state (k, scalar flux, boundary angular
+  /// fluxes) to a binary checkpoint. A later solve with
+  /// SolveOptions::resume = true continues from it — long production runs
+  /// survive interruption.
+  void save_state(const std::string& path) const;
+
+  /// Restores a checkpoint written by save_state on an identically
+  /// configured solver (same geometry, tracks, groups); throws
+  /// antmoc::Error on any mismatch.
+  void load_state(const std::string& path);
+
+  FsrData& fsr() { return fsr_; }
+  const FsrData& fsr() const { return fsr_; }
+  const TrackStacks& stacks() const { return stacks_; }
+  double k_eff() const { return k_; }
+
+  /// Switches the attenuation factor 1-exp(-tau) to linear table
+  /// interpolation (the classic GPU optimization; §3.2). Pass nullptr to
+  /// restore the exact evaluator. The table must outlive the solver.
+  void set_exp_table(const ExpTable* table) { exp_table_ = table; }
+
+  /// Evaluates 1 - exp(-tau) with the active evaluator.
+  double attenuation(double tau) const {
+    return exp_table_ != nullptr ? (*exp_table_)(tau) : exp_f1(tau);
+  }
+
+  /// Boundary angular-flux slot of (track, direction): [id*2 + dir]*G.
+  /// Exposed for tests and the interface exchanger.
+  std::vector<float>& psi_in() { return psi_in_; }
+  std::vector<float>& psi_next() { return psi_next_; }
+
+  const std::vector<Link3D>& links() const { return links_; }
+
+ protected:
+  /// One full transport sweep: reads psi_in_, writes fsr().accumulator()
+  /// and psi_next_. Must call deposit() (or equivalent) for every
+  /// outgoing track end.
+  virtual void sweep() = 0;
+
+  /// Hook between sweep and flux closure (domain solvers exchange
+  /// interface fluxes and reduce accumulators here).
+  virtual void exchange() {}
+
+  /// Hook for interface links (default: flux is dropped; domain solvers
+  /// buffer it for their neighbor).
+  virtual void handle_interface(long source_id, bool source_forward,
+                                const Link3D& link, const double* psi) {
+    (void)source_id;
+    (void)source_forward;
+    (void)link;
+    (void)psi;
+  }
+
+  /// Routes an outgoing flux according to the cached link. Thread-safe for
+  /// concurrent distinct (id, dir) pairs when `atomic` is true.
+  void deposit(long id, bool forward, const double* psi, bool atomic);
+
+  /// Computes track-based FSR volumes and stores them in fsr().
+  /// Virtual so domain solvers can reduce partial volumes globally.
+  virtual void compute_volumes();
+
+  /// Allows subclasses (domain decomposition) to override z-face semantics
+  /// before links are cached; call once, before solve().
+  void set_z_kinds(LinkKind z_min, LinkKind z_max);
+
+  /// Caches per-(track, direction) links; invoked lazily by solve().
+  void build_links();
+
+  const TrackStacks& stacks_;
+  FsrData fsr_;
+  LinkKind z_min_kind_;
+  LinkKind z_max_kind_;
+  std::vector<float> psi_in_, psi_next_;
+  std::vector<Link3D> links_;
+  double k_ = 1.0;
+  const ExpTable* exp_table_ = nullptr;
+  bool links_built_ = false;
+  bool state_loaded_ = false;
+  bool volumes_ready_ = false;
+};
+
+/// Maps a geometry boundary condition to the link semantics of that face.
+LinkKind to_link_kind(BoundaryType bc);
+
+}  // namespace antmoc

@@ -1,0 +1,246 @@
+#include "track/generator2d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.h"
+
+namespace antmoc {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kLinkTol = 1e-6;   // endpoint coincidence tolerance (cm)
+constexpr double kTraceNudge = 1e-9;
+
+/// Quantized-point key for endpoint lookup.
+struct PointKey {
+  long long qx, qy;
+  auto operator<=>(const PointKey&) const = default;
+};
+
+PointKey make_key(Point2 p) {
+  // Cell size 4x the tolerance; neighbors are probed on lookup, so points
+  // within kLinkTol always share at least one probed cell.
+  constexpr double q = 4.0 * kLinkTol;
+  return {static_cast<long long>(std::llround(p.x / q)),
+          static_cast<long long>(std::llround(p.y / q))};
+}
+
+struct Endpoint {
+  int uid;
+  bool is_start;
+};
+
+}  // namespace
+
+TrackGenerator2D::TrackGenerator2D(const Quadrature& quadrature,
+                                   const Bounds& box,
+                                   std::array<LinkKind, 4> face_kinds)
+    : quadrature_(quadrature), box_(box) {
+  require(box.width_x() > 0 && box.width_y() > 0,
+          "track box must have positive extent");
+  lay_tracks();
+  link_tracks(face_kinds);
+}
+
+void TrackGenerator2D::lay_tracks() {
+  const auto& q = quadrature_;
+  const double wx = box_.width_x();
+  const double wy = box_.width_y();
+
+  azim_offset_.assign(q.num_azim_2() + 1, 0);
+  for (int a = 0; a < q.num_azim_2(); ++a)
+    azim_offset_[a + 1] = azim_offset_[a] + q.num_tracks(a);
+  tracks_.reserve(azim_offset_.back());
+
+  for (int a = 0; a < q.num_azim_2(); ++a) {
+    const double phi = q.phi(a);
+    const double ux = std::cos(phi);
+    const double uy = std::sin(phi);
+    const int nx = q.nx(a);
+    const int ny = q.ny(a);
+    const double dx = wx / nx;
+    const double dy = wy / ny;
+
+    std::vector<Point2> starts;
+    starts.reserve(nx + ny);
+    // All tracks move upward (phi in (0, pi)); nx of them enter through the
+    // bottom edge, ny through the left (phi < pi/2) or right edge.
+    for (int i = 0; i < nx; ++i)
+      starts.push_back({box_.x_min + dx * (i + 0.5), box_.y_min});
+    for (int j = 0; j < ny; ++j) {
+      if (phi < kPi / 2.0)
+        starts.push_back({box_.x_min, box_.y_min + dy * (j + 0.5)});
+      else
+        starts.push_back({box_.x_max, box_.y_min + dy * (j + 0.5)});
+    }
+
+    int index_in_azim = 0;
+    for (const Point2 s : starts) {
+      // Exit parameter through the box.
+      double t = kInfDistance;
+      if (ux > 0.0) t = std::min(t, (box_.x_max - s.x) / ux);
+      if (ux < 0.0) t = std::min(t, (box_.x_min - s.x) / ux);
+      if (uy > 0.0) t = std::min(t, (box_.y_max - s.y) / uy);
+      require(t > 0.0 && t < kInfDistance, "degenerate track laydown");
+
+      Point2 e{s.x + ux * t, s.y + uy * t};
+      // Snap the exit coordinate exactly onto the face it crosses, so
+      // cyclic endpoints coincide bit-for-bit as far as possible.
+      if (std::abs(e.x - box_.x_min) < kLinkTol) e.x = box_.x_min;
+      if (std::abs(e.x - box_.x_max) < kLinkTol) e.x = box_.x_max;
+      if (std::abs(e.y - box_.y_max) < kLinkTol) e.y = box_.y_max;
+
+      Track2D track;
+      track.start = s;
+      track.end = e;
+      track.phi = phi;
+      track.length = s.distance(e);
+      track.azim = a;
+      track.index_in_azim = index_in_azim++;
+      tracks_.push_back(std::move(track));
+    }
+  }
+}
+
+void TrackGenerator2D::link_tracks(
+    const std::array<LinkKind, 4>& face_kinds) {
+  // Endpoint lookup: quantized point -> endpoints at that point.
+  std::map<PointKey, std::vector<Endpoint>> lookup;
+  for (int uid = 0; uid < num_tracks(); ++uid) {
+    lookup[make_key(tracks_[uid].start)].push_back({uid, true});
+    lookup[make_key(tracks_[uid].end)].push_back({uid, false});
+  }
+
+  auto face_of = [&](Point2 p, double ox, double oy) -> Face {
+    // The face this outgoing direction leaves through. Corner points pick
+    // the face the direction actually exits.
+    if (std::abs(p.x - box_.x_min) < kLinkTol && ox < 0.0) return Face::kXMin;
+    if (std::abs(p.x - box_.x_max) < kLinkTol && ox > 0.0) return Face::kXMax;
+    if (std::abs(p.y - box_.y_min) < kLinkTol && oy < 0.0) return Face::kYMin;
+    if (std::abs(p.y - box_.y_max) < kLinkTol && oy > 0.0) return Face::kYMax;
+    fail<GeometryError>("track endpoint is not on the box boundary");
+  };
+
+  auto find_entry = [&](Point2 p, double dx, double dy,
+                        TrackLink& out) -> bool {
+    const PointKey base = make_key(p);
+    for (long long ix = -1; ix <= 1; ++ix)
+      for (long long iy = -1; iy <= 1; ++iy) {
+        const auto it = lookup.find({base.qx + ix, base.qy + iy});
+        if (it == lookup.end()) continue;
+        for (const Endpoint ep : it->second) {
+          const Track2D& cand = tracks_[ep.uid];
+          const Point2 cp = ep.is_start ? cand.start : cand.end;
+          if (std::abs(cp.x - p.x) > kLinkTol ||
+              std::abs(cp.y - p.y) > kLinkTol)
+            continue;
+          // Incoming direction at this endpoint when traversing the
+          // candidate forward (from start) or backward (from end).
+          const double sgn = ep.is_start ? 1.0 : -1.0;
+          const double cx = sgn * cand.ux();
+          const double cy = sgn * cand.uy();
+          if (cx * dx + cy * dy > 1.0 - 1e-9) {
+            out.track = ep.uid;
+            out.forward = ep.is_start;
+            return true;
+          }
+        }
+      }
+    return false;
+  };
+
+  auto link_end = [&](Point2 p, double ox, double oy) -> TrackLink {
+    TrackLink link;
+    link.face = face_of(p, ox, oy);
+    link.kind = face_kinds[static_cast<int>(link.face)];
+    if (link.kind == LinkKind::kVacuum) return link;
+
+    Point2 target = p;
+    double dx = ox, dy = oy;
+    switch (link.kind) {
+      case LinkKind::kReflective:
+        if (link.face == Face::kXMin || link.face == Face::kXMax)
+          dx = -dx;
+        else
+          dy = -dy;
+        break;
+      case LinkKind::kPeriodic:
+      case LinkKind::kInterface:
+        // Shift to the opposite face: for periodic BCs the flux re-enters
+        // this domain there; for interfaces the (modular, identical)
+        // neighbor layout makes the local uid valid in the neighbor.
+        switch (link.face) {
+          case Face::kXMin: target.x += box_.width_x(); break;
+          case Face::kXMax: target.x -= box_.width_x(); break;
+          case Face::kYMin: target.y += box_.width_y(); break;
+          case Face::kYMax: target.y -= box_.width_y(); break;
+          default: break;
+        }
+        break;
+      case LinkKind::kVacuum:
+        break;
+    }
+    require(find_entry(target, dx, dy, link),
+            "no matching track for a boundary link (cyclic laydown "
+            "violated?) at (" +
+                std::to_string(p.x) + ", " + std::to_string(p.y) + ")");
+    return link;
+  };
+
+  for (auto& t : tracks_) {
+    t.fwd_link = link_end(t.end, t.ux(), t.uy());
+    t.bwd_link = link_end(t.start, -t.ux(), -t.uy());
+  }
+}
+
+void TrackGenerator2D::trace(const Geometry& geometry) {
+  for (auto& track : tracks_) {
+    track.segments.clear();
+    const double ux = track.ux();
+    const double uy = track.uy();
+    Point2 pos = track.start;
+    double remaining = track.length;
+    int guard = 0;
+
+    while (remaining > 1e-9) {
+      require(++guard < 1000000, "2D ray trace failed to make progress");
+      const Point2 probe{pos.x + ux * kTraceNudge, pos.y + uy * kTraceNudge};
+      const double d =
+          geometry.distance_to_boundary(probe, ux, uy) + kTraceNudge;
+      const double step = std::min(d, remaining);
+      const Point2 mid{pos.x + ux * step * 0.5, pos.y + uy * step * 0.5};
+      const int region = geometry.find_radial(mid).region;
+
+      if (!track.segments.empty() && track.segments.back().region == region)
+        track.segments.back().length += step;  // merge across formal walls
+      else
+        track.segments.push_back({region, step});
+
+      pos.x += ux * step;
+      pos.y += uy * step;
+      remaining -= step;
+    }
+  }
+}
+
+long TrackGenerator2D::num_segments() const {
+  long total = 0;
+  for (const auto& t : tracks_) total += static_cast<long>(t.segments.size());
+  return total;
+}
+
+std::vector<double> TrackGenerator2D::region_areas(int num_regions) const {
+  // Each azimuthal angle independently tiles the plane; combine the
+  // per-angle estimates with the azimuthal weights.
+  std::vector<double> areas(num_regions, 0.0);
+  for (const auto& t : tracks_) {
+    const double w = quadrature_.azim_frac(t.azim) *
+                     quadrature_.spacing_eff(t.azim);
+    for (const auto& seg : t.segments) areas[seg.region] += w * seg.length;
+  }
+  return areas;
+}
+
+}  // namespace antmoc

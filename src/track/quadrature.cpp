@@ -1,0 +1,132 @@
+#include "track/quadrature.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace antmoc {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Tabuchi–Yamamoto optimized polar quadrature (sin(theta), weight) per
+/// hemisphere, the standard choice in 2D/3D MOC codes.
+struct TyRow {
+  double sin_theta;
+  double weight;
+};
+
+const TyRow kTy1[] = {{0.798184, 1.0}};
+const TyRow kTy2[] = {{0.363900, 0.212854}, {0.899900, 0.787146}};
+const TyRow kTy3[] = {{0.166648, 0.046233},
+                      {0.537707, 0.283619},
+                      {0.932954, 0.670148}};
+
+/// Gauss–Legendre nodes/weights on mu = cos(theta) in (0, 1), for polar
+/// counts beyond the tabulated TY sets. Uses Newton iteration on P_n over
+/// (-1, 1) and keeps the positive-mu half of the symmetric rule.
+void gauss_legendre_half(int n, std::vector<double>& mu,
+                         std::vector<double>& w) {
+  const int full = 2 * n;
+  for (int i = 0; i < full; ++i) {
+    // Initial guess (Abramowitz & Stegun 25.4.30 asymptotic root).
+    double x = std::cos(kPi * (i + 0.75) / (full + 0.5));
+    double pp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      // Evaluate P_full(x) by recurrence.
+      double p0 = 1.0, p1 = x;
+      for (int k = 2; k <= full; ++k) {
+        const double p2 = ((2 * k - 1) * x * p1 - (k - 1) * p0) / k;
+        p0 = p1;
+        p1 = p2;
+      }
+      pp = full * (x * p1 - p0) / (x * x - 1.0);
+      const double dx = p1 / pp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    if (x <= 0.0) continue;  // keep the mu > 0 half
+    mu.push_back(x);
+    // Re-evaluate derivative at the converged root for the weight.
+    double p0 = 1.0, p1 = x;
+    for (int k = 2; k <= full; ++k) {
+      const double p2 = ((2 * k - 1) * x * p1 - (k - 1) * p0) / k;
+      p0 = p1;
+      p1 = p2;
+    }
+    pp = full * (x * p1 - p0) / (x * x - 1.0);
+    w.push_back(2.0 / ((1.0 - x * x) * pp * pp));
+  }
+}
+
+}  // namespace
+
+Quadrature::Quadrature(int num_azim, double azim_spacing, double width_x,
+                       double width_y, int num_polar)
+    : num_azim_(num_azim) {
+  require(num_azim >= 4 && num_azim % 4 == 0,
+          "num_azim must be a positive multiple of 4");
+  require(azim_spacing > 0.0, "azimuthal track spacing must be positive");
+  require(width_x > 0.0 && width_y > 0.0,
+          "quadrature needs a positive radial extent");
+  require(num_polar >= 1, "need at least one polar angle");
+
+  const int n2 = num_azim / 2;
+  phi_.resize(n2);
+  azim_frac_.resize(n2);
+  spacing_eff_.resize(n2);
+  nx_.resize(n2);
+  ny_.resize(n2);
+
+  for (int a = 0; a < n2; ++a) {
+    const double phi_des = 2.0 * kPi / num_azim * (a + 0.5);
+    // Work in the first quadrant, mirror back afterwards.
+    const double phi_q =
+        phi_des < kPi / 2.0 ? phi_des : kPi - phi_des;
+    const int nx =
+        static_cast<int>(width_x / azim_spacing * std::sin(phi_q)) + 1;
+    const int ny =
+        static_cast<int>(width_y / azim_spacing * std::cos(phi_q)) + 1;
+    const double phi_eff = std::atan2(width_y * nx, width_x * ny);
+    nx_[a] = nx;
+    ny_[a] = ny;
+    phi_[a] = phi_des < kPi / 2.0 ? phi_eff : kPi - phi_eff;
+    spacing_eff_[a] = width_x / nx * std::sin(phi_eff);
+  }
+
+  // Azimuthal weights from the arcs between corrected angles; the scalar
+  // set spans [0, pi).
+  for (int a = 0; a < n2; ++a) {
+    const double lo = (a == 0) ? 0.0 : 0.5 * (phi_[a - 1] + phi_[a]);
+    const double hi = (a == n2 - 1) ? kPi : 0.5 * (phi_[a] + phi_[a + 1]);
+    azim_frac_[a] = (hi - lo) / kPi;
+  }
+
+  // Polar set.
+  const TyRow* table = nullptr;
+  if (num_polar == 1) table = kTy1;
+  if (num_polar == 2) table = kTy2;
+  if (num_polar == 3) table = kTy3;
+  if (table != nullptr) {
+    for (int p = 0; p < num_polar; ++p) {
+      sin_theta_.push_back(table[p].sin_theta);
+      cos_theta_.push_back(
+          std::sqrt(1.0 - table[p].sin_theta * table[p].sin_theta));
+      polar_frac_.push_back(table[p].weight);
+    }
+  } else {
+    std::vector<double> mu, w;
+    gauss_legendre_half(num_polar, mu, w);
+    require(static_cast<int>(mu.size()) == num_polar,
+            "Gauss-Legendre generation failed");
+    double wsum = 0.0;
+    for (double v : w) wsum += v;
+    for (int p = 0; p < num_polar; ++p) {
+      cos_theta_.push_back(mu[p]);
+      sin_theta_.push_back(std::sqrt(1.0 - mu[p] * mu[p]));
+      polar_frac_.push_back(w[p] / wsum);
+    }
+  }
+}
+
+}  // namespace antmoc

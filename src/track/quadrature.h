@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file quadrature.h
+/// Angular quadrature for 3D MOC (the S_N-style discretization of §2.1).
+///
+/// Azimuthal angles use *cyclic-track correction*: the requested angles and
+/// spacing are adjusted so that tracks laid across a W x H box biject onto
+/// boundary points — the property reflective/periodic linking and the
+/// paper's modular ray tracing (identical track laydown per sub-geometry,
+/// §3.2) depend on. Polar angles use the Tabuchi–Yamamoto optimized set for
+/// 1-3 angles per hemisphere and Gauss–Legendre above that.
+///
+/// Weight conventions:
+///   * azim_frac(a) sums to 1 over the scalar angles in [0, pi);
+///   * polar_frac(p) sums to 1 over the hemisphere;
+///   * each concrete direction (a, fwd/bwd, p, up/down) carries solid angle
+///     pi * azim_frac(a) * polar_frac(p), so all 4 sign combinations add to
+///     4*pi * azim_frac * polar_frac and the full sphere integrates to 4*pi.
+
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace antmoc {
+
+class Quadrature {
+ public:
+  /// \param num_azim   azimuthal angle count over 2*pi; multiple of 4.
+  /// \param azim_spacing  requested radial track spacing (cm).
+  /// \param width_x,width_y  radial extent of the (sub-)geometry the tracks
+  ///        will be laid on; the cyclic correction is box-specific.
+  /// \param num_polar  polar angles per hemisphere (>= 1).
+  Quadrature(int num_azim, double azim_spacing, double width_x,
+             double width_y, int num_polar);
+
+  // --- azimuthal -----------------------------------------------------------
+  int num_azim() const { return num_azim_; }
+  /// Scalar azimuthal angles (directions folded into [0, pi)).
+  int num_azim_2() const { return num_azim_ / 2; }
+
+  double phi(int a) const { return phi_[a]; }
+  double azim_frac(int a) const { return azim_frac_[a]; }
+  /// Corrected perpendicular spacing between tracks of angle a.
+  double spacing_eff(int a) const { return spacing_eff_[a]; }
+  /// Track counts crossing the x-extent (bottom/top) and y-extent edges.
+  int nx(int a) const { return nx_[a]; }
+  int ny(int a) const { return ny_[a]; }
+  /// Total tracks of angle a: nx + ny.
+  int num_tracks(int a) const { return nx_[a] + ny_[a]; }
+
+  /// The complementary angle (pi - phi); reflective partners of angle a's
+  /// tracks belong to angle complement(a).
+  int complement(int a) const { return num_azim_2() - 1 - a; }
+
+  // --- polar -----------------------------------------------------------------
+  int num_polar() const { return static_cast<int>(sin_theta_.size()); }
+  double sin_theta(int p) const { return sin_theta_[p]; }
+  double cos_theta(int p) const { return cos_theta_[p]; }
+  /// cot(theta) = dz/ds along the projected 2D arc-length for up-going rays.
+  double cot_theta(int p) const { return cos_theta_[p] / sin_theta_[p]; }
+  double polar_frac(int p) const { return polar_frac_[p]; }
+
+  /// Solid angle carried by one concrete direction (a, p, one of the four
+  /// sign combinations).
+  double direction_weight(int a, int p) const {
+    constexpr double kPi = 3.14159265358979323846;
+    return kPi * azim_frac_[a] * polar_frac_[p];
+  }
+
+ private:
+  int num_azim_;
+  std::vector<double> phi_, azim_frac_, spacing_eff_;
+  std::vector<int> nx_, ny_;
+  std::vector<double> sin_theta_, cos_theta_, polar_frac_;
+};
+
+}  // namespace antmoc

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file track2d.h
+/// 2D base tracks and their segments. In the OTF scheme (paper §3.2.1-2),
+/// 2D tracks and 2D segments are the persistent objects; 3D tracks are
+/// z-stacked on them and 3D segments are expanded on demand.
+
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace antmoc {
+
+/// What happens to angular flux leaving a track end.
+enum class LinkKind {
+  kVacuum,     ///< flux is lost
+  kReflective, ///< flux re-enters a complementary-angle track here
+  kPeriodic,   ///< flux re-enters the same-angle track on the opposite face
+  kInterface,  ///< flux is sent to the neighboring spatial domain
+};
+
+/// Connection of one track end to its continuation.
+struct TrackLink {
+  LinkKind kind = LinkKind::kVacuum;
+  /// Receiving track uid. For kInterface this indexes the *neighbor
+  /// domain's* (identical, modular) track array.
+  int track = -1;
+  /// True if the continuation enters `track` in its forward direction.
+  bool forward = true;
+  /// Face of the bounding box this end lies on.
+  Face face = Face::kXMin;
+};
+
+/// One 2D segment: a chord of a single radial region.
+struct Segment2D {
+  int region = -1;   ///< radial region id (geometry-wide)
+  double length = 0; ///< chord length in the radial plane (cm)
+};
+
+struct Track2D {
+  Point2 start;
+  Point2 end;
+  double phi = 0.0;    ///< direction of forward traversal, in [0, pi)
+  double length = 0.0;
+  int azim = -1;       ///< scalar azimuthal index
+  int index_in_azim = -1;
+
+  TrackLink fwd_link;  ///< continuation past `end`
+  TrackLink bwd_link;  ///< continuation past `start` (traversed backward)
+
+  std::vector<Segment2D> segments;
+
+  double ux() const { return std::cos(phi); }
+  double uy() const { return std::sin(phi); }
+};
+
+}  // namespace antmoc

@@ -1,0 +1,251 @@
+#include "track/track3d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace antmoc {
+namespace {
+constexpr double kSTol = 1e-12;
+}
+
+TrackStacks::TrackStacks(const TrackGenerator2D& gen, const Geometry& geometry,
+                         double z_lo, double z_hi, double z_spacing)
+    : gen_(gen),
+      geometry_(&geometry),
+      z_lo_(z_lo),
+      z_hi_(z_hi),
+      num_polar_(gen.quadrature().num_polar()) {
+  require(z_hi > z_lo, "TrackStacks needs a positive axial extent");
+  require(z_spacing > 0.0, "z spacing must be positive");
+  require(gen.num_segments() > 0,
+          "TrackStacks requires a traced 2D generator (call trace() first)");
+
+  // Correct dz so wz/dz is an integer: mirror images about both z faces and
+  // axial-interface lattice shifts then map the intercept lattice onto
+  // itself (see the file comment in track3d.h).
+  const double wz = z_hi - z_lo;
+  const long n = std::max(1L, std::lround(wz / z_spacing));
+  dz_ = wz / static_cast<double>(n);
+
+  const auto& quad = gen.quadrature();
+  const int t2d_count = gen.num_tracks();
+  stacks_.resize(static_cast<std::size_t>(t2d_count) * num_polar_);
+  base_.assign(static_cast<std::size_t>(t2d_count) * num_polar_ + 1, 0);
+
+  seg_ends_.resize(t2d_count);
+  for (int t = 0; t < t2d_count; ++t) {
+    const auto& segs = gen.track(t).segments;
+    auto& ends = seg_ends_[t];
+    ends.reserve(segs.size());
+    double s = 0.0;
+    for (const auto& seg : segs) {
+      s += seg.length;
+      ends.push_back(s);
+    }
+  }
+
+  long next = 0;
+  for (int t = 0; t < t2d_count; ++t) {
+    const double len = gen.track(t).length;
+    for (int p = 0; p < num_polar_; ++p) {
+      const double c = quad.cot_theta(p);
+      const double lc = len * c;
+      Stack& s = stacks_[static_cast<std::size_t>(t) * num_polar_ + p];
+      // Up stack: intercepts z0 in (z_lo - L*cot, z_hi).
+      s.m_lo_up = static_cast<int>(std::floor(-lc / dz_ - 0.5 + 1e-9)) + 1;
+      const int m_hi_up =
+          static_cast<int>(std::floor(wz / dz_ - 0.5 - 1e-9));
+      s.nz_up = std::max(0, m_hi_up - s.m_lo_up + 1);
+      // Down stack: intercepts in (z_lo, z_hi + L*cot).
+      s.m_lo_dn = 0;
+      const int m_hi_dn =
+          static_cast<int>(std::floor((wz + lc) / dz_ - 0.5 - 1e-9));
+      s.nz_dn = std::max(0, m_hi_dn - s.m_lo_dn + 1);
+
+      s.base = next;
+      base_[static_cast<std::size_t>(t) * num_polar_ + p] = next;
+      next += s.nz_up + s.nz_dn;
+    }
+  }
+  base_.back() = next;
+}
+
+long TrackStacks::id(int t2d, int p, bool up, int zindex) const {
+  const Stack& s = stack(t2d, p);
+  require(zindex >= 0 && zindex < (up ? s.nz_up : s.nz_dn),
+          "3D track z-index out of range");
+  return s.base + (up ? 0 : s.nz_up) + zindex;
+}
+
+int TrackStacks::lattice_index(double z0) const {
+  return static_cast<int>(std::lround((z0 - z_lo_) / dz_ - 0.5));
+}
+
+Track3DInfo TrackStacks::info(long id) const {
+  require(id >= 0 && id < num_tracks(), "3D track id out of range");
+  // Locate the stack by binary search over cumulative bases.
+  const auto it = std::upper_bound(base_.begin(), base_.end(), id);
+  const std::size_t stack_idx =
+      static_cast<std::size_t>(it - base_.begin()) - 1;
+  const Stack& s = stacks_[stack_idx];
+  const int t2d = static_cast<int>(stack_idx) / num_polar_;
+  const int p = static_cast<int>(stack_idx) % num_polar_;
+
+  Track3DInfo t;
+  t.id = id;
+  t.track2d = t2d;
+  t.polar = p;
+  long k = id - s.base;
+  if (k < s.nz_up) {
+    t.up = true;
+    t.zindex = static_cast<int>(k);
+    t.z0 = lattice_z(s.m_lo_up + t.zindex);
+  } else {
+    t.up = false;
+    t.zindex = static_cast<int>(k - s.nz_up);
+    t.z0 = lattice_z(s.m_lo_dn + t.zindex);
+  }
+  const auto& quad = gen_.quadrature();
+  t.cot = quad.cot_theta(p);
+  t.sin_theta = quad.sin_theta(p);
+  const double len = gen_.track(t2d).length;
+  if (t.up) {
+    t.s_entry = std::max(0.0, (z_lo_ - t.z0) / t.cot);
+    t.s_exit = std::min(len, (z_hi_ - t.z0) / t.cot);
+  } else {
+    t.s_entry = std::max(0.0, (t.z0 - z_hi_) / t.cot);
+    t.s_exit = std::min(len, (t.z0 - z_lo_) / t.cot);
+  }
+  return t;
+}
+
+long TrackStacks::id_for_intercept(int t2d, int p, bool up,
+                                   double z0_target) const {
+  const Stack& s = stack(t2d, p);
+  const int m_lo = up ? s.m_lo_up : s.m_lo_dn;
+  const int nz = up ? s.nz_up : s.nz_dn;
+  require(nz > 0, "empty 3D track stack in link target");
+  int m = lattice_index(z0_target);
+  m = std::clamp(m, m_lo, m_lo + nz - 1);
+  return s.base + (up ? 0 : s.nz_up) + (m - m_lo);
+}
+
+Link3D TrackStacks::link(long id, bool forward, LinkKind z_min_kind,
+                         LinkKind z_max_kind) const {
+  const Track3DInfo t = info(id);
+  const Track2D& t2 = gen_.track(t.track2d);
+  const Stack& s = stack(t.track2d, t.polar);
+  const double len = t2.length;
+  const long n = std::lround((z_hi_ - z_lo_) / dz_);
+
+  // Radial continuation shared by all four sweep/stack cases.
+  auto radial = [&](const TrackLink& l2, bool going_up,
+                    double z_exit) -> Link3D {
+    Link3D out;
+    out.face = l2.face;
+    if (l2.kind == LinkKind::kVacuum) return out;
+    out.kind = l2.kind == LinkKind::kInterface ? Link3D::Kind::kInterface
+                                               : Link3D::Kind::kLocal;
+    if (l2.forward) {
+      // Enter the target 2D track at s'=0 sweeping forward: forward sweep
+      // of an up-stack is up-going, of a down-stack down-going.
+      const bool target_up = going_up;
+      out.track = id_for_intercept(l2.track, t.polar, target_up, z_exit);
+      out.forward = true;
+    } else {
+      // Enter at the far end sweeping backward: backward of a down-stack
+      // goes up, backward of an up-stack goes down.
+      const bool target_up = !going_up;
+      const double target_len = gen_.track(l2.track).length;
+      const double z0_target = target_up ? z_exit - target_len * t.cot
+                                         : z_exit + target_len * t.cot;
+      out.track = id_for_intercept(l2.track, t.polar, target_up, z0_target);
+      out.forward = false;
+    }
+    return out;
+  };
+
+  // Axial continuation (exit through a z face).
+  auto axial = [&](Face face, LinkKind kind, bool sweep_forward) -> Link3D {
+    Link3D out;
+    out.face = face;
+    if (kind == LinkKind::kVacuum) return out;
+    const int m = (t.up ? s.m_lo_up : s.m_lo_dn) + t.zindex;
+    if (kind == LinkKind::kReflective) {
+      // Mirror the intercept about the face; stack direction flips,
+      // sweep direction is preserved. Lattice-exact (see header).
+      const double z_face = face == Face::kZMax ? z_hi_ : z_lo_;
+      const double z0_target = 2.0 * z_face - t.z0;
+      out.kind = Link3D::Kind::kLocal;
+      out.track =
+          id_for_intercept(t.track2d, t.polar, !t.up, z0_target);
+      out.forward = sweep_forward;
+      return out;
+    }
+    // Periodic wrap or axial interface: same stack direction and sweep
+    // direction, intercept shifted by one domain height (m -/+ n).
+    const long m_shift = face == Face::kZMax ? m - n : m + n;
+    const int m_lo = t.up ? s.m_lo_up : s.m_lo_dn;
+    const int nz = t.up ? s.nz_up : s.nz_dn;
+    const long k = std::clamp(m_shift - m_lo, 0L, static_cast<long>(nz) - 1);
+    out.kind = kind == LinkKind::kInterface ? Link3D::Kind::kInterface
+                                            : Link3D::Kind::kLocal;
+    out.track = s.base + (t.up ? 0 : s.nz_up) + k;
+    out.forward = sweep_forward;
+    return out;
+  };
+
+  if (forward) {
+    const bool radial_exit = t.s_exit >= len - kSTol;
+    if (radial_exit)
+      return radial(t2.fwd_link, /*going_up=*/t.up, t.z_at(t.s_exit));
+    // Up-stack forward exits the top; down-stack forward exits the bottom.
+    return t.up ? axial(Face::kZMax, z_max_kind, true)
+                : axial(Face::kZMin, z_min_kind, true);
+  }
+  const bool radial_exit = t.s_entry <= kSTol;
+  if (radial_exit)
+    return radial(t2.bwd_link, /*going_up=*/!t.up, t.z_at(t.s_entry));
+  // Up-stack backward exits the bottom; down-stack backward exits the top.
+  return t.up ? axial(Face::kZMin, z_min_kind, false)
+              : axial(Face::kZMax, z_max_kind, false);
+}
+
+double TrackStacks::track_area(long id) const {
+  const Track3DInfo t = info(id);
+  const auto& quad = gen_.quadrature();
+  return quad.spacing_eff(gen_.track(t.track2d).azim) * dz_ * t.sin_theta;
+}
+
+double TrackStacks::direction_weight(long id) const {
+  const Track3DInfo t = info(id);
+  return gen_.quadrature().direction_weight(gen_.track(t.track2d).azim,
+                                            t.polar);
+}
+
+long TrackStacks::count_segments(const Track3DInfo& t) const {
+  long count = 0;
+  walk(t, /*forward=*/true, [&](long, double) { ++count; });
+  return count;
+}
+
+long TrackStacks::count_segments(long id) const {
+  return count_segments(info(id));
+}
+
+std::vector<Segment3D> TrackStacks::expand(long id) const {
+  std::vector<Segment3D> out;
+  walk(info(id), /*forward=*/true,
+       [&](long fsr, double length) { out.push_back({fsr, length}); });
+  return out;
+}
+
+long TrackStacks::total_segments() const {
+  long total = 0;
+  for (long id = 0; id < num_tracks(); ++id) total += count_segments(id);
+  return total;
+}
+
+}  // namespace antmoc

@@ -1,0 +1,48 @@
+#include "util/cli.h"
+
+#include <cstring>
+
+#include "util/error.h"
+
+namespace antmoc {
+
+Config parse_cli(int argc, const char* const* argv) {
+  // First pass: find --config so file values can be overridden by flags.
+  Config cfg;
+  auto canonical = [](std::string arg) {
+    // Accept both --key and the paper artifact's single-dash -key form.
+    if (arg.rfind("--", 0) == 0) return arg.substr(2);
+    if (arg.rfind('-', 0) == 0) return arg.substr(1);
+    return std::string();
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = canonical(argv[i]);
+    if (arg.rfind("config=", 0) == 0)
+      cfg = Config::load(arg.substr(std::strlen("config=")));
+    else if (arg == "config" && i + 1 < argc)
+      cfg = Config::load(argv[i + 1]);
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = canonical(argv[i]);
+    if (arg.empty())
+      fail<ConfigError>(std::string("unexpected positional argument: ") +
+                        argv[i]);
+    if (arg.rfind("config", 0) == 0) {
+      if (arg == "config") ++i;  // skip the separate path argument
+      continue;
+    }
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      cfg.set(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      cfg.set(arg, argv[++i]);
+    } else {
+      cfg.set(arg, "true");
+    }
+  }
+  return cfg;
+}
+
+}  // namespace antmoc

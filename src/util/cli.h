@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file cli.h
+/// Tiny command-line parser for examples and benches.
+/// Accepts `--key=value`, `--key value`, bare `--flag` (-> "true"), and
+/// the paper artifact's single-dash forms (`-config=...`).
+
+#include <string>
+
+#include "util/config.h"
+
+namespace antmoc {
+
+/// Parses argv into a Config. A `--config=path` option loads that file
+/// first; remaining options override file values (dotted keys allowed).
+Config parse_cli(int argc, const char* const* argv);
+
+}  // namespace antmoc

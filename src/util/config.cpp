@@ -1,0 +1,195 @@
+#include "util/config.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace antmoc {
+namespace {
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Removes an unquoted trailing comment.
+std::string strip_comment(const std::string& line) {
+  bool in_quote = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '"') in_quote = !in_quote;
+    if (line[i] == '#' && !in_quote) return line.substr(0, i);
+  }
+  return line;
+}
+
+std::string unquote(std::string v) {
+  if (v.size() >= 2 && v.front() == '"' && v.back() == '"')
+    return v.substr(1, v.size() - 2);
+  return v;
+}
+
+std::vector<std::string> split_list(const std::string& v,
+                                    const std::string& key) {
+  if (v.size() < 2 || v.front() != '[' || v.back() != ']')
+    fail<ConfigError>("config key '" + key + "' is not a [list]: " + v);
+  std::vector<std::string> items;
+  std::string body = v.substr(1, v.size() - 2);
+  std::istringstream is(body);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    item = strip(item);
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+long to_int(const std::string& v, const std::string& key) {
+  char* end = nullptr;
+  long value = std::strtol(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0')
+    fail<ConfigError>("config key '" + key + "' is not an integer: " + v);
+  return value;
+}
+
+double to_double(const std::string& v, const std::string& key) {
+  char* end = nullptr;
+  double value = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0')
+    fail<ConfigError>("config key '" + key + "' is not a number: " + v);
+  return value;
+}
+
+bool to_bool(const std::string& v, const std::string& key) {
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  fail<ConfigError>("config key '" + key + "' is not a boolean: " + v);
+}
+
+}  // namespace
+
+Config Config::parse(const std::string& text) {
+  Config cfg;
+  std::istringstream is(text);
+  std::string line;
+  std::string section;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    line = strip_comment(line);
+    const std::string trimmed = strip(line);
+    if (trimmed.empty()) continue;
+
+    const bool indented =
+        !line.empty() && std::isspace(static_cast<unsigned char>(line[0]));
+    const auto colon = trimmed.find(':');
+    if (colon == std::string::npos)
+      fail<ConfigError>("config line " + std::to_string(lineno) +
+                        " has no ':' separator: " + trimmed);
+
+    const std::string key = strip(trimmed.substr(0, colon));
+    const std::string value = strip(trimmed.substr(colon + 1));
+    if (key.empty())
+      fail<ConfigError>("config line " + std::to_string(lineno) +
+                        " has an empty key");
+
+    if (value.empty()) {
+      // A section header; subsequent indented keys are nested under it.
+      section = key;
+      continue;
+    }
+    const std::string full =
+        (indented && !section.empty()) ? section + "." + key : key;
+    if (!indented) section.clear();
+    cfg.values_[full] = unquote(value);
+  }
+  return cfg;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail<ConfigError>("cannot open config file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+bool Config::contains(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::optional<std::string> Config::raw(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key) const {
+  auto v = raw(key);
+  if (!v) fail<ConfigError>("missing config key: " + key);
+  return *v;
+}
+
+long Config::get_int(const std::string& key) const {
+  return to_int(get_string(key), key);
+}
+
+double Config::get_double(const std::string& key) const {
+  return to_double(get_string(key), key);
+}
+
+bool Config::get_bool(const std::string& key) const {
+  return to_bool(get_string(key), key);
+}
+
+std::vector<long> Config::get_int_list(const std::string& key) const {
+  std::vector<long> out;
+  for (const auto& item : split_list(get_string(key), key))
+    out.push_back(to_int(item, key));
+  return out;
+}
+
+std::vector<double> Config::get_double_list(const std::string& key) const {
+  std::vector<double> out;
+  for (const auto& item : split_list(get_string(key), key))
+    out.push_back(to_double(item, key));
+  return out;
+}
+
+std::string Config::get_string(const std::string& key,
+                               std::string fallback) const {
+  auto v = raw(key);
+  return v ? *v : std::move(fallback);
+}
+
+long Config::get_int(const std::string& key, long fallback) const {
+  auto v = raw(key);
+  return v ? to_int(*v, key) : fallback;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto v = raw(key);
+  return v ? to_double(*v, key) : fallback;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto v = raw(key);
+  return v ? to_bool(*v, key) : fallback;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace antmoc

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file config.h
+/// Run configuration. ANT-MOC reads a YAML-like configuration file holding
+/// spatial-decomposition and track-generation parameters (paper §3.1 step 1,
+/// artifact's `config.yaml`). This parser supports the subset those files
+/// use: `key: value` pairs, one level of `section:` nesting by indentation,
+/// flow lists `[a, b, c]`, comments with `#`, and blank lines. Nested keys
+/// are addressed as "section.key".
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace antmoc {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from file contents; throws ConfigError on malformed input.
+  static Config parse(const std::string& text);
+
+  /// Parse from a file on disk; throws ConfigError if unreadable.
+  static Config load(const std::string& path);
+
+  bool contains(const std::string& key) const;
+
+  /// Typed getters; throw ConfigError on missing key or bad conversion.
+  std::string get_string(const std::string& key) const;
+  long get_int(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  bool get_bool(const std::string& key) const;
+  std::vector<long> get_int_list(const std::string& key) const;
+  std::vector<double> get_double_list(const std::string& key) const;
+
+  /// Getters with defaults; never throw on missing key (still throw on a
+  /// present-but-malformed value so typos are not silently ignored).
+  std::string get_string(const std::string& key, std::string fallback) const;
+  long get_int(const std::string& key, long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Insert or overwrite a value programmatically.
+  void set(const std::string& key, const std::string& value);
+
+  /// All keys, sorted (for diagnostics and round-trip tests).
+  std::vector<std::string> keys() const;
+
+ private:
+  std::optional<std::string> raw(const std::string& key) const;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace antmoc

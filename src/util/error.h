@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file error.h
+/// Error types and invariant-checking helpers used across ANT-MOC.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace antmoc {
+
+/// Base class for all ANT-MOC errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A configuration file or parameter was malformed or out of range.
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A geometric query failed (point outside geometry, unbounded cell, ...).
+class GeometryError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A device-memory allocation exceeded the arena capacity.
+class DeviceOutOfMemory : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The transport solve failed to converge or produced non-physical values.
+class SolverError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Throw `E` with `msg` decorated with the call site.
+template <class E = Error>
+[[noreturn]] inline void fail(
+    const std::string& msg,
+    std::source_location loc = std::source_location::current()) {
+  throw E(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
+          ": " + msg);
+}
+
+/// Check a runtime invariant; throws antmoc::Error on failure.
+/// Unlike assert(), stays active in release builds: transport solves are
+/// long-running and silent corruption is worse than an aborted run.
+inline void require(
+    bool cond, const std::string& msg,
+    std::source_location loc = std::source_location::current()) {
+  if (!cond) fail<Error>(msg, loc);
+}
+
+}  // namespace antmoc

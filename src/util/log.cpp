@@ -1,0 +1,58 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+namespace antmoc::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kInfo};
+std::mutex g_mutex;
+std::ofstream g_file;
+
+const char* tag(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO ";
+    case Level::kWarn:
+      return "WARN ";
+    case Level::kError:
+      return "ERROR";
+    default:
+      return "?????";
+  }
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_file(const std::string& path) {
+  std::lock_guard lock(g_mutex);
+  if (g_file.is_open()) g_file.close();
+  if (!path.empty()) g_file.open(path, std::ios::app);
+}
+
+void write(Level level, const std::string& msg) {
+  using clock = std::chrono::steady_clock;
+  static const auto t0 = clock::now();
+  const double secs =
+      std::chrono::duration<double>(clock::now() - t0).count();
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix, "[%9.3f] %s ", secs, tag(level));
+
+  std::lock_guard lock(g_mutex);
+  if (g_file.is_open())
+    g_file << prefix << msg << '\n';
+  else
+    std::cerr << prefix << msg << '\n';
+}
+
+}  // namespace antmoc::log

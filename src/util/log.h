@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file log.h
+/// Minimal leveled logger. Thread-safe; writes to stderr by default so
+/// result tables printed by benches stay clean on stdout.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace antmoc::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold: messages below this level are dropped.
+void set_level(Level level);
+Level level();
+
+/// Redirect log output to a file (empty path restores stderr).
+void set_file(const std::string& path);
+
+void write(Level level, const std::string& msg);
+
+namespace detail {
+template <class... Args>
+std::string format(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <class... Args>
+void debug(Args&&... args) {
+  if (level() <= Level::kDebug)
+    write(Level::kDebug, detail::format(std::forward<Args>(args)...));
+}
+template <class... Args>
+void info(Args&&... args) {
+  if (level() <= Level::kInfo)
+    write(Level::kInfo, detail::format(std::forward<Args>(args)...));
+}
+template <class... Args>
+void warn(Args&&... args) {
+  if (level() <= Level::kWarn)
+    write(Level::kWarn, detail::format(std::forward<Args>(args)...));
+}
+template <class... Args>
+void error(Args&&... args) {
+  if (level() <= Level::kError)
+    write(Level::kError, detail::format(std::forward<Args>(args)...));
+}
+
+}  // namespace antmoc::log

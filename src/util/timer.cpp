@@ -1,0 +1,45 @@
+#include "util/timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace antmoc {
+
+TimerRegistry& TimerRegistry::instance() {
+  static TimerRegistry registry;
+  return registry;
+}
+
+void TimerRegistry::add(const std::string& name, double seconds) {
+  std::lock_guard lock(mutex_);
+  totals_[name] += seconds;
+}
+
+double TimerRegistry::seconds(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = totals_.find(name);
+  return it == totals_.end() ? 0.0 : it->second;
+}
+
+std::string TimerRegistry::report() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, double>> rows(totals_.begin(),
+                                                   totals_.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::string out;
+  for (const auto& [name, secs] : rows) {
+    char line[160];
+    std::snprintf(line, sizeof line, "%-40s %12.6f s\n", name.c_str(), secs);
+    out += line;
+  }
+  return out;
+}
+
+void TimerRegistry::clear() {
+  std::lock_guard lock(mutex_);
+  totals_.clear();
+}
+
+}  // namespace antmoc

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file timer.h
+/// Wall-clock timers and a process-wide named-timer registry used by the
+/// run-log tables (the paper's artifact reports per-stage execution times
+/// from the run log; TimerRegistry::report() regenerates that table).
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace antmoc {
+
+/// Simple restartable stopwatch.
+class Timer {
+ public:
+  void start() { start_ = clock::now(); running_ = true; }
+
+  /// Stops the watch and adds the elapsed interval to the accumulated total.
+  void stop() {
+    if (!running_) return;
+    total_ += std::chrono::duration<double>(clock::now() - start_).count();
+    running_ = false;
+  }
+
+  void reset() { total_ = 0.0; running_ = false; }
+
+  /// Accumulated seconds (includes the live interval if still running).
+  double seconds() const {
+    double t = total_;
+    if (running_)
+      t += std::chrono::duration<double>(clock::now() - start_).count();
+    return t;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_{};
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+/// Process-wide registry of named accumulating timers. Thread-safe.
+class TimerRegistry {
+ public:
+  static TimerRegistry& instance();
+
+  /// Adds `seconds` to the named bucket.
+  void add(const std::string& name, double seconds);
+
+  double seconds(const std::string& name) const;
+
+  /// Formats "name: seconds" lines sorted by descending time.
+  std::string report() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, double> totals_;
+};
+
+/// RAII probe: accumulates its lifetime into TimerRegistry under `name`.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string name) : name_(std::move(name)) {
+    timer_.start();
+  }
+  ~ScopedTimer() {
+    timer_.stop();
+    TimerRegistry::instance().add(name_, timer_.seconds());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string name_;
+  Timer timer_;
+};
+
+}  // namespace antmoc

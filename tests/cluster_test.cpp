@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "cluster/scaling.h"
+#include "util/error.h"
+
+namespace antmoc::cluster {
+namespace {
+
+WorkloadSpec strong_workload() {
+  WorkloadSpec w;
+  w.strong = true;
+  w.tracks_per_gpu_base = 54581544;
+  w.base_gpus = 1000;
+  return w;
+}
+
+WorkloadSpec weak_workload() {
+  WorkloadSpec w = strong_workload();
+  w.strong = false;
+  w.tracks_per_gpu_base = 5124596;
+  return w;
+}
+
+const std::vector<int> kGpuCounts{1000, 2000, 4000, 8000, 16000};
+
+TEST(Scaling, DeterministicForFixedSeed) {
+  const ScalingSimulator sim(MachineSpec{}, strong_workload());
+  const auto a = sim.evaluate(2000, MappingConfig::all());
+  const auto b = sim.evaluate(2000, MappingConfig::all());
+  EXPECT_DOUBLE_EQ(a.time_per_iteration_s, b.time_per_iteration_s);
+  EXPECT_DOUBLE_EQ(a.gpu_load_uniformity, b.gpu_load_uniformity);
+}
+
+TEST(Scaling, StrongScalingReducesIterationTime) {
+  const ScalingSimulator sim(MachineSpec{}, strong_workload());
+  const auto pts = sim.sweep(kGpuCounts, MappingConfig::all());
+  ASSERT_EQ(pts.size(), kGpuCounts.size());
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_LT(pts[i].time_per_iteration_s,
+              pts[i - 1].time_per_iteration_s);
+  EXPECT_DOUBLE_EQ(pts.front().efficiency, 1.0);
+}
+
+TEST(Scaling, StrongEfficiencyInPaperBandAt16k) {
+  // Paper: 70.69% strong-scaling efficiency at 16,000 GPUs with all
+  // optimizations; reproduce the band, not the exact digit.
+  const ScalingSimulator sim(MachineSpec{}, strong_workload());
+  const auto pts = sim.sweep(kGpuCounts, MappingConfig::all());
+  const auto& last = pts.back();
+  EXPECT_EQ(last.gpus, 16000);
+  EXPECT_GT(last.efficiency, 0.55);
+  EXPECT_LT(last.efficiency, 0.95);
+}
+
+TEST(Scaling, ResidencyBumpAppearsAsGpusGrow) {
+  // Paper §5.5: at >= 8000 GPUs per-GPU segments fit the Manager budget,
+  // all tracks become resident, and efficiency improves.
+  const ScalingSimulator sim(MachineSpec{}, strong_workload());
+  const auto pts = sim.sweep(kGpuCounts, MappingConfig::all());
+  EXPECT_LT(pts.front().resident_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(pts.back().resident_fraction, 1.0);
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_GE(pts[i].resident_fraction, pts[i - 1].resident_fraction);
+}
+
+TEST(Scaling, LoadMappingImprovesStrongScaling) {
+  // Paper: >= 12% gain from balancing at the largest scale.
+  const ScalingSimulator sim(MachineSpec{}, strong_workload());
+  const auto with = sim.evaluate(16000, MappingConfig::all());
+  const auto without = sim.evaluate(16000, MappingConfig::none());
+  EXPECT_LT(with.time_per_iteration_s, without.time_per_iteration_s);
+  const double gain = (without.time_per_iteration_s -
+                       with.time_per_iteration_s) /
+                      without.time_per_iteration_s;
+  EXPECT_GT(gain, 0.08);
+  EXPECT_LT(with.gpu_load_uniformity, without.gpu_load_uniformity);
+}
+
+TEST(Scaling, WeakEfficiencyInPaperBandAt16k) {
+  // Paper: 89.38% weak-scaling efficiency at 16,000 GPUs (174.66 billion
+  // tracks).
+  const ScalingSimulator sim(MachineSpec{}, weak_workload());
+  const auto pts = sim.sweep(kGpuCounts, MappingConfig::all());
+  const auto& last = pts.back();
+  EXPECT_GT(last.efficiency, 0.80);
+  EXPECT_LE(last.efficiency, 1.0);
+  // Total tracks at 16k GPUs: the paper quotes 174.66 billion-scale.
+  EXPECT_GT(last.total_tracks, 5124596L * 16000L * 0.99);
+}
+
+TEST(Scaling, WeakScalingDegradesWithoutBalancing) {
+  const ScalingSimulator sim(MachineSpec{}, weak_workload());
+  const auto with = sim.sweep(kGpuCounts, MappingConfig::all());
+  const auto without = sim.sweep(kGpuCounts, MappingConfig::none());
+  EXPECT_GT(with.back().efficiency, without.back().efficiency);
+}
+
+TEST(Scaling, MappingLevelsEachContribute) {
+  const ScalingSimulator sim(MachineSpec{}, strong_workload());
+  MappingConfig l1_only{true, false, false};
+  MappingConfig l1_l2{true, true, false};
+  const auto none = sim.evaluate(4000, MappingConfig::none());
+  const auto l1 = sim.evaluate(4000, l1_only);
+  const auto l12 = sim.evaluate(4000, l1_l2);
+  const auto all = sim.evaluate(4000, MappingConfig::all());
+  EXPECT_LE(l1.gpu_load_uniformity, none.gpu_load_uniformity + 1e-9);
+  EXPECT_LT(l12.gpu_load_uniformity, l1.gpu_load_uniformity);
+  EXPECT_LT(all.cu_uniformity, l12.cu_uniformity);
+  EXPECT_LT(all.time_per_iteration_s, none.time_per_iteration_s);
+}
+
+TEST(Scaling, RejectsSubNodeGpuCounts) {
+  const ScalingSimulator sim(MachineSpec{}, strong_workload());
+  EXPECT_THROW(sim.evaluate(2, MappingConfig::all()), Error);
+}
+
+}  // namespace
+}  // namespace antmoc::cluster

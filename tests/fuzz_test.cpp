@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/c5g7_model.h"
+#include "track/quadrature.h"
+#include "util/config.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace antmoc {
+namespace {
+
+// ----------------------------------------------------------- config fuzz ---
+
+TEST(ConfigFuzz, RandomInputNeverCrashes) {
+  // Random printable garbage must either parse or throw ConfigError —
+  // never crash or hang.
+  Rng rng(2024);
+  const std::string alphabet =
+      "abc: 123.#[]\"-\n\t xyz_", quote = "\"";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text;
+    const int len = 1 + static_cast<int>(rng.next_below(120));
+    for (int i = 0; i < len; ++i)
+      text += alphabet[rng.next_below(alphabet.size())];
+    try {
+      const auto cfg = Config::parse(text);
+      for (const auto& key : cfg.keys()) {
+        // Typed getters must also be total (value or ConfigError).
+        try {
+          (void)cfg.get_double(key);
+        } catch (const ConfigError&) {
+        }
+        try {
+          (void)cfg.get_int_list(key);
+        } catch (const ConfigError&) {
+        }
+      }
+    } catch (const ConfigError&) {
+      // fine
+    }
+  }
+}
+
+TEST(ConfigFuzz, DeepValuesRoundTrip) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double v = rng.uniform(-1e6, 1e6);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "x: %.17g\n", v);
+    EXPECT_DOUBLE_EQ(Config::parse(buf).get_double("x"), v);
+  }
+}
+
+// ------------------------------------------------------- geometry probing ---
+
+TEST(GeometryFuzz, FindAndDistanceAgreeOnRandomRays) {
+  // Property: stepping exactly distance_to_boundary along a ray either
+  // leaves the geometry or lands in a region reachable from the first —
+  // and re-finding a midpoint before the boundary gives the same region.
+  models::C5G7Options opt;
+  opt.pins_per_assembly = 3;
+  opt.height_scale = 0.05;
+  const auto model = models::build_core(opt);
+  const Geometry& g = model.geometry;
+  const Bounds& b = g.bounds();
+
+  Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Point2 p{rng.uniform(b.x_min + 1e-6, b.x_max - 1e-6),
+                   rng.uniform(b.y_min + 1e-6, b.y_max - 1e-6)};
+    const double phi = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    const double ux = std::cos(phi), uy = std::sin(phi);
+
+    const int region = g.find_radial(p).region;
+    ASSERT_GE(region, 0);
+    const double d = g.distance_to_boundary(p, ux, uy);
+    ASSERT_GT(d, 0.0);
+
+    // Any midpoint strictly before the boundary is still in the region.
+    const double t = 0.5 * std::min(d, 1e6);
+    const Point2 mid{p.x + ux * t, p.y + uy * t};
+    if (b.contains_xy(mid, -1e-9)) {
+      EXPECT_EQ(g.find_radial(mid).region, region)
+          << "trial " << trial << " at (" << p.x << "," << p.y << ") phi "
+          << phi;
+    }
+  }
+}
+
+TEST(GeometryFuzz, LayerLookupMatchesBounds) {
+  models::C5G7Options small_core;
+  small_core.pins_per_assembly = 3;
+  const auto model = models::build_core(small_core);
+  const Geometry& g = model.geometry;
+  Rng rng(5);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const double z =
+        rng.uniform(g.bounds().z_min + 1e-9, g.bounds().z_max - 1e-9);
+    const int layer = g.layer_at(z);
+    EXPECT_GE(z, g.layer_z_lo(layer) - 1e-9);
+    EXPECT_LE(z, g.layer_z_hi(layer) + 1e-9);
+  }
+}
+
+// ----------------------------------------------------- quadrature moments ---
+
+TEST(QuadratureMoments, PolarSetsIntegrateEvenMoments) {
+  // Gauss-Legendre polar sets must integrate mu^2 over the hemisphere to
+  // 1/3 (the diffusion-coefficient moment) and mu^0 to 1.
+  for (int np : {4, 5, 6, 8}) {
+    const Quadrature q(4, 0.5, 1.0, 1.0, np);
+    double m0 = 0.0, m2 = 0.0;
+    for (int p = 0; p < np; ++p) {
+      m0 += q.polar_frac(p);
+      m2 += q.polar_frac(p) * q.cos_theta(p) * q.cos_theta(p);
+    }
+    EXPECT_NEAR(m0, 1.0, 1e-12) << np;
+    EXPECT_NEAR(m2, 1.0 / 3.0, 1e-12) << np;
+  }
+  // Tabuchi-Yamamoto sets trade exact mu^2 for better MOC accuracy; they
+  // must still be close.
+  for (int np : {2, 3}) {
+    const Quadrature q(4, 0.5, 1.0, 1.0, np);
+    double m2 = 0.0;
+    for (int p = 0; p < np; ++p)
+      m2 += q.polar_frac(p) * q.cos_theta(p) * q.cos_theta(p);
+    EXPECT_NEAR(m2, 1.0 / 3.0, 0.05) << np;
+  }
+}
+
+TEST(QuadratureMoments, AzimuthalFirstMomentVanishes) {
+  // Sum over all 4 direction images of (cos phi) weighted by solid angle
+  // is zero by symmetry — forward/backward cancel exactly.
+  const Quadrature q(16, 0.2, 2.0, 3.0, 2);
+  double mx = 0.0;
+  for (int a = 0; a < q.num_azim_2(); ++a)
+    for (int p = 0; p < q.num_polar(); ++p) {
+      const double w = q.direction_weight(a, p) * q.sin_theta(p);
+      mx += w * std::cos(q.phi(a));                    // (phi, +mu)
+      mx += w * std::cos(q.phi(a) + 3.14159265358979); // (phi+pi, -mu)
+      mx += w * std::cos(q.phi(a));                    // (phi, -mu)
+      mx += w * std::cos(q.phi(a) + 3.14159265358979); // (phi+pi, +mu)
+    }
+  EXPECT_NEAR(mx, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace antmoc

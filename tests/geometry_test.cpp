@@ -1,0 +1,404 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/builder.h"
+#include "geometry/geometry.h"
+#include "util/error.h"
+
+namespace antmoc {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// ---------------------------------------------------------------- Surface ---
+
+TEST(Surface, PlaneEvaluation) {
+  const auto sx = Surface2D::x_plane(2.0);
+  EXPECT_LT(sx.evaluate({1.0, 0.0}), 0.0);
+  EXPECT_GT(sx.evaluate({3.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(sx.evaluate({2.0, 5.0}), 0.0);
+
+  const auto sy = Surface2D::y_plane(-1.0);
+  EXPECT_LT(sy.evaluate({0.0, -2.0}), 0.0);
+  EXPECT_GT(sy.evaluate({0.0, 0.0}), 0.0);
+}
+
+TEST(Surface, CircleEvaluation) {
+  const auto c = Surface2D::circle(1.0, 1.0, 0.5);
+  EXPECT_LT(c.evaluate({1.0, 1.0}), 0.0);
+  EXPECT_GT(c.evaluate({2.0, 1.0}), 0.0);
+  EXPECT_NEAR(c.evaluate({1.5, 1.0}), 0.0, 1e-12);
+}
+
+TEST(Surface, PlaneRayDistance) {
+  const auto sx = Surface2D::x_plane(2.0);
+  EXPECT_DOUBLE_EQ(sx.ray_distance({0.0, 0.0}, 1.0, 0.0), 2.0);
+  EXPECT_EQ(sx.ray_distance({0.0, 0.0}, -1.0, 0.0), kInfDistance);
+  EXPECT_EQ(sx.ray_distance({0.0, 0.0}, 0.0, 1.0), kInfDistance);
+  // Diagonal ray: distance is 2 / cos(45 deg).
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(sx.ray_distance({0.0, 0.0}, inv_sqrt2, inv_sqrt2),
+              2.0 * std::sqrt(2.0), 1e-12);
+}
+
+TEST(Surface, CircleRayDistanceFromOutside) {
+  const auto c = Surface2D::circle(0.0, 0.0, 1.0);
+  EXPECT_NEAR(c.ray_distance({-3.0, 0.0}, 1.0, 0.0), 2.0, 1e-12);
+  // Ray missing the circle.
+  EXPECT_EQ(c.ray_distance({-3.0, 2.0}, 1.0, 0.0), kInfDistance);
+  // Ray pointing away.
+  EXPECT_EQ(c.ray_distance({-3.0, 0.0}, -1.0, 0.0), kInfDistance);
+}
+
+TEST(Surface, CircleRayDistanceFromInside) {
+  const auto c = Surface2D::circle(0.0, 0.0, 1.0);
+  EXPECT_NEAR(c.ray_distance({0.0, 0.0}, 1.0, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(c.ray_distance({0.5, 0.0}, 1.0, 0.0), 0.5, 1e-12);
+  EXPECT_NEAR(c.ray_distance({0.5, 0.0}, -1.0, 0.0), 1.5, 1e-12);
+}
+
+TEST(Surface, TangentRayGrazesOrMisses) {
+  const auto c = Surface2D::circle(0.0, 0.0, 1.0);
+  const double d = c.ray_distance({-2.0, 1.0 + 1e-9}, 1.0, 0.0);
+  EXPECT_EQ(d, kInfDistance);
+}
+
+// ------------------------------------------------------ simple geometries ---
+
+/// A single square pin cell: fuel circle at the center, moderator outside.
+Geometry pin_cell_geometry(double pitch = 1.26, double r = 0.54,
+                           int layers = 1) {
+  GeometryBuilder b;
+  const int circ = b.add_circle(0.0, 0.0, r);
+  const int pin = b.add_universe("pin");
+  b.add_cell(pin, "fuel", /*material=*/0, {b.inside(circ)});
+  b.add_cell(pin, "mod", /*material=*/1, {b.outside(circ)});
+  const int lat = b.add_lattice("root", 1, 1, pitch, pitch, 0.0, 0.0, {pin});
+  b.set_root(lat);
+  Bounds bounds;
+  bounds.x_min = 0.0;
+  bounds.x_max = pitch;
+  bounds.y_min = 0.0;
+  bounds.y_max = pitch;
+  b.set_bounds(bounds);
+  b.add_axial_zone(0.0, 10.0, layers);
+  return b.build();
+}
+
+/// A 2x2 lattice of pins with distinct fuel materials 0..3, moderator 4.
+Geometry quad_lattice_geometry() {
+  GeometryBuilder b;
+  const double pitch = 1.0, r = 0.4;
+  std::vector<int> pins;
+  for (int m = 0; m < 4; ++m) {
+    const int circ = b.add_circle(0.0, 0.0, r);
+    const int pin = b.add_universe("pin" + std::to_string(m));
+    b.add_cell(pin, "fuel", m, {b.inside(circ)});
+    b.add_cell(pin, "mod", 4, {b.outside(circ)});
+    pins.push_back(pin);
+  }
+  const int lat =
+      b.add_lattice("root", 2, 2, pitch, pitch, 0.0, 0.0, pins);
+  b.set_root(lat);
+  Bounds bounds;
+  bounds.x_max = 2.0;
+  bounds.y_max = 2.0;
+  b.set_bounds(bounds);
+  b.add_axial_zone(0.0, 4.0, 2);
+  return b.build();
+}
+
+TEST(Geometry, PinCellEnumeratesTwoRegions) {
+  const auto g = pin_cell_geometry();
+  EXPECT_EQ(g.num_radial_regions(), 2);
+  EXPECT_EQ(g.num_axial_layers(), 1);
+  EXPECT_EQ(g.num_fsrs(), 2);
+}
+
+TEST(Geometry, PinCellPointLocation) {
+  const auto g = pin_cell_geometry();
+  // Lattice element center is at (0.63, 0.63); fuel inside r=0.54.
+  const auto fuel = g.find_radial({0.63, 0.63});
+  EXPECT_EQ(fuel.material, 0);
+  const auto mod = g.find_radial({0.05, 0.05});
+  EXPECT_EQ(mod.material, 1);
+  EXPECT_NE(fuel.region, mod.region);
+}
+
+TEST(Geometry, FindOutsideBoundsThrows) {
+  const auto g = pin_cell_geometry();
+  EXPECT_THROW(g.find_radial({-1.0, 0.5}), GeometryError);
+  EXPECT_THROW(g.find_radial({0.5, 99.0}), GeometryError);
+}
+
+TEST(Geometry, DistanceToCircleBoundary) {
+  const auto g = pin_cell_geometry();
+  // From pin center heading +x: first crossing is the fuel circle.
+  const double d = g.distance_to_boundary({0.63, 0.63}, 1.0, 0.0);
+  EXPECT_NEAR(d, 0.54, 1e-9);
+  // From moderator corner heading +x: the circle is ahead.
+  const double d2 = g.distance_to_boundary({0.0, 0.63}, 1.0, 0.0);
+  EXPECT_NEAR(d2, 0.63 - 0.54, 1e-9);
+}
+
+TEST(Geometry, DistanceToOuterBoundaryWhenNothingElseAhead) {
+  const auto g = pin_cell_geometry();
+  // From just past the circle heading +x at y through the center.
+  const double d = g.distance_to_boundary({1.2, 0.63}, 1.0, 0.0);
+  EXPECT_NEAR(d, 1.26 - 1.2, 1e-9);
+}
+
+TEST(Geometry, QuadLatticeRegionsAndMaterials) {
+  const auto g = quad_lattice_geometry();
+  EXPECT_EQ(g.num_radial_regions(), 8);  // 4 pins x (fuel + moderator)
+  EXPECT_EQ(g.num_axial_layers(), 2);
+  EXPECT_EQ(g.num_fsrs(), 16);
+  EXPECT_EQ(g.find_radial({0.5, 0.5}).material, 0);   // pin (0,0)
+  EXPECT_EQ(g.find_radial({1.5, 0.5}).material, 1);   // pin (1,0)
+  EXPECT_EQ(g.find_radial({0.5, 1.5}).material, 2);   // pin (0,1)
+  EXPECT_EQ(g.find_radial({1.5, 1.5}).material, 3);   // pin (1,1)
+  EXPECT_EQ(g.find_radial({0.99, 0.99}).material, 4); // moderator gap
+}
+
+TEST(Geometry, LatticeWallIsABoundaryForTracing) {
+  const auto g = quad_lattice_geometry();
+  // Moderator at (0.95, 0.5) heading +x: the x=1 lattice wall comes before
+  // the next pin's circle.
+  const double d = g.distance_to_boundary({0.95, 0.5}, 1.0, 0.0);
+  EXPECT_NEAR(d, 0.05, 1e-9);
+}
+
+TEST(Geometry, RegionNamesIncludeLatticePath) {
+  const auto g = quad_lattice_geometry();
+  const auto fuel = g.find_radial({0.5, 0.5});
+  EXPECT_NE(g.region_name(fuel.region).find("[0,0]"), std::string::npos);
+  EXPECT_NE(g.region_name(fuel.region).find("fuel"), std::string::npos);
+}
+
+TEST(Geometry, NestedLatticeTwoLevels) {
+  // A 2x2 lattice where each element is itself a 2x2 pin lattice, nested
+  // via a fill cell (assembly-in-core, pin-in-assembly — the C5G7 layout).
+  GeometryBuilder b;
+  const double pin_pitch = 0.5;
+  const int circ = b.add_circle(0.0, 0.0, 0.2);
+  const int pin = b.add_universe("pin");
+  b.add_cell(pin, "fuel", 0, {b.inside(circ)});
+  b.add_cell(pin, "mod", 1, {b.outside(circ)});
+  const int sub = b.add_centered_lattice("sub", 2, 2, pin_pitch, pin_pitch,
+                                         {pin, pin, pin, pin});
+  const int asm_u = b.add_universe("assembly");
+  b.add_fill_cell(asm_u, "lat", sub, {});
+  const int root = b.add_lattice("core", 2, 2, 1.0, 1.0, 0.0, 0.0,
+                                 {asm_u, asm_u, asm_u, asm_u});
+  b.set_root(root);
+  Bounds bounds;
+  bounds.x_max = 2.0;
+  bounds.y_max = 2.0;
+  b.set_bounds(bounds);
+  b.add_axial_zone(0.0, 1.0, 1);
+  const auto g = b.build();
+
+  // 4 assemblies x 4 pins x 2 cells.
+  EXPECT_EQ(g.num_radial_regions(), 32);
+  // Pin centers sit at odd multiples of 0.25.
+  EXPECT_EQ(g.find_radial({0.25, 0.25}).material, 0);
+  EXPECT_EQ(g.find_radial({1.75, 1.75}).material, 0);
+  EXPECT_EQ(g.find_radial({0.5, 0.5}).material, 1);
+  // Distinct pin instances get distinct regions.
+  EXPECT_NE(g.find_radial({0.25, 0.25}).region,
+            g.find_radial({0.75, 0.25}).region);
+  EXPECT_NE(g.find_radial({0.25, 0.25}).region,
+            g.find_radial({1.25, 0.25}).region);
+}
+
+// --------------------------------------------------------------- axial ----
+
+TEST(Geometry, AxialLayersPartitionZones) {
+  GeometryBuilder b;
+  const int u = b.add_universe("slab");
+  b.add_cell(u, "all", 0, {});
+  b.set_root(u);
+  Bounds bounds;
+  bounds.x_max = 1.0;
+  bounds.y_max = 1.0;
+  b.set_bounds(bounds);
+  b.add_axial_zone(0.0, 3.0, 3);
+  b.add_axial_zone(3.0, 5.0, 1);
+  const auto g = b.build();
+
+  EXPECT_EQ(g.num_axial_layers(), 4);
+  EXPECT_DOUBLE_EQ(g.layer_z_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(g.layer_z_hi(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.layer_z_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(g.layer_z_hi(3), 5.0);
+  EXPECT_EQ(g.layer_zone(2), 0);
+  EXPECT_EQ(g.layer_zone(3), 1);
+  EXPECT_DOUBLE_EQ(g.bounds().z_min, 0.0);
+  EXPECT_DOUBLE_EQ(g.bounds().z_max, 5.0);
+}
+
+TEST(Geometry, LayerAtLookup) {
+  GeometryBuilder b;
+  const int u = b.add_universe("slab");
+  b.add_cell(u, "all", 0, {});
+  b.set_root(u);
+  Bounds bounds;
+  bounds.x_max = 1.0;
+  bounds.y_max = 1.0;
+  b.set_bounds(bounds);
+  b.add_axial_zone(0.0, 4.0, 4);
+  const auto g = b.build();
+  EXPECT_EQ(g.layer_at(-1.0), 0);
+  EXPECT_EQ(g.layer_at(0.5), 0);
+  EXPECT_EQ(g.layer_at(1.5), 1);
+  EXPECT_EQ(g.layer_at(3.999), 3);
+  EXPECT_EQ(g.layer_at(99.0), 3);
+}
+
+TEST(Geometry, ZoneMaterialOverrideChangesFsrMaterial) {
+  GeometryBuilder b;
+  const int circ = b.add_circle(0.0, 0.0, 0.4);
+  const int pin = b.add_universe("pin");
+  b.add_cell(pin, "fuel", 0, {b.inside(circ)});
+  b.add_cell(pin, "mod", 1, {b.outside(circ)});
+  const int lat = b.add_lattice("root", 1, 1, 1.0, 1.0, 0.0, 0.0, {pin});
+  b.set_root(lat);
+  Bounds bounds;
+  bounds.x_max = 1.0;
+  bounds.y_max = 1.0;
+  b.set_bounds(bounds);
+  b.add_axial_zone(0.0, 2.0, 2);   // fuel zone
+  b.add_axial_zone(2.0, 3.0, 1);   // reflector zone: fuel -> moderator
+  b.override_zone_material(1, /*from=*/0, /*to=*/1);
+  const auto g = b.build();
+
+  const int fuel_region = g.find_radial({0.5, 0.5}).region;
+  EXPECT_EQ(g.fsr_material(g.fsr_id(fuel_region, 0)), 0);
+  EXPECT_EQ(g.fsr_material(g.fsr_id(fuel_region, 1)), 0);
+  EXPECT_EQ(g.fsr_material(g.fsr_id(fuel_region, 2)), 1);  // overridden
+  // Moderator region unchanged in all layers.
+  const int mod_region = g.find_radial({0.05, 0.05}).region;
+  for (int l = 0; l < 3; ++l)
+    EXPECT_EQ(g.fsr_material(g.fsr_id(mod_region, l)), 1);
+}
+
+TEST(Geometry, FsrIndexRoundTrip) {
+  const auto g = quad_lattice_geometry();
+  for (int r = 0; r < g.num_radial_regions(); ++r)
+    for (int l = 0; l < g.num_axial_layers(); ++l) {
+      const long fsr = g.fsr_id(r, l);
+      EXPECT_EQ(g.fsr_radial_region(fsr), r);
+      EXPECT_EQ(g.fsr_layer(fsr), l);
+    }
+}
+
+// -------------------------------------------------------------- builder ---
+
+TEST(Builder, RejectsInvalidInput) {
+  GeometryBuilder b;
+  EXPECT_THROW(b.add_circle(0, 0, -1.0), Error);
+  EXPECT_THROW(b.add_cell(99, "x", 0, {}), Error);
+  EXPECT_THROW(b.add_lattice("l", 2, 2, 1, 1, 0, 0, {0}), Error);
+  EXPECT_THROW(b.add_lattice("l", 0, 2, 1, 1, 0, 0, {}), Error);
+}
+
+TEST(Builder, BuildWithoutRootThrows) {
+  GeometryBuilder b;
+  Bounds bounds;
+  bounds.x_max = 1.0;
+  bounds.y_max = 1.0;
+  b.set_bounds(bounds);
+  b.add_axial_zone(0.0, 1.0, 1);
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(Builder, BuildWithoutZonesThrows) {
+  GeometryBuilder b;
+  const int u = b.add_universe("u");
+  b.add_cell(u, "c", 0, {});
+  b.set_root(u);
+  Bounds bounds;
+  bounds.x_max = 1.0;
+  bounds.y_max = 1.0;
+  b.set_bounds(bounds);
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(Builder, NonContiguousZonesThrow) {
+  GeometryBuilder b;
+  b.add_axial_zone(0.0, 1.0, 1);
+  EXPECT_THROW(b.add_axial_zone(1.5, 2.0, 1), Error);
+}
+
+TEST(Builder, EmptyUniverseRejectedAtBuild) {
+  GeometryBuilder b;
+  const int u = b.add_universe("empty");
+  b.set_root(u);
+  Bounds bounds;
+  bounds.x_max = 1.0;
+  bounds.y_max = 1.0;
+  b.set_bounds(bounds);
+  b.add_axial_zone(0.0, 1.0, 1);
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(Builder, BoundaryConditionsStored) {
+  GeometryBuilder b;
+  const int u = b.add_universe("u");
+  b.add_cell(u, "c", 0, {});
+  b.set_root(u);
+  Bounds bounds;
+  bounds.x_max = 1.0;
+  bounds.y_max = 1.0;
+  b.set_bounds(bounds);
+  b.add_axial_zone(0.0, 1.0, 1);
+  b.set_boundary(Face::kXMin, BoundaryType::kReflective);
+  b.set_boundary(Face::kZMax, BoundaryType::kVacuum);
+  const auto g = b.build();
+  EXPECT_EQ(g.boundary(Face::kXMin), BoundaryType::kReflective);
+  EXPECT_EQ(g.boundary(Face::kXMax), BoundaryType::kVacuum);
+  EXPECT_EQ(g.boundary(Face::kZMax), BoundaryType::kVacuum);
+}
+
+// ----------------------------------------------------- tracing property ---
+
+TEST(GeometryProperty, SegmentLengthsTileAnyChord) {
+  // March across the quad lattice along many rays; the sum of step lengths
+  // must equal the chord length through the bounding box.
+  const auto g = quad_lattice_geometry();
+  for (double y : {0.13, 0.5, 0.77, 1.0 - 1e-6, 1.31, 1.9}) {
+    Point2 p{0.0, y};
+    double traveled = 0.0;
+    int steps = 0;
+    while (traveled < 2.0 - 1e-9 && steps < 100) {
+      const double d = g.distance_to_boundary(p, 1.0, 0.0);
+      ASSERT_GT(d, 0.0);
+      const double step = std::min(d, 2.0 - traveled);
+      traveled += step;
+      p.x += step;
+      ++steps;
+    }
+    EXPECT_NEAR(traveled, 2.0, 1e-9) << "y=" << y;
+    EXPECT_LT(steps, 100);
+  }
+}
+
+TEST(GeometryProperty, FuelAreaFractionMatchesMonteCarloProbe) {
+  // Area of the fuel circle / pin area, sampled on a grid, must match
+  // pi r^2 / pitch^2 to grid accuracy — validates find_radial geometry.
+  const auto g = pin_cell_geometry();
+  const int n = 400;
+  int fuel_hits = 0;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      const Point2 p{(i + 0.5) * 1.26 / n, (j + 0.5) * 1.26 / n};
+      if (g.find_radial(p).material == 0) ++fuel_hits;
+    }
+  const double measured = static_cast<double>(fuel_hits) / (n * n);
+  const double expected = kPi * 0.54 * 0.54 / (1.26 * 1.26);
+  EXPECT_NEAR(measured, expected, 0.002);
+}
+
+}  // namespace
+}  // namespace antmoc

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gpusim/atomic.h"
+#include "gpusim/device.h"
+#include "util/error.h"
+
+namespace antmoc::gpusim {
+namespace {
+
+DeviceSpec tiny_spec(std::size_t mem = 1 << 20, int cus = 4) {
+  DeviceSpec spec = DeviceSpec::scaled(mem, cus);
+  return spec;
+}
+
+// --------------------------------------------------------- DeviceMemory ---
+
+TEST(DeviceMemory, ChargesAndReleases) {
+  DeviceMemory mem(1000);
+  mem.charge("tracks", 600);
+  EXPECT_EQ(mem.used(), 600u);
+  EXPECT_EQ(mem.available(), 400u);
+  mem.release("tracks", 600);
+  EXPECT_EQ(mem.used(), 0u);
+  EXPECT_EQ(mem.peak_used(), 600u);
+}
+
+TEST(DeviceMemory, ThrowsWhenExceedingCapacity) {
+  DeviceMemory mem(1000);
+  mem.charge("a", 800);
+  EXPECT_THROW(mem.charge("b", 300), DeviceOutOfMemory);
+  // Failed charge must not corrupt accounting.
+  EXPECT_EQ(mem.used(), 800u);
+  EXPECT_NO_THROW(mem.charge("b", 200));
+}
+
+TEST(DeviceMemory, TracksPerLabelBreakdown) {
+  DeviceMemory mem(10000);
+  mem.charge("3d_segments", 5000);
+  mem.charge("2d_segments", 200);
+  mem.charge("3d_segments", 1000);
+  EXPECT_EQ(mem.used_by("3d_segments"), 6000u);
+  EXPECT_EQ(mem.used_by("2d_segments"), 200u);
+  EXPECT_EQ(mem.used_by("unknown"), 0u);
+  const auto breakdown = mem.breakdown();
+  EXPECT_EQ(breakdown.size(), 2u);
+  EXPECT_EQ(breakdown.at("3d_segments"), 6000u);
+}
+
+TEST(DeviceMemory, ReleaseOfUnchargedBytesThrows) {
+  DeviceMemory mem(1000);
+  mem.charge("a", 100);
+  EXPECT_THROW(mem.release("a", 200), Error);
+  EXPECT_THROW(mem.release("never_seen", 1), Error);
+}
+
+TEST(DeviceMemory, PeakPersistsAfterRelease) {
+  DeviceMemory mem(1000);
+  mem.charge("a", 900);
+  mem.release("a", 900);
+  mem.charge("a", 100);
+  EXPECT_EQ(mem.peak_used(), 900u);
+}
+
+// --------------------------------------------------------- DeviceBuffer ---
+
+TEST(DeviceBuffer, RaiiReleasesOnDestruction) {
+  DeviceMemory mem(4096);
+  {
+    DeviceBuffer<double> buf(mem, "flux", 64);
+    EXPECT_EQ(buf.size(), 64u);
+    EXPECT_EQ(mem.used(), 64 * sizeof(double));
+    buf[0] = 1.25;
+    EXPECT_DOUBLE_EQ(buf[0], 1.25);
+  }
+  EXPECT_EQ(mem.used(), 0u);
+}
+
+TEST(DeviceBuffer, MoveTransfersOwnership) {
+  DeviceMemory mem(4096);
+  DeviceBuffer<int> a(mem, "x", 10);
+  a[3] = 42;
+  DeviceBuffer<int> b = std::move(a);
+  EXPECT_EQ(b[3], 42);
+  EXPECT_EQ(mem.used(), 10 * sizeof(int));
+  b.reset();
+  EXPECT_EQ(mem.used(), 0u);
+}
+
+TEST(DeviceBuffer, AllocationFailureThrowsBeforeTouchingStorage) {
+  DeviceMemory mem(100);
+  EXPECT_THROW(DeviceBuffer<double>(mem, "big", 1000), DeviceOutOfMemory);
+  EXPECT_EQ(mem.used(), 0u);
+}
+
+// ---------------------------------------------------------------- Device ---
+
+TEST(Device, LaunchVisitsEveryItemExactlyOnce) {
+  Device dev(tiny_spec());
+  std::vector<int> visits(1000, 0);
+  for (Assignment assign : {Assignment::kRoundRobin, Assignment::kBlocked}) {
+    std::fill(visits.begin(), visits.end(), 0);
+    dev.launch("visit", visits.size(), assign, [&](std::size_t i) {
+      device_atomic_add(visits[i], 1);
+      return 1.0;
+    });
+    EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 1000);
+    EXPECT_EQ(*std::min_element(visits.begin(), visits.end()), 1);
+    EXPECT_EQ(*std::max_element(visits.begin(), visits.end()), 1);
+  }
+}
+
+TEST(Device, CycleAccountingSumsBodyCosts) {
+  Device dev(tiny_spec(1 << 20, 8));
+  const auto stats =
+      dev.launch("cost", 100, Assignment::kRoundRobin,
+                 [](std::size_t i) { return static_cast<double>(i); });
+  EXPECT_DOUBLE_EQ(stats.total_cycles, 99.0 * 100.0 / 2.0);
+  EXPECT_EQ(stats.cu_cycles.size(), 8u);
+  EXPECT_EQ(stats.num_items, 100u);
+  EXPECT_GT(stats.modeled_seconds, 0.0);
+}
+
+TEST(Device, RoundRobinBalancesSortedCosts) {
+  // Costs sorted descending (the L3 precondition): round-robin dealing
+  // should be far more even than blocked chunks.
+  Device dev(tiny_spec(1 << 20, 4));
+  const std::size_t n = 400;
+  auto cost = [](std::size_t i) {
+    return static_cast<double>(1000 - i);  // descending
+  };
+  const auto rr = dev.launch("rr", n, Assignment::kRoundRobin, cost);
+  const auto blk = dev.launch("blk", n, Assignment::kBlocked, cost);
+  EXPECT_LT(rr.load_uniformity(), 1.01);
+  EXPECT_GT(blk.load_uniformity(), rr.load_uniformity());
+}
+
+TEST(Device, LoadUniformityIsMaxOverAverage) {
+  Device dev(tiny_spec(1 << 20, 2));
+  // 2 CUs, blocked: CU0 gets items 0..4 (cost 0), CU1 items 5..9 (cost 10).
+  const auto stats = dev.launch("skew", 10, Assignment::kBlocked,
+                                [](std::size_t i) {
+                                  return i < 5 ? 0.0 : 10.0;
+                                });
+  EXPECT_DOUBLE_EQ(stats.max_cycles, 50.0);
+  EXPECT_DOUBLE_EQ(stats.total_cycles, 50.0);
+  EXPECT_DOUBLE_EQ(stats.load_uniformity(), 2.0);
+}
+
+TEST(Device, EmptyLaunchIsWellDefined) {
+  Device dev(tiny_spec());
+  const auto stats = dev.launch("noop", 0, Assignment::kRoundRobin,
+                                [](std::size_t) { return 1.0; });
+  EXPECT_EQ(stats.num_items, 0u);
+  EXPECT_DOUBLE_EQ(stats.total_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(stats.load_uniformity(), 1.0);
+}
+
+TEST(Device, MoreCusThanItems) {
+  Device dev(tiny_spec(1 << 20, 64));
+  const auto stats = dev.launch("few", 3, Assignment::kBlocked,
+                                [](std::size_t) { return 2.0; });
+  EXPECT_DOUBLE_EQ(stats.total_cycles, 6.0);
+}
+
+TEST(Device, KernelAccumAggregatesAcrossLaunches) {
+  Device dev(tiny_spec());
+  for (int i = 0; i < 3; ++i)
+    dev.launch("sweep", 10, Assignment::kRoundRobin,
+               [](std::size_t) { return 1.0; });
+  dev.launch("trace", 5, Assignment::kRoundRobin,
+             [](std::size_t) { return 4.0; });
+  const auto accum = dev.kernel_accum();
+  EXPECT_EQ(accum.at("sweep").launches, 3u);
+  EXPECT_EQ(accum.at("sweep").items, 30u);
+  EXPECT_DOUBLE_EQ(accum.at("sweep").total_cycles, 30.0);
+  EXPECT_DOUBLE_EQ(accum.at("trace").total_cycles, 20.0);
+  EXPECT_GT(dev.modeled_seconds_total(), 0.0);
+}
+
+TEST(Device, AllocGoesThroughArena) {
+  Device dev(tiny_spec(1024));
+  auto buf = dev.alloc<float>("track_flux", 64);
+  EXPECT_EQ(dev.memory().used(), 64 * sizeof(float));
+  EXPECT_THROW(dev.alloc<float>("too_big", 100000), DeviceOutOfMemory);
+}
+
+TEST(Device, DmaAccountsBothEnds) {
+  Device a(tiny_spec()), b(tiny_spec());
+  const double secs = a.dma_copy_to(b, 1 << 20);
+  EXPECT_GT(secs, 0.0);
+  EXPECT_EQ(a.dma_bytes_out(), std::uint64_t{1} << 20);
+  EXPECT_EQ(b.dma_bytes_in(), std::uint64_t{1} << 20);
+  EXPECT_EQ(a.dma_bytes_in(), 0u);
+}
+
+TEST(Device, AtomicAddConcurrencySafety) {
+  // All items hammer one accumulator; total must be exact.
+  Device dev(tiny_spec(1 << 20, 16));
+  double acc = 0.0;
+  dev.launch("atomics", 10000, Assignment::kRoundRobin,
+             [&](std::size_t) {
+               device_atomic_add(acc, 1.0);
+               return 1.0;
+             });
+  EXPECT_DOUBLE_EQ(acc, 10000.0);
+}
+
+TEST(Device, LaunchExceptionPropagates) {
+  Device dev(tiny_spec());
+  EXPECT_THROW(dev.launch("boom", 10, Assignment::kRoundRobin,
+                          [](std::size_t i) -> double {
+                            if (i == 7) fail<SolverError>("kernel fault");
+                            return 1.0;
+                          }),
+               SolverError);
+  // Device remains usable after a failed launch.
+  EXPECT_NO_THROW(dev.launch("ok", 10, Assignment::kRoundRobin,
+                             [](std::size_t) { return 1.0; }));
+}
+
+}  // namespace
+}  // namespace antmoc::gpusim

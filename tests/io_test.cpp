@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "io/writers.h"
+#include "models/c5g7_model.h"
+#include "util/error.h"
+
+namespace antmoc::io {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(Writers, FissionRateCsvRoundTrip) {
+  const auto model = models::build_pin_cell(2, 2.0);
+  const long n = model.geometry.num_fsrs();
+  std::vector<double> rate(n), vol(n, 1.0);
+  for (long i = 0; i < n; ++i) rate[i] = 0.5 * i;
+  const std::string path = ::testing::TempDir() + "/fission.csv";
+  write_fission_rate_csv(path, model.geometry, rate, vol);
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("fsr,radial_region,layer,material"),
+            std::string::npos);
+  // Header plus one line per FSR.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'),
+            static_cast<long>(n + 1));
+}
+
+TEST(Writers, FissionRateCsvValidatesSizes) {
+  const auto model = models::build_pin_cell(1, 1.0);
+  std::vector<double> wrong(3, 0.0);
+  std::vector<double> vol(model.geometry.num_fsrs(), 1.0);
+  EXPECT_THROW(write_fission_rate_csv("/tmp/x.csv", model.geometry, wrong,
+                                      vol),
+               Error);
+}
+
+TEST(Writers, PinPowerCsvIsMapOriented) {
+  // 2x2 grid: value at (i=0, j=1) must appear on the FIRST line (top row).
+  const std::vector<double> power{1.0, 2.0, 3.0, 4.0};  // row-major, j up
+  const std::string path = ::testing::TempDir() + "/pins.csv";
+  write_pin_power_csv(path, power, 2, 2);
+  const std::string text = slurp(path);
+  std::istringstream lines(text);
+  std::string first, second;
+  std::getline(lines, first);
+  std::getline(lines, second);
+  EXPECT_EQ(first, "3,4");
+  EXPECT_EQ(second, "1,2");
+}
+
+TEST(Writers, VtkVolumeHasLegacyHeader) {
+  const std::string path = ::testing::TempDir() + "/vol.vtk";
+  write_vtk_volume(path, "fission_rate", 2, 2, 2, 1.0, 1.0, 1.0,
+                   std::vector<double>(8, 1.5));
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("# vtk DataFile Version 3.0"), std::string::npos);
+  EXPECT_NE(text.find("DIMENSIONS 2 2 2"), std::string::npos);
+  EXPECT_NE(text.find("SCALARS fission_rate double 1"), std::string::npos);
+  EXPECT_THROW(write_vtk_volume(path, "x", 2, 2, 2, 1, 1, 1,
+                                std::vector<double>(7)),
+               Error);
+}
+
+TEST(Writers, UnwritablePathThrows) {
+  const auto model = models::build_pin_cell(1, 1.0);
+  std::vector<double> rate(model.geometry.num_fsrs(), 0.0);
+  std::vector<double> vol(model.geometry.num_fsrs(), 1.0);
+  EXPECT_THROW(write_fission_rate_csv("/nonexistent_dir/f.csv",
+                                      model.geometry, rate, vol),
+               Error);
+}
+
+TEST(FormatTable, AlignsColumns) {
+  const std::string t = format_table({"name", "value"},
+                                     {{"alpha", "1"}, {"b", "22.5"}});
+  EXPECT_NE(t.find("name"), std::string::npos);
+  EXPECT_NE(t.find("-----"), std::string::npos);
+  EXPECT_NE(t.find("alpha"), std::string::npos);
+  // Every line has the same width structure (two columns).
+  std::istringstream lines(t);
+  std::string line;
+  std::getline(lines, line);
+  const auto header_len = line.size();
+  std::getline(lines, line);  // rule
+  std::getline(lines, line);  // first row
+  EXPECT_EQ(line.size(), header_len);
+}
+
+TEST(FormatTable, RejectsRaggedRows) {
+  EXPECT_THROW(format_table({"a", "b"}, {{"only-one"}}), Error);
+}
+
+}  // namespace
+}  // namespace antmoc::io

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "io/writers.h"
+#include "material/c5g7.h"
+#include "material/library_io.h"
+#include "models/c5g7_model.h"
+#include "util/cli.h"
+#include "util/error.h"
+
+namespace antmoc {
+namespace {
+
+const char* kTwoGroupLibrary = R"(
+# A tiny two-group library.
+groups: 2
+material: fuel
+  sigma_t:    [1.0, 2.0]
+  sigma_s:    [0.5, 0.2, 0.0, 1.0]
+  sigma_f:    [0.04, 0.4]
+  nu_sigma_f: [0.1, 1.2]
+  chi:        [1.0, 0.0]
+material: water
+  sigma_t:    [0.8, 1.4]
+  sigma_s:    [0.4, 0.3, 0.0, 1.2]
+)";
+
+TEST(LibraryIo, ParsesMaterialsInOrder) {
+  const auto mats = material_io::parse_library(kTwoGroupLibrary);
+  ASSERT_EQ(mats.size(), 2u);
+  EXPECT_EQ(mats[0].name(), "fuel");
+  EXPECT_EQ(mats[1].name(), "water");
+  EXPECT_EQ(mats[0].num_groups(), 2);
+  EXPECT_DOUBLE_EQ(mats[0].sigma_t(1), 2.0);
+  EXPECT_DOUBLE_EQ(mats[0].sigma_s(0, 1), 0.2);
+  EXPECT_TRUE(mats[0].is_fissile());
+  EXPECT_FALSE(mats[1].is_fissile());
+  // The parsed fuel matches the analytic two-group k from material_test.
+  EXPECT_NEAR(infinite_medium_k(mats[0]), 0.68, 1e-9);
+}
+
+TEST(LibraryIo, FormatRoundTrips) {
+  const auto original = material_io::parse_library(kTwoGroupLibrary);
+  const auto again =
+      material_io::parse_library(material_io::format_library(original));
+  ASSERT_EQ(again.size(), original.size());
+  for (std::size_t m = 0; m < original.size(); ++m)
+    for (int g = 0; g < 2; ++g) {
+      EXPECT_DOUBLE_EQ(again[m].sigma_t(g), original[m].sigma_t(g));
+      EXPECT_DOUBLE_EQ(again[m].nu_sigma_f(g), original[m].nu_sigma_f(g));
+      for (int gp = 0; gp < 2; ++gp)
+        EXPECT_DOUBLE_EQ(again[m].sigma_s(g, gp),
+                         original[m].sigma_s(g, gp));
+    }
+}
+
+TEST(LibraryIo, C5G7RoundTripsThroughText) {
+  const auto original = c5g7::materials();
+  const auto again =
+      material_io::parse_library(material_io::format_library(original));
+  ASSERT_EQ(again.size(), original.size());
+  for (std::size_t m = 0; m < original.size(); ++m) {
+    EXPECT_EQ(again[m].name(), original[m].name());
+    for (int g = 0; g < 7; ++g)
+      EXPECT_NEAR(again[m].sigma_t(g), original[m].sigma_t(g), 1e-12);
+  }
+}
+
+TEST(LibraryIo, LoadFromDisk) {
+  const std::string path = ::testing::TempDir() + "/lib.xs";
+  {
+    std::ofstream out(path);
+    out << kTwoGroupLibrary;
+  }
+  const auto mats = material_io::load_library(path);
+  EXPECT_EQ(mats.size(), 2u);
+  std::remove(path.c_str());
+  EXPECT_THROW(material_io::load_library("/nonexistent/lib.xs"), Error);
+}
+
+TEST(LibraryIo, RejectsMalformedInput) {
+  EXPECT_THROW(material_io::parse_library(""), Error);
+  EXPECT_THROW(material_io::parse_library("material: m\n"), Error);  // no groups
+  EXPECT_THROW(material_io::parse_library("groups: 2\nsigma_t: [1, 2]\n"),
+               Error);  // datum outside material
+  EXPECT_THROW(material_io::parse_library(
+                   "groups: 2\nmaterial: m\n  sigma_t: [1.0]\n"),
+               Error);  // wrong length
+  EXPECT_THROW(material_io::parse_library(
+                   "groups: 2\nmaterial: m\n  bogus_key: [1, 2]\n"),
+               Error);
+  // Fissile material without chi is rejected at the next block boundary.
+  EXPECT_THROW(material_io::parse_library(
+                   "groups: 1\nmaterial: f\n  sigma_t: [1.0]\n"
+                   "  nu_sigma_f: [0.5]\nmaterial: w\n  sigma_t: [1.0]\n"),
+               Error);
+}
+
+// ------------------------------------------------------- PGM material map ---
+
+TEST(MaterialMapPgm, WritesValidHeaderAndBody) {
+  const auto model = models::build_pin_cell(1, 1.0);
+  const std::string path = ::testing::TempDir() + "/pin.pgm";
+  io::write_material_map_pgm(path, model.geometry, 16);
+  std::ifstream in(path);
+  std::string magic;
+  int w = 0, h = 0, maxv = 0;
+  in >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P2");
+  EXPECT_EQ(w, 16);
+  EXPECT_EQ(h, 16);
+  EXPECT_EQ(maxv, 255);
+  int count = 0, v = 0, distinct_low = 1 << 30, distinct_high = -1;
+  while (in >> v) {
+    ++count;
+    distinct_low = std::min(distinct_low, v);
+    distinct_high = std::max(distinct_high, v);
+  }
+  EXPECT_EQ(count, 16 * 16);
+  // Fuel and moderator map to different gray levels.
+  EXPECT_NE(distinct_low, distinct_high);
+  std::remove(path.c_str());
+  EXPECT_THROW(io::write_material_map_pgm(path, model.geometry, 1), Error);
+}
+
+// -------------------------------------------------------- single-dash CLI ---
+
+TEST(CliArtifactStyle, SingleDashFormsAccepted) {
+  const std::string path = ::testing::TempDir() + "/artifact.yaml";
+  {
+    std::ofstream out(path);
+    out << "alpha: 3\n";
+  }
+  const std::string arg = "-config=" + path;
+  const char* argv[] = {"newmoc", arg.c_str(), "-beta=4", "-flag"};
+  const auto cfg = parse_cli(4, argv);
+  EXPECT_EQ(cfg.get_int("alpha"), 3);
+  EXPECT_EQ(cfg.get_int("beta"), 4);
+  EXPECT_TRUE(cfg.get_bool("flag"));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace antmoc

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "material/c5g7.h"
+#include "material/material.h"
+#include "util/error.h"
+
+namespace antmoc {
+namespace {
+
+// ---------------------------------------------------------------- basics ---
+
+TEST(Material, ConstructorZeroInitializes) {
+  Material m("empty", 3);
+  EXPECT_EQ(m.num_groups(), 3);
+  EXPECT_EQ(m.name(), "empty");
+  EXPECT_DOUBLE_EQ(m.sigma_t(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.sigma_s(2, 1), 0.0);
+  EXPECT_FALSE(m.is_fissile());
+}
+
+TEST(Material, RejectsWrongSizedData) {
+  Material m("m", 3);
+  EXPECT_THROW(m.set_sigma_t({1.0, 2.0}), Error);
+  EXPECT_THROW(m.set_chi({1.0, 0.0, 0.0, 0.0}), Error);
+  EXPECT_THROW(m.set_sigma_s(std::vector<double>(8, 0.0)), Error);
+}
+
+TEST(Material, SigmaAIsTotalMinusOutscatter) {
+  Material m("m", 2);
+  m.set_sigma_t({1.0, 2.0});
+  m.set_sigma_s({0.3, 0.2,    // g1 -> g1, g1 -> g2
+                 0.0, 1.5});  // g2 -> g2
+  EXPECT_NEAR(m.sigma_a(0), 0.5, 1e-14);
+  EXPECT_NEAR(m.sigma_a(1), 0.5, 1e-14);
+}
+
+TEST(Material, ValidateCatchesExcessScatter) {
+  Material m("bad", 1);
+  m.set_sigma_t({1.0});
+  m.set_sigma_s({1.5});  // out-scatter > sigma_t
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(Material, ValidateCatchesBadChi) {
+  Material m("bad_chi", 2);
+  m.set_sigma_t({1.0, 1.0});
+  m.set_nu_sigma_f({0.5, 0.5});
+  m.set_chi({0.3, 0.3});  // sums to 0.6
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(Material, ValidateCatchesNegativeEntries) {
+  Material m("neg", 1);
+  m.set_sigma_t({1.0});
+  m.set_nu_sigma_f({-0.1});
+  EXPECT_THROW(m.validate(), Error);
+}
+
+// -------------------------------------------------------- infinite medium ---
+
+TEST(InfiniteMedium, OneGroupAnalytic) {
+  // One group: k_inf = nu_sigma_f / sigma_a, exactly.
+  Material m("one_group", 1);
+  m.set_sigma_t({1.0});
+  m.set_sigma_s({0.4});
+  m.set_nu_sigma_f({0.9});
+  m.set_chi({1.0});
+  EXPECT_NEAR(infinite_medium_k(m), 0.9 / 0.6, 1e-9);
+}
+
+TEST(InfiniteMedium, TwoGroupAnalytic) {
+  // Classic 2-group: fast fission + slowing down, no upscatter:
+  //  k = [nuSf1 + nuSf2 * (S12/Sa2... )] / removal — compute by hand.
+  Material m("two_group", 2);
+  m.set_sigma_t({1.0, 2.0});
+  m.set_sigma_s({0.5, 0.2,   // g1: self 0.5, down 0.2
+                 0.0, 1.0});  // g2: self 1.0
+  m.set_nu_sigma_f({0.1, 1.2});
+  m.set_chi({1.0, 0.0});
+  // Balance: removal1 = 1.0-0.5 = 0.5; absorption+down = Sa1=0.3, S12=0.2.
+  // phi2 = S12 phi1 / (Sa2 = 1.0). With chi all in g1:
+  //  k = [nuSf1 phi1 + nuSf2 phi2] / (removal1 phi1)
+  //  phi1 = 1, phi2 = 0.2; k = (0.1 + 1.2*0.2) / 0.5 = 0.68.
+  EXPECT_NEAR(infinite_medium_k(m), 0.68, 1e-9);
+}
+
+TEST(InfiniteMedium, NonFissileReturnsZero) {
+  Material m("inert", 2);
+  m.set_sigma_t({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(infinite_medium_k(m), 0.0);
+  EXPECT_THROW(infinite_medium_flux(m), Error);
+}
+
+TEST(InfiniteMedium, FluxSatisfiesGroupBalance) {
+  const auto mats = c5g7::materials();
+  const auto& uo2 = mats[c5g7::kUO2];
+  const double k = infinite_medium_k(uo2);
+  const auto phi = infinite_medium_flux(uo2);
+  double fission = 0.0;
+  for (int g = 0; g < uo2.num_groups(); ++g)
+    fission += uo2.nu_sigma_f(g) * phi[g];
+  for (int g = 0; g < uo2.num_groups(); ++g) {
+    double in_scatter = 0.0;
+    for (int gp = 0; gp < uo2.num_groups(); ++gp)
+      in_scatter += uo2.sigma_s(gp, g) * phi[gp];
+    const double balance =
+        uo2.sigma_t(g) * phi[g] - in_scatter - uo2.chi(g) * fission / k;
+    EXPECT_NEAR(balance, 0.0, 1e-8) << "group " << g;
+  }
+}
+
+// ------------------------------------------------------------------ C5G7 ---
+
+TEST(C5G7, ProvidesAllEightMaterials) {
+  const auto mats = c5g7::materials();
+  ASSERT_EQ(mats.size(), static_cast<std::size_t>(c5g7::kNumMaterials));
+  EXPECT_EQ(mats[c5g7::kUO2].name(), "UO2");
+  EXPECT_EQ(mats[c5g7::kModerator].name(), "Moderator");
+  EXPECT_EQ(mats[c5g7::kControlRod].name(), "ControlRod");
+  for (const auto& m : mats) EXPECT_EQ(m.num_groups(), c5g7::kNumGroups);
+}
+
+TEST(C5G7, FissileFlagsAreCorrect) {
+  const auto mats = c5g7::materials();
+  EXPECT_TRUE(mats[c5g7::kUO2].is_fissile());
+  EXPECT_TRUE(mats[c5g7::kMOX43].is_fissile());
+  EXPECT_TRUE(mats[c5g7::kMOX70].is_fissile());
+  EXPECT_TRUE(mats[c5g7::kMOX87].is_fissile());
+  EXPECT_TRUE(mats[c5g7::kFissionChamber].is_fissile());
+  EXPECT_FALSE(mats[c5g7::kGuideTube].is_fissile());
+  EXPECT_FALSE(mats[c5g7::kModerator].is_fissile());
+  EXPECT_FALSE(mats[c5g7::kControlRod].is_fissile());
+}
+
+TEST(C5G7, AllMaterialsPassValidation) {
+  // materials() validates internally; re-validate explicitly.
+  for (const auto& m : c5g7::materials()) EXPECT_NO_THROW(m.validate());
+}
+
+TEST(C5G7, AbsorptionPositiveEverywhere) {
+  for (const auto& m : c5g7::materials())
+    for (int g = 0; g < m.num_groups(); ++g)
+      EXPECT_GT(m.sigma_a(g), 0.0) << m.name() << " group " << g;
+}
+
+TEST(C5G7, FuelKInfinityInPhysicalRange) {
+  // These are *bare fuel pellet* materials: with no water to thermalize,
+  // neutrons are absorbed in the resonance groups before reaching the
+  // highly multiplicative thermal group, so an infinite medium of pure
+  // fuel sits near or below critical (unlike a moderated pin cell at
+  // k ~ 1.3). Assert a window wide enough for that physics but tight
+  // enough to catch a transcription typo in a major cross section.
+  const auto mats = c5g7::materials();
+  for (int id : {c5g7::kUO2, c5g7::kMOX43, c5g7::kMOX70, c5g7::kMOX87}) {
+    const double k = infinite_medium_k(mats[id]);
+    EXPECT_GT(k, 0.5) << mats[id].name();
+    EXPECT_LT(k, 1.5) << mats[id].name();
+  }
+}
+
+TEST(C5G7, MoxEnrichmentOrderingHolds) {
+  // Higher plutonium content -> higher k_inf.
+  const auto mats = c5g7::materials();
+  const double k43 = infinite_medium_k(mats[c5g7::kMOX43]);
+  const double k70 = infinite_medium_k(mats[c5g7::kMOX70]);
+  const double k87 = infinite_medium_k(mats[c5g7::kMOX87]);
+  EXPECT_LT(k43, k70);
+  EXPECT_LT(k70, k87);
+}
+
+TEST(C5G7, ControlRodIsAStrongAbsorber) {
+  const auto mats = c5g7::materials();
+  const auto& rod = mats[c5g7::kControlRod];
+  const auto& mod = mats[c5g7::kModerator];
+  // Thermal-group absorption of the rod dominates the moderator's.
+  const int thermal = c5g7::kNumGroups - 1;
+  EXPECT_GT(rod.sigma_a(thermal), 5.0 * mod.sigma_a(thermal));
+}
+
+TEST(C5G7, ChiNormalizedForFissileMaterials) {
+  for (const auto& m : c5g7::materials()) {
+    if (!m.is_fissile()) continue;
+    double sum = 0.0;
+    for (int g = 0; g < m.num_groups(); ++g) sum += m.chi(g);
+    EXPECT_NEAR(sum, 1.0, 1e-4) << m.name();
+  }
+}
+
+TEST(C5G7, ScatteringIsPredominantlyDownInEnergy) {
+  // No strong upscatter above one group away (benchmark data property).
+  for (const auto& m : c5g7::materials())
+    for (int g = 0; g < m.num_groups(); ++g)
+      for (int gp = 0; gp < g - 1; ++gp)
+        EXPECT_EQ(m.sigma_s(g, gp), 0.0)
+            << m.name() << " scatters " << g << "->" << gp;
+}
+
+}  // namespace
+}  // namespace antmoc

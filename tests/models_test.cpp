@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "material/c5g7.h"
+#include "models/c5g7_model.h"
+#include "util/error.h"
+
+namespace antmoc::models {
+namespace {
+
+TEST(C5G7Model, PinCellStructure) {
+  const auto model = build_pin_cell(3, 6.0);
+  EXPECT_EQ(model.geometry.num_radial_regions(), 2);
+  EXPECT_EQ(model.geometry.num_axial_layers(), 3);
+  EXPECT_EQ(model.geometry.boundary(Face::kXMin),
+            BoundaryType::kReflective);
+  EXPECT_EQ(model.geometry.boundary(Face::kZMax),
+            BoundaryType::kReflective);
+  EXPECT_DOUBLE_EQ(model.geometry.bounds().width_x(), 1.26);
+}
+
+TEST(C5G7Model, FullCoreGeometryShape) {
+  C5G7Options opt;  // 17x17 benchmark assemblies
+  const auto model = build_core(opt);
+  const auto& g = model.geometry;
+  EXPECT_NEAR(g.bounds().width_x(), 64.26, 1e-9);
+  EXPECT_NEAR(g.bounds().width_y(), 64.26, 1e-9);
+  EXPECT_NEAR(g.bounds().width_z(), 64.26, 1e-9);
+  // 4 fueled assemblies x 289 pins x 2 regions + 5 reflector regions,
+  // but identical pins share universes only per material — instances are
+  // distinct regions:
+  EXPECT_EQ(g.num_radial_regions(), 4 * 289 * 2 + 5);
+  // 3 fuel zones x 1 layer + 1 reflector layer by default.
+  EXPECT_EQ(g.num_zones(), 4);
+  EXPECT_EQ(g.boundary(Face::kXMin), BoundaryType::kReflective);
+  EXPECT_EQ(g.boundary(Face::kXMax), BoundaryType::kVacuum);
+  EXPECT_EQ(g.boundary(Face::kZMin), BoundaryType::kReflective);
+  EXPECT_EQ(g.boundary(Face::kZMax), BoundaryType::kVacuum);
+}
+
+TEST(C5G7Model, CoreAssemblyLayoutMatchesFig6) {
+  const auto model = build_core({});
+  const auto& g = model.geometry;
+  const double w = 21.42;  // assembly width
+  // Pin at each assembly center (fission chamber everywhere fueled).
+  auto material_at = [&](double x, double y) {
+    return g.find_radial({x, y}).material;
+  };
+  // Assembly centers: inner UO2 (0,0), MOX (1,0) & (0,1), UO2 (1,1),
+  // reflector column/row at index 2.
+  EXPECT_EQ(material_at(0.5 * w, 0.5 * w), c5g7::kFissionChamber);
+  EXPECT_EQ(material_at(2.5 * w, 0.5 * w), c5g7::kModerator);  // reflector
+  EXPECT_EQ(material_at(0.5 * w, 2.5 * w), c5g7::kModerator);
+  // Fuel pin just off-center distinguishes UO2 vs MOX assemblies.
+  EXPECT_EQ(material_at(0.5 * w + 1.26, 0.5 * w), c5g7::kUO2);
+  EXPECT_EQ(material_at(1.5 * w + 1.26, 0.5 * w), c5g7::kMOX87);
+  EXPECT_EQ(material_at(0.5 * w + 1.26, 1.5 * w), c5g7::kMOX87);
+  EXPECT_EQ(material_at(1.5 * w + 1.26, 1.5 * w), c5g7::kUO2);
+}
+
+TEST(C5G7Model, MoxEnrichmentZoning) {
+  const auto model = build_core({});
+  const auto& g = model.geometry;
+  const double w = 21.42;
+  // MOX assembly at (1, 0): outer ring 4.3%, next band 7.0%, center 8.7%.
+  const double x0 = w, y0 = 0.0;
+  auto pin_center = [&](int i, int j) {
+    return Point2{x0 + (i + 0.5) * 1.26, y0 + (j + 0.5) * 1.26};
+  };
+  EXPECT_EQ(g.find_radial(pin_center(0, 0)).material, c5g7::kMOX43);
+  EXPECT_EQ(g.find_radial(pin_center(16, 16)).material, c5g7::kMOX43);
+  EXPECT_EQ(g.find_radial(pin_center(1, 1)).material, c5g7::kMOX70);
+  EXPECT_EQ(g.find_radial(pin_center(8, 4)).material, c5g7::kMOX87);
+  // Corner of the central zone is cut back to 7.0%.
+  EXPECT_EQ(g.find_radial(pin_center(4, 4)).material, c5g7::kMOX70);
+}
+
+TEST(C5G7Model, GuideTubesPresentIn17x17) {
+  const auto model = build_core({});
+  const auto& g = model.geometry;
+  // Guide tube at (row 2, col 5) of the inner UO2 assembly -> alias id 8.
+  const Point2 gt{(5 + 0.5) * 1.26, (2 + 0.5) * 1.26};
+  EXPECT_EQ(g.find_radial(gt).material, 8);
+  // Same lattice position in the outer UO2 assembly keeps the plain id.
+  const Point2 gt_outer{21.42 + (5 + 0.5) * 1.26, 21.42 + (2 + 0.5) * 1.26};
+  EXPECT_EQ(g.find_radial(gt_outer).material, c5g7::kGuideTube);
+}
+
+TEST(C5G7Model, UnroddedReflectorZoneFloodsFuel) {
+  const auto model = build_core({});
+  const auto& g = model.geometry;
+  const int fuel_region = g.find_radial({0.5 * 21.42 + 1.26,
+                                         0.5 * 21.42}).region;
+  const int top_layer = g.num_axial_layers() - 1;
+  EXPECT_EQ(g.fsr_material(g.fsr_id(fuel_region, 0)), c5g7::kUO2);
+  EXPECT_EQ(g.fsr_material(g.fsr_id(fuel_region, top_layer)),
+            c5g7::kModerator);
+}
+
+TEST(C5G7Model, RoddedAInsertsRodsInInnerUo2Only) {
+  C5G7Options opt;
+  opt.config = RodConfig::kRoddedA;
+  const auto model = build_core(opt);
+  const auto& g = model.geometry;
+  const Point2 gt_inner{(5 + 0.5) * 1.26, (2 + 0.5) * 1.26};
+  const Point2 gt_mox{21.42 + (5 + 0.5) * 1.26, (2 + 0.5) * 1.26};
+  const int inner = g.find_radial(gt_inner).region;
+  const int mox = g.find_radial(gt_mox).region;
+  const int top_layer = g.num_axial_layers() - 1;
+  const int upper_fuel_layer = 2;  // third fuel zone with 1 layer each
+  EXPECT_EQ(g.fsr_material(g.fsr_id(inner, top_layer)), c5g7::kControlRod);
+  EXPECT_EQ(g.fsr_material(g.fsr_id(inner, upper_fuel_layer)),
+            c5g7::kControlRod);
+  EXPECT_EQ(g.fsr_material(g.fsr_id(inner, 0)), 8);  // withdrawn below
+  EXPECT_NE(g.fsr_material(g.fsr_id(mox, top_layer)), c5g7::kControlRod);
+}
+
+TEST(C5G7Model, RoddedBInsertsDeeperAndIntoMox) {
+  C5G7Options opt;
+  opt.config = RodConfig::kRoddedB;
+  const auto model = build_core(opt);
+  const auto& g = model.geometry;
+  const Point2 gt_inner{(5 + 0.5) * 1.26, (2 + 0.5) * 1.26};
+  const Point2 gt_mox{21.42 + (5 + 0.5) * 1.26, (2 + 0.5) * 1.26};
+  const int inner = g.find_radial(gt_inner).region;
+  const int mox = g.find_radial(gt_mox).region;
+  EXPECT_EQ(g.fsr_material(g.fsr_id(inner, 1)), c5g7::kControlRod);
+  EXPECT_EQ(g.fsr_material(g.fsr_id(inner, 0)), 8);
+  EXPECT_EQ(g.fsr_material(g.fsr_id(mox, 2)), c5g7::kControlRod);
+  EXPECT_EQ(g.fsr_material(g.fsr_id(mox, 1)), 9);
+}
+
+TEST(C5G7Model, ScaledCoreKeepsStructure) {
+  C5G7Options opt;
+  opt.pins_per_assembly = 5;
+  opt.height_scale = 0.1;
+  const auto model = build_core(opt);
+  const auto& g = model.geometry;
+  EXPECT_NEAR(g.bounds().width_x(), 3 * 5 * 1.26, 1e-9);
+  EXPECT_NEAR(g.bounds().width_z(), 6.426, 1e-9);
+  EXPECT_EQ(g.num_radial_regions(), 4 * 25 * 2 + 5);
+  C5G7Options bad;
+  bad.pins_per_assembly = 4;
+  EXPECT_THROW(build_core(bad), Error);
+}
+
+TEST(C5G7Model, AssemblyBuilderInfiniteLattice) {
+  C5G7Options opt;
+  opt.pins_per_assembly = 17;
+  const auto model = build_assembly(opt);
+  EXPECT_EQ(model.geometry.boundary(Face::kXMax),
+            BoundaryType::kReflective);
+  EXPECT_EQ(model.geometry.num_radial_regions(), 289 * 2);
+}
+
+TEST(C5G7Model, MaterialsIncludeAliases) {
+  const auto model = build_core({});
+  ASSERT_EQ(model.materials.size(), 10u);  // 8 benchmark + 2 aliases
+  EXPECT_EQ(model.materials[8].name(), "GuideTube");
+  EXPECT_EQ(model.materials[9].name(), "GuideTube");
+}
+
+TEST(C5G7Model, PinPowersLocateFuelColumns) {
+  const auto model = build_pin_cell(2, 2.0);
+  const auto& g = model.geometry;
+  std::vector<double> rate(g.num_fsrs(), 0.0), vol(g.num_fsrs(), 1.0);
+  const int fuel = g.find_radial({0.63, 0.63}).region;
+  rate[g.fsr_id(fuel, 0)] = 2.0;
+  rate[g.fsr_id(fuel, 1)] = 3.0;
+  const auto power = pin_powers(g, rate, vol, 1, 1);
+  ASSERT_EQ(power.size(), 1u);
+  EXPECT_DOUBLE_EQ(power[0], 5.0);
+}
+
+}  // namespace
+}  // namespace antmoc::models

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/c5g7_model.h"
+#include "solver/cpu_solver.h"
+#include "solver/domain_solver.h"
+#include "solver/gpu_solver.h"
+#include "track/generator2d.h"
+#include "track/quadrature.h"
+#include "track/track3d.h"
+
+namespace antmoc {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// ===================================================== quadrature sweep ====
+
+struct QuadCase {
+  int num_azim;
+  double spacing;
+  double wx, wy;
+  int num_polar;
+};
+
+class QuadratureSweep : public ::testing::TestWithParam<QuadCase> {};
+
+TEST_P(QuadratureSweep, InvariantsHold) {
+  const auto c = GetParam();
+  const Quadrature q(c.num_azim, c.spacing, c.wx, c.wy, c.num_polar);
+
+  double azim_sum = 0.0, polar_sum = 0.0, omega = 0.0;
+  for (int a = 0; a < q.num_azim_2(); ++a) {
+    azim_sum += q.azim_frac(a);
+    // Angles ordered and inside (0, pi).
+    EXPECT_GT(q.phi(a), 0.0);
+    EXPECT_LT(q.phi(a), kPi);
+    if (a > 0) {
+      EXPECT_GT(q.phi(a), q.phi(a - 1));
+    }
+    // Corrected spacing never exceeds the request.
+    EXPECT_LE(q.spacing_eff(a), c.spacing + 1e-12);
+    // Complementary symmetry (reflective-linking precondition).
+    EXPECT_NEAR(q.phi(a) + q.phi(q.complement(a)), kPi, 1e-12);
+    for (int p = 0; p < q.num_polar(); ++p)
+      omega += 4.0 * q.direction_weight(a, p);
+  }
+  for (int p = 0; p < q.num_polar(); ++p) polar_sum += q.polar_frac(p);
+  EXPECT_NEAR(azim_sum, 1.0, 1e-12);
+  EXPECT_NEAR(polar_sum, 1.0, 1e-6);
+  EXPECT_NEAR(omega, 4.0 * kPi, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuadratureSweep,
+    ::testing::Values(QuadCase{4, 0.5, 1.26, 1.26, 1},
+                      QuadCase{8, 0.3, 2.0, 3.0, 2},
+                      QuadCase{16, 0.1, 5.0, 2.5, 3},
+                      QuadCase{32, 0.05, 10.0, 10.0, 4},
+                      QuadCase{64, 0.02, 21.42, 21.42, 2},
+                      QuadCase{8, 1.5, 1.0, 7.0, 6}));
+
+// ======================================================== laydown sweep ====
+
+struct LaydownCase {
+  int num_azim;
+  double spacing;
+  LinkKind kind;
+};
+
+class LaydownSweep : public ::testing::TestWithParam<LaydownCase> {};
+
+TEST_P(LaydownSweep, LinksResolveAndInvolute) {
+  const auto c = GetParam();
+  const double wx = 2.52, wy = 1.26;
+  const Quadrature q(c.num_azim, c.spacing, wx, wy, 1);
+  Bounds box;
+  box.x_max = wx;
+  box.y_max = wy;
+  const TrackGenerator2D gen(
+      q, box, {c.kind, c.kind, c.kind, c.kind});
+
+  for (int uid = 0; uid < gen.num_tracks(); ++uid) {
+    const auto& t = gen.track(uid);
+    for (const TrackLink* link : {&t.fwd_link, &t.bwd_link}) {
+      if (c.kind == LinkKind::kVacuum) {
+        EXPECT_EQ(link->kind, LinkKind::kVacuum);
+        continue;
+      }
+      ASSERT_GE(link->track, 0);
+      ASSERT_LT(link->track, gen.num_tracks());
+      // Flux continuity: entering through that end must come back to us.
+      const auto& t2 = gen.track(link->track);
+      const TrackLink& back = link->forward ? t2.bwd_link : t2.fwd_link;
+      EXPECT_EQ(back.track, uid);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LaydownSweep,
+    ::testing::Values(LaydownCase{4, 0.4, LinkKind::kReflective},
+                      LaydownCase{8, 0.4, LinkKind::kReflective},
+                      LaydownCase{16, 0.2, LinkKind::kReflective},
+                      LaydownCase{32, 0.15, LinkKind::kReflective},
+                      LaydownCase{8, 0.4, LinkKind::kPeriodic},
+                      LaydownCase{16, 0.2, LinkKind::kPeriodic},
+                      LaydownCase{8, 0.4, LinkKind::kVacuum},
+                      LaydownCase{8, 0.05, LinkKind::kReflective}));
+
+// ========================================================= stacks sweep ====
+
+struct StackCase {
+  int num_polar;
+  double dz;
+  double height;
+  int layers;
+};
+
+class StacksSweep : public ::testing::TestWithParam<StackCase> {};
+
+TEST_P(StacksSweep, TilingAndRoundTrip) {
+  const auto c = GetParam();
+  const auto model = models::build_pin_cell(c.layers, c.height);
+  const Geometry& g = model.geometry;
+  const Quadrature q(8, 0.15, 1.26, 1.26, c.num_polar);
+  TrackGenerator2D gen(q, g.bounds(),
+                       {LinkKind::kReflective, LinkKind::kReflective,
+                        LinkKind::kReflective, LinkKind::kReflective});
+  gen.trace(g);
+  const TrackStacks stacks(gen, g, 0.0, c.height, c.dz);
+
+  // dz correction divides the height.
+  const double ratio = c.height / stacks.dz();
+  EXPECT_NEAR(ratio, std::round(ratio), 1e-9);
+
+  double volume = 0.0;
+  for (long id = 0; id < stacks.num_tracks(); id += 1) {
+    const auto t = stacks.info(id);
+    EXPECT_EQ(t.id, id);
+    EXPECT_EQ(stacks.id(t.track2d, t.polar, t.up, t.zindex), id);
+    volume += 2.0 * stacks.direction_weight(id) / (4.0 * kPi) *
+              stacks.track_area(id) * t.length3d();
+  }
+  const double exact = 1.26 * 1.26 * c.height;
+  EXPECT_NEAR(volume, exact, 0.05 * exact);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StacksSweep,
+    ::testing::Values(StackCase{1, 0.5, 2.0, 1}, StackCase{2, 0.5, 2.0, 2},
+                      StackCase{3, 0.25, 1.0, 1},
+                      StackCase{2, 1.0, 6.0, 3},
+                      StackCase{1, 0.1, 0.5, 1},
+                      StackCase{4, 0.5, 3.0, 2}));
+
+// ===================================================== solver-path sweep ====
+
+struct SolverCase {
+  TrackPolicy policy;
+  bool l3;
+  int num_polar;
+};
+
+class SolverSweep : public ::testing::TestWithParam<SolverCase> {
+ protected:
+  static double reference_k(int num_polar) {
+    static std::map<int, double> cache;
+    if (cache.count(num_polar)) return cache[num_polar];
+    auto [k, _] = run(num_polar, [](const TrackStacks& s,
+                                    const std::vector<Material>& m) {
+      return std::make_unique<CpuSolver>(s, m);
+    });
+    return cache[num_polar] = k;
+  }
+
+  template <class MakeSolver>
+  static std::pair<double, bool> run(int num_polar, MakeSolver&& make) {
+    const auto model = models::build_pin_cell(2, 2.0);
+    const Geometry& g = model.geometry;
+    const Quadrature quad(4, 0.25, 1.26, 1.26, num_polar);
+    TrackGenerator2D gen(quad, g.bounds(),
+                         {LinkKind::kReflective, LinkKind::kReflective,
+                          LinkKind::kReflective, LinkKind::kReflective});
+    gen.trace(g);
+    const TrackStacks stacks(gen, g, 0.0, 2.0, 0.5);
+    auto solver = make(stacks, model.materials);
+    SolveOptions opts;
+    opts.tolerance = 1e-6;
+    opts.max_iterations = 20000;
+    const auto result = solver->solve(opts);
+    return {result.k_eff, result.converged};
+  }
+};
+
+TEST_P(SolverSweep, DevicePathMatchesReference) {
+  const auto c = GetParam();
+  gpusim::Device device(gpusim::DeviceSpec::scaled(1 << 28, 8));
+  auto [k, converged] =
+      run(c.num_polar, [&](const TrackStacks& s,
+                           const std::vector<Material>& m) {
+        GpuSolverOptions opts;
+        opts.policy = c.policy;
+        opts.l3_sort = c.l3;
+        opts.resident_budget_bytes = 1 << 15;
+        return std::make_unique<GpuSolver>(s, m, device, opts);
+      });
+  ASSERT_TRUE(converged);
+  const double k_ref = reference_k(c.num_polar);
+  EXPECT_NEAR(k, k_ref, 2e-5 * k_ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SolverSweep,
+    ::testing::Values(
+        SolverCase{TrackPolicy::kExplicit, true, 1},
+        SolverCase{TrackPolicy::kExplicit, false, 2},
+        SolverCase{TrackPolicy::kOnTheFly, true, 1},
+        SolverCase{TrackPolicy::kOnTheFly, false, 1},
+        SolverCase{TrackPolicy::kManaged, true, 2},
+        SolverCase{TrackPolicy::kManaged, false, 1}));
+
+// ================================================== decomposition sweep ====
+
+class DecompSweep
+    : public ::testing::TestWithParam<std::array<int, 3>> {};
+
+TEST_P(DecompSweep, KConsistentWithSingleDomain) {
+  const auto [nx, ny, nz] = GetParam();
+  const auto model = models::build_pin_cell(2, 2.0);
+  DomainRunParams params;
+  params.num_azim = 4;
+  params.azim_spacing = 0.1;
+  params.num_polar = 1;
+  params.z_spacing = 0.5;
+  SolveOptions opts;
+  opts.tolerance = 1e-6;
+  opts.max_iterations = 20000;
+
+  static double k_single = 0.0;
+  if (k_single == 0.0)
+    k_single = solve_decomposed(model.geometry, model.materials, {1, 1, 1},
+                                params, opts)
+                   .result.k_eff;
+  const auto split = solve_decomposed(model.geometry, model.materials,
+                                      {nx, ny, nz}, params, opts);
+  ASSERT_TRUE(split.result.converged);
+  EXPECT_NEAR(split.result.k_eff, k_single, 0.015 * k_single)
+      << nx << "x" << ny << "x" << nz;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DecompSweep,
+                         ::testing::Values(std::array<int, 3>{2, 1, 1},
+                                           std::array<int, 3>{1, 2, 1},
+                                           std::array<int, 3>{1, 1, 2},
+                                           std::array<int, 3>{2, 2, 1},
+                                           std::array<int, 3>{1, 2, 2},
+                                           std::array<int, 3>{2, 2, 2},
+                                           std::array<int, 3>{3, 1, 1},
+                                           std::array<int, 3>{1, 1, 4}));
+
+}  // namespace
+}  // namespace antmoc

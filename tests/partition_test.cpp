@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "models/c5g7_model.h"
+#include "partition/load_mapper.h"
+#include "partition/partitioner.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace antmoc::partition {
+namespace {
+
+// ------------------------------------------------------------------ Graph ---
+
+TEST(Graph, EdgesAccumulateAndAreSymmetric) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(0, 1, 3.0);
+  g.add_edge(1, 2, 1.0);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(g.neighbors(0)[0].second, 5.0);
+  ASSERT_EQ(g.neighbors(1).size(), 2u);
+  EXPECT_THROW(g.add_edge(0, 0, 1.0), Error);
+  EXPECT_THROW(g.add_edge(0, 9, 1.0), Error);
+}
+
+TEST(Graph, TotalWeightSums) {
+  Graph g(3);
+  g.set_weight(0, 1.0);
+  g.set_weight(1, 2.5);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 3.5);
+}
+
+// ------------------------------------------------------------ partitioner ---
+
+Graph random_graph(int n, std::uint64_t seed, double skew = 3.0) {
+  Rng rng(seed);
+  Graph g(n);
+  for (int v = 0; v < n; ++v)
+    g.set_weight(v, 1.0 + skew * rng.next_double());
+  // Ring + chords for connectivity.
+  for (int v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n, 1.0);
+  for (int v = 0; v < n; v += 3)
+    g.add_edge(v, (v + n / 2) % n, 0.5);
+  return g;
+}
+
+TEST(Partitioner, EveryVertexAssignedInRange) {
+  const auto g = random_graph(50, 7);
+  const auto part = partition_kway(g, 6);
+  ASSERT_EQ(part.size(), 50u);
+  for (int p : part) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 6);
+  }
+  // All parts used for a graph much larger than k.
+  std::vector<int> used(6, 0);
+  for (int p : part) used[p] = 1;
+  EXPECT_EQ(std::accumulate(used.begin(), used.end(), 0), 6);
+}
+
+TEST(Partitioner, BeatsBlockBaselineOnSkewedLoads) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const auto g = random_graph(64, seed, 10.0);
+    const auto balanced = partition_kway(g, 8);
+    const auto blocks = partition_blocks(64, 8);
+    const double u_bal = load_uniformity(g.weights(), balanced, 8);
+    const double u_blk = load_uniformity(g.weights(), blocks, 8);
+    EXPECT_LE(u_bal, u_blk + 1e-12) << "seed " << seed;
+    EXPECT_LT(u_bal, 1.15) << "seed " << seed;
+  }
+}
+
+TEST(Partitioner, SinglePartIsTrivial) {
+  const auto g = random_graph(10, 1);
+  const auto part = partition_kway(g, 1);
+  for (int p : part) EXPECT_EQ(p, 0);
+  EXPECT_DOUBLE_EQ(load_uniformity(g.weights(), part, 1), 1.0);
+  EXPECT_DOUBLE_EQ(edge_cut(g, part), 0.0);
+}
+
+TEST(Partitioner, EdgeCutCountsCrossingEdgesOnce) {
+  Graph g(4);
+  for (int v = 0; v < 4; ++v) g.set_weight(v, 1.0);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(2, 3, 3.0);
+  g.add_edge(1, 2, 5.0);
+  const std::vector<int> part{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(edge_cut(g, part), 5.0);
+}
+
+TEST(Partitioner, BlockBaselineIsContiguous) {
+  const auto part = partition_blocks(10, 3);
+  EXPECT_EQ(part, (std::vector<int>{0, 0, 0, 0, 1, 1, 1, 1, 2, 2}));
+}
+
+TEST(Partitioner, UniformityIsOneForPerfectBalance) {
+  const std::vector<double> w{1, 1, 1, 1};
+  const std::vector<int> part{0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(load_uniformity(w, part, 2), 1.0);
+}
+
+// ------------------------------------------------------------ load mapper ---
+
+DecompositionLoads c5g7_loads(int nx = 3, int ny = 3, int nz = 2) {
+  models::C5G7Options opt;
+  opt.pins_per_assembly = 5;  // scaled core keeps heterogeneity
+  opt.fuel_layers = 3;
+  const auto model = models::build_core(opt);
+  const Decomposition decomp{nx, ny, nz};
+  // 16 azimuthal angles -> 8 scalar angles: enough granularity that the
+  // L2 angle split is finer than one-angle-per-GPU.
+  return measure_loads(model.geometry, decomp, 16, 0.4, 2, 2.0);
+}
+
+TEST(LoadMapper, MeasuredLoadsReflectCoreHeterogeneity) {
+  const auto loads = c5g7_loads();
+  ASSERT_EQ(loads.domain_load.size(), 18u);
+  EXPECT_GT(loads.total_tracks_3d, 0);
+  // Domains over the reflector corner carry far fewer segments than the
+  // fueled corner: the imbalance the three-level mapping attacks.
+  const double fueled = loads.domain_load[0];      // (0,0,0): inner UO2
+  const double reflector = loads.domain_load[8];   // (2,2,0): outer corner
+  EXPECT_GT(fueled, 1.2 * reflector);
+  // Azimuthal loads sum back to the domain load.
+  for (std::size_t d = 0; d < loads.domain_load.size(); ++d) {
+    const double sum = std::accumulate(loads.azim_load[d].begin(),
+                                       loads.azim_load[d].end(), 0.0);
+    EXPECT_NEAR(sum, loads.domain_load[d], 1e-9 * (1.0 + sum));
+  }
+}
+
+TEST(LoadMapper, L1ImprovesNodeUniformity) {
+  const auto loads = c5g7_loads();
+  const int nodes = 4;
+  const auto balanced = map_domains_to_nodes(loads, nodes, true);
+  const auto baseline = map_domains_to_nodes(loads, nodes, false);
+  const double u_bal = load_uniformity(loads.domain_load, balanced, nodes);
+  const double u_base = load_uniformity(loads.domain_load, baseline, nodes);
+  EXPECT_LT(u_bal, u_base);
+}
+
+TEST(LoadMapper, L2ImprovesGpuUniformity) {
+  const auto loads = c5g7_loads();
+  const int nodes = 4, gpus_per_node = 4;
+  const auto node_of = map_domains_to_nodes(loads, nodes, true);
+  const auto gpu_bal =
+      map_azim_to_gpus(loads, node_of, nodes, gpus_per_node, true);
+  const auto gpu_base =
+      map_azim_to_gpus(loads, node_of, nodes, gpus_per_node, false);
+
+  auto uniformity = [](const std::vector<double>& v) {
+    const double total = std::accumulate(v.begin(), v.end(), 0.0);
+    return *std::max_element(v.begin(), v.end()) / (total / v.size());
+  };
+  EXPECT_LT(uniformity(gpu_bal), uniformity(gpu_base));
+  // Totals conserved by both mappings.
+  EXPECT_NEAR(std::accumulate(gpu_bal.begin(), gpu_bal.end(), 0.0),
+              std::accumulate(gpu_base.begin(), gpu_base.end(), 0.0),
+              1e-6);
+}
+
+TEST(LoadMapper, L3SortedRoundRobinNearPerfect) {
+  Rng rng(11);
+  std::vector<double> costs(5000);
+  for (auto& c : costs) c = 1.0 + 50.0 * rng.next_double();
+  const double balanced = cu_uniformity(costs, 64, true);
+  const double baseline = cu_uniformity(costs, 64, false);
+  EXPECT_LT(balanced, baseline);
+  EXPECT_LT(balanced, 1.05);
+  EXPECT_GE(balanced, 1.0);
+}
+
+TEST(LoadMapper, CuUniformityHandlesDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(cu_uniformity({}, 8, true), 1.0);
+  EXPECT_DOUBLE_EQ(cu_uniformity({5.0}, 1, false), 1.0);
+}
+
+}  // namespace
+}  // namespace antmoc::partition

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/c5g7_model.h"
+#include "perfmodel/layout.h"
+#include "perfmodel/perfmodel.h"
+#include "solver/gpu_solver.h"
+#include "util/error.h"
+
+namespace antmoc::perf {
+namespace {
+
+struct Laydown {
+  models::C5G7Model model;
+  Quadrature quad;
+  TrackGenerator2D gen;
+  TrackStacks stacks;
+
+  explicit Laydown(double spacing, double dz = 0.5, int nazim = 4,
+                   int npolar = 2)
+      : model(models::build_pin_cell(2, 2.0)),
+        quad(nazim, spacing, model.geometry.bounds().width_x(),
+             model.geometry.bounds().width_y(), npolar),
+        gen(quad, model.geometry.bounds(),
+            {LinkKind::kReflective, LinkKind::kReflective,
+             LinkKind::kReflective, LinkKind::kReflective}),
+        stacks((gen.trace(model.geometry), gen), model.geometry, 0.0, 2.0,
+               dz) {}
+};
+
+TEST(PerfModel, Eq2TrackCountIsExact) {
+  const Laydown l(0.2);
+  EXPECT_EQ(predict_num_tracks_2d(l.quad), l.gen.num_tracks());
+}
+
+TEST(PerfModel, Eq3TrackCountIsExact) {
+  for (double dz : {1.0, 0.5, 0.25}) {
+    const Laydown l(0.2, dz);
+    EXPECT_EQ(predict_num_tracks_3d(l.gen, 0.0, 2.0, dz),
+              l.stacks.num_tracks())
+        << "dz=" << dz;
+  }
+}
+
+TEST(PerfModel, Eq4SegmentPredictionWithinPaperBand) {
+  // Calibrate on a small-but-dense sample, predict for finer track
+  // laydowns on the same geometry; the paper's Fig. 8 reports relative
+  // error within 1.1%. (A too-coarse sample biases the ratio — the paper's
+  // method requires "relatively dense" rays for the linear regime.)
+  const Laydown sample(0.05);
+  const auto ratios = SegmentRatios::calibrate(sample.gen, sample.stacks);
+  for (double spacing : {0.025, 0.016}) {
+    const Laydown fine(spacing);
+    const long predicted_2d =
+        ratios.predict_segments_2d(fine.gen.num_tracks());
+    const long measured_2d = fine.gen.num_segments();
+    EXPECT_NEAR(double(predicted_2d) / measured_2d, 1.0, 0.05)
+        << "2D spacing=" << spacing;
+
+    const long predicted_3d =
+        ratios.predict_segments_3d(fine.stacks.num_tracks());
+    const long measured_3d = fine.stacks.total_segments();
+    EXPECT_NEAR(double(predicted_3d) / measured_3d, 1.0, 0.05)
+        << "3D spacing=" << spacing;
+  }
+}
+
+TEST(PerfModel, Eq5MemoryMatchesGpuSolverCharges) {
+  const Laydown l(0.2);
+  gpusim::Device device(gpusim::DeviceSpec::scaled(1 << 28, 8));
+  GpuSolverOptions gopts;
+  gopts.policy = TrackPolicy::kExplicit;
+  GpuSolver solver(l.stacks, l.model.materials, device, gopts);
+
+  MemoryModel model;
+  model.num_groups = 7;
+  const auto predicted = model.predict(
+      l.gen.num_tracks(), l.gen.num_segments(), l.stacks.num_tracks(),
+      l.stacks.total_segments(), /*resident_fraction=*/1.0);
+
+  const auto charged = device.memory().breakdown();
+  EXPECT_EQ(predicted.tracks_2d, charged.at("2d_tracks"));
+  EXPECT_EQ(predicted.segments_2d, charged.at("2d_segments"));
+  EXPECT_EQ(predicted.tracks_3d, charged.at("3d_tracks"));
+  EXPECT_EQ(predicted.segments_3d, charged.at("3d_segments"));
+  EXPECT_EQ(predicted.track_fluxes, charged.at("track_fluxs"));
+}
+
+TEST(PerfModel, Eq5SegmentsDominateForRichGeometries) {
+  // Table 3: 3D segments dominate (93.31% in the paper's full-core
+  // configuration). The share is driven by segments per 3D track, i.e.
+  // the geometric richness: a pin cell stays flux-dominated while a
+  // multi-assembly core crosses dozens of regions per track.
+  const Laydown pin(0.2, 0.5);
+  MemoryModel model;
+  const auto b_pin = model.predict(
+      pin.gen.num_tracks(), pin.gen.num_segments(),
+      pin.stacks.num_tracks(), pin.stacks.total_segments());
+
+  models::C5G7Options opt;
+  opt.pins_per_assembly = 5;
+  opt.fuel_layers = 6;
+  opt.reflector_layers = 2;
+  opt.height_scale = 0.3;
+  auto core_model = models::build_core(opt);
+  const auto& g = core_model.geometry;
+  const Quadrature quad(4, 0.2, g.bounds().width_x(),
+                        g.bounds().width_y(), 2);
+  TrackGenerator2D gen(quad, g.bounds(),
+                       {LinkKind::kReflective, LinkKind::kVacuum,
+                        LinkKind::kReflective, LinkKind::kVacuum});
+  gen.trace(g);
+  const TrackStacks stacks(gen, g, g.bounds().z_min, g.bounds().z_max,
+                           1.0);
+  const auto b_core =
+      model.predict(gen.num_tracks(), gen.num_segments(),
+                    stacks.num_tracks(), stacks.total_segments());
+
+  EXPECT_GT(b_core.share(b_core.segments_3d),
+            b_pin.share(b_pin.segments_3d));
+  EXPECT_GT(b_core.share(b_core.segments_3d), 0.5);
+}
+
+TEST(PerfModel, Eq5ResidentFractionScalesSegmentTerm) {
+  MemoryModel model;
+  const auto full = model.predict(100, 1000, 10000, 1000000, 1.0);
+  const auto half = model.predict(100, 1000, 10000, 1000000, 0.5);
+  const auto none = model.predict(100, 1000, 10000, 1000000, 0.0);
+  EXPECT_EQ(half.segments_3d * 2, full.segments_3d);
+  EXPECT_EQ(none.segments_3d, 0u);
+  EXPECT_EQ(none.tracks_3d, full.tracks_3d);
+  EXPECT_THROW(model.predict(1, 1, 1, 1, 1.5), Error);
+}
+
+TEST(PerfModel, Eq6ComputationScalesWithPolicy) {
+  EXPECT_DOUBLE_EQ(predict_sweep_cycles(1000, 1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(predict_sweep_cycles(1000, 0.0), 6000.0);
+  // Manager at 35% residency recovers ~30% of the OTF overhead — the
+  // paper's Fig. 9 observation.
+  const double otf = predict_sweep_cycles(1000, 0.0);
+  const double managed = predict_sweep_cycles(1000, 0.35);
+  EXPECT_NEAR((otf - managed) / otf, 0.29, 0.03);
+}
+
+TEST(PerfModel, Eq7CommunicationBytes) {
+  // communication = N3D * 2 directions * groups * 4 bytes.
+  EXPECT_EQ(communication_bytes(100, 7), 100u * 2 * 7 * 4);
+  EXPECT_EQ(communication_bytes(0, 7), 0u);
+}
+
+TEST(PerfModel, LayoutConstantsMatchRealStructSizes) {
+  EXPECT_EQ(kSegment3DBytes, sizeof(Segment3D));
+}
+
+}  // namespace
+}  // namespace antmoc::perf

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <thread>
+
+#include "geometry/builder.h"
+#include "gpusim/atomic.h"
+#include "gpusim/thread_pool.h"
+#include "models/c5g7_model.h"
+#include "solver/domain_solver.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace antmoc {
+namespace {
+
+// ------------------------------------------------------- thread pool ----
+
+TEST(ThreadPoolStress, ManyConsecutiveJobsStayCorrect) {
+  gpusim::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  long total = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::array<long, 4> partial{};
+    pool.run([&](unsigned w) { partial[w] = w + round; });
+    for (long p : partial) total += p;
+  }
+  // Sum of (w + round) over w in [0,4), round in [0,200).
+  long expected = 0;
+  for (int round = 0; round < 200; ++round)
+    for (int w = 0; w < 4; ++w) expected += w + round;
+  EXPECT_EQ(total, expected);
+}
+
+TEST(ThreadPoolStress, WorkerExceptionsAreRethrown) {
+  gpusim::ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_THROW(pool.run([&](unsigned w) {
+                   if (w == static_cast<unsigned>(round % 3))
+                     fail<SolverError>("worker fault");
+                 }),
+                 SolverError);
+    // The pool survives and keeps executing.
+    int ok = 0;
+    pool.run([&](unsigned) { gpusim::device_atomic_add(ok, 1); });
+    EXPECT_EQ(ok, 3);
+  }
+}
+
+// ------------------------------------------------------------- logging ----
+
+TEST(Logging, FileSinkCapturesMessages) {
+  const std::string path = ::testing::TempDir() + "/antmoc_log.txt";
+  std::remove(path.c_str());
+  log::set_file(path);
+  log::info("stage: track generation took ", 1.5, " s");
+  log::warn("stage: sweep saw ", 3, " temporary tracks");
+  log::set_file("");  // restore stderr
+
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("track generation took 1.5 s"), std::string::npos);
+  EXPECT_NE(text.find("WARN"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Logging, LevelsFilter) {
+  const std::string path = ::testing::TempDir() + "/antmoc_lvl.txt";
+  std::remove(path.c_str());
+  log::set_file(path);
+  log::set_level(log::Level::kError);
+  log::info("should be dropped");
+  log::error("should appear");
+  log::set_level(log::Level::kInfo);
+  log::set_file("");
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(text.find("dropped"), std::string::npos);
+  EXPECT_NE(text.find("should appear"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------- geometry edges ----
+
+TEST(GeometryEdge, GapInCsgModelIsReportedNotMislocated) {
+  // Two disjoint circles leave a gap in the universe: tracing must throw
+  // a GeometryError naming the universe, not return a wrong region.
+  GeometryBuilder b;
+  const int c1 = b.add_circle(-0.3, 0.0, 0.2);
+  const int c2 = b.add_circle(0.3, 0.0, 0.2);
+  const int u = b.add_universe("gappy");
+  b.add_cell(u, "left", 0, {b.inside(c1)});
+  b.add_cell(u, "right", 0, {b.inside(c2)});
+  const int root = b.add_lattice("root", 1, 1, 2.0, 2.0, -1.0, -1.0, {u});
+  b.set_root(root);
+  Bounds bounds;
+  bounds.x_min = -1.0;
+  bounds.x_max = 1.0;
+  bounds.y_min = -1.0;
+  bounds.y_max = 1.0;
+  b.set_bounds(bounds);
+  b.add_axial_zone(0.0, 1.0, 1);
+  const auto g = b.build();
+  EXPECT_EQ(g.find_radial({-0.3, 0.0}).region, 0);
+  try {
+    g.find_radial({0.0, 0.9});
+    FAIL() << "gap point did not throw";
+  } catch (const GeometryError& e) {
+    EXPECT_NE(std::string(e.what()).find("gappy"), std::string::npos);
+  }
+}
+
+TEST(GeometryEdge, ZeroThicknessZoneRejected) {
+  GeometryBuilder b;
+  EXPECT_THROW(b.add_axial_zone(1.0, 1.0, 1), Error);
+  EXPECT_THROW(b.add_axial_zone(1.0, 0.5, 1), Error);
+}
+
+TEST(GeometryEdge, TinyGeometryStillTraces) {
+  // A 1 mm pin cell: absolute tolerances must not swallow the geometry.
+  GeometryBuilder b;
+  const int pin = b.add_pin_universe("p", 0, 1, 0.04);
+  const int root = b.add_lattice("r", 1, 1, 0.1, 0.1, 0.0, 0.0, {pin});
+  b.set_root(root);
+  Bounds bounds;
+  bounds.x_max = 0.1;
+  bounds.y_max = 0.1;
+  b.set_bounds(bounds);
+  b.set_all_radial_boundaries(BoundaryType::kReflective);
+  b.add_axial_zone(0.0, 0.1, 1);
+  const auto g = b.build();
+  const Quadrature q(4, 0.02, 0.1, 0.1, 1);
+  TrackGenerator2D gen(q, g.bounds(),
+                       {LinkKind::kReflective, LinkKind::kReflective,
+                        LinkKind::kReflective, LinkKind::kReflective});
+  gen.trace(g);
+  EXPECT_GT(gen.num_segments(), 0);
+  const auto areas = gen.region_areas(g.num_radial_regions());
+  double total = 0.0;
+  for (double a : areas) total += a;
+  EXPECT_NEAR(total, 0.01, 1e-4);
+}
+
+// -------------------------------------------------- failure injection ----
+
+TEST(FailureInjection, DeviceOomMidSetupLeavesArenaConsistent) {
+  // A heavily subdivided pin makes 3D segments dominate the footprint, so
+  // EXP blows the capacity that OTF fits into.
+  GeometryBuilder b;
+  PinSubdivision sub;
+  sub.fuel_rings = 3;
+  sub.fuel_sectors = 8;
+  sub.moderator_sectors = 8;
+  const int pin = b.add_pin_universe("pin", 0, 6, 0.54, sub);
+  const int root = b.add_lattice("r", 1, 1, 1.26, 1.26, 0.0, 0.0, {pin});
+  b.set_root(root);
+  Bounds bounds;
+  bounds.x_max = 1.26;
+  bounds.y_max = 1.26;
+  b.set_bounds(bounds);
+  b.set_all_radial_boundaries(BoundaryType::kReflective);
+  b.set_boundary(Face::kZMin, BoundaryType::kReflective);
+  b.set_boundary(Face::kZMax, BoundaryType::kReflective);
+  b.add_axial_zone(0.0, 2.0, 4);
+  models::C5G7Model model{b.build(),
+                          models::build_pin_cell(1, 1.0).materials};
+
+  const Quadrature quad(8, 0.1, 1.26, 1.26, 2);
+  TrackGenerator2D gen(quad, model.geometry.bounds(),
+                       {LinkKind::kReflective, LinkKind::kReflective,
+                        LinkKind::kReflective, LinkKind::kReflective});
+  gen.trace(model.geometry);
+  const TrackStacks stacks(gen, model.geometry, 0.0, 2.0, 0.25);
+
+  // OTF needs ~585 KiB here, EXP ~906 KiB: 700 KiB splits them.
+  gpusim::Device device(gpusim::DeviceSpec::scaled(700 << 10, 8));
+  GpuSolverOptions opts;
+  opts.policy = TrackPolicy::kExplicit;
+  const std::size_t used_before = device.memory().used();
+  EXPECT_THROW(GpuSolver(stacks, model.materials, device, opts),
+               DeviceOutOfMemory);
+  // Every charge taken during the failed construction must be released.
+  EXPECT_EQ(device.memory().used(), used_before);
+  // The device is still usable for a policy that fits.
+  opts.policy = TrackPolicy::kOnTheFly;
+  EXPECT_NO_THROW(GpuSolver(stacks, model.materials, device, opts));
+}
+
+TEST(FailureInjection, DomainRankErrorPropagatesToCaller) {
+  // A solver error inside one decomposed rank must surface in the calling
+  // thread as an exception, not hang or abort the process. A non-fissile
+  // core makes every rank fail identically (so no rank blocks on a peer).
+  GeometryBuilder b;
+  const int u = b.add_universe("water");
+  b.add_cell(u, "w", 6, {});
+  b.set_root(u);
+  Bounds bounds;
+  bounds.x_max = 2.0;
+  bounds.y_max = 2.0;
+  b.set_bounds(bounds);
+  b.set_all_radial_boundaries(BoundaryType::kReflective);
+  b.add_axial_zone(0.0, 2.0, 2);
+  models::C5G7Model model{b.build(), models::build_pin_cell(1, 1.0).materials};
+
+  DomainRunParams params;
+  params.num_azim = 4;
+  params.azim_spacing = 0.5;
+  params.num_polar = 1;
+  params.z_spacing = 1.0;
+  EXPECT_THROW(solve_decomposed(model.geometry, model.materials,
+                                {2, 2, 1}, params, SolveOptions{}),
+               Error);
+}
+
+}  // namespace
+}  // namespace antmoc

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "geometry/builder.h"
+#include "material/c5g7.h"
+#include "models/c5g7_model.h"
+#include "solver/cpu_solver.h"
+#include "solver/solver2d.h"
+#include "util/error.h"
+
+namespace antmoc {
+namespace {
+
+/// Single-layer pin cell for 2D solves (reflective everywhere).
+models::C5G7Model pin_2d() { return models::build_pin_cell(1, 1.0); }
+
+struct Laydown {
+  models::C5G7Model model;
+  Quadrature quad;
+  TrackGenerator2D gen;
+
+  Laydown(models::C5G7Model m, int nazim, double spacing, int npolar)
+      : model(std::move(m)),
+        quad(nazim, spacing, model.geometry.bounds().width_x(),
+             model.geometry.bounds().width_y(), npolar),
+        gen(quad, model.geometry.bounds(),
+            {LinkKind::kReflective, LinkKind::kReflective,
+             LinkKind::kReflective, LinkKind::kReflective}) {
+    gen.trace(model.geometry);
+  }
+};
+
+TEST(Solver2D, InfiniteMediumReproducesAnalyticK) {
+  GeometryBuilder b;
+  const int u = b.add_universe("medium");
+  b.add_cell(u, "fuel", c5g7::kUO2, {});
+  b.set_root(u);
+  Bounds bounds;
+  bounds.x_max = 1.0;
+  bounds.y_max = 1.0;
+  b.set_bounds(bounds);
+  b.set_all_radial_boundaries(BoundaryType::kReflective);
+  b.add_axial_zone(0.0, 1.0, 1);
+  Laydown l({b.build(), c5g7::materials()}, 4, 0.3, 2);
+
+  Solver2D solver(l.gen, l.model.geometry, l.model.materials);
+  SolveOptions opts;
+  opts.tolerance = 1e-7;
+  opts.max_iterations = 20000;
+  const auto result = solver.solve(opts);
+  ASSERT_TRUE(result.converged);
+  const double k_exact = infinite_medium_k(l.model.materials[c5g7::kUO2]);
+  EXPECT_NEAR(result.k_eff, k_exact, 1e-4 * k_exact);
+}
+
+TEST(Solver2D, MatchesAxiallyUniform3DSolve) {
+  // An axially uniform problem with reflective z faces is physically 2D;
+  // the 3D solver's exact axial reflective links make its solution
+  // z-independent, so the two answers must agree to solver precision.
+  Laydown l(pin_2d(), 8, 0.15, 2);
+  SolveOptions opts;
+  opts.tolerance = 1e-6;
+  opts.max_iterations = 20000;
+
+  Solver2D two_d(l.gen, l.model.geometry, l.model.materials);
+  const auto r2 = two_d.solve(opts);
+
+  const TrackStacks stacks(l.gen, l.model.geometry, 0.0, 1.0, 0.5);
+  CpuSolver three_d(stacks, l.model.materials);
+  const auto r3 = three_d.solve(opts);
+
+  ASSERT_TRUE(r2.converged);
+  ASSERT_TRUE(r3.converged);
+  EXPECT_NEAR(r2.k_eff, r3.k_eff, 3e-4 * r3.k_eff)
+      << "2D " << r2.k_eff << " vs 3D " << r3.k_eff;
+
+  // Scalar flux spectra agree region by region (normalized).
+  for (int r = 0; r < l.model.geometry.num_radial_regions(); ++r) {
+    double n2 = 0.0, n3 = 0.0;
+    for (int g = 0; g < 7; ++g) {
+      n2 += two_d.fsr().flux(r, g);
+      n3 += three_d.fsr().flux(r, g);
+    }
+    for (int g = 0; g < 7; ++g)
+      EXPECT_NEAR(two_d.fsr().flux(r, g) / n2,
+                  three_d.fsr().flux(r, g) / n3, 2e-3)
+          << "region " << r << " group " << g;
+  }
+}
+
+TEST(Solver2D, PinKMatchesExpectedRange) {
+  Laydown l(pin_2d(), 8, 0.1, 3);
+  Solver2D solver(l.gen, l.model.geometry, l.model.materials);
+  SolveOptions opts;
+  opts.tolerance = 1e-6;
+  opts.max_iterations = 20000;
+  const auto result = solver.solve(opts);
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.k_eff, 1.25);
+  EXPECT_LT(result.k_eff, 1.40);
+}
+
+TEST(Solver2D, AreasMatchAnalytic) {
+  Laydown l(pin_2d(), 16, 0.03, 1);
+  Solver2D solver(l.gen, l.model.geometry, l.model.materials);
+  SolveOptions opts;
+  opts.fixed_iterations = 1;
+  solver.solve(opts);
+  const auto& areas = solver.fsr().volumes();
+  const int fuel = l.model.geometry.find_radial({0.63, 0.63}).region;
+  const double exact = 3.14159265358979 * 0.54 * 0.54;
+  EXPECT_NEAR(areas[fuel], exact, 0.01 * exact);
+}
+
+TEST(Solver2D, RejectsMultiLayerGeometry) {
+  Laydown l(models::build_pin_cell(3, 3.0), 4, 0.3, 1);
+  EXPECT_THROW(Solver2D(l.gen, l.model.geometry, l.model.materials),
+               Error);
+}
+
+TEST(Solver2D, RejectsUntracedGenerator) {
+  const auto model = pin_2d();
+  const Quadrature quad(4, 0.3, 1.26, 1.26, 1);
+  TrackGenerator2D gen(quad, model.geometry.bounds(),
+                       {LinkKind::kReflective, LinkKind::kReflective,
+                        LinkKind::kReflective, LinkKind::kReflective});
+  EXPECT_THROW(Solver2D(gen, model.geometry, model.materials), Error);
+}
+
+}  // namespace
+}  // namespace antmoc

@@ -1,0 +1,389 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/builder.h"
+#include "material/c5g7.h"
+#include "models/c5g7_model.h"
+#include "solver/cpu_solver.h"
+#include "solver/exponential.h"
+#include "solver/gpu_solver.h"
+#include "solver/track_policy.h"
+#include "util/error.h"
+
+namespace antmoc {
+namespace {
+
+// ------------------------------------------------------------ exponential ---
+
+TEST(Exponential, ExactMatchesDefinition) {
+  for (double tau : {1e-12, 1e-6, 0.01, 0.5, 1.0, 5.0, 30.0}) {
+    EXPECT_NEAR(exp_f1(tau), 1.0 - std::exp(-tau), 1e-15) << tau;
+    EXPECT_GT(exp_f1(tau), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(exp_f1(0.0), 0.0);
+}
+
+TEST(Exponential, TableMeetsErrorBound) {
+  const double max_err = 1e-6;
+  const ExpTable table(40.0, max_err);
+  for (double tau = 0.0; tau < 45.0; tau += 0.0137)
+    EXPECT_NEAR(table(tau), exp_f1(tau), max_err) << tau;
+  EXPECT_DOUBLE_EQ(table(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(table(1000.0), 1.0);
+}
+
+TEST(Exponential, TighterToleranceShrinksSpacing) {
+  const ExpTable loose(40.0, 1e-4);
+  const ExpTable tight(40.0, 1e-8);
+  EXPECT_LT(tight.table_spacing(), loose.table_spacing());
+  EXPECT_GT(tight.size(), loose.size());
+}
+
+// ------------------------------------------------------------ test models ---
+
+/// Uniform fissile medium filling a pin-cell box: the MOC answer must be
+/// the analytic infinite-medium eigenvalue regardless of discretization.
+models::C5G7Model uniform_medium_model() {
+  GeometryBuilder b;
+  const int u = b.add_universe("medium");
+  b.add_cell(u, "fuel", c5g7::kUO2, {});
+  const int root = b.add_lattice("root", 1, 1, 1.0, 1.0, 0.0, 0.0, {u});
+  b.set_root(root);
+  Bounds bounds;
+  bounds.x_max = 1.0;
+  bounds.y_max = 1.0;
+  b.set_bounds(bounds);
+  b.set_all_radial_boundaries(BoundaryType::kReflective);
+  b.set_boundary(Face::kZMin, BoundaryType::kReflective);
+  b.set_boundary(Face::kZMax, BoundaryType::kReflective);
+  b.add_axial_zone(0.0, 1.0, 2);
+  return {b.build(), c5g7::materials()};
+}
+
+struct Problem {
+  models::C5G7Model model;
+  Quadrature quad;
+  TrackGenerator2D gen;
+  TrackStacks stacks;
+
+  Problem(models::C5G7Model m, int nazim, double spacing, int npolar,
+          double dz)
+      : model(std::move(m)),
+        quad(nazim, spacing, model.geometry.bounds().width_x(),
+             model.geometry.bounds().width_y(), npolar),
+        gen(quad, model.geometry.bounds(), radial_kinds(model.geometry)),
+        stacks((gen.trace(model.geometry), gen), model.geometry,
+               model.geometry.bounds().z_min, model.geometry.bounds().z_max,
+               dz) {}
+
+  static std::array<LinkKind, 4> radial_kinds(const Geometry& g) {
+    return {to_link_kind(g.boundary(Face::kXMin)),
+            to_link_kind(g.boundary(Face::kXMax)),
+            to_link_kind(g.boundary(Face::kYMin)),
+            to_link_kind(g.boundary(Face::kYMax))};
+  }
+};
+
+// --------------------------------------------------------------- physics ---
+
+TEST(CpuSolver, InfiniteMediumReproducesAnalyticK) {
+  Problem p(uniform_medium_model(), 4, 0.3, 2, 0.5);
+  CpuSolver solver(p.stacks, p.model.materials);
+  SolveOptions opts;
+  opts.tolerance = 1e-7;
+  opts.max_iterations = 20000;
+  const auto result = solver.solve(opts);
+  ASSERT_TRUE(result.converged);
+  const double k_exact =
+      infinite_medium_k(p.model.materials[c5g7::kUO2]);
+  // Boundary fluxes are single precision (paper §3.3), which bounds the
+  // achievable agreement near 1e-5 relative.
+  EXPECT_NEAR(result.k_eff, k_exact, 1e-4 * k_exact)
+      << "MOC " << result.k_eff << " vs analytic " << k_exact;
+}
+
+TEST(CpuSolver, InfiniteMediumFluxSpectrumMatches) {
+  Problem p(uniform_medium_model(), 4, 0.3, 2, 0.5);
+  CpuSolver solver(p.stacks, p.model.materials);
+  SolveOptions opts;
+  opts.tolerance = 1e-7;
+  opts.max_iterations = 20000;
+  ASSERT_TRUE(solver.solve(opts).converged);
+  const auto exact = infinite_medium_flux(p.model.materials[c5g7::kUO2]);
+  // Compare normalized spectra in FSR 0.
+  const int G = c5g7::kNumGroups;
+  double norm = 0.0;
+  for (int g = 0; g < G; ++g) norm += solver.fsr().flux(0, g);
+  for (int g = 0; g < G; ++g)
+    EXPECT_NEAR(solver.fsr().flux(0, g) / norm, exact[g], 2e-3)
+        << "group " << g;
+}
+
+TEST(CpuSolver, PinCellKInPhysicalRange) {
+  // A moderated UO2 pin cell: k_inf of the lattice should land near the
+  // well-known ~1.3 for C5G7-style pins (wide window: coarse quadrature).
+  Problem p(models::build_pin_cell(2, 2.0), 8, 0.1, 2, 0.5);
+  CpuSolver solver(p.stacks, p.model.materials);
+  SolveOptions opts;
+  opts.tolerance = 1e-6;
+  opts.max_iterations = 20000;
+  const auto result = solver.solve(opts);
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.k_eff, 1.15);
+  EXPECT_LT(result.k_eff, 1.50);
+}
+
+TEST(CpuSolver, LeakageLowersK) {
+  // Same pin with vacuum boundaries everywhere must be far subcritical
+  // relative to the reflected lattice.
+  auto reflected = models::build_pin_cell(2, 2.0);
+  auto leaky = models::build_pin_cell(2, 2.0);
+  {
+    GeometryBuilder b;  // rebuild with vacuum boundaries
+    const int circ = b.add_circle(0.0, 0.0, 0.54);
+    const int pin = b.add_universe("pin");
+    b.add_cell(pin, "fuel", c5g7::kUO2, {b.inside(circ)});
+    b.add_cell(pin, "mod", c5g7::kModerator, {b.outside(circ)});
+    const int root =
+        b.add_lattice("root", 1, 1, 1.26, 1.26, 0.0, 0.0, {pin});
+    b.set_root(root);
+    Bounds bounds;
+    bounds.x_max = 1.26;
+    bounds.y_max = 1.26;
+    b.set_bounds(bounds);
+    b.add_axial_zone(0.0, 2.0, 2);
+    leaky.geometry = b.build();
+  }
+  Problem pr(std::move(reflected), 4, 0.2, 1, 1.0);
+  Problem pl(std::move(leaky), 4, 0.2, 1, 1.0);
+  SolveOptions opts;
+  opts.tolerance = 1e-6;
+  opts.max_iterations = 20000;
+  CpuSolver sr(pr.stacks, pr.model.materials);
+  CpuSolver sl(pl.stacks, pl.model.materials);
+  const double k_reflected = sr.solve(opts).k_eff;
+  const double k_leaky = sl.solve(opts).k_eff;
+  EXPECT_LT(k_leaky, 0.5 * k_reflected);
+}
+
+TEST(CpuSolver, FissionRatesArePositiveInFuel) {
+  Problem p(models::build_pin_cell(2, 2.0), 4, 0.2, 1, 1.0);
+  CpuSolver solver(p.stacks, p.model.materials);
+  SolveOptions opts;
+  opts.tolerance = 1e-5;
+  ASSERT_TRUE(solver.solve(opts).converged);
+  const auto rate = solver.fsr().fission_rate();
+  const Geometry& g = p.model.geometry;
+  const int fuel = g.find_radial({0.63, 0.63}).region;
+  const int mod = g.find_radial({0.01, 0.01}).region;
+  for (int l = 0; l < g.num_axial_layers(); ++l) {
+    EXPECT_GT(rate[g.fsr_id(fuel, l)], 0.0);
+    EXPECT_DOUBLE_EQ(rate[g.fsr_id(mod, l)], 0.0);
+  }
+}
+
+TEST(CpuSolver, FixedIterationModeAlwaysRunsExactly) {
+  Problem p(models::build_pin_cell(1, 1.0), 4, 0.3, 1, 1.0);
+  CpuSolver solver(p.stacks, p.model.materials);
+  SolveOptions opts;
+  opts.fixed_iterations = 7;
+  const auto result = solver.solve(opts);
+  EXPECT_EQ(result.iterations, 7);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(CpuSolver, NonFissileProblemThrows) {
+  GeometryBuilder b;
+  const int u = b.add_universe("water");
+  b.add_cell(u, "w", c5g7::kModerator, {});
+  b.set_root(u);
+  Bounds bounds;
+  bounds.x_max = 1.0;
+  bounds.y_max = 1.0;
+  b.set_bounds(bounds);
+  b.set_all_radial_boundaries(BoundaryType::kReflective);
+  b.add_axial_zone(0.0, 1.0, 1);
+  models::C5G7Model model{b.build(), c5g7::materials()};
+  Problem p(std::move(model), 4, 0.4, 1, 0.5);
+  CpuSolver solver(p.stacks, p.model.materials);
+  EXPECT_THROW(solver.solve(), Error);
+}
+
+// --------------------------------------------- CPU vs GPU path equivalence ---
+
+TEST(GpuSolver, MatchesCpuSolverExactlyOnSameTracks) {
+  Problem p(models::build_pin_cell(2, 2.0), 4, 0.2, 2, 0.5);
+  SolveOptions opts;
+  opts.tolerance = 1e-6;
+  opts.max_iterations = 2000;
+
+  CpuSolver cpu(p.stacks, p.model.materials);
+  const auto rc = cpu.solve(opts);
+
+  gpusim::Device device(gpusim::DeviceSpec::scaled(1 << 28, 8));
+  GpuSolverOptions gopts;
+  gopts.policy = TrackPolicy::kExplicit;
+  GpuSolver gpu(p.stacks, p.model.materials, device, gopts);
+  const auto rg = gpu.solve(opts);
+
+  ASSERT_TRUE(rc.converged);
+  ASSERT_TRUE(rg.converged);
+  EXPECT_NEAR(rg.k_eff, rc.k_eff, 1e-5 * rc.k_eff);
+  // Pin fission rates: the paper's §5.1 criterion (relative error ~ 0).
+  const auto fc = cpu.fsr().fission_rate();
+  const auto fg = gpu.fsr().fission_rate();
+  for (std::size_t i = 0; i < fc.size(); ++i)
+    if (fc[i] > 0.0) {
+      EXPECT_NEAR(fg[i] / fc[i], 1.0, 1e-4) << "fsr " << i;
+    }
+}
+
+TEST(GpuSolver, AllTrackPoliciesAgree) {
+  Problem p(models::build_pin_cell(2, 2.0), 4, 0.2, 2, 0.5);
+  SolveOptions opts;
+  opts.tolerance = 1e-6;
+  opts.max_iterations = 2000;
+
+  double k_exp = 0.0;
+  for (TrackPolicy policy : {TrackPolicy::kExplicit, TrackPolicy::kOnTheFly,
+                             TrackPolicy::kManaged}) {
+    gpusim::Device device(gpusim::DeviceSpec::scaled(1 << 28, 8));
+    GpuSolverOptions gopts;
+    gopts.policy = policy;
+    gopts.resident_budget_bytes = 1 << 16;  // force a partial split
+    GpuSolver solver(p.stacks, p.model.materials, device, gopts);
+    const auto r = solver.solve(opts);
+    ASSERT_TRUE(r.converged);
+    if (policy == TrackPolicy::kExplicit)
+      k_exp = r.k_eff;
+    else
+      EXPECT_NEAR(r.k_eff, k_exp, 1e-6 * k_exp);
+  }
+}
+
+TEST(GpuSolver, L3SortDoesNotChangePhysics) {
+  Problem p(models::build_pin_cell(2, 2.0), 4, 0.3, 1, 0.5);
+  SolveOptions opts;
+  opts.tolerance = 1e-6;
+  double k_sorted = 0.0;
+  for (bool l3 : {true, false}) {
+    gpusim::Device device(gpusim::DeviceSpec::scaled(1 << 28, 8));
+    GpuSolverOptions gopts;
+    gopts.policy = TrackPolicy::kOnTheFly;
+    gopts.l3_sort = l3;
+    GpuSolver solver(p.stacks, p.model.materials, device, gopts);
+    const auto r = solver.solve(opts);
+    ASSERT_TRUE(r.converged);
+    if (l3)
+      k_sorted = r.k_eff;
+    else
+      EXPECT_NEAR(r.k_eff, k_sorted, 1e-6 * k_sorted);
+  }
+}
+
+TEST(GpuSolver, L3SortImprovesCuLoadUniformity) {
+  // Heterogeneous pin cell: track segment counts vary, so blocked natural
+  // order skews CUs while sorted round-robin evens them out.
+  Problem p(models::build_pin_cell(4, 4.0), 8, 0.1, 2, 0.25);
+  SolveOptions opts;
+  opts.fixed_iterations = 1;
+  double balanced = 0.0, unbalanced = 0.0;
+  for (bool l3 : {true, false}) {
+    gpusim::Device device(gpusim::DeviceSpec::scaled(1 << 28, 16));
+    GpuSolverOptions gopts;
+    gopts.policy = TrackPolicy::kOnTheFly;
+    gopts.l3_sort = l3;
+    GpuSolver solver(p.stacks, p.model.materials, device, gopts);
+    solver.solve(opts);
+    (l3 ? balanced : unbalanced) =
+        solver.last_sweep_stats().load_uniformity();
+  }
+  EXPECT_LT(balanced, unbalanced);
+  EXPECT_LT(balanced, 1.1);
+}
+
+TEST(GpuSolver, ChargesTable3MemoryLabels) {
+  Problem p(models::build_pin_cell(1, 1.0), 4, 0.3, 1, 0.5);
+  gpusim::Device device(gpusim::DeviceSpec::scaled(1 << 28, 8));
+  GpuSolverOptions gopts;
+  gopts.policy = TrackPolicy::kExplicit;
+  GpuSolver solver(p.stacks, p.model.materials, device, gopts);
+  const auto breakdown = device.memory().breakdown();
+  for (const char* label : {"2d_tracks", "2d_segments", "3d_tracks",
+                            "3d_segments", "track_fluxs", "others"})
+    EXPECT_TRUE(breakdown.count(label)) << label;
+}
+
+TEST(GpuSolver, ExplicitPolicyFailsOnTinyDevice) {
+  Problem p(models::build_pin_cell(2, 2.0), 8, 0.1, 2, 0.25);
+  gpusim::Device device(gpusim::DeviceSpec::scaled(1 << 12, 8));
+  GpuSolverOptions gopts;
+  gopts.policy = TrackPolicy::kExplicit;
+  EXPECT_THROW(GpuSolver(p.stacks, p.model.materials, device, gopts),
+               DeviceOutOfMemory);
+}
+
+// ------------------------------------------------------------ TrackManager ---
+
+TEST(TrackManager, PolicyResidencyInvariants) {
+  Problem p(models::build_pin_cell(2, 2.0), 4, 0.2, 2, 0.5);
+  TrackManager exp(p.stacks, TrackPolicy::kExplicit, nullptr, 0);
+  EXPECT_EQ(exp.num_resident(), p.stacks.num_tracks());
+  EXPECT_DOUBLE_EQ(exp.resident_fraction(), 1.0);
+
+  TrackManager otf(p.stacks, TrackPolicy::kOnTheFly, nullptr, 0);
+  EXPECT_EQ(otf.num_resident(), 0);
+  EXPECT_EQ(otf.resident_bytes(), 0u);
+
+  TrackManager managed(p.stacks, TrackPolicy::kManaged, nullptr, 1 << 14);
+  EXPECT_GT(managed.num_resident(), 0);
+  EXPECT_LT(managed.num_resident(), p.stacks.num_tracks());
+  EXPECT_LE(managed.resident_bytes(), std::size_t{1} << 14);
+}
+
+TEST(TrackManager, ManagedPrefersHeavyTracks) {
+  Problem p(models::build_pin_cell(2, 2.0), 4, 0.2, 2, 0.5);
+  TrackManager managed(p.stacks, TrackPolicy::kManaged, nullptr, 1 << 14);
+  const auto& counts = managed.segment_counts();
+  long min_resident = std::numeric_limits<long>::max();
+  long max_temporary = 0;
+  for (long id = 0; id < p.stacks.num_tracks(); ++id) {
+    if (managed.resident(id))
+      min_resident = std::min(min_resident, counts[id]);
+    else
+      max_temporary = std::max(max_temporary, counts[id]);
+  }
+  // Greedy-by-weight under a byte budget: every temporary track is no
+  // heavier than the lightest resident track (ties aside), except where
+  // the budget boundary splits equal weights.
+  EXPECT_GE(min_resident + 1, max_temporary);
+}
+
+TEST(TrackManager, StoredSegmentsMatchOtfExpansion) {
+  Problem p(models::build_pin_cell(2, 2.0), 4, 0.3, 1, 0.5);
+  TrackManager exp(p.stacks, TrackPolicy::kExplicit, nullptr, 0);
+  for (long id = 0; id < p.stacks.num_tracks(); ++id) {
+    long count = 0;
+    const Segment3D* segs = exp.segments(id, count);
+    ASSERT_NE(segs, nullptr);
+    const auto otf = p.stacks.expand(id);
+    ASSERT_EQ(static_cast<std::size_t>(count), otf.size());
+    for (long s = 0; s < count; ++s) {
+      EXPECT_EQ(segs[s].fsr, otf[s].fsr);
+      EXPECT_DOUBLE_EQ(segs[s].length, otf[s].length);
+    }
+  }
+}
+
+TEST(TrackManager, CostModelReflectsPolicy) {
+  Problem p(models::build_pin_cell(1, 1.0), 4, 0.3, 1, 0.5);
+  TrackManager exp(p.stacks, TrackPolicy::kExplicit, nullptr, 0);
+  TrackManager otf(p.stacks, TrackPolicy::kOnTheFly, nullptr, 0);
+  for (long id = 0; id < p.stacks.num_tracks(); id += 5)
+    EXPECT_NEAR(otf.track_cost(id),
+                exp.track_cost(id) * kOtfCostPerSegment, 1e-9);
+}
+
+}  // namespace
+}  // namespace antmoc

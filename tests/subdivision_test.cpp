@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/builder.h"
+#include "material/c5g7.h"
+#include "models/c5g7_model.h"
+#include "solver/cpu_solver.h"
+#include "track/generator2d.h"
+#include "util/error.h"
+
+namespace antmoc {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// ------------------------------------------------------------ line surface ---
+
+TEST(LineSurface, EvaluatesSignedDistance) {
+  // x + y - 1 = 0, normalized.
+  const auto l = Surface2D::line(1.0, 1.0, -1.0);
+  EXPECT_LT(l.evaluate({0.0, 0.0}), 0.0);
+  EXPECT_GT(l.evaluate({1.0, 1.0}), 0.0);
+  EXPECT_NEAR(l.evaluate({0.5, 0.5}), 0.0, 1e-12);
+  // Normalization makes evaluate a true distance.
+  EXPECT_NEAR(l.evaluate({0.0, 0.0}), -1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(LineSurface, RayDistance) {
+  const auto l = Surface2D::line(0.0, 1.0, -2.0);  // y = 2
+  EXPECT_NEAR(l.ray_distance({0.0, 0.0}, 0.0, 1.0), 2.0, 1e-12);
+  EXPECT_EQ(l.ray_distance({0.0, 0.0}, 1.0, 0.0), kInfDistance);
+  EXPECT_EQ(l.ray_distance({0.0, 3.0}, 0.0, 1.0), kInfDistance);
+  const double s = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(l.ray_distance({0.0, 0.0}, s, s), 2.0 * std::sqrt(2.0),
+              1e-12);
+}
+
+// -------------------------------------------------------- pin subdivision ---
+
+Geometry subdivided_pin(const PinSubdivision& sub) {
+  GeometryBuilder b;
+  const int pin = b.add_pin_universe("pin", /*fuel=*/0, /*mod=*/1, 0.54,
+                                     sub);
+  const int root = b.add_lattice("root", 1, 1, 1.26, 1.26, 0.0, 0.0, {pin});
+  b.set_root(root);
+  Bounds bounds;
+  bounds.x_max = 1.26;
+  bounds.y_max = 1.26;
+  b.set_bounds(bounds);
+  b.set_all_radial_boundaries(BoundaryType::kReflective);
+  b.set_boundary(Face::kZMin, BoundaryType::kReflective);
+  b.set_boundary(Face::kZMax, BoundaryType::kReflective);
+  b.add_axial_zone(0.0, 1.0, 1);
+  return b.build();
+}
+
+TEST(PinSubdivisionGeom, RegionCountFormula) {
+  for (int rings : {1, 2, 3})
+    for (int fsec : {1, 2, 4, 8})
+      for (int msec : {1, 4}) {
+        PinSubdivision sub;
+        sub.fuel_rings = rings;
+        sub.fuel_sectors = fsec;
+        sub.moderator_sectors = msec;
+        const auto g = subdivided_pin(sub);
+        EXPECT_EQ(g.num_radial_regions(), rings * fsec + msec)
+            << rings << "r " << fsec << "fs " << msec << "ms";
+      }
+}
+
+TEST(PinSubdivisionGeom, InvalidCountsThrow) {
+  GeometryBuilder b;
+  PinSubdivision sub;
+  sub.fuel_rings = 0;
+  EXPECT_THROW(b.add_pin_universe("p", 0, 1, 0.5, sub), Error);
+}
+
+TEST(PinSubdivisionGeom, EveryPointFindsAUniqueRegion) {
+  PinSubdivision sub;
+  sub.fuel_rings = 2;
+  sub.fuel_sectors = 4;
+  sub.moderator_sectors = 8;
+  const auto g = subdivided_pin(sub);
+  // Dense sampling must always land in some region with the right
+  // material (fuel inside r=0.54 of the center, moderator outside).
+  const int n = 150;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      const Point2 p{(i + 0.5) * 1.26 / n, (j + 0.5) * 1.26 / n};
+      const auto found = g.find_radial(p);
+      const double r = std::hypot(p.x - 0.63, p.y - 0.63);
+      EXPECT_EQ(found.material, r < 0.54 - 1e-9   ? 0
+                                : r > 0.54 + 1e-9 ? 1
+                                                  : found.material);
+    }
+}
+
+TEST(PinSubdivisionGeom, RingAreasAreEqual) {
+  PinSubdivision sub;
+  sub.fuel_rings = 3;
+  const auto g = subdivided_pin(sub);
+  const Quadrature quad(16, 0.02, 1.26, 1.26, 1);
+  TrackGenerator2D gen(quad, g.bounds(),
+                       {LinkKind::kReflective, LinkKind::kReflective,
+                        LinkKind::kReflective, LinkKind::kReflective});
+  gen.trace(g);
+  const auto areas = gen.region_areas(g.num_radial_regions());
+  // Regions 0..2 are the rings (builder order), each pi*R^2/3.
+  const double expected = kPi * 0.54 * 0.54 / 3.0;
+  for (int r = 0; r < 3; ++r)
+    EXPECT_NEAR(areas[r], expected, 0.03 * expected) << "ring " << r;
+}
+
+TEST(PinSubdivisionGeom, SectorAreasAreEqual) {
+  PinSubdivision sub;
+  sub.fuel_sectors = 4;
+  const auto g = subdivided_pin(sub);
+  const Quadrature quad(16, 0.02, 1.26, 1.26, 1);
+  TrackGenerator2D gen(quad, g.bounds(),
+                       {LinkKind::kReflective, LinkKind::kReflective,
+                        LinkKind::kReflective, LinkKind::kReflective});
+  gen.trace(g);
+  const auto areas = gen.region_areas(g.num_radial_regions());
+  const double expected = kPi * 0.54 * 0.54 / 4.0;
+  for (int s = 0; s < 4; ++s)
+    EXPECT_NEAR(areas[s], expected, 0.05 * expected) << "sector " << s;
+}
+
+TEST(PinSubdivisionGeom, TotalAreaPreserved) {
+  PinSubdivision sub;
+  sub.fuel_rings = 2;
+  sub.fuel_sectors = 4;
+  sub.moderator_sectors = 4;
+  const auto g = subdivided_pin(sub);
+  const Quadrature quad(8, 0.03, 1.26, 1.26, 1);
+  TrackGenerator2D gen(quad, g.bounds(),
+                       {LinkKind::kReflective, LinkKind::kReflective,
+                        LinkKind::kReflective, LinkKind::kReflective});
+  gen.trace(g);
+  const auto areas = gen.region_areas(g.num_radial_regions());
+  double total = 0.0;
+  for (double a : areas) total += a;
+  EXPECT_NEAR(total, 1.26 * 1.26, 1e-6 * 1.26 * 1.26);
+}
+
+// ------------------------------------------------------- solver coupling ---
+
+TEST(PinSubdivisionSolve, KMatchesUnsubdividedPin) {
+  // The same physical problem with refined FSRs: k moves only by the
+  // flat-source discretization error, which is small for a pin cell.
+  SolveOptions opts;
+  opts.tolerance = 1e-6;
+  opts.max_iterations = 20000;
+
+  auto run = [&](const PinSubdivision& sub) {
+    GeometryBuilder b;
+    const int pin = b.add_pin_universe("pin", c5g7::kUO2,
+                                       c5g7::kModerator, 0.54, sub);
+    const int root =
+        b.add_lattice("root", 1, 1, 1.26, 1.26, 0.0, 0.0, {pin});
+    b.set_root(root);
+    Bounds bounds;
+    bounds.x_max = 1.26;
+    bounds.y_max = 1.26;
+    b.set_bounds(bounds);
+    b.set_all_radial_boundaries(BoundaryType::kReflective);
+    b.set_boundary(Face::kZMin, BoundaryType::kReflective);
+    b.set_boundary(Face::kZMax, BoundaryType::kReflective);
+    b.add_axial_zone(0.0, 2.0, 2);
+    const Geometry g = b.build();
+    const auto materials = c5g7::materials();
+    const Quadrature quad(8, 0.08, 1.26, 1.26, 2);
+    TrackGenerator2D gen(quad, g.bounds(),
+                         {LinkKind::kReflective, LinkKind::kReflective,
+                          LinkKind::kReflective, LinkKind::kReflective});
+    gen.trace(g);
+    const TrackStacks stacks(gen, g, 0.0, 2.0, 0.5);
+    CpuSolver solver(stacks, materials);
+    const auto result = solver.solve(opts);
+    EXPECT_TRUE(result.converged);
+    return result.k_eff;
+  };
+
+  const double k_coarse = run({});
+  PinSubdivision fine;
+  fine.fuel_rings = 3;
+  fine.fuel_sectors = 4;
+  fine.moderator_sectors = 4;
+  const double k_fine = run(fine);
+  EXPECT_NEAR(k_fine, k_coarse, 0.01 * k_coarse)
+      << "coarse " << k_coarse << " fine " << k_fine;
+}
+
+TEST(PinSubdivisionSolve, C5G7ModelAcceptsSubdivision) {
+  models::C5G7Options opt;
+  opt.pins_per_assembly = 3;
+  opt.height_scale = 0.05;
+  opt.subdivision.fuel_rings = 2;
+  opt.subdivision.fuel_sectors = 2;
+  const auto model = models::build_core(opt);
+  // 4 fueled assemblies x 9 pins x (2*2 fuel + 1 moderator) + 5 reflector.
+  EXPECT_EQ(model.geometry.num_radial_regions(), 4 * 9 * 5 + 5);
+}
+
+}  // namespace
+}  // namespace antmoc

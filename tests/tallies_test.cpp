@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "material/c5g7.h"
+#include "models/c5g7_model.h"
+#include "solver/cpu_solver.h"
+#include "solver/tallies.h"
+#include "util/error.h"
+
+namespace antmoc::tallies {
+namespace {
+
+struct Solved {
+  models::C5G7Model model;
+  Quadrature quad;
+  TrackGenerator2D gen;
+  TrackStacks stacks;
+  CpuSolver solver;
+  SolveResult result;
+
+  Solved()
+      : model(models::build_pin_cell(4, 4.0)),
+        quad(4, 0.2, 1.26, 1.26, 1),
+        gen(quad, model.geometry.bounds(),
+            {LinkKind::kReflective, LinkKind::kReflective,
+             LinkKind::kReflective, LinkKind::kReflective}),
+        stacks((gen.trace(model.geometry), gen), model.geometry, 0.0, 4.0,
+               1.0),
+        solver(stacks, model.materials) {
+    SolveOptions opts;
+    opts.tolerance = 1e-6;
+    opts.max_iterations = 20000;
+    result = solver.solve(opts);
+  }
+};
+
+const Solved& solved() {
+  static const Solved s;
+  return s;
+}
+
+TEST(Tallies, RatesByMaterialPartitionTheTotal) {
+  const auto& s = solved();
+  const auto by_mat = rate_by_material(
+      s.model.geometry, s.model.materials, s.solver.fsr().scalar_flux(),
+      s.solver.fsr().volumes(), Reaction::kTotal);
+  const double total =
+      total_rate(s.model.geometry, s.model.materials,
+                 s.solver.fsr().scalar_flux(), s.solver.fsr().volumes(),
+                 Reaction::kTotal);
+  EXPECT_NEAR(std::accumulate(by_mat.begin(), by_mat.end(), 0.0), total,
+              1e-9 * total);
+  // Only UO2 and moderator exist in a pin cell.
+  for (std::size_t m = 0; m < by_mat.size(); ++m) {
+    if (m == c5g7::kUO2 || m == c5g7::kModerator)
+      EXPECT_GT(by_mat[m], 0.0) << m;
+    else
+      EXPECT_DOUBLE_EQ(by_mat[m], 0.0) << m;
+  }
+}
+
+TEST(Tallies, OnlyFuelFissions) {
+  const auto& s = solved();
+  const auto fission = rate_by_material(
+      s.model.geometry, s.model.materials, s.solver.fsr().scalar_flux(),
+      s.solver.fsr().volumes(), Reaction::kFission);
+  EXPECT_GT(fission[c5g7::kUO2], 0.0);
+  EXPECT_DOUBLE_EQ(fission[c5g7::kModerator], 0.0);
+}
+
+TEST(Tallies, NeutronBalanceAtConvergedK) {
+  // Leakage-free reflected problem: production / absorption = k.
+  const auto& s = solved();
+  ASSERT_TRUE(s.result.converged);
+  const double production =
+      total_rate(s.model.geometry, s.model.materials,
+                 s.solver.fsr().scalar_flux(), s.solver.fsr().volumes(),
+                 Reaction::kNuFission);
+  const double absorption =
+      total_rate(s.model.geometry, s.model.materials,
+                 s.solver.fsr().scalar_flux(), s.solver.fsr().volumes(),
+                 Reaction::kAbsorption);
+  EXPECT_NEAR(production / absorption, s.result.k_eff,
+              2e-3 * s.result.k_eff);
+}
+
+TEST(Tallies, AxialProfileFlatForReflectedPin) {
+  const auto& s = solved();
+  const auto profile = axial_power_profile(
+      s.model.geometry, s.solver.fsr().fission_rate(),
+      s.solver.fsr().volumes());
+  ASSERT_EQ(profile.size(), 4u);
+  for (double p : profile) EXPECT_NEAR(p, 1.0, 5e-3);
+}
+
+TEST(Tallies, RadialPowerMapFindsThePin) {
+  const auto& s = solved();
+  const auto map = radial_power_map(s.model.geometry,
+                                    s.solver.fsr().fission_rate(),
+                                    s.solver.fsr().volumes(), 1, 1);
+  ASSERT_EQ(map.size(), 1u);
+  EXPECT_GT(map[0], 0.0);
+}
+
+TEST(Tallies, PeakingFactorProperties) {
+  EXPECT_DOUBLE_EQ(peaking_factor({}), 0.0);
+  EXPECT_DOUBLE_EQ(peaking_factor({2.0, 2.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(peaking_factor({1.0, 3.0}), 1.5);
+  // Zero entries (reflector tiles) are excluded from the average.
+  EXPECT_DOUBLE_EQ(peaking_factor({0.0, 1.0, 3.0}), 1.5);
+}
+
+TEST(Tallies, SizeMismatchesThrow) {
+  const auto& s = solved();
+  std::vector<double> wrong(3, 1.0);
+  EXPECT_THROW(rate_by_material(s.model.geometry, s.model.materials, wrong,
+                                s.solver.fsr().volumes(),
+                                Reaction::kTotal),
+               Error);
+  EXPECT_THROW(axial_power_profile(s.model.geometry, wrong,
+                                   s.solver.fsr().volumes()),
+               Error);
+}
+
+}  // namespace
+}  // namespace antmoc::tallies

@@ -1,0 +1,496 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "geometry/builder.h"
+#include "track/generator2d.h"
+#include "track/quadrature.h"
+#include "track/track3d.h"
+#include "util/error.h"
+
+namespace antmoc {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// ------------------------------------------------------------ Quadrature ---
+
+TEST(Quadrature, RejectsBadParameters) {
+  EXPECT_THROW(Quadrature(3, 0.5, 1, 1, 1), Error);
+  EXPECT_THROW(Quadrature(6, 0.5, 1, 1, 1), Error);  // not a multiple of 4
+  EXPECT_THROW(Quadrature(4, -0.5, 1, 1, 1), Error);
+  EXPECT_THROW(Quadrature(4, 0.5, 1, 1, 0), Error);
+}
+
+TEST(Quadrature, AnglesAreSymmetricAboutHalfPi) {
+  const Quadrature q(8, 0.3, 2.0, 3.0, 2);
+  for (int a = 0; a < q.num_azim_2(); ++a) {
+    const int c = q.complement(a);
+    EXPECT_NEAR(q.phi(a) + q.phi(c), kPi, 1e-12);
+    EXPECT_EQ(q.nx(a), q.nx(c));
+    EXPECT_EQ(q.ny(a), q.ny(c));
+    EXPECT_NEAR(q.spacing_eff(a), q.spacing_eff(c), 1e-12);
+  }
+}
+
+TEST(Quadrature, AzimuthalFractionsSumToOne) {
+  for (int n : {4, 8, 16, 32}) {
+    const Quadrature q(n, 0.25, 1.7, 2.3, 1);
+    double sum = 0.0;
+    for (int a = 0; a < q.num_azim_2(); ++a) sum += q.azim_frac(a);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "num_azim=" << n;
+  }
+}
+
+TEST(Quadrature, EffectiveSpacingAtMostRequested) {
+  const double req = 0.31;
+  const Quadrature q(16, req, 4.0, 4.0, 1);
+  for (int a = 0; a < q.num_azim_2(); ++a) {
+    EXPECT_LE(q.spacing_eff(a), req + 1e-12);
+    EXPECT_GT(q.spacing_eff(a), 0.0);
+  }
+}
+
+TEST(Quadrature, TyPolarWeightsNormalized) {
+  for (int np : {1, 2, 3}) {
+    const Quadrature q(4, 0.5, 1, 1, np);
+    double sum = 0.0;
+    for (int p = 0; p < np; ++p) {
+      sum += q.polar_frac(p);
+      EXPECT_GT(q.sin_theta(p), 0.0);
+      EXPECT_LT(q.sin_theta(p), 1.0);
+      EXPECT_NEAR(q.sin_theta(p) * q.sin_theta(p) +
+                      q.cos_theta(p) * q.cos_theta(p),
+                  1.0, 1e-10);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+TEST(Quadrature, GaussLegendrePolarForLargeCounts) {
+  const Quadrature q(4, 0.5, 1, 1, 5);
+  EXPECT_EQ(q.num_polar(), 5);
+  double sum = 0.0;
+  for (int p = 0; p < 5; ++p) {
+    sum += q.polar_frac(p);
+    if (p > 0) {
+      EXPECT_GT(q.sin_theta(p), q.sin_theta(p - 1));
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Quadrature, DirectionWeightsIntegrateTo4Pi) {
+  // 4 sign combinations per (a, p): fwd/bwd x up/down.
+  const Quadrature q(8, 0.4, 2.0, 1.5, 3);
+  double total = 0.0;
+  for (int a = 0; a < q.num_azim_2(); ++a)
+    for (int p = 0; p < q.num_polar(); ++p)
+      total += 4.0 * q.direction_weight(a, p);
+  EXPECT_NEAR(total, 4.0 * kPi, 1e-9);
+}
+
+// ------------------------------------------------------------- laydown ----
+
+Bounds box2(double wx, double wy) {
+  Bounds b;
+  b.x_max = wx;
+  b.y_max = wy;
+  return b;
+}
+
+std::array<LinkKind, 4> all_faces(LinkKind k) { return {k, k, k, k}; }
+
+TEST(Generator2D, TrackCountMatchesQuadrature) {
+  const Quadrature q(8, 0.4, 3.0, 2.0, 1);
+  const TrackGenerator2D gen(q, box2(3.0, 2.0),
+                             all_faces(LinkKind::kVacuum));
+  int expected = 0;
+  for (int a = 0; a < q.num_azim_2(); ++a) expected += q.num_tracks(a);
+  EXPECT_EQ(gen.num_tracks(), expected);
+}
+
+TEST(Generator2D, EndpointsLieOnBoundary) {
+  const Quadrature q(8, 0.4, 3.0, 2.0, 1);
+  const TrackGenerator2D gen(q, box2(3.0, 2.0),
+                             all_faces(LinkKind::kVacuum));
+  const auto on_boundary = [](const Bounds& b, Point2 p) {
+    const double tol = 1e-9;
+    return std::abs(p.x - b.x_min) < tol || std::abs(p.x - b.x_max) < tol ||
+           std::abs(p.y - b.y_min) < tol || std::abs(p.y - b.y_max) < tol;
+  };
+  for (const auto& t : gen.tracks()) {
+    EXPECT_TRUE(on_boundary(gen.box(), t.start));
+    EXPECT_TRUE(on_boundary(gen.box(), t.end));
+    EXPECT_GT(t.length, 0.0);
+    EXPECT_NEAR(t.start.distance(t.end), t.length, 1e-9);
+  }
+}
+
+TEST(Generator2D, UidIndexing) {
+  const Quadrature q(8, 0.5, 2.0, 2.0, 1);
+  const TrackGenerator2D gen(q, box2(2.0, 2.0),
+                             all_faces(LinkKind::kVacuum));
+  for (int a = 0; a < q.num_azim_2(); ++a)
+    for (int i = 0; i < q.num_tracks(a); ++i) {
+      const auto& t = gen.track(gen.uid(a, i));
+      EXPECT_EQ(t.azim, a);
+      EXPECT_EQ(t.index_in_azim, i);
+    }
+}
+
+TEST(Generator2D, VacuumLinksHaveNoTargets) {
+  const Quadrature q(4, 0.5, 1.0, 1.0, 1);
+  const TrackGenerator2D gen(q, box2(1.0, 1.0),
+                             all_faces(LinkKind::kVacuum));
+  for (const auto& t : gen.tracks()) {
+    EXPECT_EQ(t.fwd_link.kind, LinkKind::kVacuum);
+    EXPECT_EQ(t.bwd_link.kind, LinkKind::kVacuum);
+  }
+}
+
+TEST(Generator2D, ReflectiveLinksResolveAndInvolute) {
+  for (int nazim : {4, 8, 16}) {
+    const Quadrature q(nazim, 0.37, 2.5, 1.5, 1);
+    const TrackGenerator2D gen(q, box2(2.5, 1.5),
+                               all_faces(LinkKind::kReflective));
+    for (int uid = 0; uid < gen.num_tracks(); ++uid) {
+      const auto& t = gen.track(uid);
+      ASSERT_GE(t.fwd_link.track, 0);
+      ASSERT_GE(t.bwd_link.track, 0);
+      // Reflective partners are complementary-angle tracks.
+      EXPECT_EQ(gen.track(t.fwd_link.track).azim,
+                q.complement(t.azim));
+      // Flux continuity is an involution: the link we enter through must
+      // link straight back to us.
+      const auto& t2 = gen.track(t.fwd_link.track);
+      const TrackLink& back =
+          t.fwd_link.forward ? t2.bwd_link : t2.fwd_link;
+      EXPECT_EQ(back.track, uid);
+    }
+  }
+}
+
+TEST(Generator2D, ReflectiveLinkPreservesEndpoint) {
+  const Quadrature q(8, 0.3, 2.0, 2.0, 1);
+  const TrackGenerator2D gen(q, box2(2.0, 2.0),
+                             all_faces(LinkKind::kReflective));
+  for (const auto& t : gen.tracks()) {
+    const auto& t2 = gen.track(t.fwd_link.track);
+    const Point2 entry = t.fwd_link.forward ? t2.start : t2.end;
+    EXPECT_NEAR(entry.x, t.end.x, 1e-6);
+    EXPECT_NEAR(entry.y, t.end.y, 1e-6);
+  }
+}
+
+TEST(Generator2D, PeriodicLinksShiftToOppositeFace) {
+  const Quadrature q(8, 0.3, 2.0, 2.0, 1);
+  const TrackGenerator2D gen(q, box2(2.0, 2.0),
+                             all_faces(LinkKind::kPeriodic));
+  for (const auto& t : gen.tracks()) {
+    ASSERT_GE(t.fwd_link.track, 0);
+    // Periodic partners keep the same azimuthal angle.
+    EXPECT_EQ(gen.track(t.fwd_link.track).azim, t.azim);
+    const auto& t2 = gen.track(t.fwd_link.track);
+    const Point2 entry = t.fwd_link.forward ? t2.start : t2.end;
+    const bool x_face =
+        t.fwd_link.face == Face::kXMin || t.fwd_link.face == Face::kXMax;
+    if (x_face) {
+      EXPECT_NEAR(std::abs(entry.x - t.end.x), gen.box().width_x(), 1e-6);
+      EXPECT_NEAR(entry.y, t.end.y, 1e-6);
+    } else {
+      EXPECT_NEAR(std::abs(entry.y - t.end.y), gen.box().width_y(), 1e-6);
+      EXPECT_NEAR(entry.x, t.end.x, 1e-6);
+    }
+  }
+}
+
+TEST(Generator2D, MixedFaceKinds) {
+  // Reflective west/south, vacuum east/north (a quarter-core setup).
+  const Quadrature q(8, 0.3, 2.0, 2.0, 1);
+  const TrackGenerator2D gen(
+      q, box2(2.0, 2.0),
+      {LinkKind::kReflective, LinkKind::kVacuum, LinkKind::kReflective,
+       LinkKind::kVacuum});
+  int vacuum = 0, reflective = 0;
+  for (const auto& t : gen.tracks()) {
+    for (const TrackLink* l : {&t.fwd_link, &t.bwd_link}) {
+      if (l->kind == LinkKind::kVacuum)
+        ++vacuum;
+      else {
+        ++reflective;
+        EXPECT_GE(l->track, 0);
+      }
+    }
+  }
+  EXPECT_GT(vacuum, 0);
+  EXPECT_GT(reflective, 0);
+}
+
+// ------------------------------------------------------------- tracing ----
+
+Geometry pin_geometry(double pitch, double r, int layers, double height) {
+  GeometryBuilder b;
+  const int circ = b.add_circle(0.0, 0.0, r);
+  const int pin = b.add_universe("pin");
+  b.add_cell(pin, "fuel", 0, {b.inside(circ)});
+  b.add_cell(pin, "mod", 1, {b.outside(circ)});
+  const int lat = b.add_lattice("root", 1, 1, pitch, pitch, 0.0, 0.0, {pin});
+  b.set_root(lat);
+  b.set_bounds(box2(pitch, pitch));
+  b.add_axial_zone(0.0, height, layers);
+  return b.build();
+}
+
+TEST(Generator2D, SegmentsTileEveryTrack) {
+  const auto g = pin_geometry(1.26, 0.54, 1, 10.0);
+  const Quadrature q(8, 0.1, 1.26, 1.26, 1);
+  TrackGenerator2D gen(q, g.bounds(), all_faces(LinkKind::kReflective));
+  gen.trace(g);
+  EXPECT_GT(gen.num_segments(), gen.num_tracks());
+  for (const auto& t : gen.tracks()) {
+    double total = 0.0;
+    for (const auto& s : t.segments) {
+      EXPECT_GT(s.length, 0.0);
+      EXPECT_GE(s.region, 0);
+      total += s.length;
+    }
+    EXPECT_NEAR(total, t.length, 1e-8);
+  }
+}
+
+TEST(Generator2D, RegionAreasMatchAnalytic) {
+  const double pitch = 1.26, r = 0.54;
+  const auto g = pin_geometry(pitch, r, 1, 10.0);
+  const Quadrature q(32, 0.02, pitch, pitch, 1);
+  TrackGenerator2D gen(q, g.bounds(), all_faces(LinkKind::kReflective));
+  gen.trace(g);
+  const auto areas = gen.region_areas(g.num_radial_regions());
+  const int fuel = g.find_radial({pitch / 2, pitch / 2}).region;
+  const int mod = g.find_radial({0.01, 0.01}).region;
+  const double fuel_exact = kPi * r * r;
+  EXPECT_NEAR(areas[fuel], fuel_exact, 0.01 * fuel_exact);
+  EXPECT_NEAR(areas[fuel] + areas[mod], pitch * pitch,
+              1e-6 * pitch * pitch);
+}
+
+// ----------------------------------------------------------- TrackStacks ---
+
+struct StackFixture {
+  Geometry g;
+  Quadrature q;
+  TrackGenerator2D gen;
+  TrackStacks stacks;
+
+  StackFixture(int nazim = 4, double spacing = 0.4, int npolar = 2,
+               double z_spacing = 0.8, double height = 4.0,
+               LinkKind radial = LinkKind::kReflective)
+      : g(pin_geometry(1.26, 0.54, 4, height)),
+        q(nazim, spacing, 1.26, 1.26, npolar),
+        gen(q, g.bounds(), all_faces(radial)),
+        stacks((gen.trace(g), gen), g, 0.0, height, z_spacing) {}
+};
+
+TEST(TrackStacks, DzDividesDomainHeight) {
+  const StackFixture f(4, 0.4, 2, 0.7, 4.0);
+  const double ratio = 4.0 / f.stacks.dz();
+  EXPECT_NEAR(ratio, std::round(ratio), 1e-9);
+}
+
+TEST(TrackStacks, IdInfoRoundTrip) {
+  const StackFixture f;
+  ASSERT_GT(f.stacks.num_tracks(), 0);
+  for (long id = 0; id < f.stacks.num_tracks(); ++id) {
+    const auto t = f.stacks.info(id);
+    EXPECT_EQ(t.id, id);
+    EXPECT_EQ(f.stacks.id(t.track2d, t.polar, t.up, t.zindex), id);
+    EXPECT_LT(t.s_entry, t.s_exit);
+    EXPECT_GE(t.s_entry, -1e-12);
+    EXPECT_LE(t.s_exit, f.gen.track(t.track2d).length + 1e-12);
+    // The track's occupied z-range stays inside the slab.
+    EXPECT_GE(t.z_at(t.s_entry), -1e-9);
+    EXPECT_LE(t.z_at(t.s_entry), 4.0 + 1e-9);
+    EXPECT_GE(t.z_at(t.s_exit), -1e-9);
+    EXPECT_LE(t.z_at(t.s_exit), 4.0 + 1e-9);
+  }
+}
+
+TEST(TrackStacks, SegmentsSumToTrackLength) {
+  const StackFixture f;
+  for (long id = 0; id < f.stacks.num_tracks(); ++id) {
+    const auto t = f.stacks.info(id);
+    double total = 0.0;
+    long count = 0;
+    f.stacks.for_each_segment(id, true, [&](long fsr, double len) {
+      EXPECT_GE(fsr, 0);
+      EXPECT_LT(fsr, f.g.num_fsrs());
+      EXPECT_GT(len, 0.0);
+      total += len;
+      ++count;
+    });
+    EXPECT_NEAR(total, t.length3d(), 1e-8) << "id=" << id;
+    EXPECT_EQ(count, f.stacks.count_segments(id));
+  }
+}
+
+TEST(TrackStacks, BackwardWalkIsReversedForward) {
+  const StackFixture f;
+  for (long id = 0; id < f.stacks.num_tracks(); id += 7) {
+    const auto fwd = f.stacks.expand(id);
+    std::vector<Segment3D> bwd;
+    f.stacks.for_each_segment(id, false, [&](long fsr, double len) {
+      bwd.push_back({fsr, len});
+    });
+    ASSERT_EQ(fwd.size(), bwd.size());
+    for (std::size_t i = 0; i < fwd.size(); ++i) {
+      EXPECT_EQ(fwd[i].fsr, bwd[bwd.size() - 1 - i].fsr);
+      EXPECT_NEAR(fwd[i].length, bwd[bwd.size() - 1 - i].length, 1e-9);
+    }
+  }
+}
+
+TEST(TrackStacks, VolumeTilingProperty) {
+  // Sum over all tracks and both sweep directions of
+  // (solid angle / 4pi) * area * 3D length must equal the box volume.
+  const StackFixture f(8, 0.15, 2, 0.25, 4.0);
+  double volume = 0.0;
+  for (long id = 0; id < f.stacks.num_tracks(); ++id) {
+    const auto t = f.stacks.info(id);
+    volume += 2.0 * f.stacks.direction_weight(id) / (4.0 * kPi) *
+              f.stacks.track_area(id) * t.length3d();
+  }
+  const double exact = 1.26 * 1.26 * 4.0;
+  EXPECT_NEAR(volume, exact, 0.02 * exact);
+}
+
+TEST(TrackStacks, FsrVolumesMatchAnalytic) {
+  const StackFixture f(16, 0.05, 2, 0.1, 4.0);
+  std::vector<double> vol(f.g.num_fsrs(), 0.0);
+  for (long id = 0; id < f.stacks.num_tracks(); ++id) {
+    const double w = 2.0 * f.stacks.direction_weight(id) / (4.0 * kPi) *
+                     f.stacks.track_area(id);
+    f.stacks.for_each_segment(id, true, [&](long fsr, double len) {
+      vol[fsr] += w * len;
+    });
+  }
+  const int fuel = f.g.find_radial({0.63, 0.63}).region;
+  const double layer_h = 1.0;  // 4 cm / 4 layers
+  const double fuel_exact = kPi * 0.54 * 0.54 * layer_h;
+  for (int l = 0; l < 4; ++l)
+    EXPECT_NEAR(vol[f.g.fsr_id(fuel, l)], fuel_exact, 0.03 * fuel_exact)
+        << "layer " << l;
+  double total = std::accumulate(vol.begin(), vol.end(), 0.0);
+  EXPECT_NEAR(total, 1.26 * 1.26 * 4.0, 0.02 * 1.26 * 1.26 * 4.0);
+}
+
+TEST(TrackStacks, AxialReflectiveLinksAreExact) {
+  const StackFixture f;
+  int axial_links = 0;
+  for (long id = 0; id < f.stacks.num_tracks(); ++id) {
+    const auto t = f.stacks.info(id);
+    const auto link = f.stacks.link(id, /*forward=*/true,
+                                    LinkKind::kReflective,
+                                    LinkKind::kReflective);
+    if (t.s_exit >= f.gen.track(t.track2d).length - 1e-12) continue;
+    // Axial exit: the continuation must start exactly at our exit point.
+    ++axial_links;
+    ASSERT_EQ(link.kind, Link3D::Kind::kLocal);
+    const auto t2 = f.stacks.info(link.track);
+    EXPECT_EQ(t2.track2d, t.track2d);
+    EXPECT_EQ(t2.polar, t.polar);
+    EXPECT_NE(t2.up, t.up);
+    ASSERT_TRUE(link.forward);
+    // Forward sweep of the target starts at its s_entry.
+    EXPECT_NEAR(t2.s_entry, t.s_exit, 1e-9);
+    EXPECT_NEAR(t2.z_at(t2.s_entry), t.z_at(t.s_exit), 1e-9);
+  }
+  EXPECT_GT(axial_links, 0);
+}
+
+TEST(TrackStacks, VacuumZFaceKillsAxialLinks) {
+  const StackFixture f;
+  for (long id = 0; id < f.stacks.num_tracks(); id += 3) {
+    const auto t = f.stacks.info(id);
+    if (t.s_exit >= f.gen.track(t.track2d).length - 1e-12) continue;
+    const auto link = f.stacks.link(id, true, LinkKind::kVacuum,
+                                    LinkKind::kVacuum);
+    EXPECT_EQ(link.kind, Link3D::Kind::kVacuum);
+  }
+}
+
+TEST(TrackStacks, RadialLinkTargetsMatchingDirection) {
+  const StackFixture f;
+  for (long id = 0; id < f.stacks.num_tracks(); ++id) {
+    const auto t = f.stacks.info(id);
+    if (t.s_exit < f.gen.track(t.track2d).length - 1e-12) continue;
+    const auto link = f.stacks.link(id, true, LinkKind::kReflective,
+                                    LinkKind::kReflective);
+    ASSERT_EQ(link.kind, Link3D::Kind::kLocal);
+    const auto t2 = f.stacks.info(link.track);
+    // Vertical direction is preserved across a radial reflection:
+    // if we enter the target forward it must be an up-stack exactly when
+    // we are up; entered backward, the opposite stack.
+    if (link.forward) {
+      EXPECT_EQ(t2.up, t.up);
+    } else {
+      EXPECT_NE(t2.up, t.up);
+    }
+    // z continuity within the lattice quantization.
+    const double z_exit = t.z_at(t.s_exit);
+    const double z_entry =
+        link.forward ? t2.z_at(t2.s_entry) : t2.z_at(t2.s_exit);
+    EXPECT_NEAR(z_entry, z_exit, f.stacks.dz());
+  }
+}
+
+TEST(TrackStacks, ZPeriodicLinksWrap) {
+  const StackFixture f;
+  int wraps = 0;
+  for (long id = 0; id < f.stacks.num_tracks(); ++id) {
+    const auto t = f.stacks.info(id);
+    if (t.s_exit >= f.gen.track(t.track2d).length - 1e-12) continue;
+    const auto link = f.stacks.link(id, true, LinkKind::kPeriodic,
+                                    LinkKind::kPeriodic);
+    ASSERT_EQ(link.kind, Link3D::Kind::kLocal);
+    const auto t2 = f.stacks.info(link.track);
+    EXPECT_EQ(t2.up, t.up);  // periodic keeps the vertical direction
+    ++wraps;
+  }
+  EXPECT_GT(wraps, 0);
+}
+
+TEST(TrackStacks, ZInterfaceLinksMarkNeighborFace) {
+  const StackFixture f;
+  for (long id = 0; id < f.stacks.num_tracks(); ++id) {
+    const auto t = f.stacks.info(id);
+    if (t.s_exit >= f.gen.track(t.track2d).length - 1e-12) continue;
+    const auto link = f.stacks.link(id, true, LinkKind::kInterface,
+                                    LinkKind::kInterface);
+    EXPECT_EQ(link.kind, Link3D::Kind::kInterface);
+    EXPECT_EQ(link.face, t.up ? Face::kZMax : Face::kZMin);
+    EXPECT_GE(link.track, 0);
+    EXPECT_LT(link.track, f.stacks.num_tracks());
+  }
+}
+
+TEST(TrackStacks, TotalSegmentsPositiveAndConsistent) {
+  const StackFixture f;
+  const long total = f.stacks.total_segments();
+  long manual = 0;
+  for (long id = 0; id < f.stacks.num_tracks(); ++id)
+    manual += static_cast<long>(f.stacks.expand(id).size());
+  EXPECT_EQ(total, manual);
+  EXPECT_GT(total, f.stacks.num_tracks());
+}
+
+TEST(TrackStacks, RequiresTracedGenerator) {
+  const auto g = pin_geometry(1.26, 0.54, 2, 2.0);
+  const Quadrature q(4, 0.5, 1.26, 1.26, 1);
+  TrackGenerator2D gen(q, g.bounds(), all_faces(LinkKind::kVacuum));
+  EXPECT_THROW(TrackStacks(gen, g, 0.0, 2.0, 0.5), Error);
+}
+
+}  // namespace
+}  // namespace antmoc

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/cli.h"
+#include "util/config.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace antmoc {
+namespace {
+
+// ---------------------------------------------------------------- Config ---
+
+TEST(Config, ParsesFlatKeyValues) {
+  const auto cfg = Config::parse("alpha: 1\nbeta: two\ngamma: 3.5\n");
+  EXPECT_EQ(cfg.get_int("alpha"), 1);
+  EXPECT_EQ(cfg.get_string("beta"), "two");
+  EXPECT_DOUBLE_EQ(cfg.get_double("gamma"), 3.5);
+}
+
+TEST(Config, ParsesSections) {
+  const auto cfg = Config::parse(
+      "track:\n"
+      "  azim: 8\n"
+      "  spacing: 0.5\n"
+      "domain: 2\n");
+  EXPECT_EQ(cfg.get_int("track.azim"), 8);
+  EXPECT_DOUBLE_EQ(cfg.get_double("track.spacing"), 0.5);
+  EXPECT_EQ(cfg.get_int("domain"), 2);
+}
+
+TEST(Config, SectionEndsAtUnindentedKey) {
+  const auto cfg = Config::parse(
+      "a:\n  x: 1\nb: 2\nc:\n  x: 3\n");
+  EXPECT_EQ(cfg.get_int("a.x"), 1);
+  EXPECT_EQ(cfg.get_int("b"), 2);
+  EXPECT_EQ(cfg.get_int("c.x"), 3);
+  EXPECT_FALSE(cfg.contains("x"));
+}
+
+TEST(Config, StripsCommentsAndBlanks) {
+  const auto cfg = Config::parse(
+      "# header comment\n"
+      "\n"
+      "key: 7   # trailing comment\n");
+  EXPECT_EQ(cfg.get_int("key"), 7);
+}
+
+TEST(Config, QuotedStringsKeepHashes) {
+  const auto cfg = Config::parse("name: \"a # b\"\n");
+  EXPECT_EQ(cfg.get_string("name"), "a # b");
+}
+
+TEST(Config, ParsesLists) {
+  const auto cfg = Config::parse("dims: [2, 2, 2]\nw: [0.5, 1.5]\n");
+  EXPECT_EQ(cfg.get_int_list("dims"), (std::vector<long>{2, 2, 2}));
+  EXPECT_EQ(cfg.get_double_list("w"), (std::vector<double>{0.5, 1.5}));
+}
+
+TEST(Config, ParsesBooleans) {
+  const auto cfg = Config::parse("a: true\nb: off\nc: yes\nd: 0\n");
+  EXPECT_TRUE(cfg.get_bool("a"));
+  EXPECT_FALSE(cfg.get_bool("b"));
+  EXPECT_TRUE(cfg.get_bool("c"));
+  EXPECT_FALSE(cfg.get_bool("d"));
+}
+
+TEST(Config, MissingKeyThrows) {
+  const auto cfg = Config::parse("a: 1\n");
+  EXPECT_THROW(cfg.get_int("nope"), ConfigError);
+  EXPECT_THROW(cfg.get_string("nope"), ConfigError);
+}
+
+TEST(Config, DefaultsReturnedForMissingKeys) {
+  const auto cfg = Config::parse("a: 1\n");
+  EXPECT_EQ(cfg.get_int("missing", 42), 42);
+  EXPECT_EQ(cfg.get_string("missing", "dflt"), "dflt");
+  EXPECT_TRUE(cfg.get_bool("missing", true));
+  EXPECT_DOUBLE_EQ(cfg.get_double("missing", 2.5), 2.5);
+}
+
+TEST(Config, DefaultsStillRejectMalformedPresentValues) {
+  const auto cfg = Config::parse("a: not_a_number\n");
+  EXPECT_THROW(cfg.get_int("a", 42), ConfigError);
+}
+
+TEST(Config, MalformedLineThrows) {
+  EXPECT_THROW(Config::parse("just a line without separator\n"), ConfigError);
+}
+
+TEST(Config, BadTypeConversionThrows) {
+  const auto cfg = Config::parse("a: 1.5x\nb: [1, two]\n");
+  EXPECT_THROW(cfg.get_double("a"), ConfigError);
+  EXPECT_THROW(cfg.get_int_list("b"), ConfigError);
+}
+
+TEST(Config, SetOverridesValue) {
+  auto cfg = Config::parse("a: 1\n");
+  cfg.set("a", "9");
+  cfg.set("fresh", "x");
+  EXPECT_EQ(cfg.get_int("a"), 9);
+  EXPECT_EQ(cfg.get_string("fresh"), "x");
+}
+
+TEST(Config, KeysAreSorted) {
+  const auto cfg = Config::parse("b: 1\na: 2\n");
+  EXPECT_EQ(cfg.keys(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Config, LoadMissingFileThrows) {
+  EXPECT_THROW(Config::load("/nonexistent/path/config.yaml"), ConfigError);
+}
+
+// ------------------------------------------------------------------- CLI ---
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "4", "--flag"};
+  const auto cfg = parse_cli(5, argv);
+  EXPECT_EQ(cfg.get_int("alpha"), 3);
+  EXPECT_EQ(cfg.get_int("beta"), 4);
+  EXPECT_TRUE(cfg.get_bool("flag"));
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(parse_cli(2, argv), ConfigError);
+}
+
+TEST(Cli, FlagOverridesConfigFile) {
+  const std::string path = ::testing::TempDir() + "/antmoc_cli_test.yaml";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("alpha: 1\nbeta: 2\n", f);
+    fclose(f);
+  }
+  const std::string arg = "--config=" + path;
+  const char* argv[] = {"prog", arg.c_str(), "--beta=9"};
+  const auto cfg = parse_cli(3, argv);
+  EXPECT_EQ(cfg.get_int("alpha"), 1);
+  EXPECT_EQ(cfg.get_int("beta"), 9);
+}
+
+// ------------------------------------------------------------------- RNG ---
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, MeanIsNearHalf) {
+  Rng rng(42);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+// ----------------------------------------------------------------- Timer ---
+
+TEST(Timer, AccumulatesAcrossStartStop) {
+  Timer t;
+  t.start();
+  t.stop();
+  t.start();
+  t.stop();
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_EQ(t.seconds(), 0.0);
+}
+
+TEST(TimerRegistry, AccumulatesNamedBuckets) {
+  auto& reg = TimerRegistry::instance();
+  reg.clear();
+  reg.add("sweep", 1.0);
+  reg.add("sweep", 0.5);
+  reg.add("trace", 0.25);
+  EXPECT_DOUBLE_EQ(reg.seconds("sweep"), 1.5);
+  EXPECT_DOUBLE_EQ(reg.seconds("trace"), 0.25);
+  EXPECT_DOUBLE_EQ(reg.seconds("unknown"), 0.0);
+  const std::string report = reg.report();
+  EXPECT_NE(report.find("sweep"), std::string::npos);
+  EXPECT_NE(report.find("trace"), std::string::npos);
+}
+
+TEST(TimerRegistry, ScopedTimerRecords) {
+  auto& reg = TimerRegistry::instance();
+  reg.clear();
+  { ScopedTimer probe("scoped_bucket"); }
+  EXPECT_GE(reg.seconds("scoped_bucket"), 0.0);
+  EXPECT_NE(reg.report().find("scoped_bucket"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- Error ---
+
+TEST(Error, RequirePassesOnTrue) { EXPECT_NO_THROW(require(true, "ok")); }
+
+TEST(Error, RequireThrowsWithLocation) {
+  try {
+    require(false, "broken invariant");
+    FAIL() << "require(false) did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("broken invariant"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, FailThrowsRequestedType) {
+  EXPECT_THROW(fail<ConfigError>("x"), ConfigError);
+  EXPECT_THROW(fail<GeometryError>("x"), GeometryError);
+  EXPECT_THROW(fail<DeviceOutOfMemory>("x"), DeviceOutOfMemory);
+  // All error types remain catchable as the base Error.
+  EXPECT_THROW(fail<SolverError>("x"), Error);
+}
+
+}  // namespace
+}  // namespace antmoc
