@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/solver/CMakeFiles/antmoc_solver.dir/DependInfo.cmake"
   "/root/repo/build/src/comm/CMakeFiles/antmoc_comm.dir/DependInfo.cmake"
   "/root/repo/build/src/gpusim/CMakeFiles/antmoc_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/antmoc_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/material/CMakeFiles/antmoc_material.dir/DependInfo.cmake"
   "/root/repo/build/src/track/CMakeFiles/antmoc_track.dir/DependInfo.cmake"
   "/root/repo/build/src/io/CMakeFiles/antmoc_io.dir/DependInfo.cmake"

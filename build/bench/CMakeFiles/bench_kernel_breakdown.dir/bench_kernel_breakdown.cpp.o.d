@@ -209,27 +209,22 @@ bench/CMakeFiles/bench_kernel_breakdown.dir/bench_kernel_breakdown.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/geometry/surface.h /root/repo/src/models/c5g7_model.h \
  /root/repo/src/geometry/builder.h /root/repo/src/material/material.h \
- /root/repo/src/solver/transport_solver.h \
+ /root/repo/src/solver/transport_solver.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/solver/exponential.h /root/repo/src/util/error.h \
  /usr/include/c++/12/source_location /root/repo/src/solver/fsr_data.h \
  /root/repo/src/track/track3d.h /root/repo/src/track/generator2d.h \
  /root/repo/src/track/quadrature.h /root/repo/src/track/track2d.h \
  /root/repo/src/perfmodel/perfmodel.h \
  /root/repo/src/solver/domain_solver.h /root/repo/src/comm/runtime.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/comm/communicator.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/bits/shared_ptr.h \
- /usr/include/c++/12/bits/shared_ptr_base.h \
- /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
+ /root/repo/src/comm/communicator.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
  /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
@@ -244,8 +239,16 @@ bench/CMakeFiles/bench_kernel_breakdown.dir/bench_kernel_breakdown.cpp.o: \
  /usr/include/c++/12/bits/streambuf_iterator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
- /usr/include/c++/12/bits/basic_ios.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
@@ -267,8 +270,4 @@ bench/CMakeFiles/bench_kernel_breakdown.dir/bench_kernel_breakdown.cpp.o: \
  /root/repo/src/gpusim/device.h /root/repo/src/gpusim/device_memory.h \
  /root/repo/src/gpusim/device_spec.h /root/repo/src/gpusim/kernel.h \
  /root/repo/src/gpusim/thread_pool.h /usr/include/c++/12/thread \
- /root/repo/src/util/timer.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/solver/track_policy.h
+ /root/repo/src/util/timer.h /root/repo/src/solver/track_policy.h

@@ -209,7 +209,12 @@ bench/CMakeFiles/bench_perf_model.dir/bench_perf_model.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/geometry/surface.h /root/repo/src/models/c5g7_model.h \
  /root/repo/src/geometry/builder.h /root/repo/src/material/material.h \
- /root/repo/src/solver/transport_solver.h \
+ /root/repo/src/solver/transport_solver.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/solver/exponential.h /root/repo/src/util/error.h \
  /usr/include/c++/12/source_location /root/repo/src/solver/fsr_data.h \
  /root/repo/src/track/track3d.h /root/repo/src/track/generator2d.h \

@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/material/CMakeFiles/antmoc_material.dir/DependInfo.cmake"
   "/root/repo/build/src/gpusim/CMakeFiles/antmoc_gpusim.dir/DependInfo.cmake"
   "/root/repo/build/src/comm/CMakeFiles/antmoc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/antmoc_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/geometry/CMakeFiles/antmoc_geometry.dir/DependInfo.cmake"
   )
 

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/solver/fsr_data.cpp" "src/solver/CMakeFiles/antmoc_solver.dir/fsr_data.cpp.o" "gcc" "src/solver/CMakeFiles/antmoc_solver.dir/fsr_data.cpp.o.d"
   "/root/repo/src/solver/gpu_solver.cpp" "src/solver/CMakeFiles/antmoc_solver.dir/gpu_solver.cpp.o" "gcc" "src/solver/CMakeFiles/antmoc_solver.dir/gpu_solver.cpp.o.d"
   "/root/repo/src/solver/multi_gpu_solver.cpp" "src/solver/CMakeFiles/antmoc_solver.dir/multi_gpu_solver.cpp.o" "gcc" "src/solver/CMakeFiles/antmoc_solver.dir/multi_gpu_solver.cpp.o.d"
+  "/root/repo/src/solver/resilient_solver.cpp" "src/solver/CMakeFiles/antmoc_solver.dir/resilient_solver.cpp.o" "gcc" "src/solver/CMakeFiles/antmoc_solver.dir/resilient_solver.cpp.o.d"
   "/root/repo/src/solver/solver2d.cpp" "src/solver/CMakeFiles/antmoc_solver.dir/solver2d.cpp.o" "gcc" "src/solver/CMakeFiles/antmoc_solver.dir/solver2d.cpp.o.d"
   "/root/repo/src/solver/tallies.cpp" "src/solver/CMakeFiles/antmoc_solver.dir/tallies.cpp.o" "gcc" "src/solver/CMakeFiles/antmoc_solver.dir/tallies.cpp.o.d"
   "/root/repo/src/solver/track_policy.cpp" "src/solver/CMakeFiles/antmoc_solver.dir/track_policy.cpp.o" "gcc" "src/solver/CMakeFiles/antmoc_solver.dir/track_policy.cpp.o.d"
@@ -27,6 +28,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/geometry/CMakeFiles/antmoc_geometry.dir/DependInfo.cmake"
   "/root/repo/build/src/gpusim/CMakeFiles/antmoc_gpusim.dir/DependInfo.cmake"
   "/root/repo/build/src/comm/CMakeFiles/antmoc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/antmoc_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/antmoc_util.dir/DependInfo.cmake"
   )
 

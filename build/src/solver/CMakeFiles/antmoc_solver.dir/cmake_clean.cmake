@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/antmoc_solver.dir/gpu_solver.cpp.o.d"
   "CMakeFiles/antmoc_solver.dir/multi_gpu_solver.cpp.o"
   "CMakeFiles/antmoc_solver.dir/multi_gpu_solver.cpp.o.d"
+  "CMakeFiles/antmoc_solver.dir/resilient_solver.cpp.o"
+  "CMakeFiles/antmoc_solver.dir/resilient_solver.cpp.o.d"
   "CMakeFiles/antmoc_solver.dir/solver2d.cpp.o"
   "CMakeFiles/antmoc_solver.dir/solver2d.cpp.o.d"
   "CMakeFiles/antmoc_solver.dir/tallies.cpp.o"

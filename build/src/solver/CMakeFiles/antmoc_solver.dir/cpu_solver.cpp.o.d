@@ -151,19 +151,29 @@ src/solver/CMakeFiles/antmoc_solver.dir/cpu_solver.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/solver/transport_solver.h \
- /root/repo/src/material/material.h /root/repo/src/solver/fsr_data.h \
- /root/repo/src/geometry/geometry.h /root/repo/src/geometry/point.h \
- /root/repo/src/geometry/surface.h /root/repo/src/track/track3d.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/solver/transport_solver.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/material/material.h /root/repo/src/solver/fsr_data.h \
+ /root/repo/src/geometry/geometry.h /root/repo/src/geometry/point.h \
+ /root/repo/src/geometry/surface.h /root/repo/src/track/track3d.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/track/generator2d.h /usr/include/c++/12/array \
- /root/repo/src/track/quadrature.h /root/repo/src/track/track2d.h
+ /root/repo/src/track/generator2d.h /root/repo/src/track/quadrature.h \
+ /root/repo/src/track/track2d.h

@@ -328,10 +328,11 @@ tests/CMakeFiles/param_test.dir/param_test.cpp.o: \
  /root/repo/src/track/generator2d.h /root/repo/src/track/quadrature.h \
  /root/repo/src/track/track2d.h /root/repo/src/solver/domain_solver.h \
  /root/repo/src/comm/runtime.h /root/repo/src/comm/communicator.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -343,5 +344,4 @@ tests/CMakeFiles/param_test.dir/param_test.cpp.o: \
  /root/repo/src/gpusim/device_memory.h \
  /root/repo/src/gpusim/device_spec.h /root/repo/src/gpusim/kernel.h \
  /root/repo/src/gpusim/thread_pool.h /usr/include/c++/12/thread \
- /root/repo/src/util/timer.h /usr/include/c++/12/chrono \
- /root/repo/src/solver/track_policy.h
+ /root/repo/src/util/timer.h /root/repo/src/solver/track_policy.h

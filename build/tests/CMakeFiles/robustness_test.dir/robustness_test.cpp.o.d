@@ -333,18 +333,18 @@ tests/CMakeFiles/robustness_test.dir/robustness_test.cpp.o: \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
  /root/repo/src/models/c5g7_model.h /root/repo/src/material/material.h \
  /root/repo/src/solver/domain_solver.h /root/repo/src/comm/runtime.h \
- /root/repo/src/comm/communicator.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/comm/communicator.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/cstring /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/util/error.h /usr/include/c++/12/source_location \
  /root/repo/src/solver/decomposition.h /root/repo/src/track/track2d.h \
  /root/repo/src/solver/gpu_solver.h /root/repo/src/gpusim/device.h \
- /root/repo/src/gpusim/device_memory.h /root/repo/src/util/error.h \
- /usr/include/c++/12/source_location /root/repo/src/gpusim/device_spec.h \
- /root/repo/src/gpusim/kernel.h /root/repo/src/util/timer.h \
- /usr/include/c++/12/chrono /root/repo/src/solver/exponential.h \
+ /root/repo/src/gpusim/device_memory.h \
+ /root/repo/src/gpusim/device_spec.h /root/repo/src/gpusim/kernel.h \
+ /root/repo/src/util/timer.h /root/repo/src/solver/exponential.h \
  /root/repo/src/solver/track_policy.h /root/repo/src/track/track3d.h \
  /root/repo/src/track/generator2d.h /root/repo/src/track/quadrature.h \
  /root/repo/src/solver/transport_solver.h \

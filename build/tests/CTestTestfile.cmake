@@ -27,3 +27,4 @@ include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
 include("/root/repo/build/tests/solver2d_test[1]_include.cmake")
 include("/root/repo/build/tests/library_io_test[1]_include.cmake")
 include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")

@@ -2,24 +2,76 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
 #include "util/error.h"
+#include "util/log.h"
 
 namespace antmoc::comm {
 
 namespace detail {
 
-SharedState::SharedState(int n)
-    : nranks(n), bytes_sent(n), messages_sent(n) {
+SharedState::SharedState(int n, CommOptions opts)
+    : nranks(n), options(opts), bytes_sent(n), messages_sent(n) {
   mailboxes.reserve(n);
   for (int i = 0; i < n; ++i)
     mailboxes.push_back(std::make_unique<Mailbox>());
 }
 
+void SharedState::poison(int rank, const std::string& reason) {
+  {
+    std::lock_guard lock(poison_mutex);
+    if (!poisoned.load(std::memory_order_relaxed)) {
+      poison_rank = rank;
+      poison_reason = reason;
+    }
+    poisoned.store(true, std::memory_order_release);
+  }
+  // Wake every potentially blocked rank. Notifying under each waiter's
+  // mutex guarantees no wakeup is lost between predicate check and wait.
+  for (auto& box : mailboxes) {
+    std::lock_guard lock(box->mutex);
+    box->ready.notify_all();
+  }
+  {
+    std::lock_guard lock(barrier_mutex);
+    barrier_cv.notify_all();
+  }
+  {
+    std::lock_guard lock(reduce_mutex);
+    reduce_cv.notify_all();
+  }
+}
+
+std::string SharedState::poison_cause() const {
+  std::lock_guard lock(poison_mutex);
+  return "rank " + std::to_string(poison_rank) + " failed: " + poison_reason;
+}
+
 }  // namespace detail
+
+void Communicator::fail_peer(const char* op) const {
+  const std::string msg = "rank " + std::to_string(rank_) +
+                          ": peer failure detected in " + op + " — " +
+                          state_->poison_cause();
+  log::error(msg);
+  throw PeerFailure(msg);
+}
+
+void Communicator::fail_timeout(const char* op, int peer, int tag) const {
+  std::string msg = "rank " + std::to_string(rank_) + ": " + op;
+  if (peer >= 0) msg += " from rank " + std::to_string(peer);
+  if (tag >= 0) msg += " (tag " + std::to_string(tag) + ")";
+  msg += " exceeded the " +
+         std::to_string(state_->options.deadline.count()) + " ms deadline";
+  log::error(msg);
+  throw CommTimeout(msg);
+}
 
 void Communicator::send(int dest, int tag, const void* data,
                         std::size_t bytes) {
   require(dest >= 0 && dest < size(), "send: destination rank out of range");
+  if (state_->poisoned.load(std::memory_order_acquire)) fail_peer("send");
+  fault::point("comm.send", rank_);
   detail::Message msg;
   msg.source = rank_;
   msg.tag = tag;
@@ -36,9 +88,12 @@ void Communicator::send(int dest, int tag, const void* data,
   box.ready.notify_all();
 }
 
-void Communicator::recv(int source, int tag, void* data, std::size_t bytes) {
+detail::Message Communicator::match(int source, int tag) {
   require(source >= 0 && source < size(), "recv: source rank out of range");
+  fault::point("comm.recv", rank_);
   auto& box = *state_->mailboxes[rank_];
+  const auto deadline = state_->options.deadline;
+  const auto give_up = std::chrono::steady_clock::now() + deadline;
   std::unique_lock lock(box.mutex);
   for (;;) {
     auto it = std::find_if(box.queue.begin(), box.queue.end(),
@@ -46,35 +101,97 @@ void Communicator::recv(int source, int tag, void* data, std::size_t bytes) {
                              return m.source == source && m.tag == tag;
                            });
     if (it != box.queue.end()) {
-      require(it->payload.size() == bytes,
-              "recv: message size mismatch (expected " +
-                  std::to_string(bytes) + ", got " +
-                  std::to_string(it->payload.size()) + ")");
-      std::memcpy(data, it->payload.data(), bytes);
+      detail::Message msg = std::move(*it);
       box.queue.erase(it);
-      return;
+      return msg;
     }
-    box.ready.wait(lock);
+    if (state_->poisoned.load(std::memory_order_acquire)) {
+      lock.unlock();
+      fail_peer("recv");
+    }
+    if (deadline.count() > 0) {
+      if (box.ready.wait_until(lock, give_up) == std::cv_status::timeout) {
+        // One last sweep for a message that raced the timeout.
+        it = std::find_if(box.queue.begin(), box.queue.end(),
+                          [&](const detail::Message& m) {
+                            return m.source == source && m.tag == tag;
+                          });
+        if (it != box.queue.end()) {
+          detail::Message msg = std::move(*it);
+          box.queue.erase(it);
+          return msg;
+        }
+        lock.unlock();
+        if (state_->poisoned.load(std::memory_order_acquire))
+          fail_peer("recv");
+        fail_timeout("recv", source, tag);
+      }
+    } else {
+      box.ready.wait(lock);
+    }
   }
 }
 
+void Communicator::recv(int source, int tag, void* data, std::size_t bytes) {
+  const detail::Message msg = match(source, tag);
+  require(msg.payload.size() == bytes,
+          "recv: message size mismatch (expected " + std::to_string(bytes) +
+              ", got " + std::to_string(msg.payload.size()) + ")");
+  std::memcpy(data, msg.payload.data(), bytes);
+}
+
+std::vector<std::byte> Communicator::recv_bytes(int source, int tag) {
+  return match(source, tag).payload;
+}
+
 void Communicator::barrier() {
+  fault::point("comm.barrier", rank_);
   auto& s = *state_;
+  const auto deadline = s.options.deadline;
+  const auto give_up = std::chrono::steady_clock::now() + deadline;
   std::unique_lock lock(s.barrier_mutex);
+  if (s.poisoned.load(std::memory_order_acquire)) {
+    lock.unlock();
+    fail_peer("barrier");
+  }
   const std::uint64_t generation = s.barrier_generation;
   if (++s.barrier_arrived == s.nranks) {
     s.barrier_arrived = 0;
     ++s.barrier_generation;
     s.barrier_cv.notify_all();
+    return;
+  }
+  const auto done = [&] {
+    return s.barrier_generation != generation ||
+           s.poisoned.load(std::memory_order_acquire);
+  };
+  if (deadline.count() > 0) {
+    if (!s.barrier_cv.wait_until(lock, give_up, done)) {
+      --s.barrier_arrived;  // abandon the barrier before failing
+      lock.unlock();
+      fail_timeout("barrier", -1, -1);
+    }
   } else {
-    s.barrier_cv.wait(
-        lock, [&] { return s.barrier_generation != generation; });
+    s.barrier_cv.wait(lock, done);
+  }
+  if (s.barrier_generation == generation) {
+    // Woken by poison, not completion.
+    --s.barrier_arrived;
+    lock.unlock();
+    fail_peer("barrier");
   }
 }
 
 void Communicator::allreduce(std::vector<double>& values, ReduceOp op) {
+  fault::point("comm.allreduce", rank_);
   auto& s = *state_;
+  const auto deadline = s.options.deadline;
+  const auto give_up = std::chrono::steady_clock::now() + deadline;
   std::unique_lock lock(s.reduce_mutex);
+  if (s.poisoned.load(std::memory_order_acquire)) {
+    lock.unlock();
+    fail_peer("allreduce");
+  }
   const std::uint64_t generation = s.reduce_generation;
 
   if (s.reduce_arrived == 0) {
@@ -103,11 +220,27 @@ void Communicator::allreduce(std::vector<double>& values, ReduceOp op) {
     ++s.reduce_generation;
     values = s.reduce_result;
     s.reduce_cv.notify_all();
-  } else {
-    s.reduce_cv.wait(lock,
-                     [&] { return s.reduce_generation != generation; });
-    values = s.reduce_result;
+    return;
   }
+  const auto done = [&] {
+    return s.reduce_generation != generation ||
+           s.poisoned.load(std::memory_order_acquire);
+  };
+  if (deadline.count() > 0) {
+    if (!s.reduce_cv.wait_until(lock, give_up, done)) {
+      --s.reduce_arrived;  // withdraw the contribution before failing
+      lock.unlock();
+      fail_timeout("allreduce", -1, -1);
+    }
+  } else {
+    s.reduce_cv.wait(lock, done);
+  }
+  if (s.reduce_generation == generation) {
+    --s.reduce_arrived;
+    lock.unlock();
+    fail_peer("allreduce");
+  }
+  values = s.reduce_result;
 }
 
 void Communicator::broadcast(void* data, std::size_t bytes, int root) {

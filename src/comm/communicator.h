@@ -11,10 +11,17 @@
 /// fluxes, then all domains receive head fluxes from neighbors without
 /// deadlock regardless of ordering.
 ///
+/// Fault tolerance (DESIGN.md §5): blocking calls accept a configurable
+/// deadline (CommOptions) and throw CommTimeout naming rank, peer, and tag
+/// on expiry. When any rank fails, the world is *poisoned*: every blocked
+/// rank wakes with PeerFailure instead of hanging, so a decomposed solve
+/// always terminates with a diagnostic.
+///
 /// All traffic is byte-counted so the communication model (Eq. 7) can be
 /// validated against actually transferred bytes.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -26,10 +33,20 @@
 #include <mutex>
 #include <vector>
 
+#include "util/error.h"
+
 namespace antmoc::comm {
 
 /// Reduction operator for allreduce.
 enum class ReduceOp { kSum, kMax, kMin };
+
+/// World-wide communication knobs, fixed at Runtime::run() launch.
+struct CommOptions {
+  /// Deadline for blocking calls (recv/barrier/allreduce/broadcast).
+  /// Zero (the default) disables the deadline: calls block forever unless
+  /// the world is poisoned.
+  std::chrono::milliseconds deadline{0};
+};
 
 namespace detail {
 
@@ -47,9 +64,10 @@ struct Mailbox {
 
 /// State shared by all ranks of one Runtime::run() invocation.
 struct SharedState {
-  explicit SharedState(int nranks);
+  explicit SharedState(int nranks, CommOptions options = {});
 
   int nranks;
+  CommOptions options;
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
 
   // Dissemination-free central barrier (generation counted).
@@ -67,6 +85,20 @@ struct SharedState {
   std::vector<double> reduce_buffer;
   std::vector<double> reduce_result;
 
+  // Poisoned-world flag: set when any rank fails so blocked peers wake
+  // with PeerFailure instead of hanging. First failure wins the reason.
+  std::atomic<bool> poisoned{false};
+  mutable std::mutex poison_mutex;
+  int poison_rank = -1;
+  std::string poison_reason;
+
+  /// Marks the world poisoned (first caller records rank + reason) and
+  /// wakes every rank blocked in recv/barrier/allreduce.
+  void poison(int rank, const std::string& reason);
+
+  /// Human-readable cause recorded by poison() ("rank R failed: ...").
+  std::string poison_cause() const;
+
   // Byte counters, indexed by source rank.
   std::vector<std::atomic<std::uint64_t>> bytes_sent;
   std::vector<std::atomic<std::uint64_t>> messages_sent;
@@ -83,21 +115,46 @@ class Communicator {
   int rank() const { return rank_; }
   int size() const { return state_->nranks; }
 
+  /// Deadline configured for this world's blocking calls (0 = none).
+  std::chrono::milliseconds deadline() const {
+    return state_->options.deadline;
+  }
+
   /// Buffered send: copies `bytes` bytes into `dest`'s mailbox; returns
-  /// immediately. Tags disambiguate concurrent exchanges.
+  /// immediately. Tags disambiguate concurrent exchanges. Throws
+  /// PeerFailure if the world is already poisoned.
   void send(int dest, int tag, const void* data, std::size_t bytes);
 
   /// Blocking receive matching (source, tag); copies exactly `bytes` bytes.
-  /// Throws antmoc::Error if the matched message has a different size.
+  /// Throws antmoc::Error if the matched message has a different size,
+  /// CommTimeout past the configured deadline, and PeerFailure if another
+  /// rank fails while this one is blocked.
   void recv(int source, int tag, void* data, std::size_t bytes);
+
+  /// Blocking receive matching (source, tag) that accepts whatever size
+  /// the sender posted; returns the raw payload.
+  std::vector<std::byte> recv_bytes(int source, int tag);
 
   template <class T>
   void send(int dest, int tag, const std::vector<T>& v) {
     send(dest, tag, v.data(), v.size() * sizeof(T));
   }
+
+  /// Vector receive: `v` is resized to the matched message size — callers
+  /// need not (and cannot reliably) pre-size it. Throws antmoc::Error
+  /// naming both sizes if the payload is not a whole number of T.
   template <class T>
   void recv(int source, int tag, std::vector<T>& v) {
-    recv(source, tag, v.data(), v.size() * sizeof(T));
+    const std::vector<std::byte> payload = recv_bytes(source, tag);
+    if (payload.size() % sizeof(T) != 0)
+      fail<Error>("recv: rank " + std::to_string(rank_) + " matched a " +
+                  std::to_string(payload.size()) +
+                  "-byte message from rank " + std::to_string(source) +
+                  " (tag " + std::to_string(tag) +
+                  ") that is not a whole number of " +
+                  std::to_string(sizeof(T)) + "-byte elements");
+    v.resize(payload.size() / sizeof(T));
+    std::memcpy(v.data(), payload.data(), payload.size());
   }
 
   /// Combined post-then-collect exchange with one peer.
@@ -108,7 +165,7 @@ class Communicator {
     recv(peer, tag, in);
   }
 
-  /// Blocks until all ranks arrive.
+  /// Blocks until all ranks arrive (or the deadline/poison fires).
   void barrier();
 
   /// Element-wise allreduce over all ranks; every rank gets the result.
@@ -124,22 +181,33 @@ class Communicator {
 
   /// Gathers equal-sized contributions onto `root`: on root, `all` is
   /// resized to size() * local.size() with rank r's data at offset
-  /// r * local.size(); on other ranks `all` is left empty.
+  /// r * local.size(); on other ranks `all` is left empty. Every received
+  /// payload is validated against local.size() * sizeof(T); a mismatched
+  /// contribution throws a descriptive Error instead of corrupting `all`.
   template <class T>
   void gather(const std::vector<T>& local, std::vector<T>& all, int root) {
     constexpr int kTag = 901;
+    const std::size_t expected = local.size() * sizeof(T);
     if (rank_ == root) {
       all.assign(static_cast<std::size_t>(size()) * local.size(), T{});
       std::copy(local.begin(), local.end(),
                 all.begin() + static_cast<std::size_t>(root) * local.size());
       for (int r = 0; r < size(); ++r) {
         if (r == root) continue;
-        recv(r, kTag, all.data() + static_cast<std::size_t>(r) * local.size(),
-             local.size() * sizeof(T));
+        const std::vector<std::byte> payload = recv_bytes(r, kTag);
+        if (payload.size() != expected)
+          fail<Error>("gather: rank " + std::to_string(r) + " contributed " +
+                      std::to_string(payload.size()) + " B but root rank " +
+                      std::to_string(root) + " expected " +
+                      std::to_string(expected) + " B (" +
+                      std::to_string(local.size()) + " elements of " +
+                      std::to_string(sizeof(T)) + " B)");
+        std::memcpy(all.data() + static_cast<std::size_t>(r) * local.size(),
+                    payload.data(), payload.size());
       }
     } else {
       all.clear();
-      send(root, kTag, local.data(), local.size() * sizeof(T));
+      send(root, kTag, local.data(), expected);
     }
   }
 
@@ -151,6 +219,16 @@ class Communicator {
   std::uint64_t total_bytes_sent() const;
 
  private:
+  /// Matches (source, tag) in this rank's mailbox, honoring deadline and
+  /// poison; the returned message is removed from the queue.
+  detail::Message match(int source, int tag);
+
+  /// Logs and throws PeerFailure carrying the recorded poison cause.
+  [[noreturn]] void fail_peer(const char* op) const;
+
+  /// Logs and throws CommTimeout naming rank, peer, and tag.
+  [[noreturn]] void fail_timeout(const char* op, int peer, int tag) const;
+
   int rank_;
   std::shared_ptr<detail::SharedState> state_;
 };

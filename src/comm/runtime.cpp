@@ -5,13 +5,15 @@
 #include <vector>
 
 #include "util/error.h"
+#include "util/log.h"
 
 namespace antmoc::comm {
 
 std::uint64_t Runtime::run(int nranks,
-                           const std::function<void(Communicator&)>& fn) {
+                           const std::function<void(Communicator&)>& fn,
+                           const CommOptions& options) {
   require(nranks >= 1, "Runtime::run needs at least one rank");
-  auto state = std::make_shared<detail::SharedState>(nranks);
+  auto state = std::make_shared<detail::SharedState>(nranks, options);
 
   if (nranks == 1) {
     // Fast path: no thread spawn for serial worlds.
@@ -28,14 +30,30 @@ std::uint64_t Runtime::run(int nranks,
       Communicator comm(r, state);
       try {
         fn(comm);
+      } catch (const std::exception& e) {
+        errors[r] = std::current_exception();
+        state->poison(r, e.what());
       } catch (...) {
         errors[r] = std::current_exception();
+        state->poison(r, "unknown exception");
       }
     });
   }
   for (auto& t : threads) t.join();
-  for (auto& err : errors)
-    if (err) std::rethrow_exception(err);
+
+  // Prefer the original failure over the PeerFailure echoes it caused.
+  std::exception_ptr secondary;
+  for (const auto& err : errors) {
+    if (!err) continue;
+    try {
+      std::rethrow_exception(err);
+    } catch (const PeerFailure&) {
+      if (!secondary) secondary = err;
+    } catch (...) {
+      std::rethrow_exception(err);
+    }
+  }
+  if (secondary) std::rethrow_exception(secondary);
 
   std::uint64_t total = 0;
   for (int r = 0; r < nranks; ++r)

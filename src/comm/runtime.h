@@ -13,13 +13,22 @@ namespace antmoc::comm {
 class Runtime {
  public:
   /// Runs `fn` on `nranks` concurrent ranks and joins them all.
-  /// The first exception thrown by any rank is rethrown on the caller's
-  /// thread after every rank has been joined.
+  ///
+  /// Fault semantics: the first rank to throw poisons the world, which
+  /// wakes every rank blocked in recv/barrier/allreduce with PeerFailure —
+  /// run() always terminates, never deadlocks on a dead peer. After all
+  /// ranks have joined, the *original* failure (the first non-PeerFailure
+  /// exception) is rethrown on the caller's thread; secondary PeerFailure
+  /// exceptions are rethrown only if no rank recorded a primary cause.
+  ///
+  /// `options` configures world-wide knobs such as the blocking-call
+  /// deadline (see CommOptions).
   ///
   /// Returns the total point-to-point bytes sent across all ranks, so
   /// callers can validate the paper's communication model (Eq. 7).
   static std::uint64_t run(int nranks,
-                           const std::function<void(Communicator&)>& fn);
+                           const std::function<void(Communicator&)>& fn,
+                           const CommOptions& options = {});
 };
 
 }  // namespace antmoc::comm

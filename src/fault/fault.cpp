@@ -1,0 +1,176 @@
+#include "fault/fault.h"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "util/config.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace antmoc::fault {
+
+std::atomic<int> Injector::armed_count_{0};
+
+Injector& Injector::instance() {
+  static Injector injector;
+  return injector;
+}
+
+namespace {
+
+[[noreturn]] void throw_kind(ErrorKind kind, const std::string& msg) {
+  switch (kind) {
+    case ErrorKind::kDeviceOutOfMemory:
+      throw DeviceOutOfMemory(msg);
+    case ErrorKind::kSolver:
+      throw SolverError(msg);
+    case ErrorKind::kComm:
+      throw CommTimeout(msg);
+    case ErrorKind::kGeneric:
+      break;
+  }
+  throw Error(msg);
+}
+
+const char* kind_name(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kDeviceOutOfMemory:
+      return "DeviceOutOfMemory";
+    case ErrorKind::kSolver:
+      return "SolverError";
+    case ErrorKind::kComm:
+      return "CommTimeout";
+    default:
+      return "Error";
+  }
+}
+
+}  // namespace
+
+Plan parse_plan(const std::string& spec) {
+  std::istringstream in(spec);
+  Plan plan;
+  if (!(in >> plan.point))
+    fail<ConfigError>("fault plan spec is empty");
+  std::string token;
+  while (in >> token) {
+    if (token == "throw") {
+      plan.action = Action::kThrow;
+    } else if (token == "delay") {
+      plan.action = Action::kDelay;
+    } else if (token == "oom") {
+      plan.error = ErrorKind::kDeviceOutOfMemory;
+    } else if (token == "solver") {
+      plan.error = ErrorKind::kSolver;
+    } else if (token == "comm") {
+      plan.error = ErrorKind::kComm;
+    } else if (token == "generic") {
+      plan.error = ErrorKind::kGeneric;
+    } else if (token == "repeat") {
+      plan.repeat = true;
+    } else if (token.rfind("nth=", 0) == 0) {
+      plan.nth = std::stoull(token.substr(4));
+      if (plan.nth == 0)
+        fail<ConfigError>("fault plan nth must be >= 1: " + spec);
+    } else if (token.rfind("rank=", 0) == 0) {
+      plan.rank = std::stoi(token.substr(5));
+    } else if (token.rfind("ms=", 0) == 0) {
+      plan.delay_ms = std::stod(token.substr(3));
+    } else {
+      fail<ConfigError>("unknown fault plan token '" + token + "' in: " +
+                        spec);
+    }
+  }
+  return plan;
+}
+
+void Injector::arm(Plan plan) {
+  std::lock_guard lock(mutex_);
+  plans_.push_back({std::move(plan), 0, false});
+  armed_count_.store(static_cast<int>(plans_.size()),
+                     std::memory_order_relaxed);
+}
+
+void Injector::configure(const Config& config) {
+  const std::string specs = config.get_string("fault.plans", "");
+  std::size_t start = 0;
+  while (start <= specs.size()) {
+    const std::size_t end = specs.find(';', start);
+    const std::string one =
+        specs.substr(start, end == std::string::npos ? end : end - start);
+    if (one.find_first_not_of(" \t") != std::string::npos)
+      arm(parse_plan(one));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+}
+
+void Injector::disarm_all() {
+  std::lock_guard lock(mutex_);
+  plans_.clear();
+  hit_counts_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t Injector::hits(const std::string& point) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, count] : hit_counts_)
+    if (name == point) return count;
+  return 0;
+}
+
+void Injector::fire(const char* point, int rank) {
+  // Decide under the lock, act (sleep/throw) outside it so a delayed rank
+  // does not serialize every other rank's injection points behind it.
+  double sleep_ms = 0.0;
+  bool do_throw = false;
+  ErrorKind kind = ErrorKind::kGeneric;
+  std::string message;
+
+  {
+    std::lock_guard lock(mutex_);
+    bool counted = false;
+    for (auto& [name, count] : hit_counts_)
+      if (name == point) {
+        ++count;
+        counted = true;
+        break;
+      }
+    if (!counted) hit_counts_.emplace_back(point, 1);
+
+    for (auto& armed : plans_) {
+      const Plan& plan = armed.plan;
+      if (plan.point != point) continue;
+      if (plan.rank >= 0 && rank >= 0 && plan.rank != rank) continue;
+      ++armed.hits;
+      const bool due = plan.repeat ? armed.hits >= plan.nth
+                                   : armed.hits == plan.nth && !armed.spent;
+      if (!due) continue;
+      armed.spent = true;
+      if (plan.action == Action::kDelay) {
+        sleep_ms += plan.delay_ms;
+      } else {
+        do_throw = true;
+        kind = plan.error;
+        message = plan.message.empty()
+                      ? std::string("fault injected at '") + point +
+                            "' (hit " + std::to_string(armed.hits) +
+                            (rank >= 0 ? ", rank " + std::to_string(rank)
+                                       : std::string()) +
+                            "): " + kind_name(plan.error)
+                      : plan.message;
+      }
+    }
+  }
+
+  if (sleep_ms > 0.0)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+  if (do_throw) {
+    log::error("fault: ", message);
+    throw_kind(kind, message);
+  }
+}
+
+}  // namespace antmoc::fault

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file fault.h
+/// Deterministic fault injection for robustness tests and benchmarks.
+///
+/// Production code marks *injection points* — `fault::point("gpusim.alloc")`
+/// — at places where real systems fail: device allocations, message sends,
+/// solver iterations. A test or benchmark arms *plans* against those points
+/// ("throw DeviceOutOfMemory on the 3rd allocation", "delay rank 1's sends
+/// by 20 ms") so failure scenarios that only appear at 4,000-node scale can
+/// be scripted on a laptop.
+///
+/// Disabled cost: with no plans armed, point() is a single relaxed atomic
+/// load and a predicted branch — safe to leave in hot-ish paths (it is kept
+/// out of per-segment loops regardless).
+///
+/// Plans can also be scripted from a run configuration (util/config):
+///
+///   fault:
+///     plans: "gpusim.alloc throw oom nth=3; comm.send delay ms=20 rank=1"
+///
+/// Spec grammar (whitespace-separated tokens, ';' between plans):
+///   <point> [throw|delay] [oom|solver|comm|generic] [nth=N] [rank=R]
+///           [ms=X] [repeat]
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace antmoc {
+class Config;
+}
+
+namespace antmoc::fault {
+
+/// What an armed plan does when it triggers.
+enum class Action { kThrow, kDelay };
+
+/// Exception type thrown by Action::kThrow plans.
+enum class ErrorKind { kGeneric, kDeviceOutOfMemory, kSolver, kComm };
+
+struct Plan {
+  std::string point;              ///< injection-point name, e.g. "gpusim.alloc"
+  Action action = Action::kThrow;
+  ErrorKind error = ErrorKind::kGeneric;
+  std::uint64_t nth = 1;          ///< trigger on the Nth matching hit (1-based)
+  bool repeat = false;            ///< keep triggering on every hit >= nth
+  int rank = -1;                  ///< only hits from this rank (-1 = any)
+  double delay_ms = 0.0;          ///< sleep duration for Action::kDelay
+  std::string message;            ///< optional override for the thrown text
+};
+
+/// Parses one plan spec (grammar above); throws ConfigError on bad tokens.
+Plan parse_plan(const std::string& spec);
+
+/// Global plan registry. Thread-safe: ranks hit points concurrently.
+class Injector {
+ public:
+  static Injector& instance();
+
+  /// True when at least one plan is armed. One relaxed atomic load: the
+  /// entire cost of every injection point in a fault-free run.
+  static bool enabled() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  void arm(Plan plan);
+
+  /// Arms every plan in the config's "fault.plans" key (no-op if absent).
+  void configure(const Config& config);
+
+  void disarm_all();
+
+  /// Total hits recorded at a point since the last disarm_all(). Hits are
+  /// only counted while at least one plan is armed.
+  std::uint64_t hits(const std::string& point) const;
+
+  /// Called by point() when enabled: counts the hit and executes any
+  /// matching plan (throws or sleeps).
+  void fire(const char* point, int rank);
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+ private:
+  Injector() = default;
+
+  struct Armed {
+    Plan plan;
+    std::uint64_t hits = 0;   ///< hits matching this plan's point + rank
+    bool spent = false;       ///< one-shot plan already triggered
+  };
+
+  static std::atomic<int> armed_count_;
+  mutable std::mutex mutex_;
+  std::vector<Armed> plans_;
+  std::vector<std::pair<std::string, std::uint64_t>> hit_counts_;
+};
+
+/// Marks a named injection point. `rank` tags the hit for rank-filtered
+/// plans (-1 when the caller has no rank identity).
+inline void point(const char* name, int rank = -1) {
+  if (!Injector::enabled()) return;
+  Injector::instance().fire(name, rank);
+}
+
+/// RAII test helper: arms a plan on construction, disarms *all* plans on
+/// destruction so a failed test cannot leak faults into the next one.
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(Plan plan) { Injector::instance().arm(std::move(plan)); }
+  explicit ScopedPlan(const std::string& spec) {
+    Injector::instance().arm(parse_plan(spec));
+  }
+  ~ScopedPlan() { Injector::instance().disarm_all(); }
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+};
+
+}  // namespace antmoc::fault

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
+
 namespace antmoc::gpusim {
 
 void DeviceMemory::charge(const std::string& label, std::size_t bytes) {
+  // Scriptable failure point: plans like "gpusim.alloc throw oom nth=3"
+  // make the Nth device allocation fail deterministically.
+  fault::point("gpusim.alloc");
   std::lock_guard lock(mutex_);
   if (used_ + bytes > capacity_)
     fail<DeviceOutOfMemory>(

@@ -1,0 +1,154 @@
+#include "solver/resilient_solver.h"
+
+#include <fstream>
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace antmoc {
+
+const char* policy_name(TrackPolicy policy) {
+  switch (policy) {
+    case TrackPolicy::kExplicit:
+      return "EXP";
+    case TrackPolicy::kManaged:
+      return "Managed";
+    case TrackPolicy::kOnTheFly:
+      return "OTF";
+  }
+  return "?";
+}
+
+std::string ResilientSolveReport::summary() const {
+  std::string text = std::string(policy_name(requested_policy));
+  for (const auto& step : downgrades) {
+    text += " -> ";
+    text += policy_name(step.to);
+    if (step.to == TrackPolicy::kManaged)
+      text += "(" + std::to_string(step.budget_bytes >> 10) + " KiB)";
+  }
+  text += "; ran ";
+  text += policy_name(actual_policy);
+  text += ", k_eff=" + std::to_string(result.k_eff) + " in " +
+          std::to_string(result.iterations) + " iterations";
+  if (restarts > 0)
+    text += ", " + std::to_string(restarts) + " checkpoint restart(s)";
+  return text;
+}
+
+namespace {
+
+/// Next rung down the ladder for a configuration that just OOMed.
+/// Returns false when there is nowhere left to degrade to.
+bool downgrade(GpuSolverOptions& gpu, const ResilientSolveOptions& options,
+               int& shrinks_used, const std::string& reason,
+               std::vector<DowngradeStep>& steps) {
+  DowngradeStep step;
+  step.from = gpu.policy;
+  step.reason = reason;
+  switch (gpu.policy) {
+    case TrackPolicy::kExplicit:
+      gpu.policy = TrackPolicy::kManaged;
+      break;
+    case TrackPolicy::kManaged: {
+      const auto next = static_cast<std::size_t>(
+          static_cast<double>(gpu.resident_budget_bytes) *
+          options.budget_shrink);
+      if (shrinks_used < options.max_budget_shrinks &&
+          next >= options.min_budget_bytes) {
+        gpu.resident_budget_bytes = next;
+        ++shrinks_used;
+      } else {
+        gpu.policy = TrackPolicy::kOnTheFly;
+      }
+      break;
+    }
+    case TrackPolicy::kOnTheFly:
+      return false;  // already at the bottom of the ladder
+  }
+  step.to = gpu.policy;
+  step.budget_bytes = gpu.resident_budget_bytes;
+  steps.push_back(step);
+  log::warn("resilient solve: device OOM with policy ", policy_name(step.from),
+            " — downgrading to ", policy_name(step.to),
+            step.to == TrackPolicy::kManaged
+                ? " (budget " + std::to_string(step.budget_bytes) + " B)"
+                : std::string(),
+            "; cause: ", reason);
+  return true;
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+}  // namespace
+
+ResilientSolveReport solve_resilient(const TrackStacks& stacks,
+                                     const std::vector<Material>& materials,
+                                     gpusim::Device& device,
+                                     const ResilientSolveOptions& options) {
+  ResilientSolveReport report;
+  report.requested_policy = options.gpu.policy;
+
+  GpuSolverOptions gpu = options.gpu;
+  int shrinks_used = 0;
+  std::unique_ptr<GpuSolver> solver;
+
+  // Setup ladder: construction charges every Table 3 vector against the
+  // device arena, so an over-capacity configuration fails here.
+  for (;;) {
+    try {
+      solver = std::make_unique<GpuSolver>(stacks, materials, device, gpu);
+      break;
+    } catch (const DeviceOutOfMemory& oom) {
+      if (!downgrade(gpu, options, shrinks_used, oom.what(),
+                     report.downgrades))
+        throw;  // OTF itself does not fit: nothing left to shed
+    }
+  }
+  report.actual_policy = gpu.policy;
+  report.resident_budget_bytes = gpu.resident_budget_bytes;
+
+  SolveOptions solve_opts = options.solve;
+  const bool checkpointing =
+      options.checkpoint_every > 0 && !options.checkpoint_path.empty();
+  if (checkpointing) {
+    const auto inner = options.solve.on_iteration;
+    solve_opts.on_iteration = [&, inner](int iter, double k) {
+      if (iter % options.checkpoint_every == 0)
+        solver->save_state(options.checkpoint_path);
+      if (inner) inner(iter, k);
+    };
+  }
+
+  for (;;) {
+    try {
+      report.result = solver->solve(solve_opts);
+      break;
+    } catch (const DeviceOutOfMemory&) {
+      throw;  // mid-solve OOM cannot be fixed by resuming
+    } catch (const Error& e) {
+      if (!checkpointing || report.restarts >= options.max_restarts ||
+          !file_exists(options.checkpoint_path))
+        throw;
+      ++report.restarts;
+      log::warn("resilient solve: iteration failed (", e.what(),
+                ") — resuming from checkpoint ", options.checkpoint_path,
+                " (restart ", report.restarts, "/", options.max_restarts,
+                ")");
+      // Rebuild the solver to discard half-updated iteration state, then
+      // continue from the last checkpoint instead of from scratch.
+      solver.reset();
+      solver = std::make_unique<GpuSolver>(stacks, materials, device, gpu);
+      solver->load_state(options.checkpoint_path);
+      solve_opts.resume = true;
+      report.resumed_from_checkpoint = true;
+    }
+  }
+
+  log::info("resilient solve: ", report.summary());
+  return report;
+}
+
+}  // namespace antmoc

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file resilient_solver.h
+/// Fault-tolerant wrapper around the device transport solve (DESIGN.md §5).
+///
+/// The paper's EXP track policy dies when 3D segments overflow the device
+/// (Fig. 9); the Manager and OTF policies exist precisely to avoid that.
+/// solve_resilient() automates the fallback: DeviceOutOfMemory during
+/// solver setup walks a degradation ladder —
+///
+///   EXP  ->  Managed (resident budget shrunk geometrically per retry)
+///        ->  OTF
+///
+/// — logging each downgrade and recording it in the report, so a solve
+/// configured optimistically for a large device still completes on a small
+/// one, and the report says which policy actually ran and why.
+///
+/// Optionally, a periodic per-iteration checkpoint (scalar flux + k_eff +
+/// boundary angular flux) lets the solve resume after a mid-iteration
+/// fault instead of restarting from scratch.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "solver/gpu_solver.h"
+#include "solver/track_policy.h"
+#include "solver/transport_solver.h"
+
+namespace antmoc {
+
+struct ResilientSolveOptions {
+  GpuSolverOptions gpu;    ///< requested policy / budget / mapping knobs
+  SolveOptions solve;
+
+  /// Geometric factor applied to resident_budget_bytes on each Managed
+  /// retry after an out-of-memory failure.
+  double budget_shrink = 0.5;
+  /// Managed budget shrinks attempted before degrading to OTF.
+  int max_budget_shrinks = 4;
+  /// Budgets below this go straight to OTF (shrinking further would store
+  /// almost nothing anyway).
+  std::size_t min_budget_bytes = std::size_t{1} << 20;
+
+  /// Iterations between checkpoints (0 disables checkpointing).
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  /// Mid-solve failures survived by resuming from the last checkpoint.
+  int max_restarts = 1;
+};
+
+/// One rung taken on the degradation ladder.
+struct DowngradeStep {
+  TrackPolicy from = TrackPolicy::kExplicit;
+  TrackPolicy to = TrackPolicy::kExplicit;
+  /// Resident budget in force after this step (meaningful for kManaged).
+  std::size_t budget_bytes = 0;
+  /// The failure that forced the step (the OOM diagnostic).
+  std::string reason;
+};
+
+struct ResilientSolveReport {
+  SolveResult result;
+  TrackPolicy requested_policy = TrackPolicy::kExplicit;
+  TrackPolicy actual_policy = TrackPolicy::kExplicit;
+  /// Resident budget the successful configuration ran with.
+  std::size_t resident_budget_bytes = 0;
+  std::vector<DowngradeStep> downgrades;
+  int restarts = 0;
+  bool resumed_from_checkpoint = false;
+
+  /// One-line human-readable account ("EXP -> Managed(3 GiB) -> OTF ...").
+  std::string summary() const;
+};
+
+const char* policy_name(TrackPolicy policy);
+
+/// Runs a device eigenvalue solve that survives out-of-memory setup
+/// failures by walking the policy ladder, and (when checkpointing is
+/// configured) mid-iteration faults by resuming from the last checkpoint.
+/// Failures with nowhere left to degrade to are rethrown.
+ResilientSolveReport solve_resilient(const TrackStacks& stacks,
+                                     const std::vector<Material>& materials,
+                                     gpusim::Device& device,
+                                     const ResilientSolveOptions& options);
+
+}  // namespace antmoc

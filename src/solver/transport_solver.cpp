@@ -4,6 +4,7 @@
 #include <cmath>
 #include <fstream>
 
+#include "fault/fault.h"
 #include "gpusim/atomic.h"
 #include "util/error.h"
 #include "util/log.h"
@@ -237,6 +238,9 @@ SolveResult TransportSolver::solve(const SolveOptions& options) {
                            ? options.fixed_iterations
                            : options.max_iterations;
   for (int iter = 1; iter <= max_iter; ++iter) {
+    // Scriptable failure point for checkpoint/resume tests: a plan like
+    // "solver.iteration throw solver nth=5" kills the 5th iteration.
+    fault::point("solver.iteration");
     fsr_.zero_accumulator();
     std::fill(psi_next_.begin(), psi_next_.end(), 0.0f);
     {
@@ -259,6 +263,7 @@ SolveResult TransportSolver::solve(const SolveOptions& options) {
     result.iterations = iter;
     result.k_eff = k_;
     fsr_.update_source(k_);
+    if (options.on_iteration) options.on_iteration(iter, k_);
 
     if (options.verbose)
       log::info("iter ", iter, "  k_eff=", k_, "  residual=",

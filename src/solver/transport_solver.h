@@ -13,6 +13,7 @@
 ///   4. close the scalar flux, update k from the fission production ratio,
 ///      normalize, and test the fission-source residual.
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,10 @@ struct SolveOptions {
   /// mode; <= 0 disables).
   int fixed_iterations = 0;
   bool verbose = false;
+  /// Invoked after every completed power iteration with the iteration
+  /// number and current k_eff — the hook the resilient solve path uses for
+  /// periodic checkpoints. Exceptions it throws propagate out of solve().
+  std::function<void(int iteration, double k_eff)> on_iteration;
 };
 
 struct SolveResult {

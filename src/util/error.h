@@ -39,6 +39,20 @@ class SolverError : public Error {
   using Error::Error;
 };
 
+/// A blocking communication call exceeded its configured deadline.
+class CommTimeout : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Another rank failed while this rank was blocked in communication; the
+/// world was poisoned so the blocked call could terminate with a
+/// diagnostic instead of hanging.
+class PeerFailure : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Throw `E` with `msg` decorated with the call site.
 template <class E = Error>
 [[noreturn]] inline void fail(

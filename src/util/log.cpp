@@ -5,13 +5,27 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 namespace antmoc::log {
 namespace {
 
 std::atomic<Level> g_level{Level::kInfo};
-std::mutex g_mutex;
-std::ofstream g_file;
+
+// Sink swapping is shared_ptr based: set_file() publishes a new sink under
+// g_sink_mutex while any in-flight writer still holds a reference to the
+// old one, so a failure cascade logging from every rank can never race a
+// concurrent sink swap into a closed stream. Writes to the active sink are
+// serialized by g_write_mutex so lines from concurrent ranks interleave
+// whole, never mid-line.
+std::mutex g_sink_mutex;
+std::mutex g_write_mutex;
+std::shared_ptr<std::ofstream> g_file;  // null = stderr
+
+std::shared_ptr<std::ofstream> current_sink() {
+  std::lock_guard lock(g_sink_mutex);
+  return g_file;
+}
 
 const char* tag(Level level) {
   switch (level) {
@@ -35,9 +49,11 @@ void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
 Level level() { return g_level.load(std::memory_order_relaxed); }
 
 void set_file(const std::string& path) {
-  std::lock_guard lock(g_mutex);
-  if (g_file.is_open()) g_file.close();
-  if (!path.empty()) g_file.open(path, std::ios::app);
+  std::shared_ptr<std::ofstream> next;
+  if (!path.empty())
+    next = std::make_shared<std::ofstream>(path, std::ios::app);
+  std::lock_guard lock(g_sink_mutex);
+  g_file = std::move(next);  // old stream closes once its last writer drops it
 }
 
 void write(Level level, const std::string& msg) {
@@ -48,11 +64,14 @@ void write(Level level, const std::string& msg) {
   char prefix[64];
   std::snprintf(prefix, sizeof prefix, "[%9.3f] %s ", secs, tag(level));
 
-  std::lock_guard lock(g_mutex);
-  if (g_file.is_open())
-    g_file << prefix << msg << '\n';
-  else
+  const auto file = current_sink();
+  std::lock_guard lock(g_write_mutex);
+  if (file != nullptr && file->is_open()) {
+    *file << prefix << msg << '\n';
+    if (level >= Level::kError) file->flush();
+  } else {
     std::cerr << prefix << msg << '\n';
+  }
 }
 
 }  // namespace antmoc::log

@@ -88,7 +88,27 @@ TEST(Comm, SendrecvExchangesWithPeerWithoutDeadlock) {
   });
 }
 
-TEST(Comm, RecvSizeMismatchThrows) {
+TEST(Comm, RecvResizesVectorToMatchedMessage) {
+  // The vector overload adopts the matched message size: callers need not
+  // pre-size the buffer (and mis-sized buffers cannot corrupt memory).
+  Runtime::run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<int> out{1, 2, 3};
+      comm.send(1, 0, out);
+      comm.send(1, 1, out);
+    } else {
+      std::vector<int> oversized(5, -1);
+      comm.recv(0, 0, oversized);
+      EXPECT_EQ(oversized, (std::vector<int>{1, 2, 3}));
+      std::vector<int> empty;  // undersized: grows to fit
+      comm.recv(0, 1, empty);
+      EXPECT_EQ(empty, (std::vector<int>{1, 2, 3}));
+    }
+  });
+}
+
+TEST(Comm, RecvRawSizeMismatchThrows) {
+  // The raw byte interface still demands an exact size.
   EXPECT_THROW(
       Runtime::run(2,
                    [](Communicator& comm) {
@@ -96,8 +116,8 @@ TEST(Comm, RecvSizeMismatchThrows) {
                        const std::vector<int> out{1, 2, 3};
                        comm.send(1, 0, out);
                      } else {
-                       std::vector<int> in(5);  // wrong size
-                       comm.recv(0, 0, in);
+                       int in[5];
+                       comm.recv(0, 0, in, sizeof in);  // wrong size
                      }
                    }),
       Error);

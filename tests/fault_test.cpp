@@ -1,0 +1,484 @@
+/// \file fault_test.cpp
+/// The failure-injection suite (ctest label: fault): scripted faults from
+/// src/fault, comm deadlines and poisoned-world semantics, the
+/// EXP -> Managed -> OTF degradation ladder, and checkpoint/resume after a
+/// mid-iteration fault.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+#include "comm/runtime.h"
+#include "fault/fault.h"
+#include "geometry/builder.h"
+#include "models/c5g7_model.h"
+#include "solver/domain_solver.h"
+#include "solver/resilient_solver.h"
+#include "util/config.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace antmoc {
+namespace {
+
+using comm::CommOptions;
+using comm::Communicator;
+using comm::Runtime;
+
+// ------------------------------------------------------ fault injector ----
+
+TEST(FaultInjector, DisabledPointsAreInert) {
+  fault::Injector::instance().disarm_all();
+  EXPECT_FALSE(fault::Injector::enabled());
+  for (int i = 0; i < 1000; ++i) fault::point("nowhere");
+  // Hits are not even counted while disabled: the point is a single
+  // relaxed atomic load, so leaving it in production code is free.
+  EXPECT_EQ(fault::Injector::instance().hits("nowhere"), 0u);
+}
+
+TEST(FaultInjector, ThrowsOnExactlyTheNthHit) {
+  fault::Plan plan;
+  plan.point = "test.alloc";
+  plan.error = fault::ErrorKind::kDeviceOutOfMemory;
+  plan.nth = 3;
+  fault::ScopedPlan scoped(plan);
+  EXPECT_NO_THROW(fault::point("test.alloc"));
+  EXPECT_NO_THROW(fault::point("test.alloc"));
+  EXPECT_THROW(fault::point("test.alloc"), DeviceOutOfMemory);
+  // One-shot: the spent plan never fires again.
+  EXPECT_NO_THROW(fault::point("test.alloc"));
+  EXPECT_EQ(fault::Injector::instance().hits("test.alloc"), 4u);
+}
+
+TEST(FaultInjector, RepeatPlanKeepsFiring) {
+  fault::ScopedPlan scoped("test.repeat throw solver nth=2 repeat");
+  EXPECT_NO_THROW(fault::point("test.repeat"));
+  EXPECT_THROW(fault::point("test.repeat"), SolverError);
+  EXPECT_THROW(fault::point("test.repeat"), SolverError);
+}
+
+TEST(FaultInjector, RankFilterRestrictsThePlan) {
+  fault::ScopedPlan scoped("test.rank throw generic rank=1");
+  EXPECT_NO_THROW(fault::point("test.rank", 0));
+  EXPECT_NO_THROW(fault::point("test.rank", 2));
+  EXPECT_THROW(fault::point("test.rank", 1), Error);
+}
+
+TEST(FaultInjector, DelayPlanSleeps) {
+  fault::ScopedPlan scoped("test.delay delay ms=40");
+  const auto t0 = std::chrono::steady_clock::now();
+  fault::point("test.delay");
+  const auto elapsed = std::chrono::duration<double, std::milli>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 25.0);
+}
+
+TEST(FaultInjector, ConfiguresFromRunConfig) {
+  const Config config = Config::parse(
+      "fault:\n"
+      "  plans: \"test.cfg throw solver nth=2; test.cfg2 delay ms=1\"\n");
+  fault::Injector::instance().configure(config);
+  EXPECT_TRUE(fault::Injector::enabled());
+  EXPECT_NO_THROW(fault::point("test.cfg"));
+  EXPECT_THROW(fault::point("test.cfg"), SolverError);
+  fault::Injector::instance().disarm_all();
+  EXPECT_FALSE(fault::Injector::enabled());
+}
+
+TEST(FaultInjector, RejectsMalformedSpecs) {
+  EXPECT_THROW(fault::parse_plan(""), ConfigError);
+  EXPECT_THROW(fault::parse_plan("p bogus-token"), ConfigError);
+  EXPECT_THROW(fault::parse_plan("p throw nth=0"), ConfigError);
+}
+
+// ----------------------------------------------------- comm deadlines ----
+
+TEST(CommDeadline, RecvTimesOutNamingRankPeerAndTag) {
+  CommOptions opts;
+  opts.deadline = std::chrono::milliseconds(100);
+  try {
+    Runtime::run(
+        2,
+        [](Communicator& comm) {
+          if (comm.rank() == 0) {
+            std::vector<int> in;
+            comm.recv(1, /*tag=*/7, in);  // rank 1 never sends
+          }
+        },
+        opts);
+    FAIL() << "recv did not time out";
+  } catch (const CommTimeout& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("tag 7"), std::string::npos) << what;
+    EXPECT_NE(what.find("deadline"), std::string::npos) << what;
+  }
+}
+
+TEST(CommDeadline, BarrierTimesOutWhenARankNeverArrives) {
+  CommOptions opts;
+  opts.deadline = std::chrono::milliseconds(100);
+  EXPECT_THROW(Runtime::run(
+                   2,
+                   [](Communicator& comm) {
+                     if (comm.rank() == 0) comm.barrier();  // alone forever
+                   },
+                   opts),
+               CommTimeout);
+}
+
+TEST(CommDeadline, FastExchangeIsUnaffected) {
+  CommOptions opts;
+  opts.deadline = std::chrono::milliseconds(2000);
+  Runtime::run(
+      2,
+      [](Communicator& comm) {
+        const std::vector<double> out{1.0, 2.0};
+        std::vector<double> in;
+        comm.sendrecv(1 - comm.rank(), 5, out, in);
+        EXPECT_EQ(in.size(), 2u);
+        comm.barrier();
+        EXPECT_DOUBLE_EQ(comm.allreduce(1.0, comm::ReduceOp::kSum), 2.0);
+      },
+      opts);
+}
+
+// ------------------------------------------------------ poisoned world ----
+
+TEST(PoisonedWorld, RankDeathWakesReceiversBlockedWithoutDeadline) {
+  // Ranks 0 and 2 block in recv on rank 1, which dies before sending.
+  // Without poisoning this hangs forever (no deadline is configured);
+  // with it, every rank joins and the original error is rethrown.
+  EXPECT_THROW(
+      Runtime::run(3,
+                   [](Communicator& comm) {
+                     if (comm.rank() == 1) {
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(50));
+                       fail<SolverError>("rank 1 died before the exchange");
+                     }
+                     std::vector<double> in;
+                     comm.recv(1, /*tag=*/42, in);
+                   }),
+      SolverError);
+}
+
+TEST(PoisonedWorld, RankDeathWakesBarrierAndAllreduce) {
+  EXPECT_THROW(
+      Runtime::run(3,
+                   [](Communicator& comm) {
+                     if (comm.rank() == 1) {
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(50));
+                       fail<SolverError>("rank 1 died before the barrier");
+                     }
+                     if (comm.rank() == 0) comm.barrier();
+                     std::vector<double> v{1.0};
+                     comm.allreduce(v, comm::ReduceOp::kSum);
+                   }),
+      SolverError);
+}
+
+TEST(PoisonedWorld, PeerFailureCarriesThePoisonCause) {
+  try {
+    Runtime::run(2, [](Communicator& comm) {
+      if (comm.rank() == 1) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        throw std::logic_error("not an antmoc error");
+      }
+      std::vector<double> in;
+      comm.recv(1, 3, in);
+    });
+    FAIL() << "world did not fail";
+  } catch (const PeerFailure& e) {
+    // Rank 0's PeerFailure is the only antmoc-typed record; it must name
+    // the failing rank and cause.
+    EXPECT_NE(std::string(e.what()).find("rank 1"), std::string::npos);
+  } catch (const std::logic_error&) {
+    // Also acceptable: the original error was preferred on rethrow.
+  }
+}
+
+TEST(PoisonedWorld, DecomposedSolveTerminatesWhenOneRankDiesPreExchange) {
+  // An injected failure kills rank 2's very first send (during interface
+  // setup) while its peers are already blocked in recv. The solve must
+  // terminate with the injected error surfaced — before the poisoned-world
+  // mechanism existed, this configuration deadlocked.
+  GeometryBuilder b;
+  const int u = b.add_universe("water");
+  b.add_cell(u, "w", 6, {});
+  b.set_root(u);
+  Bounds bounds;
+  bounds.x_max = 2.0;
+  bounds.y_max = 2.0;
+  b.set_bounds(bounds);
+  b.set_all_radial_boundaries(BoundaryType::kReflective);
+  b.add_axial_zone(0.0, 2.0, 2);
+  models::C5G7Model model{b.build(), models::build_pin_cell(1, 1.0).materials};
+
+  DomainRunParams params;
+  params.num_azim = 4;
+  params.azim_spacing = 0.5;
+  params.num_polar = 1;
+  params.z_spacing = 1.0;
+
+  fault::ScopedPlan scoped("comm.send throw generic rank=2 nth=1");
+  EXPECT_THROW(solve_decomposed(model.geometry, model.materials, {2, 2, 1},
+                                params, SolveOptions{}),
+               Error);
+}
+
+// ------------------------------------------------- collective hygiene ----
+
+TEST(Gather, MismatchedContributionThrowsDescriptiveError) {
+  try {
+    Runtime::run(2, [](Communicator& comm) {
+      // Rank 1 contributes 3 elements where the root expects 2: the root
+      // must throw a gather-specific diagnostic, not corrupt its buffer.
+      const std::vector<int> local(comm.rank() == 0 ? 2 : 3, comm.rank());
+      std::vector<int> all;
+      comm.gather(local, all, /*root=*/0);
+    });
+    FAIL() << "mismatched gather did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("gather"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Recv, NonIntegralElementCountThrowsWithBothSizes) {
+  try {
+    Runtime::run(2, [](Communicator& comm) {
+      if (comm.rank() == 0) {
+        const char five[5] = {1, 2, 3, 4, 5};
+        comm.send(1, 0, five, sizeof five);
+      } else {
+        std::vector<int> in;  // 5 bytes is not a whole number of ints
+        comm.recv(0, 0, in);
+      }
+    });
+    FAIL() << "indivisible payload did not throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("5-byte"), std::string::npos) << what;
+    EXPECT_NE(what.find("4-byte"), std::string::npos) << what;
+  }
+}
+
+// ------------------------------------------------------ log sink race ----
+
+TEST(LogSink, ConcurrentSwapAndWriteIsSafe) {
+  const std::string a = ::testing::TempDir() + "/antmoc_fault_log_a.txt";
+  const std::string c = ::testing::TempDir() + "/antmoc_fault_log_b.txt";
+  std::remove(a.c_str());
+  std::remove(c.c_str());
+  log::set_file(a);
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w)
+    writers.emplace_back([w] {
+      for (int i = 0; i < 300; ++i)
+        log::warn("cascade rank ", w, " message ", i);
+    });
+  // Swap the sink underneath the writers — the shared_ptr hand-off keeps
+  // every in-flight write on a live stream.
+  for (int i = 0; i < 100; ++i) {
+    log::set_file(c);
+    log::set_file(a);
+  }
+  for (auto& t : writers) t.join();
+  log::set_file("");
+
+  std::ifstream in(a);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("cascade rank"), std::string::npos);
+  std::remove(a.c_str());
+  std::remove(c.c_str());
+}
+
+// ----------------------------------------------- degradation ladder ----
+
+/// The robustness_test OOM geometry: a heavily subdivided pin whose 3D
+/// segments (~321 KiB) push EXP (~906 KiB total) past small devices while
+/// OTF (~585 KiB) fits.
+struct OomProblem {
+  models::C5G7Model model;
+  Quadrature quad;
+  TrackGenerator2D gen;
+  TrackStacks stacks;
+
+  static models::C5G7Model build_model() {
+    GeometryBuilder b;
+    PinSubdivision sub;
+    sub.fuel_rings = 3;
+    sub.fuel_sectors = 8;
+    sub.moderator_sectors = 8;
+    const int pin = b.add_pin_universe("pin", 0, 6, 0.54, sub);
+    const int root = b.add_lattice("r", 1, 1, 1.26, 1.26, 0.0, 0.0, {pin});
+    b.set_root(root);
+    Bounds bounds;
+    bounds.x_max = 1.26;
+    bounds.y_max = 1.26;
+    b.set_bounds(bounds);
+    b.set_all_radial_boundaries(BoundaryType::kReflective);
+    b.set_boundary(Face::kZMin, BoundaryType::kReflective);
+    b.set_boundary(Face::kZMax, BoundaryType::kReflective);
+    b.add_axial_zone(0.0, 2.0, 4);
+    return {b.build(), models::build_pin_cell(1, 1.0).materials};
+  }
+
+  OomProblem()
+      : model(build_model()),
+        quad(8, 0.1, 1.26, 1.26, 2),
+        gen(quad, model.geometry.bounds(),
+            {LinkKind::kReflective, LinkKind::kReflective,
+             LinkKind::kReflective, LinkKind::kReflective}),
+        stacks((gen.trace(model.geometry), gen), model.geometry, 0.0, 2.0,
+               0.25) {}
+};
+
+TEST(DegradationLadder, ExpDowngradesToManagedOnTooSmallDevice) {
+  OomProblem p;
+  gpusim::Device device(gpusim::DeviceSpec::scaled(700 << 10, 8));
+
+  ResilientSolveOptions opts;
+  opts.gpu.policy = TrackPolicy::kExplicit;
+  opts.gpu.resident_budget_bytes = 256 << 10;
+  opts.min_budget_bytes = 4 << 10;
+  opts.max_budget_shrinks = 8;
+  opts.solve.fixed_iterations = 3;
+
+  const auto report =
+      solve_resilient(p.stacks, p.model.materials, device, opts);
+  EXPECT_EQ(report.requested_policy, TrackPolicy::kExplicit);
+  EXPECT_EQ(report.actual_policy, TrackPolicy::kManaged);
+  ASSERT_GE(report.downgrades.size(), 2u);  // EXP->Managed, then shrink(s)
+  EXPECT_EQ(report.downgrades.front().from, TrackPolicy::kExplicit);
+  EXPECT_EQ(report.downgrades.front().to, TrackPolicy::kManaged);
+  EXPECT_LT(report.resident_budget_bytes,
+            static_cast<std::size_t>(256 << 10));
+  for (const auto& step : report.downgrades)
+    EXPECT_FALSE(step.reason.empty());
+  EXPECT_TRUE(report.result.converged);
+  EXPECT_GT(report.result.k_eff, 0.0);
+  EXPECT_NE(report.summary().find("Managed"), std::string::npos);
+}
+
+TEST(DegradationLadder, ExhaustedBudgetFallsAllTheWayToOtf) {
+  OomProblem p;
+  gpusim::Device device(gpusim::DeviceSpec::scaled(600 << 10, 8));
+
+  ResilientSolveOptions opts;
+  opts.gpu.policy = TrackPolicy::kExplicit;
+  opts.gpu.resident_budget_bytes = 256 << 10;
+  opts.min_budget_bytes = 64 << 10;  // shrinking below this is pointless
+  opts.max_budget_shrinks = 8;
+  opts.solve.fixed_iterations = 3;
+
+  const auto report =
+      solve_resilient(p.stacks, p.model.materials, device, opts);
+  EXPECT_EQ(report.actual_policy, TrackPolicy::kOnTheFly);
+  EXPECT_EQ(report.downgrades.back().to, TrackPolicy::kOnTheFly);
+  EXPECT_TRUE(report.result.converged);
+}
+
+TEST(DegradationLadder, NowhereLeftToDegradeRethrows) {
+  OomProblem p;
+  // Smaller than even the OTF footprint: the ladder must end by
+  // surfacing the original DeviceOutOfMemory, not by looping.
+  gpusim::Device device(gpusim::DeviceSpec::scaled(100 << 10, 8));
+  ResilientSolveOptions opts;
+  opts.gpu.policy = TrackPolicy::kExplicit;
+  opts.solve.fixed_iterations = 1;
+  EXPECT_THROW(solve_resilient(p.stacks, p.model.materials, device, opts),
+               DeviceOutOfMemory);
+}
+
+TEST(DegradationLadder, ScriptedNthAllocationOomTriggersDowngrade) {
+  OomProblem p;
+  // Plenty of real memory: only the scripted fault forces the downgrade.
+  gpusim::Device device(gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+
+  fault::ScopedPlan scoped("gpusim.alloc throw oom nth=1");
+  ResilientSolveOptions opts;
+  opts.gpu.policy = TrackPolicy::kExplicit;
+  opts.solve.fixed_iterations = 2;
+  const auto report =
+      solve_resilient(p.stacks, p.model.materials, device, opts);
+  ASSERT_EQ(report.downgrades.size(), 1u);
+  EXPECT_EQ(report.downgrades[0].from, TrackPolicy::kExplicit);
+  EXPECT_EQ(report.downgrades[0].to, TrackPolicy::kManaged);
+  EXPECT_NE(report.downgrades[0].reason.find("fault injected"),
+            std::string::npos);
+  EXPECT_EQ(report.actual_policy, TrackPolicy::kManaged);
+  EXPECT_TRUE(report.result.converged);
+}
+
+// -------------------------------------------------- checkpoint/resume ----
+
+TEST(CheckpointResume, MidIterationFaultResumesToTheSameEigenvalue) {
+  models::C5G7Model model = models::build_pin_cell(2, 2.0);
+  const Quadrature quad(4, 0.25, 1.26, 1.26, 1);
+  TrackGenerator2D gen(quad, model.geometry.bounds(),
+                       {LinkKind::kReflective, LinkKind::kReflective,
+                        LinkKind::kReflective, LinkKind::kReflective});
+  gen.trace(model.geometry);
+  const TrackStacks stacks(gen, model.geometry, 0.0, 2.0, 0.5);
+
+  ResilientSolveOptions opts;
+  opts.gpu.policy = TrackPolicy::kOnTheFly;
+  opts.solve.tolerance = 1e-6;
+  opts.solve.max_iterations = 20000;
+
+  // Uninterrupted reference on an identical device configuration.
+  gpusim::Device ref_device(gpusim::DeviceSpec::scaled(std::size_t{1} << 30,
+                                                       8));
+  const auto reference =
+      solve_resilient(stacks, model.materials, ref_device, opts);
+  ASSERT_TRUE(reference.result.converged);
+  ASSERT_GT(reference.result.iterations, 30);
+
+  // Same solve, but iteration 25 is killed by an injected fault; the
+  // checkpoint from iteration 20 carries the solve through.
+  const std::string path = ::testing::TempDir() + "/antmoc_fault.ckpt";
+  std::remove(path.c_str());
+  fault::ScopedPlan scoped("solver.iteration throw solver nth=25");
+  gpusim::Device device(gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+  ResilientSolveOptions resumed = opts;
+  resumed.checkpoint_every = 5;
+  resumed.checkpoint_path = path;
+  const auto report = solve_resilient(stacks, model.materials, device,
+                                      resumed);
+  EXPECT_EQ(report.restarts, 1);
+  EXPECT_TRUE(report.resumed_from_checkpoint);
+  ASSERT_TRUE(report.result.converged);
+  EXPECT_NEAR(report.result.k_eff, reference.result.k_eff,
+              1e-5 * reference.result.k_eff);
+  EXPECT_NE(report.summary().find("restart"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, FaultWithoutCheckpointingStillSurfaces) {
+  models::C5G7Model model = models::build_pin_cell(2, 2.0);
+  const Quadrature quad(4, 0.25, 1.26, 1.26, 1);
+  TrackGenerator2D gen(quad, model.geometry.bounds(),
+                       {LinkKind::kReflective, LinkKind::kReflective,
+                        LinkKind::kReflective, LinkKind::kReflective});
+  gen.trace(model.geometry);
+  const TrackStacks stacks(gen, model.geometry, 0.0, 2.0, 0.5);
+
+  fault::ScopedPlan scoped("solver.iteration throw solver nth=3");
+  gpusim::Device device(gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+  ResilientSolveOptions opts;
+  opts.gpu.policy = TrackPolicy::kOnTheFly;
+  opts.solve.fixed_iterations = 10;
+  EXPECT_THROW(solve_resilient(stacks, model.materials, device, opts),
+               SolverError);
+}
+
+}  // namespace
+}  // namespace antmoc
