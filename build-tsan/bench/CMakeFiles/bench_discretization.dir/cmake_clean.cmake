@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discretization.dir/bench_discretization.cpp.o"
+  "CMakeFiles/bench_discretization.dir/bench_discretization.cpp.o.d"
+  "bench_discretization"
+  "bench_discretization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discretization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_track_management.dir/bench_track_management.cpp.o"
+  "CMakeFiles/bench_track_management.dir/bench_track_management.cpp.o.d"
+  "bench_track_management"
+  "bench_track_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_track_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c5g7_core.dir/c5g7_core.cpp.o"
+  "CMakeFiles/c5g7_core.dir/c5g7_core.cpp.o.d"
+  "c5g7_core"
+  "c5g7_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c5g7_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for c5g7_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newmoc.dir/c5g7_core.cpp.o"
+  "CMakeFiles/newmoc.dir/c5g7_core.cpp.o.d"
+  "newmoc"
+  "newmoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newmoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

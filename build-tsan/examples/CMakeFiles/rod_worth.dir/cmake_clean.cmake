@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rod_worth.dir/rod_worth.cpp.o"
+  "CMakeFiles/rod_worth.dir/rod_worth.cpp.o.d"
+  "rod_worth"
+  "rod_worth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rod_worth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

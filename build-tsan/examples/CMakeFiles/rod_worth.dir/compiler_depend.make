@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rod_worth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/track_management.dir/track_management.cpp.o"
+  "CMakeFiles/track_management.dir/track_management.cpp.o.d"
+  "track_management"
+  "track_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/track_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("fault")
+subdirs("comm")
+subdirs("gpusim")
+subdirs("geometry")
+subdirs("material")
+subdirs("models")
+subdirs("track")
+subdirs("perfmodel")
+subdirs("solver")
+subdirs("partition")
+subdirs("cluster")
+subdirs("io")

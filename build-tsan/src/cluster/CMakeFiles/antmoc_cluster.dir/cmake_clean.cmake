@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmoc_cluster.dir/scaling.cpp.o"
+  "CMakeFiles/antmoc_cluster.dir/scaling.cpp.o.d"
+  "libantmoc_cluster.a"
+  "libantmoc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmoc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

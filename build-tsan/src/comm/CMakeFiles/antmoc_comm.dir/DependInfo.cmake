@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/communicator.cpp" "src/comm/CMakeFiles/antmoc_comm.dir/communicator.cpp.o" "gcc" "src/comm/CMakeFiles/antmoc_comm.dir/communicator.cpp.o.d"
+  "/root/repo/src/comm/runtime.cpp" "src/comm/CMakeFiles/antmoc_comm.dir/runtime.cpp.o" "gcc" "src/comm/CMakeFiles/antmoc_comm.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/antmoc_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fault/CMakeFiles/antmoc_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

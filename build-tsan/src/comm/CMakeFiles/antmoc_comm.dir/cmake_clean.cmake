@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmoc_comm.dir/communicator.cpp.o"
+  "CMakeFiles/antmoc_comm.dir/communicator.cpp.o.d"
+  "CMakeFiles/antmoc_comm.dir/runtime.cpp.o"
+  "CMakeFiles/antmoc_comm.dir/runtime.cpp.o.d"
+  "libantmoc_comm.a"
+  "libantmoc_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmoc_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmoc_fault.dir/fault.cpp.o"
+  "CMakeFiles/antmoc_fault.dir/fault.cpp.o.d"
+  "libantmoc_fault.a"
+  "libantmoc_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmoc_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmoc_geometry.dir/builder.cpp.o"
+  "CMakeFiles/antmoc_geometry.dir/builder.cpp.o.d"
+  "CMakeFiles/antmoc_geometry.dir/geometry.cpp.o"
+  "CMakeFiles/antmoc_geometry.dir/geometry.cpp.o.d"
+  "CMakeFiles/antmoc_geometry.dir/surface.cpp.o"
+  "CMakeFiles/antmoc_geometry.dir/surface.cpp.o.d"
+  "libantmoc_geometry.a"
+  "libantmoc_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmoc_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

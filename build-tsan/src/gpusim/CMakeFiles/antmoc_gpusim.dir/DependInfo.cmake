@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/antmoc_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/antmoc_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/device_memory.cpp" "src/gpusim/CMakeFiles/antmoc_gpusim.dir/device_memory.cpp.o" "gcc" "src/gpusim/CMakeFiles/antmoc_gpusim.dir/device_memory.cpp.o.d"
+  "/root/repo/src/gpusim/thread_pool.cpp" "src/gpusim/CMakeFiles/antmoc_gpusim.dir/thread_pool.cpp.o" "gcc" "src/gpusim/CMakeFiles/antmoc_gpusim.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/antmoc_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fault/CMakeFiles/antmoc_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmoc_gpusim.dir/device.cpp.o"
+  "CMakeFiles/antmoc_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/antmoc_gpusim.dir/device_memory.cpp.o"
+  "CMakeFiles/antmoc_gpusim.dir/device_memory.cpp.o.d"
+  "CMakeFiles/antmoc_gpusim.dir/thread_pool.cpp.o"
+  "CMakeFiles/antmoc_gpusim.dir/thread_pool.cpp.o.d"
+  "libantmoc_gpusim.a"
+  "libantmoc_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmoc_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

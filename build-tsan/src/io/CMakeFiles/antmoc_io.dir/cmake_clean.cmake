@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmoc_io.dir/writers.cpp.o"
+  "CMakeFiles/antmoc_io.dir/writers.cpp.o.d"
+  "libantmoc_io.a"
+  "libantmoc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmoc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/material/c5g7.cpp" "src/material/CMakeFiles/antmoc_material.dir/c5g7.cpp.o" "gcc" "src/material/CMakeFiles/antmoc_material.dir/c5g7.cpp.o.d"
+  "/root/repo/src/material/library_io.cpp" "src/material/CMakeFiles/antmoc_material.dir/library_io.cpp.o" "gcc" "src/material/CMakeFiles/antmoc_material.dir/library_io.cpp.o.d"
+  "/root/repo/src/material/material.cpp" "src/material/CMakeFiles/antmoc_material.dir/material.cpp.o" "gcc" "src/material/CMakeFiles/antmoc_material.dir/material.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/antmoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

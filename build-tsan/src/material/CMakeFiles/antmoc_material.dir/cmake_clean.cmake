@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmoc_material.dir/c5g7.cpp.o"
+  "CMakeFiles/antmoc_material.dir/c5g7.cpp.o.d"
+  "CMakeFiles/antmoc_material.dir/library_io.cpp.o"
+  "CMakeFiles/antmoc_material.dir/library_io.cpp.o.d"
+  "CMakeFiles/antmoc_material.dir/material.cpp.o"
+  "CMakeFiles/antmoc_material.dir/material.cpp.o.d"
+  "libantmoc_material.a"
+  "libantmoc_material.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmoc_material.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/c5g7_model.cpp" "src/models/CMakeFiles/antmoc_models.dir/c5g7_model.cpp.o" "gcc" "src/models/CMakeFiles/antmoc_models.dir/c5g7_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/geometry/CMakeFiles/antmoc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/material/CMakeFiles/antmoc_material.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/antmoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmoc_models.dir/c5g7_model.cpp.o"
+  "CMakeFiles/antmoc_models.dir/c5g7_model.cpp.o.d"
+  "libantmoc_models.a"
+  "libantmoc_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmoc_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmoc_partition.dir/graph.cpp.o"
+  "CMakeFiles/antmoc_partition.dir/graph.cpp.o.d"
+  "CMakeFiles/antmoc_partition.dir/load_mapper.cpp.o"
+  "CMakeFiles/antmoc_partition.dir/load_mapper.cpp.o.d"
+  "CMakeFiles/antmoc_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/antmoc_partition.dir/partitioner.cpp.o.d"
+  "libantmoc_partition.a"
+  "libantmoc_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmoc_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

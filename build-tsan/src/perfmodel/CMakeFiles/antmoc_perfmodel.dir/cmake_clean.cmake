@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmoc_perfmodel.dir/perfmodel.cpp.o"
+  "CMakeFiles/antmoc_perfmodel.dir/perfmodel.cpp.o.d"
+  "libantmoc_perfmodel.a"
+  "libantmoc_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmoc_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/cpu_solver.cpp" "src/solver/CMakeFiles/antmoc_solver.dir/cpu_solver.cpp.o" "gcc" "src/solver/CMakeFiles/antmoc_solver.dir/cpu_solver.cpp.o.d"
+  "/root/repo/src/solver/decomposition.cpp" "src/solver/CMakeFiles/antmoc_solver.dir/decomposition.cpp.o" "gcc" "src/solver/CMakeFiles/antmoc_solver.dir/decomposition.cpp.o.d"
+  "/root/repo/src/solver/domain_solver.cpp" "src/solver/CMakeFiles/antmoc_solver.dir/domain_solver.cpp.o" "gcc" "src/solver/CMakeFiles/antmoc_solver.dir/domain_solver.cpp.o.d"
+  "/root/repo/src/solver/fsr_data.cpp" "src/solver/CMakeFiles/antmoc_solver.dir/fsr_data.cpp.o" "gcc" "src/solver/CMakeFiles/antmoc_solver.dir/fsr_data.cpp.o.d"
+  "/root/repo/src/solver/gpu_solver.cpp" "src/solver/CMakeFiles/antmoc_solver.dir/gpu_solver.cpp.o" "gcc" "src/solver/CMakeFiles/antmoc_solver.dir/gpu_solver.cpp.o.d"
+  "/root/repo/src/solver/multi_gpu_solver.cpp" "src/solver/CMakeFiles/antmoc_solver.dir/multi_gpu_solver.cpp.o" "gcc" "src/solver/CMakeFiles/antmoc_solver.dir/multi_gpu_solver.cpp.o.d"
+  "/root/repo/src/solver/resilient_solver.cpp" "src/solver/CMakeFiles/antmoc_solver.dir/resilient_solver.cpp.o" "gcc" "src/solver/CMakeFiles/antmoc_solver.dir/resilient_solver.cpp.o.d"
+  "/root/repo/src/solver/solver2d.cpp" "src/solver/CMakeFiles/antmoc_solver.dir/solver2d.cpp.o" "gcc" "src/solver/CMakeFiles/antmoc_solver.dir/solver2d.cpp.o.d"
+  "/root/repo/src/solver/tallies.cpp" "src/solver/CMakeFiles/antmoc_solver.dir/tallies.cpp.o" "gcc" "src/solver/CMakeFiles/antmoc_solver.dir/tallies.cpp.o.d"
+  "/root/repo/src/solver/track_policy.cpp" "src/solver/CMakeFiles/antmoc_solver.dir/track_policy.cpp.o" "gcc" "src/solver/CMakeFiles/antmoc_solver.dir/track_policy.cpp.o.d"
+  "/root/repo/src/solver/transport_solver.cpp" "src/solver/CMakeFiles/antmoc_solver.dir/transport_solver.cpp.o" "gcc" "src/solver/CMakeFiles/antmoc_solver.dir/transport_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/track/CMakeFiles/antmoc_track.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/material/CMakeFiles/antmoc_material.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geometry/CMakeFiles/antmoc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gpusim/CMakeFiles/antmoc_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/comm/CMakeFiles/antmoc_comm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fault/CMakeFiles/antmoc_fault.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/antmoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

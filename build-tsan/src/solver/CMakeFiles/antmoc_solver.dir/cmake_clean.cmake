@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmoc_solver.dir/cpu_solver.cpp.o"
+  "CMakeFiles/antmoc_solver.dir/cpu_solver.cpp.o.d"
+  "CMakeFiles/antmoc_solver.dir/decomposition.cpp.o"
+  "CMakeFiles/antmoc_solver.dir/decomposition.cpp.o.d"
+  "CMakeFiles/antmoc_solver.dir/domain_solver.cpp.o"
+  "CMakeFiles/antmoc_solver.dir/domain_solver.cpp.o.d"
+  "CMakeFiles/antmoc_solver.dir/fsr_data.cpp.o"
+  "CMakeFiles/antmoc_solver.dir/fsr_data.cpp.o.d"
+  "CMakeFiles/antmoc_solver.dir/gpu_solver.cpp.o"
+  "CMakeFiles/antmoc_solver.dir/gpu_solver.cpp.o.d"
+  "CMakeFiles/antmoc_solver.dir/multi_gpu_solver.cpp.o"
+  "CMakeFiles/antmoc_solver.dir/multi_gpu_solver.cpp.o.d"
+  "CMakeFiles/antmoc_solver.dir/resilient_solver.cpp.o"
+  "CMakeFiles/antmoc_solver.dir/resilient_solver.cpp.o.d"
+  "CMakeFiles/antmoc_solver.dir/solver2d.cpp.o"
+  "CMakeFiles/antmoc_solver.dir/solver2d.cpp.o.d"
+  "CMakeFiles/antmoc_solver.dir/tallies.cpp.o"
+  "CMakeFiles/antmoc_solver.dir/tallies.cpp.o.d"
+  "CMakeFiles/antmoc_solver.dir/track_policy.cpp.o"
+  "CMakeFiles/antmoc_solver.dir/track_policy.cpp.o.d"
+  "CMakeFiles/antmoc_solver.dir/transport_solver.cpp.o"
+  "CMakeFiles/antmoc_solver.dir/transport_solver.cpp.o.d"
+  "libantmoc_solver.a"
+  "libantmoc_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmoc_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/track/generator2d.cpp" "src/track/CMakeFiles/antmoc_track.dir/generator2d.cpp.o" "gcc" "src/track/CMakeFiles/antmoc_track.dir/generator2d.cpp.o.d"
+  "/root/repo/src/track/quadrature.cpp" "src/track/CMakeFiles/antmoc_track.dir/quadrature.cpp.o" "gcc" "src/track/CMakeFiles/antmoc_track.dir/quadrature.cpp.o.d"
+  "/root/repo/src/track/track3d.cpp" "src/track/CMakeFiles/antmoc_track.dir/track3d.cpp.o" "gcc" "src/track/CMakeFiles/antmoc_track.dir/track3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/geometry/CMakeFiles/antmoc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/antmoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmoc_track.dir/generator2d.cpp.o"
+  "CMakeFiles/antmoc_track.dir/generator2d.cpp.o.d"
+  "CMakeFiles/antmoc_track.dir/quadrature.cpp.o"
+  "CMakeFiles/antmoc_track.dir/quadrature.cpp.o.d"
+  "CMakeFiles/antmoc_track.dir/track3d.cpp.o"
+  "CMakeFiles/antmoc_track.dir/track3d.cpp.o.d"
+  "libantmoc_track.a"
+  "libantmoc_track.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmoc_track.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

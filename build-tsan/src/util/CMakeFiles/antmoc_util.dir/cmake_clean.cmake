@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/antmoc_util.dir/cli.cpp.o"
+  "CMakeFiles/antmoc_util.dir/cli.cpp.o.d"
+  "CMakeFiles/antmoc_util.dir/config.cpp.o"
+  "CMakeFiles/antmoc_util.dir/config.cpp.o.d"
+  "CMakeFiles/antmoc_util.dir/log.cpp.o"
+  "CMakeFiles/antmoc_util.dir/log.cpp.o.d"
+  "CMakeFiles/antmoc_util.dir/timer.cpp.o"
+  "CMakeFiles/antmoc_util.dir/timer.cpp.o.d"
+  "libantmoc_util.a"
+  "libantmoc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/antmoc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_io_test.dir/library_io_test.cpp.o"
+  "CMakeFiles/library_io_test.dir/library_io_test.cpp.o.d"
+  "library_io_test"
+  "library_io_test.pdb"
+  "library_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/material_test.dir/material_test.cpp.o"
+  "CMakeFiles/material_test.dir/material_test.cpp.o.d"
+  "material_test"
+  "material_test.pdb"
+  "material_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/material_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_test.dir/param_test.cpp.o"
+  "CMakeFiles/param_test.dir/param_test.cpp.o.d"
+  "param_test"
+  "param_test.pdb"
+  "param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/solver2d_test.cpp" "tests/CMakeFiles/solver2d_test.dir/solver2d_test.cpp.o" "gcc" "tests/CMakeFiles/solver2d_test.dir/solver2d_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/models/CMakeFiles/antmoc_models.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/antmoc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/partition/CMakeFiles/antmoc_partition.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/perfmodel/CMakeFiles/antmoc_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/solver/CMakeFiles/antmoc_solver.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/comm/CMakeFiles/antmoc_comm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gpusim/CMakeFiles/antmoc_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fault/CMakeFiles/antmoc_fault.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/material/CMakeFiles/antmoc_material.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/track/CMakeFiles/antmoc_track.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/antmoc_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geometry/CMakeFiles/antmoc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/antmoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver2d_test.dir/solver2d_test.cpp.o"
+  "CMakeFiles/solver2d_test.dir/solver2d_test.cpp.o.d"
+  "solver2d_test"
+  "solver2d_test.pdb"
+  "solver2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tallies_test.dir/tallies_test.cpp.o"
+  "CMakeFiles/tallies_test.dir/tallies_test.cpp.o.d"
+  "tallies_test"
+  "tallies_test.pdb"
+  "tallies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tallies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/track_test.dir/track_test.cpp.o"
+  "CMakeFiles/track_test.dir/track_test.cpp.o.d"
+  "track_test"
+  "track_test.pdb"
+  "track_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/track_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

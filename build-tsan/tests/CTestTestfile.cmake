@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/comm_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/gpusim_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/geometry_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/material_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/track_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/solver_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/domain_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/perfmodel_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/partition_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/io_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/models_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/multi_gpu_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/subdivision_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/tallies_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/physics_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/param_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/features_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/solver2d_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/library_io_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/fault_test[1]_include.cmake")
