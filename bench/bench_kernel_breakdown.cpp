@@ -111,6 +111,7 @@ BENCHMARK(bm_otf_segment_walk);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry_scope("bench_kernel_breakdown");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   report_kernel_shares();

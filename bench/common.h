@@ -10,12 +10,15 @@
 
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "io/writers.h"
 #include "models/c5g7_model.h"
 #include "solver/transport_solver.h"
+#include "telemetry/exporters.h"
+#include "telemetry/telemetry.h"
 #include "track/generator2d.h"
 #include "track/track3d.h"
 
@@ -75,5 +78,36 @@ inline std::string fmt(double v, const char* spec = "%.4g") {
   std::snprintf(buf, sizeof buf, spec, v);
   return buf;
 }
+
+/// Opt-in bench observability: set ANTMOC_TELEMETRY=1 (or to a file
+/// prefix) in the environment and any bench holding a TelemetryScope
+/// records spans/metrics and writes <prefix>_trace.json plus
+/// <prefix>_metrics.jsonl on exit. Unset (the default), telemetry stays
+/// off and the bench measures the production fast path.
+class TelemetryScope {
+ public:
+  explicit TelemetryScope(const std::string& default_prefix) {
+    const char* env = std::getenv("ANTMOC_TELEMETRY");
+    if (env == nullptr || *env == '\0' || std::string(env) == "0") return;
+    telemetry::Config cfg;
+    cfg.enabled = true;
+    const std::string prefix =
+        std::string(env) == "1" ? default_prefix : std::string(env);
+    cfg.trace_path = prefix + "_trace.json";
+    cfg.metrics_path = prefix + "_metrics.jsonl";
+    telemetry::Telemetry::instance().set_config(cfg);
+  }
+
+  ~TelemetryScope() {
+    if (!telemetry::on()) return;
+    const auto cfg = telemetry::Telemetry::instance().config();
+    telemetry::export_all();
+    std::printf("telemetry: wrote %s and %s\n", cfg.trace_path.c_str(),
+                cfg.metrics_path.c_str());
+  }
+
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+};
 
 }  // namespace antmoc::bench

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Verifies the telemetry subsystem in both build configurations
+# (DESIGN.md §6, acceptance gate for the telemetry PR):
+#
+#   1. ANTMOC_TELEMETRY=ON  (default): full build + tests, then a c5g7
+#      run with --telemetry must emit a structurally valid Chrome
+#      trace_events JSON (kernel/comm/iteration spans, sane timestamps)
+#      and a JSONL metrics dump carrying per-CU utilization, per-rank
+#      comm bytes, and per-iteration residuals.
+#   2. ANTMOC_TELEMETRY=OFF (notelemetry preset): everything still
+#      builds and the full test suite passes with the hooks compiled out.
+#   3. Overhead: with telemetry compiled in but disabled, the
+#      bench_kernel_breakdown microbenches must stay within 5% of the
+#      compiled-out build.
+#
+# Usage: bench/run_telemetry_check.sh   (from the repo root)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc)
+
+echo "== [1/3] telemetry ON: build, tests, traced c5g7 run =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j"$JOBS" >/dev/null
+ctest --test-dir build -j"$JOBS" --output-on-failure >/dev/null
+ctest --test-dir build -L telemetry --output-on-failure >/dev/null
+echo "   tests green (full suite + telemetry label)"
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+(cd "$workdir" && "$OLDPWD/build/examples/c5g7_core" --telemetry \
+    --max_iterations=60 >run.log)
+
+trace="$workdir/antmoc_trace.json"
+metrics="$workdir/antmoc_metrics.jsonl"
+[ -s "$trace" ] || { echo "FAIL: no trace written"; exit 1; }
+[ -s "$metrics" ] || { echo "FAIL: no metrics written"; exit 1; }
+
+python3 - "$trace" "$metrics" <<'EOF'
+import json, sys
+
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events, "empty trace"
+last_ts = None
+names = set()
+for ev in events:
+    assert ev["ph"] in ("X", "i"), f"unexpected phase {ev['ph']}"
+    assert ev["ts"] >= 0
+    if ev["ph"] == "X":
+        assert ev["dur"] >= 0
+    if last_ts is not None:
+        assert ev["ts"] >= last_ts, "timestamps not sorted"
+    last_ts = ev["ts"]
+    names.add(ev["name"])
+for want in ("solver/iteration", "comm/send"):
+    assert want in names, f"missing span {want}: {sorted(names)[:20]}"
+assert any(n.startswith("kernel/") for n in names), "no kernel spans"
+
+kinds = set()
+metric_names = set()
+for line in open(sys.argv[2]):
+    obj = json.loads(line)
+    kinds.add(obj["type"])
+    metric_names.add(obj["name"])
+assert kinds == {"counter", "gauge", "histogram"}, kinds
+assert "gpusim.cu_utilization" in metric_names
+assert "solver.residual" in metric_names
+assert any(n.startswith("comm.bytes_sent[rank=") for n in metric_names)
+print(f"   trace OK: {len(events)} events, {len(names)} span names")
+print(f"   metrics OK: {len(metric_names)} metrics")
+EOF
+
+echo "== [2/3] telemetry OFF: notelemetry preset build + tests =="
+cmake -B build-notelemetry -S . -DCMAKE_BUILD_TYPE=Release \
+      -DANTMOC_TELEMETRY=OFF >/dev/null
+cmake --build build-notelemetry -j"$JOBS" >/dev/null
+ctest --test-dir build-notelemetry -j"$JOBS" --output-on-failure >/dev/null
+echo "   compiled-out build green"
+
+echo "== [3/3] disabled-telemetry overhead on bench_kernel_breakdown =="
+run_bench() {  # binary -> best-of-2 wall seconds for the full bench
+  local best t start end
+  best=""
+  for _ in 1 2; do
+    start=$(date +%s.%N)
+    "$1" >/dev/null 2>&1
+    end=$(date +%s.%N)
+    t=$(python3 -c "print($end - $start)")
+    if [ -z "$best" ] || python3 -c "exit(0 if $t < $best else 1)"; then
+      best=$t
+    fi
+  done
+  echo "$best"
+}
+on=$(run_bench build/bench/bench_kernel_breakdown)
+off=$(run_bench build-notelemetry/bench/bench_kernel_breakdown)
+python3 - "$on" "$off" <<'EOF'
+import sys
+on, off = float(sys.argv[1]), float(sys.argv[2])
+ratio = on / off if off > 0 else 1.0
+print(f"   compiled-in-but-disabled vs compiled-out: {ratio:.3f}x")
+assert ratio < 1.05, f"disabled-telemetry overhead {ratio:.3f}x exceeds 5%"
+EOF
+
+echo "telemetry check PASSED"

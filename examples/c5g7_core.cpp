@@ -7,13 +7,20 @@
 /// pin-power map, and a ParaView-compatible VTK volume — the Fig. 7 data).
 ///
 ///   ./c5g7_core [--config=examples/c5g7.yaml] [--pins=5] [--domains=2]
-///               [--device=true] [--rodded=A|B] [--out=./]
+///               [--device=true] [--rodded=A|B] [--out=./] [--telemetry]
+///
+/// With --telemetry (or telemetry.* config keys) the run additionally
+/// emits a Chrome trace (kernel, comm, and iteration spans) and a JSONL
+/// metrics dump (per-CU utilization, per-rank comm bytes, per-iteration
+/// residuals) — see DESIGN.md §6.
 
 #include <cstdio>
 
 #include "io/writers.h"
 #include "models/c5g7_model.h"
 #include "solver/domain_solver.h"
+#include "telemetry/exporters.h"
+#include "telemetry/telemetry.h"
 #include "util/cli.h"
 #include "util/log.h"
 #include "util/timer.h"
@@ -23,6 +30,7 @@ using namespace antmoc;
 int main(int argc, char** argv) {
   // --- Read Configuration (paper §3.1 stage 1) ----------------------------
   const Config cfg = parse_cli(argc, argv);
+  telemetry::Telemetry::instance().configure(cfg);
   models::C5G7Options mopt;
   mopt.pins_per_assembly = static_cast<int>(cfg.get_int("pins", 5));
   mopt.fuel_layers = static_cast<int>(cfg.get_int("fuel_layers", 3));
@@ -135,10 +143,19 @@ int main(int argc, char** argv) {
               "c5g7_fission_rate.vtk\n",
               out.c_str());
 
-  // Run log: per-stage execution times, the artifact's log-based analysis
-  // surface ("the execution time and storage usage of each stage ... can
-  // be analyzed through the log file").
-  std::printf("\n--- run log: stage timings ---\n%s",
-              TimerRegistry::instance().report().c_str());
+  // Run log. With telemetry on, the unified summary subsumes the plain
+  // stage-timer table and the trace/metrics files are written alongside.
+  if (telemetry::on()) {
+    std::printf("\n--- run log: telemetry summary ---\n%s",
+                telemetry::summary().c_str());
+    if (telemetry::export_all()) {
+      const auto tcfg = telemetry::Telemetry::instance().config();
+      std::printf("wrote %s (chrome://tracing) and %s\n",
+                  tcfg.trace_path.c_str(), tcfg.metrics_path.c_str());
+    }
+  } else {
+    std::printf("\n--- run log: stage timings ---\n%s",
+                TimerRegistry::instance().report().c_str());
+  }
   return run.result.converged ? 0 : 1;
 }

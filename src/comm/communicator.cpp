@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fault/fault.h"
+#include "telemetry/telemetry.h"
 #include "util/error.h"
 #include "util/log.h"
 
@@ -72,6 +73,14 @@ void Communicator::send(int dest, int tag, const void* data,
   require(dest >= 0 && dest < size(), "send: destination rank out of range");
   if (state_->poisoned.load(std::memory_order_acquire)) fail_peer("send");
   fault::point("comm.send", rank_);
+  telemetry::TraceSpan span("comm/send", "comm", rank_, -1, "bytes",
+                            static_cast<std::int64_t>(bytes));
+  if (telemetry::on()) {
+    auto& m = telemetry::metrics();
+    m.counter("comm.bytes_sent").add(bytes);
+    m.counter(telemetry::label("comm.bytes_sent", "rank", rank_)).add(bytes);
+    m.counter(telemetry::label("comm.messages_sent", "rank", rank_)).add(1);
+  }
   detail::Message msg;
   msg.source = rank_;
   msg.tag = tag;
@@ -91,6 +100,8 @@ void Communicator::send(int dest, int tag, const void* data,
 detail::Message Communicator::match(int source, int tag) {
   require(source >= 0 && source < size(), "recv: source rank out of range");
   fault::point("comm.recv", rank_);
+  telemetry::TraceSpan span("comm/recv", "comm", rank_, -1, "tag", tag);
+  telemetry::ScopedWait wait("comm.wait_us", rank_);
   auto& box = *state_->mailboxes[rank_];
   const auto deadline = state_->options.deadline;
   const auto give_up = std::chrono::steady_clock::now() + deadline;
@@ -137,15 +148,27 @@ void Communicator::recv(int source, int tag, void* data, std::size_t bytes) {
   require(msg.payload.size() == bytes,
           "recv: message size mismatch (expected " + std::to_string(bytes) +
               ", got " + std::to_string(msg.payload.size()) + ")");
+  record_recv(msg.payload.size());
   std::memcpy(data, msg.payload.data(), bytes);
 }
 
 std::vector<std::byte> Communicator::recv_bytes(int source, int tag) {
-  return match(source, tag).payload;
+  detail::Message msg = match(source, tag);
+  record_recv(msg.payload.size());
+  return std::move(msg.payload);
+}
+
+void Communicator::record_recv(std::size_t bytes) const {
+  if (!telemetry::on()) return;
+  auto& m = telemetry::metrics();
+  m.counter("comm.bytes_recv").add(bytes);
+  m.counter(telemetry::label("comm.bytes_recv", "rank", rank_)).add(bytes);
 }
 
 void Communicator::barrier() {
   fault::point("comm.barrier", rank_);
+  telemetry::TraceSpan span("comm/barrier", "comm", rank_);
+  telemetry::ScopedWait wait("comm.wait_us", rank_);
   auto& s = *state_;
   const auto deadline = s.options.deadline;
   const auto give_up = std::chrono::steady_clock::now() + deadline;
@@ -184,6 +207,9 @@ void Communicator::barrier() {
 
 void Communicator::allreduce(std::vector<double>& values, ReduceOp op) {
   fault::point("comm.allreduce", rank_);
+  telemetry::TraceSpan span("comm/allreduce", "comm", rank_, -1, "values",
+                            static_cast<std::int64_t>(values.size()));
+  telemetry::ScopedWait wait("comm.wait_us", rank_);
   auto& s = *state_;
   const auto deadline = s.options.deadline;
   const auto give_up = std::chrono::steady_clock::now() + deadline;

@@ -223,6 +223,9 @@ class Communicator {
   /// poison; the returned message is removed from the queue.
   detail::Message match(int source, int tag);
 
+  /// Telemetry hook: counts received payload bytes (total and per rank).
+  void record_recv(std::size_t bytes) const;
+
   /// Logs and throws PeerFailure carrying the recorded poison cause.
   [[noreturn]] void fail_peer(const char* op) const;
 

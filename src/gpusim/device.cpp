@@ -1,6 +1,9 @@
 #include "gpusim/device.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "telemetry/telemetry.h"
 
 namespace antmoc::gpusim {
 
@@ -10,6 +13,8 @@ Device::Device(DeviceSpec spec)
 KernelStats Device::launch_impl(
     const std::string& name, std::size_t num_items, Assignment assign,
     const std::function<double(std::size_t)>& body) {
+  telemetry::TraceSpan span("kernel/" + name, "gpusim", -1, -1, "items",
+                            static_cast<std::int64_t>(num_items));
   const int ncus = spec_.num_cus;
   KernelStats stats;
   stats.name = name;
@@ -59,10 +64,32 @@ KernelStats Device::launch_impl(
     acc.modeled_seconds += stats.modeled_seconds;
     acc.wall_seconds += stats.wall_seconds;
   }
+
+  // Per-CU busy/idle accounting: utilization of CU c over this launch is
+  // its busy cycles against the critical-path CU, the same MAX/AVG signal
+  // the paper's load-uniformity index (§5.4) is built from.
+  if (telemetry::on() && stats.max_cycles > 0.0) {
+    auto& m = telemetry::metrics();
+    m.counter("gpusim.kernel.launches").add(1);
+    m.counter("gpusim.kernel.items").add(num_items);
+    auto& util = m.histogram("gpusim.cu_utilization");
+    for (int c = 0; c < ncus; ++c) {
+      const double busy = stats.cu_cycles[c];
+      util.observe(busy / stats.max_cycles);
+      m.counter(telemetry::label("gpusim.cu_busy_cycles", "cu", c))
+          .add(static_cast<std::uint64_t>(std::llround(busy)));
+      m.counter(telemetry::label("gpusim.cu_idle_cycles", "cu", c))
+          .add(static_cast<std::uint64_t>(
+              std::llround(stats.max_cycles - busy)));
+    }
+    m.gauge("gpusim.load_uniformity").set(stats.load_uniformity());
+  }
   return stats;
 }
 
 double Device::dma_copy_to(Device& dst, std::size_t bytes) {
+  if (telemetry::on())
+    telemetry::metrics().counter("gpusim.dma_bytes").add(bytes);
   {
     std::lock_guard lock(stats_mutex_);
     dma_bytes_out_ += bytes;

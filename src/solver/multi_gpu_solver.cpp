@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "gpusim/atomic.h"
+#include "telemetry/telemetry.h"
 #include "util/error.h"
 
 namespace antmoc {
@@ -156,6 +157,17 @@ void MultiGpuSolver::sweep() {
           return manager_.track_cost(id);
         });
     last_cycles_[d] = stats.max_cycles;
+  }
+
+  // Node-level (L2) balance of this sweep: per-device busy cycles plus the
+  // cross-device DMA volume, the pair of signals §4.2.2 trades off.
+  if (telemetry::on()) {
+    auto& m = telemetry::metrics();
+    for (int d = 0; d < num_devices(); ++d)
+      m.gauge(telemetry::label("multigpu.device_cycles", "device", d))
+          .set(last_cycles_[d]);
+    m.gauge("multigpu.load_uniformity").set(device_load_uniformity());
+    m.counter("multigpu.sweep_dma_bytes").add(last_dma_bytes_);
   }
 }
 

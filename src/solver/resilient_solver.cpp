@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "telemetry/telemetry.h"
 #include "util/error.h"
 #include "util/log.h"
 
@@ -69,6 +70,13 @@ bool downgrade(GpuSolverOptions& gpu, const ResilientSolveOptions& options,
   step.to = gpu.policy;
   step.budget_bytes = gpu.resident_budget_bytes;
   steps.push_back(step);
+  // Ladder steps land in the trace as instants so the timeline shows *when*
+  // the solve shed capability, next to the kernel and comm spans.
+  telemetry::Telemetry::instance().instant(
+      "fault/downgrade", "fault", -1, "budget_bytes",
+      static_cast<std::int64_t>(step.budget_bytes));
+  if (telemetry::on())
+    telemetry::metrics().counter("resilient.downgrades").add(1);
   log::warn("resilient solve: device OOM with policy ", policy_name(step.from),
             " — downgrading to ", policy_name(step.to),
             step.to == TrackPolicy::kManaged
@@ -133,6 +141,10 @@ ResilientSolveReport solve_resilient(const TrackStacks& stacks,
           !file_exists(options.checkpoint_path))
         throw;
       ++report.restarts;
+      telemetry::Telemetry::instance().instant("fault/restart", "fault", -1,
+                                               "restart", report.restarts);
+      if (telemetry::on())
+        telemetry::metrics().counter("resilient.restarts").add(1);
       log::warn("resilient solve: iteration failed (", e.what(),
                 ") — resuming from checkpoint ", options.checkpoint_path,
                 " (restart ", report.restarts, "/", options.max_restarts,

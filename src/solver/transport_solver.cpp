@@ -6,6 +6,7 @@
 
 #include "fault/fault.h"
 #include "gpusim/atomic.h"
+#include "telemetry/telemetry.h"
 #include "util/error.h"
 #include "util/log.h"
 #include "util/timer.h"
@@ -113,11 +114,14 @@ SolveResult TransportSolver::solve_fixed_source(
                            ? options.fixed_iterations
                            : options.max_iterations;
   for (int iter = 1; iter <= max_iter; ++iter) {
+    telemetry::TraceSpan iter_span("solver/iteration", "solver", -1, -1,
+                                   "iteration", iter);
     fsr_.update_source_fixed(external);
     fsr_.zero_accumulator();
     std::fill(psi_next_.begin(), psi_next_.end(), 0.0f);
     {
       ScopedTimer sweep_probe("solver/transport_sweep");
+      telemetry::TraceSpan sweep_span("solver/transport_sweep", "solver");
       sweep();
     }
     exchange();
@@ -138,6 +142,7 @@ SolveResult TransportSolver::solve_fixed_source(
 
     result.iterations = iter;
     result.residual = residual;
+    if (telemetry::on()) telemetry::metrics().gauge("solver.residual").set(residual);
     if (options.verbose)
       log::info("fixed-source iter ", iter, "  residual=", residual);
     if (options.fixed_iterations <= 0 && iter >= 2 &&
@@ -238,6 +243,8 @@ SolveResult TransportSolver::solve(const SolveOptions& options) {
                            ? options.fixed_iterations
                            : options.max_iterations;
   for (int iter = 1; iter <= max_iter; ++iter) {
+    telemetry::TraceSpan iter_span("solver/iteration", "solver", -1, -1,
+                                   "iteration", iter);
     // Scriptable failure point for checkpoint/resume tests: a plan like
     // "solver.iteration throw solver nth=5" kills the 5th iteration.
     fault::point("solver.iteration");
@@ -245,9 +252,13 @@ SolveResult TransportSolver::solve(const SolveOptions& options) {
     std::fill(psi_next_.begin(), psi_next_.end(), 0.0f);
     {
       ScopedTimer sweep_probe("solver/transport_sweep");
+      telemetry::TraceSpan sweep_span("solver/transport_sweep", "solver");
       sweep();
     }
-    exchange();
+    {
+      telemetry::TraceSpan exchange_span("solver/exchange", "solver");
+      exchange();
+    }
     std::swap(psi_in_, psi_next_);
     fsr_.close_scalar_flux();
 
@@ -263,6 +274,12 @@ SolveResult TransportSolver::solve(const SolveOptions& options) {
     result.iterations = iter;
     result.k_eff = k_;
     fsr_.update_source(k_);
+    if (telemetry::on()) {
+      auto& m = telemetry::metrics();
+      m.gauge("solver.k_eff").set(k_);
+      m.gauge("solver.residual").set(result.residual);
+      m.counter("solver.iterations").add(1);
+    }
     if (options.on_iteration) options.on_iteration(iter, k_);
 
     if (options.verbose)

@@ -1,0 +1,276 @@
+#include "telemetry/exporters.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace antmoc::telemetry {
+
+#ifdef ANTMOC_TELEMETRY_DISABLED
+
+std::string chrome_trace_json() { return {}; }
+std::string metrics_jsonl() { return {}; }
+std::string summary() { return {}; }
+void write_chrome_trace(const std::string&) {}
+void write_metrics_jsonl(const std::string&) {}
+bool export_all() { return false; }
+
+#else
+
+namespace {
+
+/// JSON string escaping for the small character set our names can contain.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+/// Shared args object: rank/cu attribution plus the optional payload.
+std::string event_args(const TraceEvent& ev) {
+  std::string args;
+  auto append = [&](const std::string& piece) {
+    if (!args.empty()) args += ",";
+    args += piece;
+  };
+  if (ev.rank >= 0) append("\"rank\":" + std::to_string(ev.rank));
+  if (ev.cu >= 0) append("\"cu\":" + std::to_string(ev.cu));
+  if (ev.arg_name != nullptr) {
+    std::string pair = "\"";
+    pair += json_escape(ev.arg_name);
+    pair += "\":";
+    pair += std::to_string(ev.arg);
+    append(pair);
+  }
+  return args;
+}
+
+}  // namespace
+
+std::string chrome_trace_json() {
+  const auto events = Telemetry::instance().events();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ",\n";
+    first = false;
+    // Lanes: pid = rank (ranks render as separate "processes"), tid = the
+    // recording thread's ring id.
+    const int pid = ev.rank >= 0 ? ev.rank : 0;
+    out += "{\"name\":\"" + json_escape(ev.name) + "\",\"cat\":\"" +
+           json_escape(*ev.category ? ev.category : "default") + "\"";
+    if (ev.instant) {
+      out += ",\"ph\":\"i\",\"s\":\"t\"";
+    } else {
+      out += ",\"ph\":\"X\",\"dur\":" + std::to_string(ev.dur_us);
+    }
+    out += ",\"ts\":" + std::to_string(ev.ts_us) +
+           ",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":" + std::to_string(ev.tid);
+    const std::string args = event_args(ev);
+    if (!args.empty()) out += ",\"args\":{" + args + "}";
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string metrics_jsonl() {
+  auto& m = Telemetry::instance().metrics();
+  std::string out;
+  for (const std::string& name : m.counter_names()) {
+    out += "{\"type\":\"counter\",\"name\":\"";
+    out += json_escape(name);
+    out += "\",\"value\":";
+    out += std::to_string(m.counter(name).value());
+    out += "}\n";
+  }
+  for (const std::string& name : m.gauge_names()) {
+    const Gauge& g = m.gauge(name);
+    out += "{\"type\":\"gauge\",\"name\":\"";
+    out += json_escape(name);
+    out += "\",\"value\":";
+    out += fmt_double(g.value());
+    out += ",\"samples\":[";
+    bool first = true;
+    for (const auto& [ts, v] : g.samples()) {
+      if (!first) out += ",";
+      first = false;
+      out += "[";
+      out += std::to_string(ts);
+      out += ",";
+      out += fmt_double(v);
+      out += "]";
+    }
+    out += "]}\n";
+  }
+  for (const std::string& name : m.histogram_names()) {
+    const Histogram& h = m.histogram(name);
+    out += "{\"type\":\"histogram\",\"name\":\"";
+    out += json_escape(name);
+    out += "\",\"count\":";
+    out += std::to_string(h.count());
+    out += ",\"sum\":";
+    out += fmt_double(h.sum());
+    out += ",\"bounds\":[";
+    bool first = true;
+    for (double b : h.bounds()) {
+      if (!first) out += ",";
+      first = false;
+      out += fmt_double(b);
+    }
+    out += "],\"counts\":[";
+    first = true;
+    for (std::uint64_t c : h.counts()) {
+      if (!first) out += ",";
+      first = false;
+      out += std::to_string(c);
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+std::string summary() {
+  std::string out;
+  char line[200];
+
+  // Spans aggregated by name: the per-stage view the Chrome trace shows
+  // zoomed out, as text.
+  struct SpanAgg {
+    std::uint64_t count = 0;
+    std::uint64_t total_us = 0;
+    std::uint64_t max_us = 0;
+  };
+  std::map<std::string, SpanAgg> spans;
+  for (const TraceEvent& ev : Telemetry::instance().events()) {
+    if (ev.instant) continue;
+    auto& agg = spans[ev.name];
+    ++agg.count;
+    agg.total_us += ev.dur_us;
+    agg.max_us = std::max(agg.max_us, ev.dur_us);
+  }
+  if (!spans.empty()) {
+    out += "--- spans (count, total, max) ---\n";
+    std::vector<std::pair<std::string, SpanAgg>> rows(spans.begin(),
+                                                      spans.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second.total_us > b.second.total_us;
+    });
+    for (const auto& [name, agg] : rows) {
+      std::snprintf(line, sizeof line, "%-40s %8llu %12.6f s %12.6f s\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(agg.count),
+                    agg.total_us * 1e-6, agg.max_us * 1e-6);
+      out += line;
+    }
+  }
+
+  auto& m = Telemetry::instance().metrics();
+  if (!m.counter_names().empty()) {
+    out += "--- counters ---\n";
+    for (const std::string& name : m.counter_names()) {
+      std::snprintf(line, sizeof line, "%-40s %20llu\n", name.c_str(),
+                    static_cast<unsigned long long>(m.counter(name).value()));
+      out += line;
+    }
+  }
+  if (!m.gauge_names().empty()) {
+    out += "--- gauges (last value) ---\n";
+    for (const std::string& name : m.gauge_names()) {
+      std::snprintf(line, sizeof line, "%-40s %20.9g\n", name.c_str(),
+                    m.gauge(name).value());
+      out += line;
+    }
+  }
+  if (!m.histogram_names().empty()) {
+    out += "--- histograms (count, mean) ---\n";
+    for (const std::string& name : m.histogram_names()) {
+      const Histogram& h = m.histogram(name);
+      const double mean = h.count() > 0 ? h.sum() / h.count() : 0.0;
+      std::snprintf(line, sizeof line, "%-40s %12llu %16.6g\n", name.c_str(),
+                    static_cast<unsigned long long>(h.count()), mean);
+      out += line;
+    }
+  }
+
+  // The wall-clock stage table this report subsumes.
+  const std::string timers = TimerRegistry::instance().report();
+  if (!timers.empty()) out += "--- stage timers ---\n" + timers;
+
+  const std::uint64_t dropped = Telemetry::instance().dropped_events();
+  if (dropped > 0) {
+    std::snprintf(line, sizeof line,
+                  "(%llu trace events dropped to ring wrap-around; raise "
+                  "telemetry.span_capacity)\n",
+                  static_cast<unsigned long long>(dropped));
+    out += line;
+  }
+  return out;
+}
+
+namespace {
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail<Error>("telemetry: cannot open for writing: " + path);
+  out << content;
+  require(static_cast<bool>(out), "telemetry: write failed: " + path);
+}
+}  // namespace
+
+void write_chrome_trace(const std::string& path) {
+  write_file(path, chrome_trace_json());
+}
+
+void write_metrics_jsonl(const std::string& path) {
+  write_file(path, metrics_jsonl());
+}
+
+bool export_all() {
+  if (!Telemetry::enabled()) return false;
+  const Config cfg = Telemetry::instance().config();
+  bool wrote = false;
+  if (!cfg.trace_path.empty()) {
+    write_chrome_trace(cfg.trace_path);
+    wrote = true;
+  }
+  if (!cfg.metrics_path.empty()) {
+    write_metrics_jsonl(cfg.metrics_path);
+    wrote = true;
+  }
+  return wrote;
+}
+
+#endif  // ANTMOC_TELEMETRY_DISABLED
+
+}  // namespace antmoc::telemetry

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file exporters.h
+/// Serializers for the telemetry subsystem (DESIGN.md §6):
+///
+///   * chrome_trace_json() — the recorded spans as Chrome `trace_events`
+///     JSON (complete "X" and instant "i" events; load the file at
+///     chrome://tracing or ui.perfetto.dev). pid lanes map to comm ranks.
+///   * metrics_jsonl() — one JSON object per line for every counter,
+///     gauge (with its sample series), and histogram; machine-diffable,
+///     the format the bench harness records runs in.
+///   * summary() — the human-readable run report: spans aggregated by
+///     name, top counters/gauges, and the TimerRegistry stage table it
+///     subsumes.
+///   * export_all() — writes whatever the active telemetry::Config asks
+///     for (trace_path / metrics_path); a no-op when telemetry is off.
+///
+/// In ANTMOC_TELEMETRY=OFF builds all of these exist but return empty
+/// strings / write nothing.
+
+#include <string>
+
+namespace antmoc::telemetry {
+
+std::string chrome_trace_json();
+std::string metrics_jsonl();
+std::string summary();
+
+void write_chrome_trace(const std::string& path);
+void write_metrics_jsonl(const std::string& path);
+
+/// Exports to the paths in Telemetry::config(); returns true if anything
+/// was written.
+bool export_all();
+
+}  // namespace antmoc::telemetry

@@ -1,0 +1,270 @@
+#include "telemetry/telemetry.h"
+
+#ifndef ANTMOC_TELEMETRY_DISABLED
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/config.h"
+
+namespace antmoc::telemetry {
+
+std::uint64_t now_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point origin = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                            origin)
+          .count());
+}
+
+std::string label(const char* base, const char* key, long v) {
+  return std::string(base) + "[" + key + "=" + std::to_string(v) + "]";
+}
+
+// ----------------------------------------------------------------- Gauge ---
+
+void Gauge::set(double v) {
+  const std::uint64_t ts = now_us();
+  std::lock_guard lock(mutex_);
+  last_ = v;
+  if (samples_.size() < capacity_) samples_.emplace_back(ts, v);
+}
+
+double Gauge::value() const {
+  std::lock_guard lock(mutex_);
+  return last_;
+}
+
+std::vector<std::pair<std::uint64_t, double>> Gauge::samples() const {
+  std::lock_guard lock(mutex_);
+  return samples_;
+}
+
+// ------------------------------------------------------------- Histogram ---
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  return total_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+// ------------------------------------------------------- MetricsRegistry ---
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>(gauge_capacity_);
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    if (bounds.empty())
+      bounds = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0};
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+namespace {
+template <class Map>
+std::vector<std::string> sorted_keys(const Map& map) {
+  std::vector<std::string> out;
+  out.reserve(map.size());
+  for (const auto& [name, _] : map) out.push_back(name);
+  return out;
+}
+}  // namespace
+
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  std::lock_guard lock(mutex_);
+  return sorted_keys(counters_);
+}
+
+std::vector<std::string> MetricsRegistry::gauge_names() const {
+  std::lock_guard lock(mutex_);
+  return sorted_keys(gauges_);
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::lock_guard lock(mutex_);
+  return sorted_keys(histograms_);
+}
+
+void MetricsRegistry::set_gauge_capacity(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  gauge_capacity_ = capacity;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+// --------------------------------------------------------------- Telemetry ---
+
+std::atomic<int> Telemetry::enabled_{0};
+
+Telemetry& Telemetry::instance() {
+  static Telemetry telemetry;
+  return telemetry;
+}
+
+void Telemetry::set_enabled(bool on) {
+  enabled_.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void Telemetry::configure(const antmoc::Config& run_config) {
+  Config cfg;
+  cfg.enabled = run_config.get_bool("telemetry", false) ||
+                run_config.get_bool("telemetry.enabled", false);
+  cfg.trace_path = run_config.get_string("telemetry.trace", std::string());
+  cfg.metrics_path =
+      run_config.get_string("telemetry.metrics", std::string());
+  cfg.span_capacity = static_cast<std::size_t>(run_config.get_int(
+      "telemetry.span_capacity", static_cast<long>(cfg.span_capacity)));
+  cfg.gauge_capacity = static_cast<std::size_t>(run_config.get_int(
+      "telemetry.gauge_capacity", static_cast<long>(cfg.gauge_capacity)));
+  if (cfg.enabled && cfg.trace_path.empty())
+    cfg.trace_path = "antmoc_trace.json";
+  if (cfg.enabled && cfg.metrics_path.empty())
+    cfg.metrics_path = "antmoc_metrics.jsonl";
+  set_config(cfg);
+}
+
+void Telemetry::set_config(const Config& config) {
+  {
+    std::lock_guard lock(mutex_);
+    config_ = config;
+  }
+  metrics_.clear();
+  metrics_.set_gauge_capacity(config.gauge_capacity);
+  set_enabled(config.enabled);
+}
+
+Config Telemetry::config() const {
+  std::lock_guard lock(mutex_);
+  return config_;
+}
+
+const char* Telemetry::intern(const std::string& s) {
+  std::lock_guard lock(mutex_);
+  for (const auto& owned : intern_)
+    if (*owned == s) return owned->c_str();
+  intern_.push_back(std::make_unique<std::string>(s));
+  return intern_.back()->c_str();
+}
+
+detail::ThreadBuffer& Telemetry::local_buffer() {
+  thread_local detail::ThreadBuffer* buffer = nullptr;
+  thread_local const Telemetry* owner = nullptr;
+  if (buffer == nullptr || owner != this) {
+    std::lock_guard lock(mutex_);
+    const auto tid = static_cast<std::uint32_t>(buffers_.size());
+    buffers_.push_back(std::make_unique<detail::ThreadBuffer>(
+        tid, std::max<std::size_t>(config_.span_capacity, 16)));
+    buffer = buffers_.back().get();
+    owner = this;
+  }
+  return *buffer;
+}
+
+void Telemetry::record(const TraceEvent& ev) { local_buffer().push(ev); }
+
+void Telemetry::instant(const char* name, const char* category,
+                        std::int32_t rank, const char* arg_name,
+                        std::int64_t arg) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.instant = true;
+  ev.ts_us = now_us();
+  ev.rank = rank;
+  ev.arg_name = arg_name;
+  ev.arg = arg;
+  record(ev);
+}
+
+std::vector<TraceEvent> Telemetry::events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& buf : buffers_) {
+      const std::uint64_t head = buf->head.load(std::memory_order_acquire);
+      const std::uint64_t cap = buf->slots.size();
+      const std::uint64_t n = std::min(head, cap);
+      for (std::uint64_t i = head - n; i < head; ++i)
+        out.push_back(buf->slots[i % cap]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  return out;
+}
+
+std::uint64_t Telemetry::dropped_events() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& buf : buffers_)
+    total += buf->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Telemetry::reset() {
+  {
+    std::lock_guard lock(mutex_);
+    // Rings stay registered (thread_local pointers into buffers_ must
+    // remain valid) but forget their contents.
+    for (auto& buf : buffers_) {
+      buf->head.store(0, std::memory_order_relaxed);
+      buf->dropped.store(0, std::memory_order_relaxed);
+    }
+  }
+  metrics_.clear();
+}
+
+ScopedWait::~ScopedWait() {
+  if (base_ == nullptr || !Telemetry::enabled()) return;
+  const std::uint64_t waited = now_us() - t0_;
+  auto& m = Telemetry::instance().metrics();
+  m.counter(base_).add(waited);
+  if (rank_ >= 0) m.counter(label(base_, "rank", rank_)).add(waited);
+}
+
+}  // namespace antmoc::telemetry
+
+#endif  // ANTMOC_TELEMETRY_DISABLED

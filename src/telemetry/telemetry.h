@@ -1,0 +1,453 @@
+#pragma once
+
+/// \file telemetry.h
+/// Unified observability for the ANT-MOC reproduction (DESIGN.md §6).
+///
+/// The paper's central claims are measurements — per-kernel cycle shares
+/// (§3.2), CU-level MAX/AVG load uniformity (§5.4), and neighbor-exchange
+/// communication volume (Eq. 7). This subsystem collects those signals in
+/// one place so they can be correlated per iteration and exported:
+///
+///   * MetricsRegistry — named counters, gauges (with a bounded time
+///     series), and fixed-bucket histograms; all operations thread-safe.
+///   * TraceSpan — RAII begin/end probes recorded into per-thread
+///     lock-free ring buffers with rank/CU/iteration attribution; the
+///     exporters turn them into Chrome `trace_events` JSON.
+///   * Telemetry — the process-wide switchboard: a runtime on/off gate
+///     (one relaxed atomic load when off, mirroring fault::point()), the
+///     active telemetry::Config, buffer registration, and snapshots.
+///
+/// Off by default. Enable per run with `--telemetry` (or `telemetry.*`
+/// config keys; see Config below), or compile every hook out with
+/// `-DANTMOC_TELEMETRY=OFF` — the disabled header below replaces the whole
+/// API with empty inlines so call sites vanish entirely.
+///
+/// Concurrency contract: each ring buffer has exactly one producer (its
+/// owning thread); exporters snapshot after the producing threads have
+/// quiesced (e.g. after Runtime::run() joins its ranks), matching how every
+/// run-summary path in this repo already behaves.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace antmoc {
+class Config;
+}
+
+namespace antmoc::telemetry {
+
+/// Telemetry run configuration, filled from `telemetry.*` config keys.
+struct Config {
+  bool enabled = false;            ///< telemetry / telemetry.enabled
+  std::string trace_path;          ///< telemetry.trace — Chrome JSON output
+  std::string metrics_path;        ///< telemetry.metrics — JSONL output
+  std::size_t span_capacity = 1 << 16;  ///< telemetry.span_capacity (events
+                                        ///< per thread ring)
+  std::size_t gauge_capacity = 4096;    ///< telemetry.gauge_capacity
+                                        ///< (samples kept per gauge series)
+};
+
+#ifdef ANTMOC_TELEMETRY_DISABLED
+
+// ---------------------------------------------------------------------------
+// Compiled-out variant: the entire API as empty inlines. Call sites keep
+// compiling; the optimizer erases them (telemetry::on() is constexpr false,
+// so every `if (telemetry::on())` block is dead code).
+// ---------------------------------------------------------------------------
+
+constexpr bool compiled() { return false; }
+constexpr bool on() { return false; }
+inline std::uint64_t now_us() { return 0; }
+
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  bool instant = false;
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;
+  std::int32_t rank = -1;
+  std::int32_t cu = -1;
+  const char* arg_name = nullptr;
+  std::int64_t arg = 0;
+};
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) {}
+  std::uint64_t value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  void set(double) {}
+  double value() const { return 0.0; }
+  std::vector<std::pair<std::uint64_t, double>> samples() const { return {}; }
+};
+
+class Histogram {
+ public:
+  void observe(double) {}
+  std::uint64_t count() const { return 0; }
+  double sum() const { return 0.0; }
+  std::vector<double> bounds() const { return {}; }
+  std::vector<std::uint64_t> counts() const { return {}; }
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string&) { return counter_; }
+  Gauge& gauge(const std::string&) { return gauge_; }
+  Histogram& histogram(const std::string&, std::vector<double> = {}) {
+    return histogram_;
+  }
+  std::vector<std::string> counter_names() const { return {}; }
+  std::vector<std::string> gauge_names() const { return {}; }
+  std::vector<std::string> histogram_names() const { return {}; }
+  void set_gauge_capacity(std::size_t) {}
+  void clear() {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+class Telemetry {
+ public:
+  static Telemetry& instance() {
+    static Telemetry t;
+    return t;
+  }
+  static constexpr bool enabled() { return false; }
+  void set_enabled(bool) {}
+  void configure(const antmoc::Config&) {}
+  void set_config(const Config&) {}
+  Config config() const { return {}; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const char* intern(const std::string&) { return ""; }
+  void record(const TraceEvent&) {}
+  void instant(const char*, const char*, std::int32_t = -1,
+               const char* = nullptr, std::int64_t = 0) {}
+  std::vector<TraceEvent> events() const { return {}; }
+  std::uint64_t dropped_events() const { return 0; }
+  void reset() {}
+
+ private:
+  MetricsRegistry metrics_;
+};
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const std::string&, const char* = "",
+                     std::int32_t = -1, std::int32_t = -1,
+                     const char* = nullptr, std::int64_t = 0) {}
+  explicit TraceSpan(const char*, const char* = "", std::int32_t = -1,
+                     std::int32_t = -1, const char* = nullptr,
+                     std::int64_t = 0) {}
+  void set_arg(const char*, std::int64_t) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+class ScopedWait {
+ public:
+  ScopedWait(const char*, std::int32_t) {}
+  ScopedWait(const ScopedWait&) = delete;
+  ScopedWait& operator=(const ScopedWait&) = delete;
+};
+
+inline MetricsRegistry& metrics() { return Telemetry::instance().metrics(); }
+inline std::string label(const char* base, const char* key, long v) {
+  (void)base;
+  (void)key;
+  (void)v;
+  return {};
+}
+
+#else  // telemetry compiled in
+
+constexpr bool compiled() { return true; }
+
+/// Microseconds since process start on the steady clock — the timestamp
+/// base of every trace event, so ts + dur comparisons are always coherent.
+std::uint64_t now_us();
+
+/// One recorded probe. `name`/`category`/`arg_name` are interned pointers
+/// (stable for the process lifetime) so events stay trivially copyable and
+/// ring-buffer slots never allocate.
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  bool instant = false;       ///< Chrome "i" event (no duration)
+  std::uint64_t ts_us = 0;    ///< begin timestamp
+  std::uint64_t dur_us = 0;   ///< duration (complete "X" events)
+  std::uint32_t tid = 0;      ///< recording thread's buffer id
+  std::int32_t rank = -1;     ///< comm rank attribution (-1 = none)
+  std::int32_t cu = -1;       ///< CU attribution (-1 = none)
+  const char* arg_name = nullptr;  ///< optional payload label
+  std::int64_t arg = 0;            ///< optional payload value
+};
+
+/// Monotonic counter. add() is one relaxed atomic fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value gauge that also keeps a bounded (timestamp, value) series so
+/// per-iteration signals (k_eff, residual) survive into the JSONL dump.
+class Gauge {
+ public:
+  explicit Gauge(std::size_t capacity) : capacity_(capacity) {}
+
+  void set(double v);
+  double value() const;
+  std::vector<std::pair<std::uint64_t, double>> samples() const;
+
+ private:
+  mutable std::mutex mutex_;
+  double last_ = 0.0;
+  std::size_t capacity_;
+  std::vector<std::pair<std::uint64_t, double>> samples_;
+};
+
+/// Fixed-bucket histogram: counts_[i] tallies observations <= bounds_[i],
+/// with one overflow bucket past the last bound. Lock-free observe().
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  std::uint64_t count() const;
+  double sum() const;
+  std::vector<double> bounds() const { return bounds_; }
+  std::vector<std::uint64_t> counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named metrics. Lookup takes a registry mutex; returned references stay
+/// valid for the registry's lifetime, so hot paths may cache them.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(std::size_t gauge_capacity = 4096)
+      : gauge_capacity_(gauge_capacity) {}
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies only on first creation; the default is a utilization
+  /// ladder suited to [0, 1]-ish observations.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  std::vector<std::string> counter_names() const;
+  std::vector<std::string> gauge_names() const;
+  std::vector<std::string> histogram_names() const;
+
+  /// Applies to gauges created after the call (set_config installs it
+  /// before any metric exists).
+  void set_gauge_capacity(std::size_t capacity);
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t gauge_capacity_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+namespace detail {
+
+/// Single-producer ring of TraceEvents. The owning thread writes a slot
+/// then publishes head with release; snapshots read head with acquire.
+/// When full it wraps, overwriting the oldest events and counting drops.
+struct ThreadBuffer {
+  ThreadBuffer(std::uint32_t tid, std::size_t capacity)
+      : tid(tid), slots(capacity) {}
+
+  void push(TraceEvent ev) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    if (h >= slots.size()) dropped.fetch_add(1, std::memory_order_relaxed);
+    ev.tid = tid;
+    slots[h % slots.size()] = ev;
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  std::uint32_t tid;
+  std::vector<TraceEvent> slots;
+  std::atomic<std::uint64_t> head{0};
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+}  // namespace detail
+
+/// Process-wide telemetry switchboard.
+class Telemetry {
+ public:
+  static Telemetry& instance();
+
+  /// The whole cost of every hook in a telemetry-off run: one relaxed
+  /// atomic load and a predicted branch.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed) != 0;
+  }
+
+  void set_enabled(bool on);
+
+  /// Applies `telemetry.*` keys from a run configuration: `telemetry` /
+  /// `telemetry.enabled` (bool), `telemetry.trace`, `telemetry.metrics`,
+  /// `telemetry.span_capacity`, `telemetry.gauge_capacity`. When enabled
+  /// with no explicit paths, trace/metrics default to
+  /// "antmoc_trace.json" / "antmoc_metrics.jsonl".
+  void configure(const antmoc::Config& run_config);
+  void set_config(const Config& config);
+  Config config() const;
+
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Returns a stable pointer for `s`, deduplicated process-wide. Span
+  /// names are few (kernel and stage names), so the table stays tiny.
+  const char* intern(const std::string& s);
+
+  /// Appends `ev` to the calling thread's ring buffer.
+  void record(const TraceEvent& ev);
+
+  /// Records a zero-duration "i" event (degradation-ladder steps etc.).
+  void instant(const char* name, const char* category,
+               std::int32_t rank = -1, const char* arg_name = nullptr,
+               std::int64_t arg = 0);
+
+  /// Snapshot of all recorded events across threads, sorted by timestamp.
+  std::vector<TraceEvent> events() const;
+
+  /// Events lost to ring wrap-around since the last reset().
+  std::uint64_t dropped_events() const;
+
+  /// Clears rings and metrics (tests and multi-run binaries).
+  void reset();
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+ private:
+  Telemetry() = default;
+
+  detail::ThreadBuffer& local_buffer();
+
+  static std::atomic<int> enabled_;
+  mutable std::mutex mutex_;  // guards config_, buffers_, intern_
+  Config config_;
+  std::vector<std::unique_ptr<detail::ThreadBuffer>> buffers_;
+  std::vector<std::unique_ptr<std::string>> intern_;
+  MetricsRegistry metrics_;
+};
+
+/// RAII span: records one complete ("X") trace event covering its
+/// lifetime. Construction is a no-op when telemetry is off.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const std::string& name, const char* category = "",
+                     std::int32_t rank = -1, std::int32_t cu = -1,
+                     const char* arg_name = nullptr, std::int64_t arg = 0) {
+    if (!Telemetry::enabled()) return;
+    begin(Telemetry::instance().intern(name), category, rank, cu, arg_name,
+          arg);
+  }
+
+  /// Literal-name overload: the pointer is stored as-is (no interning), so
+  /// hot call sites pay no string construction even when enabled.
+  explicit TraceSpan(const char* name, const char* category = "",
+                     std::int32_t rank = -1, std::int32_t cu = -1,
+                     const char* arg_name = nullptr, std::int64_t arg = 0) {
+    if (!Telemetry::enabled()) return;
+    begin(name, category, rank, cu, arg_name, arg);
+  }
+
+  ~TraceSpan() {
+    if (!active_) return;
+    ev_.dur_us = now_us() - ev_.ts_us;
+    Telemetry::instance().record(ev_);
+  }
+
+  /// Attaches (or replaces) the payload after construction, e.g. once a
+  /// received byte count is known.
+  void set_arg(const char* name, std::int64_t value) {
+    ev_.arg_name = name;
+    ev_.arg = value;
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void begin(const char* name, const char* category, std::int32_t rank,
+             std::int32_t cu, const char* arg_name, std::int64_t arg) {
+    active_ = true;
+    ev_.name = name;
+    ev_.category = category;
+    ev_.rank = rank;
+    ev_.cu = cu;
+    ev_.arg_name = arg_name;
+    ev_.arg = arg;
+    ev_.ts_us = now_us();
+  }
+
+  bool active_ = false;
+  TraceEvent ev_;
+};
+
+/// RAII wait-time probe: adds its lifetime in microseconds to the counter
+/// "<base>[rank=R]" (plus the unlabeled "<base>" total). Used by blocking
+/// comm calls so per-rank wait time lands in the metrics dump.
+class ScopedWait {
+ public:
+  ScopedWait(const char* base, std::int32_t rank) {
+    if (!Telemetry::enabled()) return;
+    base_ = base;
+    rank_ = rank;
+    t0_ = now_us();
+  }
+  ~ScopedWait();
+
+  ScopedWait(const ScopedWait&) = delete;
+  ScopedWait& operator=(const ScopedWait&) = delete;
+
+ private:
+  const char* base_ = nullptr;
+  std::int32_t rank_ = -1;
+  std::uint64_t t0_ = 0;
+};
+
+/// True when telemetry is both compiled in and runtime-enabled. Hooks are
+/// written as `if (telemetry::on()) { ... }`.
+inline bool on() { return Telemetry::enabled(); }
+
+inline MetricsRegistry& metrics() { return Telemetry::instance().metrics(); }
+
+/// Canonical labeled-metric name: "base[key=v]".
+std::string label(const char* base, const char* key, long v);
+
+#endif  // ANTMOC_TELEMETRY_DISABLED
+
+}  // namespace antmoc::telemetry

@@ -15,7 +15,16 @@ namespace antmoc {
 /// Simple restartable stopwatch.
 class Timer {
  public:
-  void start() { start_ = clock::now(); running_ = true; }
+  /// Starts (or restarts) the watch. Calling start() while already running
+  /// banks the in-flight interval into the total first, so no measured
+  /// time is ever silently discarded.
+  void start() {
+    const auto now = clock::now();
+    if (running_)
+      total_ += std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    running_ = true;
+  }
 
   /// Stops the watch and adds the elapsed interval to the accumulated total.
   void stop() {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <numeric>
 #include <vector>
 
@@ -237,6 +238,80 @@ TEST(Comm, ManyRanksNeighborRing) {
     comm.send(next, 1, out);
     comm.recv(prev, 1, in);
     EXPECT_EQ(in[0], prev);
+  });
+}
+
+// ------------------------------------------- Byte accounting (per rank) ---
+// The per-source-rank bytes_sent counters back the paper's Eq. 7
+// communication-volume validation (and telemetry's comm.bytes_sent
+// metrics), so they must match actual payload sizes exactly.
+
+TEST(CommBytes, SendAndRecvBytesCountExactPayload) {
+  const std::uint64_t total = Runtime::run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> payload(13, 2.0);  // 104 bytes
+      comm.send(1, 5, payload);
+      EXPECT_EQ(comm.bytes_sent(), 104u);
+      EXPECT_EQ(comm.messages_sent(), 1u);
+    } else {
+      const auto raw = comm.recv_bytes(0, 5);
+      EXPECT_EQ(raw.size(), 104u);
+      EXPECT_EQ(comm.bytes_sent(), 0u);
+      EXPECT_EQ(comm.messages_sent(), 0u);
+    }
+    comm.barrier();
+    EXPECT_EQ(comm.total_bytes_sent(), 104u);
+  });
+  EXPECT_EQ(total, 104u);
+}
+
+TEST(CommBytes, ZeroLengthMessageCountsZeroBytesOneMessage) {
+  const std::uint64_t total = Runtime::run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> empty;
+      comm.send(1, 9, empty);
+      EXPECT_EQ(comm.bytes_sent(), 0u);
+      EXPECT_EQ(comm.messages_sent(), 1u);
+    } else {
+      const auto raw = comm.recv_bytes(0, 9);
+      EXPECT_TRUE(raw.empty());
+    }
+    comm.barrier();
+    EXPECT_EQ(comm.total_bytes_sent(), 0u);
+  });
+  EXPECT_EQ(total, 0u);
+}
+
+TEST(CommBytes, BroadcastChargesRootOncePerReceiver) {
+  Runtime::run(4, [](Communicator& comm) {
+    std::vector<float> v(8, comm.rank() == 2 ? 3.0f : 0.0f);  // 32 bytes
+    comm.broadcast(v, /*root=*/2);
+    comm.barrier();
+    if (comm.rank() == 2) {
+      EXPECT_EQ(comm.bytes_sent(), 3u * 32u);
+      EXPECT_EQ(comm.messages_sent(), 3u);
+    } else {
+      EXPECT_EQ(comm.bytes_sent(), 0u);
+      EXPECT_EQ(comm.messages_sent(), 0u);
+    }
+    EXPECT_EQ(comm.total_bytes_sent(), 96u);
+  });
+}
+
+TEST(CommBytes, GatherChargesEveryNonRootItsContribution) {
+  Runtime::run(3, [](Communicator& comm) {
+    const std::vector<int> local{comm.rank(), comm.rank()};  // 8 bytes
+    std::vector<int> all;
+    comm.gather(local, all, /*root=*/0);
+    comm.barrier();
+    if (comm.rank() == 0) {
+      EXPECT_EQ(comm.bytes_sent(), 0u);
+      EXPECT_EQ(comm.messages_sent(), 0u);
+    } else {
+      EXPECT_EQ(comm.bytes_sent(), 2u * sizeof(int));
+      EXPECT_EQ(comm.messages_sent(), 1u);
+    }
+    EXPECT_EQ(comm.total_bytes_sent(), 16u);
   });
 }
 

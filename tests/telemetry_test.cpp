@@ -1,0 +1,403 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "comm/runtime.h"
+#include "gpusim/device.h"
+#include "telemetry/exporters.h"
+#include "telemetry/telemetry.h"
+#include "util/cli.h"
+#include "util/config.h"
+#include "util/timer.h"
+
+namespace antmoc::telemetry {
+namespace {
+
+/// Arms telemetry for one test and guarantees the next test starts clean.
+class TelemetryOn {
+ public:
+  explicit TelemetryOn(std::size_t span_capacity = 1 << 12) {
+    Config cfg;
+    cfg.enabled = true;
+    cfg.span_capacity = span_capacity;
+    Telemetry::instance().set_config(cfg);
+    Telemetry::instance().reset();
+  }
+  ~TelemetryOn() {
+    Telemetry::instance().reset();
+    Telemetry::instance().set_enabled(false);
+  }
+};
+
+// ------------------------------------------------------------- Metrics ---
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry m;
+  m.counter("hits").add();
+  m.counter("hits").add(41);
+  EXPECT_EQ(m.counter("hits").value(), 42u);
+  EXPECT_EQ(m.counter("misses").value(), 0u);
+}
+
+TEST(Metrics, CounterIsThreadSafe) {
+  MetricsRegistry m;
+  auto& c = m.counter("contended");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 80000u);
+}
+
+TEST(Metrics, GaugeKeepsLastValueAndSeries) {
+  MetricsRegistry m;
+  auto& g = m.gauge("k_eff");
+  g.set(1.0);
+  g.set(1.1);
+  g.set(1.05);
+  EXPECT_DOUBLE_EQ(g.value(), 1.05);
+  const auto samples = g.samples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(samples[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(samples[2].second, 1.05);
+  // Timestamps never run backwards within a series.
+  EXPECT_LE(samples[0].first, samples[1].first);
+  EXPECT_LE(samples[1].first, samples[2].first);
+}
+
+TEST(Metrics, GaugeSeriesIsBoundedButLastValueIsNot) {
+  MetricsRegistry m(/*gauge_capacity=*/4);
+  auto& g = m.gauge("residual");
+  for (int i = 0; i < 10; ++i) g.set(i);
+  EXPECT_EQ(g.samples().size(), 4u);
+  EXPECT_DOUBLE_EQ(g.value(), 9.0);  // last value still tracks past the cap
+}
+
+TEST(Metrics, HistogramBucketsObservations) {
+  MetricsRegistry m;
+  auto& h = m.histogram("util", {0.5, 1.0});
+  h.observe(0.2);   // <= 0.5
+  h.observe(0.5);   // <= 0.5 (bounds are inclusive upper edges)
+  h.observe(0.75);  // <= 1.0
+  h.observe(2.0);   // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 3.45);
+  EXPECT_EQ(h.counts(), (std::vector<std::uint64_t>{2, 1, 1}));
+}
+
+TEST(Metrics, LabelFormatsCanonically) {
+  EXPECT_EQ(label("comm.bytes_sent", "rank", 3), "comm.bytes_sent[rank=3]");
+}
+
+// --------------------------------------------------------------- Spans ---
+
+TEST(Spans, NothingRecordedWhileDisabled) {
+  Telemetry::instance().reset();
+  Telemetry::instance().set_enabled(false);
+  { TraceSpan span("ghost", "test"); }
+  Telemetry::instance().instant("ghost-instant", "test");
+  EXPECT_TRUE(Telemetry::instance().events().empty());
+}
+
+TEST(Spans, RecordsCompleteEventWithAttribution) {
+  TelemetryOn scope;
+  {
+    TraceSpan span("solve", "solver", /*rank=*/2, /*cu=*/-1, "iteration", 7);
+  }
+  const auto events = Telemetry::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "solve");
+  EXPECT_STREQ(events[0].category, "solver");
+  EXPECT_FALSE(events[0].instant);
+  EXPECT_EQ(events[0].rank, 2);
+  EXPECT_STREQ(events[0].arg_name, "iteration");
+  EXPECT_EQ(events[0].arg, 7);
+}
+
+TEST(Spans, StringNamesAreInternedOnce) {
+  TelemetryOn scope;
+  const std::string name = "kernel/transport_sweep";
+  { TraceSpan a(name, "gpusim"); }
+  { TraceSpan b(name, "gpusim"); }
+  const auto events = Telemetry::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, events[1].name);  // same interned pointer
+}
+
+TEST(Spans, TimestampsAreMonotonicallyConsistent) {
+  TelemetryOn scope;
+  {
+    TraceSpan outer("outer", "test");
+    TraceSpan inner("inner", "test");
+  }
+  { TraceSpan later("later", "test"); }
+  const auto events = Telemetry::instance().events();
+  ASSERT_EQ(events.size(), 3u);
+  // events() sorts by begin timestamp; every span must fit inside the
+  // recorded order (begin_i <= begin_{i+1}) and have a sane duration.
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].ts_us, events[i].ts_us);
+  // "later" begins at or after "outer" ends.
+  const auto& outer = events[0];
+  const auto& later = events[2];
+  EXPECT_LE(outer.ts_us + outer.dur_us, later.ts_us);
+}
+
+TEST(Spans, RingWrapsAndCountsDrops) {
+  TelemetryOn scope(/*span_capacity=*/16);
+  // A fresh thread gets a fresh ring sized by the active config.
+  std::thread producer([] {
+    for (int i = 0; i < 50; ++i) TraceSpan span("spin", "test");
+  });
+  producer.join();
+  EXPECT_EQ(Telemetry::instance().events().size(), 16u);
+  EXPECT_EQ(Telemetry::instance().dropped_events(), 50u - 16u);
+}
+
+TEST(Spans, ThreadsGetDistinctBuffers) {
+  TelemetryOn scope;
+  std::thread a([] { TraceSpan span("from-a", "test"); });
+  a.join();
+  std::thread b([] { TraceSpan span("from-b", "test"); });
+  b.join();
+  const auto events = Telemetry::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(Spans, InstantEventsCarryPayload) {
+  TelemetryOn scope;
+  Telemetry::instance().instant("fault/downgrade", "fault", 1,
+                                "budget_bytes", 4096);
+  const auto events = Telemetry::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].instant);
+  EXPECT_EQ(events[0].rank, 1);
+  EXPECT_EQ(events[0].arg, 4096);
+}
+
+TEST(Spans, ScopedWaitFeedsRankedCounters) {
+  TelemetryOn scope;
+  { ScopedWait wait("comm.wait_us", 3); }
+  auto& m = metrics();
+  // Both the total and the per-rank bucket exist (durations may be 0 us on
+  // a fast machine, so assert on registration, not magnitude).
+  const auto names = m.counter_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "comm.wait_us"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "comm.wait_us[rank=3]"),
+            names.end());
+}
+
+// ------------------------------------------------------------ Exporters ---
+
+TEST(Exporters, ChromeTraceIsValidTraceEvents) {
+  TelemetryOn scope;
+  { TraceSpan span("kernel/sweep", "gpusim", 0, -1, "items", 10); }
+  Telemetry::instance().instant("fault/downgrade", "fault");
+  const std::string json = chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"kernel/sweep\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"rank\":0,\"items\":10}"),
+            std::string::npos);
+  // Structural sanity: braces and brackets balance.
+  long braces = 0, brackets = 0;
+  for (char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Exporters, MetricsJsonlListsEveryMetricKind) {
+  TelemetryOn scope;
+  auto& m = metrics();
+  m.counter("comm.bytes_sent[rank=0]").add(1234);
+  m.gauge("solver.residual").set(0.5);
+  m.gauge("solver.residual").set(0.25);
+  m.histogram("gpusim.cu_utilization").observe(0.9);
+  const std::string jsonl = metrics_jsonl();
+  EXPECT_NE(jsonl.find("{\"type\":\"counter\",\"name\":\"comm.bytes_sent"
+                       "[rank=0]\",\"value\":1234}"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"gauge\",\"name\":\"solver.residual\""),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"value\":0.25"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"histogram\""), std::string::npos);
+  // One JSON object per line, every line self-contained.
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    const std::size_t end = jsonl.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    EXPECT_EQ(jsonl[start], '{');
+    EXPECT_EQ(jsonl[end - 1], '}');
+    start = end + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3u);
+}
+
+TEST(Exporters, SummarySubsumesTimerRegistry) {
+  TelemetryOn scope;
+  TimerRegistry::instance().clear();
+  TimerRegistry::instance().add("solver/solve", 1.5);
+  { TraceSpan span("solver/iteration", "solver"); }
+  metrics().counter("solver.iterations").add(3);
+  const std::string text = summary();
+  EXPECT_NE(text.find("solver/iteration"), std::string::npos);
+  EXPECT_NE(text.find("solver.iterations"), std::string::npos);
+  EXPECT_NE(text.find("stage timers"), std::string::npos);
+  EXPECT_NE(text.find("solver/solve"), std::string::npos);
+  TimerRegistry::instance().clear();
+}
+
+TEST(Exporters, ExportAllWritesConfiguredPaths) {
+  Config cfg;
+  cfg.enabled = true;
+  cfg.trace_path = "telemetry_test_trace.json";
+  cfg.metrics_path = "telemetry_test_metrics.jsonl";
+  Telemetry::instance().set_config(cfg);
+  Telemetry::instance().reset();
+  { TraceSpan span("export-me", "test"); }
+  metrics().counter("exported").add(1);
+  EXPECT_TRUE(export_all());
+  Telemetry::instance().reset();
+  Telemetry::instance().set_enabled(false);
+
+  std::ifstream trace(cfg.trace_path);
+  std::ifstream jsonl(cfg.metrics_path);
+  ASSERT_TRUE(trace.good());
+  ASSERT_TRUE(jsonl.good());
+  std::string trace_text((std::istreambuf_iterator<char>(trace)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(trace_text.find("export-me"), std::string::npos);
+  std::remove(cfg.trace_path.c_str());
+  std::remove(cfg.metrics_path.c_str());
+}
+
+// ---------------------------------------------------------- Configuring ---
+
+TEST(Configure, OffByDefault) {
+  antmoc::Config run_cfg = antmoc::Config::parse("tolerance: 1e-5\n");
+  Telemetry::instance().configure(run_cfg);
+  EXPECT_FALSE(Telemetry::enabled());
+  EXPECT_FALSE(Telemetry::instance().config().enabled);
+}
+
+TEST(Configure, CliFlagEnablesWithDefaultPaths) {
+  const char* argv[] = {"prog", "--telemetry"};
+  const antmoc::Config run_cfg = antmoc::parse_cli(2, argv);
+  Telemetry::instance().configure(run_cfg);
+  const Config cfg = Telemetry::instance().config();
+  EXPECT_TRUE(cfg.enabled);
+  EXPECT_EQ(cfg.trace_path, "antmoc_trace.json");
+  EXPECT_EQ(cfg.metrics_path, "antmoc_metrics.jsonl");
+  Telemetry::instance().set_enabled(false);
+}
+
+TEST(Configure, DottedKeysOverrideEverything) {
+  antmoc::Config run_cfg = antmoc::Config::parse(
+      "telemetry:\n"
+      "  enabled: true\n"
+      "  trace: my_trace.json\n"
+      "  metrics: my_metrics.jsonl\n"
+      "  span_capacity: 128\n"
+      "  gauge_capacity: 16\n");
+  Telemetry::instance().configure(run_cfg);
+  const Config cfg = Telemetry::instance().config();
+  EXPECT_TRUE(cfg.enabled);
+  EXPECT_EQ(cfg.trace_path, "my_trace.json");
+  EXPECT_EQ(cfg.metrics_path, "my_metrics.jsonl");
+  EXPECT_EQ(cfg.span_capacity, 128u);
+  EXPECT_EQ(cfg.gauge_capacity, 16u);
+  Telemetry::instance().set_enabled(false);
+}
+
+// ----------------------------------------------------------- Integration ---
+
+TEST(Integration, DeviceLaunchRecordsKernelSpanAndCuUtilization) {
+  TelemetryOn scope;
+  gpusim::Device device(gpusim::DeviceSpec::scaled(std::size_t{1} << 24, 4));
+  device.launch("probe", 64, gpusim::Assignment::kRoundRobin,
+                [](std::size_t) { return 10.0; });
+  const auto events = Telemetry::instance().events();
+  bool saw_kernel = false;
+  for (const auto& ev : events)
+    if (std::string(ev.name) == "kernel/probe") saw_kernel = true;
+  EXPECT_TRUE(saw_kernel);
+
+  auto& m = metrics();
+  EXPECT_EQ(m.counter("gpusim.kernel.launches").value(), 1u);
+  EXPECT_EQ(m.counter("gpusim.kernel.items").value(), 64u);
+  // 64 equal items over 4 CUs: every CU fully busy, utilization 1.0.
+  EXPECT_EQ(m.histogram("gpusim.cu_utilization").count(), 4u);
+  EXPECT_EQ(m.counter("gpusim.cu_busy_cycles[cu=0]").value(), 160u);
+  EXPECT_EQ(m.counter("gpusim.cu_idle_cycles[cu=0]").value(), 0u);
+  EXPECT_DOUBLE_EQ(m.gauge("gpusim.load_uniformity").value(), 1.0);
+}
+
+TEST(Integration, CommTrafficLandsInPerRankCounters) {
+  TelemetryOn scope;
+  comm::Runtime::run(2, [](comm::Communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> payload(16, 1.0);  // 128 B
+      comm.send(1, 42, payload);
+    } else {
+      std::vector<double> in;
+      comm.recv(0, 42, in);
+    }
+    comm.barrier();
+  });
+  auto& m = metrics();
+  EXPECT_EQ(m.counter("comm.bytes_sent[rank=0]").value(), 128u);
+  EXPECT_EQ(m.counter("comm.bytes_recv[rank=1]").value(), 128u);
+  EXPECT_EQ(m.counter("comm.bytes_sent").value(), 128u);
+  EXPECT_EQ(m.counter("comm.messages_sent[rank=0]").value(), 1u);
+
+  // The trace carries rank-attributed comm spans from both sides.
+  bool saw_send = false, saw_recv = false, saw_barrier = false;
+  for (const auto& ev : Telemetry::instance().events()) {
+    const std::string name = ev.name;
+    if (name == "comm/send" && ev.rank == 0) saw_send = true;
+    if (name == "comm/recv" && ev.rank == 1) saw_recv = true;
+    if (name == "comm/barrier") saw_barrier = true;
+  }
+  EXPECT_TRUE(saw_send);
+  EXPECT_TRUE(saw_recv);
+  EXPECT_TRUE(saw_barrier);
+}
+
+TEST(Integration, DisabledTelemetryRecordsNoCommMetrics) {
+  Telemetry::instance().reset();
+  Telemetry::instance().set_enabled(false);
+  comm::Runtime::run(2, [](comm::Communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> payload(4, 1.0);
+      comm.send(1, 7, payload);
+    } else {
+      std::vector<double> in;
+      comm.recv(0, 7, in);
+    }
+  });
+  EXPECT_TRUE(Telemetry::instance().events().empty());
+  EXPECT_TRUE(metrics().counter_names().empty());
+}
+
+}  // namespace
+}  // namespace antmoc::telemetry

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <set>
 
@@ -196,6 +197,24 @@ TEST(Timer, AccumulatesAcrossStartStop) {
   EXPECT_GE(t.seconds(), 0.0);
   t.reset();
   EXPECT_EQ(t.seconds(), 0.0);
+}
+
+TEST(Timer, RestartWhileRunningBanksInFlightInterval) {
+  // Regression: start() on a running timer used to overwrite the start
+  // point, silently discarding the interval measured so far.
+  using clock = std::chrono::steady_clock;
+  const auto spin_ms = [](int ms) {
+    const auto until = clock::now() + std::chrono::milliseconds(ms);
+    while (clock::now() < until) {
+    }
+  };
+  Timer t;
+  t.start();
+  spin_ms(10);
+  t.start();  // must bank the first ~10 ms, not drop it
+  spin_ms(10);
+  t.stop();
+  EXPECT_GE(t.seconds(), 0.018);
 }
 
 TEST(TimerRegistry, AccumulatesNamedBuckets) {
