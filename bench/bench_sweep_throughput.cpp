@@ -1,0 +1,170 @@
+/// \file bench_sweep_throughput.cpp
+/// The sweep hot-path baseline every future perf PR benches against:
+///   1. Host fork-join sweep scaling — CpuSolver wall s/iteration and 3D
+///      segments/second over a worker sweep 1..N (N = max(4, hardware
+///      threads), capped at 8).
+///   2. Device FSR-tally strategy — GpuSolver atomic fallback
+///      (sweep.privatize=off) versus per-CU privatized tallies with the
+///      deterministic reduction kernel (sweep.privatize=force).
+/// Emits BENCH_sweep.json (path = argv[1], default ./BENCH_sweep.json);
+/// bench/run_sweep_gate.sh validates it and enforces the speedup bars.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "solver/cpu_solver.h"
+#include "solver/gpu_solver.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace antmoc;
+using namespace antmoc::bench;
+
+constexpr int kIterations = 5;
+
+struct RunResult {
+  double seconds_per_iter = 0.0;
+  double segments_per_second = 0.0;
+  double k_eff = 0.0;
+  long segments_per_sweep = 0;
+};
+
+RunResult timed_solve(TransportSolver& solver) {
+  SolveOptions opts;
+  opts.fixed_iterations = kIterations;
+  Timer t;
+  t.start();
+  const SolveResult r = solver.solve(opts);
+  t.stop();
+  RunResult out;
+  out.seconds_per_iter = t.seconds() / kIterations;
+  out.segments_per_sweep = solver.last_sweep_segments();
+  out.segments_per_second =
+      out.seconds_per_iter > 0.0
+          ? static_cast<double>(out.segments_per_sweep) /
+                out.seconds_per_iter
+          : 0.0;
+  out.k_eff = r.k_eff;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TelemetryScope telemetry_scope("bench_sweep_throughput");
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_sweep.json";
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned max_workers =
+      std::min(std::max(4u, hw == 0 ? 1u : hw), 8u);
+
+  Problem p(scaled_core(), 4, 0.3, 2, 1.5);
+
+  // --- 1. Host worker sweep ------------------------------------------------
+  std::vector<std::pair<unsigned, RunResult>> host;
+  for (unsigned w = 1; w <= max_workers; ++w) {
+    CpuSolver solver(p.stacks, p.model.materials, w);
+    host.emplace_back(w, timed_solve(solver));
+  }
+
+  const RunResult& serial = host.front().second;
+  const RunResult* best_parallel = nullptr;
+  unsigned best_workers = 0;
+  for (const auto& [w, r] : host) {
+    if (w == 1) continue;
+    if (best_parallel == nullptr ||
+        r.seconds_per_iter < best_parallel->seconds_per_iter) {
+      best_parallel = &r;
+      best_workers = w;
+    }
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [w, r] : host)
+    rows.push_back({std::to_string(w), fmt(r.seconds_per_iter, "%.4f"),
+                    fmt(r.segments_per_second, "%.4g"),
+                    fmt(serial.seconds_per_iter / r.seconds_per_iter,
+                        "%.2fx")});
+  print_table("Host sweep scaling (CpuSolver, " +
+                  std::to_string(kIterations) + " fixed iterations, " +
+                  std::to_string(hw) + " hardware threads)",
+              {"workers", "s/iter", "segments/s", "speedup"}, rows);
+
+  // --- 2. Device tally strategy: atomics vs privatized ---------------------
+  auto gpu_run = [&](PrivatizeMode mode) {
+    gpusim::Device device(
+        gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 16));
+    GpuSolverOptions opts;
+    opts.policy = TrackPolicy::kManaged;
+    opts.resident_budget_bytes = std::size_t{2} << 20;
+    opts.privatize = mode;
+    GpuSolver solver(p.stacks, p.model.materials, device, opts);
+    return timed_solve(solver);
+  };
+  const RunResult atomic = gpu_run(PrivatizeMode::kOff);
+  const RunResult privatized = gpu_run(PrivatizeMode::kForce);
+
+  print_table(
+      "Device FSR-tally strategy (GpuSolver, 16 CUs)",
+      {"strategy", "s/iter", "segments/s"},
+      {{"atomic (sweep.privatize=off)", fmt(atomic.seconds_per_iter, "%.4f"),
+        fmt(atomic.segments_per_second, "%.4g")},
+       {"privatized (sweep.privatize=force)",
+        fmt(privatized.seconds_per_iter, "%.4f"),
+        fmt(privatized.segments_per_second, "%.4g")}});
+
+  // --- 3. BENCH_sweep.json -------------------------------------------------
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"sweep_throughput\",\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"fixed_iterations\": %d,\n"
+               "  \"segments_per_sweep\": %ld,\n"
+               "  \"host\": {\n"
+               "    \"serial\": {\"workers\": 1, "
+               "\"seconds_per_iteration\": %.9g, "
+               "\"segments_per_second\": %.9g, \"k_eff\": %.12f},\n",
+               hw, kIterations, serial.segments_per_sweep,
+               serial.seconds_per_iter, serial.segments_per_second,
+               serial.k_eff);
+  std::fprintf(f, "    \"workers\": [\n");
+  for (std::size_t i = 0; i < host.size(); ++i) {
+    const auto& [w, r] = host[i];
+    std::fprintf(f,
+                 "      {\"workers\": %u, \"seconds_per_iteration\": %.9g, "
+                 "\"segments_per_second\": %.9g, \"k_eff\": %.12f}%s\n",
+                 w, r.seconds_per_iter, r.segments_per_second, r.k_eff,
+                 i + 1 < host.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "    ],\n"
+               "    \"best_parallel\": {\"workers\": %u, "
+               "\"seconds_per_iteration\": %.9g, "
+               "\"segments_per_second\": %.9g, \"k_eff\": %.12f}\n"
+               "  },\n",
+               best_workers, best_parallel->seconds_per_iter,
+               best_parallel->segments_per_second, best_parallel->k_eff);
+  std::fprintf(f,
+               "  \"device\": {\n"
+               "    \"atomic\": {\"seconds_per_iteration\": %.9g, "
+               "\"segments_per_second\": %.9g, \"k_eff\": %.12f},\n"
+               "    \"privatized\": {\"seconds_per_iteration\": %.9g, "
+               "\"segments_per_second\": %.9g, \"k_eff\": %.12f}\n"
+               "  }\n"
+               "}\n",
+               atomic.seconds_per_iter, atomic.segments_per_second,
+               atomic.k_eff, privatized.seconds_per_iter,
+               privatized.segments_per_second, privatized.k_eff);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

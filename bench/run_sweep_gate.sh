@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Sweep-throughput performance gate (DESIGN.md §7). Runs
+# bench_sweep_throughput, validates the BENCH_sweep.json it emits, and
+# enforces the perf bars:
+#
+#   * JSON must be well-formed with every expected field, else FAIL.
+#   * Every configuration (serial host, each worker count, device atomic,
+#     device privatized) must agree on k_eff — the parallel sweep and the
+#     privatized tallies are refactorings, not physics changes.
+#   * Privatized device tallies must be no slower than the atomic
+#     fallback (x1.10 slack for timer noise).
+#   * On hosts with >= 4 hardware threads, the best parallel CpuSolver
+#     sweep must be >= 2x faster than serial. On smaller hosts (CI
+#     containers are often 1-2 cores) parallel can only oversubscribe, so
+#     the bar is relaxed to "within x1.25 of serial".
+#
+# Usage: bench/run_sweep_gate.sh [build-dir]   (from the repo root;
+#        build-dir defaults to ./build and must already contain the bench)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+BIN="$BUILD/bench/bench_sweep_throughput"
+
+if [ ! -x "$BIN" ]; then
+  echo "FAIL: $BIN not built (cmake --build $BUILD --target" \
+       "bench_sweep_throughput)"
+  exit 1
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+json="$workdir/BENCH_sweep.json"
+
+echo "== sweep gate: running bench_sweep_throughput =="
+"$BIN" "$json"
+
+[ -s "$json" ] || { echo "FAIL: bench wrote no BENCH_sweep.json"; exit 1; }
+
+python3 - "$json" <<'EOF'
+import json, sys
+
+try:
+    data = json.load(open(sys.argv[1]))
+except Exception as e:
+    sys.exit(f"FAIL: BENCH_sweep.json is malformed: {e}")
+
+def need(obj, key, ctx):
+    if key not in obj:
+        sys.exit(f"FAIL: missing field {ctx}.{key}")
+    return obj[key]
+
+assert need(data, "bench", "") == "sweep_throughput", "wrong bench tag"
+hw = need(data, "hardware_threads", "")
+need(data, "fixed_iterations", "")
+segments = need(data, "segments_per_sweep", "")
+assert segments > 0, "segments_per_sweep must be positive"
+
+host = need(data, "host", "")
+serial = need(host, "serial", "host")
+best = need(host, "best_parallel", "host")
+workers = need(host, "workers", "host")
+assert len(workers) >= 2, "worker sweep must cover at least 1..2"
+
+device = need(data, "device", "")
+atomic = need(device, "atomic", "device")
+priv = need(device, "privatized", "device")
+
+runs = [("serial", serial), ("best_parallel", best),
+        ("device.atomic", atomic), ("device.privatized", priv)] + [
+        (f"workers[{w['workers']}]", w) for w in workers]
+for name, r in runs:
+    s = need(r, "seconds_per_iteration", name)
+    assert s > 0, f"{name}: non-positive seconds_per_iteration"
+    assert need(r, "segments_per_second", name) > 0, \
+        f"{name}: non-positive segments_per_second"
+
+# Physics invariance: every configuration solves the same problem.
+ks = [(name, need(r, "k_eff", name)) for name, r in runs]
+k0 = ks[0][1]
+assert k0 > 0, "serial k_eff must be positive"
+for name, k in ks:
+    assert abs(k - k0) < 1e-7, \
+        f"FAIL: {name} k_eff {k} deviates from serial {k0}"
+
+# Privatized device tallies must not lose to the atomic fallback.
+ratio = priv["seconds_per_iteration"] / atomic["seconds_per_iteration"]
+print(f"   device privatized vs atomic: {ratio:.3f}x "
+      f"(bar: <= 1.10)")
+assert ratio <= 1.10, \
+    f"FAIL: privatized tallies {ratio:.3f}x slower than atomics"
+
+# Host scaling bar, calibrated to the machine.
+speedup = serial["seconds_per_iteration"] / best["seconds_per_iteration"]
+print(f"   host best parallel ({best['workers']} workers): "
+      f"{speedup:.2f}x vs serial on {hw} hardware threads")
+if hw >= 4:
+    assert speedup >= 2.0, \
+        f"FAIL: parallel sweep speedup {speedup:.2f}x < 2x on {hw} threads"
+else:
+    assert speedup >= 1.0 / 1.25, \
+        (f"FAIL: parallel sweep {1.0/speedup:.2f}x slower than serial "
+         f"(> x1.25 oversubscription slack on {hw} threads)")
+
+print(f"   JSON OK: {len(workers)} worker points, "
+      f"{segments} segments/sweep")
+EOF
+
+echo "sweep gate PASSED"

@@ -57,6 +57,15 @@ int main(int argc, char** argv) {
   params.gpu_options.policy = TrackPolicy::kManaged;
   params.gpu_options.resident_budget_bytes =
       static_cast<std::size_t>(params.device_spec.memory_bytes * 0.384);
+  // Sweep hot-path knobs: host fork-join width and the device FSR-tally
+  // strategy (auto | off | force; see DESIGN.md §7).
+  params.sweep_workers =
+      static_cast<unsigned>(cfg.get_int("sweep.workers", 0));
+  const std::string privatize = cfg.get_string("sweep.privatize", "auto");
+  params.gpu_options.privatize =
+      privatize == "off"     ? PrivatizeMode::kOff
+      : privatize == "force" ? PrivatizeMode::kForce
+                             : PrivatizeMode::kAuto;
 
   // --- Geometry Construction (stage 2) ------------------------------------
   const models::C5G7Model model = models::build_core(mopt);

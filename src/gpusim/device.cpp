@@ -12,7 +12,7 @@ Device::Device(DeviceSpec spec)
 
 KernelStats Device::launch_impl(
     const std::string& name, std::size_t num_items, Assignment assign,
-    const std::function<double(std::size_t)>& body) {
+    const std::function<double(std::size_t, int)>& body) {
   telemetry::TraceSpan span("kernel/" + name, "gpusim", -1, -1, "items",
                             static_cast<std::int64_t>(num_items));
   const int ncus = spec_.num_cus;
@@ -37,11 +37,12 @@ KernelStats Device::launch_impl(
          c += static_cast<int>(workers)) {
       double cycles = 0.0;
       if (assign == Assignment::kRoundRobin) {
-        for (std::size_t i = c; i < num_items; i += ncus) cycles += body(i);
+        for (std::size_t i = c; i < num_items; i += ncus)
+          cycles += body(i, c);
       } else {
         const std::size_t begin = c * chunk;
         const std::size_t end = std::min(num_items, begin + chunk);
-        for (std::size_t i = begin; i < end; ++i) cycles += body(i);
+        for (std::size_t i = begin; i < end; ++i) cycles += body(i, c);
       }
       stats.cu_cycles[c] = cycles;
     }

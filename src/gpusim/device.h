@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <type_traits>
 
 #include "gpusim/device_memory.h"
 #include "gpusim/device_spec.h"
@@ -38,16 +39,25 @@ class Device {
   }
 
   /// Launches a kernel over `num_items` items.
-  /// `body(item)` performs the item's work and returns its simulated cost
-  /// in cycles. Items are mapped to CUs per `assign`; each CU's items are
-  /// processed sequentially by the worker owning that CU, so two items on
-  /// the same CU never race, while items on different CUs may run
-  /// concurrently (use device_atomic_add for shared accumulators).
+  /// `body(item)` — or `body(item, cu)` for kernels that keep per-CU
+  /// private state, e.g. privatized tallies — performs the item's work and
+  /// returns its simulated cost in cycles. Items are mapped to CUs per
+  /// `assign`; each CU's items are processed sequentially by the worker
+  /// owning that CU, so two items on the same CU never race, while items
+  /// on different CUs may run concurrently (use device_atomic_add for
+  /// shared accumulators, or index private state by `cu`).
   template <class Body>
   KernelStats launch(const std::string& name, std::size_t num_items,
                      Assignment assign, Body&& body) {
-    return launch_impl(name, num_items, assign,
-                       std::function<double(std::size_t)>(body));
+    if constexpr (std::is_invocable_v<Body&, std::size_t, int>) {
+      return launch_impl(name, num_items, assign,
+                         std::function<double(std::size_t, int)>(body));
+    } else {
+      return launch_impl(
+          name, num_items, assign,
+          std::function<double(std::size_t, int)>(
+              [&body](std::size_t i, int) { return body(i); }));
+    }
   }
 
   /// Records a device-to-device copy: byte accounting plus modeled time.
@@ -64,9 +74,9 @@ class Device {
   double modeled_seconds_total() const;
 
  private:
-  KernelStats launch_impl(const std::string& name, std::size_t num_items,
-                          Assignment assign,
-                          const std::function<double(std::size_t)>& body);
+  KernelStats launch_impl(
+      const std::string& name, std::size_t num_items, Assignment assign,
+      const std::function<double(std::size_t, int)>& body);
 
   DeviceSpec spec_;
   DeviceMemory memory_;

@@ -47,6 +47,46 @@ class DeviceMemory {
   std::map<std::string, std::size_t> by_label_;
 };
 
+/// RAII accounting-only charge against a device arena: models structures
+/// whose bytes live on the device but whose host mirror is shared (e.g. a
+/// decoded-track cache used by several solvers). Move-only.
+class ScopedCharge {
+ public:
+  ScopedCharge() = default;
+  ScopedCharge(DeviceMemory& arena, std::string label, std::size_t bytes)
+      : arena_(&arena), label_(std::move(label)), bytes_(bytes) {
+    arena_->charge(label_, bytes_);
+  }
+  ~ScopedCharge() { release(); }
+
+  ScopedCharge(ScopedCharge&& o) noexcept
+      : arena_(o.arena_), label_(std::move(o.label_)), bytes_(o.bytes_) {
+    o.arena_ = nullptr;
+  }
+  ScopedCharge& operator=(ScopedCharge&& o) noexcept {
+    if (this != &o) {
+      release();
+      arena_ = o.arena_;
+      label_ = std::move(o.label_);
+      bytes_ = o.bytes_;
+      o.arena_ = nullptr;
+    }
+    return *this;
+  }
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+  void release() {
+    if (arena_ != nullptr && bytes_ > 0) arena_->release(label_, bytes_);
+    arena_ = nullptr;
+  }
+
+ private:
+  DeviceMemory* arena_ = nullptr;
+  std::string label_;
+  std::size_t bytes_ = 0;
+};
+
 /// RAII typed device buffer: host-backed storage plus an arena charge held
 /// for the buffer's lifetime.
 template <class T>

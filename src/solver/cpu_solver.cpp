@@ -1,5 +1,9 @@
 #include "solver/cpu_solver.h"
 
+#include <numeric>
+
+#include "util/parallel.h"
+
 namespace antmoc {
 
 void CpuSolver::sweep() {
@@ -7,30 +11,77 @@ void CpuSolver::sweep() {
   const auto& sigma_t = fsr_.sigma_t_flat();
   const auto& qos = fsr_.q_over_sigma_t();
   auto& accum = fsr_.accumulator();
-  std::vector<double> psi(G);
+  const long n = stacks_.num_tracks();
+  const TrackInfoCache& cache = info_cache();
+  util::Parallel& P = par();
+  const unsigned W = P.workers();
 
-  for (long id = 0; id < stacks_.num_tracks(); ++id) {
-    const Track3DInfo info = stacks_.info(id);
-    const double w =
-        stacks_.direction_weight(id) * stacks_.track_area(id);
+  // Per-item transport kernel: attenuate both directions of track `id`,
+  // tallying w*delta into `acc` and staging (or depositing) the outgoing
+  // flux. Returns the number of 3D segments traversed.
+  auto sweep_track = [&](long id, double* acc, double* psi,
+                         bool stage) -> long {
+    const Track3DInfo& info = cache[id];
+    const double w = cache.weight(id);
+    long segments = 0;
     for (int dir = 0; dir < 2; ++dir) {
       const bool forward = dir == 0;
       const float* in = psi_in_.data() + (id * 2 + dir) * G;
       for (int g = 0; g < G; ++g) psi[g] = in[g];
 
       stacks_.for_each_segment(info, forward, [&](long fsr_id, double len) {
+        ++segments;
         const long base = fsr_id * G;
         for (int g = 0; g < G; ++g) {
           const double ex = attenuation(sigma_t[base + g] * len);
           const double delta = (psi[g] - qos[base + g]) * ex;
           psi[g] -= delta;
-          accum[base + g] += w * delta;
+          acc[base + g] += w * delta;
         }
       });
 
-      deposit(id, forward, psi.data(), /*atomic=*/false);
+      if (stage) {
+        double* out = stage_slot(id, dir);
+        for (int g = 0; g < G; ++g) out[g] = psi[g];
+      } else {
+        deposit(id, forward, psi, /*atomic=*/false);
+      }
     }
+    return segments;
+  };
+
+  if (W == 1) {
+    // Serial reference path: accumulate straight into the shared tallies
+    // and deposit inline, exactly the seed sweep (minus the per-item
+    // binary searches, replaced by the info cache).
+    std::vector<double> psi(G);
+    long segments = 0;
+    for (long id = 0; id < n; ++id)
+      segments += sweep_track(id, accum.data(), psi.data(), /*stage=*/false);
+    last_sweep_segments_ = segments;
+    return;
   }
+
+  // Parallel path: per-worker private FSR tallies (no atomics on the
+  // one-to-many track->FSR hazard) merged by the deterministic tree
+  // reduction, and staged boundary deposits flushed in serial id order —
+  // bit-reproducible for a fixed worker count.
+  ensure_staging();
+  const long len = fsr_.num_fsrs() * G;
+  std::vector<std::vector<double>> priv(W, std::vector<double>(len, 0.0));
+  std::vector<long> segments(W, 0);
+  P.for_chunks(n, [&](unsigned w, long b, long e) {
+    std::vector<double> psi(G);
+    double* acc = priv[w].data();
+    long count = 0;
+    for (long id = b; id < e; ++id)
+      count += sweep_track(id, acc, psi.data(), /*stage=*/true);
+    segments[w] = count;
+  });
+  P.reduce_into(priv, accum.data(), len);
+  flush_staged_deposits();
+  last_sweep_segments_ =
+      std::accumulate(segments.begin(), segments.end(), 0L);
 }
 
 }  // namespace antmoc

@@ -1,10 +1,17 @@
 #pragma once
 
 /// \file cpu_solver.h
-/// Sequential host reference solver ("OpenMOC-3D-like"). Identical physics
-/// to GpuSolver — same segments, same double-buffered flux hand-off — so
-/// the §5.1 cross-code comparison (pin fission rates, k_eff) can be
-/// reproduced by comparing the two within this repository.
+/// Host reference solver ("OpenMOC-3D-like"). Identical physics to
+/// GpuSolver — same segments, same double-buffered flux hand-off — so the
+/// §5.1 cross-code comparison (pin fission rates, k_eff) can be reproduced
+/// by comparing the two within this repository.
+///
+/// The sweep is fork-join parallel over tracks: each worker owns a fixed
+/// contiguous track range, tallies into a private FSR accumulator, and
+/// stages its outgoing boundary fluxes; the privates are merged by a
+/// deterministic tree reduction and the deposits flushed in serial track
+/// order. No atomics anywhere, and results are bit-reproducible for a
+/// fixed worker count (`sweep.workers`, or ANTMOC_SWEEP_WORKERS).
 
 #include "solver/exponential.h"
 #include "solver/transport_solver.h"
@@ -13,9 +20,13 @@ namespace antmoc {
 
 class CpuSolver : public TransportSolver {
  public:
+  /// \param workers  sweep worker threads; 0 = auto (see
+  ///                 TransportSolver::set_sweep_workers).
   CpuSolver(const TrackStacks& stacks,
-            const std::vector<Material>& materials)
-      : TransportSolver(stacks, materials) {}
+            const std::vector<Material>& materials, unsigned workers = 0)
+      : TransportSolver(stacks, materials) {
+    set_sweep_workers(workers);
+  }
 
  protected:
   void sweep() override;

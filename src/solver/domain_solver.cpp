@@ -181,7 +181,8 @@ DomainRunSummary solve_decomposed(const Geometry& geometry,
           fission = solver.fsr().fission_rate();
           flux = solver.fsr().scalar_flux();
         } else {
-          DomainImpl<CpuSolver> solver(stacks, materials, decomp, comm);
+          DomainImpl<CpuSolver> solver(stacks, materials, decomp, comm,
+                                       params.sweep_workers);
           result = solver.solve(options);
           flux_bytes = solver.flux_bytes_per_iter();
           fission = solver.fsr().fission_rate();

@@ -29,6 +29,8 @@ struct DomainRunParams {
   bool use_device = false;
   gpusim::DeviceSpec device_spec;
   GpuSolverOptions gpu_options;
+  /// Host sweep fork-join width per rank (`sweep.workers`; 0 = auto).
+  unsigned sweep_workers = 0;
 };
 
 struct DomainRunSummary {

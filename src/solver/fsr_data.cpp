@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace antmoc {
 
@@ -10,6 +11,15 @@ namespace {
 constexpr double k4Pi = 4.0 * 3.14159265358979323846;
 constexpr double kInv4Pi = 1.0 / k4Pi;
 }  // namespace
+
+template <class F>
+void FsrData::for_fsrs(F&& f) const {
+  if (par_ != nullptr) {
+    par_->for_each(num_fsrs_, f);
+  } else {
+    for (long r = 0; r < num_fsrs_; ++r) f(r);
+  }
+}
 
 FsrData::FsrData(const Geometry& geometry,
                  const std::vector<Material>& materials)
@@ -57,7 +67,7 @@ void FsrData::zero_accumulator() {
 void FsrData::update_source(double k) {
   require(k > 0.0, "update_source needs a positive k");
   const auto& mats = *materials_;
-  for (long r = 0; r < num_fsrs_; ++r) {
+  for_fsrs([&](long r) {
     const Material& m = mats[material_of_[r]];
     const double* phi = &flux_[r * num_groups_];
     double fission = 0.0;
@@ -70,7 +80,7 @@ void FsrData::update_source(double k) {
       const double q = kInv4Pi * (scatter + m.chi(g) * fission);
       qos_[r * num_groups_ + g] = q / sigma_t_[r * num_groups_ + g];
     }
-  }
+  });
 }
 
 void FsrData::update_source_fixed(const std::vector<double>& external) {
@@ -79,7 +89,7 @@ void FsrData::update_source_fixed(const std::vector<double>& external) {
                   num_fsrs_ * num_groups_,
           "external source must have one entry per (fsr, group)");
   const auto& mats = *materials_;
-  for (long r = 0; r < num_fsrs_; ++r) {
+  for_fsrs([&](long r) {
     const Material& m = mats[material_of_[r]];
     const double* phi = &flux_[r * num_groups_];
     double fission = 0.0;
@@ -93,18 +103,18 @@ void FsrData::update_source_fixed(const std::vector<double>& external) {
         q += kInv4Pi * external[r * num_groups_ + g];
       qos_[r * num_groups_ + g] = q / sigma_t_[r * num_groups_ + g];
     }
-  }
+  });
 }
 
 void FsrData::close_scalar_flux() {
-  for (long r = 0; r < num_fsrs_; ++r) {
+  for_fsrs([&](long r) {
     const double v = volumes_[r];
     for (int g = 0; g < num_groups_; ++g) {
       const long i = r * num_groups_ + g;
       flux_[i] = k4Pi * qos_[i];
       if (v > 0.0) flux_[i] += accum_[i] / (sigma_t_[i] * v);
     }
-  }
+  });
 }
 
 double FsrData::fission_production() const {
@@ -157,7 +167,9 @@ double FsrData::fission_source_residual() {
 }
 
 void FsrData::scale_flux(double factor) {
-  for (auto& v : flux_) v *= factor;
+  for_fsrs([&](long r) {
+    for (int g = 0; g < num_groups_; ++g) flux_[r * num_groups_ + g] *= factor;
+  });
 }
 
 void FsrData::fill_flux(double value) {

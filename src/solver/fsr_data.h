@@ -10,6 +10,10 @@
 #include "geometry/geometry.h"
 #include "material/material.h"
 
+namespace antmoc::util {
+class Parallel;
+}
+
 namespace antmoc {
 
 class FsrData {
@@ -77,7 +81,20 @@ class FsrData {
   /// Sets all fluxes to `value` (initial guess).
   void fill_flux(double value);
 
+  /// Attaches a fork-join pool used to parallelize the per-FSR loops
+  /// (source update, flux closure, scaling). All of them are elementwise
+  /// per FSR, so the parallel results are bitwise identical to serial.
+  /// nullptr (the default) keeps the loops serial. The pool must outlive
+  /// this object's use of it.
+  void set_parallel(util::Parallel* par) { par_ = par; }
+
  private:
+  /// Runs f(r) over all FSRs, parallel when a pool is attached.
+  template <class F>
+  void for_fsrs(F&& f) const;
+
+  util::Parallel* par_ = nullptr;
+
   const Geometry* geometry_;
   const std::vector<Material>* materials_;
   long num_fsrs_;

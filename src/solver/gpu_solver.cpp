@@ -25,6 +25,10 @@ constexpr double kTrackGenCost = 2.0;
 /// generation kernel at ~5x the source kernel.
 constexpr double kTraceCostPerSegment = 5.0;
 
+/// Modeled cost (cycles) per per-CU partial read in the tally-reduction
+/// kernel — one load + add per CU for each (fsr, group) element.
+constexpr double kTallyReduceCostPerTerm = 1.0;
+
 }  // namespace
 
 GpuSolver::GpuSolver(const TrackStacks& stacks,
@@ -70,13 +74,47 @@ GpuSolver::GpuSolver(const TrackStacks& stacks,
                               ? kTraceCostPerSegment * counts[id]
                               : 0.0;
                  });
+  for (long c : counts) segments_per_sweep_ += 2 * c;
+
+  setup_hot_path();
+}
+
+void GpuSolver::setup_hot_path() {
+  // Optional fast-path buffers are charged last so they never change
+  // whether a track policy/budget fits the arena: if the remaining
+  // capacity cannot afford them, the solver silently keeps the seed
+  // behavior (per-item decode, atomic tallies) instead of escalating.
+  try {
+    charge("track_info_cache",
+           TrackInfoCache::bytes_for(stacks_.num_tracks()));
+    cache_ = &info_cache();
+  } catch (const DeviceOutOfMemory&) {
+    cache_ = nullptr;
+  }
+
+  if (options_.privatize == PrivatizeMode::kOff) return;
+  const std::size_t len =
+      static_cast<std::size_t>(fsr_.num_fsrs()) * fsr_.num_groups();
+  const std::size_t staging_bytes =
+      static_cast<std::size_t>(stacks_.num_tracks()) * 2 *
+      fsr_.num_groups() * sizeof(double);
+  try {
+    tally_scratch_ = device_.alloc<double>(
+        "tally_scratch", static_cast<std::size_t>(device_.spec().num_cus) * len);
+    charge("staged_fluxs", staging_bytes);
+    ensure_staging();
+    privatized_ = true;
+  } catch (const DeviceOutOfMemory&) {
+    tally_scratch_.reset();
+    if (options_.privatize == PrivatizeMode::kForce) throw;
+    privatized_ = false;  // kAuto: atomic fallback
+  }
 }
 
 GpuSolver::~GpuSolver() = default;
 
 void GpuSolver::charge(const std::string& label, std::size_t bytes) {
-  device_.memory().charge(label, bytes);
-  charges_.emplace_back(&device_.memory(), label, bytes);
+  charges_.emplace_back(device_.memory(), label, bytes);
 }
 
 void GpuSolver::sweep() {
@@ -89,49 +127,103 @@ void GpuSolver::sweep() {
                               ? gpusim::Assignment::kRoundRobin
                               : gpusim::Assignment::kBlocked;
 
-  last_stats_ = device_.launch(
-      "transport_sweep", order_.size(), assignment, [&](std::size_t item) {
-        const long id = order_[item];
-        const Track3DInfo info = stacks_.info(id);
-        const double w =
-            stacks_.direction_weight(id) * stacks_.track_area(id);
-        double psi[kMaxGroups];
+  // One 3D track's transport kernel: attenuate both directions, tallying
+  // w*delta into `acc`. Outgoing fluxes go to the staging buffer when
+  // privatized (flushed serially after the launch — deterministic), or
+  // atomically into psi_next_ on the fallback path.
+  auto sweep_track = [&](long id, double* acc, bool stage) {
+    Track3DInfo decoded;
+    const Track3DInfo* info;
+    double w;
+    if (cache_ != nullptr) {
+      info = &(*cache_)[id];
+      w = cache_->weight(id);
+    } else {
+      decoded = stacks_.info(id);
+      info = &decoded;
+      w = stacks_.direction_weight(id) * stacks_.track_area(id);
+    }
+    double psi[kMaxGroups];
 
-        long seg_count = 0;
-        const Segment3D* segs = manager_.segments(id, seg_count);
+    long seg_count = 0;
+    const Segment3D* segs = manager_.segments(id, seg_count);
 
-        for (int dir = 0; dir < 2; ++dir) {
-          const bool forward = dir == 0;
-          const float* in = psi_in_.data() + (id * 2 + dir) * G;
-          for (int g = 0; g < G; ++g) psi[g] = in[g];
+    for (int dir = 0; dir < 2; ++dir) {
+      const bool forward = dir == 0;
+      const float* in = psi_in_.data() + (id * 2 + dir) * G;
+      for (int g = 0; g < G; ++g) psi[g] = in[g];
 
-          auto apply = [&](long fsr_id, double len) {
-            const long base = fsr_id * G;
-            for (int g = 0; g < G; ++g) {
-              const double ex = attenuation(sigma_t[base + g] * len);
-              const double delta = (psi[g] - qos[base + g]) * ex;
-              psi[g] -= delta;
-              gpusim::device_atomic_add(accum[base + g], w * delta);
-            }
-          };
-
-          if (segs != nullptr) {
-            // Resident: sweep the stored segments (reversed when backward).
-            if (forward)
-              for (long s = 0; s < seg_count; ++s)
-                apply(segs[s].fsr, segs[s].length);
-            else
-              for (long s = seg_count - 1; s >= 0; --s)
-                apply(segs[s].fsr, segs[s].length);
-          } else {
-            // Temporary: fused OTF regeneration + sweep (paper §4.1).
-            stacks_.for_each_segment(info, forward, apply);
-          }
-
-          deposit(id, forward, psi, /*atomic=*/true);
+      auto apply = [&](long fsr_id, double len) {
+        const long base = fsr_id * G;
+        for (int g = 0; g < G; ++g) {
+          const double ex = attenuation(sigma_t[base + g] * len);
+          const double delta = (psi[g] - qos[base + g]) * ex;
+          psi[g] -= delta;
+          if (acc != nullptr)
+            acc[base + g] += w * delta;
+          else
+            gpusim::device_atomic_add(accum[base + g], w * delta);
         }
-        return manager_.track_cost(id);
-      });
+      };
+
+      if (segs != nullptr) {
+        // Resident: sweep the stored segments (reversed when backward).
+        if (forward)
+          for (long s = 0; s < seg_count; ++s)
+            apply(segs[s].fsr, segs[s].length);
+        else
+          for (long s = seg_count - 1; s >= 0; --s)
+            apply(segs[s].fsr, segs[s].length);
+      } else {
+        // Temporary: fused OTF regeneration + sweep (paper §4.1).
+        stacks_.for_each_segment(*info, forward, apply);
+      }
+
+      if (stage) {
+        double* out = stage_slot(id, dir);
+        for (int g = 0; g < G; ++g) out[g] = psi[g];
+      } else {
+        deposit(id, forward, psi, /*atomic=*/true);
+      }
+    }
+    return manager_.track_cost(id);
+  };
+
+  if (privatized_) {
+    // Each CU tallies into its private slice of the scratch buffer; the
+    // per-CU partials are merged afterwards in fixed CU order by the
+    // reduction kernel, so the result is independent of host thread
+    // scheduling and worker count — bit-reproducible run to run.
+    const std::size_t len =
+        static_cast<std::size_t>(fsr_.num_fsrs()) * G;
+    double* scratch = tally_scratch_.data();
+    last_stats_ = device_.launch(
+        "transport_sweep", order_.size(), assignment,
+        [&](std::size_t item, int cu) {
+          return sweep_track(order_[item], scratch + cu * len,
+                             /*stage=*/true);
+        });
+    flush_staged_deposits();
+    const int ncus = device_.spec().num_cus;
+    device_.launch(
+        "tally_reduction", len, gpusim::Assignment::kBlocked,
+        [&](std::size_t i) {
+          double sum = 0.0;
+          for (int c = 0; c < ncus; ++c) {
+            double& s = scratch[static_cast<std::size_t>(c) * len + i];
+            sum += s;
+            s = 0.0;  // scratch comes back zeroed for the next sweep
+          }
+          accum[i] += sum;
+          return kTallyReduceCostPerTerm * ncus;
+        });
+  } else {
+    last_stats_ = device_.launch(
+        "transport_sweep", order_.size(), assignment, [&](std::size_t item) {
+          return sweep_track(order_[item], nullptr, /*stage=*/false);
+        });
+  }
+  last_sweep_segments_ = segments_per_sweep_;
 }
 
 }  // namespace antmoc

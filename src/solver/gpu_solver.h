@@ -15,6 +15,18 @@
 
 namespace antmoc {
 
+/// FSR-tally strategy of the device sweep (the one-to-many track->FSR
+/// hazard of paper §3.2.3).
+enum class PrivatizeMode {
+  /// Privatize per-CU tally scratch when the arena can afford it, else
+  /// fall back to per-segment device atomics.
+  kAuto,
+  /// Always per-segment device atomics (the original behavior).
+  kOff,
+  /// Privatize or throw DeviceOutOfMemory (feeds the degradation ladder).
+  kForce,
+};
+
 struct GpuSolverOptions {
   TrackPolicy policy = TrackPolicy::kManaged;
   /// Resident-segment memory threshold for kManaged (paper: 6.144 GB).
@@ -23,6 +35,9 @@ struct GpuSolverOptions {
   /// count and deal them round-robin onto CUs. Off = natural order in
   /// contiguous blocks (the unbalanced baseline).
   bool l3_sort = true;
+  /// `sweep.privatize` knob: per-CU privatized FSR tallies merged by a
+  /// deterministic reduction kernel, versus shared-accumulator atomics.
+  PrivatizeMode privatize = PrivatizeMode::kAuto;
 };
 
 class GpuSolver : public TransportSolver {
@@ -39,53 +54,35 @@ class GpuSolver : public TransportSolver {
   /// load_uniformity() is the paper's MAX/AVG metric at the CU level.
   const gpusim::KernelStats& last_sweep_stats() const { return last_stats_; }
 
+  /// True when the sweep runs with per-CU privatized tallies (scratch
+  /// charged to the arena); false means the atomic fallback is active.
+  bool privatized() const { return privatized_; }
+
+  /// True when the decoded track-info cache fit in the arena; false means
+  /// the sweep decodes per item like the seed.
+  bool info_cached() const { return cache_ != nullptr; }
+
  protected:
   void sweep() override;
 
  private:
-  /// RAII accounting charge against the device arena. Move-only: the
-  /// moved-from charge must forget its arena or vector reallocation would
-  /// double-release.
-  struct Charge {
-    gpusim::DeviceMemory* arena = nullptr;
-    std::string label;
-    std::size_t bytes = 0;
-
-    Charge() = default;
-    Charge(gpusim::DeviceMemory* a, std::string l, std::size_t b)
-        : arena(a), label(std::move(l)), bytes(b) {}
-    Charge(Charge&& o) noexcept
-        : arena(o.arena), label(std::move(o.label)), bytes(o.bytes) {
-      o.arena = nullptr;
-    }
-    Charge& operator=(Charge&& o) noexcept {
-      if (this != &o) {
-        release();
-        arena = o.arena;
-        label = std::move(o.label);
-        bytes = o.bytes;
-        o.arena = nullptr;
-      }
-      return *this;
-    }
-    Charge(const Charge&) = delete;
-    Charge& operator=(const Charge&) = delete;
-    ~Charge() { release(); }
-
-    void release() {
-      if (arena != nullptr && bytes > 0) arena->release(label, bytes);
-      arena = nullptr;
-    }
-  };
-
   void charge(const std::string& label, std::size_t bytes);
+
+  /// Charges and binds the optional hot-path buffers (info cache, per-CU
+  /// tally scratch, deposit staging) per the privatize mode; called at the
+  /// end of construction so it never perturbs the policy/budget charges.
+  void setup_hot_path();
 
   gpusim::Device& device_;
   GpuSolverOptions options_;
   TrackManager manager_;
   std::vector<long> order_;
   gpusim::KernelStats last_stats_;
-  std::vector<Charge> charges_;
+  std::vector<gpusim::ScopedCharge> charges_;
+  gpusim::DeviceBuffer<double> tally_scratch_;  ///< [cu][fsr*G], privatized
+  const TrackInfoCache* cache_ = nullptr;
+  bool privatized_ = false;
+  long segments_per_sweep_ = 0;  ///< both directions
 };
 
 }  // namespace antmoc

@@ -20,7 +20,8 @@ MultiGpuSolver::MultiGpuSolver(const TrackStacks& stacks,
       // Residency is tracked host-side here; per-device arena charging of
       // a distributed resident set is modeled by the cluster simulator.
       manager_(stacks, options.policy, nullptr,
-               options.resident_budget_bytes) {
+               options.resident_budget_bytes),
+      device_par_(static_cast<unsigned>(std::max(1, options.num_devices))) {
   require(options.num_devices >= 1, "need at least one device");
   require(fsr_.num_groups() <= kMaxGroups,
           "MultiGpuSolver supports at most 64 energy groups");
@@ -29,15 +30,22 @@ MultiGpuSolver::MultiGpuSolver(const TrackStacks& stacks,
     devices_.push_back(std::make_unique<gpusim::Device>(options.device_spec));
 
   // --- L2: azimuthal angles -> devices ------------------------------------
+  // One pass over the cached per-track info records each track's azimuthal
+  // angle and accumulates the per-angle load (the seed decoded every track
+  // twice: once for the load pass, once for the assignment pass).
   const auto& gen = stacks.generator();
   const auto& quad = gen.quadrature();
   const auto& counts = manager_.segment_counts();
   const int n_azim = quad.num_azim_2();
+  const TrackInfoCache& cache = info_cache();
 
+  std::vector<int> azim_of(stacks.num_tracks());
   std::vector<double> azim_load(n_azim, 0.0);
   for (long id = 0; id < stacks.num_tracks(); ++id) {
-    const Track3DInfo t = stacks.info(id);
-    azim_load[gen.track(t.track2d).azim] += double(counts[id]);
+    const int azim = gen.track(cache[id].track2d).azim;
+    azim_of[id] = azim;
+    azim_load[azim] += double(counts[id]);
+    segments_per_sweep_ += 2 * counts[id];
   }
 
   device_of_azim_.assign(n_azim, 0);
@@ -66,8 +74,7 @@ MultiGpuSolver::MultiGpuSolver(const TrackStacks& stacks,
   device_of_track_.resize(stacks.num_tracks());
   device_order_.resize(options.num_devices);
   for (long id = 0; id < stacks.num_tracks(); ++id) {
-    const Track3DInfo t = stacks.info(id);
-    const int d = device_of_azim_[gen.track(t.track2d).azim];
+    const int d = device_of_azim_[azim_of[id]];
     device_of_track_[id] = d;
     device_order_[d].push_back(id);
   }
@@ -76,6 +83,49 @@ MultiGpuSolver::MultiGpuSolver(const TrackStacks& stacks,
       std::stable_sort(order.begin(), order.end(), [&](long a, long b) {
         return counts[a] > counts[b];
       });
+
+  setup_hot_path();
+}
+
+void MultiGpuSolver::setup_hot_path() {
+  // Each device is charged its own tracks' share of the decoded-info
+  // cache; if any arena cannot afford it, all devices fall back to
+  // per-item decode so the sweep kernels stay uniform.
+  try {
+    for (int d = 0; d < num_devices(); ++d)
+      hot_charges_.emplace_back(
+          devices_[d]->memory(), "track_info_cache",
+          TrackInfoCache::bytes_for(
+              static_cast<long>(device_order_[d].size())));
+    cache_ = &info_cache();
+  } catch (const DeviceOutOfMemory&) {
+    hot_charges_.clear();
+    cache_ = nullptr;
+  }
+
+  if (options_.privatize == PrivatizeMode::kOff) return;
+  const std::size_t len =
+      static_cast<std::size_t>(fsr_.num_fsrs()) * fsr_.num_groups();
+  const std::size_t ncus =
+      static_cast<std::size_t>(options_.device_spec.num_cus);
+  std::vector<gpusim::ScopedCharge> staging;
+  try {
+    for (int d = 0; d < num_devices(); ++d) {
+      scratch_.push_back(
+          devices_[d]->alloc<double>("tally_scratch", ncus * len));
+      staging.emplace_back(devices_[d]->memory(), "staged_fluxs",
+                           device_order_[d].size() * 2 *
+                               fsr_.num_groups() * sizeof(double));
+    }
+    ensure_staging();
+    privatized_ = true;
+    for (auto& c : staging) hot_charges_.push_back(std::move(c));
+  } catch (const DeviceOutOfMemory&) {
+    scratch_.clear();
+    staging.clear();
+    if (options_.privatize == PrivatizeMode::kForce) throw;
+    privatized_ = false;  // kAuto: atomic fallback on every device
+  }
 }
 
 double MultiGpuSolver::device_load_uniformity() const {
@@ -99,65 +149,143 @@ void MultiGpuSolver::sweep() {
                               ? gpusim::Assignment::kRoundRobin
                               : gpusim::Assignment::kBlocked;
 
-  for (int d = 0; d < num_devices(); ++d) {
-    const auto& order = device_order_[d];
-    if (order.empty()) continue;
-    const auto stats = devices_[d]->launch(
-        "transport_sweep", order.size(), assignment,
-        [&](std::size_t item) {
-          const long id = order[item];
-          const Track3DInfo info = stacks_.info(id);
-          const double w =
-              stacks_.direction_weight(id) * stacks_.track_area(id);
-          double psi[kMaxGroups];
+  // One track's transport kernel on device `d`. With a non-null `acc` the
+  // tallies go to that private buffer and the outgoing flux is staged
+  // (privatized mode); with acc == nullptr tallies are atomic and the
+  // deposit + DMA accounting happen in-kernel (the fallback path).
+  auto sweep_track = [&](long id, int d, double* acc) {
+    Track3DInfo decoded;
+    const Track3DInfo* info;
+    double w;
+    if (cache_ != nullptr) {
+      info = &(*cache_)[id];
+      w = cache_->weight(id);
+    } else {
+      decoded = stacks_.info(id);
+      info = &decoded;
+      w = stacks_.direction_weight(id) * stacks_.track_area(id);
+    }
+    double psi[kMaxGroups];
 
-          long seg_count = 0;
-          const Segment3D* segs = manager_.segments(id, seg_count);
+    long seg_count = 0;
+    const Segment3D* segs = manager_.segments(id, seg_count);
 
-          for (int dir = 0; dir < 2; ++dir) {
-            const bool forward = dir == 0;
-            const float* in = psi_in_.data() + (id * 2 + dir) * G;
-            for (int g = 0; g < G; ++g) psi[g] = in[g];
+    for (int dir = 0; dir < 2; ++dir) {
+      const bool forward = dir == 0;
+      const float* in = psi_in_.data() + (id * 2 + dir) * G;
+      for (int g = 0; g < G; ++g) psi[g] = in[g];
 
-            auto apply = [&](long fsr_id, double len) {
-              const long base = fsr_id * G;
-              for (int g = 0; g < G; ++g) {
-                const double ex = attenuation(sigma_t[base + g] * len);
-                const double delta = (psi[g] - qos[base + g]) * ex;
-                psi[g] -= delta;
-                gpusim::device_atomic_add(accum[base + g], w * delta);
-              }
-            };
+      auto apply = [&](long fsr_id, double len) {
+        const long base = fsr_id * G;
+        for (int g = 0; g < G; ++g) {
+          const double ex = attenuation(sigma_t[base + g] * len);
+          const double delta = (psi[g] - qos[base + g]) * ex;
+          psi[g] -= delta;
+          if (acc != nullptr)
+            acc[base + g] += w * delta;
+          else
+            gpusim::device_atomic_add(accum[base + g], w * delta);
+        }
+      };
 
-            if (segs != nullptr) {
-              if (forward)
-                for (long s = 0; s < seg_count; ++s)
-                  apply(segs[s].fsr, segs[s].length);
-              else
-                for (long s = seg_count - 1; s >= 0; --s)
-                  apply(segs[s].fsr, segs[s].length);
-            } else {
-              stacks_.for_each_segment(info, forward, apply);
-            }
+      if (segs != nullptr) {
+        if (forward)
+          for (long s = 0; s < seg_count; ++s)
+            apply(segs[s].fsr, segs[s].length);
+        else
+          for (long s = seg_count - 1; s >= 0; --s)
+            apply(segs[s].fsr, segs[s].length);
+      } else {
+        stacks_.for_each_segment(*info, forward, apply);
+      }
 
-            // Cross-device hand-off goes over the node's DMA fabric
-            // before landing in the target device's incoming flux.
-            const Link3D& link = links_[id * 2 + dir];
-            if (link.kind == Link3D::Kind::kLocal) {
-              const int target = device_of_track_[link.track];
-              if (target != d) {
-                devices_[d]->dma_copy_to(*devices_[target],
-                                         std::size_t(G) * sizeof(float));
-                gpusim::device_atomic_add(
-                    last_dma_bytes_, std::uint64_t(G) * sizeof(float));
-              }
-            }
-            deposit(id, forward, psi, /*atomic=*/true);
+      if (acc != nullptr) {
+        double* out = stage_slot(id, dir);
+        for (int g = 0; g < G; ++g) out[g] = psi[g];
+      } else {
+        // Cross-device hand-off goes over the node's DMA fabric
+        // before landing in the target device's incoming flux.
+        const Link3D& link = links_[id * 2 + dir];
+        if (link.kind == Link3D::Kind::kLocal) {
+          const int target = device_of_track_[link.track];
+          if (target != d) {
+            devices_[d]->dma_copy_to(*devices_[target],
+                                     std::size_t(G) * sizeof(float));
+            gpusim::device_atomic_add(
+                last_dma_bytes_, std::uint64_t(G) * sizeof(float));
           }
-          return manager_.track_cost(id);
-        });
-    last_cycles_[d] = stats.max_cycles;
+        }
+        deposit(id, forward, psi, /*atomic=*/true);
+      }
+    }
+    return manager_.track_cost(id);
+  };
+
+  // All devices launch concurrently — one host worker per device — so the
+  // node's wall-clock sweep time reflects real overlap, as on hardware.
+  const std::size_t len = static_cast<std::size_t>(fsr_.num_fsrs()) * G;
+  device_par_.for_chunks(num_devices(), [&](unsigned, long b, long e) {
+    for (long d = b; d < e; ++d) {
+      const auto& order = device_order_[d];
+      if (order.empty()) continue;
+      double* scratch = privatized_ ? scratch_[d].data() : nullptr;
+      const int dev = static_cast<int>(d);
+      const auto stats =
+          privatized_
+              ? devices_[d]->launch(
+                    "transport_sweep", order.size(), assignment,
+                    [&, dev, scratch](std::size_t item, int cu) {
+                      return sweep_track(order[item], dev,
+                                         scratch + cu * len);
+                    })
+              : devices_[d]->launch(
+                    "transport_sweep", order.size(), assignment,
+                    [&, dev](std::size_t item) {
+                      return sweep_track(order[item], dev, nullptr);
+                    });
+      last_cycles_[d] = stats.max_cycles;
+    }
+  });
+
+  if (privatized_) {
+    // Deterministic epilogue, serial in fixed order: flush the staged
+    // boundary deposits in ascending (id, dir) order — accounting the
+    // cross-device DMA as each flux crosses — then merge every device's
+    // per-CU partials in device order.
+    for (long id = 0; id < stacks_.num_tracks(); ++id) {
+      const int src = device_of_track_[id];
+      for (int dir = 0; dir < 2; ++dir) {
+        const Link3D& link = links_[id * 2 + dir];
+        if (link.kind == Link3D::Kind::kLocal) {
+          const int target = device_of_track_[link.track];
+          if (target != src) {
+            devices_[src]->dma_copy_to(*devices_[target],
+                                       std::size_t(G) * sizeof(float));
+            last_dma_bytes_ += std::uint64_t(G) * sizeof(float);
+          }
+        }
+        deposit(id, dir == 0, stage_slot(id, dir), /*atomic=*/false);
+      }
+    }
+    const int ncus = options_.device_spec.num_cus;
+    for (int d = 0; d < num_devices(); ++d) {
+      if (device_order_[d].empty()) continue;
+      double* scratch = scratch_[d].data();
+      devices_[d]->launch(
+          "tally_reduction", len, gpusim::Assignment::kBlocked,
+          [&](std::size_t i) {
+            double sum = 0.0;
+            for (int c = 0; c < ncus; ++c) {
+              double& s = scratch[static_cast<std::size_t>(c) * len + i];
+              sum += s;
+              s = 0.0;
+            }
+            accum[i] += sum;
+            return static_cast<double>(ncus);
+          });
+    }
   }
+  last_sweep_segments_ = segments_per_sweep_;
 
   // Node-level (L2) balance of this sweep: per-device busy cycles plus the
   // cross-device DMA volume, the pair of signals §4.2.2 trades off.

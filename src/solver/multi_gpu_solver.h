@@ -27,6 +27,11 @@ struct MultiGpuOptions {
   bool balance_angles = true;
   /// L3 within each device.
   bool l3_sort = true;
+  /// `sweep.privatize` knob: per-CU privatized FSR tallies on every
+  /// device (scratch charged to each device's arena), merged by
+  /// serialized per-device reduction kernels — deterministic. kAuto falls
+  /// back to atomics if any device cannot afford its scratch.
+  PrivatizeMode privatize = PrivatizeMode::kAuto;
 };
 
 class MultiGpuSolver : public TransportSolver {
@@ -52,10 +57,17 @@ class MultiGpuSolver : public TransportSolver {
   }
   double device_load_uniformity() const;
 
+  /// True when every device sweeps with privatized tallies.
+  bool privatized() const { return privatized_; }
+
  protected:
   void sweep() override;
 
  private:
+  /// Charges the optional hot-path buffers (per-device info-cache share,
+  /// tally scratch, deposit staging) per the privatize mode.
+  void setup_hot_path();
+
   MultiGpuOptions options_;
   TrackManager manager_;
   std::vector<std::unique_ptr<gpusim::Device>> devices_;
@@ -64,6 +76,12 @@ class MultiGpuSolver : public TransportSolver {
   std::vector<std::vector<long>> device_order_;  ///< sweep order per device
   std::vector<double> last_cycles_;
   std::uint64_t last_dma_bytes_ = 0;
+  util::Parallel device_par_;  ///< one worker per device: concurrent launches
+  std::vector<gpusim::DeviceBuffer<double>> scratch_;  ///< per device
+  std::vector<gpusim::ScopedCharge> hot_charges_;
+  const TrackInfoCache* cache_ = nullptr;
+  bool privatized_ = false;
+  long segments_per_sweep_ = 0;
 };
 
 }  // namespace antmoc

@@ -82,17 +82,67 @@ void TransportSolver::deposit(long id, bool forward, const double* psi,
   }
 }
 
+util::Parallel& TransportSolver::par() {
+  if (!par_) par_ = std::make_unique<util::Parallel>(workers_knob_);
+  return *par_;
+}
+
+const TrackInfoCache& TransportSolver::info_cache() {
+  if (!host_info_cache_)
+    host_info_cache_ = std::make_unique<TrackInfoCache>(stacks_);
+  return *host_info_cache_;
+}
+
+void TransportSolver::ensure_staging() {
+  const std::size_t n =
+      static_cast<std::size_t>(stacks_.num_tracks()) * 2 * fsr_.num_groups();
+  if (psi_out_.size() != n) psi_out_.assign(n, 0.0);
+}
+
+void TransportSolver::flush_staged_deposits() {
+  const int G = fsr_.num_groups();
+  for (long id = 0; id < stacks_.num_tracks(); ++id) {
+    deposit(id, true, psi_out_.data() + (id * 2 + 0) * G, /*atomic=*/false);
+    deposit(id, false, psi_out_.data() + (id * 2 + 1) * G, /*atomic=*/false);
+  }
+}
+
+void TransportSolver::record_sweep_throughput(telemetry::TraceSpan& span,
+                                              double seconds) {
+  if (last_sweep_segments_ <= 0) return;
+  span.set_arg("segments", last_sweep_segments_);
+  if (!telemetry::on()) return;
+  auto& m = telemetry::metrics();
+  m.counter("solver.sweep_segments")
+      .add(static_cast<std::uint64_t>(last_sweep_segments_));
+  if (seconds > 0.0)
+    m.gauge("solver.segments_per_second")
+        .set(static_cast<double>(last_sweep_segments_) / seconds);
+}
+
 void TransportSolver::compute_volumes() {
   ScopedTimer probe("solver/volumes");
-  std::vector<double> vol(fsr_.num_fsrs(), 0.0);
-  for (long id = 0; id < stacks_.num_tracks(); ++id) {
-    // Both sweep directions traverse the same segments.
-    const double w = 2.0 * stacks_.direction_weight(id) / k4Pi *
-                     stacks_.track_area(id);
-    stacks_.for_each_segment(id, true, [&](long fsr_id, double len) {
-      vol[fsr_id] += w * len;
-    });
-  }
+  const TrackInfoCache& cache = info_cache();
+  util::Parallel& P = par();
+  const long n = stacks_.num_tracks();
+  const long num_fsrs = fsr_.num_fsrs();
+  // Per-worker private volumes merged by the deterministic tree reduction:
+  // no atomics on the one-to-many track->FSR deposit, reproducible for a
+  // fixed worker count.
+  std::vector<std::vector<double>> partial(
+      P.workers(), std::vector<double>(num_fsrs, 0.0));
+  P.for_chunks(n, [&](unsigned w, long b, long e) {
+    auto& vol = partial[w];
+    for (long id = b; id < e; ++id) {
+      // Both sweep directions traverse the same segments.
+      const double wgt = 2.0 * cache.weight(id) / k4Pi;
+      stacks_.for_each_segment(cache[id], true, [&](long fsr_id, double len) {
+        vol[fsr_id] += wgt * len;
+      });
+    }
+  });
+  std::vector<double> vol(num_fsrs, 0.0);
+  P.reduce_into(partial, vol.data(), num_fsrs);
   fsr_.set_volumes(std::move(vol));
 }
 
@@ -100,6 +150,7 @@ SolveResult TransportSolver::solve_fixed_source(
     const std::vector<double>& external, const SolveOptions& options) {
   ScopedTimer probe("solver/solve_fixed_source");
   build_links();
+  fsr_.set_parallel(&par());
   if (!volumes_ready_) {
     compute_volumes();
     volumes_ready_ = true;
@@ -122,21 +173,27 @@ SolveResult TransportSolver::solve_fixed_source(
     {
       ScopedTimer sweep_probe("solver/transport_sweep");
       telemetry::TraceSpan sweep_span("solver/transport_sweep", "solver");
+      Timer sweep_timer;
+      sweep_timer.start();
       sweep();
+      sweep_timer.stop();
+      record_sweep_throughput(sweep_span, sweep_timer.seconds());
     }
     exchange();
     std::swap(psi_in_, psi_next_);
     fsr_.close_scalar_flux();
 
-    // Max relative change of the scalar flux since the last iteration.
+    // Max relative change of the scalar flux since the last iteration
+    // (max is order independent, so the parallel reduction is exact).
     const auto& flux = fsr_.scalar_flux();
     double residual = 1.0;
     if (!prev_flux.empty()) {
-      residual = 0.0;
-      for (std::size_t i = 0; i < flux.size(); ++i)
-        if (flux[i] > 0.0)
-          residual = std::max(residual,
-                              std::abs(flux[i] - prev_flux[i]) / flux[i]);
+      const double* f = flux.data();
+      const double* p = prev_flux.data();
+      residual = par().max_over(
+          static_cast<long>(flux.size()), 0.0, [&](long i) {
+            return f[i] > 0.0 ? std::abs(f[i] - p[i]) / f[i] : 0.0;
+          });
     }
     prev_flux.assign(flux.begin(), flux.end());
 
@@ -211,6 +268,7 @@ void TransportSolver::load_state(const std::string& path) {
 SolveResult TransportSolver::solve(const SolveOptions& options) {
   ScopedTimer probe("solver/solve");
   build_links();
+  fsr_.set_parallel(&par());
   if (!volumes_ready_) {
     compute_volumes();
     volumes_ready_ = true;
@@ -253,7 +311,11 @@ SolveResult TransportSolver::solve(const SolveOptions& options) {
     {
       ScopedTimer sweep_probe("solver/transport_sweep");
       telemetry::TraceSpan sweep_span("solver/transport_sweep", "solver");
+      Timer sweep_timer;
+      sweep_timer.start();
       sweep();
+      sweep_timer.stop();
+      record_sweep_throughput(sweep_span, sweep_timer.seconds());
     }
     {
       telemetry::TraceSpan exchange_span("solver/exchange", "solver");
@@ -268,7 +330,10 @@ SolveResult TransportSolver::solve(const SolveOptions& options) {
     k_ *= production;
     const double scale = 1.0 / production;
     fsr_.scale_flux(scale);
-    for (auto& v : psi_in_) v = static_cast<float>(v * scale);
+    float* pin = psi_in_.data();
+    par().for_each(static_cast<long>(psi_in_.size()), [&](long i) {
+      pin[i] = static_cast<float>(pin[i] * scale);
+    });
 
     result.residual = fsr_.fission_source_residual();
     result.iterations = iter;

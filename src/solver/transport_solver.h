@@ -14,13 +14,16 @@
 ///      normalize, and test the fission-source residual.
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "material/material.h"
 #include "solver/exponential.h"
 #include "solver/fsr_data.h"
+#include "telemetry/telemetry.h"
 #include "track/track3d.h"
+#include "util/parallel.h"
 
 namespace antmoc {
 
@@ -102,6 +105,19 @@ class TransportSolver {
 
   const std::vector<Link3D>& links() const { return links_; }
 
+  /// Host fork-join worker count for the parallel per-iteration loops
+  /// (and the CpuSolver sweep). 0 = auto (ANTMOC_SWEEP_WORKERS env or
+  /// hardware concurrency). Must be set before solve(); results are
+  /// bit-reproducible for a fixed worker count.
+  void set_sweep_workers(unsigned workers) {
+    if (par_ && workers != workers_knob_) par_.reset();
+    workers_knob_ = workers;
+  }
+  unsigned sweep_workers() { return par().workers(); }
+
+  /// 3D segments traversed by the most recent sweep (both directions).
+  long last_sweep_segments() const { return last_sweep_segments_; }
+
  protected:
   /// One full transport sweep: reads psi_in_, writes fsr().accumulator()
   /// and psi_next_. Must call deposit() (or equivalent) for every
@@ -126,6 +142,30 @@ class TransportSolver {
   /// concurrent distinct (id, dir) pairs when `atomic` is true.
   void deposit(long id, bool forward, const double* psi, bool atomic);
 
+  /// Staged deposits: parallel sweeps write each (track, direction)'s
+  /// outgoing flux into its unique staging slot (race-free), then
+  /// flush_staged_deposits() routes them serially in ascending (id, dir)
+  /// order — the exact deposit order of the serial reference sweep, so
+  /// boundary fluxes are bitwise identical to it even when two links
+  /// target the same psi_next_ slot (axial lattice clamp collisions).
+  void ensure_staging();
+  double* stage_slot(long id, int dir) {
+    return psi_out_.data() + (id * 2 + dir) * fsr_.num_groups();
+  }
+  void flush_staged_deposits();
+
+  /// Lazily constructed fork-join pool honoring the workers knob.
+  util::Parallel& par();
+
+  /// Publishes sweep-throughput telemetry (solver.sweep_segments counter,
+  /// solver.segments_per_second gauge, span arg) for the sweep that just
+  /// ran. Declared here so both solve modes share it.
+  void record_sweep_throughput(telemetry::TraceSpan& span, double seconds);
+
+  /// Lazily decoded per-track info + combined weights (host-side; device
+  /// solvers charge their own copy against the arena).
+  const TrackInfoCache& info_cache();
+
   /// Computes track-based FSR volumes and stores them in fsr().
   /// Virtual so domain solvers can reduce partial volumes globally.
   virtual void compute_volumes();
@@ -148,6 +188,13 @@ class TransportSolver {
   bool links_built_ = false;
   bool state_loaded_ = false;
   bool volumes_ready_ = false;
+  long last_sweep_segments_ = 0;  ///< set by sweep() implementations
+  std::vector<double> psi_out_;   ///< staged outgoing flux per (id, dir)
+
+ private:
+  unsigned workers_knob_ = 0;
+  std::unique_ptr<util::Parallel> par_;
+  std::unique_ptr<TrackInfoCache> host_info_cache_;
 };
 
 /// Maps a geometry boundary condition to the link semantics of that face.

@@ -83,16 +83,8 @@ int TrackStacks::lattice_index(double z0) const {
   return static_cast<int>(std::lround((z0 - z_lo_) / dz_ - 0.5));
 }
 
-Track3DInfo TrackStacks::info(long id) const {
-  require(id >= 0 && id < num_tracks(), "3D track id out of range");
-  // Locate the stack by binary search over cumulative bases.
-  const auto it = std::upper_bound(base_.begin(), base_.end(), id);
-  const std::size_t stack_idx =
-      static_cast<std::size_t>(it - base_.begin()) - 1;
-  const Stack& s = stacks_[stack_idx];
-  const int t2d = static_cast<int>(stack_idx) / num_polar_;
-  const int p = static_cast<int>(stack_idx) % num_polar_;
-
+Track3DInfo TrackStacks::decode(const Stack& s, int t2d, int p,
+                                long id) const {
   Track3DInfo t;
   t.id = id;
   t.track2d = t2d;
@@ -119,6 +111,34 @@ Track3DInfo TrackStacks::info(long id) const {
     t.s_exit = std::min(len, (t.z0 - z_lo_) / t.cot);
   }
   return t;
+}
+
+Track3DInfo TrackStacks::info(long id) const {
+  require(id >= 0 && id < num_tracks(), "3D track id out of range");
+  // Locate the stack by binary search over cumulative bases.
+  const auto it = std::upper_bound(base_.begin(), base_.end(), id);
+  const std::size_t stack_idx =
+      static_cast<std::size_t>(it - base_.begin()) - 1;
+  const int t2d = static_cast<int>(stack_idx) / num_polar_;
+  const int p = static_cast<int>(stack_idx) % num_polar_;
+  return decode(stacks_[stack_idx], t2d, p, id);
+}
+
+std::vector<Track3DInfo> TrackStacks::all_info() const {
+  // Stacks were laid out in (t2d, p) order with contiguous id ranges, so a
+  // sequential pass reproduces info(id) for every id with no binary search.
+  std::vector<Track3DInfo> out;
+  out.reserve(static_cast<std::size_t>(num_tracks()));
+  const int t2d_count = gen_.num_tracks();
+  for (int t2d = 0; t2d < t2d_count; ++t2d) {
+    for (int p = 0; p < num_polar_; ++p) {
+      const Stack& s = stack(t2d, p);
+      const long count = s.nz_up + s.nz_dn;
+      for (long k = 0; k < count; ++k)
+        out.push_back(decode(s, t2d, p, s.base + k));
+    }
+  }
+  return out;
 }
 
 long TrackStacks::id_for_intercept(int t2d, int p, bool up,
@@ -213,16 +233,20 @@ Link3D TrackStacks::link(long id, bool forward, LinkKind z_min_kind,
               : axial(Face::kZMax, z_max_kind, false);
 }
 
-double TrackStacks::track_area(long id) const {
-  const Track3DInfo t = info(id);
+double TrackStacks::track_area(const Track3DInfo& t) const {
   const auto& quad = gen_.quadrature();
   return quad.spacing_eff(gen_.track(t.track2d).azim) * dz_ * t.sin_theta;
 }
 
-double TrackStacks::direction_weight(long id) const {
-  const Track3DInfo t = info(id);
+double TrackStacks::track_area(long id) const { return track_area(info(id)); }
+
+double TrackStacks::direction_weight(const Track3DInfo& t) const {
   return gen_.quadrature().direction_weight(gen_.track(t.track2d).azim,
                                             t.polar);
+}
+
+double TrackStacks::direction_weight(long id) const {
+  return direction_weight(info(id));
 }
 
 long TrackStacks::count_segments(const Track3DInfo& t) const {

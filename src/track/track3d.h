@@ -102,6 +102,10 @@ class TrackStacks {
   long id(int t2d, int p, bool up, int zindex) const;
   Track3DInfo info(long id) const;
 
+  /// Decodes every track in one sequential pass over the stacks — no
+  /// per-id binary search. out[id] == info(id) for all ids.
+  std::vector<Track3DInfo> all_info() const;
+
   /// Flux continuation for the given sweep direction of track `id`.
   /// `z_min_kind` / `z_max_kind` give the axial boundary semantics
   /// (kVacuum, kReflective, kPeriodic, or kInterface for an axial
@@ -112,9 +116,11 @@ class TrackStacks {
   /// Cross-sectional area carried by this track: radial spacing times the
   /// perpendicular axial spacing dz * sin(theta).
   double track_area(long id) const;
+  double track_area(const Track3DInfo& t) const;
 
   /// Quadrature weight (solid angle) of one sweep direction of this track.
   double direction_weight(long id) const;
+  double direction_weight(const Track3DInfo& t) const;
 
   /// Expands 3D segments in sweep order and calls f(fsr, length3d) for
   /// each. `forward == false` walks the track in reverse (the backward
@@ -158,6 +164,10 @@ class TrackStacks {
 
   long id_for_intercept(int t2d, int p, bool up, double z0_target) const;
 
+  /// Decodes track `id` given its already-located stack (shared by the
+  /// binary-search info() and the sequential all_info()).
+  Track3DInfo decode(const Stack& s, int t2d, int p, long id) const;
+
   template <class F>
   void walk(const Track3DInfo& t, bool forward, F&& f) const;
 
@@ -169,6 +179,39 @@ class TrackStacks {
   std::vector<long> base_;  ///< per-(t2d,p) cumulative first id, plus total
   /// Per 2D track: cumulative segment end positions (s at segment ends).
   std::vector<std::vector<double>> seg_ends_;
+};
+
+/// Precomputed per-track sweep-kernel inputs: the decoded Track3DInfo plus
+/// the combined quadrature weight w = direction_weight * track_area. The
+/// seed sweeps decoded every track on every item of every iteration (three
+/// binary searches over the stack bases); this cache replaces all of that
+/// with one indexed load. Device solvers charge bytes() against their
+/// memory arena so the cache honestly competes with resident segments, and
+/// they fall back to on-the-fly decode when the arena cannot afford it.
+class TrackInfoCache {
+ public:
+  explicit TrackInfoCache(const TrackStacks& stacks)
+      : infos_(stacks.all_info()), weights_(infos_.size()) {
+    for (std::size_t id = 0; id < infos_.size(); ++id)
+      weights_[id] =
+          stacks.direction_weight(infos_[id]) * stacks.track_area(infos_[id]);
+  }
+
+  long size() const { return static_cast<long>(infos_.size()); }
+  const Track3DInfo& operator[](long id) const { return infos_[id]; }
+  /// direction_weight(id) * track_area(id).
+  double weight(long id) const { return weights_[id]; }
+
+  /// Arena charge for a cache over n tracks.
+  static std::size_t bytes_for(long n) {
+    return static_cast<std::size_t>(n) *
+           (sizeof(Track3DInfo) + sizeof(double));
+  }
+  std::size_t bytes() const { return bytes_for(size()); }
+
+ private:
+  std::vector<Track3DInfo> infos_;
+  std::vector<double> weights_;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file parallel.h
+/// Shared fork-join parallelism for host-side hot loops.
+///
+/// `Parallel` wraps the persistent `gpusim::ThreadPool` (workers are
+/// spawned once, so per-iteration loops pay no thread-start cost) and adds
+/// the two primitives the solvers need:
+///
+///  * deterministic blocked partitions of an index space — worker w always
+///    owns the same contiguous chunk for a fixed worker count, so
+///    per-worker private accumulation is reproducible run to run;
+///  * a deterministic pairwise tree reduction over per-worker buffers —
+///    the summation tree depends only on the buffer count, never on thread
+///    scheduling, so merged floating-point tallies are bit-identical
+///    across runs with the same worker count.
+///
+/// Each Parallel instance owns its pool; concurrent fork-joins from
+/// different instances (e.g. one per comm rank in a decomposed solve) are
+/// safe. A single instance must not be re-entered from its own workers.
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "gpusim/thread_pool.h"
+
+namespace antmoc::util {
+
+/// Worker count used when a knob is left at 0 ("auto"): the
+/// ANTMOC_SWEEP_WORKERS environment variable if set, else the hardware
+/// concurrency.
+inline unsigned default_workers() {
+  if (const char* env = std::getenv("ANTMOC_SWEEP_WORKERS")) {
+    const long v = std::atol(env);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+class Parallel {
+ public:
+  /// `workers == 0` selects default_workers().
+  explicit Parallel(unsigned workers = 0)
+      : pool_(workers == 0 ? default_workers() : workers) {}
+
+  unsigned workers() const { return pool_.size(); }
+
+  /// First index of worker w's chunk in a blocked partition of [0, n).
+  /// Depends only on (n, workers()) — the determinism anchor.
+  long chunk_begin(unsigned w, long n) const {
+    const long per = (n + workers() - 1) / workers();
+    return std::min<long>(n, static_cast<long>(w) * per);
+  }
+  long chunk_end(unsigned w, long n) const {
+    return std::min<long>(n, chunk_begin(w, n) +
+                                 (n + workers() - 1) / workers());
+  }
+
+  /// Fork-join: f(worker, begin, end) over the blocked partition of
+  /// [0, n). Workers with an empty chunk are not called.
+  template <class F>
+  void for_chunks(long n, F&& f) {
+    if (n <= 0) return;
+    if (workers() == 1) {
+      f(0u, 0L, n);
+      return;
+    }
+    const std::function<void(unsigned)> job = [&](unsigned w) {
+      const long b = chunk_begin(w, n), e = chunk_end(w, n);
+      if (b < e) f(w, b, e);
+    };
+    pool_.run(job);
+  }
+
+  /// Elementwise parallel loop: f(i) for i in [0, n), blocked chunks.
+  template <class F>
+  void for_each(long n, F&& f) {
+    for_chunks(n, [&](unsigned, long b, long e) {
+      for (long i = b; i < e; ++i) f(i);
+    });
+  }
+
+  /// Deterministic tree reduction: folds bufs[1..W) into bufs[0] with a
+  /// stride-doubling pairwise tree (bufs[w] += bufs[w + stride]), then
+  /// adds bufs[0] elementwise into `dest`. The summation order for any
+  /// element depends only on bufs.size(), so results are bit-reproducible
+  /// for a fixed worker count. All buffers must have `len` elements.
+  template <class T>
+  void reduce_into(std::vector<std::vector<T>>& bufs, T* dest, long len) {
+    const std::size_t W = bufs.size();
+    for (std::size_t stride = 1; stride < W; stride *= 2) {
+      for_chunks(len, [&](unsigned, long b, long e) {
+        for (std::size_t w = 0; w + stride < W; w += 2 * stride) {
+          const T* src = bufs[w + stride].data();
+          T* dst = bufs[w].data();
+          for (long i = b; i < e; ++i) dst[i] += src[i];
+        }
+      });
+    }
+    if (W == 0) return;
+    for_chunks(len, [&](unsigned, long b, long e) {
+      const T* src = bufs[0].data();
+      for (long i = b; i < e; ++i) dest[i] += src[i];
+    });
+  }
+
+  /// Parallel max-reduction of f(i) over [0, n). Exact (max is order
+  /// independent), so it is safe for the residual test.
+  template <class F>
+  double max_over(long n, double init, F&& f) {
+    if (n <= 0) return init;
+    std::vector<double> partial(workers(), init);
+    for_chunks(n, [&](unsigned w, long b, long e) {
+      double m = init;
+      for (long i = b; i < e; ++i) m = std::max(m, f(i));
+      partial[w] = m;
+    });
+    double m = init;
+    for (double p : partial) m = std::max(m, p);
+    return m;
+  }
+
+ private:
+  gpusim::ThreadPool pool_;
+};
+
+}  // namespace antmoc::util

@@ -1,0 +1,319 @@
+/// \file sweep_test.cpp
+/// Correctness and reproducibility suite for the sweep hot path
+/// (DESIGN.md §7): the fork-join host sweep, the privatized device
+/// FSR tallies with their deterministic reduction, the decoded-track-info
+/// cache, and the interleaved ExpTable layout.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "material/c5g7.h"
+#include "models/c5g7_model.h"
+#include "solver/cpu_solver.h"
+#include "solver/gpu_solver.h"
+#include "solver/multi_gpu_solver.h"
+#include "telemetry/telemetry.h"
+#include "util/error.h"
+
+namespace antmoc {
+namespace {
+
+struct Problem {
+  models::C5G7Model model;
+  Quadrature quad;
+  TrackGenerator2D gen;
+  TrackStacks stacks;
+
+  Problem(models::C5G7Model m, int nazim, double spacing, int npolar,
+          double dz)
+      : model(std::move(m)),
+        quad(nazim, spacing, model.geometry.bounds().width_x(),
+             model.geometry.bounds().width_y(), npolar),
+        gen(quad, model.geometry.bounds(), radial_kinds(model.geometry)),
+        stacks((gen.trace(model.geometry), gen), model.geometry,
+               model.geometry.bounds().z_min,
+               model.geometry.bounds().z_max, dz) {}
+
+  static std::array<LinkKind, 4> radial_kinds(const Geometry& g) {
+    return {to_link_kind(g.boundary(Face::kXMin)),
+            to_link_kind(g.boundary(Face::kXMax)),
+            to_link_kind(g.boundary(Face::kYMin)),
+            to_link_kind(g.boundary(Face::kYMax))};
+  }
+};
+
+Problem pin_problem() {
+  models::C5G7Options opt;
+  opt.pins_per_assembly = 3;
+  opt.fuel_layers = 2;
+  opt.reflector_layers = 1;
+  opt.height_scale = 0.1;
+  return Problem(models::build_core(opt), 4, 0.5, 2, 1.0);
+}
+
+SolveOptions fixed(int iterations) {
+  SolveOptions opts;
+  opts.fixed_iterations = iterations;
+  return opts;
+}
+
+// ------------------------------------------------------- host fork-join ---
+
+TEST(ParallelSweep, MatchesSerialWithinTolerance) {
+  Problem p = pin_problem();
+  CpuSolver serial(p.stacks, p.model.materials, 1);
+  CpuSolver parallel(p.stacks, p.model.materials, 4);
+  EXPECT_EQ(serial.sweep_workers(), 1u);
+  EXPECT_EQ(parallel.sweep_workers(), 4u);
+
+  const auto rs = serial.solve(fixed(6));
+  const auto rp = parallel.solve(fixed(6));
+  EXPECT_NEAR(rs.k_eff, rp.k_eff, 1e-10);
+  EXPECT_EQ(serial.last_sweep_segments(), parallel.last_sweep_segments());
+
+  const auto& fs = serial.fsr().scalar_flux();
+  const auto& fp = parallel.fsr().scalar_flux();
+  ASSERT_EQ(fs.size(), fp.size());
+  for (std::size_t i = 0; i < fs.size(); ++i)
+    EXPECT_NEAR(fs[i], fp[i], 1e-9 * (1.0 + std::abs(fs[i]))) << i;
+}
+
+TEST(ParallelSweep, BitReproducibleForFixedWorkerCount) {
+  Problem p = pin_problem();
+  SolveResult r[2];
+  std::vector<double> flux[2];
+  std::vector<float> psi[2];
+  for (int run = 0; run < 2; ++run) {
+    CpuSolver solver(p.stacks, p.model.materials, 3);
+    r[run] = solver.solve(fixed(5));
+    flux[run] = solver.fsr().scalar_flux();
+    psi[run] = solver.psi_in();
+  }
+  // Bitwise: same worker count => same reduction tree, same flush order.
+  EXPECT_EQ(r[0].k_eff, r[1].k_eff);
+  EXPECT_EQ(r[0].residual, r[1].residual);
+  ASSERT_EQ(flux[0].size(), flux[1].size());
+  for (std::size_t i = 0; i < flux[0].size(); ++i)
+    EXPECT_EQ(flux[0][i], flux[1][i]) << i;
+  ASSERT_EQ(psi[0].size(), psi[1].size());
+  for (std::size_t i = 0; i < psi[0].size(); ++i)
+    EXPECT_EQ(psi[0][i], psi[1][i]) << i;
+}
+
+// -------------------------------------------- device privatized tallies ---
+
+TEST(PrivatizedTallies, MatchesAtomicFallback) {
+  Problem p = pin_problem();
+  GpuSolverOptions opts;
+  opts.resident_budget_bytes = std::size_t{1} << 20;
+
+  gpusim::Device atomic_dev(
+      gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+  opts.privatize = PrivatizeMode::kOff;
+  GpuSolver atomic(p.stacks, p.model.materials, atomic_dev, opts);
+  EXPECT_FALSE(atomic.privatized());
+  const auto ra = atomic.solve(fixed(6));
+
+  gpusim::Device priv_dev(
+      gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+  opts.privatize = PrivatizeMode::kForce;
+  GpuSolver priv(p.stacks, p.model.materials, priv_dev, opts);
+  EXPECT_TRUE(priv.privatized());
+  const auto rp = priv.solve(fixed(6));
+
+  EXPECT_NEAR(ra.k_eff, rp.k_eff, 1e-9);
+  const auto& fa = atomic.fsr().scalar_flux();
+  const auto& fp = priv.fsr().scalar_flux();
+  ASSERT_EQ(fa.size(), fp.size());
+  for (std::size_t i = 0; i < fa.size(); ++i)
+    EXPECT_NEAR(fa[i], fp[i], 1e-8 * (1.0 + std::abs(fa[i]))) << i;
+}
+
+TEST(PrivatizedTallies, ScratchChargedToArena) {
+  Problem p = pin_problem();
+  gpusim::Device device(
+      gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+  GpuSolverOptions opts;
+  opts.resident_budget_bytes = std::size_t{1} << 20;
+  GpuSolver solver(p.stacks, p.model.materials, device, opts);
+  ASSERT_TRUE(solver.privatized());  // 1 GiB affords the scratch
+  EXPECT_TRUE(solver.info_cached());
+
+  const auto breakdown = device.memory().breakdown();
+  ASSERT_TRUE(breakdown.count("tally_scratch"));
+  ASSERT_TRUE(breakdown.count("staged_fluxs"));
+  ASSERT_TRUE(breakdown.count("track_info_cache"));
+  EXPECT_EQ(breakdown.at("tally_scratch"),
+            std::size_t{8} * p.model.geometry.num_fsrs() * 7 *
+                sizeof(double));
+  EXPECT_EQ(breakdown.at("staged_fluxs"),
+            static_cast<std::size_t>(p.stacks.num_tracks()) * 2 * 7 *
+                sizeof(double));
+  EXPECT_EQ(breakdown.at("track_info_cache"),
+            TrackInfoCache::bytes_for(p.stacks.num_tracks()));
+}
+
+TEST(PrivatizedTallies, AutoFallsBackWhenArenaCannotAfford) {
+  Problem p = pin_problem();
+  GpuSolverOptions opts;
+  opts.resident_budget_bytes = std::size_t{1} << 20;
+
+  // Measure the mandatory footprint, then size an arena that fits it but
+  // not the optional hot-path buffers.
+  std::size_t base = 0;
+  {
+    gpusim::Device probe(
+        gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+    opts.privatize = PrivatizeMode::kOff;
+    GpuSolver solver(p.stacks, p.model.materials, probe, opts);
+    base = probe.memory().used();
+  }
+  const auto tight = gpusim::DeviceSpec::scaled(base + 1024, 8);
+
+  gpusim::Device auto_dev(tight);
+  opts.privatize = PrivatizeMode::kAuto;
+  GpuSolver auto_solver(p.stacks, p.model.materials, auto_dev, opts);
+  EXPECT_FALSE(auto_solver.privatized());
+  // The probe footprint includes the info cache (kOff only skips the
+  // tally scratch), so the tight arena still affords it.
+  EXPECT_TRUE(auto_solver.info_cached());
+  EXPECT_FALSE(auto_dev.memory().breakdown().count("tally_scratch"));
+  const auto r = auto_solver.solve(fixed(4));  // fallback still solves
+  EXPECT_GT(r.k_eff, 0.0);
+
+  gpusim::Device force_dev(tight);
+  opts.privatize = PrivatizeMode::kForce;
+  EXPECT_THROW(
+      GpuSolver(p.stacks, p.model.materials, force_dev, opts),
+      DeviceOutOfMemory);
+}
+
+TEST(PrivatizedTallies, GpuSolveBitReproducible) {
+  Problem p = pin_problem();
+  SolveResult r[2];
+  std::vector<double> flux[2];
+  for (int run = 0; run < 2; ++run) {
+    gpusim::Device device(
+        gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+    GpuSolverOptions opts;
+    opts.resident_budget_bytes = std::size_t{1} << 20;
+    opts.privatize = PrivatizeMode::kForce;
+    GpuSolver solver(p.stacks, p.model.materials, device, opts);
+    r[run] = solver.solve(fixed(5));
+    flux[run] = solver.fsr().scalar_flux();
+  }
+  EXPECT_EQ(r[0].k_eff, r[1].k_eff);
+  ASSERT_EQ(flux[0].size(), flux[1].size());
+  for (std::size_t i = 0; i < flux[0].size(); ++i)
+    EXPECT_EQ(flux[0][i], flux[1][i]) << i;
+}
+
+TEST(PrivatizedTallies, MultiGpuBitReproducibleAndMatchesAtomic) {
+  Problem p = pin_problem();
+  MultiGpuOptions opts;
+  opts.num_devices = 2;
+  opts.device_spec = gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 4);
+  opts.resident_budget_bytes = std::size_t{1} << 20;
+
+  opts.privatize = PrivatizeMode::kOff;
+  MultiGpuSolver atomic(p.stacks, p.model.materials, opts);
+  EXPECT_FALSE(atomic.privatized());
+  const auto ra = atomic.solve(fixed(5));
+
+  SolveResult r[2];
+  std::vector<double> flux[2];
+  std::uint64_t dma[2];
+  for (int run = 0; run < 2; ++run) {
+    opts.privatize = PrivatizeMode::kForce;
+    MultiGpuSolver solver(p.stacks, p.model.materials, opts);
+    EXPECT_TRUE(solver.privatized());
+    r[run] = solver.solve(fixed(5));
+    flux[run] = solver.fsr().scalar_flux();
+    dma[run] = solver.last_sweep_dma_bytes();
+  }
+  EXPECT_EQ(r[0].k_eff, r[1].k_eff);
+  for (std::size_t i = 0; i < flux[0].size(); ++i)
+    EXPECT_EQ(flux[0][i], flux[1][i]) << i;
+  // DMA accounting moves to the serial flush but counts the same bytes.
+  EXPECT_EQ(dma[0], dma[1]);
+  EXPECT_EQ(dma[0], atomic.last_sweep_dma_bytes());
+  EXPECT_NEAR(ra.k_eff, r[0].k_eff, 1e-9);
+}
+
+// ------------------------------------------------------- info cache -------
+
+TEST(TrackInfoCache, MatchesPerItemDecode) {
+  Problem p = pin_problem();
+  const TrackInfoCache cache(p.stacks);
+  ASSERT_EQ(cache.size(), p.stacks.num_tracks());
+  for (long id = 0; id < p.stacks.num_tracks(); ++id) {
+    const Track3DInfo ref = p.stacks.info(id);
+    const Track3DInfo& got = cache[id];
+    EXPECT_EQ(got.track2d, ref.track2d) << id;
+    EXPECT_EQ(got.polar, ref.polar) << id;
+    EXPECT_EQ(got.up, ref.up) << id;
+    EXPECT_EQ(got.zindex, ref.zindex) << id;
+    EXPECT_DOUBLE_EQ(got.s_entry, ref.s_entry) << id;
+    EXPECT_DOUBLE_EQ(got.s_exit, ref.s_exit) << id;
+    EXPECT_DOUBLE_EQ(
+        cache.weight(id),
+        p.stacks.direction_weight(id) * p.stacks.track_area(id))
+        << id;
+  }
+  EXPECT_EQ(cache.bytes(), TrackInfoCache::bytes_for(cache.size()));
+}
+
+// ------------------------------------------------- ExpTable layout ---------
+
+TEST(ExpTableLayout, InterleavedPairsAreValueAndForwardDifference) {
+  const ExpTable table(40.0, 1e-6);
+  const double dx = table.table_spacing();
+  ASSERT_GE(table.size(), 3u);
+  for (std::size_t i = 0; i + 1 < table.size(); ++i) {
+    EXPECT_DOUBLE_EQ(table.knot_value(i), exp_f1(i * dx)) << i;
+    EXPECT_DOUBLE_EQ(table.knot_slope(i),
+                     table.knot_value(i + 1) - table.knot_value(i))
+        << i;
+  }
+  EXPECT_DOUBLE_EQ(table.knot_slope(table.size() - 1), 0.0);
+}
+
+TEST(ExpTableLayout, FmaFormMatchesClassicInterpolant) {
+  const ExpTable table(40.0, 1e-6);
+  const double dx = table.table_spacing();
+  for (double tau = 1e-4; tau < 39.0; tau *= 1.7) {
+    const std::size_t i = static_cast<std::size_t>(tau / dx);
+    const double f = tau / dx - static_cast<double>(i);
+    const double classic = table.knot_value(i) * (1.0 - f) +
+                           table.knot_value(i + 1) * f;
+    EXPECT_NEAR(table(tau), classic, 1e-15) << tau;
+    EXPECT_NEAR(table(tau), exp_f1(tau), 1e-6) << tau;
+  }
+}
+
+// ------------------------------------------------- sweep telemetry --------
+
+TEST(SweepTelemetry, SegmentCounterAndThroughputGauge) {
+  telemetry::Config cfg;
+  cfg.enabled = true;
+  telemetry::Telemetry::instance().set_config(cfg);
+  telemetry::Telemetry::instance().reset();
+  if (!telemetry::on())
+    GTEST_SKIP() << "telemetry compiled out";
+
+  Problem p = pin_problem();
+  CpuSolver solver(p.stacks, p.model.materials, 2);
+  solver.solve(fixed(3));
+
+  auto& m = telemetry::metrics();
+  EXPECT_EQ(m.counter("solver.sweep_segments").value(),
+            3u * static_cast<std::uint64_t>(solver.last_sweep_segments()));
+  EXPECT_GT(m.gauge("solver.segments_per_second").value(), 0.0);
+
+  telemetry::Telemetry::instance().reset();
+  telemetry::Telemetry::instance().set_enabled(false);
+}
+
+}  // namespace
+}  // namespace antmoc
