@@ -1,0 +1,114 @@
+/// \file bench_exchange_overlap.cpp
+/// Overlapped vs synchronous interface-flux exchange (DESIGN.md §8): runs
+/// the same {2,2,1}-decomposed C5G7 core with the buffered-synchronous
+/// exchange and with the nonblocking boundary-first overlap, and reports
+/// wall s/iteration, the measured overlap ratio, and the Eq. 7 wire
+/// volume. Emits BENCH_exchange.json (path = argv[1], default
+/// ./BENCH_exchange.json); bench/run_exchange_gate.sh validates it and
+/// enforces the result-identity and slowdown bars.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "bench/common.h"
+#include "solver/domain_solver.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace antmoc;
+using namespace antmoc::bench;
+
+constexpr int kIterations = 5;
+
+struct RunResult {
+  double seconds_per_iter = 0.0;
+  double k_eff = 0.0;
+  double overlap_ratio = 0.0;
+  std::uint64_t flux_bytes_per_iter = 0;
+  long crossing_track_ends = 0;
+};
+
+RunResult timed_solve(const models::C5G7Model& model,
+                      const Decomposition& decomp, bool overlap) {
+  DomainRunParams params;
+  params.num_azim = 4;
+  params.azim_spacing = 0.3;
+  params.num_polar = 2;
+  params.z_spacing = 1.5;
+  // Bit-identity between the modes is promised for a fixed worker count.
+  params.sweep_workers = 2;
+  params.overlap = overlap;
+  SolveOptions opts;
+  opts.fixed_iterations = kIterations;
+
+  Timer t;
+  t.start();
+  const DomainRunSummary summary =
+      solve_decomposed(model.geometry, model.materials, decomp, params,
+                       opts);
+  t.stop();
+
+  RunResult out;
+  out.seconds_per_iter = t.seconds() / kIterations;
+  out.k_eff = summary.result.k_eff;
+  out.overlap_ratio = summary.comm_overlap_ratio;
+  out.flux_bytes_per_iter = summary.flux_bytes_per_iter;
+  out.crossing_track_ends = summary.crossing_track_ends;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TelemetryScope telemetry_scope("bench_exchange_overlap");
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_exchange.json";
+
+  const models::C5G7Model model = scaled_core();
+  const Decomposition decomp{2, 2, 1};
+
+  const RunResult sync = timed_solve(model, decomp, /*overlap=*/false);
+  const RunResult overlapped = timed_solve(model, decomp, /*overlap=*/true);
+
+  print_table(
+      "Interface-flux exchange (" + std::to_string(decomp.num_domains()) +
+          " domains, " + std::to_string(kIterations) +
+          " fixed iterations)",
+      {"mode", "s/iter", "k_eff", "overlap ratio"},
+      {{"synchronous (comm.overlap=false)", fmt(sync.seconds_per_iter,
+                                                "%.4f"),
+        fmt(sync.k_eff, "%.6f"), "-"},
+       {"overlapped (comm.overlap=true)",
+        fmt(overlapped.seconds_per_iter, "%.4f"),
+        fmt(overlapped.k_eff, "%.6f"),
+        fmt(overlapped.overlap_ratio, "%.3f")}});
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"bench\": \"exchange_overlap\",\n"
+      "  \"hardware_threads\": %u,\n"
+      "  \"fixed_iterations\": %d,\n"
+      "  \"decomposition\": [%d, %d, %d],\n"
+      "  \"flux_bytes_per_iter\": %llu,\n"
+      "  \"crossing_track_ends\": %ld,\n"
+      "  \"sync\": {\"seconds_per_iteration\": %.9g, \"k_eff\": %.12f},\n"
+      "  \"overlapped\": {\"seconds_per_iteration\": %.9g, "
+      "\"k_eff\": %.12f, \"overlap_ratio\": %.9g}\n"
+      "}\n",
+      std::thread::hardware_concurrency(), kIterations, decomp.nx,
+      decomp.ny, decomp.nz,
+      static_cast<unsigned long long>(sync.flux_bytes_per_iter),
+      sync.crossing_track_ends, sync.seconds_per_iter, sync.k_eff,
+      overlapped.seconds_per_iter, overlapped.k_eff,
+      overlapped.overlap_ratio);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

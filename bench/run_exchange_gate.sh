@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Overlapped-exchange performance gate (DESIGN.md §8). Runs
+# bench_exchange_overlap, validates the BENCH_exchange.json it emits, and
+# enforces the bars:
+#
+#   * JSON must be well-formed with every expected field, else FAIL.
+#   * Synchronous and overlapped k_eff must be *identical* — the overlap
+#     is a communication-schedule change, never a physics change.
+#   * Eq. 7 consistency: flux_bytes_per_iter == crossing_track_ends *
+#     7 groups * 4 bytes.
+#   * overlap_ratio must land in (0, 1].
+#   * Overlapped must not be materially slower than synchronous. The
+#     in-process runtime has no real wire to hide, so no speedup is
+#     demanded — the bar is "within x1.25" (timer noise + the request
+#     bookkeeping) on any host.
+#
+# Usage: bench/run_exchange_gate.sh [build-dir]   (from the repo root;
+#        build-dir defaults to ./build and must already contain the bench)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+BIN="$BUILD/bench/bench_exchange_overlap"
+
+if [ ! -x "$BIN" ]; then
+  echo "FAIL: $BIN not built (cmake --build $BUILD --target" \
+       "bench_exchange_overlap)"
+  exit 1
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+json="$workdir/BENCH_exchange.json"
+
+echo "== exchange gate: running bench_exchange_overlap =="
+"$BIN" "$json"
+
+[ -s "$json" ] || { echo "FAIL: bench wrote no BENCH_exchange.json"; exit 1; }
+
+python3 - "$json" <<'EOF'
+import json, sys
+
+try:
+    data = json.load(open(sys.argv[1]))
+except Exception as e:
+    sys.exit(f"FAIL: BENCH_exchange.json is malformed: {e}")
+
+def need(obj, key, ctx):
+    if key not in obj:
+        sys.exit(f"FAIL: missing field {ctx}.{key}")
+    return obj[key]
+
+assert need(data, "bench", "") == "exchange_overlap", "wrong bench tag"
+need(data, "hardware_threads", "")
+need(data, "fixed_iterations", "")
+decomp = need(data, "decomposition", "")
+assert len(decomp) == 3 and all(n >= 1 for n in decomp), \
+    f"FAIL: bad decomposition {decomp}"
+
+sync = need(data, "sync", "")
+over = need(data, "overlapped", "")
+for name, r in [("sync", sync), ("overlapped", over)]:
+    assert need(r, "seconds_per_iteration", name) > 0, \
+        f"{name}: non-positive seconds_per_iteration"
+    assert need(r, "k_eff", name) > 0, f"{name}: non-positive k_eff"
+
+# Result identity: the overlap changes the communication schedule only.
+assert sync["k_eff"] == over["k_eff"], \
+    (f"FAIL: overlapped k_eff {over['k_eff']!r} differs from "
+     f"synchronous {sync['k_eff']!r}")
+
+# Eq. 7: wire bytes = crossing track ends * 7 groups * 4 bytes.
+ends = need(data, "crossing_track_ends", "")
+bytes_ = need(data, "flux_bytes_per_iter", "")
+assert ends > 0, "FAIL: no crossing track ends in a real decomposition"
+assert bytes_ == ends * 7 * 4, \
+    f"FAIL: flux_bytes_per_iter {bytes_} != {ends} ends * 7 groups * 4 B"
+
+ratio = need(over, "overlap_ratio", "overlapped")
+assert 0.0 < ratio <= 1.0, f"FAIL: overlap_ratio {ratio} outside (0, 1]"
+
+slowdown = over["seconds_per_iteration"] / sync["seconds_per_iteration"]
+print(f"   overlapped vs synchronous: {slowdown:.3f}x "
+      f"(bar: <= 1.25), overlap ratio {ratio:.3f}")
+assert slowdown <= 1.25, \
+    f"FAIL: overlapped exchange {slowdown:.3f}x slower than synchronous"
+
+print(f"   JSON OK: {ends} crossing ends, {bytes_} B/iter over "
+      f"{decomp} domains")
+EOF
+
+echo "exchange gate PASSED"

@@ -199,8 +199,17 @@ ScalingPoint ScalingSimulator::evaluate(int num_gpus,
       w.crossing_coefficient * std::pow(tracks_per_domain, 2.0 / 3.0);
   const double bytes_per_node = crossing_per_domain * w.domains_per_node *
                                 2.0 * w.num_groups * 4.0;
-  pt.comm_s = bytes_per_node / m.link_bandwidth_bytes_per_s +
-              m.link_latency_s * 6.0 * w.domains_per_node;
+  const double raw_comm_s =
+      bytes_per_node / m.link_bandwidth_bytes_per_s +
+      m.link_latency_s * 6.0 * w.domains_per_node;
+
+  // Overlapped exchange (DESIGN.md §8): a fraction of the raw transfer
+  // time hides behind the interior sweep, bounded by the compute time —
+  // communication can never hide more than the computation that covers it.
+  const double eff =
+      std::clamp(m.comm_overlap_efficiency, 0.0, 1.0);
+  pt.comm_hidden_s = eff * std::min(raw_comm_s, pt.compute_s);
+  pt.comm_s = raw_comm_s - pt.comm_hidden_s;
 
   pt.time_per_iteration_s = pt.compute_s + pt.comm_s;
   return pt;

@@ -35,6 +35,11 @@ struct MachineSpec {
   double resident_budget_fraction = 0.384;
   double link_bandwidth_bytes_per_s = 25.0e9;  ///< 200 Gb/s HDR
   double link_latency_s = 1.5e-6;
+  /// Fraction of the raw exchange time hidden behind the interior sweep by
+  /// the overlapped exchange (DESIGN.md §8), clamped to [0, 1]. The hidden
+  /// share is additionally bounded by the compute time. 0 = the fully
+  /// synchronous model (backward compatible).
+  double comm_overlap_efficiency = 0.0;
   /// Device cycles to sweep one stored segment for one energy group.
   double cycles_per_segment_group = 1.0;
 };
@@ -97,7 +102,11 @@ struct ScalingPoint {
   int gpus = 0;
   double time_per_iteration_s = 0.0;
   double compute_s = 0.0;
+  /// Exposed (unhidden) communication time per iteration.
   double comm_s = 0.0;
+  /// Communication time hidden behind the interior sweep
+  /// (comm_overlap_efficiency; 0 in the synchronous model).
+  double comm_hidden_s = 0.0;
   double gpu_load_uniformity = 1.0;  ///< MAX/AVG across GPUs
   double cu_uniformity = 1.0;        ///< within-GPU L3 factor
   double resident_fraction = 1.0;

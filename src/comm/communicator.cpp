@@ -13,6 +13,7 @@ namespace detail {
 
 SharedState::SharedState(int n, CommOptions opts)
     : nranks(n), options(opts), bytes_sent(n), messages_sent(n) {
+  reduce_slots.resize(n);
   mailboxes.reserve(n);
   for (int i = 0; i < n; ++i)
     mailboxes.push_back(std::make_unique<Mailbox>());
@@ -143,6 +144,143 @@ detail::Message Communicator::match(int source, int tag) {
   }
 }
 
+Request Communicator::isend(int dest, int tag, const void* data,
+                            std::size_t bytes) {
+  fault::point("comm.isend", rank_);
+  // Buffered semantics: the copy into the destination mailbox happens now
+  // (inside send(), with its byte counting and poison check), so the
+  // request is born complete.
+  send(dest, tag, data, bytes);
+  auto state = std::make_shared<detail::RequestState>();
+  state->kind = detail::RequestState::Kind::kSend;
+  state->peer = dest;
+  state->tag = tag;
+  state->complete = true;
+  state->bytes = bytes;
+  return Request(std::move(state));
+}
+
+Request Communicator::post_recv(
+    int source, int tag,
+    std::function<void(std::vector<std::byte>&&)> deliver) {
+  require(source >= 0 && source < size(),
+          "irecv: source rank out of range");
+  if (state_->poisoned.load(std::memory_order_acquire)) fail_peer("irecv");
+  fault::point("comm.irecv", rank_);
+  auto state = std::make_shared<detail::RequestState>();
+  state->kind = detail::RequestState::Kind::kRecv;
+  state->peer = source;
+  state->tag = tag;
+  state->deliver = std::move(deliver);
+  return Request(std::move(state));
+}
+
+Request Communicator::irecv(int source, int tag, void* data,
+                            std::size_t bytes) {
+  const int self = rank_;
+  return post_recv(source, tag, [data, bytes, self, source, tag](
+                                    std::vector<std::byte>&& payload) {
+    require(payload.size() == bytes,
+            "irecv: rank " + std::to_string(self) +
+                " matched a message from rank " + std::to_string(source) +
+                " (tag " + std::to_string(tag) + ") of " +
+                std::to_string(payload.size()) + " B but posted a " +
+                std::to_string(bytes) + "-byte buffer");
+    std::memcpy(data, payload.data(), payload.size());
+  });
+}
+
+bool Communicator::try_complete_locked(detail::RequestState& rs,
+                                       detail::Mailbox& box) {
+  auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                         [&](const detail::Message& m) {
+                           return m.source == rs.peer && m.tag == rs.tag;
+                         });
+  if (it == box.queue.end()) return false;
+  detail::Message msg = std::move(*it);
+  box.queue.erase(it);
+  rs.bytes = msg.payload.size();
+  rs.complete = true;
+  auto deliver = std::move(rs.deliver);
+  rs.deliver = nullptr;
+  if (deliver) deliver(std::move(msg.payload));
+  return true;
+}
+
+bool Communicator::test(Request& r) {
+  if (r.done()) return true;
+  if (state_->poisoned.load(std::memory_order_acquire)) fail_peer("test");
+  auto& rs = *r.state_;
+  auto& box = *state_->mailboxes[rank_];
+  {
+    std::lock_guard lock(box.mutex);
+    if (!try_complete_locked(rs, box)) return false;
+  }
+  record_recv(rs.bytes);
+  return true;
+}
+
+int Communicator::wait_any(std::vector<Request>& reqs) {
+  bool pending = false;
+  for (const Request& r : reqs) pending = pending || !r.done();
+  if (!pending) return -1;
+
+  fault::point("comm.wait", rank_);
+  telemetry::TraceSpan span("comm/wait_any", "comm", rank_, -1, "requests",
+                            static_cast<std::int64_t>(reqs.size()));
+  telemetry::ScopedWait waiting("comm.wait_us", rank_);
+  auto& box = *state_->mailboxes[rank_];
+  const auto deadline = state_->options.deadline;
+  const auto give_up = std::chrono::steady_clock::now() + deadline;
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      Request& r = reqs[i];
+      if (r.done()) continue;
+      if (try_complete_locked(*r.state_, box)) {
+        lock.unlock();
+        record_recv(r.state_->bytes);
+        return static_cast<int>(i);
+      }
+    }
+    if (state_->poisoned.load(std::memory_order_acquire)) {
+      lock.unlock();
+      fail_peer("wait_any");
+    }
+    if (deadline.count() > 0) {
+      if (box.ready.wait_until(lock, give_up) == std::cv_status::timeout) {
+        // One last sweep for a message that raced the timeout.
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+          Request& r = reqs[i];
+          if (r.done()) continue;
+          if (try_complete_locked(*r.state_, box)) {
+            lock.unlock();
+            record_recv(r.state_->bytes);
+            return static_cast<int>(i);
+          }
+        }
+        lock.unlock();
+        if (state_->poisoned.load(std::memory_order_acquire))
+          fail_peer("wait_any");
+        fail_timeout("wait_any", -1, -1);
+      }
+    } else {
+      box.ready.wait(lock);
+    }
+  }
+}
+
+void Communicator::wait(Request& r) {
+  std::vector<Request> one{r};
+  wait_any(one);
+  r = one[0];
+}
+
+void Communicator::wait_all(std::vector<Request>& reqs) {
+  while (wait_any(reqs) >= 0) {
+  }
+}
+
 void Communicator::recv(int source, int tag, void* data, std::size_t bytes) {
   const detail::Message msg = match(source, tag);
   require(msg.payload.size() == bytes,
@@ -220,28 +358,32 @@ void Communicator::allreduce(std::vector<double>& values, ReduceOp op) {
   }
   const std::uint64_t generation = s.reduce_generation;
 
-  if (s.reduce_arrived == 0) {
-    s.reduce_buffer = values;  // first contributor seeds the accumulator
-  } else {
-    require(s.reduce_buffer.size() == values.size(),
-            "allreduce: ranks passed different value counts");
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      switch (op) {
-        case ReduceOp::kSum:
-          s.reduce_buffer[i] += values[i];
-          break;
-        case ReduceOp::kMax:
-          s.reduce_buffer[i] = std::max(s.reduce_buffer[i], values[i]);
-          break;
-        case ReduceOp::kMin:
-          s.reduce_buffer[i] = std::min(s.reduce_buffer[i], values[i]);
-          break;
-      }
-    }
-  }
+  // Park this rank's contribution; the last arriver reduces the slots in
+  // fixed rank order so the floating-point result never depends on which
+  // rank got here first (bit-reproducibility, DESIGN.md §8).
+  s.reduce_slots[rank_] = values;
 
   if (++s.reduce_arrived == s.nranks) {
-    s.reduce_result = s.reduce_buffer;
+    for (int r = 0; r < s.nranks; ++r)
+      require(s.reduce_slots[r].size() == values.size(),
+              "allreduce: ranks passed different value counts");
+    s.reduce_result = s.reduce_slots[0];
+    for (int r = 1; r < s.nranks; ++r) {
+      const auto& slot = s.reduce_slots[r];
+      for (std::size_t i = 0; i < slot.size(); ++i) {
+        switch (op) {
+          case ReduceOp::kSum:
+            s.reduce_result[i] += slot[i];
+            break;
+          case ReduceOp::kMax:
+            s.reduce_result[i] = std::max(s.reduce_result[i], slot[i]);
+            break;
+          case ReduceOp::kMin:
+            s.reduce_result[i] = std::min(s.reduce_result[i], slot[i]);
+            break;
+        }
+      }
+    }
     s.reduce_arrived = 0;
     ++s.reduce_generation;
     values = s.reduce_result;

@@ -17,6 +17,15 @@
 /// rank wakes with PeerFailure instead of hanging, so a decomposed solve
 /// always terminates with a diagnostic.
 ///
+/// Nonblocking primitives (DESIGN.md §8): isend/irecv return a Request;
+/// test() polls without blocking, wait()/wait_any()/wait_all() block with
+/// the same deadline and poison semantics as the blocking calls. A posted
+/// irecv claims a matching message only inside test/wait calls — matching
+/// between a posted irecv and a concurrent blocking recv with the same
+/// (source, tag) signature is unspecified, exactly like two MPI receives
+/// with identical signatures. Messages from one (source, tag) pair are
+/// matched in FIFO order.
+///
 /// All traffic is byte-counted so the communication model (Eq. 7) can be
 /// validated against actually transferred bytes.
 
@@ -28,9 +37,11 @@
 #include <algorithm>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "util/error.h"
@@ -56,6 +67,21 @@ struct Message {
   std::vector<std::byte> payload;
 };
 
+/// Shared state of one in-flight nonblocking operation. Sends complete at
+/// creation (the runtime is buffered); receives complete when test/wait
+/// matches a message and delivers it into the caller's buffer.
+struct RequestState {
+  enum class Kind { kSend, kRecv };
+  Kind kind = Kind::kRecv;
+  int peer = -1;
+  int tag = 0;
+  bool complete = false;
+  std::size_t bytes = 0;  ///< payload size, filled at completion
+  /// Copies the matched payload into the destination buffer; set by the
+  /// posting irecv overload, cleared after delivery.
+  std::function<void(std::vector<std::byte>&&)> deliver;
+};
+
 struct Mailbox {
   std::mutex mutex;
   std::condition_variable ready;
@@ -76,13 +102,17 @@ struct SharedState {
   int barrier_arrived = 0;
   std::uint64_t barrier_generation = 0;
 
-  // Allreduce scratch: contributions gathered under a mutex; the last
-  // arriving rank publishes the result for the current generation.
+  // Allreduce scratch: each rank parks its contribution in its own slot;
+  // the last arriving rank reduces the slots in fixed rank order and
+  // publishes the result. Reducing in rank order (not arrival order)
+  // makes the floating-point sum deterministic run to run — the
+  // collective-side requirement for the decomposed solve's
+  // bit-reproducibility (DESIGN.md §8).
   std::mutex reduce_mutex;
   std::condition_variable reduce_cv;
   int reduce_arrived = 0;
   std::uint64_t reduce_generation = 0;
-  std::vector<double> reduce_buffer;
+  std::vector<std::vector<double>> reduce_slots;
   std::vector<double> reduce_result;
 
   // Poisoned-world flag: set when any rank fails so blocked peers wake
@@ -105,6 +135,29 @@ struct SharedState {
 };
 
 }  // namespace detail
+
+/// Handle to one nonblocking operation (isend/irecv). Default-constructed
+/// requests are "null": done() is true and wait/test treat them as already
+/// complete. Requests are owned by the rank that posted them; they must
+/// not be tested or waited on from another rank's thread. For receives,
+/// the destination buffer must stay alive and unmoved until done().
+class Request {
+ public:
+  Request() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  bool done() const { return state_ == nullptr || state_->complete; }
+  int peer() const { return state_ ? state_->peer : -1; }
+  int tag() const { return state_ ? state_->tag : -1; }
+  /// Bytes transferred; for receives, valid once done().
+  std::size_t bytes() const { return state_ ? state_->bytes : 0; }
+
+ private:
+  friend class Communicator;
+  explicit Request(std::shared_ptr<detail::RequestState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::RequestState> state_;
+};
 
 /// Per-rank handle to the message-passing world.
 class Communicator {
@@ -156,6 +209,62 @@ class Communicator {
     v.resize(payload.size() / sizeof(T));
     std::memcpy(v.data(), payload.data(), payload.size());
   }
+
+  // --- nonblocking point-to-point (DESIGN.md §8) ---------------------------
+
+  /// Nonblocking send. The runtime is buffered, so the payload is copied
+  /// into `dest`'s mailbox immediately and the returned request is already
+  /// complete — but byte counting, telemetry, and the poison check are
+  /// identical to send(), and callers should treat completion as only
+  /// guaranteed after wait()/test(), as with MPI.
+  Request isend(int dest, int tag, const void* data, std::size_t bytes);
+
+  template <class T>
+  Request isend(int dest, int tag, const std::vector<T>& v) {
+    return isend(dest, tag, v.data(), v.size() * sizeof(T));
+  }
+
+  /// Posts a receive matching (source, tag) into a fixed-size buffer; the
+  /// match happens inside a later test/wait call. Completion with a
+  /// different-sized message throws antmoc::Error from that call.
+  Request irecv(int source, int tag, void* data, std::size_t bytes);
+
+  /// Posts a receive that adopts whatever size the sender ships: on
+  /// completion `v` is resized to the payload (which must be a whole
+  /// number of T). `v` must outlive the request.
+  template <class T>
+  Request irecv(int source, int tag, std::vector<T>& v) {
+    std::vector<T>* dest = &v;
+    const int self = rank_;
+    return post_recv(source, tag, [dest, self, source, tag](
+                                      std::vector<std::byte>&& payload) {
+      if (payload.size() % sizeof(T) != 0)
+        fail<Error>("irecv: rank " + std::to_string(self) + " matched a " +
+                    std::to_string(payload.size()) +
+                    "-byte message from rank " + std::to_string(source) +
+                    " (tag " + std::to_string(tag) +
+                    ") that is not a whole number of " +
+                    std::to_string(sizeof(T)) + "-byte elements");
+      dest->resize(payload.size() / sizeof(T));
+      std::memcpy(dest->data(), payload.data(), payload.size());
+    });
+  }
+
+  /// Nonblocking progress: attempts to complete `r` and returns done().
+  /// Null or already-complete requests return true immediately. Throws
+  /// PeerFailure if the world is poisoned.
+  bool test(Request& r);
+
+  /// Blocks until `r` completes (deadline- and poison-aware).
+  void wait(Request& r);
+
+  /// Blocks until at least one incomplete request in `reqs` completes and
+  /// returns its index; returns -1 immediately if every request is already
+  /// complete (or null). Deadline- and poison-aware like recv().
+  int wait_any(std::vector<Request>& reqs);
+
+  /// Waits for every request in `reqs`.
+  void wait_all(std::vector<Request>& reqs);
 
   /// Combined post-then-collect exchange with one peer.
   template <class T>
@@ -222,6 +331,15 @@ class Communicator {
   /// Matches (source, tag) in this rank's mailbox, honoring deadline and
   /// poison; the returned message is removed from the queue.
   detail::Message match(int source, int tag);
+
+  /// Registers an irecv request with the given delivery functor.
+  Request post_recv(int source, int tag,
+                    std::function<void(std::vector<std::byte>&&)> deliver);
+
+  /// Completes `rs` against the (locked) mailbox queue if a matching
+  /// message is queued; returns whether it completed. Caller records the
+  /// received bytes after releasing the lock.
+  bool try_complete_locked(detail::RequestState& rs, detail::Mailbox& box);
 
   /// Telemetry hook: counts received payload bytes (total and per rank).
   void record_recv(std::size_t bytes) const;

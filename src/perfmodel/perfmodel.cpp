@@ -95,4 +95,10 @@ std::uint64_t communication_bytes(long n3d, int num_groups) {
          static_cast<std::uint64_t>(num_groups) * 4u;
 }
 
+std::uint64_t interface_flux_bytes(long crossing_track_ends,
+                                   int num_groups) {
+  return static_cast<std::uint64_t>(crossing_track_ends) *
+         static_cast<std::uint64_t>(num_groups) * sizeof(float);
+}
+
 }  // namespace antmoc::perf

@@ -76,4 +76,10 @@ double predict_sweep_cycles(long n3dseg, double resident_fraction);
 /// boundary-flux state exchanged by the buffered-synchronous scheme.
 std::uint64_t communication_bytes(long n3d, int num_groups);
 
+/// Eq. 7 restricted to the wire: interface flux payload per iteration for
+/// `crossing_track_ends` boundary-crossing track ends (each a single
+/// direction of one track hitting an interface face), num_groups floats
+/// each. Matches DomainRunSummary::flux_bytes_per_iter exactly.
+std::uint64_t interface_flux_bytes(long crossing_track_ends, int num_groups);
+
 }  // namespace antmoc::perf

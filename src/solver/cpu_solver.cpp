@@ -6,49 +6,46 @@
 
 namespace antmoc {
 
-void CpuSolver::sweep() {
+long CpuSolver::sweep_one(long id, double* acc, double* psi, bool stage) {
   const int G = fsr_.num_groups();
   const auto& sigma_t = fsr_.sigma_t_flat();
   const auto& qos = fsr_.q_over_sigma_t();
+  const TrackInfoCache& cache = info_cache();
+  const Track3DInfo& info = cache[id];
+  const double w = cache.weight(id);
+  long segments = 0;
+  for (int dir = 0; dir < 2; ++dir) {
+    const bool forward = dir == 0;
+    const float* in = psi_in_.data() + (id * 2 + dir) * G;
+    for (int g = 0; g < G; ++g) psi[g] = in[g];
+
+    stacks_.for_each_segment(info, forward, [&](long fsr_id, double len) {
+      ++segments;
+      const long base = fsr_id * G;
+      for (int g = 0; g < G; ++g) {
+        const double ex = attenuation(sigma_t[base + g] * len);
+        const double delta = (psi[g] - qos[base + g]) * ex;
+        psi[g] -= delta;
+        acc[base + g] += w * delta;
+      }
+    });
+
+    if (stage) {
+      double* out = stage_slot(id, dir);
+      for (int g = 0; g < G; ++g) out[g] = psi[g];
+    } else {
+      deposit(id, forward, psi, /*atomic=*/false);
+    }
+  }
+  return segments;
+}
+
+void CpuSolver::sweep() {
+  const int G = fsr_.num_groups();
   auto& accum = fsr_.accumulator();
   const long n = stacks_.num_tracks();
-  const TrackInfoCache& cache = info_cache();
   util::Parallel& P = par();
   const unsigned W = P.workers();
-
-  // Per-item transport kernel: attenuate both directions of track `id`,
-  // tallying w*delta into `acc` and staging (or depositing) the outgoing
-  // flux. Returns the number of 3D segments traversed.
-  auto sweep_track = [&](long id, double* acc, double* psi,
-                         bool stage) -> long {
-    const Track3DInfo& info = cache[id];
-    const double w = cache.weight(id);
-    long segments = 0;
-    for (int dir = 0; dir < 2; ++dir) {
-      const bool forward = dir == 0;
-      const float* in = psi_in_.data() + (id * 2 + dir) * G;
-      for (int g = 0; g < G; ++g) psi[g] = in[g];
-
-      stacks_.for_each_segment(info, forward, [&](long fsr_id, double len) {
-        ++segments;
-        const long base = fsr_id * G;
-        for (int g = 0; g < G; ++g) {
-          const double ex = attenuation(sigma_t[base + g] * len);
-          const double delta = (psi[g] - qos[base + g]) * ex;
-          psi[g] -= delta;
-          acc[base + g] += w * delta;
-        }
-      });
-
-      if (stage) {
-        double* out = stage_slot(id, dir);
-        for (int g = 0; g < G; ++g) out[g] = psi[g];
-      } else {
-        deposit(id, forward, psi, /*atomic=*/false);
-      }
-    }
-    return segments;
-  };
 
   if (W == 1) {
     // Serial reference path: accumulate straight into the shared tallies
@@ -57,7 +54,7 @@ void CpuSolver::sweep() {
     std::vector<double> psi(G);
     long segments = 0;
     for (long id = 0; id < n; ++id)
-      segments += sweep_track(id, accum.data(), psi.data(), /*stage=*/false);
+      segments += sweep_one(id, accum.data(), psi.data(), /*stage=*/false);
     last_sweep_segments_ = segments;
     return;
   }
@@ -75,12 +72,49 @@ void CpuSolver::sweep() {
     double* acc = priv[w].data();
     long count = 0;
     for (long id = b; id < e; ++id)
-      count += sweep_track(id, acc, psi.data(), /*stage=*/true);
+      count += sweep_one(id, acc, psi.data(), /*stage=*/true);
     segments[w] = count;
   });
   P.reduce_into(priv, accum.data(), len);
   flush_staged_deposits();
   last_sweep_segments_ =
+      std::accumulate(segments.begin(), segments.end(), 0L);
+}
+
+void CpuSolver::sweep_subset(const std::vector<long>& ids) {
+  const int G = fsr_.num_groups();
+  auto& accum = fsr_.accumulator();
+  const long m = static_cast<long>(ids.size());
+  if (m == 0) return;
+  ensure_staging();
+  util::Parallel& P = par();
+  const unsigned W = P.workers();
+
+  if (W == 1) {
+    std::vector<double> psi(G);
+    long segments = 0;
+    for (long id : ids)
+      segments += sweep_one(id, accum.data(), psi.data(), /*stage=*/true);
+    last_sweep_segments_ += segments;
+    return;
+  }
+
+  // Same discipline as the full parallel sweep, over the subset's index
+  // space: the chunking depends only on (subset size, worker count), so a
+  // fixed phase partition reproduces bit-identical tallies.
+  const long len = fsr_.num_fsrs() * G;
+  std::vector<std::vector<double>> priv(W, std::vector<double>(len, 0.0));
+  std::vector<long> segments(W, 0);
+  P.for_chunks(m, [&](unsigned w, long b, long e) {
+    std::vector<double> psi(G);
+    double* acc = priv[w].data();
+    long count = 0;
+    for (long i = b; i < e; ++i)
+      count += sweep_one(ids[i], acc, psi.data(), /*stage=*/true);
+    segments[w] = count;
+  });
+  P.reduce_into(priv, accum.data(), len);
+  last_sweep_segments_ +=
       std::accumulate(segments.begin(), segments.end(), 0L);
 }
 

@@ -30,6 +30,14 @@ class CpuSolver : public TransportSolver {
 
  protected:
   void sweep() override;
+  void sweep_subset(const std::vector<long>& ids) override;
+
+ private:
+  /// Attenuates both directions of track `id`, tallying w*delta into `acc`
+  /// and staging (stage = true) or depositing (stage = false) the outgoing
+  /// flux. `psi` is a caller-owned G-element scratch buffer. Returns the
+  /// number of 3D segments traversed.
+  long sweep_one(long id, double* acc, double* psi, bool stage);
 };
 
 }  // namespace antmoc

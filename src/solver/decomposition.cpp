@@ -31,6 +31,13 @@ int Decomposition::neighbor(int rank, Face f) const {
   return rank_of(i, j, k);
 }
 
+int Decomposition::num_neighbors(int rank) const {
+  int count = 0;
+  for (int f = 0; f < 6; ++f)
+    if (neighbor(rank, static_cast<Face>(f)) >= 0) ++count;
+  return count;
+}
+
 Bounds Decomposition::domain_bounds(const Bounds& global, int rank) const {
   require(nx >= 1 && ny >= 1 && nz >= 1, "invalid decomposition grid");
   const auto [i, j, k] = coords(rank);

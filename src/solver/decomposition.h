@@ -29,6 +29,10 @@ struct Decomposition {
   /// Neighboring rank across face f, or -1 at the outer boundary.
   int neighbor(int rank, Face f) const;
 
+  /// Number of interface faces of domain `rank` (0..6): the count of
+  /// per-iteration flux-exchange partners.
+  int num_neighbors(int rank) const;
+
   /// Sub-cuboid of domain `rank` within `global`.
   Bounds domain_bounds(const Bounds& global, int rank) const;
 

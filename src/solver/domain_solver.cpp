@@ -5,7 +5,9 @@
 #include <mutex>
 
 #include "solver/cpu_solver.h"
+#include "telemetry/telemetry.h"
 #include "util/error.h"
+#include "util/timer.h"
 
 namespace antmoc {
 namespace {
@@ -22,28 +24,57 @@ struct IfaceSlot {
 
 /// Adds neighbor flux exchange and global reductions to a sweep engine
 /// (CpuSolver or GpuSolver).
+///
+/// The sweep is *boundary-first* (DESIGN.md §8): interface-crossing tracks
+/// are swept in per-face phases before the interior, so each face's
+/// coalesced flux payload can be posted the moment its last exporting
+/// track is done. In overlapped mode (`comm.overlap`, the default) the
+/// payloads go out as nonblocking isends, imports are posted as irecvs
+/// before the sweep starts, and the interior sweep runs while neighbor
+/// fluxes are in flight; the synchronous mode keeps the paper's §3.3
+/// dead-stop pattern (post everything after the sweep, then collect).
+/// Both modes execute the identical phase partition, flush order, and
+/// fixed-face-order import application, so for a fixed worker count the
+/// overlapped solve is bit-identical to the synchronous one.
 template <class Base>
 class DomainImpl : public Base {
  public:
   template <class... Extra>
   DomainImpl(const TrackStacks& stacks, const std::vector<Material>& mats,
              const Decomposition& decomp, comm::Communicator& comm,
-             Extra&&... extra)
+             bool overlap, Extra&&... extra)
       : Base(stacks, mats, std::forward<Extra>(extra)...),
         decomp_(decomp),
         comm_(&comm),
-        rank_(comm.rank()) {
+        rank_(comm.rank()),
+        overlap_(overlap) {
     const Geometry& g = stacks.geometry();
     this->set_z_kinds(decomp.z_kind(g, rank_, Face::kZMin),
                       decomp.z_kind(g, rank_, Face::kZMax));
     this->build_links();
     setup_interfaces();
+    build_phases();
   }
 
   std::uint64_t flux_bytes_per_iter() const {
     std::uint64_t bytes = 0;
     for (const auto& buf : out_flux_) bytes += buf.size() * sizeof(float);
     return bytes;
+  }
+
+  /// Interface-crossing track ends exported by this rank (Eq. 7's N).
+  long crossing_track_ends() const {
+    const int G = this->fsr().num_groups();
+    long ends = 0;
+    for (const auto& buf : out_flux_)
+      ends += static_cast<long>(buf.size()) / G;
+    return ends;
+  }
+
+  /// Mean fraction of the exchange window hidden behind the interior
+  /// sweep (0 in synchronous mode or without interfaces).
+  double mean_overlap_ratio() const {
+    return overlap_count_ > 0 ? overlap_sum_ / overlap_count_ : 0.0;
   }
 
  protected:
@@ -63,26 +94,113 @@ class DomainImpl : public Base {
     for (int g = 0; g < G; ++g) out[g] = static_cast<float>(psi[g]);
   }
 
+  void sweep() override {
+    if (!has_interfaces_) {
+      Base::sweep();
+      return;
+    }
+    this->last_sweep_segments_ = 0;
+    this->ensure_staging();
+
+    // Imports are posted before any computation so neighbor payloads land
+    // the moment they are sent, not when this rank stops to collect.
+    if (overlap_) {
+      for (int f = 0; f < 6; ++f) {
+        recv_reqs_[f] = comm::Request();
+        if (import_slots_[f].empty()) continue;
+        const int nbr = decomp_.neighbor(rank_, static_cast<Face>(f));
+        const int sender_face =
+            static_cast<int>(opposite_face(static_cast<Face>(f)));
+        recv_reqs_[f] =
+            comm_->irecv(nbr, kFluxTagBase + sender_face, in_flux_[f]);
+      }
+    }
+
+    // Boundary phases: group g holds every interface-crossing track whose
+    // lowest export face is g, so after phase g all faces f with
+    // face_last_group_[f] == g have their full payload staged.
+    for (int g = 0; g < 6; ++g) {
+      if (!face_groups_[g].empty()) {
+        this->sweep_subset(face_groups_[g]);
+        this->flush_staged_deposits(face_groups_[g]);
+      }
+      if (!overlap_) continue;
+      for (int f = 0; f < 6; ++f) {
+        if (face_last_group_[f] != g || out_flux_[f].empty()) continue;
+        telemetry::TraceSpan span("comm/face_flux_post", "comm", rank_, -1,
+                                  "face", f);
+        comm_->isend(decomp_.neighbor(rank_, static_cast<Face>(f)),
+                     kFluxTagBase + f, out_flux_[f]);
+      }
+    }
+
+    // Interior sweep: the computation that hides the exchange.
+    Timer interior;
+    interior.start();
+    this->sweep_subset(interior_);
+    this->flush_staged_deposits(interior_);
+    interior.stop();
+    interior_seconds_ = interior.seconds();
+  }
+
   void exchange() override {
     const int G = this->fsr().num_groups();
     // Global FSR accumulators: every rank then closes identical fluxes,
     // so k, normalization, and convergence stay consistent with no
-    // further communication.
+    // further communication. In overlapped mode the flux payloads are
+    // already in flight, so this reduction overlaps with their arrival.
     comm_->allreduce(this->fsr().accumulator(), comm::ReduceOp::kSum);
+    if (!has_interfaces_) return;
 
-    // Buffered-synchronous flux exchange: post all sends, then collect.
-    for (int f = 0; f < 6; ++f) {
-      const int nbr = decomp_.neighbor(rank_, static_cast<Face>(f));
-      if (nbr < 0) continue;
-      comm_->send(nbr, kFluxTagBase + f, out_flux_[f]);
+    if (overlap_) {
+      Timer drain;
+      drain.start();
+      std::vector<comm::Request> pending;
+      for (int f = 0; f < 6; ++f)
+        if (recv_reqs_[f].valid()) pending.push_back(recv_reqs_[f]);
+      comm_->wait_all(pending);
+      drain.stop();
+      const double hidden = interior_seconds_;
+      const double waited = drain.seconds();
+      const double ratio =
+          hidden + waited > 0.0 ? hidden / (hidden + waited) : 1.0;
+      overlap_sum_ += ratio;
+      ++overlap_count_;
+      if (telemetry::on())
+        telemetry::metrics().gauge("comm.overlap_ratio").set(ratio);
+    } else {
+      // Buffered-synchronous flux exchange (paper §3.3): post all sends,
+      // then collect — the dead stop the overlapped mode removes. Empty
+      // faces exchange nothing.
+      for (int f = 0; f < 6; ++f) {
+        if (out_flux_[f].empty()) continue;
+        telemetry::TraceSpan span("comm/face_flux_post", "comm", rank_, -1,
+                                  "face", f);
+        comm_->send(decomp_.neighbor(rank_, static_cast<Face>(f)),
+                    kFluxTagBase + f, out_flux_[f]);
+      }
+      for (int f = 0; f < 6; ++f) {
+        if (import_slots_[f].empty()) continue;
+        const int nbr = decomp_.neighbor(rank_, static_cast<Face>(f));
+        const int sender_face =
+            static_cast<int>(opposite_face(static_cast<Face>(f)));
+        comm_->recv(nbr, kFluxTagBase + sender_face, in_flux_[f]);
+      }
     }
+
+    // Imports are applied in fixed face order regardless of arrival
+    // order — the exchange-ordering analogue of the staged-deposit
+    // discipline — so results never depend on message timing.
     for (int f = 0; f < 6; ++f) {
-      const int nbr = decomp_.neighbor(rank_, static_cast<Face>(f));
-      if (nbr < 0) continue;
-      const int sender_face =
-          static_cast<int>(opposite_face(static_cast<Face>(f)));
-      comm_->recv(nbr, kFluxTagBase + sender_face, in_flux_[f]);
       const auto& imports = import_slots_[f];
+      if (imports.empty()) continue;
+      require(in_flux_[f].size() == imports.size() * G,
+              "face " + std::to_string(f) + ": neighbor sent " +
+                  std::to_string(in_flux_[f].size() / G) +
+                  " flux entries but the setup target list has " +
+                  std::to_string(imports.size()));
+      telemetry::TraceSpan span("comm/face_flux_apply", "comm", rank_, -1,
+                                "face", f);
       for (std::size_t i = 0; i < imports.size(); ++i) {
         float* slot = this->psi_next().data() +
                       (imports[i].track * 2 + (imports[i].forward ? 0 : 1)) *
@@ -113,10 +231,12 @@ class DomainImpl : public Base {
         continue;
       }
       out_flux_[f].assign(exports[f].size() * G, 0.0f);
-      // Ship the target list once; per-iteration messages carry only flux.
+      // Ship the target count once (the receiver cannot derive emptiness
+      // from its own laydown); faces with no crossing tracks send nothing
+      // further — neither a target list here nor flux payloads later.
       const long count = static_cast<long>(exports[f].size());
       comm_->send(nbr, kSizeTagBase + f, &count, sizeof(count));
-      comm_->send(nbr, kListTagBase + f, exports[f]);
+      if (count > 0) comm_->send(nbr, kListTagBase + f, exports[f]);
     }
     for (int f = 0; f < 6; ++f) {
       const int nbr = decomp_.neighbor(rank_, static_cast<Face>(f));
@@ -125,8 +245,14 @@ class DomainImpl : public Base {
           static_cast<int>(opposite_face(static_cast<Face>(f)));
       long count = 0;
       comm_->recv(nbr, kSizeTagBase + sender_face, &count, sizeof(count));
-      import_slots_[f].resize(count);
+      import_slots_[f].clear();
+      in_flux_[f].clear();
+      if (count == 0) continue;
       comm_->recv(nbr, kListTagBase + sender_face, import_slots_[f]);
+      require(static_cast<long>(import_slots_[f].size()) == count,
+              "face " + std::to_string(f) + ": neighbor announced " +
+                  std::to_string(count) + " crossing tracks but sent " +
+                  std::to_string(import_slots_[f].size()));
       in_flux_[f].assign(count * G, 0.0f);
       for (const auto& slot : import_slots_[f])
         require(slot.track >= 0 && slot.track < this->stacks().num_tracks(),
@@ -134,12 +260,54 @@ class DomainImpl : public Base {
     }
   }
 
+  /// Partitions tracks into per-face boundary groups plus the interior,
+  /// and records the phase after which each face's exports are complete.
+  void build_phases() {
+    const auto& links = this->links();
+    const long n = this->stacks().num_tracks();
+    face_last_group_.fill(-1);
+    for (long id = 0; id < n; ++id) {
+      int group = -1;
+      for (int dir = 0; dir < 2; ++dir) {
+        const Link3D& link = links[id * 2 + dir];
+        if (link.kind != Link3D::Kind::kInterface) continue;
+        const int f = static_cast<int>(link.face);
+        group = group < 0 ? f : std::min(group, f);
+      }
+      if (group < 0) {
+        interior_.push_back(id);
+        continue;
+      }
+      face_groups_[group].push_back(id);
+      for (int dir = 0; dir < 2; ++dir) {
+        const Link3D& link = links[id * 2 + dir];
+        if (link.kind != Link3D::Kind::kInterface) continue;
+        const int f = static_cast<int>(link.face);
+        face_last_group_[f] = std::max(face_last_group_[f], group);
+      }
+      has_interfaces_ = true;
+    }
+  }
+
   const Decomposition& decomp_;
   comm::Communicator* comm_;
   int rank_;
+  bool overlap_;
   std::vector<long> slot_index_;
   std::array<std::vector<float>, 6> out_flux_, in_flux_;
   std::array<std::vector<IfaceSlot>, 6> import_slots_;
+
+  // Phased-sweep state (build_phases).
+  std::array<std::vector<long>, 6> face_groups_;
+  std::vector<long> interior_;
+  std::array<int, 6> face_last_group_{};
+  bool has_interfaces_ = false;
+
+  // Overlapped-exchange state.
+  std::array<comm::Request, 6> recv_reqs_;
+  double interior_seconds_ = 0.0;
+  double overlap_sum_ = 0.0;
+  long overlap_count_ = 0;
 };
 
 }  // namespace
@@ -152,6 +320,7 @@ DomainRunSummary solve_decomposed(const Geometry& geometry,
   DomainRunSummary summary;
   std::mutex mutex;
   std::vector<long> domain_segments(decomp.num_domains(), 0);
+  double overlap_sum = 0.0;
 
   const std::uint64_t total_bytes = comm::Runtime::run(
       decomp.num_domains(), [&](comm::Communicator& comm) {
@@ -169,22 +338,30 @@ DomainRunSummary solve_decomposed(const Geometry& geometry,
 
         SolveResult result;
         std::uint64_t flux_bytes = 0;
+        long crossing_ends = 0;
+        double overlap_ratio = 0.0;
         std::vector<double> fission, flux;
         std::unique_ptr<gpusim::Device> device;
 
         if (params.use_device) {
           device = std::make_unique<gpusim::Device>(params.device_spec);
           DomainImpl<GpuSolver> solver(stacks, materials, decomp, comm,
-                                       *device, params.gpu_options);
+                                       params.overlap, *device,
+                                       params.gpu_options);
           result = solver.solve(options);
           flux_bytes = solver.flux_bytes_per_iter();
+          crossing_ends = solver.crossing_track_ends();
+          overlap_ratio = solver.mean_overlap_ratio();
           fission = solver.fsr().fission_rate();
           flux = solver.fsr().scalar_flux();
         } else {
           DomainImpl<CpuSolver> solver(stacks, materials, decomp, comm,
+                                       params.overlap,
                                        params.sweep_workers);
           result = solver.solve(options);
           flux_bytes = solver.flux_bytes_per_iter();
+          crossing_ends = solver.crossing_track_ends();
+          overlap_ratio = solver.mean_overlap_ratio();
           fission = solver.fsr().fission_rate();
           flux = solver.fsr().scalar_flux();
         }
@@ -195,6 +372,8 @@ DomainRunSummary solve_decomposed(const Geometry& geometry,
         summary.total_tracks_3d += stacks.num_tracks();
         summary.total_segments_3d += segments;
         summary.flux_bytes_per_iter += flux_bytes;
+        summary.crossing_track_ends += crossing_ends;
+        overlap_sum += overlap_ratio;
         if (rank == 0) {
           summary.result = result;
           summary.fission_rate = std::move(fission);
@@ -203,6 +382,7 @@ DomainRunSummary solve_decomposed(const Geometry& geometry,
       });
 
   summary.total_bytes_sent = total_bytes;
+  summary.comm_overlap_ratio = overlap_sum / decomp.num_domains();
   const long max_seg =
       *std::max_element(domain_segments.begin(), domain_segments.end());
   const double avg_seg =

@@ -117,85 +117,103 @@ void GpuSolver::charge(const std::string& label, std::size_t bytes) {
   charges_.emplace_back(device_.memory(), label, bytes);
 }
 
-void GpuSolver::sweep() {
+double GpuSolver::sweep_track(long id, double* acc, bool stage) {
   const int G = fsr_.num_groups();
   const double* sigma_t = fsr_.sigma_t_flat().data();
   const double* qos = fsr_.q_over_sigma_t().data();
   double* accum = fsr_.accumulator().data();
 
+  Track3DInfo decoded;
+  const Track3DInfo* info;
+  double w;
+  if (cache_ != nullptr) {
+    info = &(*cache_)[id];
+    w = cache_->weight(id);
+  } else {
+    decoded = stacks_.info(id);
+    info = &decoded;
+    w = stacks_.direction_weight(id) * stacks_.track_area(id);
+  }
+  double psi[kMaxGroups];
+
+  long seg_count = 0;
+  const Segment3D* segs = manager_.segments(id, seg_count);
+
+  for (int dir = 0; dir < 2; ++dir) {
+    const bool forward = dir == 0;
+    const float* in = psi_in_.data() + (id * 2 + dir) * G;
+    for (int g = 0; g < G; ++g) psi[g] = in[g];
+
+    auto apply = [&](long fsr_id, double len) {
+      const long base = fsr_id * G;
+      for (int g = 0; g < G; ++g) {
+        const double ex = attenuation(sigma_t[base + g] * len);
+        const double delta = (psi[g] - qos[base + g]) * ex;
+        psi[g] -= delta;
+        if (acc != nullptr)
+          acc[base + g] += w * delta;
+        else
+          gpusim::device_atomic_add(accum[base + g], w * delta);
+      }
+    };
+
+    if (segs != nullptr) {
+      // Resident: sweep the stored segments (reversed when backward).
+      if (forward)
+        for (long s = 0; s < seg_count; ++s)
+          apply(segs[s].fsr, segs[s].length);
+      else
+        for (long s = seg_count - 1; s >= 0; --s)
+          apply(segs[s].fsr, segs[s].length);
+    } else {
+      // Temporary: fused OTF regeneration + sweep (paper §4.1).
+      stacks_.for_each_segment(*info, forward, apply);
+    }
+
+    if (stage) {
+      double* out = stage_slot(id, dir);
+      for (int g = 0; g < G; ++g) out[g] = psi[g];
+    } else {
+      deposit(id, forward, psi, /*atomic=*/true);
+    }
+  }
+  return manager_.track_cost(id);
+}
+
+void GpuSolver::reduce_tallies() {
+  // The per-CU partials are merged in fixed CU order by the reduction
+  // kernel, so the result is independent of host thread scheduling and
+  // worker count — bit-reproducible run to run.
+  const std::size_t len =
+      static_cast<std::size_t>(fsr_.num_fsrs()) * fsr_.num_groups();
+  double* scratch = tally_scratch_.data();
+  double* accum = fsr_.accumulator().data();
+  const int ncus = device_.spec().num_cus;
+  device_.launch(
+      "tally_reduction", len, gpusim::Assignment::kBlocked,
+      [&](std::size_t i) {
+        double sum = 0.0;
+        for (int c = 0; c < ncus; ++c) {
+          double& s = scratch[static_cast<std::size_t>(c) * len + i];
+          sum += s;
+          s = 0.0;  // scratch comes back zeroed for the next sweep
+        }
+        accum[i] += sum;
+        return kTallyReduceCostPerTerm * ncus;
+      });
+}
+
+void GpuSolver::sweep() {
   const auto assignment = options_.l3_sort
                               ? gpusim::Assignment::kRoundRobin
                               : gpusim::Assignment::kBlocked;
 
-  // One 3D track's transport kernel: attenuate both directions, tallying
-  // w*delta into `acc`. Outgoing fluxes go to the staging buffer when
-  // privatized (flushed serially after the launch — deterministic), or
-  // atomically into psi_next_ on the fallback path.
-  auto sweep_track = [&](long id, double* acc, bool stage) {
-    Track3DInfo decoded;
-    const Track3DInfo* info;
-    double w;
-    if (cache_ != nullptr) {
-      info = &(*cache_)[id];
-      w = cache_->weight(id);
-    } else {
-      decoded = stacks_.info(id);
-      info = &decoded;
-      w = stacks_.direction_weight(id) * stacks_.track_area(id);
-    }
-    double psi[kMaxGroups];
-
-    long seg_count = 0;
-    const Segment3D* segs = manager_.segments(id, seg_count);
-
-    for (int dir = 0; dir < 2; ++dir) {
-      const bool forward = dir == 0;
-      const float* in = psi_in_.data() + (id * 2 + dir) * G;
-      for (int g = 0; g < G; ++g) psi[g] = in[g];
-
-      auto apply = [&](long fsr_id, double len) {
-        const long base = fsr_id * G;
-        for (int g = 0; g < G; ++g) {
-          const double ex = attenuation(sigma_t[base + g] * len);
-          const double delta = (psi[g] - qos[base + g]) * ex;
-          psi[g] -= delta;
-          if (acc != nullptr)
-            acc[base + g] += w * delta;
-          else
-            gpusim::device_atomic_add(accum[base + g], w * delta);
-        }
-      };
-
-      if (segs != nullptr) {
-        // Resident: sweep the stored segments (reversed when backward).
-        if (forward)
-          for (long s = 0; s < seg_count; ++s)
-            apply(segs[s].fsr, segs[s].length);
-        else
-          for (long s = seg_count - 1; s >= 0; --s)
-            apply(segs[s].fsr, segs[s].length);
-      } else {
-        // Temporary: fused OTF regeneration + sweep (paper §4.1).
-        stacks_.for_each_segment(*info, forward, apply);
-      }
-
-      if (stage) {
-        double* out = stage_slot(id, dir);
-        for (int g = 0; g < G; ++g) out[g] = psi[g];
-      } else {
-        deposit(id, forward, psi, /*atomic=*/true);
-      }
-    }
-    return manager_.track_cost(id);
-  };
-
   if (privatized_) {
-    // Each CU tallies into its private slice of the scratch buffer; the
-    // per-CU partials are merged afterwards in fixed CU order by the
-    // reduction kernel, so the result is independent of host thread
-    // scheduling and worker count — bit-reproducible run to run.
+    // Each CU tallies into its private slice of the scratch buffer;
+    // outgoing fluxes go to the staging buffer (flushed serially after
+    // the launch — deterministic).
     const std::size_t len =
-        static_cast<std::size_t>(fsr_.num_fsrs()) * G;
+        static_cast<std::size_t>(fsr_.num_fsrs()) * fsr_.num_groups();
     double* scratch = tally_scratch_.data();
     last_stats_ = device_.launch(
         "transport_sweep", order_.size(), assignment,
@@ -204,19 +222,7 @@ void GpuSolver::sweep() {
                              /*stage=*/true);
         });
     flush_staged_deposits();
-    const int ncus = device_.spec().num_cus;
-    device_.launch(
-        "tally_reduction", len, gpusim::Assignment::kBlocked,
-        [&](std::size_t i) {
-          double sum = 0.0;
-          for (int c = 0; c < ncus; ++c) {
-            double& s = scratch[static_cast<std::size_t>(c) * len + i];
-            sum += s;
-            s = 0.0;  // scratch comes back zeroed for the next sweep
-          }
-          accum[i] += sum;
-          return kTallyReduceCostPerTerm * ncus;
-        });
+    reduce_tallies();
   } else {
     last_stats_ = device_.launch(
         "transport_sweep", order_.size(), assignment, [&](std::size_t item) {
@@ -224,6 +230,38 @@ void GpuSolver::sweep() {
         });
   }
   last_sweep_segments_ = segments_per_sweep_;
+}
+
+void GpuSolver::sweep_subset(const std::vector<long>& ids) {
+  if (ids.empty()) return;
+  // The phased sweep always stages outgoing fluxes (the caller flushes
+  // each phase before posting its interface payloads), so staging is
+  // ensured here even on the atomic-tally fallback. The host-side staging
+  // buffer is only charged to the arena when privatization is on — the
+  // fallback keeps the seed memory profile.
+  ensure_staging();
+  const auto assignment = options_.l3_sort
+                              ? gpusim::Assignment::kRoundRobin
+                              : gpusim::Assignment::kBlocked;
+  if (privatized_) {
+    const std::size_t len =
+        static_cast<std::size_t>(fsr_.num_fsrs()) * fsr_.num_groups();
+    double* scratch = tally_scratch_.data();
+    last_stats_ = device_.launch(
+        "transport_sweep", ids.size(), assignment,
+        [&](std::size_t item, int cu) {
+          return sweep_track(ids[item], scratch + cu * len,
+                             /*stage=*/true);
+        });
+    reduce_tallies();
+  } else {
+    last_stats_ = device_.launch(
+        "transport_sweep", ids.size(), assignment, [&](std::size_t item) {
+          return sweep_track(ids[item], nullptr, /*stage=*/true);
+        });
+  }
+  const auto& counts = manager_.segment_counts();
+  for (long id : ids) last_sweep_segments_ += 2 * counts[id];
 }
 
 }  // namespace antmoc

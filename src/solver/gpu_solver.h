@@ -64,9 +64,20 @@ class GpuSolver : public TransportSolver {
 
  protected:
   void sweep() override;
+  void sweep_subset(const std::vector<long>& ids) override;
 
  private:
   void charge(const std::string& label, std::size_t bytes);
+
+  /// One 3D track's transport kernel: attenuate both directions, tallying
+  /// w*delta into `acc` (nullptr = atomics into the shared accumulator)
+  /// and staging (stage = true) or atomically depositing the outgoing
+  /// flux. Returns the modeled device cost of the track.
+  double sweep_track(long id, double* acc, bool stage);
+
+  /// Merges the per-CU privatized tally scratch into the shared
+  /// accumulator in fixed CU order (and re-zeroes the scratch).
+  void reduce_tallies();
 
   /// Charges and binds the optional hot-path buffers (info cache, per-CU
   /// tally scratch, deposit staging) per the privatize mode; called at the

@@ -107,6 +107,18 @@ void TransportSolver::flush_staged_deposits() {
   }
 }
 
+void TransportSolver::sweep_subset(const std::vector<long>&) {
+  fail<Error>("this sweep engine does not support phased (subset) sweeps");
+}
+
+void TransportSolver::flush_staged_deposits(const std::vector<long>& ids) {
+  const int G = fsr_.num_groups();
+  for (long id : ids) {
+    deposit(id, true, psi_out_.data() + (id * 2 + 0) * G, /*atomic=*/false);
+    deposit(id, false, psi_out_.data() + (id * 2 + 1) * G, /*atomic=*/false);
+  }
+}
+
 void TransportSolver::record_sweep_throughput(telemetry::TraceSpan& span,
                                               double seconds) {
   if (last_sweep_segments_ <= 0) return;

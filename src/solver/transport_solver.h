@@ -124,6 +124,21 @@ class TransportSolver {
   /// outgoing track end.
   virtual void sweep() = 0;
 
+  /// Phased sweep support (DESIGN.md §8): sweeps only the given tracks,
+  /// adding their tallies into fsr().accumulator() and staging every
+  /// outgoing flux (never depositing inline) so the caller can flush a
+  /// phase's deposits — and post its interface payloads — before the next
+  /// phase runs. Adds the traversed segments to last_sweep_segments_;
+  /// callers zero it before the first phase. A fixed worker count and a
+  /// fixed phase partition give bit-reproducible tallies. Engines without
+  /// phased support keep the default, which throws.
+  virtual void sweep_subset(const std::vector<long>& ids);
+
+  /// Flushes staged deposits for exactly the given tracks, in the order
+  /// listed (both directions per track, forward first) — the subset
+  /// analogue of flush_staged_deposits().
+  void flush_staged_deposits(const std::vector<long>& ids);
+
   /// Hook between sweep and flux closure (domain solvers exchange
   /// interface fluxes and reduce accumulators here).
   virtual void exchange() {}

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "comm/runtime.h"
+#include "fault/fault.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace antmoc {
+namespace {
+
+using comm::CommOptions;
+using comm::Communicator;
+using comm::Request;
+using comm::Runtime;
+
+// Seeded fuzz of the point-to-point layer: random mixes of blocking and
+// nonblocking operations, shuffled per-rank orders, unique tags, payload
+// sizes down to zero-length. Runs under the tsan preset (`ctest -L fault`)
+// so races between mailboxes, requests, and the poison path surface.
+
+struct Msg {
+  int src = 0;
+  int dst = 0;
+  int tag = 0;
+  std::size_t size = 0;
+};
+
+/// Deterministic payload: byte i of message (src, tag) is a function of
+/// all three, so any cross-matched delivery is caught by content checks.
+std::vector<std::uint8_t> payload_for(const Msg& m) {
+  std::vector<std::uint8_t> p(m.size);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    p[i] = static_cast<std::uint8_t>(m.src * 131 + m.tag * 31 + i);
+  return p;
+}
+
+/// Global message plan for one seed: every ordered rank pair carries
+/// several messages with unique tags and a spread of sizes.
+std::vector<Msg> build_plan(std::uint64_t seed, int nranks) {
+  const std::size_t sizes[] = {0, 1, 7, 64, 1000};
+  Rng rng(seed);
+  std::vector<Msg> plan;
+  int tag = 100;
+  for (int s = 0; s < nranks; ++s)
+    for (int d = 0; d < nranks; ++d) {
+      if (s == d) continue;
+      const int count = 2 + static_cast<int>(rng.next_below(3));
+      for (int i = 0; i < count; ++i)
+        plan.push_back({s, d, tag++, sizes[rng.next_below(5)]});
+    }
+  return plan;
+}
+
+template <class T>
+void shuffle(std::vector<T>& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i)
+    std::swap(v[i - 1], v[rng.next_below(i)]);
+}
+
+void run_seed(std::uint64_t seed, int nranks) {
+  const std::vector<Msg> plan = build_plan(seed, nranks);
+  Runtime::run(nranks, [&](Communicator& comm) {
+    Rng rng(seed ^ (0x9e3779b97f4a7c15ull * (comm.rank() + 1)));
+
+    // Post every outgoing message first (sends are buffered and never
+    // block, so ordering between ranks cannot deadlock), in a shuffled
+    // order and via a random mix of send/isend.
+    std::vector<Msg> outgoing;
+    for (const Msg& m : plan)
+      if (m.src == comm.rank()) outgoing.push_back(m);
+    shuffle(outgoing, rng);
+    std::vector<Request> send_reqs;
+    for (const Msg& m : outgoing) {
+      const auto p = payload_for(m);
+      if (rng.next_below(2) == 0)
+        comm.send(m.dst, m.tag, p.data(), p.size());
+      else
+        send_reqs.push_back(comm.isend(m.dst, m.tag, p.data(), p.size()));
+    }
+
+    // Collect incoming messages in a shuffled order. Roughly half go
+    // through blocking recv; the rest are posted as irecvs and drained
+    // with wait_any in whatever order they surface.
+    std::vector<Msg> incoming;
+    for (const Msg& m : plan)
+      if (m.dst == comm.rank()) incoming.push_back(m);
+    shuffle(incoming, rng);
+
+    std::vector<Request> recv_reqs;
+    std::vector<const Msg*> posted;
+    std::vector<std::vector<std::uint8_t>> buffers(incoming.size());
+    std::size_t b = 0;
+    for (const Msg& m : incoming) {
+      if (rng.next_below(2) == 0) {
+        std::vector<std::uint8_t> in;
+        comm.recv(m.src, m.tag, in);
+        EXPECT_EQ(in, payload_for(m))
+            << "seed " << seed << " msg (" << m.src << "->" << m.dst
+            << " tag " << m.tag << ")";
+      } else {
+        recv_reqs.push_back(comm.irecv(m.src, m.tag, buffers[b]));
+        posted.push_back(&m);
+        ++b;
+      }
+    }
+    int drained = 0;
+    while (true) {
+      const int idx = comm.wait_any(recv_reqs);
+      if (idx < 0) break;
+      ++drained;
+      const Msg& m = *posted[idx];
+      EXPECT_TRUE(recv_reqs[idx].done());
+      EXPECT_EQ(recv_reqs[idx].bytes(), m.size);
+      EXPECT_EQ(buffers[idx], payload_for(m))
+          << "seed " << seed << " msg (" << m.src << "->" << m.dst
+          << " tag " << m.tag << ")";
+    }
+    EXPECT_EQ(drained, static_cast<int>(recv_reqs.size()));
+    comm.wait_all(send_reqs);
+    comm.barrier();
+  });
+}
+
+TEST(CommFuzz, SeededMixedTrafficDeliversEveryPayload) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) run_seed(seed, 4);
+}
+
+TEST(CommFuzz, TwoRankWorldsSurviveTheSameMixes) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) run_seed(seed, 2);
+}
+
+// ------------------------------------------------ deadline interleavings ---
+
+TEST(CommFuzz, WaitOnNeverSentMessageHonorsDeadline) {
+  CommOptions opts;
+  opts.deadline = std::chrono::milliseconds(100);
+  Runtime::run(
+      2,
+      [](Communicator& comm) {
+        if (comm.rank() != 0) return;
+        std::vector<double> in;
+        Request r = comm.irecv(1, /*tag=*/7, in);
+        EXPECT_THROW(comm.wait(r), CommTimeout);
+      },
+      opts);
+}
+
+TEST(CommFuzz, WaitAnyCompletesSentRequestsBeforeDeadlineFires) {
+  // One request is satisfiable, one never will be: wait_any must surface
+  // the live one first, then time out on the dead one.
+  CommOptions opts;
+  opts.deadline = std::chrono::milliseconds(200);
+  Runtime::run(
+      2,
+      [](Communicator& comm) {
+        if (comm.rank() == 1) {
+          const std::vector<double> out{4.0, 5.0};
+          comm.send(0, /*tag=*/1, out);
+          return;
+        }
+        std::vector<double> live, dead;
+        std::vector<Request> reqs;
+        reqs.push_back(comm.irecv(1, /*tag=*/1, live));
+        reqs.push_back(comm.irecv(1, /*tag=*/2, dead));
+        const int idx = comm.wait_any(reqs);
+        EXPECT_EQ(idx, 0);
+        EXPECT_EQ(live, (std::vector<double>{4.0, 5.0}));
+        EXPECT_THROW(comm.wait_any(reqs), CommTimeout);
+      },
+      opts);
+}
+
+// -------------------------------------------- poisoned-world interleavings ---
+
+TEST(CommFuzz, RankDeathWakesWaitAny) {
+  EXPECT_THROW(
+      Runtime::run(3,
+                   [](Communicator& comm) {
+                     if (comm.rank() == 1) {
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(50));
+                       fail<SolverError>("rank 1 died mid-exchange");
+                     }
+                     std::vector<double> in;
+                     std::vector<Request> reqs;
+                     reqs.push_back(comm.irecv(1, /*tag=*/3, in));
+                     comm.wait_any(reqs);  // wakes with PeerFailure
+                   }),
+      SolverError);
+}
+
+TEST(CommFuzz, PoisonedWorldFailsNewNonblockingOps) {
+  const auto world = [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> in;
+      Request r;
+      try {
+        // Wait until rank 1's failure poisons the world, then verify
+        // every nonblocking entry point refuses to proceed.
+        for (;;) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          r = comm.irecv(1, /*tag=*/9, in);
+          comm.test(r);
+        }
+      } catch (const PeerFailure&) {
+      }
+      const std::vector<double> out{1.0};
+      EXPECT_THROW(comm.isend(1, /*tag=*/9, out), PeerFailure);
+      EXPECT_THROW(comm.irecv(1, /*tag=*/9, in), PeerFailure);
+      return;
+    }
+    throw PeerFailure("rank 1 aborts");
+  };
+  // Rank 1's PeerFailure is the only recorded failure, so run() rethrows
+  // it; rank 0's assertions all ran before that.
+  EXPECT_THROW(Runtime::run(2, world), PeerFailure);
+}
+
+// --------------------------------------------------- fault-point coverage ---
+
+TEST(CommFuzz, FaultPointsCoverNonblockingPrimitives) {
+  {
+    fault::ScopedPlan plan("comm.isend throw comm rank=1");
+    EXPECT_THROW(Runtime::run(2,
+                              [](Communicator& comm) {
+                                std::vector<double> v{1.0};
+                                if (comm.rank() == 1)
+                                  comm.isend(0, 5, v);
+                                else
+                                  comm.recv(1, 5, v);
+                              }),
+                 CommTimeout);
+  }
+  {
+    fault::ScopedPlan plan("comm.wait throw comm rank=0");
+    EXPECT_THROW(Runtime::run(2,
+                              [](Communicator& comm) {
+                                std::vector<double> v{1.0};
+                                if (comm.rank() == 1) {
+                                  comm.send(0, 5, v);
+                                } else {
+                                  std::vector<Request> reqs;
+                                  reqs.push_back(comm.irecv(1, 5, v));
+                                  comm.wait_any(reqs);
+                                }
+                              }),
+                 CommTimeout);
+  }
+}
+
+}  // namespace
+}  // namespace antmoc

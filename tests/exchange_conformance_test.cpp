@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "models/c5g7_model.h"
+#include "perfmodel/perfmodel.h"
+#include "solver/domain_solver.h"
+
+namespace antmoc {
+namespace {
+
+// Decomposed-solve conformance matrix (DESIGN.md §8): the overlapped
+// exchange must be *bit-identical* to the synchronous one for a fixed
+// worker count, and every decomposition must agree physically with the
+// single-domain reference, on both sweep engines.
+
+const std::array<Decomposition, 4> kMatrix = {
+    Decomposition{1, 1, 1}, Decomposition{2, 1, 1}, Decomposition{2, 2, 1},
+    Decomposition{2, 2, 2}};
+
+DomainRunParams host_params() {
+  DomainRunParams p;
+  p.num_azim = 4;
+  p.azim_spacing = 0.2;
+  p.num_polar = 1;
+  p.z_spacing = 0.5;
+  // Exercise the fork-join sweep: bit-identity is only promised for a
+  // fixed worker count, so pin it explicitly.
+  p.sweep_workers = 2;
+  return p;
+}
+
+DomainRunParams device_params() {
+  DomainRunParams p = host_params();
+  p.use_device = true;
+  p.device_spec = gpusim::DeviceSpec::scaled(1 << 28, 8);
+  p.gpu_options.policy = TrackPolicy::kManaged;
+  p.gpu_options.resident_budget_bytes = 1 << 16;
+  return p;
+}
+
+void expect_bitwise_equal(const DomainRunSummary& a,
+                          const DomainRunSummary& b, const char* label) {
+  EXPECT_EQ(a.result.k_eff, b.result.k_eff) << label;
+  EXPECT_EQ(a.result.iterations, b.result.iterations) << label;
+  EXPECT_EQ(a.result.residual, b.result.residual) << label;
+  ASSERT_EQ(a.scalar_flux.size(), b.scalar_flux.size()) << label;
+  for (std::size_t i = 0; i < a.scalar_flux.size(); ++i)
+    ASSERT_EQ(a.scalar_flux[i], b.scalar_flux[i]) << label << " flux " << i;
+  ASSERT_EQ(a.fission_rate.size(), b.fission_rate.size()) << label;
+  for (std::size_t i = 0; i < a.fission_rate.size(); ++i)
+    ASSERT_EQ(a.fission_rate[i], b.fission_rate[i])
+        << label << " fission " << i;
+}
+
+TEST(ExchangeConformance, OverlapMatchesSyncBitwiseOnHostEngine) {
+  const auto model = models::build_pin_cell(2, 2.0);
+  SolveOptions opts;
+  opts.fixed_iterations = 5;
+  for (const auto& d : kMatrix) {
+    auto params = host_params();
+    params.overlap = true;
+    const auto overlapped = solve_decomposed(model.geometry,
+                                             model.materials, d, params,
+                                             opts);
+    params.overlap = false;
+    const auto sync = solve_decomposed(model.geometry, model.materials, d,
+                                       params, opts);
+    const std::string label = "host {" + std::to_string(d.nx) + "," +
+                              std::to_string(d.ny) + "," +
+                              std::to_string(d.nz) + "}";
+    expect_bitwise_equal(overlapped, sync, label.c_str());
+  }
+}
+
+TEST(ExchangeConformance, OverlapMatchesSyncBitwiseOnDeviceEngine) {
+  const auto model = models::build_pin_cell(1, 2.0);
+  SolveOptions opts;
+  opts.fixed_iterations = 3;
+  for (const auto& d : kMatrix) {
+    auto params = device_params();
+    params.overlap = true;
+    const auto overlapped = solve_decomposed(model.geometry,
+                                             model.materials, d, params,
+                                             opts);
+    params.overlap = false;
+    const auto sync = solve_decomposed(model.geometry, model.materials, d,
+                                       params, opts);
+    const std::string label = "device {" + std::to_string(d.nx) + "," +
+                              std::to_string(d.ny) + "," +
+                              std::to_string(d.nz) + "}";
+    expect_bitwise_equal(overlapped, sync, label.c_str());
+  }
+}
+
+TEST(ExchangeConformance, DecompositionsAgreeWithSingleDomainReference) {
+  const auto model = models::build_pin_cell(2, 2.0);
+  SolveOptions opts;
+  opts.tolerance = 1e-6;
+  opts.max_iterations = 20000;
+
+  const auto reference = solve_decomposed(model.geometry, model.materials,
+                                          kMatrix[0], host_params(), opts);
+  ASSERT_TRUE(reference.result.converged);
+
+  for (std::size_t m = 1; m < kMatrix.size(); ++m) {
+    const auto split = solve_decomposed(model.geometry, model.materials,
+                                        kMatrix[m], host_params(), opts);
+    const std::string label = "{" + std::to_string(kMatrix[m].nx) + "," +
+                              std::to_string(kMatrix[m].ny) + "," +
+                              std::to_string(kMatrix[m].nz) + "}";
+    ASSERT_TRUE(split.result.converged) << label;
+    // Each sub-box lays its own modular tracks, so agreement is to the
+    // track discretization, not bitwise.
+    EXPECT_NEAR(split.result.k_eff, reference.result.k_eff,
+                0.01 * reference.result.k_eff)
+        << label;
+
+    ASSERT_EQ(split.fission_rate.size(), reference.fission_rate.size());
+    for (std::size_t i = 0; i < reference.fission_rate.size(); ++i)
+      if (reference.fission_rate[i] > 0.0) {
+        EXPECT_NEAR(split.fission_rate[i] / reference.fission_rate[i], 1.0,
+                    0.05)
+            << label << " fsr " << i;
+      }
+
+    ASSERT_EQ(split.scalar_flux.size(), reference.scalar_flux.size());
+    for (std::size_t i = 0; i < reference.scalar_flux.size(); ++i)
+      if (reference.scalar_flux[i] > 0.0) {
+        EXPECT_NEAR(split.scalar_flux[i] / reference.scalar_flux[i], 1.0,
+                    0.05)
+            << label << " flux " << i;
+      }
+  }
+}
+
+TEST(ExchangeConformance, OverlapRatioReportedOnlyWhenOverlapping) {
+  const auto model = models::build_pin_cell(1, 2.0);
+  SolveOptions opts;
+  opts.fixed_iterations = 3;
+
+  auto params = host_params();
+  const auto overlapped = solve_decomposed(model.geometry, model.materials,
+                                           {2, 2, 1}, params, opts);
+  EXPECT_GT(overlapped.comm_overlap_ratio, 0.0);
+  EXPECT_LE(overlapped.comm_overlap_ratio, 1.0);
+
+  params.overlap = false;
+  const auto sync = solve_decomposed(model.geometry, model.materials,
+                                     {2, 2, 1}, params, opts);
+  EXPECT_EQ(sync.comm_overlap_ratio, 0.0);
+
+  const auto single = solve_decomposed(model.geometry, model.materials,
+                                       {1, 1, 1}, host_params(), opts);
+  EXPECT_EQ(single.comm_overlap_ratio, 0.0);
+}
+
+TEST(ExchangeConformance, EqSevenPredictsMeasuredFluxBytes) {
+  // Eq. 7 regression on a C5G7 slice: the perfmodel's interface traffic
+  // for the measured crossing-track-end count must equal the bytes the
+  // solver actually coalesces per iteration — if the payload format ever
+  // drifts (precision, headers), this pins it.
+  models::C5G7Options opt;
+  opt.pins_per_assembly = 3;
+  opt.height_scale = 0.05;
+  const auto model = models::build_core(opt);
+
+  DomainRunParams params;
+  params.num_azim = 4;
+  params.azim_spacing = 2.0;
+  params.num_polar = 1;
+  params.z_spacing = 2.0;
+  SolveOptions opts;
+  opts.fixed_iterations = 1;
+
+  const auto split = solve_decomposed(model.geometry, model.materials,
+                                      {2, 2, 1}, params, opts);
+  ASSERT_GT(split.crossing_track_ends, 0);
+  EXPECT_EQ(perf::interface_flux_bytes(split.crossing_track_ends, 7),
+            split.flux_bytes_per_iter);
+  // And the wire traffic is a strict subset of the Eq. 7 full state.
+  EXPECT_LT(split.flux_bytes_per_iter,
+            perf::communication_bytes(split.total_tracks_3d, 7));
+}
+
+}  // namespace
+}  // namespace antmoc
