@@ -9,6 +9,7 @@
 
 #include "bench/common.h"
 #include "perfmodel/perfmodel.h"
+#include "perfmodel/sweep_costs.h"
 #include "solver/domain_solver.h"
 #include "solver/gpu_solver.h"
 
@@ -26,6 +27,8 @@ void report_kernel_shares() {
     GpuSolverOptions opts;
     opts.policy = policy;
     opts.resident_budget_bytes = std::size_t{2} << 20;
+    // The §3.2 ablation models the paper's template-free kernels.
+    opts.templates = TemplateMode::kOff;
     GpuSolver solver(p.stacks, p.model.materials, device, opts);
     SolveOptions sopts;
     sopts.fixed_iterations = 5;
@@ -111,6 +114,9 @@ BENCHMARK(bm_otf_segment_walk);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Pin the paper's cost model so the kernel shares reproduce the
+  // published breakdown regardless of the host's calibration.
+  antmoc::perf::set_sweep_costs({1.0, 6.0, 1.5});
   bench::TelemetryScope telemetry_scope("bench_kernel_breakdown");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

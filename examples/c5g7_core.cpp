@@ -18,6 +18,7 @@
 
 #include "io/writers.h"
 #include "models/c5g7_model.h"
+#include "perfmodel/sweep_costs.h"
 #include "solver/domain_solver.h"
 #include "telemetry/exporters.h"
 #include "telemetry/telemetry.h"
@@ -66,6 +67,17 @@ int main(int argc, char** argv) {
       privatize == "off"     ? PrivatizeMode::kOff
       : privatize == "force" ? PrivatizeMode::kForce
                              : PrivatizeMode::kAuto;
+  // Chord-template expansion of temporary tracks (auto | off | force;
+  // DESIGN.md §9) and the optional pin of the regeneration cost ratio
+  // consumed by the perf model and the load mapper (0 = micro-calibrate
+  // at startup).
+  const std::string templates = cfg.get_string("track.templates", "auto");
+  params.gpu_options.templates =
+      templates == "off"     ? TemplateMode::kOff
+      : templates == "force" ? TemplateMode::kForce
+                             : TemplateMode::kAuto;
+  const double otf_cost = cfg.get_double("track.otf_cost", 0.0);
+  if (otf_cost > 0.0) perf::set_otf_cost_ratio(otf_cost);
   // Overlapped interface-flux exchange (DESIGN.md §8): nonblocking
   // boundary-first exchange hidden behind the interior sweep. Results are
   // identical either way; off restores the buffered-synchronous pattern.

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "perfmodel/perfmodel.h"
+#include "perfmodel/sweep_costs.h"
 #include "track/generator2d.h"
 #include "util/error.h"
 
@@ -20,6 +21,10 @@ DecompositionLoads measure_loads(const Geometry& geometry,
   loads.azim_load.assign(d_count, {});
   loads.graph = Graph(d_count);
   loads.num_azim_2 = num_azim / 2;
+  // Decomposed sweeps run their tracks temporary (OTF/Managed at scale),
+  // so each predicted segment is priced at the measured regeneration
+  // ratio instead of the paper's hardcoded 6.0.
+  loads.cost_per_segment = perf::otf_cost_ratio();
 
   for (int d = 0; d < d_count; ++d) {
     const Bounds b = decomp.domain_bounds(geometry.bounds(), d);
@@ -39,8 +44,8 @@ DecompositionLoads measure_loads(const Geometry& geometry,
     auto& per_azim = loads.azim_load[d];
     per_azim.assign(quad.num_azim_2(), 0.0);
     for (const auto& track : gen.tracks())
-      per_azim[track.azim] +=
-          stack_factor * static_cast<double>(track.segments.size());
+      per_azim[track.azim] += loads.cost_per_segment * stack_factor *
+                              static_cast<double>(track.segments.size());
     loads.domain_load[d] =
         std::accumulate(per_azim.begin(), per_azim.end(), 0.0);
     loads.graph.set_weight(d, loads.domain_load[d]);

@@ -27,6 +27,12 @@ struct DecompositionLoads {
   Graph graph{0};                              ///< L1 input graph
   long total_tracks_3d = 0;
   int num_azim_2 = 0;
+  /// Per-segment cost factor applied to every load above: the measured
+  /// perf::otf_cost_ratio() at measurement time (6.0 — the paper's
+  /// hardcoded model — until a TrackManager calibration or a
+  /// `track.otf_cost` override replaces it). Uniform across domains, so
+  /// balance decisions are unchanged; absolute loads track reality.
+  double cost_per_segment = 1.0;
 };
 
 /// Lays tracks in every domain of `decomp` and measures loads.

@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "perfmodel/layout.h"
-#include "solver/track_policy.h"
+#include "perfmodel/sweep_costs.h"
 #include "util/error.h"
 
 namespace antmoc::perf {
@@ -82,12 +82,22 @@ MemoryModel::Breakdown MemoryModel::predict(long n2d, long n2dseg, long n3d,
   return b;
 }
 
-double predict_sweep_cycles(long n3dseg, double resident_fraction) {
+double predict_sweep_cycles(long n3dseg, double resident_fraction,
+                            double templated_fraction) {
   require(resident_fraction >= 0.0 && resident_fraction <= 1.0,
           "resident_fraction must be in [0, 1]");
+  require(templated_fraction >= 0.0 && templated_fraction <= 1.0,
+          "templated_fraction must be in [0, 1]");
+  require(resident_fraction + templated_fraction <= 1.0 + 1e-12,
+          "resident + templated fractions exceed 1");
+  const SweepCosts c = sweep_costs();
   const double resident = static_cast<double>(n3dseg) * resident_fraction;
-  const double temporary = static_cast<double>(n3dseg) - resident;
-  return resident * kSweepCostPerSegment + temporary * kOtfCostPerSegment;
+  const double templated =
+      static_cast<double>(n3dseg) * templated_fraction;
+  const double temporary =
+      static_cast<double>(n3dseg) - resident - templated;
+  return resident * c.resident + templated * c.templated +
+         temporary * c.otf;
 }
 
 std::uint64_t communication_bytes(long n3d, int num_groups) {

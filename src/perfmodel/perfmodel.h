@@ -69,8 +69,11 @@ struct MemoryModel {
 
 /// Eq. 6: computation ~ N_3Dseg. Returns modeled device cycles for one
 /// transport sweep given the policy's resident fraction (temporary
-/// segments pay the OTF regeneration factor).
-double predict_sweep_cycles(long n3dseg, double resident_fraction);
+/// segments pay the OTF regeneration factor, template-covered segments
+/// the cheaper template expansion). Factors come from perf::sweep_costs()
+/// — paper defaults {1, 6, 1.5} until calibrated or pinned.
+double predict_sweep_cycles(long n3dseg, double resident_fraction,
+                            double templated_fraction = 0.0);
 
 /// Eq. 7: communication = N_3D * 2 * num_groups * 4 bytes — the full
 /// boundary-flux state exchanged by the buffered-synchronous scheme.

@@ -1,0 +1,80 @@
+#include "perfmodel/sweep_costs.h"
+
+#include <mutex>
+
+#include "util/error.h"
+
+namespace antmoc::perf {
+namespace {
+
+struct State {
+  SweepCosts costs;
+  bool pinned = false;
+};
+
+std::mutex& mtx() {
+  static std::mutex m;
+  return m;
+}
+
+State& state() {
+  static State s;
+  return s;
+}
+
+void check(const SweepCosts& c) {
+  require(c.resident > 0.0 && c.otf > 0.0 && c.templated > 0.0,
+          "sweep costs must be positive");
+}
+
+}  // namespace
+
+SweepCosts sweep_costs() {
+  std::lock_guard<std::mutex> lock(mtx());
+  return state().costs;
+}
+
+void set_sweep_costs(const SweepCosts& c) {
+  check(c);
+  std::lock_guard<std::mutex> lock(mtx());
+  state().costs = c;
+  state().pinned = true;
+}
+
+void record_calibration(const SweepCosts& c) {
+  check(c);
+  std::lock_guard<std::mutex> lock(mtx());
+  if (state().pinned) return;
+  state().costs = c;
+  state().pinned = true;
+}
+
+void set_otf_cost_ratio(double ratio) {
+  require(ratio > 0.0, "track.otf_cost must be positive");
+  std::lock_guard<std::mutex> lock(mtx());
+  state().costs.otf = ratio * state().costs.resident;
+  state().pinned = true;
+}
+
+double otf_cost_ratio() {
+  std::lock_guard<std::mutex> lock(mtx());
+  return state().costs.otf / state().costs.resident;
+}
+
+double template_cost_ratio() {
+  std::lock_guard<std::mutex> lock(mtx());
+  return state().costs.templated / state().costs.resident;
+}
+
+bool sweep_costs_pinned() {
+  std::lock_guard<std::mutex> lock(mtx());
+  return state().pinned;
+}
+
+void reset_sweep_costs_for_test() {
+  std::lock_guard<std::mutex> lock(mtx());
+  state().costs = SweepCosts{};
+  state().pinned = false;
+}
+
+}  // namespace antmoc::perf

@@ -1,5 +1,6 @@
 #include "solver/cpu_solver.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "util/parallel.h"
@@ -19,7 +20,7 @@ long CpuSolver::sweep_one(long id, double* acc, double* psi, bool stage) {
     const float* in = psi_in_.data() + (id * 2 + dir) * G;
     for (int g = 0; g < G; ++g) psi[g] = in[g];
 
-    stacks_.for_each_segment(info, forward, [&](long fsr_id, double len) {
+    const auto attenuate = [&](long fsr_id, double len) {
       ++segments;
       const long base = fsr_id * G;
       for (int g = 0; g < G; ++g) {
@@ -28,7 +29,11 @@ long CpuSolver::sweep_one(long id, double* acc, double* psi, bool stage) {
         psi[g] -= delta;
         acc[base + g] += w * delta;
       }
-    });
+    };
+    // Template expansion when the track is eligible, generic OTF walk
+    // otherwise — bitwise-identical output either way.
+    if (tmpl_ == nullptr || !tmpl_->for_each_segment(id, forward, attenuate))
+      stacks_.for_each_segment(info, forward, attenuate);
 
     if (stage) {
       double* out = stage_slot(id, dir);
@@ -40,21 +45,53 @@ long CpuSolver::sweep_one(long id, double* acc, double* psi, bool stage) {
   return segments;
 }
 
+void CpuSolver::ensure_templates() {
+  if (template_mode_ == TemplateMode::kOff || tmpl_ != nullptr) return;
+  tmpl_ = &chord_templates();
+  template_dispatch_ = true;
+}
+
+void CpuSolver::ensure_sweep_scratch(unsigned workers, long tally_len,
+                                     int groups) {
+  if (priv_.size() != workers ||
+      (workers > 0 && static_cast<long>(priv_[0].size()) != tally_len)) {
+    priv_.assign(workers, std::vector<double>(tally_len, 0.0));
+  } else {
+    for (auto& p : priv_) std::fill(p.begin(), p.end(), 0.0);
+  }
+  const std::size_t psi_len =
+      static_cast<std::size_t>(workers) * static_cast<std::size_t>(groups);
+  if (psi_scratch_.size() < psi_len) psi_scratch_.resize(psi_len);
+  worker_segments_.assign(workers, 0);
+}
+
 void CpuSolver::sweep() {
   const int G = fsr_.num_groups();
   auto& accum = fsr_.accumulator();
   const long n = stacks_.num_tracks();
   util::Parallel& P = par();
   const unsigned W = P.workers();
+  ensure_templates();
+
+  if (tmpl_ != nullptr) {
+    // Dispatch statistics are known up front: every eligible track hits
+    // the template path in both directions, the rest fall back.
+    last_template_hits_ = 2 * tmpl_->num_eligible();
+    last_template_fallbacks_ = 2 * (n - tmpl_->num_eligible());
+    last_template_segments_ = 2 * tmpl_->eligible_segments();
+    last_resident_segments_ = 0;
+  }
 
   if (W == 1) {
     // Serial reference path: accumulate straight into the shared tallies
     // and deposit inline, exactly the seed sweep (minus the per-item
     // binary searches, replaced by the info cache).
-    std::vector<double> psi(G);
+    if (psi_scratch_.size() < static_cast<std::size_t>(G))
+      psi_scratch_.resize(G);
     long segments = 0;
     for (long id = 0; id < n; ++id)
-      segments += sweep_one(id, accum.data(), psi.data(), /*stage=*/false);
+      segments +=
+          sweep_one(id, accum.data(), psi_scratch_.data(), /*stage=*/false);
     last_sweep_segments_ = segments;
     return;
   }
@@ -62,23 +99,23 @@ void CpuSolver::sweep() {
   // Parallel path: per-worker private FSR tallies (no atomics on the
   // one-to-many track->FSR hazard) merged by the deterministic tree
   // reduction, and staged boundary deposits flushed in serial id order —
-  // bit-reproducible for a fixed worker count.
+  // bit-reproducible for a fixed worker count. Scratch persists across
+  // sweeps (zero-filled, not reallocated).
   ensure_staging();
   const long len = fsr_.num_fsrs() * G;
-  std::vector<std::vector<double>> priv(W, std::vector<double>(len, 0.0));
-  std::vector<long> segments(W, 0);
+  ensure_sweep_scratch(W, len, G);
   P.for_chunks(n, [&](unsigned w, long b, long e) {
-    std::vector<double> psi(G);
-    double* acc = priv[w].data();
+    double* psi = psi_scratch_.data() + static_cast<std::size_t>(w) * G;
+    double* acc = priv_[w].data();
     long count = 0;
     for (long id = b; id < e; ++id)
-      count += sweep_one(id, acc, psi.data(), /*stage=*/true);
-    segments[w] = count;
+      count += sweep_one(id, acc, psi, /*stage=*/true);
+    worker_segments_[w] = count;
   });
-  P.reduce_into(priv, accum.data(), len);
+  P.reduce_into(priv_, accum.data(), len);
   flush_staged_deposits();
   last_sweep_segments_ =
-      std::accumulate(segments.begin(), segments.end(), 0L);
+      std::accumulate(worker_segments_.begin(), worker_segments_.end(), 0L);
 }
 
 void CpuSolver::sweep_subset(const std::vector<long>& ids) {
@@ -89,12 +126,27 @@ void CpuSolver::sweep_subset(const std::vector<long>& ids) {
   ensure_staging();
   util::Parallel& P = par();
   const unsigned W = P.workers();
+  ensure_templates();
+
+  if (tmpl_ != nullptr) {
+    const auto& counts = tmpl_->segment_counts();
+    for (long id : ids) {
+      if (tmpl_->eligible(id)) {
+        last_template_hits_ += 2;
+        last_template_segments_ += 2 * counts[id];
+      } else {
+        last_template_fallbacks_ += 2;
+      }
+    }
+  }
 
   if (W == 1) {
-    std::vector<double> psi(G);
+    if (psi_scratch_.size() < static_cast<std::size_t>(G))
+      psi_scratch_.resize(G);
     long segments = 0;
     for (long id : ids)
-      segments += sweep_one(id, accum.data(), psi.data(), /*stage=*/true);
+      segments +=
+          sweep_one(id, accum.data(), psi_scratch_.data(), /*stage=*/true);
     last_sweep_segments_ += segments;
     return;
   }
@@ -103,19 +155,18 @@ void CpuSolver::sweep_subset(const std::vector<long>& ids) {
   // space: the chunking depends only on (subset size, worker count), so a
   // fixed phase partition reproduces bit-identical tallies.
   const long len = fsr_.num_fsrs() * G;
-  std::vector<std::vector<double>> priv(W, std::vector<double>(len, 0.0));
-  std::vector<long> segments(W, 0);
+  ensure_sweep_scratch(W, len, G);
   P.for_chunks(m, [&](unsigned w, long b, long e) {
-    std::vector<double> psi(G);
-    double* acc = priv[w].data();
+    double* psi = psi_scratch_.data() + static_cast<std::size_t>(w) * G;
+    double* acc = priv_[w].data();
     long count = 0;
     for (long i = b; i < e; ++i)
-      count += sweep_one(ids[i], acc, psi.data(), /*stage=*/true);
-    segments[w] = count;
+      count += sweep_one(ids[i], acc, psi, /*stage=*/true);
+    worker_segments_[w] = count;
   });
-  P.reduce_into(priv, accum.data(), len);
+  P.reduce_into(priv_, accum.data(), len);
   last_sweep_segments_ +=
-      std::accumulate(segments.begin(), segments.end(), 0L);
+      std::accumulate(worker_segments_.begin(), worker_segments_.end(), 0L);
 }
 
 }  // namespace antmoc

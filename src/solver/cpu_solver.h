@@ -12,19 +12,30 @@
 /// deterministic tree reduction and the deposits flushed in serial track
 /// order. No atomics anywhere, and results are bit-reproducible for a
 /// fixed worker count (`sweep.workers`, or ANTMOC_SWEEP_WORKERS).
+///
+/// Segment expansion dispatches through the chord-template cache
+/// (`track.templates`, default auto): template-eligible tracks expand
+/// from precomputed per-stack (fsr, length) entries, the rest run the
+/// generic OTF walk — bitwise-identical output either way (the cache is
+/// validated at construction; see track/chord_template.h).
 
 #include "solver/exponential.h"
 #include "solver/transport_solver.h"
+#include "track/chord_template.h"
 
 namespace antmoc {
 
 class CpuSolver : public TransportSolver {
  public:
-  /// \param workers  sweep worker threads; 0 = auto (see
-  ///                 TransportSolver::set_sweep_workers).
+  /// \param workers    sweep worker threads; 0 = auto (see
+  ///                   TransportSolver::set_sweep_workers).
+  /// \param templates  chord-template dispatch; kAuto and kForce both
+  ///                   build the cache (no arena to overflow on the
+  ///                   host), kOff always runs the generic walk.
   CpuSolver(const TrackStacks& stacks,
-            const std::vector<Material>& materials, unsigned workers = 0)
-      : TransportSolver(stacks, materials) {
+            const std::vector<Material>& materials, unsigned workers = 0,
+            TemplateMode templates = TemplateMode::kAuto)
+      : TransportSolver(stacks, materials), template_mode_(templates) {
     set_sweep_workers(workers);
   }
 
@@ -38,6 +49,22 @@ class CpuSolver : public TransportSolver {
   /// flux. `psi` is a caller-owned G-element scratch buffer. Returns the
   /// number of 3D segments traversed.
   long sweep_one(long id, double* acc, double* psi, bool stage);
+
+  /// Builds the template cache on first use (unless kOff).
+  void ensure_templates();
+
+  /// Persistent parallel-sweep scratch: the W x (num_fsrs * G) private
+  /// tallies, per-worker psi buffers, and per-worker segment counters
+  /// survive across sweeps (zero-filled instead of reallocated — the
+  /// tree reduction consumes the privates, so a fill is required anyway).
+  void ensure_sweep_scratch(unsigned workers, long tally_len, int groups);
+
+  TemplateMode template_mode_;
+  const ChordTemplateCache* tmpl_ = nullptr;  ///< owned by the base class
+
+  std::vector<std::vector<double>> priv_;  ///< per-worker FSR tallies
+  std::vector<double> psi_scratch_;        ///< per-worker G-element psi
+  std::vector<long> worker_segments_;
 };
 
 }  // namespace antmoc

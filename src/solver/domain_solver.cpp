@@ -100,6 +100,10 @@ class DomainImpl : public Base {
       return;
     }
     this->last_sweep_segments_ = 0;
+    this->last_template_hits_ = 0;
+    this->last_template_fallbacks_ = 0;
+    this->last_template_segments_ = 0;
+    this->last_resident_segments_ = 0;
     this->ensure_staging();
 
     // Imports are posted before any computation so neighbor payloads land

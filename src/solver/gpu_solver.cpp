@@ -38,8 +38,11 @@ GpuSolver::GpuSolver(const TrackStacks& stacks,
     : TransportSolver(stacks, materials),
       device_(device),
       options_(options),
-      manager_(stacks, options.policy, &device,
-               options.resident_budget_bytes) {
+      manager_(stacks, options.policy, &device, options.resident_budget_bytes,
+               options.policy != TrackPolicy::kExplicit &&
+                       options.templates != TemplateMode::kOff
+                   ? &chord_templates()
+                   : nullptr) {
   require(fsr_.num_groups() <= kMaxGroups,
           "GpuSolver supports at most 64 energy groups");
 
@@ -77,6 +80,23 @@ GpuSolver::GpuSolver(const TrackStacks& stacks,
   for (long c : counts) segments_per_sweep_ += 2 * c;
 
   setup_hot_path();
+  compute_template_stats();
+}
+
+void GpuSolver::compute_template_stats() {
+  template_dispatch_ = manager_.templates() != nullptr;
+  if (!template_dispatch_) return;
+  const auto& counts = manager_.segment_counts();
+  for (long id = 0; id < stacks_.num_tracks(); ++id) {
+    if (manager_.resident(id)) {
+      resident_segments_per_sweep_ += 2 * counts[id];
+    } else if (manager_.templated(id)) {
+      template_hits_per_sweep_ += 2;
+      template_segments_per_sweep_ += 2 * counts[id];
+    } else {
+      template_fallbacks_per_sweep_ += 2;
+    }
+  }
 }
 
 void GpuSolver::setup_hot_path() {
@@ -90,6 +110,18 @@ void GpuSolver::setup_hot_path() {
     cache_ = &info_cache();
   } catch (const DeviceOutOfMemory&) {
     cache_ = nullptr;
+  }
+
+  // After the info cache: that one speeds up every track, the templates
+  // only the temporary ones, so when the arena affords just one optional
+  // buffer it should be the cache.
+  if (manager_.templates() != nullptr) {
+    try {
+      charge("chord_templates", manager_.templates()->bytes());
+    } catch (const DeviceOutOfMemory&) {
+      if (options_.templates == TemplateMode::kForce) throw;
+      manager_.set_templates_active(false);  // kAuto: generic-walk fallback
+    }
   }
 
   if (options_.privatize == PrivatizeMode::kOff) return;
@@ -166,8 +198,11 @@ double GpuSolver::sweep_track(long id, double* acc, bool stage) {
         for (long s = seg_count - 1; s >= 0; --s)
           apply(segs[s].fsr, segs[s].length);
     } else {
-      // Temporary: fused OTF regeneration + sweep (paper §4.1).
-      stacks_.for_each_segment(*info, forward, apply);
+      // Temporary: template expansion when eligible, else the fused OTF
+      // regeneration + sweep (paper §4.1). Bitwise-identical either way.
+      const ChordTemplateCache* t = manager_.templates();
+      if (t == nullptr || !t->for_each_segment(id, forward, apply))
+        stacks_.for_each_segment(*info, forward, apply);
     }
 
     if (stage) {
@@ -230,6 +265,10 @@ void GpuSolver::sweep() {
         });
   }
   last_sweep_segments_ = segments_per_sweep_;
+  last_template_hits_ = template_hits_per_sweep_;
+  last_template_fallbacks_ = template_fallbacks_per_sweep_;
+  last_template_segments_ = template_segments_per_sweep_;
+  last_resident_segments_ = resident_segments_per_sweep_;
 }
 
 void GpuSolver::sweep_subset(const std::vector<long>& ids) {
@@ -261,7 +300,18 @@ void GpuSolver::sweep_subset(const std::vector<long>& ids) {
         });
   }
   const auto& counts = manager_.segment_counts();
-  for (long id : ids) last_sweep_segments_ += 2 * counts[id];
+  for (long id : ids) {
+    last_sweep_segments_ += 2 * counts[id];
+    if (!template_dispatch_) continue;
+    if (manager_.resident(id)) {
+      last_resident_segments_ += 2 * counts[id];
+    } else if (manager_.templated(id)) {
+      last_template_hits_ += 2;
+      last_template_segments_ += 2 * counts[id];
+    } else {
+      last_template_fallbacks_ += 2;
+    }
+  }
 }
 
 }  // namespace antmoc

@@ -38,6 +38,13 @@ struct GpuSolverOptions {
   /// `sweep.privatize` knob: per-CU privatized FSR tallies merged by a
   /// deterministic reduction kernel, versus shared-accumulator atomics.
   PrivatizeMode privatize = PrivatizeMode::kAuto;
+  /// `track.templates` knob: chord-template expansion for temporary
+  /// tracks. kAuto charges the cache to the arena under
+  /// "chord_templates" and falls back to the generic walk when it does
+  /// not fit; kOff never builds it; kForce throws DeviceOutOfMemory on
+  /// OOM (feeds the degradation ladder). Ignored under kExplicit (no
+  /// temporary tracks to serve).
+  TemplateMode templates = TemplateMode::kAuto;
 };
 
 class GpuSolver : public TransportSolver {
@@ -61,6 +68,11 @@ class GpuSolver : public TransportSolver {
   /// True when the decoded track-info cache fit in the arena; false means
   /// the sweep decodes per item like the seed.
   bool info_cached() const { return cache_ != nullptr; }
+
+  /// True when temporary tracks dispatch through the chord-template
+  /// cache (charged to the arena); false after the OOM auto-fallback or
+  /// under kOff/kExplicit.
+  bool templates_active() const { return manager_.templates_active(); }
 
  protected:
   void sweep() override;
@@ -94,6 +106,14 @@ class GpuSolver : public TransportSolver {
   const TrackInfoCache* cache_ = nullptr;
   bool privatized_ = false;
   long segments_per_sweep_ = 0;  ///< both directions
+
+  /// Per-full-sweep template-dispatch statistics (both directions),
+  /// precomputed once residency and template activation are final.
+  void compute_template_stats();
+  long template_hits_per_sweep_ = 0;
+  long template_fallbacks_per_sweep_ = 0;
+  long template_segments_per_sweep_ = 0;
+  long resident_segments_per_sweep_ = 0;
 };
 
 }  // namespace antmoc

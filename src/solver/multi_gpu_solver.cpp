@@ -19,8 +19,11 @@ MultiGpuSolver::MultiGpuSolver(const TrackStacks& stacks,
       options_(options),
       // Residency is tracked host-side here; per-device arena charging of
       // a distributed resident set is modeled by the cluster simulator.
-      manager_(stacks, options.policy, nullptr,
-               options.resident_budget_bytes),
+      manager_(stacks, options.policy, nullptr, options.resident_budget_bytes,
+               options.policy != TrackPolicy::kExplicit &&
+                       options.templates != TemplateMode::kOff
+                   ? &chord_templates()
+                   : nullptr),
       device_par_(static_cast<unsigned>(std::max(1, options.num_devices))) {
   require(options.num_devices >= 1, "need at least one device");
   require(fsr_.num_groups() <= kMaxGroups,
@@ -85,6 +88,23 @@ MultiGpuSolver::MultiGpuSolver(const TrackStacks& stacks,
       });
 
   setup_hot_path();
+  compute_template_stats();
+}
+
+void MultiGpuSolver::compute_template_stats() {
+  template_dispatch_ = manager_.templates() != nullptr;
+  if (!template_dispatch_) return;
+  const auto& counts = manager_.segment_counts();
+  for (long id = 0; id < stacks_.num_tracks(); ++id) {
+    if (manager_.resident(id)) {
+      resident_segments_per_sweep_ += 2 * counts[id];
+    } else if (manager_.templated(id)) {
+      template_hits_per_sweep_ += 2;
+      template_segments_per_sweep_ += 2 * counts[id];
+    } else {
+      template_fallbacks_per_sweep_ += 2;
+    }
+  }
 }
 
 void MultiGpuSolver::setup_hot_path() {
@@ -101,6 +121,28 @@ void MultiGpuSolver::setup_hot_path() {
   } catch (const DeviceOutOfMemory&) {
     hot_charges_.clear();
     cache_ = nullptr;
+  }
+
+  // Each device is charged its tracks' share of the chord-template
+  // tables (stacks belong to one azimuthal angle, so the split by track
+  // count matches the stack ownership). Any device OOM deactivates
+  // template dispatch on all of them — uniform kernels, like the
+  // info-cache fallback above.
+  if (manager_.templates() != nullptr) {
+    const std::size_t total = manager_.templates()->bytes();
+    const long n = std::max(1L, stacks_.num_tracks());
+    std::vector<gpusim::ScopedCharge> tcharges;
+    try {
+      for (int d = 0; d < num_devices(); ++d)
+        tcharges.emplace_back(
+            devices_[d]->memory(), "chord_templates",
+            total * device_order_[d].size() / static_cast<std::size_t>(n));
+      for (auto& c : tcharges) hot_charges_.push_back(std::move(c));
+    } catch (const DeviceOutOfMemory&) {
+      tcharges.clear();
+      if (options_.templates == TemplateMode::kForce) throw;
+      manager_.set_templates_active(false);  // kAuto: generic-walk fallback
+    }
   }
 
   if (options_.privatize == PrivatizeMode::kOff) return;
@@ -196,7 +238,9 @@ void MultiGpuSolver::sweep() {
           for (long s = seg_count - 1; s >= 0; --s)
             apply(segs[s].fsr, segs[s].length);
       } else {
-        stacks_.for_each_segment(*info, forward, apply);
+        const ChordTemplateCache* t = manager_.templates();
+        if (t == nullptr || !t->for_each_segment(id, forward, apply))
+          stacks_.for_each_segment(*info, forward, apply);
       }
 
       if (acc != nullptr) {
@@ -286,6 +330,10 @@ void MultiGpuSolver::sweep() {
     }
   }
   last_sweep_segments_ = segments_per_sweep_;
+  last_template_hits_ = template_hits_per_sweep_;
+  last_template_fallbacks_ = template_fallbacks_per_sweep_;
+  last_template_segments_ = template_segments_per_sweep_;
+  last_resident_segments_ = resident_segments_per_sweep_;
 
   // Node-level (L2) balance of this sweep: per-device busy cycles plus the
   // cross-device DMA volume, the pair of signals §4.2.2 trades off.

@@ -32,6 +32,12 @@ struct MultiGpuOptions {
   /// serialized per-device reduction kernels — deterministic. kAuto falls
   /// back to atomics if any device cannot afford its scratch.
   PrivatizeMode privatize = PrivatizeMode::kAuto;
+  /// `track.templates` knob: chord-template expansion for temporary
+  /// tracks. Each device is charged its tracks' share of the template
+  /// tables under "chord_templates"; kAuto falls back to the generic
+  /// walk on every device if any arena cannot afford its share, kForce
+  /// throws instead. Ignored under kExplicit.
+  TemplateMode templates = TemplateMode::kAuto;
 };
 
 class MultiGpuSolver : public TransportSolver {
@@ -60,6 +66,10 @@ class MultiGpuSolver : public TransportSolver {
   /// True when every device sweeps with privatized tallies.
   bool privatized() const { return privatized_; }
 
+  /// True when temporary tracks dispatch through the chord-template
+  /// cache on every device.
+  bool templates_active() const { return manager_.templates_active(); }
+
  protected:
   void sweep() override;
 
@@ -82,6 +92,14 @@ class MultiGpuSolver : public TransportSolver {
   const TrackInfoCache* cache_ = nullptr;
   bool privatized_ = false;
   long segments_per_sweep_ = 0;
+
+  /// Per-sweep template-dispatch statistics (both directions),
+  /// precomputed once residency and template activation are final.
+  void compute_template_stats();
+  long template_hits_per_sweep_ = 0;
+  long template_fallbacks_per_sweep_ = 0;
+  long template_segments_per_sweep_ = 0;
+  long resident_segments_per_sweep_ = 0;
 };
 
 }  // namespace antmoc

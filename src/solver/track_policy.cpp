@@ -1,69 +1,214 @@
 #include "solver/track_policy.h"
 
 #include <algorithm>
+#include <chrono>
+#include <mutex>
 #include <numeric>
+#include <utility>
 
 #include "util/error.h"
 
 namespace antmoc {
+namespace {
+
+/// Startup micro-calibration (once per process): times the three segment
+/// expansion paths — resident linear scan, generic OTF walk, chord-template
+/// expansion — on a sample of this geometry's real tracks and records the
+/// measured ratios as perf::sweep_costs(). Skipped entirely when the costs
+/// are already pinned (user `track.otf_cost` override, an explicit
+/// perf::set_sweep_costs(), or an earlier calibration).
+void calibrate_sweep_costs(const TrackStacks& stacks,
+                           const ChordTemplateCache* templates) {
+  if (perf::sweep_costs_pinned()) return;
+  const long n = stacks.num_tracks();
+  if (n == 0) return;
+
+  constexpr long kSampleTracks = 64;
+  std::vector<long> sample;
+  const long stride = std::max<long>(1, n / kSampleTracks);
+  for (long id = 0; id < n && static_cast<long>(sample.size()) < kSampleTracks;
+       id += stride)
+    sample.push_back(id);
+
+  // Materialize the sample once so the resident path times a pure scan.
+  std::vector<Segment3D> stored;
+  std::vector<std::pair<long, long>> spans;  // (offset, count) per track
+  for (long id : sample) {
+    const long off = static_cast<long>(stored.size());
+    stacks.for_each_segment(id, /*forward=*/true, [&](long fsr, double len) {
+      stored.push_back({fsr, len});
+    });
+    spans.emplace_back(off, static_cast<long>(stored.size()) - off);
+  }
+  const long sample_segments = static_cast<long>(stored.size());
+  if (sample_segments == 0) return;
+
+  // Template sample: eligible tracks only (they are the only ones the
+  // template path ever serves).
+  std::vector<long> tmpl_sample;
+  long tmpl_segments = 0;
+  if (templates != nullptr) {
+    for (long id = 0;
+         id < n && static_cast<long>(tmpl_sample.size()) < kSampleTracks;
+         ++id) {
+      if (!templates->eligible(id)) continue;
+      tmpl_sample.push_back(id);
+      tmpl_segments += templates->segment_counts()[id];
+    }
+  }
+
+  double sink = 0.0;
+  long fsr_sink = 0;
+  // Seconds per segment for one expansion body, repeated until the
+  // measurement is long enough to be meaningful.
+  const auto per_segment = [](long segs_per_rep, auto&& body) {
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    long segs = 0;
+    int reps = 0;
+    do {
+      body();
+      segs += segs_per_rep;
+      ++reps;
+    } while (clock::now() - t0 < std::chrono::milliseconds(2) && reps < 1024);
+    const double sec = std::chrono::duration<double>(clock::now() - t0).count();
+    return segs > 0 ? sec / static_cast<double>(segs) : 0.0;
+  };
+
+  const double t_resident = per_segment(sample_segments, [&] {
+    for (const auto& [off, count] : spans) {
+      const Segment3D* s = stored.data() + off;
+      for (long i = 0; i < count; ++i) {
+        sink += s[i].length;
+        fsr_sink += s[i].fsr;
+      }
+    }
+  });
+  const double t_otf = per_segment(sample_segments, [&] {
+    for (long id : sample)
+      stacks.for_each_segment(id, /*forward=*/true, [&](long fsr, double len) {
+        sink += len;
+        fsr_sink += fsr;
+      });
+  });
+  double t_tmpl = 0.0;
+  if (tmpl_segments > 0) {
+    t_tmpl = per_segment(tmpl_segments, [&] {
+      for (long id : tmpl_sample)
+        templates->for_each_segment(id, /*forward=*/true,
+                                    [&](long fsr, double len) {
+                                      sink += len;
+                                      fsr_sink += fsr;
+                                    });
+    });
+  }
+  volatile double guard = sink + static_cast<double>(fsr_sink);
+  (void)guard;
+  if (!(t_resident > 0.0) || !(t_otf > 0.0)) return;
+
+  const perf::SweepCosts defaults{};
+  perf::SweepCosts measured;
+  measured.resident = 1.0;
+  measured.otf = std::clamp(t_otf / t_resident, 1.25, 64.0);
+  measured.templated =
+      tmpl_segments > 0
+          ? std::clamp(t_tmpl / t_resident, 1.0, measured.otf)
+          : std::min(defaults.templated, measured.otf);
+  perf::record_calibration(measured);
+}
+
+}  // namespace
 
 TrackManager::TrackManager(const TrackStacks& stacks, TrackPolicy policy,
                            gpusim::Device* device,
-                           std::size_t resident_budget_bytes)
-    : policy_(policy), device_(device) {
+                           std::size_t resident_budget_bytes,
+                           const ChordTemplateCache* templates)
+    : policy_(policy),
+      device_(device),
+      templates_(templates),
+      templates_active_(templates != nullptr) {
   const long n = stacks.num_tracks();
-  counts_.resize(n);
   offset_.assign(n, -1);
-  for (long id = 0; id < n; ++id) {
-    counts_[id] = stacks.count_segments(id);
-    total_segments_ += counts_[id];
+  if (templates_ != nullptr && templates_->num_tracks() == n) {
+    // Validated construction byproduct — skip the counting pass.
+    counts_ = templates_->segment_counts();
+  } else {
+    counts_.resize(n);
+    for (long id = 0; id < n; ++id) counts_[id] = stacks.count_segments(id);
   }
-  if (policy == TrackPolicy::kOnTheFly) return;
+  for (long id = 0; id < n; ++id) total_segments_ += counts_[id];
 
-  // Rank tracks by descending segment count (paper §4.1: prefer storing
-  // tracks with more segments to save the most regeneration work per byte).
-  std::vector<long> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](long a, long b) {
-    return counts_[a] > counts_[b];
-  });
-
-  const std::size_t budget = policy == TrackPolicy::kExplicit
-                                 ? static_cast<std::size_t>(-1)
-                                 : resident_budget_bytes;
-
-  long resident_segments = 0;
-  std::vector<long> chosen;
-  std::size_t bytes = 0;
-  for (long id : order) {
-    const std::size_t need =
-        static_cast<std::size_t>(counts_[id]) * sizeof(Segment3D);
-    if (policy == TrackPolicy::kManaged && bytes + need > budget) continue;
-    bytes += need;
-    chosen.push_back(id);
-    resident_segments += counts_[id];
+  {
+    static std::once_flag once;
+    std::call_once(once,
+                   [&] { calibrate_sweep_costs(stacks, templates_); });
   }
-  if (policy == TrackPolicy::kExplicit)
-    require(static_cast<long>(chosen.size()) == n,
-            "explicit policy must store every track");
+  costs_ = perf::sweep_costs();
 
-  // Charge the device arena before materializing: an over-capacity EXP run
-  // must fail here, not after host allocation.
-  if (device_ != nullptr)
-    device_->memory().charge("3d_segments",
-                             resident_segments * sizeof(Segment3D));
+  if (policy != TrackPolicy::kOnTheFly) {
+    // Rank tracks by the regeneration work their storage saves (paper
+    // §4.1: prefer storing tracks with more segments to save the most
+    // regeneration work per byte). Template-covered tracks regenerate at
+    // the cheap template ratio, so the budget flows to heavy tracks that
+    // still pay the full generic-walk tax.
+    const auto regen_cost = [&](long id) {
+      return templates_active_ && templates_->eligible(id)
+                 ? costs_.templated
+                 : costs_.otf;
+    };
+    std::vector<long> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](long a, long b) {
+      return static_cast<double>(counts_[a]) *
+                 (regen_cost(a) - costs_.resident) >
+             static_cast<double>(counts_[b]) *
+                 (regen_cost(b) - costs_.resident);
+    });
 
-  storage_.reserve(resident_segments);
-  for (long id : chosen) {
-    offset_[id] = static_cast<long>(storage_.size());
-    stacks.for_each_segment(id, /*forward=*/true,
-                            [&](long fsr, double len) {
-                              storage_.push_back({fsr, len});
-                            });
-    require(static_cast<long>(storage_.size()) - offset_[id] == counts_[id],
-            "segment expansion count mismatch");
+    const std::size_t budget = policy == TrackPolicy::kExplicit
+                                   ? static_cast<std::size_t>(-1)
+                                   : resident_budget_bytes;
+
+    long resident_segments = 0;
+    std::vector<long> chosen;
+    std::size_t bytes = 0;
+    for (long id : order) {
+      const std::size_t need =
+          static_cast<std::size_t>(counts_[id]) * sizeof(Segment3D);
+      if (policy == TrackPolicy::kManaged && bytes + need > budget) continue;
+      bytes += need;
+      chosen.push_back(id);
+      resident_segments += counts_[id];
+    }
+    if (policy == TrackPolicy::kExplicit)
+      require(static_cast<long>(chosen.size()) == n,
+              "explicit policy must store every track");
+
+    // Charge the device arena before materializing: an over-capacity EXP
+    // run must fail here, not after host allocation.
+    if (device_ != nullptr)
+      device_->memory().charge("3d_segments",
+                               resident_segments * sizeof(Segment3D));
+
+    storage_.reserve(resident_segments);
+    for (long id : chosen) {
+      offset_[id] = static_cast<long>(storage_.size());
+      stacks.for_each_segment(id, /*forward=*/true,
+                              [&](long fsr, double len) {
+                                storage_.push_back({fsr, len});
+                              });
+      require(
+          static_cast<long>(storage_.size()) - offset_[id] == counts_[id],
+          "segment expansion count mismatch");
+    }
+    num_resident_ = static_cast<long>(chosen.size());
   }
-  num_resident_ = static_cast<long>(chosen.size());
+
+  if (templates_ != nullptr && templates_->num_tracks() == n) {
+    for (long id = 0; id < n; ++id)
+      if (offset_[id] < 0 && templates_->eligible(id))
+        templated_segments_ += counts_[id];
+  }
 }
 
 TrackManager::~TrackManager() {

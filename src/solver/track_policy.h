@@ -8,28 +8,32 @@
 ///    the device capacity (Fig. 9's EXP series dies at scale).
 ///  * kOnTheFly (OTF): nothing stored; every sweep regenerates segments by
 ///    axial ray tracing — minimal memory, ~6x the kernel work (the paper
-///    measures the regeneration kernel at 5x the source kernel).
-///  * kManaged (Manager): tracks are ranked by segment count, and the
-///    heaviest tracks' segments are stored up to a memory threshold;
-///    the rest stay OTF. This is the paper's contribution: it recovers
-///    ~30% of the OTF overhead at bounded memory.
+///    measures the regeneration kernel at 5x the source kernel). With a
+///    ChordTemplateCache attached, template-eligible tracks expand from
+///    precomputed per-stack chord templates at a fraction of that cost.
+///  * kManaged (Manager): tracks are ranked by the regeneration work their
+///    storage would save, and the most expensive tracks' segments are
+///    stored up to a memory threshold; the rest stay OTF. With templates,
+///    "store heaviest" becomes "store heaviest *non-templated*": a
+///    template-covered track saves little by being stored, so the budget
+///    goes to the tracks that still pay the full generic-walk tax.
+///
+/// Per-segment cost ratios come from perf::sweep_costs() — the paper's
+/// {1, 6} model by default, replaced once per process by a startup
+/// micro-calibration (timed on a sample of this geometry's real tracks)
+/// unless pinned by the `track.otf_cost` knob or perf::set_sweep_costs().
 
 #include <cstddef>
 #include <vector>
 
 #include "gpusim/device.h"
+#include "perfmodel/sweep_costs.h"
+#include "track/chord_template.h"
 #include "track/track3d.h"
 
 namespace antmoc {
 
 enum class TrackPolicy { kExplicit, kOnTheFly, kManaged };
-
-/// Relative kernel cost of sweeping one stored segment (baseline 1.0) vs
-/// regenerating + sweeping one OTF segment. The paper reports the OTF
-/// track-generation kernel is ~5x the source-computation kernel, so a
-/// temporary segment costs 1 (sweep) + 5 (regeneration) = 6 units.
-inline constexpr double kSweepCostPerSegment = 1.0;
-inline constexpr double kOtfCostPerSegment = 6.0;
 
 class TrackManager {
  public:
@@ -42,8 +46,13 @@ class TrackManager {
   /// \param resident_budget_bytes  memory threshold for kManaged (the
   ///        paper uses 6.144 GB on a 16 GB MI60); ignored by other
   ///        policies.
+  /// \param templates  optional chord-template cache (not owned; must
+  ///        outlive the manager). Segment counts are reused from it, the
+  ///        Managed ranking treats covered tracks as cheap, and
+  ///        track_cost() prices them at the template ratio.
   TrackManager(const TrackStacks& stacks, TrackPolicy policy,
-               gpusim::Device* device, std::size_t resident_budget_bytes);
+               gpusim::Device* device, std::size_t resident_budget_bytes,
+               const ChordTemplateCache* templates = nullptr);
   ~TrackManager();
 
   TrackManager(const TrackManager&) = delete;
@@ -52,6 +61,11 @@ class TrackManager {
   TrackPolicy policy() const { return policy_; }
 
   bool resident(long id) const { return offset_[id] >= 0; }
+
+  /// True when `id` is temporary but expands from a chord template.
+  bool templated(long id) const {
+    return templates_active_ && offset_[id] < 0 && templates_->eligible(id);
+  }
 
   /// Stored segments of a resident track (nullptr for temporary tracks).
   const Segment3D* segments(long id, long& count) const {
@@ -79,21 +93,53 @@ class TrackManager {
   }
   long total_segments() const { return total_segments_; }
 
+  /// Segment-weighted fraction of temporary tracks covered by templates
+  /// (0 when templates are absent or deactivated) — the perf model's
+  /// `templated_fraction` input.
+  double templated_fraction() const {
+    return templates_active_ && total_segments_ > 0
+               ? static_cast<double>(templated_segments_) /
+                     static_cast<double>(total_segments_)
+               : 0.0;
+  }
+
+  /// The template cache the sweep should dispatch through, or nullptr
+  /// when none is attached / it was deactivated (arena OOM fallback).
+  const ChordTemplateCache* templates() const {
+    return templates_active_ ? templates_ : nullptr;
+  }
+  /// Arena-OOM fallback hook: deactivating keeps the cache alive but
+  /// routes every temporary track through the generic walk again (and
+  /// reprices track_cost accordingly).
+  void set_templates_active(bool active) {
+    templates_active_ = active && templates_ != nullptr;
+  }
+  bool templates_active() const { return templates_active_; }
+
+  /// Cost ratios snapshot taken at construction (post-calibration).
+  const perf::SweepCosts& costs() const { return costs_; }
+
   /// Relative sweep cost of one track under this policy (for the device
   /// cycle model and the cluster simulator).
   double track_cost(long id) const {
-    return static_cast<double>(counts_[id]) *
-           (resident(id) ? kSweepCostPerSegment : kOtfCostPerSegment);
+    const double per_segment = offset_[id] >= 0 ? costs_.resident
+                               : templated(id)  ? costs_.templated
+                                                : costs_.otf;
+    return static_cast<double>(counts_[id]) * per_segment;
   }
 
  private:
   TrackPolicy policy_;
   gpusim::Device* device_;
+  const ChordTemplateCache* templates_;
+  bool templates_active_ = false;
+  perf::SweepCosts costs_;
   std::vector<long> counts_;
   std::vector<long> offset_;  ///< -1 for temporary tracks
   std::vector<Segment3D> storage_;
   long num_resident_ = 0;
   long total_segments_ = 0;
+  long templated_segments_ = 0;
 };
 
 }  // namespace antmoc

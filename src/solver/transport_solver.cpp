@@ -6,6 +6,7 @@
 
 #include "fault/fault.h"
 #include "gpusim/atomic.h"
+#include "perfmodel/sweep_costs.h"
 #include "telemetry/telemetry.h"
 #include "util/error.h"
 #include "util/log.h"
@@ -93,6 +94,12 @@ const TrackInfoCache& TransportSolver::info_cache() {
   return *host_info_cache_;
 }
 
+const ChordTemplateCache& TransportSolver::chord_templates() {
+  if (!chord_templates_)
+    chord_templates_ = std::make_unique<ChordTemplateCache>(stacks_);
+  return *chord_templates_;
+}
+
 void TransportSolver::ensure_staging() {
   const std::size_t n =
       static_cast<std::size_t>(stacks_.num_tracks()) * 2 * fsr_.num_groups();
@@ -130,6 +137,38 @@ void TransportSolver::record_sweep_throughput(telemetry::TraceSpan& span,
   if (seconds > 0.0)
     m.gauge("solver.segments_per_second")
         .set(static_cast<double>(last_sweep_segments_) / seconds);
+  if (template_dispatch_) {
+    m.counter("track.template_hits")
+        .add(static_cast<std::uint64_t>(last_template_hits_));
+    m.counter("track.template_fallbacks")
+        .add(static_cast<std::uint64_t>(last_template_fallbacks_));
+    m.gauge("track.template_coverage")
+        .set(static_cast<double>(last_template_segments_) /
+             static_cast<double>(last_sweep_segments_));
+    // Modeled regeneration-time split for this sweep: apportion the wall
+    // time by the calibrated per-segment cost of each expansion path,
+    // then count only the regeneration excess (cost above a resident
+    // scan) as "regeneration". Traces show this tax shrink as template
+    // coverage grows.
+    const perf::SweepCosts c = perf::sweep_costs();
+    const double resident = static_cast<double>(last_resident_segments_);
+    const double templated = static_cast<double>(last_template_segments_);
+    const double generic = static_cast<double>(
+        last_sweep_segments_ - last_resident_segments_ -
+        last_template_segments_);
+    const double weighted = resident * c.resident + templated * c.templated +
+                            generic * c.otf;
+    if (seconds > 0.0 && weighted > 0.0) {
+      const double per_unit = seconds / weighted;
+      m.gauge("solver.regen_generic_seconds")
+          .set(generic * (c.otf - c.resident) * per_unit);
+      m.gauge("solver.regen_template_seconds")
+          .set(templated * (c.templated - c.resident) * per_unit);
+    }
+    telemetry::Telemetry::instance().instant(
+        "sweep.template_split", "solver", /*rank=*/-1, "template_segments",
+        last_template_segments_);
+  }
 }
 
 void TransportSolver::compute_volumes() {

@@ -22,6 +22,7 @@
 #include "solver/exponential.h"
 #include "solver/fsr_data.h"
 #include "telemetry/telemetry.h"
+#include "track/chord_template.h"
 #include "track/track3d.h"
 #include "util/parallel.h"
 
@@ -181,6 +182,11 @@ class TransportSolver {
   /// solvers charge their own copy against the arena).
   const TrackInfoCache& info_cache();
 
+  /// Lazily built chord-template cache (host-side tables; device solvers
+  /// charge "chord_templates" against their arena separately). Built at
+  /// most once per solver; construction cost ~2 generic walks per track.
+  const ChordTemplateCache& chord_templates();
+
   /// Computes track-based FSR volumes and stores them in fsr().
   /// Virtual so domain solvers can reduce partial volumes globally.
   virtual void compute_volumes();
@@ -204,12 +210,25 @@ class TransportSolver {
   bool state_loaded_ = false;
   bool volumes_ready_ = false;
   long last_sweep_segments_ = 0;  ///< set by sweep() implementations
-  std::vector<double> psi_out_;   ///< staged outgoing flux per (id, dir)
+
+  /// Template-dispatch accounting for the most recent sweep, filled by
+  /// sweep engines that dispatch through a ChordTemplateCache and
+  /// published by record_sweep_throughput(). A "hit"/"fallback" is one
+  /// (track, direction) expansion; segments split the per-sweep total by
+  /// expansion path so traces show the regeneration tax shrinking.
+  bool template_dispatch_ = false;   ///< engine dispatched via templates
+  long last_template_hits_ = 0;
+  long last_template_fallbacks_ = 0;
+  long last_template_segments_ = 0;  ///< segments expanded from templates
+  long last_resident_segments_ = 0;  ///< segments read from stored arrays
+
+  std::vector<double> psi_out_;  ///< staged outgoing flux per (id, dir)
 
  private:
   unsigned workers_knob_ = 0;
   std::unique_ptr<util::Parallel> par_;
   std::unique_ptr<TrackInfoCache> host_info_cache_;
+  std::unique_ptr<ChordTemplateCache> chord_templates_;
 };
 
 /// Maps a geometry boundary condition to the link semantics of that face.

@@ -1,0 +1,198 @@
+#include "track/chord_template.h"
+
+#include <cmath>
+#include <map>
+
+namespace antmoc {
+namespace {
+
+/// Largest class period considered: classes repeat every c lattice steps,
+/// so c beyond the stack height buys nothing and the search stays O(1).
+constexpr int kMaxPeriod = 64;
+
+/// Smallest c >= 1 with c * dz = q * h for an integer q >= 1 (within a
+/// relative slack that admits non-dyadic but exactly intended ratios —
+/// bitwise validation rejects any nominee the FP grids do not honor).
+int find_period(double dz, double h) {
+  if (!(dz > 0.0) || !(h > 0.0)) return 0;
+  for (int c = 1; c <= kMaxPeriod; ++c) {
+    const double q = static_cast<double>(c) * dz / h;
+    const double qr = std::nearbyint(q);
+    if (qr >= 1.0 && std::abs(q - qr) <= 1e-9 * qr) return c;
+  }
+  return 0;
+}
+
+bool matches_reversed(const std::vector<ChordEntry>& fwd,
+                      const std::vector<ChordEntry>& bwd) {
+  if (fwd.size() != bwd.size()) return false;
+  const std::size_t n = fwd.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const ChordEntry& a = fwd[i];
+    const ChordEntry& b = bwd[n - 1 - i];
+    if (a.fsr != b.fsr || a.length != b.length) return false;
+  }
+  return true;
+}
+
+bool matches_shifted(const std::vector<ChordEntry>& stream,
+                     const ChordEntry* base, long count, long shift,
+                     bool reversed) {
+  if (static_cast<long>(stream.size()) != count) return false;
+  for (long i = 0; i < count; ++i) {
+    const ChordEntry& b = base[reversed ? count - 1 - i : i];
+    if (stream[i].fsr != b.fsr + shift || stream[i].length != b.length)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ChordTemplateCache::ChordTemplateCache(const TrackStacks& stacks) {
+  const long n = stacks.num_tracks();
+  tmpl_.assign(n, -1);
+  shift_.assign(n, 0);
+  counts_.assign(n, 0);
+
+  const Geometry& g = stacks.geometry();
+  const TrackGenerator2D& gen = stacks.generator();
+  const double dz = stacks.dz();
+  const double z_lo = stacks.z_lo();
+
+  // Per-zone layer thickness and class period; plus the global period when
+  // every layer in the geometry has the same thickness (the common case).
+  const int num_zones = g.num_zones();
+  std::vector<double> zone_h(num_zones, 0.0);
+  std::vector<int> zone_c(num_zones, 0);
+  bool uniform = num_zones > 0;
+  for (int zi = 0; zi < num_zones; ++zi) {
+    const AxialZone& z = g.zone(zi);
+    zone_h[zi] = (z.z_hi - z.z_lo) / static_cast<double>(z.num_layers);
+    zone_c[zi] = find_period(dz, zone_h[zi]);
+    if (zi > 0 && std::abs(zone_h[zi] - zone_h[0]) > 1e-9 * zone_h[0])
+      uniform = false;
+  }
+  const int global_c = uniform && num_zones > 0 ? zone_c[0] : 0;
+  const int num_layers = g.num_axial_layers();
+
+  std::vector<ChordEntry> fwd, bwd;
+  const int t2d_count = gen.num_tracks();
+  const int num_polar = stacks.num_polar();
+
+  for (int t2d = 0; t2d < t2d_count; ++t2d) {
+    const double len2 = gen.track(t2d).length;
+    for (int p = 0; p < num_polar; ++p) {
+      for (int updn = 0; updn < 2; ++updn) {
+        const bool up = updn == 0;
+        const int nz = up ? stacks.nz_up(t2d, p) : stacks.nz_dn(t2d, p);
+        // Phase classes of this sub-stack: key -> template index, or -2
+        // for a class whose base failed its own bitwise validation.
+        std::map<long, std::int32_t> class_of;
+        for (int zi = 0; zi < nz; ++zi) {
+          const long id = stacks.id(t2d, p, up, zi);
+          const Track3DInfo info = stacks.info(id);
+
+          auto walk_both = [&]() {
+            fwd.clear();
+            bwd.clear();
+            stacks.for_each_segment(info, true, [&](long fsr, double l) {
+              fwd.push_back({fsr, l});
+            });
+            stacks.for_each_segment(info, false, [&](long fsr, double l) {
+              bwd.push_back({fsr, l});
+            });
+          };
+          auto count_only = [&]() {
+            long count = 0;
+            stacks.for_each_segment(info, true,
+                                    [&](long, double) { ++count; });
+            counts_[id] = count;
+          };
+
+          // Candidates must traverse the full axial slab: clipped tracks
+          // start or end mid-pattern and share no sequence with their
+          // class (decode() produces exactly 0.0 / len2 when unclipped,
+          // so the exact comparisons are safe).
+          const bool unclipped =
+              info.s_entry == 0.0 && info.s_exit == len2;
+          int c = 0;
+          long zone_tag = 0;
+          if (unclipped && num_layers > 0) {
+            if (global_c > 0) {
+              c = global_c;
+            } else {
+              // Mixed thicknesses: a track confined to one commensurate
+              // zone can still be classified within that zone.
+              const double z_a = info.z_at(info.s_entry);
+              const double z_b = info.z_at(info.s_exit);
+              const double z_min = std::min(z_a, z_b);
+              const double z_max = std::max(z_a, z_b);
+              const int zone_lo = g.layer_zone(g.layer_at(z_min + 1e-9));
+              const int zone_hi = g.layer_zone(g.layer_at(z_max - 1e-9));
+              if (zone_lo == zone_hi && zone_c[zone_lo] > 0) {
+                c = zone_c[zone_lo];
+                zone_tag = zone_lo + 1;
+              }
+            }
+          }
+          if (c <= 0) {
+            count_only();
+            continue;
+          }
+
+          // Phase of this track on the intercept lattice.
+          const long m =
+              std::lround((info.z0 - z_lo) / dz - 0.5);
+          const long key = zone_tag * (kMaxPeriod + 1) + (((m % c) + c) % c);
+
+          const auto it = class_of.find(key);
+          if (it == class_of.end()) {
+            // First member: materialize the template from the generic
+            // walk and certify the base itself (reversed-forward must be
+            // bitwise identical to the generic backward walk).
+            walk_both();
+            counts_[id] = static_cast<long>(fwd.size());
+            if (!matches_reversed(fwd, bwd)) {
+              class_of[key] = -2;
+              continue;
+            }
+            const std::int32_t tidx =
+                static_cast<std::int32_t>(templates_.size());
+            templates_.push_back(
+                {static_cast<long>(entries_.size()),
+                 static_cast<long>(fwd.size())});
+            entries_.insert(entries_.end(), fwd.begin(), fwd.end());
+            class_of[key] = tidx;
+            tmpl_[id] = tidx;
+            shift_[id] = 0;
+          } else if (it->second >= 0) {
+            const Template& t = templates_[it->second];
+            const ChordEntry* base = entries_.data() + t.first;
+            walk_both();
+            counts_[id] = static_cast<long>(fwd.size());
+            const long shift =
+                fwd.empty() ? 0 : fwd.front().fsr - base[0].fsr;
+            if (matches_shifted(fwd, base, t.count, shift, false) &&
+                matches_shifted(bwd, base, t.count, shift, true)) {
+              tmpl_[id] = it->second;
+              shift_[id] = shift;
+            }
+          } else {
+            count_only();
+          }
+        }
+      }
+    }
+  }
+
+  for (long id = 0; id < n; ++id) {
+    total_segments_ += counts_[id];
+    if (tmpl_[id] >= 0) {
+      ++num_eligible_;
+      eligible_segments_ += counts_[id];
+    }
+  }
+}
+
+}  // namespace antmoc

@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file chord_template.h
+/// Chord-classified OTF segmentation (paper §4.1 and the chord
+/// classification of its ref. [26], OpenMOC-style axial extruded ray
+/// tracing).
+///
+/// All 3D tracks of one (2D track, polar, up/down) stack are axial
+/// translates of each other on the shared z-intercept lattice. When the
+/// crossed axial layers have equal thickness h commensurate with the
+/// lattice spacing dz — c * dz = q * h for small integers (c, q), the
+/// common case built by geometry/builder.cpp — translating a track by
+/// c lattice steps shifts its chord pattern by exactly q layers with
+/// identical projected breakpoints. The segment sequence of every track in
+/// a phase class is therefore derivable from ONE classified template: per
+/// chord a (fsr, length) entry, expanded for class member k as
+/// (fsr + shift_k, length) — a linear scan with one add per chord instead
+/// of the per-chord divisions and layer bookkeeping of the generic walk.
+///
+/// ## Eligibility is certified, not assumed
+///
+/// Layer boundaries and z-intercepts are built by independently rounded
+/// expressions (`zone.z_lo + l * dz_layer`, `z_lo + (m + 0.5) * dz`), so a
+/// mathematically exact translation can still differ in the last ulp and
+/// geometric pre-checks alone cannot guarantee bitwise identity with the
+/// generic walk. The class analysis here only *nominates* candidates; at
+/// construction every candidate's template expansion is stream-compared
+/// bitwise against the generic `TrackStacks::walk()` in BOTH sweep
+/// directions, and any mismatch routes the track through the generic walk
+/// forever. `for_each_segment()` output is therefore bitwise identical to
+/// the generic walk by construction, template or not.
+///
+/// Fallback (generic walk) applies to: boundary-clipped tracks (partial
+/// axial traverse), tracks crossing non-commensurate or mixed-thickness
+/// zones, and any candidate that fails the bitwise validation.
+///
+/// Segment counts for every track are a construction byproduct
+/// (`segment_counts()`), so TrackManager can reuse them instead of its own
+/// counting pass. The cache is immutable after construction and safe for
+/// concurrent reads from sweep workers.
+
+#include <cstdint>
+#include <vector>
+
+#include "track/track3d.h"
+
+namespace antmoc {
+
+/// `track.templates` knob shared by the device solvers: kAuto charges the
+/// cache to the arena and falls back to the generic walk when it does not
+/// fit; kOff never builds one; kForce throws DeviceOutOfMemory instead of
+/// falling back (feeds the degradation ladder, like sweep.privatize).
+enum class TemplateMode { kAuto, kOff, kForce };
+
+/// One precomputed chord of a stack template.
+struct ChordEntry {
+  long fsr = -1;      ///< fsr of the class base track; member adds shift
+  double length = 0.0;
+};
+
+class ChordTemplateCache {
+ public:
+  /// Builds, classifies, and bitwise-validates templates for every stack
+  /// of `stacks`. Cost: ~2 generic walks per track, paid once.
+  explicit ChordTemplateCache(const TrackStacks& stacks);
+
+  long num_tracks() const { return static_cast<long>(tmpl_.size()); }
+  /// True when `id` expands from a validated template.
+  bool eligible(long id) const { return tmpl_[id] >= 0; }
+  long num_eligible() const { return num_eligible_; }
+
+  /// 3D segment count per track — all tracks, validated byproduct of
+  /// construction (TrackManager consumes this instead of re-counting).
+  const std::vector<long>& segment_counts() const { return counts_; }
+  long total_segments() const { return total_segments_; }
+  long eligible_segments() const { return eligible_segments_; }
+  /// Fraction of per-sweep segments covered by template expansion.
+  double coverage() const {
+    return total_segments_ > 0
+               ? static_cast<double>(eligible_segments_) /
+                     static_cast<double>(total_segments_)
+               : 0.0;
+  }
+
+  /// Device-arena charge for the template tables ("chord_templates").
+  std::size_t bytes() const {
+    return entries_.size() * sizeof(ChordEntry) +
+           templates_.size() * sizeof(Template) +
+           tmpl_.size() * (sizeof(std::int32_t) + sizeof(long));
+  }
+
+  /// Template expansion of track `id` in sweep order: calls
+  /// f(fsr, length3d) per chord and returns true. Returns false without
+  /// calling f when the track is not eligible — the caller then runs the
+  /// generic `TrackStacks::for_each_segment`. Output is bitwise identical
+  /// to the generic walk (validated at construction).
+  template <class F>
+  bool for_each_segment(long id, bool forward, F&& f) const {
+    const std::int32_t ti = tmpl_[id];
+    if (ti < 0) return false;
+    const Template& t = templates_[ti];
+    const ChordEntry* e = entries_.data() + t.first;
+    const long shift = shift_[id];
+    if (forward) {
+      for (long i = 0; i < t.count; ++i) f(e[i].fsr + shift, e[i].length);
+    } else {
+      for (long i = t.count - 1; i >= 0; --i) f(e[i].fsr + shift, e[i].length);
+    }
+    return true;
+  }
+
+ private:
+  struct Template {
+    long first = 0;  ///< offset into entries_
+    long count = 0;
+  };
+
+  std::vector<ChordEntry> entries_;
+  std::vector<Template> templates_;
+  std::vector<std::int32_t> tmpl_;  ///< per track; -1 = generic fallback
+  std::vector<long> shift_;         ///< per track fsr shift vs class base
+  std::vector<long> counts_;        ///< per track segment count
+  long num_eligible_ = 0;
+  long total_segments_ = 0;
+  long eligible_segments_ = 0;
+};
+
+}  // namespace antmoc

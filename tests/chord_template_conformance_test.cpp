@@ -1,0 +1,284 @@
+/// \file chord_template_conformance_test.cpp
+/// Conformance matrix for chord-classified OTF segmentation (DESIGN.md
+/// §9): for uniform, non-uniform, and mixed-commensurability axial
+/// zonings, template expansion must be bitwise identical to the generic
+/// `TrackStacks::walk()` for every track in both sweep directions; solver
+/// results must be bitwise identical with templates on and off; and the
+/// device arena must charge "chord_templates" with the same OOM
+/// auto-fallback ladder as the other hot-path buffers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geometry/builder.h"
+#include "material/c5g7.h"
+#include "models/c5g7_model.h"
+#include "solver/cpu_solver.h"
+#include "solver/gpu_solver.h"
+#include "track/chord_template.h"
+#include "util/error.h"
+
+namespace antmoc {
+namespace {
+
+struct Problem {
+  models::C5G7Model model;
+  Quadrature quad;
+  TrackGenerator2D gen;
+  TrackStacks stacks;
+
+  Problem(models::C5G7Model m, int nazim, double spacing, int npolar,
+          double dz)
+      : model(std::move(m)),
+        quad(nazim, spacing, model.geometry.bounds().width_x(),
+             model.geometry.bounds().width_y(), npolar),
+        gen(quad, model.geometry.bounds(), radial_kinds(model.geometry)),
+        stacks((gen.trace(model.geometry), gen), model.geometry,
+               model.geometry.bounds().z_min,
+               model.geometry.bounds().z_max, dz) {}
+
+  static std::array<LinkKind, 4> radial_kinds(const Geometry& g) {
+    return {to_link_kind(g.boundary(Face::kXMin)),
+            to_link_kind(g.boundary(Face::kXMax)),
+            to_link_kind(g.boundary(Face::kYMin)),
+            to_link_kind(g.boundary(Face::kYMax))};
+  }
+};
+
+/// A water box with caller-chosen axial zoning — the smallest geometry
+/// that still exercises the zone/lattice commensurability analysis.
+models::C5G7Model water_box(
+    const std::vector<std::array<double, 3>>& zones) {
+  GeometryBuilder b;
+  const int u = b.add_universe("water");
+  b.add_cell(u, "w", c5g7::kModerator, {});
+  b.set_root(u);
+  Bounds bounds;
+  bounds.x_max = 2.0;
+  bounds.y_max = 2.0;
+  b.set_bounds(bounds);
+  b.set_all_radial_boundaries(BoundaryType::kReflective);
+  for (const auto& z : zones)
+    b.add_axial_zone(z[0], z[1], static_cast<int>(z[2]));
+  return {b.build(), c5g7::materials()};
+}
+
+struct Seg {
+  long fsr;
+  double length;
+  bool operator==(const Seg& o) const {
+    // Bitwise on length: the template entries must reproduce the generic
+    // walk's exact doubles, not merely close ones.
+    return fsr == o.fsr && length == o.length;
+  }
+};
+
+std::vector<Seg> collect_generic(const TrackStacks& stacks, long id,
+                                 bool forward) {
+  std::vector<Seg> out;
+  stacks.for_each_segment(
+      id, forward, [&](long fsr, double len) { out.push_back({fsr, len}); });
+  return out;
+}
+
+/// Asserts the full conformance matrix on one problem: every track, both
+/// directions, template expansion bitwise equal to the generic walk, and
+/// the construction-byproduct segment counts correct. Returns the cache
+/// coverage so callers can assert eligibility expectations.
+double check_conformance(const Problem& p) {
+  const ChordTemplateCache cache(p.stacks);
+  EXPECT_EQ(cache.num_tracks(), p.stacks.num_tracks());
+  long eligible = 0;
+  long eligible_segments = 0;
+  long total_segments = 0;
+  for (long id = 0; id < p.stacks.num_tracks(); ++id) {
+    const std::vector<Seg> fwd = collect_generic(p.stacks, id, true);
+    EXPECT_EQ(cache.segment_counts()[id], static_cast<long>(fwd.size()))
+        << id;
+    total_segments += static_cast<long>(fwd.size());
+    for (bool forward : {true, false}) {
+      const std::vector<Seg> ref =
+          forward ? fwd : collect_generic(p.stacks, id, false);
+      std::vector<Seg> got;
+      const bool used = cache.for_each_segment(
+          id, forward,
+          [&](long fsr, double len) { got.push_back({fsr, len}); });
+      EXPECT_EQ(used, cache.eligible(id)) << id;
+      if (!used) continue;
+      EXPECT_EQ(got.size(), ref.size())
+          << "track " << id << (forward ? " fwd" : " bwd");
+      if (got.size() != ref.size()) continue;
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        EXPECT_TRUE(got[i] == ref[i])
+            << "track " << id << (forward ? " fwd" : " bwd") << " seg " << i
+            << ": (" << got[i].fsr << ", " << got[i].length << ") vs ("
+            << ref[i].fsr << ", " << ref[i].length << ")";
+    }
+    if (cache.eligible(id)) {
+      ++eligible;
+      eligible_segments += static_cast<long>(fwd.size());
+    }
+  }
+  EXPECT_EQ(cache.num_eligible(), eligible);
+  EXPECT_EQ(cache.total_segments(), total_segments);
+  EXPECT_EQ(cache.eligible_segments(), eligible_segments);
+  EXPECT_GT(cache.bytes(), 0u);
+  return cache.coverage();
+}
+
+// ----------------------------------------------- classification matrix ---
+
+TEST(ChordTemplateConformance, UniformZonesBitwiseAndHighCoverage) {
+  // dz = 0.5, layer h = 1.0: c = 2 lattice steps per layer — the common
+  // commensurate case. Unclipped tracks must classify.
+  Problem p(models::build_pin_cell(4, 4.0), 4, 0.4, 2, 0.5);
+  const double coverage = check_conformance(p);
+  EXPECT_GT(coverage, 0.0);
+  const ChordTemplateCache cache(p.stacks);
+  EXPECT_GT(cache.num_eligible(), 0);
+  EXPECT_LT(cache.num_eligible(), p.stacks.num_tracks())
+      << "boundary-clipped tracks must fall back";
+}
+
+TEST(ChordTemplateConformance, NonUniformCommensurateZonesBitwise) {
+  // Two zones of different layer thickness (h = 1 and h = 2), each
+  // commensurate with dz = 0.5. Cross-zone tracks fall back; tracks
+  // confined to one zone may classify. Bitwise identity holds throughout.
+  Problem p(water_box({{0.0, 3.0, 3}, {3.0, 5.0, 1}}), 4, 0.4, 2, 0.5);
+  const double coverage = check_conformance(p);
+  EXPECT_GE(coverage, 0.0);
+}
+
+TEST(ChordTemplateConformance, MixedCommensurabilityZonesBitwise) {
+  // Zone 0 is commensurate (h = dz = 0.1); zones 1 and 2 have layer
+  // thicknesses 0.427 and 0.073 whose ratios to dz reduce to
+  // denominators > 64, so no chord period <= 64 exists — every track
+  // touching them must take the generic fallback, bitwise-identically.
+  Problem p(water_box({{0.0, 0.5, 5}, {0.5, 0.927, 1}, {0.927, 1.0, 1}}),
+            4, 0.4, 2, 0.1);
+  const double coverage = check_conformance(p);
+  EXPECT_GE(coverage, 0.0);
+  EXPECT_LT(coverage, 1.0);
+}
+
+TEST(ChordTemplateConformance, IncommensurateOnlyZonesAllFallBack) {
+  // 67 z-intercepts against 71 layers (coprime, both beyond the period
+  // bound): c * (wz/67) = q * (wz/71) forces 71c = 67q, whose minimal
+  // solution c = 67 exceeds the 64-step search window — no chord period
+  // exists and every track must take the generic fallback.
+  Problem p(water_box({{0.0, 1.0, 71}}), 4, 0.6, 2, 1.0 / 67.0);
+  const ChordTemplateCache cache(p.stacks);
+  EXPECT_EQ(cache.num_eligible(), 0);
+  EXPECT_EQ(cache.coverage(), 0.0);
+  check_conformance(p);
+}
+
+// ------------------------------------------------- solver bit identity ---
+
+TEST(ChordTemplateConformance, CpuSolveBitwiseIdenticalTemplatesOnOff) {
+  Problem p(models::build_pin_cell(4, 4.0), 4, 0.4, 2, 0.5);
+  SolveOptions fixed;
+  fixed.fixed_iterations = 5;
+
+  CpuSolver with(p.stacks, p.model.materials, 2, TemplateMode::kAuto);
+  CpuSolver without(p.stacks, p.model.materials, 2, TemplateMode::kOff);
+  const auto rw = with.solve(fixed);
+  const auto ro = without.solve(fixed);
+
+  EXPECT_EQ(rw.k_eff, ro.k_eff);
+  EXPECT_EQ(rw.residual, ro.residual);
+  const auto& fw = with.fsr().scalar_flux();
+  const auto& fo = without.fsr().scalar_flux();
+  ASSERT_EQ(fw.size(), fo.size());
+  for (std::size_t i = 0; i < fw.size(); ++i) EXPECT_EQ(fw[i], fo[i]) << i;
+}
+
+TEST(ChordTemplateConformance, GpuSolveBitwiseIdenticalTemplatesOnOff) {
+  Problem p(models::build_pin_cell(4, 4.0), 4, 0.4, 2, 0.5);
+  SolveOptions fixed;
+  fixed.fixed_iterations = 5;
+  GpuSolverOptions opts;
+  opts.resident_budget_bytes = std::size_t{1} << 20;
+
+  std::vector<double> flux[2];
+  SolveResult r[2];
+  const TemplateMode modes[2] = {TemplateMode::kForce, TemplateMode::kOff};
+  for (int i = 0; i < 2; ++i) {
+    gpusim::Device device(
+        gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+    opts.templates = modes[i];
+    GpuSolver solver(p.stacks, p.model.materials, device, opts);
+    EXPECT_EQ(solver.templates_active(), modes[i] == TemplateMode::kForce);
+    r[i] = solver.solve(fixed);
+    flux[i] = solver.fsr().scalar_flux();
+  }
+  EXPECT_EQ(r[0].k_eff, r[1].k_eff);
+  ASSERT_EQ(flux[0].size(), flux[1].size());
+  for (std::size_t i = 0; i < flux[0].size(); ++i)
+    EXPECT_EQ(flux[0][i], flux[1][i]) << i;
+}
+
+// --------------------------------------------------- arena accounting ---
+
+TEST(ChordTemplateConformance, ArenaChargedAndOomFallbackIdentical) {
+  Problem p(models::build_pin_cell(4, 4.0), 4, 0.4, 2, 0.5);
+  SolveOptions fixed;
+  fixed.fixed_iterations = 4;
+  GpuSolverOptions opts;
+  opts.resident_budget_bytes = std::size_t{1} << 20;
+  // One tally strategy everywhere: the tight arena cannot privatize, and
+  // the roomy-vs-fallback comparison below is bitwise.
+  opts.privatize = PrivatizeMode::kOff;
+
+  // Big arena: templates active and visibly charged.
+  gpusim::Device big(gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+  opts.templates = TemplateMode::kAuto;
+  GpuSolver roomy(p.stacks, p.model.materials, big, opts);
+  ASSERT_TRUE(roomy.templates_active());
+  const auto breakdown = big.memory().breakdown();
+  ASSERT_TRUE(breakdown.count("chord_templates"));
+  EXPECT_EQ(breakdown.at("chord_templates"),
+            ChordTemplateCache(p.stacks).bytes());
+  const auto r_roomy = roomy.solve(fixed);
+
+  // Tight arena: fits the mandatory footprint but none of the optional
+  // hot-path buffers — kAuto must fall back to the generic walk.
+  std::size_t base = 0;
+  {
+    gpusim::Device probe(
+        gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+    GpuSolverOptions off = opts;
+    off.templates = TemplateMode::kOff;
+    off.privatize = PrivatizeMode::kOff;
+    GpuSolver solver(p.stacks, p.model.materials, probe, off);
+    base = probe.memory().used();
+  }
+  const auto tight = gpusim::DeviceSpec::scaled(base + 1024, 8);
+
+  gpusim::Device tight_dev(tight);
+  GpuSolverOptions tight_opts = opts;
+  tight_opts.privatize = PrivatizeMode::kOff;
+  GpuSolver fallback(p.stacks, p.model.materials, tight_dev, tight_opts);
+  EXPECT_FALSE(fallback.templates_active());
+  EXPECT_FALSE(tight_dev.memory().breakdown().count("chord_templates"));
+  const auto r_fallback = fallback.solve(fixed);
+
+  // The fallback is a silent performance change, never a results change.
+  EXPECT_EQ(r_roomy.k_eff, r_fallback.k_eff);
+  const auto& ff = fallback.fsr().scalar_flux();
+  const auto& fr = roomy.fsr().scalar_flux();
+  ASSERT_EQ(ff.size(), fr.size());
+  for (std::size_t i = 0; i < ff.size(); ++i) EXPECT_EQ(fr[i], ff[i]) << i;
+
+  // kForce converts the fallback into the degradation-ladder signal.
+  gpusim::Device force_dev(tight);
+  GpuSolverOptions force_opts = tight_opts;
+  force_opts.templates = TemplateMode::kForce;
+  EXPECT_THROW(GpuSolver(p.stacks, p.model.materials, force_dev, force_opts),
+               DeviceOutOfMemory);
+}
+
+}  // namespace
+}  // namespace antmoc

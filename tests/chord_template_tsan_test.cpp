@@ -1,0 +1,83 @@
+/// \file chord_template_tsan_test.cpp
+/// Concurrency companion to chord_template_conformance_test, run under
+/// the tsan preset via the fault label (like sweep_tsan_test): the
+/// template cache is built once and then read concurrently by every
+/// fork-join sweep worker, so a ThreadSanitizer pass over a parallel
+/// templated solve proves the cache's immutable-after-construction
+/// contract — and bit-reproducibility shows the dispatch order is
+/// unaffected by scheduling.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "models/c5g7_model.h"
+#include "solver/cpu_solver.h"
+
+namespace antmoc {
+namespace {
+
+struct Problem {
+  models::C5G7Model model;
+  Quadrature quad;
+  TrackGenerator2D gen;
+  TrackStacks stacks;
+
+  Problem()
+      : model(models::build_pin_cell(4, 4.0)),
+        quad(4, 0.4, model.geometry.bounds().width_x(),
+             model.geometry.bounds().width_y(), 2),
+        gen(quad, model.geometry.bounds(),
+            {to_link_kind(model.geometry.boundary(Face::kXMin)),
+             to_link_kind(model.geometry.boundary(Face::kXMax)),
+             to_link_kind(model.geometry.boundary(Face::kYMin)),
+             to_link_kind(model.geometry.boundary(Face::kYMax))}),
+        stacks((gen.trace(model.geometry), gen), model.geometry,
+               model.geometry.bounds().z_min,
+               model.geometry.bounds().z_max, 0.5) {}
+};
+
+TEST(ChordTemplateTsan, ConcurrentTemplateReadsMatchSerialBitwise) {
+  Problem p;
+  SolveOptions fixed;
+  fixed.fixed_iterations = 5;
+
+  CpuSolver serial(p.stacks, p.model.materials, 1, TemplateMode::kAuto);
+  const auto rs = serial.solve(fixed);
+
+  // Four workers all expand from the same shared template tables.
+  CpuSolver parallel(p.stacks, p.model.materials, 4, TemplateMode::kAuto);
+  const auto rp = parallel.solve(fixed);
+
+  EXPECT_NEAR(rs.k_eff, rp.k_eff, 1e-10);
+  EXPECT_EQ(serial.last_sweep_segments(), parallel.last_sweep_segments());
+
+  // Same worker count => bitwise reproducible, templates or not.
+  CpuSolver repeat(p.stacks, p.model.materials, 4, TemplateMode::kAuto);
+  const auto rr = repeat.solve(fixed);
+  EXPECT_EQ(rp.k_eff, rr.k_eff);
+  const auto& f0 = parallel.fsr().scalar_flux();
+  const auto& f1 = repeat.fsr().scalar_flux();
+  ASSERT_EQ(f0.size(), f1.size());
+  for (std::size_t i = 0; i < f0.size(); ++i) EXPECT_EQ(f0[i], f1[i]) << i;
+}
+
+TEST(ChordTemplateTsan, ParallelTemplatedMatchesParallelGenericBitwise) {
+  Problem p;
+  SolveOptions fixed;
+  fixed.fixed_iterations = 4;
+
+  CpuSolver templated(p.stacks, p.model.materials, 4, TemplateMode::kAuto);
+  CpuSolver generic(p.stacks, p.model.materials, 4, TemplateMode::kOff);
+  const auto rt = templated.solve(fixed);
+  const auto rg = generic.solve(fixed);
+
+  EXPECT_EQ(rt.k_eff, rg.k_eff);
+  const auto& ft = templated.fsr().scalar_flux();
+  const auto& fg = generic.fsr().scalar_flux();
+  ASSERT_EQ(ft.size(), fg.size());
+  for (std::size_t i = 0; i < ft.size(); ++i) EXPECT_EQ(ft[i], fg[i]) << i;
+}
+
+}  // namespace
+}  // namespace antmoc

@@ -5,6 +5,7 @@
 #include "geometry/builder.h"
 #include "material/c5g7.h"
 #include "models/c5g7_model.h"
+#include "perfmodel/sweep_costs.h"
 #include "solver/cpu_solver.h"
 #include "solver/exponential.h"
 #include "solver/gpu_solver.h"
@@ -380,9 +381,13 @@ TEST(TrackManager, CostModelReflectsPolicy) {
   Problem p(models::build_pin_cell(1, 1.0), 4, 0.3, 1, 0.5);
   TrackManager exp(p.stacks, TrackPolicy::kExplicit, nullptr, 0);
   TrackManager otf(p.stacks, TrackPolicy::kOnTheFly, nullptr, 0);
+  // The regeneration tax is no longer a hardcoded 6.0: the first manager
+  // micro-calibrates it (or an earlier override pinned it). Whatever the
+  // process-wide value is, track_cost must reflect it exactly.
+  const double ratio = perf::otf_cost_ratio();
+  EXPECT_GE(ratio, 1.0);
   for (long id = 0; id < p.stacks.num_tracks(); id += 5)
-    EXPECT_NEAR(otf.track_cost(id),
-                exp.track_cost(id) * kOtfCostPerSegment, 1e-9);
+    EXPECT_NEAR(otf.track_cost(id), exp.track_cost(id) * ratio, 1e-9);
 }
 
 }  // namespace
