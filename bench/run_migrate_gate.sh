@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Survivor-takeover gate (DESIGN.md §11). Runs bench_migration, validates
+# the BENCH_migration.json it emits, and enforces the bars:
+#
+#   * JSON must be well-formed with every expected field, else FAIL.
+#   * The takeover run's k_eff must be *bitwise identical* to the
+#     failure-free run's — domain-keyed reductions plus exact-state
+#     resume make re-hosting invisible to the physics.
+#   * The restart run must land on the same eigenvalue (a deterministic
+#     full re-run from iteration 0 — the PR 1 degrade-or-restart
+#     baseline, which had no per-domain shard line).
+#   * The death must actually be absorbed in-world (takeovers >= 1,
+#     restarts == 0 on the takeover run) and the restart baseline must
+#     actually restart (restarts >= 1).
+#   * Wall clock: absorbing the death in-world must cost at most 0.8x the
+#     PR 1 restart path, which re-lays every domain's tracks and re-runs
+#     every iteration from scratch while the takeover rebuilds only the
+#     orphan and redoes only the iterations past the shard line.
+#
+# Usage: bench/run_migrate_gate.sh [build-dir]   (from the repo root;
+#        build-dir defaults to ./build and must already contain the bench)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+BIN="$BUILD/bench/bench_migration"
+
+if [ ! -x "$BIN" ]; then
+  echo "FAIL: $BIN not built (cmake --build $BUILD --target bench_migration)"
+  exit 1
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+json="$workdir/BENCH_migration.json"
+
+echo "== migrate gate: running bench_migration =="
+"$BIN" "$json"
+
+[ -s "$json" ] || { echo "FAIL: bench wrote no BENCH_migration.json"; exit 1; }
+
+python3 - "$json" <<'EOF'
+import json, sys
+
+try:
+    data = json.load(open(sys.argv[1]))
+except Exception as e:
+    sys.exit(f"FAIL: BENCH_migration.json is malformed: {e}")
+
+def need(obj, key, ctx=""):
+    if key not in obj:
+        sys.exit(f"FAIL: missing field {ctx}.{key}")
+    return obj[key]
+
+assert need(data, "bench") == "migration", "wrong bench tag"
+need(data, "fixed_iterations")
+assert need(data, "checkpoint_every") >= 1
+decomp = need(data, "decomposition")
+assert len(decomp) == 3 and decomp[0] * decomp[1] * decomp[2] >= 4, \
+    f"FAIL: takeover bench needs >= 4 ranks, got {decomp}"
+
+clean = need(data, "failure_free")
+take = need(data, "takeover")
+rest = need(data, "restart")
+for name, r in [("failure_free", clean), ("takeover", take),
+                ("restart", rest)]:
+    assert need(r, "seconds", name) > 0, f"{name}: non-positive seconds"
+    assert need(r, "k_eff", name) > 0, f"{name}: non-positive k_eff"
+
+# The death must be absorbed in-world, not by the restart ladder.
+assert need(take, "takeovers", "takeover") >= 1, \
+    "FAIL: takeover run absorbed no rank death"
+assert need(take, "resumed_from_iteration", "takeover") >= 0, \
+    "FAIL: takeover run never rewound to a shard line"
+assert need(rest, "restarts", "restart") >= 1, \
+    "FAIL: restart baseline never restarted"
+
+# Physics identity: re-hosting a domain must not move a single bit.
+assert need(data, "k_match_bitwise") is True, \
+    (f"FAIL: takeover k_eff {take['k_eff']!r} differs from failure-free "
+     f"{clean['k_eff']!r}")
+assert rest["k_eff"] == clean["k_eff"], \
+    (f"FAIL: restart k_eff {rest['k_eff']!r} differs from failure-free "
+     f"{clean['k_eff']!r}")
+
+ratio = take["seconds"] / rest["seconds"]
+print(f"   takeover vs restart wall clock: {ratio:.3f}x (bar: <= 0.8)")
+assert ratio <= 0.8, \
+    f"FAIL: in-world takeover {ratio:.3f}x of the restart path (> 0.8)"
+
+print(f"   JSON OK: takeover {take['seconds']:.3f}s vs restart "
+      f"{rest['seconds']:.3f}s, k_eff bitwise-identical across all runs")
+EOF
+
+echo "migrate gate PASSED"

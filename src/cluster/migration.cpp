@@ -1,0 +1,97 @@
+#include "cluster/migration.h"
+
+#include <cstring>
+
+#include "io/writers.h"
+#include "util/error.h"
+
+namespace antmoc::cluster {
+
+RebalanceMode parse_rebalance(const std::string& text) {
+  if (text == "off") return RebalanceMode::kOff;
+  if (text == "on_failure") return RebalanceMode::kOnFailure;
+  if (text == "on_drift") return RebalanceMode::kOnDrift;
+  fail<ConfigError>("cluster.rebalance must be off, on_failure, or "
+                    "on_drift (got '" + text + "')");
+}
+
+const char* rebalance_name(RebalanceMode mode) {
+  switch (mode) {
+    case RebalanceMode::kOff: return "off";
+    case RebalanceMode::kOnFailure: return "on_failure";
+    case RebalanceMode::kOnDrift: return "on_drift";
+  }
+  return "?";
+}
+
+std::vector<int> DomainRouter::domains_hosted_by(int rank) const {
+  std::vector<int> mine;
+  for (int d = 0; d < num_domains(); ++d)
+    if (host_[d] == rank) mine.push_back(d);
+  return mine;
+}
+
+std::string shard_path(const std::string& dir, int domain, int slot) {
+  return dir + "/shard-d" + std::to_string(domain) +
+         (slot % 2 == 0 ? ".a" : ".b") + ".ckpt";
+}
+
+std::string migrate_shard_path(const std::string& dir, int domain) {
+  return dir + "/migrate-d" + std::to_string(domain) + ".ckpt";
+}
+
+std::int64_t read_shard_iteration(const std::string& path) {
+  std::vector<std::byte> payload;
+  try {
+    payload = io::read_checked_blob(path);
+  } catch (const std::exception&) {
+    return -1;  // missing, truncated, or corrupt — not a recovery point
+  }
+  if (payload.size() < sizeof(std::int64_t)) return -1;
+  std::int64_t iteration = 0;
+  std::memcpy(&iteration, payload.data(), sizeof(iteration));
+  return iteration;
+}
+
+ShardLine scan_recovery_line(const std::string& dir, int num_domains) {
+  ShardLine line;
+  line.path.assign(num_domains, "");
+  if (num_domains <= 0) return line;
+
+  // Each domain has at most two intact generations. The recovery line is
+  // the largest iteration available for *all* domains; since generations
+  // alternate, that is min over domains of each domain's best iteration,
+  // provided the older generation covers any laggards. Collect both
+  // generations per domain and intersect.
+  std::vector<std::vector<std::pair<std::int64_t, std::string>>> gens(
+      num_domains);
+  std::int64_t best_common = -1;
+  for (int d = 0; d < num_domains; ++d) {
+    for (int slot = 0; slot < 2; ++slot) {
+      const std::string p = shard_path(dir, d, slot);
+      const std::int64_t it = read_shard_iteration(p);
+      if (it >= 0) gens[d].emplace_back(it, p);
+    }
+    if (gens[d].empty()) return line;  // no common line possible
+  }
+  // Candidate iterations come from domain 0's generations (the line must
+  // be one of them); pick the largest present everywhere.
+  for (const auto& [it, p] : gens[0]) {
+    if (it <= best_common) continue;
+    bool everywhere = true;
+    for (int d = 1; d < num_domains && everywhere; ++d) {
+      bool found = false;
+      for (const auto& [it2, p2] : gens[d]) found = found || it2 == it;
+      everywhere = found;
+    }
+    if (everywhere) best_common = it;
+  }
+  if (best_common < 0) return line;
+  line.iteration = best_common;
+  for (int d = 0; d < num_domains; ++d)
+    for (const auto& [it, p] : gens[d])
+      if (it == best_common) line.path[d] = p;
+  return line;
+}
+
+}  // namespace antmoc::cluster

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file migration.h
+/// Survivor-takeover support (DESIGN.md §11): domain routing, rebalance
+/// policy knobs, and per-domain checkpoint-shard management for live
+/// migration. When a rank dies mid-solve, the survivors agree on the dead
+/// set, elect adopters deterministically (partition::elect_adopters),
+/// rehydrate the orphaned domains from their shards, rewire the
+/// face-neighbor exchange tables through the router, and resume — no full
+/// restart. The same machinery, triggered by the MAX/AVG load-uniformity
+/// gauge, migrates domains off stragglers voluntarily.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace antmoc::cluster {
+
+/// `cluster.rebalance` knob: when does the migration machinery engage?
+///  * off        — never (failures fall through to the restart ladder);
+///  * on_failure — takeover on peer death only (the default);
+///  * on_drift   — takeover on death *and* voluntary migration when the
+///                 measured sweep-time MAX/AVG drifts past the threshold.
+enum class RebalanceMode { kOff, kOnFailure, kOnDrift };
+
+/// Parses "off" / "on_failure" / "on_drift"; throws on anything else.
+RebalanceMode parse_rebalance(const std::string& text);
+
+const char* rebalance_name(RebalanceMode mode);
+
+/// Maps each spatial domain to the rank currently hosting it. Every rank
+/// keeps an identical copy; takeover and voluntary migration update all
+/// copies with the same deterministic assignment, so the tables never
+/// diverge without communication.
+class DomainRouter {
+ public:
+  DomainRouter() = default;
+  /// Captures the initial layout (the decomposed driver starts with the
+  /// identity host[d] = d, one domain per rank).
+  explicit DomainRouter(std::vector<int> host) : host_(std::move(host)) {}
+
+  int num_domains() const { return static_cast<int>(host_.size()); }
+  int host(int domain) const { return host_[domain]; }
+  void set_host(int domain, int rank) { host_[domain] = rank; }
+
+  /// Domains hosted by `rank`, ascending.
+  std::vector<int> domains_hosted_by(int rank) const;
+
+  const std::vector<int>& table() const { return host_; }
+
+ private:
+  std::vector<int> host_;
+};
+
+/// Shard file name for one domain's checkpoint generation. Two
+/// generations ("a"/"b") alternate so a death during a write never
+/// destroys the only recoverable state: the previous generation's CRC-
+/// framed file is still intact.
+std::string shard_path(const std::string& dir, int domain, int slot);
+
+/// Transfer file for one voluntary (drift-triggered) migration of a live
+/// domain; distinct from the periodic shards so a migration never clobbers
+/// a recovery line.
+std::string migrate_shard_path(const std::string& dir, int domain);
+
+/// One domain's contribution to the recovery line.
+struct ShardLine {
+  std::int64_t iteration = -1;          ///< newest common iteration
+  std::vector<std::string> path;        ///< [domain] shard at that line
+};
+
+/// Reads just the iteration marker (first 8 payload bytes, by the
+/// save_state contract) of a shard; returns -1 if the file is missing or
+/// fails its CRC/framing checks.
+std::int64_t read_shard_iteration(const std::string& path);
+
+/// Scans `dir` for the newest iteration at which *every* domain in
+/// [0, num_domains) has an intact shard — the recovery line. A takeover
+/// resumes all domains from one line so the restored global state is the
+/// state the failure-free solve had at that iteration. iteration = -1
+/// when no common line exists (fall back to the restart ladder).
+ShardLine scan_recovery_line(const std::string& dir, int num_domains);
+
+}  // namespace antmoc::cluster

@@ -12,7 +12,8 @@ namespace antmoc::comm {
 namespace detail {
 
 SharedState::SharedState(int n, CommOptions opts)
-    : nranks(n), options(opts), bytes_sent(n), messages_sent(n) {
+    : nranks(n), options(opts), dead(n), alive_count(n), handled(n, 0),
+      bytes_sent(n), messages_sent(n), outstanding(n) {
   reduce_slots.resize(n);
   mailboxes.reserve(n);
   for (int i = 0; i < n; ++i)
@@ -30,6 +31,8 @@ void SharedState::poison(int rank, const std::string& reason) {
   }
   // Wake every potentially blocked rank. Notifying under each waiter's
   // mutex guarantees no wakeup is lost between predicate check and wait.
+  // The mutexes are taken strictly one at a time (never nested), so this
+  // cannot form a lock cycle with shrink()'s completion sweep.
   for (auto& box : mailboxes) {
     std::lock_guard lock(box->mutex);
     box->ready.notify_all();
@@ -42,19 +45,53 @@ void SharedState::poison(int rank, const std::string& reason) {
     std::lock_guard lock(reduce_mutex);
     reduce_cv.notify_all();
   }
+  {
+    std::lock_guard lock(slot_mutex);
+    slot_cv.notify_all();
+  }
+  {
+    std::lock_guard lock(shrink_mutex);
+    shrink_cv.notify_all();
+  }
+}
+
+void SharedState::mark_dead(int rank, const std::string& reason) {
+  if (!dead[rank].exchange(true, std::memory_order_acq_rel))
+    alive_count.fetch_sub(1, std::memory_order_acq_rel);
+  poison(rank, reason);
 }
 
 std::string SharedState::poison_cause() const {
   std::lock_guard lock(poison_mutex);
+  if (poison_rank < 0 && !last_death.empty())
+    return "world previously shrunk after: " + last_death;
   return "rank " + std::to_string(poison_rank) + " failed: " + poison_reason;
 }
 
 }  // namespace detail
 
 void Communicator::fail_peer(const char* op) const {
-  const std::string msg = "rank " + std::to_string(rank_) +
-                          ": peer failure detected in " + op + " — " +
-                          state_->poison_cause();
+  const std::string msg =
+      "rank " + std::to_string(rank_) + ": peer failure detected in " + op +
+      " — " + state_->poison_cause() + " [" +
+      std::to_string(outstanding_requests()) +
+      " outstanding nonblocking request(s)]";
+  log::error(msg);
+  throw PeerFailure(msg);
+}
+
+void Communicator::fail_dead_peer(const char* op, int peer) const {
+  std::string last;
+  {
+    std::lock_guard lock(state_->poison_mutex);
+    last = state_->last_death;
+  }
+  const std::string msg =
+      "rank " + std::to_string(rank_) + ": " + op + " targets dead rank " +
+      std::to_string(peer) +
+      (last.empty() ? std::string() : " (world shrunk after: " + last + ")") +
+      " [" + std::to_string(outstanding_requests()) +
+      " outstanding nonblocking request(s)]";
   log::error(msg);
   throw PeerFailure(msg);
 }
@@ -64,7 +101,9 @@ void Communicator::fail_timeout(const char* op, int peer, int tag) const {
   if (peer >= 0) msg += " from rank " + std::to_string(peer);
   if (tag >= 0) msg += " (tag " + std::to_string(tag) + ")";
   msg += " exceeded the " +
-         std::to_string(state_->options.deadline.count()) + " ms deadline";
+         std::to_string(state_->options.deadline.count()) + " ms deadline [" +
+         std::to_string(outstanding_requests()) +
+         " outstanding nonblocking request(s)]";
   log::error(msg);
   throw CommTimeout(msg);
 }
@@ -73,6 +112,7 @@ void Communicator::send(int dest, int tag, const void* data,
                         std::size_t bytes) {
   require(dest >= 0 && dest < size(), "send: destination rank out of range");
   if (state_->poisoned.load(std::memory_order_acquire)) fail_peer("send");
+  if (is_dead(dest)) fail_dead_peer("send", dest);
   fault::point("comm.send", rank_);
   telemetry::TraceSpan span("comm/send", "comm", rank_, -1, "bytes",
                             static_cast<std::int64_t>(bytes));
@@ -120,6 +160,12 @@ detail::Message Communicator::match(int source, int tag) {
     if (state_->poisoned.load(std::memory_order_acquire)) {
       lock.unlock();
       fail_peer("recv");
+    }
+    // In a repaired (shrunk) world the source may be long dead with no
+    // poison pending; fail fast instead of sitting out the deadline.
+    if (is_dead(source)) {
+      lock.unlock();
+      fail_dead_peer("recv", source);
     }
     if (deadline.count() > 0) {
       if (box.ready.wait_until(lock, give_up) == std::cv_status::timeout) {
@@ -172,6 +218,8 @@ Request Communicator::post_recv(
   state->peer = source;
   state->tag = tag;
   state->deliver = std::move(deliver);
+  state->outstanding = &state_->outstanding[rank_];
+  state->outstanding->fetch_add(1, std::memory_order_relaxed);
   return Request(std::move(state));
 }
 
@@ -201,6 +249,8 @@ bool Communicator::try_complete_locked(detail::RequestState& rs,
   box.queue.erase(it);
   rs.bytes = msg.payload.size();
   rs.complete = true;
+  if (rs.outstanding != nullptr)
+    rs.outstanding->fetch_sub(1, std::memory_order_relaxed);
   auto deliver = std::move(rs.deliver);
   rs.deliver = nullptr;
   if (deliver) deliver(std::move(msg.payload));
@@ -246,6 +296,16 @@ int Communicator::wait_any(std::vector<Request>& reqs) {
     if (state_->poisoned.load(std::memory_order_acquire)) {
       lock.unlock();
       fail_peer("wait_any");
+    }
+    // A pending receive from a dead rank can never complete (its queued
+    // messages were just tried above): fail fast in a repaired world.
+    for (const Request& r : reqs) {
+      if (r.done()) continue;
+      if (is_dead(r.state_->peer)) {
+        const int peer = r.state_->peer;
+        lock.unlock();
+        fail_dead_peer("wait_any", peer);
+      }
     }
     if (deadline.count() > 0) {
       if (box.ready.wait_until(lock, give_up) == std::cv_status::timeout) {
@@ -316,7 +376,7 @@ void Communicator::barrier() {
     fail_peer("barrier");
   }
   const std::uint64_t generation = s.barrier_generation;
-  if (++s.barrier_arrived == s.nranks) {
+  if (++s.barrier_arrived >= s.alive_count.load(std::memory_order_acquire)) {
     s.barrier_arrived = 0;
     ++s.barrier_generation;
     s.barrier_cv.notify_all();
@@ -360,16 +420,22 @@ void Communicator::allreduce(std::vector<double>& values, ReduceOp op) {
 
   // Park this rank's contribution; the last arriver reduces the slots in
   // fixed rank order so the floating-point result never depends on which
-  // rank got here first (bit-reproducibility, DESIGN.md §8).
+  // rank got here first (bit-reproducibility, DESIGN.md §8). Dead ranks'
+  // slots hold stale data and are skipped.
   s.reduce_slots[rank_] = values;
 
-  if (++s.reduce_arrived == s.nranks) {
-    for (int r = 0; r < s.nranks; ++r)
-      require(s.reduce_slots[r].size() == values.size(),
-              "allreduce: ranks passed different value counts");
-    s.reduce_result = s.reduce_slots[0];
-    for (int r = 1; r < s.nranks; ++r) {
+  if (++s.reduce_arrived >= s.alive_count.load(std::memory_order_acquire)) {
+    bool seeded = false;
+    for (int r = 0; r < s.nranks; ++r) {
+      if (s.dead[r].load(std::memory_order_acquire)) continue;
       const auto& slot = s.reduce_slots[r];
+      require(slot.size() == values.size(),
+              "allreduce: ranks passed different value counts");
+      if (!seeded) {
+        s.reduce_result = slot;
+        seeded = true;
+        continue;
+      }
       for (std::size_t i = 0; i < slot.size(); ++i) {
         switch (op) {
           case ReduceOp::kSum:
@@ -411,11 +477,181 @@ void Communicator::allreduce(std::vector<double>& values, ReduceOp op) {
   values = s.reduce_result;
 }
 
+void Communicator::allreduce_slots(
+    const std::vector<std::pair<int, std::vector<double>*>>& contribs,
+    ReduceOp op) {
+  fault::point("comm.allreduce", rank_);
+  telemetry::TraceSpan span("comm/allreduce_slots", "comm", rank_, -1,
+                            "slots",
+                            static_cast<std::int64_t>(contribs.size()));
+  telemetry::ScopedWait wait("comm.wait_us", rank_);
+  auto& s = *state_;
+  const auto deadline = s.options.deadline;
+  const auto give_up = std::chrono::steady_clock::now() + deadline;
+  std::unique_lock lock(s.slot_mutex);
+  if (s.poisoned.load(std::memory_order_acquire)) {
+    lock.unlock();
+    fail_peer("allreduce_slots");
+  }
+  const std::uint64_t generation = s.slot_generation;
+
+  for (const auto& [id, values] : contribs) {
+    require(values != nullptr, "allreduce_slots: null contribution");
+    require(s.slot_contribs.emplace(id, values).second,
+            "allreduce_slots: slot " + std::to_string(id) +
+                " contributed twice");
+  }
+
+  const auto publish = [&] {
+    for (const auto& [id, values] : contribs) *values = s.slot_result;
+  };
+
+  if (++s.slot_arrived >= s.alive_count.load(std::memory_order_acquire)) {
+    // Reduce in ascending slot order (std::map iteration), independent of
+    // which rank hosts which slot — the takeover-invariant combination.
+    s.slot_result.clear();
+    bool seeded = false;
+    for (const auto& [id, values] : s.slot_contribs) {
+      if (!seeded) {
+        s.slot_result = *values;
+        seeded = true;
+        continue;
+      }
+      require(values->size() == s.slot_result.size(),
+              "allreduce_slots: slots contributed different value counts");
+      for (std::size_t i = 0; i < values->size(); ++i) {
+        switch (op) {
+          case ReduceOp::kSum:
+            s.slot_result[i] += (*values)[i];
+            break;
+          case ReduceOp::kMax:
+            s.slot_result[i] = std::max(s.slot_result[i], (*values)[i]);
+            break;
+          case ReduceOp::kMin:
+            s.slot_result[i] = std::min(s.slot_result[i], (*values)[i]);
+            break;
+        }
+      }
+    }
+    s.slot_contribs.clear();
+    s.slot_arrived = 0;
+    ++s.slot_generation;
+    publish();
+    s.slot_cv.notify_all();
+    return;
+  }
+  const auto done = [&] {
+    return s.slot_generation != generation ||
+           s.poisoned.load(std::memory_order_acquire);
+  };
+  const auto withdraw = [&] {
+    --s.slot_arrived;
+    for (const auto& [id, values] : contribs) s.slot_contribs.erase(id);
+  };
+  if (deadline.count() > 0) {
+    if (!s.slot_cv.wait_until(lock, give_up, done)) {
+      withdraw();
+      lock.unlock();
+      fail_timeout("allreduce_slots", -1, -1);
+    }
+  } else {
+    s.slot_cv.wait(lock, done);
+  }
+  if (s.slot_generation == generation) {
+    withdraw();
+    lock.unlock();
+    fail_peer("allreduce_slots");
+  }
+  publish();
+}
+
+std::vector<int> Communicator::shrink() {
+  fault::point("comm.shrink", rank_);
+  telemetry::TraceSpan span("comm/shrink", "comm", rank_);
+  telemetry::ScopedWait waiting("comm.wait_us", rank_);
+  auto& s = *state_;
+  const auto deadline = s.options.deadline;
+  const auto give_up = std::chrono::steady_clock::now() + deadline;
+
+  const auto complete_locked = [&] {
+    // The shrink_mutex is held; every other mutex below is taken and
+    // released one at a time, so no lock cycle with poison()/mark_dead().
+    for (auto& box : s.mailboxes) {
+      std::lock_guard l(box->mutex);
+      box->queue.clear();
+    }
+    {
+      std::lock_guard l(s.barrier_mutex);
+      s.barrier_arrived = 0;
+    }
+    {
+      std::lock_guard l(s.reduce_mutex);
+      s.reduce_arrived = 0;
+    }
+    {
+      std::lock_guard l(s.slot_mutex);
+      s.slot_arrived = 0;
+      s.slot_contribs.clear();
+    }
+    {
+      std::lock_guard l(s.poison_mutex);
+      for (int r = 0; r < s.nranks; ++r)
+        if (s.dead[r].load(std::memory_order_acquire)) s.handled[r] = 1;
+      if (s.poisoned.load(std::memory_order_relaxed) && s.poison_rank >= 0)
+        s.last_death = "rank " + std::to_string(s.poison_rank) +
+                       " failed: " + s.poison_reason;
+      s.poison_rank = -1;
+      s.poison_reason.clear();
+      s.poisoned.store(false, std::memory_order_release);
+    }
+    s.shrink_arrived = 0;
+    ++s.shrink_generation;
+    s.shrink_cv.notify_all();
+  };
+
+  {
+    std::unique_lock lock(s.shrink_mutex);
+    const std::uint64_t generation = s.shrink_generation;
+    ++s.shrink_arrived;
+    for (;;) {
+      if (s.shrink_generation != generation) break;  // repaired by a peer
+      // The quorum is the *current* alive count: ranks that die while we
+      // wait (their mark_dead notifies shrink_cv) shrink the quorum
+      // instead of wedging it.
+      if (s.shrink_arrived >= s.alive_count.load(std::memory_order_acquire)) {
+        complete_locked();
+        break;
+      }
+      if (deadline.count() > 0) {
+        if (s.shrink_cv.wait_until(lock, give_up) ==
+            std::cv_status::timeout) {
+          if (s.shrink_generation != generation) break;
+          if (s.shrink_arrived >=
+              s.alive_count.load(std::memory_order_acquire)) {
+            complete_locked();
+            break;
+          }
+          --s.shrink_arrived;
+          lock.unlock();
+          fail_timeout("shrink", -1, -1);
+        }
+      } else {
+        s.shrink_cv.wait(lock);
+      }
+    }
+  }
+
+  std::vector<int> dead;
+  for (int r = 0; r < s.nranks; ++r)
+    if (s.dead[r].load(std::memory_order_acquire)) dead.push_back(r);
+  return dead;
+}
+
 void Communicator::broadcast(void* data, std::size_t bytes, int root) {
   constexpr int kTag = 900;
   if (rank_ == root) {
     for (int r = 0; r < size(); ++r)
-      if (r != root) send(r, kTag, data, bytes);
+      if (r != root && !is_dead(r)) send(r, kTag, data, bytes);
   } else {
     recv(root, kTag, data, bytes);
   }

@@ -11,11 +11,17 @@
 /// fluxes, then all domains receive head fluxes from neighbors without
 /// deadlock regardless of ordering.
 ///
-/// Fault tolerance (DESIGN.md §5): blocking calls accept a configurable
-/// deadline (CommOptions) and throw CommTimeout naming rank, peer, and tag
-/// on expiry. When any rank fails, the world is *poisoned*: every blocked
-/// rank wakes with PeerFailure instead of hanging, so a decomposed solve
-/// always terminates with a diagnostic.
+/// Fault tolerance (DESIGN.md §5, §11): blocking calls accept a
+/// configurable deadline (CommOptions) and throw CommTimeout naming rank,
+/// peer, and tag on expiry. When any rank fails, the world is *poisoned*:
+/// every blocked rank wakes with PeerFailure instead of hanging, so a
+/// decomposed solve always terminates with a diagnostic. Survivors may
+/// then *shrink* the world (ULFM-style): shrink() is a survivor-only
+/// collective that agrees the dead set, purges every mailbox, resets
+/// collective scratch, and clears the poison so the remaining ranks can
+/// keep communicating — the transport-level repair underneath the domain
+/// takeover protocol. Point-to-point calls that target a dead rank fail
+/// fast with PeerFailure instead of hanging until a deadline.
 ///
 /// Nonblocking primitives (DESIGN.md §8): isend/irecv return a Request;
 /// test() polls without blocking, wait()/wait_any()/wait_all() block with
@@ -80,6 +86,16 @@ struct RequestState {
   /// Copies the matched payload into the destination buffer; set by the
   /// posting irecv overload, cleared after delivery.
   std::function<void(std::vector<std::byte>&&)> deliver;
+  /// Outstanding-request counter of the posting rank; decremented exactly
+  /// once — at completion, or at destruction when the request is abandoned
+  /// (e.g. a poisoned-world unwind drops its handles). Leak accounting for
+  /// the PeerFailure/CommTimeout diagnostics.
+  std::atomic<int>* outstanding = nullptr;
+
+  ~RequestState() {
+    if (outstanding != nullptr && !complete)
+      outstanding->fetch_sub(1, std::memory_order_relaxed);
+  }
 };
 
 struct Mailbox {
@@ -107,13 +123,31 @@ struct SharedState {
   // publishes the result. Reducing in rank order (not arrival order)
   // makes the floating-point sum deterministic run to run — the
   // collective-side requirement for the decomposed solve's
-  // bit-reproducibility (DESIGN.md §8).
+  // bit-reproducibility (DESIGN.md §8). Dead ranks' slots are skipped.
   std::mutex reduce_mutex;
   std::condition_variable reduce_cv;
   int reduce_arrived = 0;
   std::uint64_t reduce_generation = 0;
   std::vector<std::vector<double>> reduce_slots;
   std::vector<double> reduce_result;
+
+  // Keyed ("slotted") allreduce scratch: contributions are keyed by an
+  // arbitrary slot id (the decomposed solve keys by *domain*, not rank)
+  // and reduced in ascending key order. After a takeover moves a domain
+  // to a new host, the reduction expression is unchanged — the
+  // bit-reproducibility argument of DESIGN.md §11.
+  std::mutex slot_mutex;
+  std::condition_variable slot_cv;
+  int slot_arrived = 0;
+  std::uint64_t slot_generation = 0;
+  std::map<int, const std::vector<double>*> slot_contribs;
+  std::vector<double> slot_result;
+
+  // Shrink collective scratch (survivor-only; see Communicator::shrink).
+  std::mutex shrink_mutex;
+  std::condition_variable shrink_cv;
+  int shrink_arrived = 0;
+  std::uint64_t shrink_generation = 0;
 
   // Poisoned-world flag: set when any rank fails so blocked peers wake
   // with PeerFailure instead of hanging. First failure wins the reason.
@@ -122,16 +156,34 @@ struct SharedState {
   int poison_rank = -1;
   std::string poison_reason;
 
+  // Liveness: dead ranks never rejoin; collectives complete when every
+  // *alive* rank arrives. `handled` marks deaths absorbed by a completed
+  // shrink so Runtime::run() does not rethrow errors the survivors
+  // already recovered from. `last_death` keeps the most recent death's
+  // diagnostic after shrink() clears the poison.
+  std::vector<std::atomic<bool>> dead;
+  std::atomic<int> alive_count;
+  std::vector<char> handled;  ///< guarded by poison_mutex
+  std::string last_death;     ///< guarded by poison_mutex
+
   /// Marks the world poisoned (first caller records rank + reason) and
-  /// wakes every rank blocked in recv/barrier/allreduce.
+  /// wakes every rank blocked in recv/barrier/allreduce/shrink.
   void poison(int rank, const std::string& reason);
 
-  /// Human-readable cause recorded by poison() ("rank R failed: ...").
+  /// Records `rank` as permanently dead (it threw out of its rank
+  /// function), then poisons the world. Called by Runtime on the failing
+  /// rank's thread.
+  void mark_dead(int rank, const std::string& reason);
+
+  /// Human-readable cause recorded by poison() ("rank R failed: ...");
+  /// falls back to the last pre-shrink death once the poison is cleared.
   std::string poison_cause() const;
 
   // Byte counters, indexed by source rank.
   std::vector<std::atomic<std::uint64_t>> bytes_sent;
   std::vector<std::atomic<std::uint64_t>> messages_sent;
+  // Posted-but-incomplete nonblocking requests, indexed by posting rank.
+  std::vector<std::atomic<int>> outstanding;
 };
 
 }  // namespace detail
@@ -274,12 +326,56 @@ class Communicator {
     recv(peer, tag, in);
   }
 
-  /// Blocks until all ranks arrive (or the deadline/poison fires).
+  /// Blocks until all alive ranks arrive (or the deadline/poison fires).
   void barrier();
 
-  /// Element-wise allreduce over all ranks; every rank gets the result.
+  /// Element-wise allreduce over all alive ranks; every rank gets the
+  /// result. Dead ranks' parked slots are skipped in the fixed-order
+  /// reduction.
   void allreduce(std::vector<double>& values, ReduceOp op);
   double allreduce(double value, ReduceOp op);
+
+  /// Keyed allreduce (DESIGN.md §11): each rank contributes zero or more
+  /// (slot id, values) pairs — the decomposed solve keys by domain — and
+  /// every contributed vector is replaced by the element-wise reduction
+  /// over all slots, combined in ascending *slot* order. Because the
+  /// reduction order follows slot ids rather than ranks, re-hosting a
+  /// slot on a different rank (domain takeover, voluntary migration)
+  /// leaves the floating-point result bitwise unchanged. Slot ids must be
+  /// globally unique per call; all contributed vectors must be equally
+  /// sized. Completes when every alive rank arrives.
+  void allreduce_slots(
+      const std::vector<std::pair<int, std::vector<double>*>>& contribs,
+      ReduceOp op);
+
+  // --- survivor recovery (DESIGN.md §11) -----------------------------------
+
+  /// Survivor-only collective repairing a poisoned world: blocks until
+  /// every alive rank arrives (new deaths while waiting shrink the
+  /// quorum), then purges all mailboxes, resets barrier/reduce scratch,
+  /// marks the dead set handled, and clears the poison. Returns the
+  /// agreed dead ranks (ascending). Unlike other collectives it does not
+  /// throw on a poisoned world — it is the repair — but it honors the
+  /// configured deadline (CommTimeout) so a hung survivor cannot wedge
+  /// the takeover.
+  std::vector<int> shrink();
+
+  /// True once `rank` died (threw out of its rank function).
+  bool is_dead(int rank) const {
+    return state_->dead[rank].load(std::memory_order_acquire);
+  }
+
+  /// Ranks not (yet) dead.
+  int num_alive() const {
+    return state_->alive_count.load(std::memory_order_acquire);
+  }
+
+  /// Posted-but-incomplete nonblocking requests owned by this rank — zero
+  /// after a clean drain; nonzero in a failure diagnostic means handles
+  /// were abandoned mid-flight.
+  int outstanding_requests() const {
+    return state_->outstanding[rank_].load(std::memory_order_relaxed);
+  }
 
   /// Root's buffer is copied to every rank (sizes must already agree).
   void broadcast(void* data, std::size_t bytes, int root);
@@ -302,7 +398,7 @@ class Communicator {
       std::copy(local.begin(), local.end(),
                 all.begin() + static_cast<std::size_t>(root) * local.size());
       for (int r = 0; r < size(); ++r) {
-        if (r == root) continue;
+        if (r == root || is_dead(r)) continue;  // dead slots stay zeroed
         const std::vector<std::byte> payload = recv_bytes(r, kTag);
         if (payload.size() != expected)
           fail<Error>("gather: rank " + std::to_string(r) + " contributed " +
@@ -344,10 +440,17 @@ class Communicator {
   /// Telemetry hook: counts received payload bytes (total and per rank).
   void record_recv(std::size_t bytes) const;
 
-  /// Logs and throws PeerFailure carrying the recorded poison cause.
+  /// Logs and throws PeerFailure carrying the recorded poison cause (which
+  /// names the failed rank and, for injected faults, the fault point) plus
+  /// this rank's outstanding nonblocking-request count.
   [[noreturn]] void fail_peer(const char* op) const;
 
-  /// Logs and throws CommTimeout naming rank, peer, and tag.
+  /// Logs and throws PeerFailure for an operation targeting a rank that is
+  /// already dead in a repaired (shrunk) world.
+  [[noreturn]] void fail_dead_peer(const char* op, int peer) const;
+
+  /// Logs and throws CommTimeout naming rank, peer, tag, and the
+  /// outstanding nonblocking-request count.
   [[noreturn]] void fail_timeout(const char* op, int peer, int tag) const;
 
   int rank_;

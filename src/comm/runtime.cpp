@@ -32,19 +32,40 @@ std::uint64_t Runtime::run(int nranks,
         fn(comm);
       } catch (const std::exception& e) {
         errors[r] = std::current_exception();
-        state->poison(r, e.what());
+        state->mark_dead(r, e.what());
       } catch (...) {
         errors[r] = std::current_exception();
-        state->poison(r, "unknown exception");
+        state->mark_dead(r, "unknown exception");
       }
     });
   }
   for (auto& t : threads) t.join();
 
+  // Deaths absorbed by a completed shrink() (survivor takeover,
+  // DESIGN.md §11) are not failures of the run: the survivors adopted the
+  // dead ranks' work and finished.
+  std::vector<char> handled;
+  {
+    std::lock_guard lock(state->poison_mutex);
+    handled = state->handled;
+  }
+
   // Prefer the original failure over the PeerFailure echoes it caused.
   std::exception_ptr secondary;
-  for (const auto& err : errors) {
+  for (int r = 0; r < nranks; ++r) {
+    const auto& err = errors[r];
     if (!err) continue;
+    if (handled[r]) {
+      try {
+        std::rethrow_exception(err);
+      } catch (const std::exception& e) {
+        log::info("runtime: rank ", r,
+                  " died but its failure was absorbed by a survivor "
+                  "takeover: ", e.what());
+      } catch (...) {
+      }
+      continue;
+    }
     try {
       std::rethrow_exception(err);
     } catch (const PeerFailure&) {

@@ -48,6 +48,34 @@ const char* kind_name(ErrorKind kind) {
 
 }  // namespace
 
+const std::vector<PointInfo>& known_points() {
+  static const std::vector<PointInfo> points = {
+      {"checkpoint.write",
+       "before a rank writes its per-domain checkpoint shards"},
+      {"comm.allreduce", "entry of allreduce / allreduce_slots"},
+      {"comm.barrier", "entry of the barrier collective"},
+      {"comm.irecv", "posting a nonblocking receive"},
+      {"comm.isend", "posting a nonblocking send"},
+      {"comm.recv", "entry of a blocking receive"},
+      {"comm.send", "entry of a buffered send"},
+      {"comm.shrink", "entry of the survivor-only shrink collective"},
+      {"comm.wait", "entry of wait/wait_any/wait_all/test"},
+      {"domain.sweep",
+       "before each hosted domain's transport sweep (delay plans here "
+       "fake a straggler for the drift gauge)"},
+      {"gpusim.alloc", "device arena allocation"},
+      {"migrate.agree", "takeover phase 1: agreeing the dead set"},
+      {"migrate.elect", "takeover phase 2: electing domain adopters"},
+      {"migrate.rehydrate",
+       "takeover phase 3: rewinding domains to the shard recovery line"},
+      {"migrate.rewire",
+       "takeover phase 4: re-running the interface-list handshake"},
+      {"migrate.voluntary", "start of a drift-triggered migration"},
+      {"solver.iteration", "top of each power iteration on each rank"},
+  };
+  return points;
+}
+
 Plan parse_plan(const std::string& spec) {
   std::istringstream in(spec);
   Plan plan;

@@ -55,6 +55,18 @@ struct Plan {
 /// Parses one plan spec (grammar above); throws ConfigError on bad tokens.
 Plan parse_plan(const std::string& spec);
 
+/// One registered injection point: where production code calls
+/// fault::point() and what failing there simulates.
+struct PointInfo {
+  const char* name;
+  const char* description;
+};
+
+/// Every injection point compiled into the binary, sorted by name — the
+/// table behind the `--fault-list` CLI mode. Kept by hand next to the
+/// point() call sites; fault_test cross-checks it against the source.
+const std::vector<PointInfo>& known_points();
+
 /// Global plan registry. Thread-safe: ranks hit points concurrently.
 class Injector {
  public:

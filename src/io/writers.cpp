@@ -1,8 +1,10 @@
 #include "io/writers.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 
+#include "util/crc32.h"
 #include "util/error.h"
 
 namespace antmoc::io {
@@ -14,7 +16,64 @@ std::ofstream open_or_throw(const std::string& path) {
   return out;
 }
 
+constexpr char kBlobMagic[8] = {'A', 'N', 'T', 'M', 'O', 'C', '0', '2'};
+constexpr char kV1Magic[8] = {'A', 'N', 'T', 'M', 'O', 'C', '0', '1'};
+
 }  // namespace
+
+void write_checked_blob(const std::string& path,
+                        const std::vector<std::byte>& payload) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out) fail<Error>("cannot open checkpoint for writing: " + tmp);
+    const std::uint64_t size = payload.size();
+    const std::uint32_t crc = util::crc32(payload.data(), payload.size());
+    out.write(kBlobMagic, sizeof kBlobMagic);
+    out.write(reinterpret_cast<const char*>(&size), sizeof size);
+    out.write(reinterpret_cast<const char*>(&crc), sizeof crc);
+    out.write(reinterpret_cast<const char*>(payload.data()), payload.size());
+    require(static_cast<bool>(out), "checkpoint write failed: " + tmp);
+  }
+  // Atomic publish: a reader sees the old file or the new one, never a
+  // torn write — the property the shard recovery line depends on.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    fail<Error>("cannot rename " + tmp + " to " + path);
+}
+
+std::vector<std::byte> read_checked_blob(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail<Error>("cannot open checkpoint: " + path);
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (!in) fail<Error>("checkpoint truncated inside the header: " + path);
+  if (std::equal(magic, magic + 8, kV1Magic))
+    fail<Error>("version-1 (pre-CRC) ANT-MOC checkpoint — re-create it "
+                "with this build: " + path);
+  require(std::equal(magic, magic + 8, kBlobMagic),
+          "not an ANT-MOC checkpoint: " + path);
+  std::uint64_t size = 0;
+  std::uint32_t stored_crc = 0;
+  in.read(reinterpret_cast<char*>(&size), sizeof size);
+  in.read(reinterpret_cast<char*>(&stored_crc), sizeof stored_crc);
+  if (!in) fail<Error>("checkpoint truncated inside the header: " + path);
+  std::vector<std::byte> payload(size);
+  in.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(size));
+  if (static_cast<std::uint64_t>(in.gcount()) != size)
+    fail<Error>("checkpoint truncated: header promises " +
+                std::to_string(size) + " B of payload but only " +
+                std::to_string(in.gcount()) + " B present: " + path);
+  const std::uint32_t crc = util::crc32(payload.data(), payload.size());
+  if (crc != stored_crc) {
+    char hex[64];
+    std::snprintf(hex, sizeof hex, "stored %08x, computed %08x", stored_crc,
+                  crc);
+    fail<Error>("checkpoint corrupt (CRC mismatch: " + std::string(hex) +
+                "): " + path);
+  }
+  return payload;
+}
 
 void write_fission_rate_csv(const std::string& path,
                             const Geometry& geometry,

@@ -5,12 +5,29 @@
 /// pin-power maps, legacy-VTK volumes for ParaView (the paper's Fig. 7
 /// visualization path), and aligned text tables for the run log.
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "geometry/geometry.h"
 
 namespace antmoc::io {
+
+/// CRC-framed binary blobs — the container for checkpoint files and
+/// per-domain shards (DESIGN.md §11). Layout:
+///   bytes 0..5   "ANTMOC"
+///   bytes 6..7   version, ASCII "02"
+///   u64          payload size in bytes
+///   u32          CRC-32 (IEEE) of the payload
+///   payload
+/// write_checked_blob() writes to `path + ".tmp"` and renames into place,
+/// so a reader never sees a half-written file even if the writer dies
+/// mid-checkpoint. read_checked_blob() rejects wrong-magic, version-1
+/// (pre-CRC), truncated, and bit-flipped files with distinct diagnostics.
+void write_checked_blob(const std::string& path,
+                        const std::vector<std::byte>& payload);
+std::vector<std::byte> read_checked_blob(const std::string& path);
 
 /// Writes one row per FSR: fsr, radial_region, layer, material, volume,
 /// fission_rate. Throws antmoc::Error if the file cannot be written.

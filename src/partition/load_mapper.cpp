@@ -132,6 +132,51 @@ std::vector<double> map_azim_to_gpus(const DecompositionLoads& loads,
   return gpu_load;
 }
 
+std::vector<std::pair<int, int>> elect_adopters(
+    const std::vector<double>& domain_load, const std::vector<int>& host,
+    const std::vector<char>& alive, const std::vector<double>& capacity) {
+  const int nd = static_cast<int>(domain_load.size());
+  const int nr = static_cast<int>(alive.size());
+  require(static_cast<int>(host.size()) == nd,
+          "elect_adopters: host table size mismatch");
+  require(static_cast<int>(capacity.size()) == nr,
+          "elect_adopters: capacity table size mismatch");
+
+  // Effective load carried by each survivor, counting domains it already
+  // hosts; capacity scales how much a unit of load costs on that rank.
+  std::vector<double> effective(nr, 0.0);
+  std::vector<int> orphans;
+  for (int d = 0; d < nd; ++d) {
+    const int h = host[d];
+    require(h >= 0 && h < nr, "elect_adopters: host rank out of range");
+    if (alive[h]) {
+      effective[h] += domain_load[d] / std::max(capacity[h], 1e-12);
+    } else {
+      orphans.push_back(d);
+    }
+  }
+
+  // Heaviest orphan first; ties broken by lower domain id for determinism.
+  std::stable_sort(orphans.begin(), orphans.end(), [&](int a, int b) {
+    return domain_load[a] > domain_load[b];
+  });
+
+  std::vector<std::pair<int, int>> assignment;
+  assignment.reserve(orphans.size());
+  for (int d : orphans) {
+    int best = -1;
+    for (int r = 0; r < nr; ++r) {
+      if (!alive[r]) continue;
+      if (best < 0 || effective[r] < effective[best]) best = r;
+    }
+    require(best >= 0, "elect_adopters: no surviving ranks");
+    effective[best] += domain_load[d] / std::max(capacity[best], 1e-12);
+    assignment.emplace_back(d, best);
+  }
+  std::sort(assignment.begin(), assignment.end());
+  return assignment;
+}
+
 double cu_uniformity(std::vector<double> track_costs, int num_cus,
                      bool balance) {
   require(num_cus >= 1, "need at least one CU");

@@ -56,6 +56,20 @@ std::vector<double> map_azim_to_gpus(const DecompositionLoads& loads,
                                      int num_nodes, int gpus_per_node,
                                      bool balance);
 
+/// Deterministic adopter election for survivor takeover (DESIGN.md §11).
+/// `domain_load[d]` is the measured sweep cost of domain d, `host[d]` its
+/// current host rank, `alive[r]` whether rank r survives, and
+/// `capacity[r]` a relative speed factor (1.0 = nominal; loads are divided
+/// by capacity when comparing). Orphaned domains (hosted by dead ranks)
+/// are assigned heaviest-first (ties: lower domain id) onto the survivor
+/// with the least effective load (ties: lower rank). Pure function of its
+/// arguments, so every survivor computes the identical assignment from the
+/// agreed dead set without further communication. Returns (domain,
+/// adopter) pairs sorted by domain id.
+std::vector<std::pair<int, int>> elect_adopters(
+    const std::vector<double>& domain_load, const std::vector<int>& host,
+    const std::vector<char>& alive, const std::vector<double>& capacity);
+
 /// L3: CU-level load uniformity (MAX/AVG) for a set of per-track costs
 /// mapped onto `num_cus` CUs: sorted + round-robin when `balance`,
 /// natural order in contiguous blocks otherwise.

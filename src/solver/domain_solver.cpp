@@ -1,20 +1,31 @@
 #include "solver/domain_solver.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <filesystem>
 #include <memory>
 #include <mutex>
+#include <numeric>
 
+#include "fault/fault.h"
+#include "partition/load_mapper.h"
 #include "solver/cpu_solver.h"
 #include "telemetry/telemetry.h"
 #include "util/error.h"
+#include "util/log.h"
 #include "util/timer.h"
 
 namespace antmoc {
 namespace {
 
-constexpr int kListTagBase = 1000;  ///< one-time interface target lists
-constexpr int kSizeTagBase = 2000;  ///< list sizes
-constexpr int kFluxTagBase = 3000;  ///< per-iteration flux payloads
+// Tags carry the *sender's domain* id (not its rank) so one rank hosting
+// several domains after a takeover can disambiguate streams:
+//   tag = base + sender_domain * 6 + sender_face.
+constexpr int kListTagBase = 100000;  ///< one-time interface target lists
+constexpr int kSizeTagBase = 200000;  ///< list sizes
+constexpr int kFluxTagBase = 300000;  ///< per-iteration flux payloads
 
 /// One interface crossing: the receiving track slot in the neighbor.
 struct IfaceSlot {
@@ -22,8 +33,35 @@ struct IfaceSlot {
   int forward;
 };
 
-/// Adds neighbor flux exchange and global reductions to a sweep engine
-/// (CpuSolver or GpuSolver).
+/// Driver-facing face-exchange interface of one hosted domain, engine-
+/// agnostic (DomainImpl<CpuSolver> and DomainImpl<GpuSolver> both
+/// implement it). The rank driver interleaves these calls across all its
+/// hosted domains so self-adjacent domains on one rank cannot deadlock:
+/// every post_* completes for every domain before any collect_* blocks.
+class DomainHost {
+ public:
+  virtual ~DomainHost() = default;
+  virtual TransportSolver& solver() = 0;
+  /// Sends this domain's interface target lists (sizes + lists) toward
+  /// the current hosts of its neighbors. Re-runnable: a takeover or
+  /// migration re-wires the exchange by re-running the full handshake.
+  virtual void post_lists() = 0;
+  /// Receives the neighbors' lists posted by post_lists().
+  virtual void collect_lists() = 0;
+  /// Synchronous-mode flux sends (no-op in overlapped mode, where the
+  /// sweep already posted them as isends).
+  virtual void post_exports() = 0;
+  /// Blocks for the neighbors' flux payloads and applies them to
+  /// psi_next in fixed face order.
+  virtual void collect_imports() = 0;
+  /// Computes this domain's partial track-based volumes (no reduction).
+  virtual std::vector<double> local_volumes() = 0;
+  virtual std::uint64_t flux_bytes_per_iter() const = 0;
+  virtual long crossing_track_ends() const = 0;
+  virtual double mean_overlap_ratio() const = 0;
+};
+
+/// Adds neighbor flux exchange to a sweep engine (CpuSolver or GpuSolver).
 ///
 /// The sweep is *boundary-first* (DESIGN.md §8): interface-crossing tracks
 /// are swept in per-face phases before the interior, so each face's
@@ -36,34 +74,44 @@ struct IfaceSlot {
 /// Both modes execute the identical phase partition, flush order, and
 /// fixed-face-order import application, so for a fixed worker count the
 /// overlapped solve is bit-identical to the synchronous one.
+///
+/// Message destinations go through the DomainRouter: neighbors are
+/// *domains*, and the router maps a domain to whichever rank currently
+/// hosts it — the indirection that lets a survivor adopt a dead rank's
+/// domain without its neighbors rebuilding anything (they re-run the
+/// list handshake and keep sweeping).
 template <class Base>
-class DomainImpl : public Base {
+class DomainImpl : public Base, public DomainHost {
  public:
   template <class... Extra>
   DomainImpl(const TrackStacks& stacks, const std::vector<Material>& mats,
-             const Decomposition& decomp, comm::Communicator& comm,
+             const Decomposition& decomp, int domain,
+             const cluster::DomainRouter* router, comm::Communicator& comm,
              bool overlap, Extra&&... extra)
       : Base(stacks, mats, std::forward<Extra>(extra)...),
         decomp_(decomp),
+        domain_(domain),
+        router_(router),
         comm_(&comm),
-        rank_(comm.rank()),
         overlap_(overlap) {
     const Geometry& g = stacks.geometry();
-    this->set_z_kinds(decomp.z_kind(g, rank_, Face::kZMin),
-                      decomp.z_kind(g, rank_, Face::kZMax));
+    this->set_z_kinds(decomp.z_kind(g, domain_, Face::kZMin),
+                      decomp.z_kind(g, domain_, Face::kZMax));
     this->build_links();
-    setup_interfaces();
+    index_interfaces();
     build_phases();
   }
 
-  std::uint64_t flux_bytes_per_iter() const {
+  TransportSolver& solver() override { return *this; }
+
+  std::uint64_t flux_bytes_per_iter() const override {
     std::uint64_t bytes = 0;
     for (const auto& buf : out_flux_) bytes += buf.size() * sizeof(float);
     return bytes;
   }
 
-  /// Interface-crossing track ends exported by this rank (Eq. 7's N).
-  long crossing_track_ends() const {
+  /// Interface-crossing track ends exported by this domain (Eq. 7's N).
+  long crossing_track_ends() const override {
     const int G = this->fsr().num_groups();
     long ends = 0;
     for (const auto& buf : out_flux_)
@@ -71,20 +119,130 @@ class DomainImpl : public Base {
     return ends;
   }
 
-  /// Mean fraction of the exchange window hidden behind the interior
-  /// sweep (0 in synchronous mode or without interfaces).
-  double mean_overlap_ratio() const {
+  double mean_overlap_ratio() const override {
     return overlap_count_ > 0 ? overlap_sum_ / overlap_count_ : 0.0;
   }
 
- protected:
-  void compute_volumes() override {
+  std::vector<double> local_volumes() override {
     Base::compute_volumes();
-    auto vols = this->fsr().volumes();
-    comm_->allreduce(vols, comm::ReduceOp::kSum);
-    this->fsr().set_volumes(std::move(vols));
+    return this->fsr().volumes();
   }
 
+  void post_lists() override {
+    const int G = this->fsr().num_groups();
+    (void)G;
+    for (int f = 0; f < 6; ++f) {
+      const int nbr = decomp_.neighbor(domain_, static_cast<Face>(f));
+      if (nbr < 0) continue;
+      const int dest = router_->host(nbr);
+      // Ship the target count once (the receiver cannot derive emptiness
+      // from its own laydown); faces with no crossing tracks send nothing
+      // further — neither a target list here nor flux payloads later.
+      const long count = static_cast<long>(exports_[f].size());
+      comm_->send(dest, kSizeTagBase + domain_ * 6 + f, &count,
+                  sizeof(count));
+      if (count > 0)
+        comm_->send(dest, kListTagBase + domain_ * 6 + f, exports_[f]);
+    }
+  }
+
+  void collect_lists() override {
+    const int G = this->fsr().num_groups();
+    for (int f = 0; f < 6; ++f) {
+      const int nbr = decomp_.neighbor(domain_, static_cast<Face>(f));
+      if (nbr < 0) continue;
+      const int src = router_->host(nbr);
+      const int sender_face =
+          static_cast<int>(opposite_face(static_cast<Face>(f)));
+      long count = 0;
+      comm_->recv(src, kSizeTagBase + nbr * 6 + sender_face, &count,
+                  sizeof(count));
+      import_slots_[f].clear();
+      in_flux_[f].clear();
+      if (count == 0) continue;
+      comm_->recv(src, kListTagBase + nbr * 6 + sender_face,
+                  import_slots_[f]);
+      require(static_cast<long>(import_slots_[f].size()) == count,
+              "face " + std::to_string(f) + ": neighbor announced " +
+                  std::to_string(count) + " crossing tracks but sent " +
+                  std::to_string(import_slots_[f].size()));
+      in_flux_[f].assign(count * G, 0.0f);
+      for (const auto& slot : import_slots_[f])
+        require(slot.track >= 0 && slot.track < this->stacks().num_tracks(),
+                "neighbor sent an out-of-range interface target");
+    }
+  }
+
+  void post_exports() override {
+    if (overlap_ || !has_interfaces_) return;
+    // Buffered-synchronous flux exchange (paper §3.3): post all sends,
+    // then collect — the dead stop the overlapped mode removes. Empty
+    // faces exchange nothing.
+    for (int f = 0; f < 6; ++f) {
+      if (out_flux_[f].empty()) continue;
+      telemetry::TraceSpan span("comm/face_flux_post", "comm",
+                                comm_->rank(), -1, "face", f);
+      const int nbr = decomp_.neighbor(domain_, static_cast<Face>(f));
+      comm_->send(router_->host(nbr), kFluxTagBase + domain_ * 6 + f,
+                  out_flux_[f]);
+    }
+  }
+
+  void collect_imports() override {
+    if (!has_interfaces_) return;
+    const int G = this->fsr().num_groups();
+
+    if (overlap_) {
+      Timer drain;
+      drain.start();
+      std::vector<comm::Request> pending;
+      for (int f = 0; f < 6; ++f)
+        if (recv_reqs_[f].valid()) pending.push_back(recv_reqs_[f]);
+      comm_->wait_all(pending);
+      drain.stop();
+      const double hidden = interior_seconds_;
+      const double waited = drain.seconds();
+      const double ratio =
+          hidden + waited > 0.0 ? hidden / (hidden + waited) : 1.0;
+      overlap_sum_ += ratio;
+      ++overlap_count_;
+      if (telemetry::on())
+        telemetry::metrics().gauge("comm.overlap_ratio").set(ratio);
+    } else {
+      for (int f = 0; f < 6; ++f) {
+        if (import_slots_[f].empty()) continue;
+        const int nbr = decomp_.neighbor(domain_, static_cast<Face>(f));
+        const int sender_face =
+            static_cast<int>(opposite_face(static_cast<Face>(f)));
+        comm_->recv(router_->host(nbr),
+                    kFluxTagBase + nbr * 6 + sender_face, in_flux_[f]);
+      }
+    }
+
+    // Imports are applied in fixed face order regardless of arrival
+    // order — the exchange-ordering analogue of the staged-deposit
+    // discipline — so results never depend on message timing.
+    for (int f = 0; f < 6; ++f) {
+      const auto& imports = import_slots_[f];
+      if (imports.empty()) continue;
+      require(in_flux_[f].size() == imports.size() * G,
+              "face " + std::to_string(f) + ": neighbor sent " +
+                  std::to_string(in_flux_[f].size() / G) +
+                  " flux entries but the setup target list has " +
+                  std::to_string(imports.size()));
+      telemetry::TraceSpan span("comm/face_flux_apply", "comm",
+                                comm_->rank(), -1, "face", f);
+      for (std::size_t i = 0; i < imports.size(); ++i) {
+        float* slot = this->psi_next().data() +
+                      (imports[i].track * 2 + (imports[i].forward ? 0 : 1)) *
+                          G;
+        const float* in = in_flux_[f].data() + i * G;
+        for (int g = 0; g < G; ++g) slot[g] += in[g];
+      }
+    }
+  }
+
+ protected:
   void handle_interface(long id, bool forward, const Link3D& link,
                         const double* psi) override {
     const int G = this->fsr().num_groups();
@@ -112,11 +270,12 @@ class DomainImpl : public Base {
       for (int f = 0; f < 6; ++f) {
         recv_reqs_[f] = comm::Request();
         if (import_slots_[f].empty()) continue;
-        const int nbr = decomp_.neighbor(rank_, static_cast<Face>(f));
+        const int nbr = decomp_.neighbor(domain_, static_cast<Face>(f));
         const int sender_face =
             static_cast<int>(opposite_face(static_cast<Face>(f)));
         recv_reqs_[f] =
-            comm_->irecv(nbr, kFluxTagBase + sender_face, in_flux_[f]);
+            comm_->irecv(router_->host(nbr),
+                         kFluxTagBase + nbr * 6 + sender_face, in_flux_[f]);
       }
     }
 
@@ -131,10 +290,11 @@ class DomainImpl : public Base {
       if (!overlap_) continue;
       for (int f = 0; f < 6; ++f) {
         if (face_last_group_[f] != g || out_flux_[f].empty()) continue;
-        telemetry::TraceSpan span("comm/face_flux_post", "comm", rank_, -1,
-                                  "face", f);
-        comm_->isend(decomp_.neighbor(rank_, static_cast<Face>(f)),
-                     kFluxTagBase + f, out_flux_[f]);
+        telemetry::TraceSpan span("comm/face_flux_post", "comm",
+                                  comm_->rank(), -1, "face", f);
+        const int nbr = decomp_.neighbor(domain_, static_cast<Face>(f));
+        comm_->isend(router_->host(nbr), kFluxTagBase + domain_ * 6 + f,
+                     out_flux_[f]);
       }
     }
 
@@ -147,120 +307,26 @@ class DomainImpl : public Base {
     interior_seconds_ = interior.seconds();
   }
 
-  void exchange() override {
-    const int G = this->fsr().num_groups();
-    // Global FSR accumulators: every rank then closes identical fluxes,
-    // so k, normalization, and convergence stay consistent with no
-    // further communication. In overlapped mode the flux payloads are
-    // already in flight, so this reduction overlaps with their arrival.
-    comm_->allreduce(this->fsr().accumulator(), comm::ReduceOp::kSum);
-    if (!has_interfaces_) return;
-
-    if (overlap_) {
-      Timer drain;
-      drain.start();
-      std::vector<comm::Request> pending;
-      for (int f = 0; f < 6; ++f)
-        if (recv_reqs_[f].valid()) pending.push_back(recv_reqs_[f]);
-      comm_->wait_all(pending);
-      drain.stop();
-      const double hidden = interior_seconds_;
-      const double waited = drain.seconds();
-      const double ratio =
-          hidden + waited > 0.0 ? hidden / (hidden + waited) : 1.0;
-      overlap_sum_ += ratio;
-      ++overlap_count_;
-      if (telemetry::on())
-        telemetry::metrics().gauge("comm.overlap_ratio").set(ratio);
-    } else {
-      // Buffered-synchronous flux exchange (paper §3.3): post all sends,
-      // then collect — the dead stop the overlapped mode removes. Empty
-      // faces exchange nothing.
-      for (int f = 0; f < 6; ++f) {
-        if (out_flux_[f].empty()) continue;
-        telemetry::TraceSpan span("comm/face_flux_post", "comm", rank_, -1,
-                                  "face", f);
-        comm_->send(decomp_.neighbor(rank_, static_cast<Face>(f)),
-                    kFluxTagBase + f, out_flux_[f]);
-      }
-      for (int f = 0; f < 6; ++f) {
-        if (import_slots_[f].empty()) continue;
-        const int nbr = decomp_.neighbor(rank_, static_cast<Face>(f));
-        const int sender_face =
-            static_cast<int>(opposite_face(static_cast<Face>(f)));
-        comm_->recv(nbr, kFluxTagBase + sender_face, in_flux_[f]);
-      }
-    }
-
-    // Imports are applied in fixed face order regardless of arrival
-    // order — the exchange-ordering analogue of the staged-deposit
-    // discipline — so results never depend on message timing.
-    for (int f = 0; f < 6; ++f) {
-      const auto& imports = import_slots_[f];
-      if (imports.empty()) continue;
-      require(in_flux_[f].size() == imports.size() * G,
-              "face " + std::to_string(f) + ": neighbor sent " +
-                  std::to_string(in_flux_[f].size() / G) +
-                  " flux entries but the setup target list has " +
-                  std::to_string(imports.size()));
-      telemetry::TraceSpan span("comm/face_flux_apply", "comm", rank_, -1,
-                                "face", f);
-      for (std::size_t i = 0; i < imports.size(); ++i) {
-        float* slot = this->psi_next().data() +
-                      (imports[i].track * 2 + (imports[i].forward ? 0 : 1)) *
-                          G;
-        const float* in = in_flux_[f].data() + i * G;
-        for (int g = 0; g < G; ++g) slot[g] += in[g];
-      }
-    }
-  }
-
  private:
-  void setup_interfaces() {
+  /// Indexes interface links into per-face export lists + staging buffers.
+  void index_interfaces() {
     const int G = this->fsr().num_groups();
     const auto& links = this->links();
     slot_index_.assign(links.size(), -1);
-    std::array<std::vector<IfaceSlot>, 6> exports;
     for (std::size_t i = 0; i < links.size(); ++i) {
       if (links[i].kind != Link3D::Kind::kInterface) continue;
       const int f = static_cast<int>(links[i].face);
-      slot_index_[i] = static_cast<long>(exports[f].size());
-      exports[f].push_back({links[i].track, links[i].forward ? 1 : 0});
+      slot_index_[i] = static_cast<long>(exports_[f].size());
+      exports_[f].push_back({links[i].track, links[i].forward ? 1 : 0});
     }
     for (int f = 0; f < 6; ++f) {
-      const int nbr = decomp_.neighbor(rank_, static_cast<Face>(f));
+      const int nbr = decomp_.neighbor(domain_, static_cast<Face>(f));
       if (nbr < 0) {
-        require(exports[f].empty(),
+        require(exports_[f].empty(),
                 "interface link on a face with no neighbor");
         continue;
       }
-      out_flux_[f].assign(exports[f].size() * G, 0.0f);
-      // Ship the target count once (the receiver cannot derive emptiness
-      // from its own laydown); faces with no crossing tracks send nothing
-      // further — neither a target list here nor flux payloads later.
-      const long count = static_cast<long>(exports[f].size());
-      comm_->send(nbr, kSizeTagBase + f, &count, sizeof(count));
-      if (count > 0) comm_->send(nbr, kListTagBase + f, exports[f]);
-    }
-    for (int f = 0; f < 6; ++f) {
-      const int nbr = decomp_.neighbor(rank_, static_cast<Face>(f));
-      if (nbr < 0) continue;
-      const int sender_face =
-          static_cast<int>(opposite_face(static_cast<Face>(f)));
-      long count = 0;
-      comm_->recv(nbr, kSizeTagBase + sender_face, &count, sizeof(count));
-      import_slots_[f].clear();
-      in_flux_[f].clear();
-      if (count == 0) continue;
-      comm_->recv(nbr, kListTagBase + sender_face, import_slots_[f]);
-      require(static_cast<long>(import_slots_[f].size()) == count,
-              "face " + std::to_string(f) + ": neighbor announced " +
-                  std::to_string(count) + " crossing tracks but sent " +
-                  std::to_string(import_slots_[f].size()));
-      in_flux_[f].assign(count * G, 0.0f);
-      for (const auto& slot : import_slots_[f])
-        require(slot.track >= 0 && slot.track < this->stacks().num_tracks(),
-                "neighbor sent an out-of-range interface target");
+      out_flux_[f].assign(exports_[f].size() * G, 0.0f);
     }
   }
 
@@ -294,10 +360,12 @@ class DomainImpl : public Base {
   }
 
   const Decomposition& decomp_;
+  int domain_;
+  const cluster::DomainRouter* router_;
   comm::Communicator* comm_;
-  int rank_;
   bool overlap_;
   std::vector<long> slot_index_;
+  std::array<std::vector<IfaceSlot>, 6> exports_;
   std::array<std::vector<float>, 6> out_flux_, in_flux_;
   std::array<std::vector<IfaceSlot>, 6> import_slots_;
 
@@ -314,6 +382,572 @@ class DomainImpl : public Base {
   long overlap_count_ = 0;
 };
 
+/// One domain owned (hosted) by this rank: the full local stack from
+/// quadrature to solver. Members are declared in dependency order — the
+/// solver holds references into stacks, stacks into gen, gen into quad —
+/// so reverse destruction is safe.
+struct OwnedDomain {
+  int domain = -1;
+  std::unique_ptr<Quadrature> quad;
+  std::unique_ptr<TrackGenerator2D> gen;
+  std::unique_ptr<TrackStacks> stacks;
+  std::unique_ptr<gpusim::Device> device;
+  std::unique_ptr<TransportSolver> owner;  ///< the DomainImpl
+  DomainHost* host = nullptr;              ///< exchange view of `owner`
+};
+
+/// Cross-rank shared bookkeeping for one solve_decomposed() call.
+struct SharedRun {
+  explicit SharedRun(int num_domains, int nranks)
+      : domain_segments(num_domains, 0),
+        domain_tracks(num_domains, 0),
+        domain_flux_bytes(num_domains, 0),
+        domain_crossings(num_domains, 0),
+        done(nranks) {}
+
+  std::mutex mutex;
+  // Per-domain static accounting, written once by the first builder.
+  std::vector<long> domain_segments;
+  std::vector<long> domain_tracks;
+  std::vector<std::uint64_t> domain_flux_bytes;
+  std::vector<long> domain_crossings;
+  double overlap_sum = 0.0;
+  long overlap_domains = 0;
+  std::atomic<int> takeovers{0};
+  std::atomic<int> voluntary{0};
+
+  struct Completion {
+    bool done = false;
+    bool has_data = false;
+    SolveResult result;
+    std::vector<double> fission, flux;
+    std::vector<int> final_host;
+    std::int64_t resumed = -1;
+  };
+  std::vector<Completion> done;  ///< [rank], guarded by mutex
+};
+
+/// Per-rank driver: hosts one or more domains, advances them in lockstep,
+/// and runs the takeover / voluntary-migration protocols (DESIGN.md §11).
+class RankDriver {
+ public:
+  RankDriver(comm::Communicator& comm, const Geometry& geometry,
+             const std::vector<Material>& materials,
+             const Decomposition& decomp, const DomainRunParams& params,
+             const SolveOptions& options, SharedRun& shared)
+      : comm_(comm),
+        geometry_(geometry),
+        materials_(materials),
+        decomp_(decomp),
+        params_(params),
+        options_(options),
+        shared_(shared),
+        rank_(comm.rank()),
+        nranks_(comm.size()),
+        nd_(decomp.num_domains()),
+        router_(identity_table(decomp.num_domains())),
+        capacity_(params.rank_capacity.empty()
+                      ? std::vector<double>(comm.size(), 1.0)
+                      : params.rank_capacity) {
+    require(static_cast<int>(capacity_.size()) == nranks_,
+            "rank_capacity must have one entry per rank");
+    local_ = options_;
+    local_.on_iteration = nullptr;
+    local_.verbose = false;  // the driver logs once per rank, not per domain
+  }
+
+  void run() {
+    setup();
+    iterate();
+    complete();
+  }
+
+ private:
+  static std::vector<int> identity_table(int nd) {
+    std::vector<int> t(nd);
+    std::iota(t.begin(), t.end(), 0);
+    return t;
+  }
+
+  const std::string& ckpt_dir() const { return params_.checkpoint_dir; }
+  bool checkpointing() const {
+    return params_.checkpoint_every > 0 && !ckpt_dir().empty();
+  }
+
+  OwnedDomain build_domain(int d) const {
+    OwnedDomain od;
+    od.domain = d;
+    const Bounds bounds = decomp_.domain_bounds(geometry_.bounds(), d);
+    od.quad = std::make_unique<Quadrature>(
+        params_.num_azim, params_.azim_spacing, bounds.width_x(),
+        bounds.width_y(), params_.num_polar);
+    od.gen = std::make_unique<TrackGenerator2D>(
+        *od.quad, bounds, decomp_.radial_kinds(geometry_, d));
+    od.gen->trace(geometry_);
+    od.stacks = std::make_unique<TrackStacks>(
+        *od.gen, geometry_, bounds.z_min, bounds.z_max, params_.z_spacing);
+    if (params_.use_device) {
+      od.device = std::make_unique<gpusim::Device>(params_.device_spec);
+      auto impl = std::make_unique<DomainImpl<GpuSolver>>(
+          *od.stacks, materials_, decomp_, d, &router_, comm_,
+          params_.overlap, *od.device, params_.gpu_options);
+      od.host = impl.get();
+      od.owner = std::move(impl);
+    } else {
+      auto impl = std::make_unique<DomainImpl<CpuSolver>>(
+          *od.stacks, materials_, decomp_, d, &router_, comm_,
+          params_.overlap, params_.sweep_workers);
+      od.host = impl.get();
+      od.owner = std::move(impl);
+    }
+    {
+      std::lock_guard lock(shared_.mutex);
+      if (shared_.domain_segments[d] == 0) {
+        shared_.domain_segments[d] = od.stacks->total_segments();
+        shared_.domain_tracks[d] = od.stacks->num_tracks();
+        shared_.domain_flux_bytes[d] = od.host->flux_bytes_per_iter();
+        shared_.domain_crossings[d] = od.host->crossing_track_ends();
+      }
+    }
+    return od;
+  }
+
+  void setup() {
+    for (int d : router_.domains_hosted_by(rank_))
+      owned_.push_back(build_domain(d));
+
+    // Static per-domain sweep costs, known globally: the adopter-election
+    // input and the drift gauge's denominator.
+    domain_load_.assign(nd_, 0.0);
+    for (const auto& od : owned_)
+      domain_load_[od.domain] =
+          static_cast<double>(od.stacks->total_segments());
+    comm_.allreduce(domain_load_, comm::ReduceOp::kSum);
+
+    // Global FSR volumes, reduced once in *domain* order and cached so
+    // adopted domains can be rehydrated without re-running the collective.
+    std::vector<std::vector<double>> vols;
+    vols.reserve(owned_.size());
+    for (auto& od : owned_) vols.push_back(od.host->local_volumes());
+    std::vector<std::pair<int, std::vector<double>*>> contribs;
+    for (std::size_t i = 0; i < owned_.size(); ++i)
+      contribs.emplace_back(owned_[i].domain, &vols[i]);
+    comm_.allreduce_slots(contribs, comm::ReduceOp::kSum);
+    require(!vols.empty(), "setup: rank hosts no domains");
+    global_volumes_ = vols[0];
+    for (auto& od : owned_)
+      od.owner->set_global_volumes(global_volumes_);
+
+    // Interface target-list handshake, split into post/collect phases so
+    // self-adjacent domains hosted by one rank cannot deadlock.
+    for (auto& od : owned_) od.host->post_lists();
+    for (auto& od : owned_) od.host->collect_lists();
+
+    // Initial state: fresh, or the restart rung's resume-from-shards.
+    start_iter_ = 0;
+    bool resume = false;
+    if (params_.resume_from_checkpoint && !ckpt_dir().empty()) {
+      const auto line = cluster::scan_recovery_line(ckpt_dir(), nd_);
+      if (line.iteration >= 0) {
+        for (auto& od : owned_)
+          od.owner->load_state(line.path[od.domain]);
+        start_iter_ = line.iteration;
+        resumed_from_ = line.iteration;
+        resume = true;
+        if (rank_ == 0)
+          log::info("decomposed solve resuming all ", nd_,
+                    " domains from the shard line at iteration ",
+                    line.iteration);
+      }
+    }
+    SolveOptions popt = local_;
+    popt.resume = resume;
+    for (auto& od : owned_) od.owner->prepare_solve(popt);
+  }
+
+  void iterate() {
+    const int max_iter = options_.fixed_iterations > 0
+                             ? options_.fixed_iterations
+                             : options_.max_iterations;
+    std::int64_t iter = start_iter_ + 1;
+    while (iter <= static_cast<std::int64_t>(max_iter)) {
+      try {
+        run_iteration(static_cast<int>(iter));
+        if (converged_) break;
+        ++iter;
+      } catch (const PeerFailure& e) {
+        iter = absorb_failure(e.what()) + 1;
+      } catch (const CommTimeout& e) {
+        iter = absorb_failure(e.what()) + 1;
+      }
+    }
+    if (options_.fixed_iterations > 0) result_.converged = true;
+  }
+
+  void run_iteration(int iter) {
+    telemetry::TraceSpan iter_span("solver/iteration", "solver", rank_, -1,
+                                   "iteration", iter);
+    // Scriptable failure point: a plan like
+    // "solver.iteration throw solver nth=5 rank=1" kills rank 1 at its
+    // 5th iteration — the takeover tests' murder weapon.
+    fault::point("solver.iteration", rank_);
+
+    Timer sweep_timer;
+    sweep_timer.start();
+    for (auto& od : owned_) {
+      fault::point("domain.sweep", rank_);
+      od.owner->sweep_step();
+    }
+    sweep_timer.stop();
+    rank_sweep_seconds_ = sweep_timer.seconds();
+
+    {
+      telemetry::TraceSpan exchange_span("solver/exchange", "solver");
+      // Global FSR accumulators, keyed by domain: every rank then closes
+      // identical fluxes, and because the reduction order follows domain
+      // ids (not ranks) the sum is bitwise the same after any re-hosting.
+      std::vector<std::pair<int, std::vector<double>*>> contribs;
+      for (auto& od : owned_)
+        contribs.emplace_back(od.domain, &od.owner->fsr().accumulator());
+      comm_.allreduce_slots(contribs, comm::ReduceOp::kSum);
+      for (auto& od : owned_) od.host->post_exports();
+      for (auto& od : owned_) od.host->collect_imports();
+    }
+
+    TransportSolver::IterationStats stats;
+    for (auto& od : owned_) stats = od.owner->close_step(iter, local_);
+
+    // Ranks emptied by voluntary migration still drive convergence and
+    // collectives; they learn the (identical-everywhere) closure numbers
+    // from the hosting ranks. Skipped entirely while every rank hosts.
+    if (any_empty_alive_rank()) {
+      std::vector<double> pack = {stats.k_eff, stats.residual,
+                                  stats.production};
+      comm_.allreduce(pack, comm::ReduceOp::kMax);
+      stats.k_eff = pack[0];
+      stats.residual = pack[1];
+      stats.production = pack[2];
+    }
+
+    result_.k_eff = stats.k_eff;
+    result_.residual = stats.residual;
+    result_.iterations = iter;
+    if (options_.on_iteration) options_.on_iteration(iter, stats.k_eff);
+    if (options_.verbose)
+      log::info("iter ", iter, "  k_eff=", stats.k_eff,
+                "  residual=", stats.residual);
+
+    if (checkpointing() && iter % params_.checkpoint_every == 0)
+      write_shards(iter);
+
+    // Converged when both the fission-source *shape* (residual) and the
+    // eigenvalue (successive production ratio) are stable.
+    if (options_.fixed_iterations <= 0 && iter >= 3 &&
+        stats.residual < options_.tolerance &&
+        std::abs(stats.production - 1.0) < options_.tolerance) {
+      result_.converged = true;
+      converged_ = true;
+      return;
+    }
+
+    if (params_.rebalance == cluster::RebalanceMode::kOnDrift &&
+        !ckpt_dir().empty() && params_.drift_check_every > 0 &&
+        iter % params_.drift_check_every == 0)
+      maybe_migrate(iter);
+  }
+
+  void write_shards(int iter) {
+    fault::point("checkpoint.write", rank_);
+    std::error_code ec;
+    std::filesystem::create_directories(ckpt_dir(), ec);
+    // Generations alternate (slot 0/1) so the previous complete shard
+    // line survives a death mid-write: scan_recovery_line falls back to
+    // it when this line ends up partial.
+    const int slot =
+        static_cast<int>(iter / params_.checkpoint_every) % 2;
+    for (auto& od : owned_)
+      od.owner->save_state(cluster::shard_path(ckpt_dir(), od.domain, slot),
+                           iter);
+  }
+
+  bool any_empty_alive_rank() const {
+    std::vector<char> hosts(nranks_, 0);
+    for (int d = 0; d < nd_; ++d) hosts[router_.host(d)] = 1;
+    for (int r = 0; r < nranks_; ++r)
+      if (!hosts[r] && !comm_.is_dead(r)) return true;
+    return false;
+  }
+
+  int lowest_alive() const {
+    for (int r = 0; r < nranks_; ++r)
+      if (!comm_.is_dead(r)) return r;
+    return 0;
+  }
+
+  /// The survivor-takeover protocol (DESIGN.md §11). Returns the shard-
+  /// line iteration every domain was rewound to; the caller resumes at
+  /// the next one. Retries on nested deaths until max_takeovers attempts
+  /// are spent, then rethrows — the restart ladder's cue.
+  std::int64_t absorb_failure(const std::string& cause) {
+    if (params_.rebalance == cluster::RebalanceMode::kOff)
+      fail<PeerFailure>("rank " + std::to_string(rank_) +
+                        ": peer failed and cluster.rebalance=off — no "
+                        "takeover attempted: " + cause);
+    std::string last = cause;
+    while (true) {
+      if (takeover_attempts_ >= params_.max_takeovers)
+        fail<PeerFailure>(
+            "rank " + std::to_string(rank_) + ": " +
+            std::to_string(takeover_attempts_) +
+            " takeover attempt(s) exhausted (cluster.max_takeovers); "
+            "last failure: " + last);
+      ++takeover_attempts_;
+      try {
+        return takeover(last);
+      } catch (const PeerFailure& e) {
+        last = e.what();
+      } catch (const CommTimeout& e) {
+        last = e.what();
+      }
+    }
+  }
+
+  std::int64_t takeover(const std::string& cause) {
+    telemetry::TraceSpan span("solver/takeover", "solver", rank_);
+    log::info("rank ", rank_, ": starting survivor takeover after: ",
+              cause);
+
+    // Phase 1 — agree: survivors shrink the world (purging every mailbox
+    // and clearing the poison) and confirm the dead set with a fixed-
+    // order reduction — a cheap post-repair health check.
+    fault::point("migrate.agree", rank_);
+    const std::vector<int> dead = comm_.shrink();
+    std::vector<double> mask(nranks_, 0.0);
+    for (int r : dead) mask[r] = 1.0;
+    std::vector<double> check = mask;
+    comm_.allreduce(check, comm::ReduceOp::kMax);
+    require(check == mask,
+            "takeover: survivors disagree on the dead set");
+    require(static_cast<int>(dead.size()) < nranks_,
+            "takeover: no survivors");
+
+    // Phase 2 — elect: recompute the router *from scratch* as a pure
+    // function of the agreed dead set (identity layout + measured loads
+    // + capacities), so every survivor — regardless of where the failure
+    // interrupted it — derives the identical table with no messages.
+    // Voluntary migrations are deliberately reset by this: the drift
+    // trigger simply re-fires later if the imbalance persists.
+    fault::point("migrate.elect", rank_);
+    std::vector<char> alive(nranks_, 1);
+    for (int r : dead) alive[r] = 0;
+    const std::vector<int> identity = identity_table(nd_);
+    const auto assignment =
+        partition::elect_adopters(domain_load_, identity, alive, capacity_);
+    router_ = cluster::DomainRouter(identity);
+    for (const auto& [d, adopter] : assignment)
+      router_.set_host(d, adopter);
+
+    // Phase 3 — rehydrate: find the newest iteration with an intact CRC-
+    // checked shard for *every* domain, rebuild adopted domains' tracks
+    // locally (the modular laydown is deterministic), and rewind every
+    // hosted domain to that line. Exact-state resume makes the rest of
+    // the solve bitwise identical to the failure-free run.
+    fault::point("migrate.rehydrate", rank_);
+    if (!checkpointing())
+      fail<SolverError>(
+          "takeover: checkpoint shards disabled (checkpoint.shards=0 or "
+          "no checkpoint.dir) — cannot rehydrate; falling back to the "
+          "restart ladder");
+    const auto line = cluster::scan_recovery_line(ckpt_dir(), nd_);
+    if (line.iteration < 0)
+      fail<SolverError>(
+          "takeover: no complete shard recovery line in '" + ckpt_dir() +
+          "' — cannot rehydrate; falling back to the restart ladder");
+
+    reconcile_owned();
+    for (auto& od : owned_) od.owner->load_state(line.path[od.domain]);
+    SolveOptions ropt = local_;
+    ropt.resume = true;
+    for (auto& od : owned_) od.owner->prepare_solve(ropt);
+
+    // Phase 4 — rewire: re-run the full interface-list handshake so
+    // every exchange routes to the adopters (stale traffic cannot leak
+    // in — shrink purged all mailboxes), then resume in lockstep.
+    fault::point("migrate.rewire", rank_);
+    for (auto& od : owned_) od.host->post_lists();
+    for (auto& od : owned_) od.host->collect_lists();
+    comm_.barrier();
+
+    if (rank_ == lowest_alive())
+      shared_.takeovers.fetch_add(1, std::memory_order_relaxed);
+    resumed_from_ = line.iteration;
+    {
+      std::string deads;
+      for (int r : dead) deads += (deads.empty() ? "" : ",") +
+                                  std::to_string(r);
+      log::info("rank ", rank_, ": takeover complete — dead {", deads,
+                "}, now hosting ", owned_.size(),
+                " domain(s), resuming from iteration ", line.iteration);
+    }
+    return line.iteration;
+  }
+
+  /// Aligns the owned-domain set with the (just recomputed) router:
+  /// drops domains this rank no longer hosts, builds newly adopted ones.
+  void reconcile_owned() {
+    const std::vector<int> mine = router_.domains_hosted_by(rank_);
+    std::vector<OwnedDomain> next;
+    for (int d : mine) {
+      auto it = std::find_if(owned_.begin(), owned_.end(),
+                             [d](const OwnedDomain& od) {
+                               return od.domain == d;
+                             });
+      if (it != owned_.end()) {
+        next.push_back(std::move(*it));
+      } else {
+        OwnedDomain od = build_domain(d);
+        od.owner->set_global_volumes(global_volumes_);
+        next.push_back(std::move(od));
+      }
+    }
+    owned_ = std::move(next);
+  }
+
+  /// Drift-triggered voluntary migration: when the per-rank sweep-time
+  /// MAX/AVG gauge exceeds the threshold, move the straggler's heaviest
+  /// domain to the fastest rank through a migration shard. All ranks
+  /// derive the identical (donor, domain, recipient) decision from the
+  /// same reduced timings, so no extra agreement round is needed.
+  void maybe_migrate(int iter) {
+    std::vector<double> times(nranks_, 0.0);
+    times[rank_] = rank_sweep_seconds_;
+    comm_.allreduce(times, comm::ReduceOp::kSum);
+
+    double max_t = 0.0, sum_t = 0.0;
+    int hosting = 0, donor = -1;
+    for (int r = 0; r < nranks_; ++r) {
+      if (comm_.is_dead(r) || router_.domains_hosted_by(r).empty())
+        continue;
+      sum_t += times[r];
+      ++hosting;
+      if (times[r] > max_t) {
+        max_t = times[r];
+        donor = r;
+      }
+    }
+    if (hosting < 2 || donor < 0 || sum_t <= 0.0) return;
+    const double avg_t = sum_t / hosting;
+    const double gauge = max_t / avg_t;
+    if (telemetry::on())
+      telemetry::metrics().gauge("cluster.sweep_uniformity").set(gauge);
+    if (gauge < params_.drift_threshold) return;
+
+    fault::point("migrate.voluntary", rank_);
+    // Recipient: fastest alive rank (empty ranks count — their time is
+    // ~0); ties to the lower rank. Domain: the donor's heaviest.
+    int recipient = -1;
+    for (int r = 0; r < nranks_; ++r) {
+      if (comm_.is_dead(r) || r == donor) continue;
+      if (recipient < 0 || times[r] < times[recipient]) recipient = r;
+    }
+    if (recipient < 0) return;
+    int dom = -1;
+    for (int d : router_.domains_hosted_by(donor))
+      if (dom < 0 || domain_load_[d] > domain_load_[dom]) dom = d;
+    if (dom < 0) return;
+
+    const std::string path = cluster::migrate_shard_path(ckpt_dir(), dom);
+    if (rank_ == donor) {
+      std::error_code ec;
+      std::filesystem::create_directories(ckpt_dir(), ec);
+      auto it = std::find_if(owned_.begin(), owned_.end(),
+                             [dom](const OwnedDomain& od) {
+                               return od.domain == dom;
+                             });
+      require(it != owned_.end(), "migration donor does not host domain");
+      it->owner->save_state(path, iter);
+    }
+    comm_.barrier();  // the shard is published
+
+    router_.set_host(dom, recipient);
+    if (rank_ == donor) {
+      owned_.erase(std::find_if(owned_.begin(), owned_.end(),
+                                [dom](const OwnedDomain& od) {
+                                  return od.domain == dom;
+                                }));
+    } else if (rank_ == recipient) {
+      OwnedDomain od = build_domain(dom);
+      od.owner->set_global_volumes(global_volumes_);
+      od.owner->load_state(path);
+      SolveOptions ropt = local_;
+      ropt.resume = true;
+      od.owner->prepare_solve(ropt);
+      owned_.push_back(std::move(od));
+      std::sort(owned_.begin(), owned_.end(),
+                [](const OwnedDomain& a, const OwnedDomain& b) {
+                  return a.domain < b.domain;
+                });
+    }
+
+    // Re-wire the exchange around the moved domain. Unlike a takeover
+    // nothing was purged, but at an iteration boundary no flux traffic
+    // is in flight and list tags are distinct, so a full re-handshake is
+    // safe and keeps one code path.
+    for (auto& od : owned_) od.host->post_lists();
+    for (auto& od : owned_) od.host->collect_lists();
+    comm_.barrier();
+
+    if (rank_ == lowest_alive())
+      shared_.voluntary.fetch_add(1, std::memory_order_relaxed);
+    log::info("rank ", rank_, ": voluntary migration — domain ", dom,
+              " moved rank ", donor, " -> rank ", recipient,
+              " (sweep-time MAX/AVG ", gauge, ")");
+  }
+
+  void complete() {
+    std::lock_guard lock(shared_.mutex);
+    auto& c = shared_.done[rank_];
+    c.done = true;
+    c.result = result_;
+    c.final_host = router_.table();
+    c.resumed = resumed_from_;
+    if (!owned_.empty()) {
+      c.has_data = true;
+      c.fission = owned_.front().owner->fsr().fission_rate();
+      c.flux = owned_.front().owner->fsr().scalar_flux();
+    }
+    for (auto& od : owned_) {
+      shared_.overlap_sum += od.host->mean_overlap_ratio();
+      ++shared_.overlap_domains;
+    }
+  }
+
+  comm::Communicator& comm_;
+  const Geometry& geometry_;
+  const std::vector<Material>& materials_;
+  const Decomposition& decomp_;
+  const DomainRunParams& params_;
+  const SolveOptions& options_;
+  SharedRun& shared_;
+  const int rank_;
+  const int nranks_;
+  const int nd_;
+
+  cluster::DomainRouter router_;
+  std::vector<double> capacity_;
+  std::vector<OwnedDomain> owned_;
+  std::vector<double> domain_load_;     ///< [domain] static sweep cost
+  std::vector<double> global_volumes_;  ///< cached reduced FSR volumes
+  SolveOptions local_;                  ///< per-domain options (hooks off)
+
+  std::int64_t start_iter_ = 0;
+  std::int64_t resumed_from_ = -1;
+  int takeover_attempts_ = 0;
+  double rank_sweep_seconds_ = 0.0;
+  SolveResult result_;
+  bool converged_ = false;
+};
+
 }  // namespace
 
 DomainRunSummary solve_decomposed(const Geometry& geometry,
@@ -322,75 +956,54 @@ DomainRunSummary solve_decomposed(const Geometry& geometry,
                                   const DomainRunParams& params,
                                   const SolveOptions& options) {
   DomainRunSummary summary;
-  std::mutex mutex;
-  std::vector<long> domain_segments(decomp.num_domains(), 0);
-  double overlap_sum = 0.0;
+  const int nd = decomp.num_domains();
+  SharedRun shared(nd, nd);
 
+  comm::CommOptions comm_options;
+  comm_options.deadline = params.comm_deadline;
   const std::uint64_t total_bytes = comm::Runtime::run(
-      decomp.num_domains(), [&](comm::Communicator& comm) {
-        const int rank = comm.rank();
-        const Bounds bounds =
-            decomp.domain_bounds(geometry.bounds(), rank);
-        const Quadrature quad(params.num_azim, params.azim_spacing,
-                              bounds.width_x(), bounds.width_y(),
-                              params.num_polar);
-        TrackGenerator2D gen(quad, bounds,
-                             decomp.radial_kinds(geometry, rank));
-        gen.trace(geometry);
-        const TrackStacks stacks(gen, geometry, bounds.z_min, bounds.z_max,
-                                 params.z_spacing);
-
-        SolveResult result;
-        std::uint64_t flux_bytes = 0;
-        long crossing_ends = 0;
-        double overlap_ratio = 0.0;
-        std::vector<double> fission, flux;
-        std::unique_ptr<gpusim::Device> device;
-
-        if (params.use_device) {
-          device = std::make_unique<gpusim::Device>(params.device_spec);
-          DomainImpl<GpuSolver> solver(stacks, materials, decomp, comm,
-                                       params.overlap, *device,
-                                       params.gpu_options);
-          result = solver.solve(options);
-          flux_bytes = solver.flux_bytes_per_iter();
-          crossing_ends = solver.crossing_track_ends();
-          overlap_ratio = solver.mean_overlap_ratio();
-          fission = solver.fsr().fission_rate();
-          flux = solver.fsr().scalar_flux();
-        } else {
-          DomainImpl<CpuSolver> solver(stacks, materials, decomp, comm,
-                                       params.overlap,
-                                       params.sweep_workers);
-          result = solver.solve(options);
-          flux_bytes = solver.flux_bytes_per_iter();
-          crossing_ends = solver.crossing_track_ends();
-          overlap_ratio = solver.mean_overlap_ratio();
-          fission = solver.fsr().fission_rate();
-          flux = solver.fsr().scalar_flux();
-        }
-
-        const long segments = stacks.total_segments();
-        std::lock_guard lock(mutex);
-        domain_segments[rank] = segments;
-        summary.total_tracks_3d += stacks.num_tracks();
-        summary.total_segments_3d += segments;
-        summary.flux_bytes_per_iter += flux_bytes;
-        summary.crossing_track_ends += crossing_ends;
-        overlap_sum += overlap_ratio;
-        if (rank == 0) {
-          summary.result = result;
-          summary.fission_rate = std::move(fission);
-          summary.scalar_flux = std::move(flux);
-        }
-      });
+      nd,
+      [&](comm::Communicator& comm) {
+        RankDriver driver(comm, geometry, materials, decomp, params,
+                          options, shared);
+        driver.run();
+      },
+      comm_options);
 
   summary.total_bytes_sent = total_bytes;
-  summary.comm_overlap_ratio = overlap_sum / decomp.num_domains();
-  const long max_seg =
-      *std::max_element(domain_segments.begin(), domain_segments.end());
+  summary.takeovers = shared.takeovers.load(std::memory_order_relaxed);
+  summary.voluntary_migrations =
+      shared.voluntary.load(std::memory_order_relaxed);
+
+  // The lowest completing rank with hosted domains carries the (globally
+  // identical) result — rank 0 unless it died and survivors finished.
+  bool found = false;
+  for (int r = 0; r < nd && !found; ++r) {
+    auto& c = shared.done[r];
+    if (!c.done || !c.has_data) continue;
+    summary.result = c.result;
+    summary.fission_rate = std::move(c.fission);
+    summary.scalar_flux = std::move(c.flux);
+    summary.final_host = std::move(c.final_host);
+    summary.resumed_from_iteration = c.resumed;
+    found = true;
+  }
+  require(found, "decomposed solve finished with no completed rank");
+
+  for (int d = 0; d < nd; ++d) {
+    summary.total_tracks_3d += shared.domain_tracks[d];
+    summary.total_segments_3d += shared.domain_segments[d];
+    summary.flux_bytes_per_iter += shared.domain_flux_bytes[d];
+    summary.crossing_track_ends += shared.domain_crossings[d];
+  }
+  summary.comm_overlap_ratio =
+      shared.overlap_domains > 0
+          ? shared.overlap_sum / shared.overlap_domains
+          : 0.0;
+  const long max_seg = *std::max_element(shared.domain_segments.begin(),
+                                         shared.domain_segments.end());
   const double avg_seg =
-      static_cast<double>(summary.total_segments_3d) / decomp.num_domains();
+      static_cast<double>(summary.total_segments_3d) / nd;
   summary.domain_load_uniformity =
       avg_seg > 0 ? static_cast<double>(max_seg) / avg_seg : 1.0;
   return summary;

@@ -15,9 +15,23 @@
 /// are done, and sweeps the interior while neighbor fluxes are in flight.
 /// `DomainRunParams::overlap = false` restores the buffered-synchronous
 /// pattern; both modes are bit-identical for a fixed worker count.
+///
+/// Survivor takeover (DESIGN.md §11): a rank may host *several* domains.
+/// When a peer dies mid-solve the survivors shrink the world, elect
+/// adopters for the orphaned domains (partition::elect_adopters over the
+/// measured per-domain sweep costs), rehydrate them from per-domain
+/// checkpoint shards, rewire the face-neighbor exchange through the
+/// domain router, and resume — the solve completes without a restart and,
+/// because collectives reduce in domain (not rank) order and resume is
+/// exact-state, with the bitwise-identical k_eff of the failure-free run.
+/// The same machinery handles voluntary migration off stragglers when
+/// `cluster.rebalance = on_drift`.
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
+#include "cluster/migration.h"
 #include "comm/runtime.h"
 #include "solver/decomposition.h"
 #include "solver/gpu_solver.h"
@@ -41,6 +55,35 @@ struct DomainRunParams {
   /// flux exchange hidden behind the interior sweep. Off = the paper's
   /// buffered-synchronous exchange. Results are identical either way.
   bool overlap = true;
+
+  // --- resilience / migration (DESIGN.md §11) ------------------------------
+  /// Iterations between per-domain checkpoint shards (`checkpoint.shards`;
+  /// 0 disables). Shards alternate between two generations per domain so a
+  /// death mid-write never destroys the only recoverable state.
+  int checkpoint_every = 0;
+  /// Directory receiving shard files; created on demand. Required when
+  /// checkpoint_every > 0 or rebalance = on_drift.
+  std::string checkpoint_dir;
+  /// When the migration machinery engages (`cluster.rebalance`).
+  cluster::RebalanceMode rebalance = cluster::RebalanceMode::kOnFailure;
+  /// Voluntary migration fires when per-rank sweep-time MAX/AVG exceeds
+  /// this (on_drift only).
+  double drift_threshold = 1.5;
+  /// Iterations between drift checks (on_drift only).
+  int drift_check_every = 4;
+  /// Survivor takeovers attempted before giving up (PeerFailure then
+  /// propagates to the caller — the restart ladder's rung).
+  int max_takeovers = 3;
+  /// Relative speed factor per rank for adopter election (empty = all 1.0).
+  std::vector<double> rank_capacity;
+  /// Start by scanning checkpoint_dir for the newest complete shard line
+  /// and resuming every domain from it (the restart rung after a failed
+  /// takeover). Falls back to a fresh start when no line exists.
+  bool resume_from_checkpoint = false;
+  /// Deadline for blocking communication (0 = none). A takeover under
+  /// injected faults should always set one: it bounds every phase of the
+  /// protocol, so a wedged survivor turns into CommTimeout, not a hang.
+  std::chrono::milliseconds comm_deadline{0};
 };
 
 struct DomainRunSummary {
@@ -66,10 +109,23 @@ struct DomainRunSummary {
   /// interior sweep, averaged over ranks and iterations (0 when the
   /// synchronous mode runs or no rank has interfaces).
   double comm_overlap_ratio = 0.0;
+
+  // --- resilience (DESIGN.md §11) ------------------------------------------
+  /// Completed survivor-takeover events (rank deaths absorbed in-world).
+  int takeovers = 0;
+  /// Completed drift-triggered migrations (on_drift only).
+  int voluntary_migrations = 0;
+  /// Final domain -> host-rank table (identity when nothing moved).
+  std::vector<int> final_host;
+  /// Shard-line iteration the solve last rewound to (initial resume or
+  /// takeover); -1 when it never resumed.
+  std::int64_t resumed_from_iteration = -1;
 };
 
 /// Runs a decomposed eigenvalue solve with one rank (thread) per domain.
 /// With decomp = {1,1,1} this reduces to the plain single-domain solver.
+/// Throws (first primary failure) when a death cannot be absorbed: no
+/// checkpoint shards, rebalance = off, or max_takeovers exhausted.
 DomainRunSummary solve_decomposed(const Geometry& geometry,
                                   const std::vector<Material>& materials,
                                   const Decomposition& decomp,

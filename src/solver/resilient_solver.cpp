@@ -125,7 +125,7 @@ ResilientSolveReport solve_resilient(const TrackStacks& stacks,
     const auto inner = options.solve.on_iteration;
     solve_opts.on_iteration = [&, inner](int iter, double k) {
       if (iter % options.checkpoint_every == 0)
-        solver->save_state(options.checkpoint_path);
+        solver->save_state(options.checkpoint_path, iter);
       if (inner) inner(iter, k);
     };
   }
@@ -160,6 +160,68 @@ ResilientSolveReport solve_resilient(const TrackStacks& stacks,
   }
 
   log::info("resilient solve: ", report.summary());
+  return report;
+}
+
+const char* rung_name(RecoveryRung rung) {
+  switch (rung) {
+    case RecoveryRung::kNone:
+      return "none";
+    case RecoveryRung::kMigrate:
+      return "migrate";
+    case RecoveryRung::kRestart:
+      return "restart";
+  }
+  return "?";
+}
+
+DecomposedResilientReport solve_decomposed_resilient(
+    const Geometry& geometry, const std::vector<Material>& materials,
+    const Decomposition& decomp,
+    const DecomposedResilientOptions& options) {
+  DecomposedResilientReport report;
+  DomainRunParams params = options.params;
+  for (;;) {
+    try {
+      report.summary =
+          solve_decomposed(geometry, materials, decomp, params,
+                           options.solve);
+      if (report.summary.takeovers > 0 &&
+          report.rung == RecoveryRung::kNone)
+        report.rung = RecoveryRung::kMigrate;
+      break;
+    } catch (const Error& e) {
+      // The in-world takeover could not absorb this failure (no shards,
+      // rebalance off, or takeovers exhausted): the deeper rung re-runs
+      // the whole decomposed solve, resumed from the newest complete
+      // shard line when one exists.
+      if (report.restarts >= options.max_restarts) throw;
+      ++report.restarts;
+      report.rung = RecoveryRung::kRestart;
+      report.diagnostic = e.what();
+      params.resume_from_checkpoint =
+          params.checkpoint_every > 0 && !params.checkpoint_dir.empty();
+      telemetry::Telemetry::instance().instant("fault/restart", "fault",
+                                               -1, "restart",
+                                               report.restarts);
+      if (telemetry::on())
+        telemetry::metrics().counter("resilient.restarts").add(1);
+      log::warn("decomposed resilient solve: takeover unavailable (",
+                e.what(), ") — restart ", report.restarts, "/",
+                options.max_restarts,
+                params.resume_from_checkpoint
+                    ? " resuming from the shard line"
+                    : " from scratch");
+    }
+  }
+  if (report.rung == RecoveryRung::kMigrate)
+    report.diagnostic = "absorbed " +
+                        std::to_string(report.summary.takeovers) +
+                        " takeover(s) in-world";
+  log::info("decomposed resilient solve: rung=", rung_name(report.rung),
+            ", takeovers=", report.summary.takeovers,
+            ", restarts=", report.restarts,
+            ", k_eff=", report.summary.result.k_eff);
   return report;
 }
 

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "solver/domain_solver.h"
 #include "solver/gpu_solver.h"
 #include "solver/track_policy.h"
 #include "solver/transport_solver.h"
@@ -84,5 +85,43 @@ ResilientSolveReport solve_resilient(const TrackStacks& stacks,
                                      const std::vector<Material>& materials,
                                      gpusim::Device& device,
                                      const ResilientSolveOptions& options);
+
+// --- decomposed recovery ladder (DESIGN.md §11) ------------------------------
+
+/// How a decomposed solve ultimately recovered from rank failures.
+enum class RecoveryRung {
+  kNone,     ///< failure-free (or nothing to recover from)
+  kMigrate,  ///< in-world survivor takeover absorbed every death
+  kRestart,  ///< takeover impossible/failed; re-ran from shards or scratch
+};
+
+const char* rung_name(RecoveryRung rung);
+
+struct DecomposedResilientOptions {
+  DomainRunParams params;
+  SolveOptions solve;
+  /// Full re-runs attempted after an unabsorbed failure (each resumes
+  /// from the newest complete shard line when one exists).
+  int max_restarts = 1;
+};
+
+struct DecomposedResilientReport {
+  DomainRunSummary summary;
+  RecoveryRung rung = RecoveryRung::kNone;
+  int restarts = 0;
+  /// The failure that forced the deepest rung taken (empty when kNone).
+  std::string diagnostic;
+};
+
+/// Decomposed solve with the two-rung recovery ladder: first let the
+/// in-world takeover absorb rank deaths (rung kMigrate, no restart); only
+/// when that is impossible — no shards, rebalance off, takeovers
+/// exhausted — fall back to re-running the whole solve, resumed from the
+/// newest complete shard line (rung kRestart). Rethrows when restarts are
+/// also exhausted. Never hangs: with DomainRunParams::comm_deadline set,
+/// every blocked phase terminates in PeerFailure or CommTimeout.
+DecomposedResilientReport solve_decomposed_resilient(
+    const Geometry& geometry, const std::vector<Material>& materials,
+    const Decomposition& decomp, const DecomposedResilientOptions& options);
 
 }  // namespace antmoc

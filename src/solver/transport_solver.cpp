@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <fstream>
 
 #include "fault/fault.h"
 #include "gpusim/atomic.h"
+#include "io/writers.h"
 #include "perfmodel/sweep_costs.h"
 #include "telemetry/telemetry.h"
 #include "util/error.h"
@@ -264,60 +266,75 @@ SolveResult TransportSolver::solve_fixed_source(
 }
 
 namespace {
-constexpr char kCheckpointMagic[8] = {'A', 'N', 'T', 'M', 'O', 'C', '0', '1'};
+
+/// Checkpoint payload (inside the io CRC frame): iteration first so shard
+/// recovery can read the line marker without knowing solver shapes, then
+/// the shape header, then the state.
+void append_bytes(std::vector<std::byte>& out, const void* data,
+                  std::size_t bytes) {
+  const auto* p = static_cast<const std::byte*>(data);
+  out.insert(out.end(), p, p + bytes);
 }
 
-void TransportSolver::save_state(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) fail<Error>("cannot open checkpoint for writing: " + path);
+void extract_bytes(const std::vector<std::byte>& in, std::size_t& offset,
+                   void* data, std::size_t bytes, const std::string& path) {
+  require(offset + bytes <= in.size(),
+          "checkpoint payload too short for its shape header: " + path);
+  std::memcpy(data, in.data() + offset, bytes);
+  offset += bytes;
+}
+
+}  // namespace
+
+void TransportSolver::save_state(const std::string& path,
+                                 std::int64_t iteration) const {
   const std::int64_t num_fsrs = fsr_.num_fsrs();
   const std::int32_t groups = fsr_.num_groups();
   const std::int64_t psi_size = static_cast<std::int64_t>(psi_in_.size());
-  out.write(kCheckpointMagic, sizeof kCheckpointMagic);
-  out.write(reinterpret_cast<const char*>(&num_fsrs), sizeof num_fsrs);
-  out.write(reinterpret_cast<const char*>(&groups), sizeof groups);
-  out.write(reinterpret_cast<const char*>(&psi_size), sizeof psi_size);
-  out.write(reinterpret_cast<const char*>(&k_), sizeof k_);
   const auto& flux = fsr_.scalar_flux();
-  out.write(reinterpret_cast<const char*>(flux.data()),
-            flux.size() * sizeof(double));
-  out.write(reinterpret_cast<const char*>(psi_in_.data()),
-            psi_in_.size() * sizeof(float));
-  require(static_cast<bool>(out), "checkpoint write failed: " + path);
+  std::vector<std::byte> payload;
+  payload.reserve(sizeof iteration + sizeof num_fsrs + sizeof groups +
+                  sizeof psi_size + sizeof k_ +
+                  flux.size() * sizeof(double) +
+                  psi_in_.size() * sizeof(float));
+  append_bytes(payload, &iteration, sizeof iteration);
+  append_bytes(payload, &num_fsrs, sizeof num_fsrs);
+  append_bytes(payload, &groups, sizeof groups);
+  append_bytes(payload, &psi_size, sizeof psi_size);
+  append_bytes(payload, &k_, sizeof k_);
+  append_bytes(payload, flux.data(), flux.size() * sizeof(double));
+  append_bytes(payload, psi_in_.data(), psi_in_.size() * sizeof(float));
+  io::write_checked_blob(path, payload);
 }
 
-void TransportSolver::load_state(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) fail<Error>("cannot open checkpoint: " + path);
-  char magic[8];
-  std::int64_t num_fsrs = 0, psi_size = 0;
+std::int64_t TransportSolver::load_state(const std::string& path) {
+  const std::vector<std::byte> payload = io::read_checked_blob(path);
+  std::size_t offset = 0;
+  std::int64_t iteration = 0, num_fsrs = 0, psi_size = 0;
   std::int32_t groups = 0;
-  in.read(magic, sizeof magic);
-  require(in && std::equal(magic, magic + 8, kCheckpointMagic),
-          "not an ANT-MOC checkpoint: " + path);
-  in.read(reinterpret_cast<char*>(&num_fsrs), sizeof num_fsrs);
-  in.read(reinterpret_cast<char*>(&groups), sizeof groups);
-  in.read(reinterpret_cast<char*>(&psi_size), sizeof psi_size);
+  extract_bytes(payload, offset, &iteration, sizeof iteration, path);
+  extract_bytes(payload, offset, &num_fsrs, sizeof num_fsrs, path);
+  extract_bytes(payload, offset, &groups, sizeof groups, path);
+  extract_bytes(payload, offset, &psi_size, sizeof psi_size, path);
   require(num_fsrs == fsr_.num_fsrs() && groups == fsr_.num_groups() &&
               psi_size == static_cast<std::int64_t>(psi_in_.size()),
           "checkpoint shape does not match this solver: " + path);
-  in.read(reinterpret_cast<char*>(&k_), sizeof k_);
+  extract_bytes(payload, offset, &k_, sizeof k_, path);
   std::vector<double> flux(num_fsrs * groups);
-  in.read(reinterpret_cast<char*>(flux.data()),
-          flux.size() * sizeof(double));
-  in.read(reinterpret_cast<char*>(psi_in_.data()),
-          psi_in_.size() * sizeof(float));
-  require(static_cast<bool>(in), "checkpoint truncated: " + path);
+  extract_bytes(payload, offset, flux.data(), flux.size() * sizeof(double),
+                path);
+  extract_bytes(payload, offset, psi_in_.data(),
+                psi_in_.size() * sizeof(float), path);
   // Restore the flux through the public surface.
   for (long r = 0; r < fsr_.num_fsrs(); ++r)
     for (int g = 0; g < groups; ++g)
       fsr_.accumulator()[r * groups + g] = 0.0;
   fsr_.set_scalar_flux(std::move(flux));
   state_loaded_ = true;
+  return iteration;
 }
 
-SolveResult TransportSolver::solve(const SolveOptions& options) {
-  ScopedTimer probe("solver/solve");
+void TransportSolver::prepare_solve(const SolveOptions& options) {
   build_links();
   fsr_.set_parallel(&par());
   if (!volumes_ready_) {
@@ -327,11 +344,13 @@ SolveResult TransportSolver::solve(const SolveOptions& options) {
 
   if (options.resume) {
     require(state_loaded_, "resume requested but no checkpoint was loaded");
-    // Normalize the restored eigenvector exactly like a fresh iterate.
-    const double p = fsr_.fission_production();
-    require(p > 0.0, "restored state has no fission production");
-    fsr_.scale_flux(1.0 / p);
-    for (auto& v : psi_in_) v = static_cast<float>(v / p);
+    // Exact-state resume: checkpoints are written *after* the iteration's
+    // normalization, so the restored eigenvector is already scaled.
+    // Renormalizing here would multiply by a production ratio ≈ 1 but not
+    // exactly 1 in floating point, breaking the bitwise identity between
+    // a resumed and an uninterrupted solve (DESIGN.md §11).
+    require(fsr_.fission_production() > 0.0,
+            "restored state has no fission production");
     fsr_.update_source(k_);
     fsr_.fission_source_residual();  // seed the residual history
   } else {
@@ -346,6 +365,63 @@ SolveResult TransportSolver::solve(const SolveOptions& options) {
     fsr_.update_source(k_);
     fsr_.fission_source_residual();  // seed the residual history
   }
+}
+
+void TransportSolver::sweep_step() {
+  fsr_.zero_accumulator();
+  std::fill(psi_next_.begin(), psi_next_.end(), 0.0f);
+  ScopedTimer sweep_probe("solver/transport_sweep");
+  telemetry::TraceSpan sweep_span("solver/transport_sweep", "solver");
+  Timer sweep_timer;
+  sweep_timer.start();
+  sweep();
+  sweep_timer.stop();
+  last_sweep_seconds_ = sweep_timer.seconds();
+  record_sweep_throughput(sweep_span, sweep_timer.seconds());
+}
+
+TransportSolver::IterationStats TransportSolver::close_step(
+    int iteration, const SolveOptions& options) {
+  std::swap(psi_in_, psi_next_);
+  fsr_.close_scalar_flux();
+
+  // Power iteration: previous production was normalized to 1.
+  const double production = fsr_.fission_production();
+  require(production > 0.0, "fission production vanished mid-solve");
+  k_ *= production;
+  const double scale = 1.0 / production;
+  fsr_.scale_flux(scale);
+  float* pin = psi_in_.data();
+  par().for_each(static_cast<long>(psi_in_.size()), [&](long i) {
+    pin[i] = static_cast<float>(pin[i] * scale);
+  });
+
+  IterationStats stats;
+  stats.production = production;
+  stats.residual = fsr_.fission_source_residual();
+  stats.k_eff = k_;
+  fsr_.update_source(k_);
+  if (telemetry::on()) {
+    auto& m = telemetry::metrics();
+    m.gauge("solver.k_eff").set(k_);
+    m.gauge("solver.residual").set(stats.residual);
+    m.counter("solver.iterations").add(1);
+  }
+  if (options.on_iteration) options.on_iteration(iteration, k_);
+  if (options.verbose)
+    log::info("iter ", iteration, "  k_eff=", k_, "  residual=",
+              stats.residual);
+  return stats;
+}
+
+void TransportSolver::set_global_volumes(std::vector<double> volumes) {
+  fsr_.set_volumes(std::move(volumes));
+  volumes_ready_ = true;
+}
+
+SolveResult TransportSolver::solve(const SolveOptions& options) {
+  ScopedTimer probe("solver/solve");
+  prepare_solve(options);
 
   SolveResult result;
   const int max_iter = options.fixed_iterations > 0
@@ -357,56 +433,22 @@ SolveResult TransportSolver::solve(const SolveOptions& options) {
     // Scriptable failure point for checkpoint/resume tests: a plan like
     // "solver.iteration throw solver nth=5" kills the 5th iteration.
     fault::point("solver.iteration");
-    fsr_.zero_accumulator();
-    std::fill(psi_next_.begin(), psi_next_.end(), 0.0f);
-    {
-      ScopedTimer sweep_probe("solver/transport_sweep");
-      telemetry::TraceSpan sweep_span("solver/transport_sweep", "solver");
-      Timer sweep_timer;
-      sweep_timer.start();
-      sweep();
-      sweep_timer.stop();
-      record_sweep_throughput(sweep_span, sweep_timer.seconds());
-    }
+    sweep_step();
     {
       telemetry::TraceSpan exchange_span("solver/exchange", "solver");
       exchange();
     }
-    std::swap(psi_in_, psi_next_);
-    fsr_.close_scalar_flux();
-
-    // Power iteration: previous production was normalized to 1.
-    const double production = fsr_.fission_production();
-    require(production > 0.0, "fission production vanished mid-solve");
-    k_ *= production;
-    const double scale = 1.0 / production;
-    fsr_.scale_flux(scale);
-    float* pin = psi_in_.data();
-    par().for_each(static_cast<long>(psi_in_.size()), [&](long i) {
-      pin[i] = static_cast<float>(pin[i] * scale);
-    });
-
-    result.residual = fsr_.fission_source_residual();
+    const IterationStats stats = close_step(iter, options);
+    result.residual = stats.residual;
     result.iterations = iter;
-    result.k_eff = k_;
-    fsr_.update_source(k_);
-    if (telemetry::on()) {
-      auto& m = telemetry::metrics();
-      m.gauge("solver.k_eff").set(k_);
-      m.gauge("solver.residual").set(result.residual);
-      m.counter("solver.iterations").add(1);
-    }
-    if (options.on_iteration) options.on_iteration(iter, k_);
+    result.k_eff = stats.k_eff;
 
-    if (options.verbose)
-      log::info("iter ", iter, "  k_eff=", k_, "  residual=",
-                result.residual);
     // Converged when both the fission-source *shape* (residual) and the
     // eigenvalue (successive production ratio, = k_n/k_{n-1}) are stable:
     // a flat source converges in shape immediately while k still drifts.
     if (options.fixed_iterations <= 0 && iter >= 3 &&
         result.residual < options.tolerance &&
-        std::abs(production - 1.0) < options.tolerance) {
+        std::abs(stats.production - 1.0) < options.tolerance) {
       result.converged = true;
       break;
     }

@@ -13,6 +13,7 @@
 ///   4. close the scalar flux, update k from the fission production ratio,
 ///      normalize, and test the fission-source residual.
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -74,15 +75,55 @@ class TransportSolver {
                                  const SolveOptions& options = {});
 
   /// Writes the full iteration state (k, scalar flux, boundary angular
-  /// fluxes) to a binary checkpoint. A later solve with
-  /// SolveOptions::resume = true continues from it — long production runs
-  /// survive interruption.
-  void save_state(const std::string& path) const;
+  /// fluxes) to a CRC-framed binary checkpoint (io::write_checked_blob).
+  /// A later solve with SolveOptions::resume = true continues from it —
+  /// long production runs survive interruption. `iteration` records the
+  /// power iteration the state belongs to; per-domain shard recovery
+  /// (DESIGN.md §11) uses it to find a consistent cross-domain line.
+  void save_state(const std::string& path, std::int64_t iteration = 0) const;
 
   /// Restores a checkpoint written by save_state on an identically
   /// configured solver (same geometry, tracks, groups); throws
-  /// antmoc::Error on any mismatch.
-  void load_state(const std::string& path);
+  /// antmoc::Error on any mismatch, truncation, or CRC failure. Returns
+  /// the iteration recorded at save time.
+  std::int64_t load_state(const std::string& path);
+
+  // --- stepwise iteration API (multi-domain hosting, DESIGN.md §11) --------
+  // solve() is this sequence per iteration; the decomposed rank driver
+  // calls the pieces directly so one rank can advance several hosted
+  // domains in lockstep and reduce their accumulators in one keyed
+  // collective. The split introduces no behavior change: solve() itself
+  // is implemented on top of it.
+
+  /// Per-iteration closure numbers every hosted domain reports identically
+  /// (the FSR data is global after the accumulator reduction).
+  struct IterationStats {
+    double k_eff = 0.0;
+    double residual = 0.0;
+    double production = 0.0;
+  };
+
+  /// Builds links, computes volumes (once), and initializes or resumes the
+  /// flux state. Re-runnable: a takeover calls load_state() and then
+  /// prepare_solve() again with resume = true to rewind to the shard.
+  void prepare_solve(const SolveOptions& options);
+
+  /// Zeroes the accumulator and psi_next, then runs one timed transport
+  /// sweep (with throughput telemetry). The caller performs the exchange.
+  void sweep_step();
+
+  /// Everything after the exchange: flux closure, k update, normalization,
+  /// residual, source update, telemetry, and the on_iteration hook.
+  IterationStats close_step(int iteration, const SolveOptions& options);
+
+  /// Installs already-reduced global FSR volumes and marks them ready, so
+  /// an adopted domain's solver skips the compute_volumes() collective it
+  /// cannot rerun alone mid-solve.
+  void set_global_volumes(std::vector<double> volumes);
+
+  /// Wall seconds of the most recent sweep_step() — the per-rank signal
+  /// behind the voluntary-migration drift gauge.
+  double last_sweep_seconds() const { return last_sweep_seconds_; }
 
   FsrData& fsr() { return fsr_; }
   const FsrData& fsr() const { return fsr_; }
@@ -210,6 +251,7 @@ class TransportSolver {
   bool state_loaded_ = false;
   bool volumes_ready_ = false;
   long last_sweep_segments_ = 0;  ///< set by sweep() implementations
+  double last_sweep_seconds_ = 0.0;  ///< set by sweep_step()
 
   /// Template-dispatch accounting for the most recent sweep, filled by
   /// sweep engines that dispatch through a ChordTemplateCache and

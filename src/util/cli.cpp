@@ -1,10 +1,31 @@
 #include "util/cli.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
+#include "fault/fault.h"
 #include "util/error.h"
 
 namespace antmoc {
+
+namespace {
+
+/// `--fault-list`: enumerate every compiled-in injection point with the
+/// plan grammar, then exit — tooling (and humans) discover where faults
+/// can be scripted without reading the source.
+[[noreturn]] void print_fault_points() {
+  std::printf("fault injection points:\n");
+  for (const auto& p : fault::known_points())
+    std::printf("  %-20s %s\n", p.name, p.description);
+  std::printf(
+      "\nplan grammar (fault.plans, ';' between plans):\n"
+      "  <point> [throw|delay] [oom|solver|comm|generic] [nth=N]\n"
+      "          [rank=R] [ms=X] [repeat]\n");
+  std::exit(0);
+}
+
+}  // namespace
 
 Config parse_cli(int argc, const char* const* argv) {
   // First pass: find --config so file values can be overridden by flags.
@@ -26,6 +47,7 @@ Config parse_cli(int argc, const char* const* argv) {
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = canonical(argv[i]);
+    if (arg == "fault-list") print_fault_points();
     if (arg.empty())
       fail<ConfigError>(std::string("unexpected positional argument: ") +
                         argv[i]);

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file crc32.h
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to frame
+/// checkpoint files and shards (DESIGN.md §11): a truncated or bit-flipped
+/// checkpoint must be rejected with a diagnostic, never loaded as garbage
+/// into a long-running solve.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace antmoc::util {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// Incremental update: feed `crc32_init()` through one or more
+/// `crc32_update()` calls, then finalize with `crc32_final()`.
+inline std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+inline std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                                  std::size_t bytes) {
+  const auto& table = detail::crc32_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i)
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return crc;
+}
+
+inline std::uint32_t crc32_final(std::uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+/// One-shot CRC-32 of a buffer.
+inline std::uint32_t crc32(const void* data, std::size_t bytes) {
+  return crc32_final(crc32_update(crc32_init(), data, bytes));
+}
+
+}  // namespace antmoc::util

@@ -223,6 +223,32 @@ TEST(CommFuzz, PoisonedWorldFailsNewNonblockingOps) {
   EXPECT_THROW(Runtime::run(2, world), PeerFailure);
 }
 
+TEST(CommFuzz, NoLeakedRequestHandlesAfterPoisonedWakeup) {
+  // A takeover shrinks the world while irecvs are still in flight; the
+  // abandoned handles must release their outstanding-request claims when
+  // dropped, or every takeover would leak bookkeeping (and the failure
+  // diagnostics' outstanding count would grow without bound).
+  EXPECT_THROW(
+      Runtime::run(3,
+                   [](Communicator& comm) {
+                     if (comm.rank() == 1) {
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(30));
+                       fail<SolverError>("rank 1 died mid-exchange");
+                     }
+                     std::vector<double> in_a, in_b;
+                     {
+                       std::vector<Request> reqs;
+                       reqs.push_back(comm.irecv(1, /*tag=*/3, in_a));
+                       reqs.push_back(comm.irecv(1, /*tag=*/4, in_b));
+                       EXPECT_EQ(comm.outstanding_requests(), 2);
+                       EXPECT_THROW(comm.wait_all(reqs), PeerFailure);
+                     }  // handles dropped exactly as a takeover drops them
+                     EXPECT_EQ(comm.outstanding_requests(), 0);
+                   }),
+      SolverError);
+}
+
 // --------------------------------------------------- fault-point coverage ---
 
 TEST(CommFuzz, FaultPointsCoverNonblockingPrimitives) {

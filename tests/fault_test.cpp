@@ -480,5 +480,56 @@ TEST(CheckpointResume, FaultWithoutCheckpointingStillSurfaces) {
                SolverError);
 }
 
+TEST(CheckpointResume, ResumeIsBitwiseExactUnderManagedAndOtf) {
+  // Exact-state resume (DESIGN.md §11): checkpoints are written after the
+  // iteration's normalization and the resume path re-derives only the
+  // source, so 4 iterations + save + load + 4 more must land on the
+  // *bit-identical* eigenvalue and flux of 8 uninterrupted iterations —
+  // under both track policies, since neither regeneration path touches
+  // the checkpointed state.
+  models::C5G7Model model = models::build_pin_cell(2, 2.0);
+  const Quadrature quad(4, 0.25, 1.26, 1.26, 1);
+  TrackGenerator2D gen(quad, model.geometry.bounds(),
+                       {LinkKind::kReflective, LinkKind::kReflective,
+                        LinkKind::kReflective, LinkKind::kReflective});
+  gen.trace(model.geometry);
+  const TrackStacks stacks(gen, model.geometry, 0.0, 2.0, 0.5);
+
+  for (const TrackPolicy policy :
+       {TrackPolicy::kManaged, TrackPolicy::kOnTheFly}) {
+    SCOPED_TRACE(policy_name(policy));
+    GpuSolverOptions gpu;
+    gpu.policy = policy;
+    if (policy == TrackPolicy::kManaged)
+      gpu.resident_budget_bytes = std::size_t{1} << 20;  // forces paging
+
+    SolveOptions eight;
+    eight.fixed_iterations = 8;
+    gpusim::Device ref_device(
+        gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+    GpuSolver reference(stacks, model.materials, ref_device, gpu);
+    const auto straight = reference.solve(eight);
+
+    const std::string path = ::testing::TempDir() + "/antmoc_resume.ckpt";
+    SolveOptions four;
+    four.fixed_iterations = 4;
+    gpusim::Device dev_a(gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+    GpuSolver first(stacks, model.materials, dev_a, gpu);
+    first.solve(four);
+    first.save_state(path, 4);
+
+    gpusim::Device dev_b(gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+    GpuSolver second(stacks, model.materials, dev_b, gpu);
+    EXPECT_EQ(second.load_state(path), 4);
+    SolveOptions rest = four;
+    rest.resume = true;
+    const auto resumed = second.solve(rest);
+
+    EXPECT_EQ(resumed.k_eff, straight.k_eff);
+    EXPECT_EQ(second.fsr().scalar_flux(), reference.fsr().scalar_flux());
+    std::remove(path.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace antmoc

@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cluster/migration.h"
+#include "fault/fault.h"
+#include "io/writers.h"
+#include "models/c5g7_model.h"
+#include "partition/load_mapper.h"
+#include "solver/cpu_solver.h"
+#include "solver/domain_solver.h"
+#include "solver/resilient_solver.h"
+#include "util/error.h"
+
+namespace antmoc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test scratch directory under the gtest temp root, removed on
+/// destruction so shard files never leak between tests.
+struct TempDir {
+  explicit TempDir(const std::string& tag)
+      : path(::testing::TempDir() + "antmoc_migr_" + tag) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  const std::string path;
+};
+
+// ----------------------------------------------------- adopter election ---
+
+TEST(ElectAdopters, OrphanGoesToTheLeastLoadedSurvivor) {
+  const std::vector<double> load{10.0, 1.0, 2.0, 3.0};
+  const std::vector<int> host{0, 1, 2, 3};
+  const std::vector<char> alive{0, 1, 1, 1};
+  const std::vector<double> cap(4, 1.0);
+  const auto a = partition::elect_adopters(load, host, alive, cap);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].first, 0);   // the dead rank's domain
+  EXPECT_EQ(a[0].second, 1);  // lightest survivor adopts it
+}
+
+TEST(ElectAdopters, HeaviestOrphanIsPlacedFirst) {
+  // Ranks 0 and 1 are dead; their domains spread over the survivors with
+  // the heavy one assigned first, so no survivor gets both.
+  const std::vector<double> load{5.0, 4.0, 1.0, 1.0};
+  const std::vector<int> host{0, 1, 2, 3};
+  const std::vector<char> alive{0, 0, 1, 1};
+  const std::vector<double> cap(4, 1.0);
+  const auto a = partition::elect_adopters(load, host, alive, cap);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], (std::pair<int, int>{0, 2}));
+  EXPECT_EQ(a[1], (std::pair<int, int>{1, 3}));
+}
+
+TEST(ElectAdopters, CapacityBiasesTheElection) {
+  // Equal loads, but rank 2 is twice as fast: its effective load is
+  // halved, so it wins the orphan over the tie-break-lower rank 1.
+  const std::vector<double> load{6.0, 3.0, 3.0, 3.0};
+  const std::vector<int> host{0, 1, 2, 3};
+  const std::vector<char> alive{0, 1, 1, 1};
+  const std::vector<double> cap{1.0, 1.0, 2.0, 1.0};
+  const auto a = partition::elect_adopters(load, host, alive, cap);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].second, 2);
+}
+
+TEST(ElectAdopters, PureFunctionOfItsInputs) {
+  const std::vector<double> load{7.0, 2.0, 5.0, 3.0};
+  const std::vector<int> host{0, 1, 2, 3};
+  const std::vector<char> alive{1, 0, 1, 0};
+  const std::vector<double> cap(4, 1.0);
+  const auto a = partition::elect_adopters(load, host, alive, cap);
+  const auto b = partition::elect_adopters(load, host, alive, cap);
+  EXPECT_EQ(a, b);  // every survivor derives the identical table
+}
+
+// -------------------------------------------------- shard recovery line ---
+
+/// Writes a minimal valid shard: the CRC-framed payload whose first eight
+/// bytes are the iteration, which is all scan_recovery_line() reads.
+void make_shard(const std::string& path, std::int64_t iter) {
+  std::vector<std::byte> payload(sizeof iter + 8);
+  std::memcpy(payload.data(), &iter, sizeof iter);
+  io::write_checked_blob(path, payload);
+}
+
+TEST(ShardLine, ScanPicksTheNewestLineCompleteForEveryDomain) {
+  TempDir dir("scanline");
+  for (int d = 0; d < 2; ++d) {
+    make_shard(cluster::shard_path(dir.path, d, 1), 2);
+    make_shard(cluster::shard_path(dir.path, d, 0), 4);
+  }
+  auto line = cluster::scan_recovery_line(dir.path, 2);
+  EXPECT_EQ(line.iteration, 4);
+  EXPECT_EQ(line.path[1], cluster::shard_path(dir.path, 1, 0));
+
+  // Corrupt domain 1's newest generation: the scan must fall back to the
+  // older line that is still intact everywhere, not fail outright.
+  {
+    std::fstream f(cluster::shard_path(dir.path, 1, 0),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(24);
+    f.put('\xff');
+  }
+  line = cluster::scan_recovery_line(dir.path, 2);
+  EXPECT_EQ(line.iteration, 2);
+
+  // No generation at all for a domain: no recovery line exists.
+  fs::remove(cluster::shard_path(dir.path, 1, 0));
+  fs::remove(cluster::shard_path(dir.path, 1, 1));
+  line = cluster::scan_recovery_line(dir.path, 2);
+  EXPECT_EQ(line.iteration, -1);
+}
+
+TEST(ShardLine, PathsKeepGenerationsAndMigrationTrafficDistinct) {
+  EXPECT_NE(cluster::shard_path("c", 3, 0), cluster::shard_path("c", 3, 1));
+  EXPECT_EQ(cluster::shard_path("c", 3, 0), cluster::shard_path("c", 3, 2));
+  EXPECT_NE(cluster::migrate_shard_path("c", 3),
+            cluster::shard_path("c", 3, 0));
+  EXPECT_NE(cluster::shard_path("c", 3, 0), cluster::shard_path("c", 4, 0));
+}
+
+TEST(RebalanceMode, ParsesTheConfigSpellings) {
+  EXPECT_EQ(cluster::parse_rebalance("off"), cluster::RebalanceMode::kOff);
+  EXPECT_EQ(cluster::parse_rebalance("on_failure"),
+            cluster::RebalanceMode::kOnFailure);
+  EXPECT_EQ(cluster::parse_rebalance("on_drift"),
+            cluster::RebalanceMode::kOnDrift);
+  EXPECT_THROW(cluster::parse_rebalance("sometimes"), ConfigError);
+}
+
+// ---------------------------------------------- checkpoint integrity -----
+
+/// A real checkpoint written by the solver, for corruption tests.
+struct CheckpointFixture {
+  CheckpointFixture() : model(models::build_pin_cell(2, 2.0)) {
+    const Geometry& g = model.geometry;
+    quad = std::make_unique<Quadrature>(4, 0.2, g.bounds().width_x(),
+                                        g.bounds().width_y(), 1);
+    gen = std::make_unique<TrackGenerator2D>(
+        *quad, g.bounds(),
+        std::array<LinkKind, 4>{LinkKind::kReflective, LinkKind::kReflective,
+                                LinkKind::kReflective,
+                                LinkKind::kReflective});
+    gen->trace(g);
+    stacks = std::make_unique<TrackStacks>(*gen, g, 0.0, 2.0, 0.5);
+    solver = std::make_unique<CpuSolver>(*stacks, model.materials, 1u);
+    SolveOptions opts;
+    opts.fixed_iterations = 3;
+    solver->solve(opts);
+  }
+  models::C5G7Model model;
+  std::unique_ptr<Quadrature> quad;
+  std::unique_ptr<TrackGenerator2D> gen;
+  std::unique_ptr<TrackStacks> stacks;
+  std::unique_ptr<CpuSolver> solver;
+};
+
+void expect_load_fails_with(TransportSolver& solver, const std::string& path,
+                            const std::string& needle) {
+  try {
+    solver.load_state(path);
+    FAIL() << "load_state accepted a damaged checkpoint: " << path;
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "diagnostic was: " << e.what();
+  }
+}
+
+TEST(CheckpointIntegrity, BitFlipTruncationAndV1AreRejectedDistinctly) {
+  CheckpointFixture fx;
+  TempDir dir("integrity");
+  const std::string path = dir.path + "/state.ckpt";
+  fx.solver->save_state(path, 3);
+  EXPECT_EQ(fx.solver->load_state(path), 3);  // intact round trip
+
+  // Flip one payload bit: the CRC must catch it and say so.
+  const auto size = fs::file_size(path);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    const int c = f.peek();
+    f.put(static_cast<char>(c ^ 0x40));
+  }
+  expect_load_fails_with(*fx.solver, path, "CRC mismatch");
+
+  // Truncate mid-payload: the header's promised size no longer matches.
+  fx.solver->save_state(path, 3);
+  fs::resize_file(path, size / 2);
+  expect_load_fails_with(*fx.solver, path, "truncated");
+
+  // A version-1 (pre-CRC) file is refused with a re-create hint rather
+  // than being misparsed.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write("ANTMOC01", 8);
+    const std::uint64_t junk = 0;
+    f.write(reinterpret_cast<const char*>(&junk), sizeof junk);
+  }
+  expect_load_fails_with(*fx.solver, path, "version-1");
+}
+
+// ------------------------------------------------------ takeover solve ---
+
+DomainRunParams migr_params() {
+  DomainRunParams p;
+  p.num_azim = 4;
+  p.azim_spacing = 0.2;
+  p.num_polar = 1;
+  p.z_spacing = 0.5;
+  // Bitwise comparisons require a fixed fork-join width; the deadline
+  // turns any protocol hang into CommTimeout instead of a wedged test.
+  p.sweep_workers = 1;
+  p.comm_deadline = std::chrono::seconds(60);
+  return p;
+}
+
+SolveOptions fixed_opts(int iterations) {
+  SolveOptions o;
+  o.fixed_iterations = iterations;
+  return o;
+}
+
+DomainRunSummary run_pin(const DomainRunParams& params, int iterations) {
+  const auto model = models::build_pin_cell(2, 2.0);
+  return solve_decomposed(model.geometry, model.materials, {2, 2, 1}, params,
+                          fixed_opts(iterations));
+}
+
+TEST(Takeover, RankDeathMidSolveIsAbsorbedWithBitwiseIdenticalK) {
+  const auto baseline = run_pin(migr_params(), 12);
+
+  TempDir dir("takeover");
+  DomainRunParams params = migr_params();
+  params.checkpoint_every = 2;
+  params.checkpoint_dir = dir.path;
+
+  // Rank 1 dies at the top of its 6th iteration; the survivors must agree
+  // the death, adopt domain 1, rewind to the iteration-4 shard line, and
+  // land on the failure-free eigenvalue bit for bit.
+  fault::ScopedPlan plan("solver.iteration throw solver nth=6 rank=1");
+  const auto summary = run_pin(params, 12);
+
+  EXPECT_GE(summary.takeovers, 1);
+  EXPECT_EQ(summary.result.iterations, 12);
+  EXPECT_EQ(summary.resumed_from_iteration, 4);
+  ASSERT_EQ(summary.final_host.size(), 4u);
+  EXPECT_NE(summary.final_host[1], 1);  // the orphan lives elsewhere now
+  EXPECT_EQ(summary.final_host[0], 0);
+  EXPECT_EQ(summary.result.k_eff, baseline.result.k_eff);
+  EXPECT_EQ(summary.fission_rate, baseline.fission_rate);
+  EXPECT_EQ(summary.scalar_flux, baseline.scalar_flux);
+}
+
+TEST(Takeover, SecondDeathDuringAnyProtocolPhaseNeverHangs) {
+  const auto baseline = run_pin(migr_params(), 12);
+  const auto model = models::build_pin_cell(2, 2.0);
+
+  for (const char* phase :
+       {"migrate.agree", "migrate.elect", "migrate.rehydrate",
+        "migrate.rewire"}) {
+    SCOPED_TRACE(phase);
+    TempDir dir(std::string("phase_") + (std::strrchr(phase, '.') + 1));
+
+    DecomposedResilientOptions opts;
+    opts.params = migr_params();
+    opts.params.checkpoint_every = 2;
+    opts.params.checkpoint_dir = dir.path;
+    opts.solve = fixed_opts(12);
+    opts.max_restarts = 1;
+
+    // Rank 1 dies mid-solve; rank 2 then dies *inside* the takeover at
+    // this phase. The run must either complete in-world (a retried
+    // takeover among the remaining survivors) or fall back cleanly to
+    // the restart rung — and in both cases reach the bitwise baseline.
+    fault::ScopedPlan killer("solver.iteration throw solver nth=6 rank=1");
+    fault::Injector::instance().arm(
+        fault::parse_plan(std::string(phase) + " throw solver nth=1 rank=2"));
+
+    const auto report = solve_decomposed_resilient(
+        model.geometry, model.materials, {2, 2, 1}, opts);
+    EXPECT_NE(report.rung, RecoveryRung::kNone);
+    EXPECT_EQ(report.summary.result.iterations, 12);
+    EXPECT_EQ(report.summary.result.k_eff, baseline.result.k_eff);
+  }
+}
+
+TEST(Takeover, RebalanceOffPropagatesTheFailure) {
+  TempDir dir("rebaloff");
+  DomainRunParams params = migr_params();
+  params.checkpoint_every = 2;
+  params.checkpoint_dir = dir.path;
+  params.rebalance = cluster::RebalanceMode::kOff;
+
+  fault::ScopedPlan plan("solver.iteration throw solver nth=6 rank=1");
+  EXPECT_THROW(run_pin(params, 12), Error);
+}
+
+TEST(Takeover, NoShardsFallsBackToTheRestartRung) {
+  const auto baseline = run_pin(migr_params(), 12);
+  const auto model = models::build_pin_cell(2, 2.0);
+
+  DecomposedResilientOptions opts;
+  opts.params = migr_params();  // checkpointing disabled: nothing to rehydrate
+  opts.solve = fixed_opts(12);
+  opts.max_restarts = 1;
+
+  fault::ScopedPlan plan("solver.iteration throw solver nth=6 rank=1");
+  const auto report = solve_decomposed_resilient(
+      model.geometry, model.materials, {2, 2, 1}, opts);
+  EXPECT_EQ(report.rung, RecoveryRung::kRestart);
+  EXPECT_EQ(report.restarts, 1);
+  EXPECT_NE(report.diagnostic.find("cannot rehydrate"), std::string::npos);
+  EXPECT_EQ(report.summary.result.iterations, 12);
+  EXPECT_EQ(report.summary.result.k_eff, baseline.result.k_eff);
+}
+
+// ---------------------------------------------------- voluntary drift ----
+
+TEST(Voluntary, DriftMigratesTheStragglersDomainBitwise) {
+  const auto baseline = run_pin(migr_params(), 8);
+
+  TempDir dir("drift");
+  DomainRunParams params = migr_params();
+  params.rebalance = cluster::RebalanceMode::kOnDrift;
+  params.checkpoint_dir = dir.path;  // carries the migration shard
+  params.drift_check_every = 2;
+  params.drift_threshold = 1.5;
+
+  // A repeating injected delay fakes a straggler: rank 1's sweeps take
+  // ~25 ms longer than everyone else's, so the MAX/AVG gauge trips and
+  // its domain is handed to the fastest rank. No failure, no rewind —
+  // and the eigenvalue must not move by a single bit.
+  fault::ScopedPlan plan("domain.sweep delay ms=25 rank=1 repeat");
+  const auto summary = run_pin(params, 8);
+
+  EXPECT_GE(summary.voluntary_migrations, 1);
+  ASSERT_EQ(summary.final_host.size(), 4u);
+  EXPECT_NE(summary.final_host[1], 1);
+  EXPECT_EQ(summary.resumed_from_iteration, -1);  // exact handoff, no rewind
+  EXPECT_EQ(summary.result.iterations, 8);
+  EXPECT_EQ(summary.result.k_eff, baseline.result.k_eff);
+  EXPECT_EQ(summary.fission_rate, baseline.fission_rate);
+}
+
+// ------------------------------------------------- fault-point registry ---
+
+TEST(FaultRegistry, KnownPointsAreSortedAndCoverTheProtocol) {
+  const auto& points = fault::known_points();
+  ASSERT_FALSE(points.empty());
+  for (std::size_t i = 1; i < points.size(); ++i)
+    EXPECT_LT(std::string(points[i - 1].name), std::string(points[i].name));
+  for (const char* name :
+       {"migrate.agree", "migrate.elect", "migrate.rehydrate",
+        "migrate.rewire", "migrate.voluntary", "checkpoint.write",
+        "domain.sweep", "solver.iteration"}) {
+    const bool found =
+        std::any_of(points.begin(), points.end(), [&](const auto& p) {
+          return std::string(p.name) == name;
+        });
+    EXPECT_TRUE(found) << name << " missing from known_points()";
+  }
+}
+
+}  // namespace
+}  // namespace antmoc
