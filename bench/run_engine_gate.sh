@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Scenario-engine gate (DESIGN.md §12). Runs bench_scenario_throughput,
+# validates the BENCH_engine.json it emits, and enforces the bars:
+#
+#   * JSON must be well-formed with every expected field, else FAIL.
+#   * A warm engine job must be bitwise identical to the cold one-shot
+#     solve of the same scenario (the shared caches are an amortization,
+#     not an approximation).
+#   * Warm-cache scenario latency must be <= 0.5x the cold one-shot
+#     latency — the whole point of holding a session's state resident.
+#   * The batch must sustain >= 2 concurrent jobs at the peak, with no
+#     failed jobs.
+#
+# Usage: bench/run_engine_gate.sh [build-dir]   (from the repo root;
+#        build-dir defaults to ./build and must already contain the bench)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+BIN="$BUILD/bench/bench_scenario_throughput"
+
+if [ ! -x "$BIN" ]; then
+  echo "FAIL: $BIN not built (cmake --build $BUILD --target" \
+       "bench_scenario_throughput)"
+  exit 1
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+json="$workdir/BENCH_engine.json"
+
+echo "== engine gate: running bench_scenario_throughput =="
+"$BIN" "$json"
+
+[ -s "$json" ] || { echo "FAIL: bench wrote no BENCH_engine.json"; exit 1; }
+
+python3 - "$json" <<'EOF'
+import json, sys
+
+try:
+    data = json.load(open(sys.argv[1]))
+except Exception as e:
+    sys.exit(f"FAIL: BENCH_engine.json is malformed: {e}")
+
+def need(obj, key):
+    if key not in obj:
+        sys.exit(f"FAIL: missing field {key}")
+    return obj[key]
+
+assert need(data, "bench") == "engine", "wrong bench tag"
+jobs = need(data, "jobs")
+devices = need(data, "devices")
+assert jobs >= 8, f"FAIL: batch too small ({jobs} jobs)"
+assert devices >= 2, f"FAIL: need a device pool, got {devices}"
+
+cold = need(data, "cold_seconds")
+warm = need(data, "warm_seconds")
+ratio = need(data, "warm_over_cold")
+assert cold > 0 and warm > 0, "non-positive latencies"
+
+# Identity first: a fast wrong answer is worthless.
+assert need(data, "bitwise_identical") is True, \
+    "FAIL: warm engine job is not bitwise identical to the one-shot solve"
+
+print(f"   warm latency: {warm:.4f}s vs cold {cold:.4f}s "
+      f"({ratio:.3f}x, bar: <= 0.5)")
+assert ratio <= 0.5, \
+    f"FAIL: warm-cache latency {ratio:.3f}x of cold one-shot (bar 0.5)"
+
+peak = need(data, "peak_concurrent")
+failed = need(data, "failed")
+jps = need(data, "jobs_per_second")
+assert jps > 0, "non-positive throughput"
+print(f"   batch: {jps:.2f} jobs/s, peak {peak} concurrent, "
+      f"{failed} failed (bars: >= 2 concurrent, 0 failed)")
+assert peak >= 2, f"FAIL: peak concurrency {peak} < 2"
+assert failed == 0, f"FAIL: {failed} jobs failed"
+
+print(f"   JSON OK: warm-up {need(data, 'warmup_seconds'):.3f}s, "
+      f"{need(data, 'deferrals')} deferrals")
+EOF
+
+echo "engine gate PASSED"

@@ -13,9 +13,19 @@
 /// emits a Chrome trace (kernel, comm, and iteration spans) and a JSONL
 /// metrics dump (per-CU utilization, per-rank comm bytes, per-iteration
 /// residuals) — see DESIGN.md §6.
+///
+/// With --serve the binary instead runs the scenario engine (DESIGN.md
+/// §12): one Session warms the shared caches for the core, then a batch
+/// of scenarios (--engine.scenarios=<file>, or a built-in ladder) is
+/// scheduled across the simulated-device pool; prints a per-job result
+/// table and the jobs/s achieved. Engine knobs: engine.devices,
+/// engine.max_concurrent, engine.jobs, engine.fixed_iterations,
+/// engine.scenarios.
 
 #include <cstdio>
 
+#include "engine/scenario.h"
+#include "engine/session.h"
 #include "io/writers.h"
 #include "models/c5g7_model.h"
 #include "perfmodel/sweep_costs.h"
@@ -93,6 +103,110 @@ int main(int argc, char** argv) {
   opts.tolerance = cfg.get_double("tolerance", 1e-5);
   opts.max_iterations =
       static_cast<int>(cfg.get_int("max_iterations", 20000));
+
+  // --- Scenario-engine batch service (--serve; DESIGN.md §12) -------------
+  // One warmed Session serves a batch of scenario jobs from the shared
+  // caches instead of paying a full laydown per case.
+  if (cfg.get_bool("serve", false)) {
+    engine::SessionOptions sopts;
+    sopts.num_devices = static_cast<int>(cfg.get_int("engine.devices", 2));
+    sopts.max_concurrent =
+        static_cast<int>(cfg.get_int("engine.max_concurrent", 0));
+    sopts.device = params.device_spec;
+    sopts.num_azim = params.num_azim;
+    sopts.azim_spacing = params.azim_spacing;
+    sopts.num_polar = params.num_polar;
+    sopts.z_spacing = params.z_spacing;
+    sopts.gpu = params.gpu_options;
+    sopts.solve = opts;
+    sopts.solve.fixed_iterations =
+        static_cast<int>(cfg.get_int("engine.fixed_iterations", 0));
+    sopts.sweep_workers =
+        params.sweep_workers == 0 ? 2 : params.sweep_workers;
+
+    // The batch: a scenario file when given, else the built-in screening
+    // ladder (base case, rodded core, reactivity bump, hot branch, and a
+    // three-step depletion chain).
+    std::vector<engine::Scenario> ladder;
+    const std::string scenario_file = cfg.get_string("engine.scenarios", "");
+    if (!scenario_file.empty()) {
+      ladder = engine::load_scenarios(scenario_file);
+    } else {
+      engine::Scenario base;
+      base.name = "base";
+      ladder.push_back(base);
+      engine::Scenario rod;
+      rod.name = "rodded";
+      engine::MaterialOp swap;
+      swap.kind = engine::MaterialOp::Kind::kSwap;
+      swap.material = 6;
+      swap.source = 7;
+      rod.ops.push_back(swap);
+      ladder.push_back(rod);
+      engine::Scenario up;
+      up.name = "nu+2pct";
+      engine::MaterialOp scale;
+      scale.kind = engine::MaterialOp::Kind::kScale;
+      scale.material = 0;
+      scale.xs = engine::MaterialOp::Xs::kNuFission;
+      scale.factor = 1.02;
+      up.ops.push_back(scale);
+      ladder.push_back(up);
+      engine::Scenario hot;
+      hot.name = "hot+300K";
+      engine::MaterialOp temp;
+      temp.kind = engine::MaterialOp::Kind::kTemperature;
+      temp.delta_t = 300.0;
+      hot.ops.push_back(temp);
+      ladder.push_back(hot);
+      engine::Scenario deplete;
+      deplete.name = "deplete";
+      deplete.steps = 3;
+      deplete.burn = 0.98;
+      ladder.push_back(deplete);
+    }
+    const long want =
+        cfg.get_int("engine.jobs", static_cast<long>(ladder.size()));
+    std::vector<engine::Scenario> jobs;
+    for (long j = 0; j < want; ++j)
+      jobs.push_back(ladder[static_cast<std::size_t>(j) % ladder.size()]);
+
+    Timer warmup;
+    warmup.start();
+    engine::Session session(model, sopts);
+    warmup.stop();
+    log::info("engine session warm in ", warmup.seconds(), " s (",
+              sopts.num_devices, " devices, job floor ",
+              session.job_floor_bytes() >> 20, " MiB)");
+
+    Timer batch;
+    batch.start();
+    const std::vector<engine::JobResult> results = session.run(jobs);
+    batch.stop();
+
+    std::printf("%-12s %-4s %10s %6s %9s %9s %7s\n", "scenario", "ok",
+                "k_eff", "iters", "solve[s]", "queue[s]", "device");
+    long failed = 0;
+    for (const engine::JobResult& r : results) {
+      if (!r.ok) ++failed;
+      std::printf("%-12s %-4s %10.6f %6d %9.4f %9.4f %7d\n",
+                  r.scenario.c_str(), r.ok ? "yes" : "NO",
+                  r.k_eff, r.iterations, r.solve_seconds, r.queue_seconds,
+                  r.device);
+      if (!r.ok) std::printf("  error: %s\n", r.error.c_str());
+    }
+    const engine::SessionStats stats = session.stats();
+    std::printf(
+        "%zu jobs in %.2f s (%.2f jobs/s), peak %d concurrent, "
+        "%ld deferrals, %ld failed\n",
+        results.size(), batch.seconds(),
+        static_cast<double>(results.size()) / batch.seconds(),
+        stats.peak_concurrent, stats.deferrals, failed);
+    if (telemetry::on())
+      std::printf("\n--- run log: telemetry summary ---\n%s",
+                  telemetry::summary().c_str());
+    return failed == 0 ? 0 : 1;
+  }
 
   Timer wall;
   wall.start();

@@ -1,0 +1,262 @@
+#include "engine/scenario.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace antmoc {
+namespace engine {
+namespace {
+
+/// Fractional Σt increase per kelvin for fissile materials — a crude
+/// Doppler-broadening surrogate: resonance absorption grows with fuel
+/// temperature, leakage and k drop.
+constexpr double kDopplerPerKelvin = 2.0e-5;
+
+std::vector<double> gather(const Material& m, MaterialOp::Xs xs) {
+  const int G = m.num_groups();
+  std::vector<double> v;
+  switch (xs) {
+    case MaterialOp::Xs::kScatter:
+      v.resize(static_cast<std::size_t>(G) * G);
+      for (int g = 0; g < G; ++g)
+        for (int gp = 0; gp < G; ++gp) v[g * G + gp] = m.sigma_s(g, gp);
+      return v;
+    case MaterialOp::Xs::kTotal:
+    case MaterialOp::Xs::kFission:
+    case MaterialOp::Xs::kNuFission:
+    case MaterialOp::Xs::kChi:
+      v.resize(G);
+      for (int g = 0; g < G; ++g) {
+        switch (xs) {
+          case MaterialOp::Xs::kTotal: v[g] = m.sigma_t(g); break;
+          case MaterialOp::Xs::kFission: v[g] = m.sigma_f(g); break;
+          case MaterialOp::Xs::kNuFission: v[g] = m.nu_sigma_f(g); break;
+          default: v[g] = m.chi(g); break;
+        }
+      }
+      return v;
+  }
+  return v;
+}
+
+void store(Material& m, MaterialOp::Xs xs, std::vector<double> v) {
+  switch (xs) {
+    case MaterialOp::Xs::kTotal: m.set_sigma_t(std::move(v)); break;
+    case MaterialOp::Xs::kFission: m.set_sigma_f(std::move(v)); break;
+    case MaterialOp::Xs::kNuFission: m.set_nu_sigma_f(std::move(v)); break;
+    case MaterialOp::Xs::kChi: m.set_chi(std::move(v)); break;
+    case MaterialOp::Xs::kScatter: m.set_sigma_s(std::move(v)); break;
+  }
+}
+
+void scale_xs(Material& m, MaterialOp::Xs xs, int group, double factor) {
+  std::vector<double> v = gather(m, xs);
+  if (group < 0) {
+    for (double& x : v) x *= factor;
+  } else {
+    const int G = m.num_groups();
+    require(group < G, "scenario op group out of range");
+    if (xs == MaterialOp::Xs::kScatter) {
+      // group = source group: scale the whole outgoing row.
+      for (int gp = 0; gp < G; ++gp) v[group * G + gp] *= factor;
+    } else {
+      v[group] *= factor;
+    }
+  }
+  store(m, xs, std::move(v));
+}
+
+void apply_op(std::vector<Material>& mats, const MaterialOp& op,
+              std::vector<char>& touched) {
+  const int n = static_cast<int>(mats.size());
+  switch (op.kind) {
+    case MaterialOp::Kind::kSwap: {
+      require(op.material >= 0 && op.material < n,
+              "swap target material id out of range");
+      require(op.source >= 0 && op.source < n,
+              "swap source material id out of range");
+      mats[op.material] = mats[op.source];
+      touched[op.material] = 1;
+      return;
+    }
+    case MaterialOp::Kind::kScale: {
+      require(op.material < n, "scale material id out of range");
+      for (int id = 0; id < n; ++id) {
+        if (op.material >= 0 && id != op.material) continue;
+        scale_xs(mats[id], op.xs, op.group, op.factor);
+        touched[id] = 1;
+      }
+      return;
+    }
+    case MaterialOp::Kind::kTemperature: {
+      require(op.material < n, "temp material id out of range");
+      const double factor = 1.0 + kDopplerPerKelvin * op.delta_t;
+      require(factor > 0.0, "temperature drop would negate Σt");
+      for (int id = 0; id < n; ++id) {
+        if (op.material >= 0 && id != op.material) continue;
+        if (!mats[id].is_fissile()) continue;
+        scale_xs(mats[id], MaterialOp::Xs::kTotal, -1, factor);
+        touched[id] = 1;
+      }
+      return;
+    }
+  }
+}
+
+/// Splits "key=value"; throws ConfigError on missing '='.
+std::pair<std::string, std::string> split_kv(const std::string& tok,
+                                             const std::string& line) {
+  const auto eq = tok.find('=');
+  if (eq == std::string::npos)
+    fail<ConfigError>("scenario file: expected key=value, got '" + tok +
+                      "' in line: " + line);
+  return {tok.substr(0, eq), tok.substr(eq + 1)};
+}
+
+int parse_id_or_all(const std::string& v, const std::string& line) {
+  if (v == "all") return -1;
+  try {
+    return std::stoi(v);
+  } catch (const std::exception&) {
+    fail<ConfigError>("scenario file: bad id '" + v + "' in line: " + line);
+  }
+}
+
+double parse_number(const std::string& v, const std::string& line) {
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    fail<ConfigError>("scenario file: bad number '" + v +
+                      "' in line: " + line);
+  }
+}
+
+MaterialOp::Xs parse_xs(const std::string& v, const std::string& line) {
+  if (v == "total") return MaterialOp::Xs::kTotal;
+  if (v == "fission") return MaterialOp::Xs::kFission;
+  if (v == "nu_fission") return MaterialOp::Xs::kNuFission;
+  if (v == "scatter") return MaterialOp::Xs::kScatter;
+  if (v == "chi") return MaterialOp::Xs::kChi;
+  fail<ConfigError>("scenario file: unknown xs '" + v + "' in line: " + line);
+}
+
+}  // namespace
+
+std::vector<Material> apply_scenario(const std::vector<Material>& base,
+                                     const Scenario& scenario, int step) {
+  std::vector<Material> mats = base;
+  std::vector<char> touched(mats.size(), 0);
+  for (const MaterialOp& op : scenario.ops) apply_op(mats, op, touched);
+
+  if (step > 0 && scenario.burn != 1.0) {
+    const double factor = std::pow(scenario.burn, step);
+    require(factor > 0.0, "burn factor must stay positive");
+    for (std::size_t id = 0; id < mats.size(); ++id) {
+      if (!mats[id].is_fissile()) continue;
+      scale_xs(mats[id], MaterialOp::Xs::kFission, -1, factor);
+      scale_xs(mats[id], MaterialOp::Xs::kNuFission, -1, factor);
+      touched[id] = 1;
+    }
+  }
+
+  // Validate every edited material so a bad recipe fails loudly here
+  // (inside the job) rather than as a non-physical solve.
+  for (std::size_t id = 0; id < mats.size(); ++id)
+    if (touched[id]) mats[id].validate();
+  return mats;
+}
+
+std::vector<Scenario> parse_scenarios(const std::string& text) {
+  std::vector<Scenario> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream toks(line);
+    std::string head;
+    if (!(toks >> head)) continue;  // blank line
+
+    if (head == "scenario") {
+      Scenario s;
+      if (!(toks >> s.name))
+        fail<ConfigError>("scenario file: header needs a name: " + line);
+      std::string tok;
+      while (toks >> tok) {
+        const auto [k, v] = split_kv(tok, line);
+        if (k == "steps")
+          s.steps = parse_id_or_all(v, line);
+        else if (k == "burn")
+          s.burn = parse_number(v, line);
+        else
+          fail<ConfigError>("scenario file: unknown header key '" + k +
+                            "' in line: " + line);
+      }
+      if (s.steps < 1)
+        fail<ConfigError>("scenario file: steps must be >= 1: " + line);
+      out.push_back(std::move(s));
+      continue;
+    }
+
+    if (out.empty())
+      fail<ConfigError>("scenario file: op before any 'scenario' header: " +
+                        line);
+    MaterialOp op;
+    bool has_factor = false, has_source = false, has_dt = false;
+    if (head == "scale")
+      op.kind = MaterialOp::Kind::kScale;
+    else if (head == "swap")
+      op.kind = MaterialOp::Kind::kSwap;
+    else if (head == "temp")
+      op.kind = MaterialOp::Kind::kTemperature;
+    else
+      fail<ConfigError>("scenario file: unknown directive '" + head +
+                        "' in line: " + line);
+    std::string tok;
+    while (toks >> tok) {
+      const auto [k, v] = split_kv(tok, line);
+      if (k == "material")
+        op.material = parse_id_or_all(v, line);
+      else if (k == "xs")
+        op.xs = parse_xs(v, line);
+      else if (k == "group")
+        op.group = parse_id_or_all(v, line);
+      else if (k == "factor") {
+        op.factor = parse_number(v, line);
+        has_factor = true;
+      } else if (k == "source") {
+        op.source = parse_id_or_all(v, line);
+        has_source = true;
+      } else if (k == "dT") {
+        op.delta_t = parse_number(v, line);
+        has_dt = true;
+      } else
+        fail<ConfigError>("scenario file: unknown op key '" + k +
+                          "' in line: " + line);
+    }
+    if (op.kind == MaterialOp::Kind::kScale && !has_factor)
+      fail<ConfigError>("scenario file: scale needs factor=: " + line);
+    if (op.kind == MaterialOp::Kind::kSwap &&
+        (!has_source || op.material < 0))
+      fail<ConfigError>("scenario file: swap needs material= and source=: " +
+                        line);
+    if (op.kind == MaterialOp::Kind::kTemperature && !has_dt)
+      fail<ConfigError>("scenario file: temp needs dT=: " + line);
+    out.back().ops.push_back(op);
+  }
+  return out;
+}
+
+std::vector<Scenario> load_scenarios(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail<ConfigError>("cannot read scenario file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_scenarios(text.str());
+}
+
+}  // namespace engine
+}  // namespace antmoc

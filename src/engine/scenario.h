@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file scenario.h
+/// Scenario jobs for the engine (DESIGN.md §12): a scenario is a named
+/// recipe of cross-section edits applied to a session's base material set
+/// — XS perturbations, control-rod swaps, temperature branches — plus an
+/// optional chain of depletion-style steps that progressively deplete the
+/// fission cross sections. Scenarios never touch geometry or tracks, which
+/// is exactly why one session can serve many of them from shared caches.
+
+#include <string>
+#include <vector>
+
+#include "material/material.h"
+
+namespace antmoc {
+namespace engine {
+
+/// One cross-section edit. Ops apply in file order; each op touches one
+/// material (or all of them) and one group (or all groups).
+struct MaterialOp {
+  enum class Kind {
+    kScale,        ///< multiply one XS family by `factor`
+    kSwap,         ///< replace material `material` with a copy of `source`
+    kTemperature,  ///< Doppler-style Σt broadening of fissile materials
+  };
+  enum class Xs { kTotal, kFission, kNuFission, kScatter, kChi };
+
+  Kind kind = Kind::kScale;
+  Xs xs = Xs::kTotal;
+  int material = -1;  ///< target material id; -1 = every material
+  int group = -1;     ///< energy group; -1 = every group
+  double factor = 1.0;
+  int source = -1;    ///< kSwap: material id copied over the target
+  double delta_t = 0.0;  ///< kTemperature: temperature change in kelvin
+};
+
+/// A named job: the ops, and how many chained steps to run. With
+/// `steps > 1` the job re-solves after scaling the fission production of
+/// every fissile material by `burn` each step — a cheap stand-in for a
+/// depletion chain that exercises the engine's step-loop plumbing.
+struct Scenario {
+  std::string name;
+  std::vector<MaterialOp> ops;
+  int steps = 1;
+  double burn = 1.0;  ///< per-step multiplier on Σf and νΣf
+};
+
+/// Applies `scenario` to a copy of `base` for chained step `step`
+/// (0-based): runs every op, then scales Σf/νΣf of fissile materials by
+/// burn^step. Every touched material is re-validated; physically invalid
+/// edits throw antmoc::Error (the engine turns that into a failed job,
+/// never a poisoned session). Pure function of its inputs.
+std::vector<Material> apply_scenario(const std::vector<Material>& base,
+                                     const Scenario& scenario, int step = 0);
+
+/// Parses the line-oriented scenario file format (README "Scenario
+/// files"):
+///
+///     # comment
+///     scenario <name> [steps=N] [burn=F]
+///       scale material=<id|all> xs=<total|fission|nu_fission|scatter|chi>
+///             [group=<g|all>] factor=<F>
+///       swap material=<id> source=<id>
+///       temp dT=<kelvin> [material=<id|all>]
+///
+/// Throws ConfigError on malformed input (unknown directive or key,
+/// op before any `scenario` header, missing required key).
+std::vector<Scenario> parse_scenarios(const std::string& text);
+
+/// parse_scenarios() over the contents of `path`; throws ConfigError if
+/// the file cannot be read.
+std::vector<Scenario> load_scenarios(const std::string& path);
+
+}  // namespace engine
+}  // namespace antmoc

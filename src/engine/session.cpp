@@ -1,0 +1,463 @@
+#include "engine/session.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "fault/fault.h"
+#include "perfmodel/layout.h"
+#include "solver/cpu_solver.h"
+#include "telemetry/telemetry.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace antmoc {
+namespace engine {
+namespace {
+
+/// Modeled per-item kernel costs for the warm-up accounting launches —
+/// the same constants the one-shot GpuSolver charges for its setup, so a
+/// session's per-device kernel breakdown matches N one-shot solves minus
+/// the repetition.
+constexpr double kTrackGenCost = 2.0;
+constexpr double kTraceCostPerSegment = 5.0;
+
+/// Retries before a job that keeps hitting transient arena OOM (another
+/// job's optional buffers racing it to the headroom) is failed for good.
+constexpr int kMaxAttempts = 3;
+
+std::array<LinkKind, 4> radial_kinds(const Geometry& g) {
+  return {to_link_kind(g.boundary(Face::kXMin)),
+          to_link_kind(g.boundary(Face::kXMax)),
+          to_link_kind(g.boundary(Face::kYMin)),
+          to_link_kind(g.boundary(Face::kYMax))};
+}
+
+/// The exact iteration loop of TransportSolver::solve(), with the sweep
+/// launch serialized on the per-device mutex (gpusim's thread pool is not
+/// reentrant). exchange() is omitted: it is a no-op for non-decomposed
+/// solvers, so results are unchanged. Any drift between this loop and
+/// solve() breaks the engine's bitwise-identity guarantee — the engine
+/// test compares the two end to end.
+SolveResult stepwise_solve(TransportSolver& solver, std::mutex& launch_mu,
+                           const SolveOptions& options) {
+  solver.prepare_solve(options);
+  SolveResult result;
+  const int max_iter = options.fixed_iterations > 0
+                           ? options.fixed_iterations
+                           : options.max_iterations;
+  for (int iter = 1; iter <= max_iter; ++iter) {
+    telemetry::TraceSpan iter_span("solver/iteration", "solver", -1, -1,
+                                   "iteration", iter);
+    fault::point("solver.iteration");
+    {
+      std::lock_guard<std::mutex> lk(launch_mu);
+      solver.sweep_step();
+    }
+    const TransportSolver::IterationStats stats =
+        solver.close_step(iter, options);
+    result.residual = stats.residual;
+    result.iterations = iter;
+    result.k_eff = stats.k_eff;
+    if (options.fixed_iterations <= 0 && iter >= 3 &&
+        result.residual < options.tolerance &&
+        std::abs(stats.production - 1.0) < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  if (options.fixed_iterations > 0) result.converged = true;
+  return result;
+}
+
+/// Volume-integrated scalar flux per group — the per-job tally shipped in
+/// JobResult (serial, deterministic accumulation order).
+std::vector<double> integrate_group_flux(const FsrData& fsr) {
+  const int G = fsr.num_groups();
+  std::vector<double> out(G, 0.0);
+  const auto& flux = fsr.scalar_flux();
+  const auto& vol = fsr.volumes();
+  for (long r = 0; r < fsr.num_fsrs(); ++r)
+    for (int g = 0; g < G; ++g) out[g] += vol[r] * flux[r * G + g];
+  return out;
+}
+
+}  // namespace
+
+Session::Session(models::C5G7Model model, const SessionOptions& options)
+    : model_(std::move(model)),
+      opts_(options),
+      quad_(opts_.num_azim, opts_.azim_spacing,
+            model_.geometry.bounds().width_x(),
+            model_.geometry.bounds().width_y(), opts_.num_polar),
+      gen_(quad_, model_.geometry.bounds(), radial_kinds(model_.geometry)),
+      stacks_((gen_.trace(model_.geometry), gen_), model_.geometry,
+              model_.geometry.bounds().z_min, model_.geometry.bounds().z_max,
+              opts_.z_spacing),
+      exp_table_(opts_.use_exp_table
+                     ? std::make_unique<ExpTable>(opts_.exp_max_tau,
+                                                  opts_.exp_tolerance)
+                     : nullptr),
+      templates_(opts_.gpu.policy != TrackPolicy::kExplicit &&
+                         opts_.gpu.templates != TemplateMode::kOff
+                     ? std::make_unique<ChordTemplateCache>(stacks_)
+                     : nullptr),
+      info_cache_(stacks_) {
+  opts_.gpu.shared = nullptr;  // managed per slot, never caller-provided
+  if (opts_.max_concurrent <= 0) opts_.max_concurrent = opts_.num_devices;
+  require(opts_.num_devices >= 1, "session needs at least one device");
+
+  // Warm-up probe: one host-side prepare computes the link table and
+  // track-based FSR volumes every job reuses. Template mode off — the
+  // session's shared ChordTemplateCache is already built (or disabled).
+  {
+    CpuSolver probe(stacks_, model_.materials, opts_.sweep_workers,
+                    TemplateMode::kOff);
+    probe.set_shared_caches(&info_cache_, templates_.get());
+    probe.prepare_solve({});
+    volumes_ = probe.fsr().volumes();
+    links_ = probe.links();
+
+    // Private arena bytes one admitted job is guaranteed to charge: the
+    // boundary flux double-buffer, the FSR vectors, and (when privatize
+    // is on) the per-CU tally scratch + staging buffer. Reserving the
+    // full floor at admission makes mid-job OOM impossible in steady
+    // state — transient OOM can only come from one-shot solvers sharing
+    // the device, which the engine never does.
+    const long n = stacks_.num_tracks();
+    const int G = probe.fsr().num_groups();
+    const long fsrs = probe.fsr().num_fsrs();
+    job_floor_ = static_cast<std::size_t>(n) * 2 * G * sizeof(float) * 2 +
+                 static_cast<std::size_t>(fsrs) * G * 4 * sizeof(double);
+    if (opts_.gpu.privatize != PrivatizeMode::kOff) {
+      job_floor_ +=
+          static_cast<std::size_t>(opts_.device.num_cus) * fsrs * G *
+              sizeof(double) +
+          static_cast<std::size_t>(n) * 2 * G * sizeof(double);
+    }
+  }
+
+  slots_.reserve(opts_.num_devices);
+  for (int d = 0; d < opts_.num_devices; ++d) {
+    slots_.push_back(std::make_unique<DeviceSlot>(opts_.device));
+    warm_up_device(*slots_.back());
+    require(idle_headroom(d) >= job_floor_,
+            "device too small for the session's shared state plus one job");
+  }
+
+  workers_.reserve(opts_.max_concurrent);
+  for (int w = 0; w < opts_.max_concurrent; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void Session::warm_up_device(DeviceSlot& slot) {
+  // Same construction order — and the same arena labels — as a one-shot
+  // GpuSolver, so memory().breakdown() stays comparable: 3d_segments
+  // (manager ctor), 2d/3d track tables, then the optional hot-path caches.
+  slot.manager = std::make_unique<TrackManager>(
+      stacks_, opts_.gpu.policy, &slot.device, opts_.gpu.resident_budget_bytes,
+      templates_.get());
+
+  auto& arena = slot.device.memory();
+  slot.charges.emplace_back(arena, "2d_tracks",
+                            gen_.num_tracks() * perf::kTrack2DBytes);
+  slot.charges.emplace_back(arena, "2d_segments",
+                            gen_.num_segments() * perf::kSegment2DBytes);
+  slot.charges.emplace_back(arena, "3d_tracks",
+                            stacks_.num_tracks() * perf::kTrack3DBytes);
+
+  slot.shared.manager = slot.manager.get();
+  try {
+    slot.charges.emplace_back(arena, "track_info_cache",
+                              TrackInfoCache::bytes_for(stacks_.num_tracks()));
+    slot.shared.info_cache = &info_cache_;
+  } catch (const DeviceOutOfMemory&) {
+    slot.shared.info_cache = nullptr;  // jobs decode per item, like the seed
+  }
+  if (slot.manager->templates() != nullptr) {
+    try {
+      slot.charges.emplace_back(arena, "chord_templates",
+                                slot.manager->templates()->bytes());
+    } catch (const DeviceOutOfMemory&) {
+      if (opts_.gpu.templates == TemplateMode::kForce) throw;
+      // Last warm-up mutation: after this the manager is read-only for
+      // the session's whole lifetime, which is what makes sharing it
+      // across concurrent jobs sound.
+      slot.manager->set_templates_active(false);
+    }
+  }
+
+  const auto& counts = slot.manager->segment_counts();
+  slot.order.resize(stacks_.num_tracks());
+  std::iota(slot.order.begin(), slot.order.end(), 0);
+  if (opts_.gpu.l3_sort) {
+    std::stable_sort(slot.order.begin(), slot.order.end(),
+                     [&](long a, long b) { return counts[a] > counts[b]; });
+  }
+  slot.shared.order = &slot.order;
+
+  slot.device.launch("track_generation", stacks_.num_tracks(),
+                     gpusim::Assignment::kRoundRobin,
+                     [](std::size_t) { return kTrackGenCost; });
+  slot.device.launch("ray_tracing", stacks_.num_tracks(),
+                     gpusim::Assignment::kRoundRobin, [&](std::size_t id) {
+                       return slot.manager->resident(static_cast<long>(id))
+                                  ? kTraceCostPerSegment * counts[id]
+                                  : 0.0;
+                     });
+}
+
+Session::~Session() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  for (PendingJob& job : queue_) {
+    JobResult r;
+    r.job = job.id;
+    r.scenario = job.scenario.name;
+    r.error = "session shutdown before the job ran";
+    job.promise.set_value(std::move(r));
+  }
+}
+
+std::future<JobResult> Session::submit(Scenario scenario) {
+  PendingJob job;
+  job.scenario = std::move(scenario);
+  job.submitted = std::chrono::steady_clock::now();
+  std::future<JobResult> fut = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job.id = next_job_id_++;
+    ++stats_.submitted;
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+std::vector<JobResult> Session::run(const std::vector<Scenario>& scenarios) {
+  std::vector<std::future<JobResult>> futures;
+  futures.reserve(scenarios.size());
+  for (const Scenario& s : scenarios) futures.push_back(submit(s));
+  std::vector<JobResult> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+SessionStats Session::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+std::size_t Session::idle_headroom(int device) const {
+  return slots_[device]->device.memory().available();
+}
+
+int Session::pick_device() const {
+  int best = -1;
+  for (int d = 0; d < static_cast<int>(slots_.size()); ++d) {
+    const DeviceSlot& s = *slots_[d];
+    // available() already excludes what running jobs have charged so far;
+    // their reservations still count in full, so this is conservative —
+    // a job can never be admitted into headroom another job will claim.
+    if (s.device.memory().available() < s.reserved + job_floor_) continue;
+    if (best < 0 || s.active < slots_[best]->active) best = d;
+  }
+  return best;
+}
+
+void Session::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+    if (stopping_) return;
+
+    int d = pick_device();
+    if (d < 0) {
+      // Admission control: every device is at its memory limit. Count the
+      // deferral and sleep until a job finishes (or the queue drains).
+      ++stats_.deferrals;
+      cv_.wait(lk, [&] {
+        return stopping_ || queue_.empty() || pick_device() >= 0;
+      });
+      continue;
+    }
+
+    PendingJob job = std::move(queue_.front());
+    queue_.pop_front();
+    DeviceSlot& slot = *slots_[d];
+    slot.reserved += job_floor_;
+    ++slot.active;
+    int concurrent = 0;
+    for (const auto& s : slots_) concurrent += s->active;
+    stats_.peak_concurrent = std::max(stats_.peak_concurrent, concurrent);
+    const bool ran_alone = concurrent == 1;
+    lk.unlock();
+
+    JobResult result = execute(job, slot);
+    result.device = d;
+    result.queue_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      job.submitted)
+            .count() -
+        result.solve_seconds;
+
+    lk.lock();
+    --slot.active;
+    slot.reserved -= job_floor_;
+    const bool transient_oom = !result.ok && result.error.empty();
+    if (transient_oom && !ran_alone && job.attempts + 1 < kMaxAttempts) {
+      // Another job's optional buffers beat us to the headroom; once this
+      // job runs alone the reservation arithmetic guarantees it fits, so
+      // requeueing always terminates.
+      ++job.attempts;
+      queue_.push_back(std::move(job));
+      lk.unlock();
+      cv_.notify_all();
+      lk.lock();
+      continue;
+    }
+    if (transient_oom)
+      result.error = "device out of memory after " +
+                     std::to_string(job.attempts + 1) + " attempts";
+    if (result.ok)
+      ++stats_.completed;
+    else
+      ++stats_.failed;
+    lk.unlock();
+
+    telemetry::metrics()
+        .counter(result.ok ? "engine.jobs_completed" : "engine.jobs_failed")
+        .add();
+    telemetry::metrics()
+        .gauge(telemetry::label("engine.job_seconds", "job", result.job))
+        .set(result.solve_seconds);
+    job.promise.set_value(std::move(result));
+    cv_.notify_all();
+    lk.lock();
+  }
+}
+
+JobResult Session::execute(const PendingJob& job, DeviceSlot& slot) {
+  JobResult result;
+  result.job = job.id;
+  result.scenario = job.scenario.name;
+
+  telemetry::TraceSpan span("engine/job", "engine", -1, -1, "job", job.id);
+  Timer timer;
+  timer.start();
+  try {
+    fault::point("engine.job");
+    run_scenario(job.scenario, slot, result);
+    result.ok = true;
+  } catch (const DeviceOutOfMemory&) {
+    // Leave error empty: the scheduler reads that as "transient OOM,
+    // maybe requeue" and fills in a message if the job is failed for good.
+    result.ok = false;
+    result.error.clear();
+    result.step_k.clear();
+    result.group_flux.clear();
+  } catch (const std::exception& e) {
+    // Anything else — bad scenario physics, an injected fault — fails
+    // this job only; the session's shared state is untouched because jobs
+    // only ever read it.
+    result.ok = false;
+    result.error = e.what();
+  }
+  timer.stop();
+  result.solve_seconds = timer.seconds();
+  return result;
+}
+
+void Session::run_scenario(const Scenario& scenario, DeviceSlot& slot,
+                           JobResult& result) const {
+  for (int step = 0; step < scenario.steps; ++step) {
+    // The perturbed set must outlive the solver: FsrData keeps a pointer
+    // to it for the whole solve.
+    const std::vector<Material> mats =
+        apply_scenario(model_.materials, scenario, step);
+
+    GpuSolverOptions gpu = opts_.gpu;
+    gpu.shared = &slot.shared;
+    GpuSolver solver(stacks_, mats, slot.device, gpu);
+    solver.set_exp_table(exp_table_.get());
+    solver.set_sweep_workers(opts_.sweep_workers);
+    solver.set_shared_caches(&info_cache_, templates_.get());
+    solver.install_links(links_);
+    solver.set_global_volumes(volumes_);
+
+    const SolveResult sr = stepwise_solve(solver, slot.launch_mu, opts_.solve);
+    result.step_k.push_back(sr.k_eff);
+    if (step + 1 == scenario.steps) {
+      result.k_eff = sr.k_eff;
+      result.iterations = sr.iterations;
+      result.converged = sr.converged;
+      result.residual = sr.residual;
+      result.group_flux = integrate_group_flux(solver.fsr());
+    }
+  }
+}
+
+JobResult Session::solve_one_shot(const Scenario& scenario) const {
+  JobResult result;
+  result.job = -1;
+  result.scenario = scenario.name;
+
+  Timer timer;
+  timer.start();
+  try {
+    // Fully cold: fresh laydown, caches, and device per the same options,
+    // sharing nothing with the session. Laydown is deterministic and the
+    // sweep-cost calibration is pinned process-wide, so a warm engine job
+    // must match this bitwise.
+    Quadrature quad(opts_.num_azim, opts_.azim_spacing,
+                    model_.geometry.bounds().width_x(),
+                    model_.geometry.bounds().width_y(), opts_.num_polar);
+    TrackGenerator2D gen(quad, model_.geometry.bounds(),
+                         radial_kinds(model_.geometry));
+    TrackStacks stacks((gen.trace(model_.geometry), gen), model_.geometry,
+                       model_.geometry.bounds().z_min,
+                       model_.geometry.bounds().z_max, opts_.z_spacing);
+    std::unique_ptr<ExpTable> table;
+    if (opts_.use_exp_table)
+      table = std::make_unique<ExpTable>(opts_.exp_max_tau,
+                                         opts_.exp_tolerance);
+    gpusim::Device device(opts_.device);
+
+    GpuSolverOptions gpu = opts_.gpu;
+    gpu.shared = nullptr;
+    for (int step = 0; step < scenario.steps; ++step) {
+      const std::vector<Material> mats =
+          apply_scenario(model_.materials, scenario, step);
+      GpuSolver solver(stacks, mats, device, gpu);
+      solver.set_exp_table(table.get());
+      solver.set_sweep_workers(opts_.sweep_workers);
+      const SolveResult sr = solver.solve(opts_.solve);
+      result.step_k.push_back(sr.k_eff);
+      if (step + 1 == scenario.steps) {
+        result.k_eff = sr.k_eff;
+        result.iterations = sr.iterations;
+        result.converged = sr.converged;
+        result.residual = sr.residual;
+        result.group_flux = integrate_group_flux(solver.fsr());
+      }
+    }
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.error = e.what();
+  }
+  timer.stop();
+  result.solve_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace engine
+}  // namespace antmoc

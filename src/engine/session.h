@@ -1,0 +1,203 @@
+#pragma once
+
+/// \file session.h
+/// The scenario engine (DESIGN.md §12): solver-as-a-service over one
+/// geometry. A Session performs every scenario-independent setup exactly
+/// once — 2D tracing, 3D stack laydown, chord templates, the decoded
+/// track-info cache, link tables, FSR volumes, the exponential table, and
+/// per-device track management with its arena charges — then serves many
+/// Scenario jobs concurrently from that warm state. Each job gets a
+/// private GpuSolver (its own flux buffers and FSR data) that borrows the
+/// session's shared caches read-only, so jobs never see each other's
+/// physics and a crashed job never poisons the session.
+///
+/// Scheduling: jobs queue FIFO; a pool of `max_concurrent` workers admits
+/// a job onto the least-loaded device whose arena headroom (minus
+/// reservations already promised to running jobs) covers the job's private
+/// footprint. When nothing fits, the job stays queued — admission control
+/// degrades throughput, never correctness.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/scenario.h"
+#include "gpusim/device.h"
+#include "models/c5g7_model.h"
+#include "solver/exponential.h"
+#include "solver/gpu_solver.h"
+#include "track/generator2d.h"
+#include "track/track3d.h"
+
+namespace antmoc {
+namespace engine {
+
+struct SessionOptions {
+  /// Device pool: `num_devices` simulated GPUs of spec `device`.
+  int num_devices = 1;
+  gpusim::DeviceSpec device;
+
+  /// Track laydown (same knobs as the benches).
+  int num_azim = 4;
+  double azim_spacing = 0.3;
+  int num_polar = 2;
+  double z_spacing = 0.75;
+
+  /// Per-job solver configuration. `gpu.shared` is managed by the session
+  /// (any caller-set value is ignored).
+  GpuSolverOptions gpu;
+  SolveOptions solve;
+
+  /// Shared exponential-table evaluator (one table serves all jobs).
+  bool use_exp_table = true;
+  double exp_max_tau = 40.0;
+  double exp_tolerance = 1e-6;
+
+  /// Host sweep workers per job solver (fixed => bit-reproducible).
+  unsigned sweep_workers = 1;
+
+  /// Concurrent job executors; 0 = one per device.
+  int max_concurrent = 0;
+};
+
+/// Everything a finished job reports. `step_k` has one entry per chained
+/// step; the flux tallies describe the final step.
+struct JobResult {
+  long job = -1;
+  std::string scenario;
+  bool ok = false;
+  std::string error;
+
+  double k_eff = 0.0;
+  int iterations = 0;
+  bool converged = false;
+  double residual = 0.0;
+  std::vector<double> step_k;
+  /// Volume-integrated scalar flux per energy group (final step).
+  std::vector<double> group_flux;
+
+  double solve_seconds = 0.0;  ///< execution wall time (all steps)
+  double queue_seconds = 0.0;  ///< submit -> execution start
+  int device = -1;             ///< device the job ran on
+};
+
+/// Scheduler counters (monotonic since construction).
+struct SessionStats {
+  long submitted = 0;
+  long completed = 0;
+  long failed = 0;
+  /// Admission passes that found no device with enough headroom.
+  long deferrals = 0;
+  int peak_concurrent = 0;
+};
+
+class Session {
+ public:
+  /// Builds the shared state and starts the worker pool. Throws if even an
+  /// idle device cannot hold the shared state plus one job's private
+  /// footprint.
+  Session(models::C5G7Model model, const SessionOptions& options);
+
+  /// Drains the queue: remaining queued jobs fail with "session shutdown";
+  /// running jobs finish first.
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Enqueues one job; the future resolves when it completes (ok or not —
+  /// job failures are reported in JobResult::error, never thrown).
+  std::future<JobResult> submit(Scenario scenario);
+
+  /// Submits every scenario and waits; results come back in input order.
+  std::vector<JobResult> run(const std::vector<Scenario>& scenarios);
+
+  /// Cold reference: solves `scenario` from scratch — fresh tracing,
+  /// caches, device, and solver per the session's options, sharing
+  /// nothing. The engine's acceptance bar: a warm job must be bitwise
+  /// identical to this, and much faster.
+  JobResult solve_one_shot(const Scenario& scenario) const;
+
+  SessionStats stats() const;
+
+  // --- sizing introspection (tests and the admission gate bench) ----------
+  int num_devices() const { return static_cast<int>(slots_.size()); }
+  /// Arena bytes one job charges on admission (flux buffers + FSR data +
+  /// reserve for the optional privatized buffers).
+  std::size_t job_floor_bytes() const { return job_floor_; }
+  /// Free arena bytes of `device` right now, not counting reservations.
+  std::size_t idle_headroom(int device) const;
+
+  const TrackStacks& stacks() const { return stacks_; }
+  const models::C5G7Model& model() const { return model_; }
+
+ private:
+  struct DeviceSlot {
+    gpusim::Device device;
+    std::unique_ptr<TrackManager> manager;
+    std::vector<long> order;
+    std::vector<gpusim::ScopedCharge> charges;
+    SharedDeviceState shared;
+    /// gpusim::ThreadPool::run is not reentrant, so concurrent jobs on one
+    /// device serialize their kernel launches here (they still interleave
+    /// host-side closure work).
+    std::mutex launch_mu;
+    int active = 0;             ///< jobs currently running here
+    std::size_t reserved = 0;   ///< bytes promised to running jobs
+
+    explicit DeviceSlot(const gpusim::DeviceSpec& spec) : device(spec) {}
+  };
+
+  struct PendingJob {
+    long id = 0;
+    int attempts = 0;
+    Scenario scenario;
+    std::promise<JobResult> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  void warm_up_device(DeviceSlot& slot);
+  void worker_loop();
+  /// Least-active device whose unreserved headroom covers a job floor;
+  /// -1 when none. Caller holds mu_.
+  int pick_device() const;
+  /// Runs one job on `slot` (no scheduler lock held). Fills everything but
+  /// the queue/bookkeeping fields of the result.
+  JobResult execute(const PendingJob& job, DeviceSlot& slot);
+  /// One scenario step chain on one device; appends to `result`.
+  void run_scenario(const Scenario& scenario, DeviceSlot& slot,
+                    JobResult& result) const;
+
+  // Declaration order is construction order: quad/gen/stacks chain like
+  // bench::Problem, then the shared caches they feed.
+  models::C5G7Model model_;
+  SessionOptions opts_;
+  Quadrature quad_;
+  TrackGenerator2D gen_;
+  TrackStacks stacks_;
+  std::unique_ptr<ExpTable> exp_table_;       ///< null = exact evaluator
+  std::unique_ptr<ChordTemplateCache> templates_;  ///< null under kOff
+  TrackInfoCache info_cache_;
+  std::vector<double> volumes_;  ///< track-based FSR volumes, shared
+  std::vector<Link3D> links_;    ///< per-(track, direction) link table
+  std::size_t job_floor_ = 0;
+
+  std::vector<std::unique_ptr<DeviceSlot>> slots_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingJob> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+  long next_job_id_ = 0;
+  SessionStats stats_;
+};
+
+}  // namespace engine
+}  // namespace antmoc

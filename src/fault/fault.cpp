@@ -63,6 +63,8 @@ const std::vector<PointInfo>& known_points() {
       {"domain.sweep",
        "before each hosted domain's transport sweep (delay plans here "
        "fake a straggler for the drift gauge)"},
+      {"engine.job",
+       "start of each scenario job's execution on the engine"},
       {"gpusim.alloc", "device arena allocation"},
       {"migrate.agree", "takeover phase 1: agreeing the dead set"},
       {"migrate.elect", "takeover phase 2: electing domain adopters"},

@@ -49,6 +49,11 @@ void record_calibration(const SweepCosts& c) {
   state().pinned = true;
 }
 
+void calibrate_once(const std::function<void()>& fn) {
+  static std::once_flag flag;
+  std::call_once(flag, fn);
+}
+
 void set_otf_cost_ratio(double ratio) {
   require(ratio > 0.0, "track.otf_cost must be positive");
   std::lock_guard<std::mutex> lock(mtx());

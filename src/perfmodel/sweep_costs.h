@@ -14,7 +14,11 @@
 /// paper model explicitly with `set_sweep_costs({1.0, 6.0, 1.5})`.
 ///
 /// Costs are ratios normalized to `resident = 1.0`. Thread-safe: reads
-/// and writes go through one mutex; calibration runs once per process.
+/// and writes go through one mutex; calibration runs once per process
+/// through calibrate_once(), so concurrent solver (or engine-session)
+/// constructions neither repeat nor race the measurement.
+
+#include <functional>
 
 namespace antmoc::perf {
 
@@ -37,6 +41,14 @@ void set_sweep_costs(const SweepCosts& c);
 /// otherwise applied once — later calibrations are ignored so a solve's
 /// predictions stay consistent across solver constructions.
 void record_calibration(const SweepCosts& c);
+
+/// Runs `fn` exactly once per process (std::call_once semantics): the
+/// shared entry point for the micro-calibration body, which should end in
+/// record_calibration(). Every concurrent caller — TrackManager
+/// constructions racing across engine jobs included — blocks until the
+/// first caller's fn returns, then sees the recorded costs; later calls
+/// are free. An fn that throws releases the slot for the next caller.
+void calibrate_once(const std::function<void()>& fn);
 
 /// `track.otf_cost` user override: pins otf = ratio * resident and
 /// blocks any later calibration.

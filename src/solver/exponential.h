@@ -28,6 +28,11 @@ inline double exp_f1(double tau) { return -std::expm1(-tau); }
 /// one adjacent load pair and a single fma, instead of the two scattered
 /// loads plus three multiplies of the classic v[i]*(1-f) + v[i+1]*f form.
 /// Algebraically identical interpolant; the error bound is unchanged.
+///
+/// Immutability contract: the table is fully built by the constructor and
+/// never mutated afterwards — every member function is const. A single
+/// instance may therefore be shared by any number of solvers and sweep
+/// threads without synchronization (the engine's Session relies on this).
 class ExpTable {
  public:
   /// \param max_tau  largest optical length the table covers; larger

@@ -35,48 +35,62 @@ GpuSolver::GpuSolver(const TrackStacks& stacks,
                      const std::vector<Material>& materials,
                      gpusim::Device& device,
                      const GpuSolverOptions& options)
-    : TransportSolver(stacks, materials),
-      device_(device),
-      options_(options),
-      manager_(stacks, options.policy, &device, options.resident_budget_bytes,
-               options.policy != TrackPolicy::kExplicit &&
-                       options.templates != TemplateMode::kOff
-                   ? &chord_templates()
-                   : nullptr) {
+    : TransportSolver(stacks, materials), device_(device), options_(options) {
   require(fsr_.num_groups() <= kMaxGroups,
           "GpuSolver supports at most 64 energy groups");
 
-  const auto& gen = stacks.generator();
-  charge("2d_tracks", gen.num_tracks() * kTrack2DBytes);
-  charge("2d_segments", gen.num_segments() * kSegment2DBytes);
-  charge("3d_tracks", stacks.num_tracks() * kTrack3DBytes);
+  if (options_.shared != nullptr) {
+    // Engine job mode (DESIGN.md §12): the session owns the
+    // scenario-independent state; only the job-private physics buffers
+    // are charged below.
+    require(options_.shared->manager != nullptr &&
+                options_.shared->order != nullptr,
+            "shared device state needs a track manager and a sweep order");
+    manager_ = options_.shared->manager;
+    order_ = options_.shared->order;
+  } else {
+    owned_manager_ = std::make_unique<TrackManager>(
+        stacks, options.policy, &device, options.resident_budget_bytes,
+        options.policy != TrackPolicy::kExplicit &&
+                options.templates != TemplateMode::kOff
+            ? &chord_templates()
+            : nullptr);
+    manager_ = owned_manager_.get();
+
+    const auto& gen = stacks.generator();
+    charge("2d_tracks", gen.num_tracks() * kTrack2DBytes);
+    charge("2d_segments", gen.num_segments() * kSegment2DBytes);
+    charge("3d_tracks", stacks.num_tracks() * kTrack3DBytes);
+  }
   charge("track_fluxs",
          psi_in_.size() * sizeof(float) * 2);  // in + next buffers
   charge("others", fsr_.num_fsrs() * fsr_.num_groups() * 4 * sizeof(double));
 
-  // Sweep order: L3 sorts by descending segment count so the round-robin
-  // deal hands every CU the same cost spectrum (paper §4.2.3, Fig. 5(3)).
-  order_.resize(stacks.num_tracks());
-  std::iota(order_.begin(), order_.end(), 0);
-  if (options_.l3_sort) {
-    const auto& counts = manager_.segment_counts();
-    std::stable_sort(order_.begin(), order_.end(), [&](long a, long b) {
-      return counts[a] > counts[b];
-    });
-  }
+  const auto& counts = manager_->segment_counts();
+  if (options_.shared == nullptr) {
+    // Sweep order: L3 sorts by descending segment count so the round-robin
+    // deal hands every CU the same cost spectrum (paper §4.2.3, Fig. 5(3)).
+    owned_order_.resize(stacks.num_tracks());
+    std::iota(owned_order_.begin(), owned_order_.end(), 0);
+    if (options_.l3_sort) {
+      std::stable_sort(owned_order_.begin(), owned_order_.end(),
+                       [&](long a, long b) { return counts[a] > counts[b]; });
+    }
+    order_ = &owned_order_;
 
-  // Accounting launches for the paper's kernel breakdown (§3.2): 3D track
-  // generation and the setup ray tracing of resident tracks.
-  device_.launch("track_generation", stacks.num_tracks(),
-                 gpusim::Assignment::kRoundRobin,
-                 [](std::size_t) { return kTrackGenCost; });
-  const auto& counts = manager_.segment_counts();
-  device_.launch("ray_tracing", stacks.num_tracks(),
-                 gpusim::Assignment::kRoundRobin, [&](std::size_t id) {
-                   return manager_.resident(static_cast<long>(id))
-                              ? kTraceCostPerSegment * counts[id]
-                              : 0.0;
-                 });
+    // Accounting launches for the paper's kernel breakdown (§3.2): 3D
+    // track generation and the setup ray tracing of resident tracks. A
+    // session runs these once per device at warm-up, not per job.
+    device_.launch("track_generation", stacks.num_tracks(),
+                   gpusim::Assignment::kRoundRobin,
+                   [](std::size_t) { return kTrackGenCost; });
+    device_.launch("ray_tracing", stacks.num_tracks(),
+                   gpusim::Assignment::kRoundRobin, [&](std::size_t id) {
+                     return manager_->resident(static_cast<long>(id))
+                                ? kTraceCostPerSegment * counts[id]
+                                : 0.0;
+                   });
+  }
   for (long c : counts) segments_per_sweep_ += 2 * c;
 
   setup_hot_path();
@@ -84,13 +98,13 @@ GpuSolver::GpuSolver(const TrackStacks& stacks,
 }
 
 void GpuSolver::compute_template_stats() {
-  template_dispatch_ = manager_.templates() != nullptr;
+  template_dispatch_ = manager_->templates() != nullptr;
   if (!template_dispatch_) return;
-  const auto& counts = manager_.segment_counts();
+  const auto& counts = manager_->segment_counts();
   for (long id = 0; id < stacks_.num_tracks(); ++id) {
-    if (manager_.resident(id)) {
+    if (manager_->resident(id)) {
       resident_segments_per_sweep_ += 2 * counts[id];
-    } else if (manager_.templated(id)) {
+    } else if (manager_->templated(id)) {
       template_hits_per_sweep_ += 2;
       template_segments_per_sweep_ += 2 * counts[id];
     } else {
@@ -100,27 +114,35 @@ void GpuSolver::compute_template_stats() {
 }
 
 void GpuSolver::setup_hot_path() {
-  // Optional fast-path buffers are charged last so they never change
-  // whether a track policy/budget fits the arena: if the remaining
-  // capacity cannot afford them, the solver silently keeps the seed
-  // behavior (per-item decode, atomic tallies) instead of escalating.
-  try {
-    charge("track_info_cache",
-           TrackInfoCache::bytes_for(stacks_.num_tracks()));
-    cache_ = &info_cache();
-  } catch (const DeviceOutOfMemory&) {
-    cache_ = nullptr;
-  }
-
-  // After the info cache: that one speeds up every track, the templates
-  // only the temporary ones, so when the arena affords just one optional
-  // buffer it should be the cache.
-  if (manager_.templates() != nullptr) {
+  if (options_.shared != nullptr) {
+    // Session-owned hot path: the info cache and chord templates were
+    // charged (and, on OOM, deactivated) once at warm-up; jobs borrow
+    // them and only charge their private privatized buffers below.
+    cache_ = options_.shared->info_cache;
+  } else {
+    // Optional fast-path buffers are charged last so they never change
+    // whether a track policy/budget fits the arena: if the remaining
+    // capacity cannot afford them, the solver silently keeps the seed
+    // behavior (per-item decode, atomic tallies) instead of escalating.
     try {
-      charge("chord_templates", manager_.templates()->bytes());
+      charge("track_info_cache",
+             TrackInfoCache::bytes_for(stacks_.num_tracks()));
+      cache_ = &info_cache();
     } catch (const DeviceOutOfMemory&) {
-      if (options_.templates == TemplateMode::kForce) throw;
-      manager_.set_templates_active(false);  // kAuto: generic-walk fallback
+      cache_ = nullptr;
+    }
+
+    // After the info cache: that one speeds up every track, the templates
+    // only the temporary ones, so when the arena affords just one optional
+    // buffer it should be the cache.
+    if (manager_->templates() != nullptr) {
+      try {
+        charge("chord_templates", manager_->templates()->bytes());
+      } catch (const DeviceOutOfMemory&) {
+        if (options_.templates == TemplateMode::kForce) throw;
+        // kAuto: generic-walk fallback
+        owned_manager_->set_templates_active(false);
+      }
     }
   }
 
@@ -169,7 +191,7 @@ double GpuSolver::sweep_track(long id, double* acc, bool stage) {
   double psi[kMaxGroups];
 
   long seg_count = 0;
-  const Segment3D* segs = manager_.segments(id, seg_count);
+  const Segment3D* segs = manager_->segments(id, seg_count);
 
   for (int dir = 0; dir < 2; ++dir) {
     const bool forward = dir == 0;
@@ -200,7 +222,7 @@ double GpuSolver::sweep_track(long id, double* acc, bool stage) {
     } else {
       // Temporary: template expansion when eligible, else the fused OTF
       // regeneration + sweep (paper §4.1). Bitwise-identical either way.
-      const ChordTemplateCache* t = manager_.templates();
+      const ChordTemplateCache* t = manager_->templates();
       if (t == nullptr || !t->for_each_segment(id, forward, apply))
         stacks_.for_each_segment(*info, forward, apply);
     }
@@ -212,7 +234,7 @@ double GpuSolver::sweep_track(long id, double* acc, bool stage) {
       deposit(id, forward, psi, /*atomic=*/true);
     }
   }
-  return manager_.track_cost(id);
+  return manager_->track_cost(id);
 }
 
 void GpuSolver::reduce_tallies() {
@@ -251,17 +273,17 @@ void GpuSolver::sweep() {
         static_cast<std::size_t>(fsr_.num_fsrs()) * fsr_.num_groups();
     double* scratch = tally_scratch_.data();
     last_stats_ = device_.launch(
-        "transport_sweep", order_.size(), assignment,
+        "transport_sweep", order_->size(), assignment,
         [&](std::size_t item, int cu) {
-          return sweep_track(order_[item], scratch + cu * len,
+          return sweep_track((*order_)[item], scratch + cu * len,
                              /*stage=*/true);
         });
     flush_staged_deposits();
     reduce_tallies();
   } else {
     last_stats_ = device_.launch(
-        "transport_sweep", order_.size(), assignment, [&](std::size_t item) {
-          return sweep_track(order_[item], nullptr, /*stage=*/false);
+        "transport_sweep", order_->size(), assignment, [&](std::size_t item) {
+          return sweep_track((*order_)[item], nullptr, /*stage=*/false);
         });
   }
   last_sweep_segments_ = segments_per_sweep_;
@@ -299,13 +321,13 @@ void GpuSolver::sweep_subset(const std::vector<long>& ids) {
           return sweep_track(ids[item], nullptr, /*stage=*/true);
         });
   }
-  const auto& counts = manager_.segment_counts();
+  const auto& counts = manager_->segment_counts();
   for (long id : ids) {
     last_sweep_segments_ += 2 * counts[id];
     if (!template_dispatch_) continue;
-    if (manager_.resident(id)) {
+    if (manager_->resident(id)) {
       last_resident_segments_ += 2 * counts[id];
-    } else if (manager_.templated(id)) {
+    } else if (manager_->templated(id)) {
       last_template_hits_ += 2;
       last_template_segments_ += 2 * counts[id];
     } else {

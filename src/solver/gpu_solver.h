@@ -8,12 +8,30 @@
 /// arena, so `device.memory().breakdown()` regenerates that table and an
 /// over-capacity EXP configuration fails exactly like the paper's.
 
+#include <memory>
+#include <vector>
+
 #include "gpusim/device.h"
 #include "solver/exponential.h"
 #include "solver/track_policy.h"
 #include "solver/transport_solver.h"
 
 namespace antmoc {
+
+/// Scenario-independent per-device state built once by an engine Session
+/// and shared read-only by every concurrent job solver on that device
+/// (DESIGN.md §12). Non-owning: everything must outlive the solver, and
+/// nothing here is mutated after session warm-up — the manager's one
+/// mutation hook (set_templates_active, the arena-OOM fallback) fires
+/// during warm-up, before any job can observe it.
+struct SharedDeviceState {
+  const TrackManager* manager = nullptr;
+  /// Decoded track-info cache already charged to the device arena by the
+  /// session; nullptr = per-item decode (the seed behavior).
+  const TrackInfoCache* info_cache = nullptr;
+  /// L3 sweep order (sorted + round-robin dealt when l3_sort).
+  const std::vector<long>* order = nullptr;
+};
 
 /// FSR-tally strategy of the device sweep (the one-to-many track->FSR
 /// hazard of paper §3.2.3).
@@ -45,6 +63,16 @@ struct GpuSolverOptions {
   /// OOM (feeds the degradation ladder). Ignored under kExplicit (no
   /// temporary tracks to serve).
   TemplateMode templates = TemplateMode::kAuto;
+  /// Engine job mode: when set, the solver borrows the session's
+  /// scenario-independent state instead of building its own — no track
+  /// manager, L3 order, info-cache or template construction, none of
+  /// their arena charges, and no setup kernels. Only the job-private
+  /// physics state is charged ("track_fluxs", "others", plus the optional
+  /// privatized buffers) — exactly the headroom the session's per-device
+  /// admission check reserves. `policy`, `resident_budget_bytes`, and
+  /// `templates` are then properties of the shared manager and ignored
+  /// here.
+  const SharedDeviceState* shared = nullptr;
 };
 
 class GpuSolver : public TransportSolver {
@@ -54,7 +82,7 @@ class GpuSolver : public TransportSolver {
             const GpuSolverOptions& options = {});
   ~GpuSolver() override;
 
-  const TrackManager& manager() const { return manager_; }
+  const TrackManager& manager() const { return *manager_; }
   gpusim::Device& device() { return device_; }
 
   /// Per-CU statistics of the most recent transport-sweep launch; its
@@ -72,7 +100,7 @@ class GpuSolver : public TransportSolver {
   /// True when temporary tracks dispatch through the chord-template
   /// cache (charged to the arena); false after the OOM auto-fallback or
   /// under kOff/kExplicit.
-  bool templates_active() const { return manager_.templates_active(); }
+  bool templates_active() const { return manager_->templates_active(); }
 
  protected:
   void sweep() override;
@@ -98,8 +126,14 @@ class GpuSolver : public TransportSolver {
 
   gpusim::Device& device_;
   GpuSolverOptions options_;
-  TrackManager manager_;
-  std::vector<long> order_;
+  /// Owned in the one-shot path, borrowed (const, session-owned) in
+  /// shared mode; `manager_` is the read path either way and is never
+  /// used to mutate — the OOM template fallback goes through
+  /// `owned_manager_`, which shared mode does not have.
+  std::unique_ptr<TrackManager> owned_manager_;
+  const TrackManager* manager_ = nullptr;
+  std::vector<long> owned_order_;
+  const std::vector<long>* order_ = nullptr;
   gpusim::KernelStats last_stats_;
   std::vector<gpusim::ScopedCharge> charges_;
   gpusim::DeviceBuffer<double> tally_scratch_;  ///< [cu][fsr*G], privatized

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 #include <numeric>
 #include <utility>
 
@@ -138,11 +137,7 @@ TrackManager::TrackManager(const TrackStacks& stacks, TrackPolicy policy,
   }
   for (long id = 0; id < n; ++id) total_segments_ += counts_[id];
 
-  {
-    static std::once_flag once;
-    std::call_once(once,
-                   [&] { calibrate_sweep_costs(stacks, templates_); });
-  }
+  perf::calibrate_once([&] { calibrate_sweep_costs(stacks, templates_); });
   costs_ = perf::sweep_costs();
 
   if (policy != TrackPolicy::kOnTheFly) {

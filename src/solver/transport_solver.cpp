@@ -91,15 +91,24 @@ util::Parallel& TransportSolver::par() {
 }
 
 const TrackInfoCache& TransportSolver::info_cache() {
+  if (shared_info_cache_ != nullptr) return *shared_info_cache_;
   if (!host_info_cache_)
     host_info_cache_ = std::make_unique<TrackInfoCache>(stacks_);
   return *host_info_cache_;
 }
 
 const ChordTemplateCache& TransportSolver::chord_templates() {
+  if (shared_templates_ != nullptr) return *shared_templates_;
   if (!chord_templates_)
     chord_templates_ = std::make_unique<ChordTemplateCache>(stacks_);
   return *chord_templates_;
+}
+
+void TransportSolver::install_links(const std::vector<Link3D>& links) {
+  require(static_cast<long>(links.size()) == stacks_.num_tracks() * 2,
+          "installed link table has the wrong shape for these stacks");
+  links_ = links;
+  links_built_ = true;
 }
 
 void TransportSolver::ensure_staging() {

@@ -147,6 +147,24 @@ class TransportSolver {
 
   const std::vector<Link3D>& links() const { return links_; }
 
+  /// Installs a prebuilt per-(track, direction) link table — engine
+  /// sessions compute it once at warm-up and share it across jobs. Must
+  /// equal what build_links() would produce for this solver's stacks and
+  /// z-face kinds (links are a pure function of both), so installing it
+  /// changes nothing but the setup cost.
+  void install_links(const std::vector<Link3D>& links);
+
+  /// Points the lazily built host-side caches at session-shared instances
+  /// instead of constructing private copies (not owned; must outlive the
+  /// solver). Both cache types are immutable after construction, so any
+  /// number of concurrent solvers may read them freely; call before the
+  /// first solve.
+  void set_shared_caches(const TrackInfoCache* info,
+                         const ChordTemplateCache* templates) {
+    shared_info_cache_ = info;
+    shared_templates_ = templates;
+  }
+
   /// Host fork-join worker count for the parallel per-iteration loops
   /// (and the CpuSolver sweep). 0 = auto (ANTMOC_SWEEP_WORKERS env or
   /// hardware concurrency). Must be set before solve(); results are
@@ -269,8 +287,14 @@ class TransportSolver {
  private:
   unsigned workers_knob_ = 0;
   std::unique_ptr<util::Parallel> par_;
+  /// Lazy host caches (built at most once per solver). The lazy build is
+  /// single-threaded by contract — a solver is driven by one thread — so
+  /// the only way two threads share these objects is through
+  /// set_shared_caches(), where they are const and already built.
   std::unique_ptr<TrackInfoCache> host_info_cache_;
   std::unique_ptr<ChordTemplateCache> chord_templates_;
+  const TrackInfoCache* shared_info_cache_ = nullptr;
+  const ChordTemplateCache* shared_templates_ = nullptr;
 };
 
 /// Maps a geometry boundary condition to the link semantics of that face.

@@ -62,6 +62,10 @@ class ChordTemplateCache {
  public:
   /// Builds, classifies, and bitwise-validates templates for every stack
   /// of `stacks`. Cost: ~2 generic walks per track, paid once.
+  ///
+  /// Immutability contract: construction is the only mutation; every
+  /// member function is const. One cache may be shared by all sweep
+  /// workers, devices, and concurrent engine jobs without locking.
   explicit ChordTemplateCache(const TrackStacks& stacks);
 
   long num_tracks() const { return static_cast<long>(tmpl_.size()); }

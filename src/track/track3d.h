@@ -188,6 +188,10 @@ class TrackStacks {
 /// with one indexed load. Device solvers charge bytes() against their
 /// memory arena so the cache honestly competes with resident segments, and
 /// they fall back to on-the-fly decode when the arena cannot afford it.
+///
+/// Immutability contract: filled entirely by the constructor, const-only
+/// afterwards — safe to share across sweep threads and concurrent engine
+/// jobs without synchronization.
 class TrackInfoCache {
  public:
   explicit TrackInfoCache(const TrackStacks& stacks)

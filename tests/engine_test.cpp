@@ -1,0 +1,339 @@
+/// \file engine_test.cpp
+/// Scenario-engine suite (DESIGN.md §12): scenario parsing and
+/// application, bitwise identity of warm engine jobs against cold
+/// one-shot solves, job-order independence, memory-admission fallback
+/// (jobs queue, never fail, when the arena is tight), and fault isolation
+/// (a crashed job leaves the session serving).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "engine/scenario.h"
+#include "engine/session.h"
+#include "fault/fault.h"
+#include "models/c5g7_model.h"
+#include "util/error.h"
+
+namespace antmoc {
+namespace {
+
+using engine::JobResult;
+using engine::MaterialOp;
+using engine::Scenario;
+using engine::Session;
+using engine::SessionOptions;
+
+models::C5G7Model small_model() {
+  models::C5G7Options opt;
+  opt.pins_per_assembly = 3;
+  opt.fuel_layers = 2;
+  opt.reflector_layers = 1;
+  opt.height_scale = 0.1;
+  return models::build_core(opt);
+}
+
+SessionOptions small_options(int devices = 1) {
+  SessionOptions opts;
+  opts.num_devices = devices;
+  opts.device = gpusim::DeviceSpec::scaled(std::size_t{256} << 20, 4);
+  opts.num_azim = 4;
+  opts.azim_spacing = 0.5;
+  opts.num_polar = 2;
+  opts.z_spacing = 1.0;
+  opts.solve.fixed_iterations = 5;
+  opts.sweep_workers = 2;
+  return opts;
+}
+
+Scenario named(const std::string& name) {
+  Scenario s;
+  s.name = name;
+  return s;
+}
+
+Scenario scale_scenario(const std::string& name, int material,
+                        MaterialOp::Xs xs, double factor) {
+  Scenario s = named(name);
+  MaterialOp op;
+  op.kind = MaterialOp::Kind::kScale;
+  op.material = material;
+  op.xs = xs;
+  op.factor = factor;
+  s.ops.push_back(op);
+  return s;
+}
+
+void expect_bitwise_equal(const JobResult& a, const JobResult& b) {
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_EQ(a.k_eff, b.k_eff);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.residual, b.residual);
+  ASSERT_EQ(a.step_k.size(), b.step_k.size());
+  for (std::size_t i = 0; i < a.step_k.size(); ++i)
+    EXPECT_EQ(a.step_k[i], b.step_k[i]) << "step " << i;
+  ASSERT_EQ(a.group_flux.size(), b.group_flux.size());
+  for (std::size_t g = 0; g < a.group_flux.size(); ++g)
+    EXPECT_EQ(a.group_flux[g], b.group_flux[g]) << "group " << g;
+}
+
+// ---------------------------------------------------------- scenario file ---
+
+TEST(ScenarioParse, FullGrammar) {
+  const auto scenarios = engine::parse_scenarios(
+      "# control-rod study\n"
+      "scenario base\n"
+      "scenario rodded\n"
+      "  swap material=6 source=7\n"
+      "scenario branch steps=3 burn=0.98  # depletion-ish chain\n"
+      "  scale material=0 xs=nu_fission group=all factor=1.02\n"
+      "  temp dT=300 material=all\n");
+  ASSERT_EQ(scenarios.size(), 3u);
+  EXPECT_EQ(scenarios[0].name, "base");
+  EXPECT_TRUE(scenarios[0].ops.empty());
+  EXPECT_EQ(scenarios[0].steps, 1);
+
+  ASSERT_EQ(scenarios[1].ops.size(), 1u);
+  EXPECT_EQ(scenarios[1].ops[0].kind, MaterialOp::Kind::kSwap);
+  EXPECT_EQ(scenarios[1].ops[0].material, 6);
+  EXPECT_EQ(scenarios[1].ops[0].source, 7);
+
+  EXPECT_EQ(scenarios[2].steps, 3);
+  EXPECT_DOUBLE_EQ(scenarios[2].burn, 0.98);
+  ASSERT_EQ(scenarios[2].ops.size(), 2u);
+  EXPECT_EQ(scenarios[2].ops[0].xs, MaterialOp::Xs::kNuFission);
+  EXPECT_EQ(scenarios[2].ops[0].group, -1);
+  EXPECT_DOUBLE_EQ(scenarios[2].ops[0].factor, 1.02);
+  EXPECT_EQ(scenarios[2].ops[1].kind, MaterialOp::Kind::kTemperature);
+  EXPECT_DOUBLE_EQ(scenarios[2].ops[1].delta_t, 300.0);
+}
+
+TEST(ScenarioParse, RejectsMalformedInput) {
+  EXPECT_THROW(engine::parse_scenarios("scale material=0 factor=2\n"),
+               ConfigError);  // op before any header
+  EXPECT_THROW(engine::parse_scenarios("scenario\n"), ConfigError);
+  EXPECT_THROW(engine::parse_scenarios("scenario s\n  scale material=0\n"),
+               ConfigError);  // scale without factor
+  EXPECT_THROW(engine::parse_scenarios("scenario s\n  swap material=1\n"),
+               ConfigError);  // swap without source
+  EXPECT_THROW(engine::parse_scenarios("scenario s\n  warp factor=9\n"),
+               ConfigError);  // unknown directive
+  EXPECT_THROW(
+      engine::parse_scenarios("scenario s\n  scale xs=speed factor=2\n"),
+      ConfigError);  // unknown xs family
+  EXPECT_THROW(engine::parse_scenarios("scenario s steps=0\n"), ConfigError);
+}
+
+TEST(ScenarioApply, OpsEditOnlyTheirTargets) {
+  const auto model = small_model();
+  const auto& base = model.materials;
+
+  Scenario s = scale_scenario("up", 0, MaterialOp::Xs::kNuFission, 1.05);
+  const auto mats = engine::apply_scenario(base, s);
+  ASSERT_EQ(mats.size(), base.size());
+  for (int g = 0; g < base[0].num_groups(); ++g) {
+    EXPECT_DOUBLE_EQ(mats[0].nu_sigma_f(g), 1.05 * base[0].nu_sigma_f(g));
+    EXPECT_DOUBLE_EQ(mats[0].sigma_t(g), base[0].sigma_t(g));
+    EXPECT_DOUBLE_EQ(mats[1].nu_sigma_f(g), base[1].nu_sigma_f(g));
+  }
+
+  Scenario swap = named("rodded");
+  MaterialOp op;
+  op.kind = MaterialOp::Kind::kSwap;
+  op.material = 6;
+  op.source = 7;
+  swap.ops.push_back(op);
+  const auto rodded = engine::apply_scenario(base, swap);
+  for (int g = 0; g < base[0].num_groups(); ++g)
+    EXPECT_DOUBLE_EQ(rodded[6].sigma_t(g), base[7].sigma_t(g));
+}
+
+TEST(ScenarioApply, BurnStepsDepleteFissionXs) {
+  const auto model = small_model();
+  Scenario s = named("deplete");
+  s.steps = 3;
+  s.burn = 0.9;
+  const auto step0 = engine::apply_scenario(model.materials, s, 0);
+  const auto step2 = engine::apply_scenario(model.materials, s, 2);
+  const double expected = 0.9 * 0.9;
+  for (int g = 0; g < step0[0].num_groups(); ++g) {
+    EXPECT_DOUBLE_EQ(step2[0].nu_sigma_f(g),
+                     expected * step0[0].nu_sigma_f(g));
+    // Non-fissile materials never deplete.
+    EXPECT_DOUBLE_EQ(step2[6].sigma_t(g), step0[6].sigma_t(g));
+  }
+}
+
+TEST(ScenarioApply, InvalidPhysicsThrows) {
+  const auto model = small_model();
+  // Crushing Σt below the out-scatter total must fail validation.
+  Scenario bad = scale_scenario("bad", 6, MaterialOp::Xs::kTotal, 0.1);
+  EXPECT_THROW(engine::apply_scenario(model.materials, bad), Error);
+}
+
+// ------------------------------------------------------- engine vs one-shot ---
+
+TEST(EngineSession, WarmJobBitwiseIdenticalToOneShot) {
+  Session session(small_model(), small_options());
+
+  std::vector<Scenario> jobs;
+  jobs.push_back(named("base"));
+  jobs.push_back(scale_scenario("up", 0, MaterialOp::Xs::kNuFission, 1.02));
+  Scenario chain = named("chain");
+  chain.steps = 2;
+  chain.burn = 0.95;
+  jobs.push_back(chain);
+
+  const auto results = session.run(jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const JobResult cold = session.solve_one_shot(jobs[i]);
+    expect_bitwise_equal(results[i], cold);
+  }
+  // Distinct scenarios must actually differ — the identity above is not
+  // vacuous.
+  EXPECT_NE(results[0].k_eff, results[1].k_eff);
+  ASSERT_EQ(results[2].step_k.size(), 2u);
+  EXPECT_NE(results[2].step_k[0], results[2].step_k[1]);
+}
+
+TEST(EngineSession, ResultsIndependentOfSubmissionOrder) {
+  SessionOptions opts = small_options(2);
+  opts.max_concurrent = 2;
+  Session session(small_model(), opts);
+
+  std::vector<Scenario> forward;
+  forward.push_back(named("base"));
+  forward.push_back(scale_scenario("up", 0, MaterialOp::Xs::kNuFission, 1.02));
+  forward.push_back(scale_scenario("hot", 0, MaterialOp::Xs::kTotal, 1.01));
+  std::vector<Scenario> reversed(forward.rbegin(), forward.rend());
+
+  const auto a = session.run(forward);
+  const auto b = session.run(reversed);
+  for (const JobResult& ra : a) {
+    for (const JobResult& rb : b) {
+      if (ra.scenario != rb.scenario) continue;
+      expect_bitwise_equal(ra, rb);
+    }
+  }
+
+  const auto stats = session.stats();
+  EXPECT_EQ(stats.submitted, 6);
+  EXPECT_EQ(stats.completed, 6);
+  EXPECT_EQ(stats.failed, 0);
+}
+
+// ------------------------------------------------------------- admission ---
+
+TEST(EngineSession, TightArenaQueuesJobsInsteadOfFailing) {
+  // Size a device that fits the shared state plus 1.5 job floors: two
+  // workers then compete for one admission slot, and the second job must
+  // wait for the first, never OOM.
+  std::size_t shared_bytes = 0;
+  std::size_t floor = 0;
+  {
+    Session probe(small_model(), small_options());
+    shared_bytes =
+        small_options().device.memory_bytes - probe.idle_headroom(0);
+    floor = probe.job_floor_bytes();
+  }
+
+  SessionOptions opts = small_options();
+  opts.device =
+      gpusim::DeviceSpec::scaled(shared_bytes + floor + floor / 2, 4);
+  opts.max_concurrent = 2;
+  Session session(small_model(), opts);
+
+  std::vector<Scenario> jobs;
+  jobs.push_back(named("base"));
+  jobs.push_back(scale_scenario("up", 0, MaterialOp::Xs::kNuFission, 1.02));
+  jobs.push_back(scale_scenario("hot", 0, MaterialOp::Xs::kTotal, 1.01));
+  const auto results = session.run(jobs);
+  for (const JobResult& r : results) EXPECT_TRUE(r.ok) << r.error;
+
+  const auto stats = session.stats();
+  EXPECT_EQ(stats.completed, 3);
+  EXPECT_EQ(stats.failed, 0);
+  // The arena admits one job at a time; admission control must have
+  // serialized them rather than letting a second job in to OOM.
+  EXPECT_EQ(stats.peak_concurrent, 1);
+}
+
+// ------------------------------------------------------- fault isolation ---
+
+TEST(EngineSession, FaultedJobFailsAloneSessionKeepsServing) {
+  SessionOptions opts = small_options();
+  opts.max_concurrent = 1;  // deterministic job order for nth targeting
+  Session session(small_model(), opts);
+
+  const Scenario base = named("base");
+  const JobResult before = session.submit(base).get();
+  ASSERT_TRUE(before.ok) << before.error;
+
+  {
+    fault::ScopedPlan plan("engine.job throw solver nth=1");
+    const JobResult faulted = session.submit(base).get();
+    EXPECT_FALSE(faulted.ok);
+    EXPECT_FALSE(faulted.error.empty());
+  }
+
+  const JobResult after = session.submit(base).get();
+  expect_bitwise_equal(before, after);
+
+  const auto stats = session.stats();
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.failed, 1);
+}
+
+TEST(EngineSession, InvalidScenarioFailsJobOnly) {
+  Session session(small_model(), small_options());
+  const JobResult bad = session
+                            .submit(scale_scenario(
+                                "bad", 6, MaterialOp::Xs::kTotal, 0.1))
+                            .get();
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.error.empty());
+
+  const JobResult good = session.submit(named("base")).get();
+  EXPECT_TRUE(good.ok) << good.error;
+  expect_bitwise_equal(good, session.solve_one_shot(named("base")));
+}
+
+// ---------------------------------------------------------------- physics ---
+
+TEST(EngineSession, ScenariosMoveKTheRightWay) {
+  SessionOptions opts = small_options();
+  opts.solve.fixed_iterations = 8;
+  Session session(small_model(), opts);
+
+  std::vector<Scenario> jobs;
+  jobs.push_back(named("base"));
+  Scenario rodded = named("rodded");
+  MaterialOp op;
+  op.kind = MaterialOp::Kind::kSwap;
+  op.material = 6;  // moderator -> control rod everywhere
+  op.source = 7;
+  rodded.ops.push_back(op);
+  jobs.push_back(rodded);
+  jobs.push_back(scale_scenario("up", 0, MaterialOp::Xs::kNuFission, 1.05));
+  Scenario hot = named("hot");
+  MaterialOp t;
+  t.kind = MaterialOp::Kind::kTemperature;
+  t.delta_t = 600.0;
+  hot.ops.push_back(t);
+  jobs.push_back(hot);
+
+  const auto r = session.run(jobs);
+  ASSERT_EQ(r.size(), 4u);
+  for (const JobResult& res : r) ASSERT_TRUE(res.ok) << res.error;
+  const double k_base = r[0].k_eff;
+  EXPECT_LT(r[1].k_eff, k_base);  // absorber flooding the moderator
+  EXPECT_GT(r[2].k_eff, k_base);  // more neutrons per fission
+  EXPECT_LT(r[3].k_eff, k_base);  // Doppler feedback is negative
+}
+
+}  // namespace
+}  // namespace antmoc
