@@ -6,8 +6,15 @@
 ///   2. Device FSR-tally strategy — GpuSolver atomic fallback
 ///      (sweep.privatize=off) versus per-CU privatized tallies with the
 ///      deterministic reduction kernel (sweep.privatize=force).
+///   3. Sweep backend — history-based per-track expansion versus the flat
+///      event-array backend (sweep.backend=event, DESIGN.md §13), serial
+///      and at the best parallel worker count, both with the interleaved
+///      ExpTable evaluator (the production configuration; with the exact
+///      expm1 evaluator libm dominates and kernel organization is
+///      unmeasurable).
 /// Emits BENCH_sweep.json (path = argv[1], default ./BENCH_sweep.json);
-/// bench/run_sweep_gate.sh validates it and enforces the speedup bars.
+/// bench/run_sweep_gate.sh validates it and enforces the speedup bars,
+/// including event >= 1.3x history serial segments/s.
 
 #include <cstdio>
 #include <string>
@@ -117,7 +124,54 @@ int main(int argc, char** argv) {
         fmt(privatized.seconds_per_iter, "%.4f"),
         fmt(privatized.segments_per_second, "%.4g")}});
 
-  // --- 3. BENCH_sweep.json -------------------------------------------------
+  // --- 3. Sweep backend: history vs event ----------------------------------
+  const ExpTable table(40.0, 1e-6);
+  auto backend_run = [&](SweepBackend backend, unsigned workers) {
+    CpuSolver solver(p.stacks, p.model.materials, workers,
+                     TemplateMode::kAuto, backend);
+    solver.set_exp_table(&table);
+    // Warm-up solve: the once-per-solver flatten (and template build)
+    // happens off the clock — the bar measures kernel organization, and
+    // telemetry reports the flatten separately as solver/event_build.
+    SolveOptions warm;
+    warm.fixed_iterations = 1;
+    solver.solve(warm);
+    // Min-of-3 defends the ratio against scheduler noise on shared hosts.
+    RunResult fastest;
+    for (int rep = 0; rep < 3; ++rep) {
+      const RunResult r = timed_solve(solver);
+      if (rep == 0 || r.seconds_per_iter < fastest.seconds_per_iter)
+        fastest = r;
+    }
+    return fastest;
+  };
+  const RunResult hist_serial = backend_run(SweepBackend::kHistory, 1);
+  const RunResult event_serial = backend_run(SweepBackend::kEvent, 1);
+  const RunResult hist_par = backend_run(SweepBackend::kHistory, best_workers);
+  const RunResult event_par = backend_run(SweepBackend::kEvent, best_workers);
+  const double event_over_history =
+      event_serial.segments_per_second / hist_serial.segments_per_second;
+  const double event_over_history_parallel =
+      event_par.segments_per_second / hist_par.segments_per_second;
+
+  print_table(
+      "Sweep backend (CpuSolver + ExpTable, serial and " +
+          std::to_string(best_workers) + " workers)",
+      {"backend", "workers", "s/iter", "segments/s", "vs history"},
+      {{"history", "1", fmt(hist_serial.seconds_per_iter, "%.4f"),
+        fmt(hist_serial.segments_per_second, "%.4g"), "1.00x"},
+       {"event", "1", fmt(event_serial.seconds_per_iter, "%.4f"),
+        fmt(event_serial.segments_per_second, "%.4g"),
+        fmt(event_over_history, "%.2fx")},
+       {"history", std::to_string(best_workers),
+        fmt(hist_par.seconds_per_iter, "%.4f"),
+        fmt(hist_par.segments_per_second, "%.4g"), "1.00x"},
+       {"event", std::to_string(best_workers),
+        fmt(event_par.seconds_per_iter, "%.4f"),
+        fmt(event_par.segments_per_second, "%.4g"),
+        fmt(event_over_history_parallel, "%.2fx")}});
+
+  // --- 4. BENCH_sweep.json -------------------------------------------------
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
@@ -159,11 +213,33 @@ int main(int argc, char** argv) {
                "\"segments_per_second\": %.9g, \"k_eff\": %.12f},\n"
                "    \"privatized\": {\"seconds_per_iteration\": %.9g, "
                "\"segments_per_second\": %.9g, \"k_eff\": %.12f}\n"
-               "  }\n"
-               "}\n",
+               "  },\n",
                atomic.seconds_per_iter, atomic.segments_per_second,
                atomic.k_eff, privatized.seconds_per_iter,
                privatized.segments_per_second, privatized.k_eff);
+  std::fprintf(f,
+               "  \"event\": {\n"
+               "    \"parallel_workers\": %u,\n"
+               "    \"history_serial\": {\"seconds_per_iteration\": %.9g, "
+               "\"segments_per_second\": %.9g, \"k_eff\": %.12f},\n"
+               "    \"event_serial\": {\"seconds_per_iteration\": %.9g, "
+               "\"segments_per_second\": %.9g, \"k_eff\": %.12f},\n"
+               "    \"history_parallel\": {\"seconds_per_iteration\": %.9g, "
+               "\"segments_per_second\": %.9g, \"k_eff\": %.12f},\n"
+               "    \"event_parallel\": {\"seconds_per_iteration\": %.9g, "
+               "\"segments_per_second\": %.9g, \"k_eff\": %.12f},\n"
+               "    \"event_over_history\": %.9g,\n"
+               "    \"event_over_history_parallel\": %.9g\n"
+               "  }\n"
+               "}\n",
+               best_workers, hist_serial.seconds_per_iter,
+               hist_serial.segments_per_second, hist_serial.k_eff,
+               event_serial.seconds_per_iter,
+               event_serial.segments_per_second, event_serial.k_eff,
+               hist_par.seconds_per_iter, hist_par.segments_per_second,
+               hist_par.k_eff, event_par.seconds_per_iter,
+               event_par.segments_per_second, event_par.k_eff,
+               event_over_history, event_over_history_parallel);
   std::fclose(f);
   std::printf("\nwrote %s\n", json_path.c_str());
   return 0;

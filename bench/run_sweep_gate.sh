@@ -13,6 +13,10 @@
 #     sweep must be >= 2x faster than serial. On smaller hosts (CI
 #     containers are often 1-2 cores) parallel can only oversubscribe, so
 #     the bar is relaxed to "within x1.25 of serial".
+#   * The event backend (sweep.backend=event, DESIGN.md §13) must deliver
+#     >= 1.3x the history backend's single-thread segments/s, must stay
+#     >= 0.95x history at the parallel worker count, and must report
+#     exactly the history k_eff (the backends are bitwise identical).
 #
 # Usage: bench/run_sweep_gate.sh [build-dir]   (from the repo root;
 #        build-dir defaults to ./build and must already contain the bench)
@@ -66,9 +70,30 @@ device = need(data, "device", "")
 atomic = need(device, "atomic", "device")
 priv = need(device, "privatized", "device")
 
+event = need(data, "event", "")
+ev_hist_s = need(event, "history_serial", "event")
+ev_event_s = need(event, "event_serial", "event")
+ev_hist_p = need(event, "history_parallel", "event")
+ev_event_p = need(event, "event_parallel", "event")
+
+# The event section runs with the ExpTable evaluator (the production
+# configuration), which legitimately shifts k_eff by up to the table
+# tolerance vs the exact-expm1 runs above — so its four runs join the
+# well-formedness checks but not the exact-physics agreement below; the
+# section enforces its own, stricter, bar: event == history bitwise.
+backend_runs = [("event.history_serial", ev_hist_s),
+                ("event.event_serial", ev_event_s),
+                ("event.history_parallel", ev_hist_p),
+                ("event.event_parallel", ev_event_p)]
+
 runs = [("serial", serial), ("best_parallel", best),
         ("device.atomic", atomic), ("device.privatized", priv)] + [
         (f"workers[{w['workers']}]", w) for w in workers]
+for name, r in backend_runs:
+    s = need(r, "seconds_per_iteration", name)
+    assert s > 0, f"{name}: non-positive seconds_per_iteration"
+    assert need(r, "segments_per_second", name) > 0, \
+        f"{name}: non-positive segments_per_second"
 for name, r in runs:
     s = need(r, "seconds_per_iteration", name)
     assert s > 0, f"{name}: non-positive seconds_per_iteration"
@@ -101,6 +126,27 @@ else:
     assert speedup >= 1.0 / 1.25, \
         (f"FAIL: parallel sweep {1.0/speedup:.2f}x slower than serial "
          f"(> x1.25 oversubscription slack on {hw} threads)")
+
+# Event backend: bitwise-identical physics, so the k_eff must match the
+# history run EXACTLY (not merely within tolerance), and the flat-array
+# kernel must clear its throughput bars.
+assert ev_event_s["k_eff"] == ev_hist_s["k_eff"], \
+    (f"FAIL: event serial k_eff {ev_event_s['k_eff']} != history "
+     f"{ev_hist_s['k_eff']} (backends must be bitwise identical)")
+assert ev_event_p["k_eff"] == ev_hist_p["k_eff"], \
+    (f"FAIL: event parallel k_eff {ev_event_p['k_eff']} != history "
+     f"{ev_hist_p['k_eff']} (backends must be bitwise identical)")
+
+eoh = need(event, "event_over_history", "event")
+eoh_p = need(event, "event_over_history_parallel", "event")
+print(f"   event vs history serial: {eoh:.2f}x (bar: >= 1.3)")
+assert eoh >= 1.3, \
+    f"FAIL: event backend {eoh:.2f}x history single-thread < 1.3x bar"
+print(f"   event vs history at {event['parallel_workers']} workers: "
+      f"{eoh_p:.2f}x (bar: >= 0.95)")
+assert eoh_p >= 0.95, \
+    (f"FAIL: event backend {eoh_p:.2f}x history at "
+     f"{event['parallel_workers']} workers < 0.95x bar")
 
 print(f"   JSON OK: {len(workers)} worker points, "
       f"{segments} segments/sweep")

@@ -88,6 +88,12 @@ int main(int argc, char** argv) {
                              : TemplateMode::kAuto;
   const double otf_cost = cfg.get_double("track.otf_cost", 0.0);
   if (otf_cost > 0.0) perf::set_otf_cost_ratio(otf_cost);
+  // Sweep kernel organization (history | event; DESIGN.md §13). The CLI
+  // default defers to ANTMOC_SWEEP_BACKEND, then history. Both backends
+  // are bitwise identical for a fixed worker count; event trades a
+  // once-per-solve flatten for vectorized flat-array sweeps.
+  params.gpu_options.backend = parse_sweep_backend(cfg.get_string(
+      "sweep.backend", sweep_backend_name(default_sweep_backend())));
   // Overlapped interface-flux exchange (DESIGN.md §8): nonblocking
   // boundary-first exchange hidden behind the interior sweep. Results are
   // identical either way; off restores the buffered-synchronous pattern.

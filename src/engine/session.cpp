@@ -113,9 +113,10 @@ Session::Session(models::C5G7Model model, const SessionOptions& options)
   // Warm-up probe: one host-side prepare computes the link table and
   // track-based FSR volumes every job reuses. Template mode off — the
   // session's shared ChordTemplateCache is already built (or disabled).
+  // History backend regardless of the knob: the probe only prepares.
   {
     CpuSolver probe(stacks_, model_.materials, opts_.sweep_workers,
-                    TemplateMode::kOff);
+                    TemplateMode::kOff, SweepBackend::kHistory);
     probe.set_shared_caches(&info_cache_, templates_.get());
     probe.prepare_solve({});
     volumes_ = probe.fsr().volumes();
@@ -138,6 +139,7 @@ Session::Session(models::C5G7Model model, const SessionOptions& options)
               sizeof(double) +
           static_cast<std::size_t>(n) * 2 * G * sizeof(double);
     }
+
   }
 
   slots_.reserve(opts_.num_devices);
@@ -187,6 +189,30 @@ void Session::warm_up_device(DeviceSlot& slot) {
       // the session's whole lifetime, which is what makes sharing it
       // across concurrent jobs sound.
       slot.manager->set_templates_active(false);
+    }
+  }
+  if (opts_.gpu.backend == SweepBackend::kEvent) {
+    // Flatten once, on the first device's manager, and share across every
+    // device and job: the arrays are immutable and scenario-independent
+    // (material swaps change cross sections, never segment geometry), and
+    // every slot's manager is constructed identically — same policy,
+    // budget, and track order — so the residency split, and with it the
+    // per-track (fsr, length) streams, are the same on every device.
+    if (events_ == nullptr) {
+      telemetry::TraceSpan span("solver/event_build", "engine");
+      events_ = std::make_unique<EventArrays>(
+          stacks_, info_cache_, templates_.get(),
+          model_.materials.front().num_groups(), nullptr,
+          slot.manager.get());
+      span.set_arg("events", events_->num_events());
+    }
+    try {
+      slot.charges.emplace_back(arena, "event_arrays", events_->bytes());
+      slot.shared.events = events_.get();
+    } catch (const DeviceOutOfMemory&) {
+      // Same silent fallback a one-shot solver applies: this device's
+      // jobs sweep history-based (bitwise identical results either way).
+      slot.shared.events = nullptr;
     }
   }
 

@@ -184,6 +184,10 @@ class Session {
   std::unique_ptr<ExpTable> exp_table_;       ///< null = exact evaluator
   std::unique_ptr<ChordTemplateCache> templates_;  ///< null under kOff
   TrackInfoCache info_cache_;
+  /// Flat event arrays shared by every job when gpu.backend = event
+  /// (built once; charged per device under "event_arrays" with the same
+  /// OOM-falls-back-to-history semantics as a one-shot solver).
+  std::unique_ptr<EventArrays> events_;
   std::vector<double> volumes_;  ///< track-based FSR volumes, shared
   std::vector<Link3D> links_;    ///< per-(track, direction) link table
   std::size_t job_floor_ = 0;

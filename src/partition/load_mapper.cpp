@@ -14,7 +14,7 @@ namespace antmoc::partition {
 DecompositionLoads measure_loads(const Geometry& geometry,
                                  const Decomposition& decomp, int num_azim,
                                  double azim_spacing, int num_polar,
-                                 double z_spacing) {
+                                 double z_spacing, SweepBackend backend) {
   const int d_count = decomp.num_domains();
   DecompositionLoads loads;
   loads.domain_load.assign(d_count, 0.0);
@@ -23,8 +23,12 @@ DecompositionLoads measure_loads(const Geometry& geometry,
   loads.num_azim_2 = num_azim / 2;
   // Decomposed sweeps run their tracks temporary (OTF/Managed at scale),
   // so each predicted segment is priced at the measured regeneration
-  // ratio instead of the paper's hardcoded 6.0.
-  loads.cost_per_segment = perf::otf_cost_ratio();
+  // ratio instead of the paper's hardcoded 6.0 — unless the ranks sweep
+  // event-based, where the flatten pre-pays regeneration and every
+  // segment costs the uniform flat-array scan.
+  loads.cost_per_segment = backend == SweepBackend::kEvent
+                               ? perf::event_cost_ratio()
+                               : perf::otf_cost_ratio();
 
   for (int d = 0; d < d_count; ++d) {
     const Bounds b = decomp.domain_bounds(geometry.bounds(), d);

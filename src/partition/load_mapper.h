@@ -15,6 +15,7 @@
 #include "partition/graph.h"
 #include "partition/partitioner.h"
 #include "solver/decomposition.h"
+#include "solver/event_sweep.h"
 
 namespace antmoc::partition {
 
@@ -27,19 +28,25 @@ struct DecompositionLoads {
   Graph graph{0};                              ///< L1 input graph
   long total_tracks_3d = 0;
   int num_azim_2 = 0;
-  /// Per-segment cost factor applied to every load above: the measured
-  /// perf::otf_cost_ratio() at measurement time (6.0 — the paper's
-  /// hardcoded model — until a TrackManager calibration or a
-  /// `track.otf_cost` override replaces it). Uniform across domains, so
-  /// balance decisions are unchanged; absolute loads track reality.
+  /// Per-segment cost factor applied to every load above, chosen by the
+  /// sweep backend the decomposed ranks will run: the measured
+  /// perf::otf_cost_ratio() for history (6.0 — the paper's hardcoded
+  /// model — until a TrackManager calibration or a `track.otf_cost`
+  /// override replaces it), perf::event_cost_ratio() for event (the flat
+  /// event-array scan pays no per-sweep regeneration). Uniform across
+  /// domains, so balance decisions are unchanged; absolute loads track
+  /// reality.
   double cost_per_segment = 1.0;
 };
 
-/// Lays tracks in every domain of `decomp` and measures loads.
+/// Lays tracks in every domain of `decomp` and measures loads. `backend`
+/// must match the `sweep.backend` the ranks will solve with, or absolute
+/// loads carry the wrong per-segment price (see cost_per_segment).
 DecompositionLoads measure_loads(const Geometry& geometry,
                                  const Decomposition& decomp, int num_azim,
                                  double azim_spacing, int num_polar,
-                                 double z_spacing);
+                                 double z_spacing,
+                                 SweepBackend backend = SweepBackend::kHistory);
 
 /// L1: domains -> nodes. `balance` = graph partitioning; otherwise the
 /// natural contiguous baseline.

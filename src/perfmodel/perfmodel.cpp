@@ -100,6 +100,10 @@ double predict_sweep_cycles(long n3dseg, double resident_fraction,
          temporary * c.otf;
 }
 
+double predict_event_sweep_cycles(long n3dseg) {
+  return static_cast<double>(n3dseg) * sweep_costs().event;
+}
+
 std::uint64_t communication_bytes(long n3d, int num_groups) {
   return static_cast<std::uint64_t>(n3d) * 2u *
          static_cast<std::uint64_t>(num_groups) * 4u;

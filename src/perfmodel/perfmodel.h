@@ -75,6 +75,15 @@ struct MemoryModel {
 double predict_sweep_cycles(long n3dseg, double resident_fraction,
                             double templated_fraction = 0.0);
 
+/// Eq. 6 under `sweep.backend=event`: the once-per-solve flatten pre-pays
+/// all regeneration, so every segment prices at the uniform
+/// perf::sweep_costs().event ratio and the residency/template fractions
+/// drop out of the sweep term. Consumers sizing arenas (Eq. 5) or ranking
+/// residency must use this instead of predict_sweep_cycles when the
+/// backend is event, or they overvalue resident storage by the
+/// regeneration tax the event backend no longer pays.
+double predict_event_sweep_cycles(long n3dseg);
+
 /// Eq. 7: communication = N_3D * 2 * num_groups * 4 bytes — the full
 /// boundary-flux state exchanged by the buffered-synchronous scheme.
 std::uint64_t communication_bytes(long n3d, int num_groups);

@@ -23,7 +23,8 @@ State& state() {
 }
 
 void check(const SweepCosts& c) {
-  require(c.resident > 0.0 && c.otf > 0.0 && c.templated > 0.0,
+  require(c.resident > 0.0 && c.otf > 0.0 && c.templated > 0.0 &&
+              c.event > 0.0,
           "sweep costs must be positive");
 }
 
@@ -69,6 +70,11 @@ double otf_cost_ratio() {
 double template_cost_ratio() {
   std::lock_guard<std::mutex> lock(mtx());
   return state().costs.templated / state().costs.resident;
+}
+
+double event_cost_ratio() {
+  std::lock_guard<std::mutex> lock(mtx());
+  return state().costs.event / state().costs.resident;
 }
 
 bool sweep_costs_pinned() {

@@ -27,6 +27,13 @@ struct SweepCosts {
   double resident = 1.0;   ///< stored Segment3D linear scan (EXP)
   double otf = 6.0;        ///< generic on-the-fly walk (paper Fig. 9)
   double templated = 1.5;  ///< chord-template expansion (ChordTemplateCache)
+  /// Flat event-array scan (`sweep.backend=event`): every segment reads
+  /// the prebuilt SoA arrays, so residency/template class stops mattering
+  /// — one uniform per-segment cost, at worst a resident scan. Without
+  /// this term the LoadMapper and Eq. 5/6 sizing would keep pricing
+  /// temporary tracks at the OTF regeneration tax the event backend no
+  /// longer pays, mis-ranking residency whenever the backend is event.
+  double event = 1.0;
 };
 
 /// Current process-wide costs (paper defaults until calibrated/pinned).
@@ -60,6 +67,10 @@ double otf_cost_ratio();
 
 /// templated / resident.
 double template_cost_ratio();
+
+/// event / resident — the uniform per-segment price of the flat
+/// event-array scan (1.0 until calibrated or overridden).
+double event_cost_ratio();
 
 /// True once a calibration, override, or explicit set was applied.
 bool sweep_costs_pinned();

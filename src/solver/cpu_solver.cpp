@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "util/parallel.h"
+#include "util/timer.h"
 
 namespace antmoc {
 
@@ -45,10 +46,60 @@ long CpuSolver::sweep_one(long id, double* acc, double* psi, bool stage) {
   return segments;
 }
 
+long CpuSolver::sweep_one_event(long id, double* acc, double* psi, bool stage,
+                                EventSweepScratch& ws) {
+  const int G = fsr_.num_groups();
+  const double* sigma_t = fsr_.sigma_t_flat().data();
+  const double* qos = fsr_.q_over_sigma_t().data();
+  const double w = info_cache().weight(id);
+  long segments = 0;
+  for (int dir = 0; dir < 2; ++dir) {
+    const float* in = psi_in_.data() + (id * 2 + dir) * G;
+    for (int g = 0; g < G; ++g) psi[g] = in[g];
+
+    const long first = events_->first(id, dir);
+    const long count = events_->count(id, dir);
+    sweep_events(events_->base() + first, events_->length() + first, count,
+                 sigma_t, qos, w, exp_table_, G, psi, acc, ws);
+    segments += count;
+
+    if (stage) {
+      double* out = stage_slot(id, dir);
+      for (int g = 0; g < G; ++g) out[g] = psi[g];
+    } else {
+      deposit(id, dir == 0, psi, /*atomic=*/false);
+    }
+  }
+  return segments;
+}
+
 void CpuSolver::ensure_templates() {
   if (template_mode_ == TemplateMode::kOff || tmpl_ != nullptr) return;
   tmpl_ = &chord_templates();
   template_dispatch_ = true;
+}
+
+void CpuSolver::ensure_events() {
+  if (backend_ != SweepBackend::kEvent || events_ != nullptr) return;
+  if (shared_events_ != nullptr) {
+    events_ = shared_events_;
+  } else {
+    // The once-per-solve flatten — traced separately so the one-time cost
+    // is visible against the per-iteration sweep wins.
+    telemetry::TraceSpan span("solver/event_build", "solver");
+    Timer timer;
+    timer.start();
+    owned_events_ = std::make_unique<EventArrays>(
+        stacks_, info_cache(), tmpl_, fsr_.num_groups(), &par());
+    timer.stop();
+    events_ = owned_events_.get();
+    span.set_arg("events", events_->num_events());
+    if (telemetry::on())
+      telemetry::metrics()
+          .gauge("solver.event_build_seconds")
+          .set(timer.seconds());
+  }
+  active_backend_ = SweepBackend::kEvent;
 }
 
 void CpuSolver::ensure_sweep_scratch(unsigned workers, long tally_len,
@@ -65,6 +116,13 @@ void CpuSolver::ensure_sweep_scratch(unsigned workers, long tally_len,
   worker_segments_.assign(workers, 0);
 }
 
+void CpuSolver::collect_event_counters() {
+  for (auto& ws : event_scratch_) {
+    last_event_batches_ += ws.batches;
+    ws.reset_counters();
+  }
+}
+
 void CpuSolver::sweep() {
   const int G = fsr_.num_groups();
   auto& accum = fsr_.accumulator();
@@ -72,8 +130,19 @@ void CpuSolver::sweep() {
   util::Parallel& P = par();
   const unsigned W = P.workers();
   ensure_templates();
+  ensure_events();
+  const bool event = events_ != nullptr;
 
-  if (tmpl_ != nullptr) {
+  if (event) {
+    // The flatten subsumed per-sweep template dispatch; expansion stats
+    // describe the build, not the sweeps, so none are published here.
+    template_dispatch_ = false;
+    last_template_hits_ = last_template_fallbacks_ = 0;
+    last_template_segments_ = last_resident_segments_ = 0;
+    last_event_batches_ = 0;
+    if (event_scratch_.size() < std::max(W, 1u))
+      event_scratch_.resize(std::max(W, 1u));
+  } else if (tmpl_ != nullptr) {
     // Dispatch statistics are known up front: every eligible track hits
     // the template path in both directions, the rest fall back.
     last_template_hits_ = 2 * tmpl_->num_eligible();
@@ -89,9 +158,16 @@ void CpuSolver::sweep() {
     if (psi_scratch_.size() < static_cast<std::size_t>(G))
       psi_scratch_.resize(G);
     long segments = 0;
-    for (long id = 0; id < n; ++id)
-      segments +=
-          sweep_one(id, accum.data(), psi_scratch_.data(), /*stage=*/false);
+    if (event) {
+      for (long id = 0; id < n; ++id)
+        segments += sweep_one_event(id, accum.data(), psi_scratch_.data(),
+                                    /*stage=*/false, event_scratch_[0]);
+      collect_event_counters();
+    } else {
+      for (long id = 0; id < n; ++id)
+        segments +=
+            sweep_one(id, accum.data(), psi_scratch_.data(), /*stage=*/false);
+    }
     last_sweep_segments_ = segments;
     return;
   }
@@ -100,7 +176,9 @@ void CpuSolver::sweep() {
   // one-to-many track->FSR hazard) merged by the deterministic tree
   // reduction, and staged boundary deposits flushed in serial id order —
   // bit-reproducible for a fixed worker count. Scratch persists across
-  // sweeps (zero-filled, not reallocated).
+  // sweeps (zero-filled, not reallocated). The event backend shares the
+  // partition, privates, and flush discipline — only the per-track kernel
+  // differs — so its parallel results match history bitwise as well.
   ensure_staging();
   const long len = fsr_.num_fsrs() * G;
   ensure_sweep_scratch(W, len, G);
@@ -108,14 +186,21 @@ void CpuSolver::sweep() {
     double* psi = psi_scratch_.data() + static_cast<std::size_t>(w) * G;
     double* acc = priv_[w].data();
     long count = 0;
-    for (long id = b; id < e; ++id)
-      count += sweep_one(id, acc, psi, /*stage=*/true);
+    if (event) {
+      EventSweepScratch& ws = event_scratch_[w];
+      for (long id = b; id < e; ++id)
+        count += sweep_one_event(id, acc, psi, /*stage=*/true, ws);
+    } else {
+      for (long id = b; id < e; ++id)
+        count += sweep_one(id, acc, psi, /*stage=*/true);
+    }
     worker_segments_[w] = count;
   });
   P.reduce_into(priv_, accum.data(), len);
   flush_staged_deposits();
   last_sweep_segments_ =
       std::accumulate(worker_segments_.begin(), worker_segments_.end(), 0L);
+  if (event) collect_event_counters();
 }
 
 void CpuSolver::sweep_subset(const std::vector<long>& ids) {
@@ -127,8 +212,14 @@ void CpuSolver::sweep_subset(const std::vector<long>& ids) {
   util::Parallel& P = par();
   const unsigned W = P.workers();
   ensure_templates();
+  ensure_events();
+  const bool event = events_ != nullptr;
 
-  if (tmpl_ != nullptr) {
+  if (event) {
+    template_dispatch_ = false;
+    if (event_scratch_.size() < std::max(W, 1u))
+      event_scratch_.resize(std::max(W, 1u));
+  } else if (tmpl_ != nullptr) {
     const auto& counts = tmpl_->segment_counts();
     for (long id : ids) {
       if (tmpl_->eligible(id)) {
@@ -144,9 +235,16 @@ void CpuSolver::sweep_subset(const std::vector<long>& ids) {
     if (psi_scratch_.size() < static_cast<std::size_t>(G))
       psi_scratch_.resize(G);
     long segments = 0;
-    for (long id : ids)
-      segments +=
-          sweep_one(id, accum.data(), psi_scratch_.data(), /*stage=*/true);
+    if (event) {
+      for (long id : ids)
+        segments += sweep_one_event(id, accum.data(), psi_scratch_.data(),
+                                    /*stage=*/true, event_scratch_[0]);
+      collect_event_counters();
+    } else {
+      for (long id : ids)
+        segments +=
+            sweep_one(id, accum.data(), psi_scratch_.data(), /*stage=*/true);
+    }
     last_sweep_segments_ += segments;
     return;
   }
@@ -160,13 +258,20 @@ void CpuSolver::sweep_subset(const std::vector<long>& ids) {
     double* psi = psi_scratch_.data() + static_cast<std::size_t>(w) * G;
     double* acc = priv_[w].data();
     long count = 0;
-    for (long i = b; i < e; ++i)
-      count += sweep_one(ids[i], acc, psi, /*stage=*/true);
+    if (event) {
+      EventSweepScratch& ws = event_scratch_[w];
+      for (long i = b; i < e; ++i)
+        count += sweep_one_event(ids[i], acc, psi, /*stage=*/true, ws);
+    } else {
+      for (long i = b; i < e; ++i)
+        count += sweep_one(ids[i], acc, psi, /*stage=*/true);
+    }
     worker_segments_[w] = count;
   });
   P.reduce_into(priv_, accum.data(), len);
   last_sweep_segments_ +=
       std::accumulate(worker_segments_.begin(), worker_segments_.end(), 0L);
+  if (event) collect_event_counters();
 }
 
 }  // namespace antmoc

@@ -18,7 +18,15 @@
 /// from precomputed per-stack (fsr, length) entries, the rest run the
 /// generic OTF walk — bitwise-identical output either way (the cache is
 /// validated at construction; see track/chord_template.h).
+///
+/// `sweep.backend = event` (or ANTMOC_SWEEP_BACKEND=event) swaps the
+/// per-track expansion for the flat event-array kernel of
+/// solver/event_sweep.h: segments are flattened once per solve and every
+/// sweep scans contiguous SoA arrays with an explicitly vectorized
+/// 7-group attenuation loop — bitwise identical to the history backend
+/// for a fixed worker count.
 
+#include "solver/event_sweep.h"
 #include "solver/exponential.h"
 #include "solver/transport_solver.h"
 #include "track/chord_template.h"
@@ -32,11 +40,28 @@ class CpuSolver : public TransportSolver {
   /// \param templates  chord-template dispatch; kAuto and kForce both
   ///                   build the cache (no arena to overflow on the
   ///                   host), kOff always runs the generic walk.
+  /// \param backend    sweep kernel organization (`sweep.backend`);
+  ///                   defaults to the ANTMOC_SWEEP_BACKEND env var, else
+  ///                   history. Both backends are bitwise identical for a
+  ///                   fixed worker count.
   CpuSolver(const TrackStacks& stacks,
             const std::vector<Material>& materials, unsigned workers = 0,
-            TemplateMode templates = TemplateMode::kAuto)
-      : TransportSolver(stacks, materials), template_mode_(templates) {
+            TemplateMode templates = TemplateMode::kAuto,
+            SweepBackend backend = default_sweep_backend())
+      : TransportSolver(stacks, materials),
+        template_mode_(templates),
+        backend_(backend) {
     set_sweep_workers(workers);
+  }
+
+  SweepBackend sweep_backend() const { return backend_; }
+
+  /// Points the event backend at session-shared event arrays instead of
+  /// building a private copy (not owned; must outlive the solver; must
+  /// describe these stacks). Immutable after construction, so concurrent
+  /// solvers may read them freely. Call before the first solve.
+  void set_shared_events(const EventArrays* events) {
+    shared_events_ = events;
   }
 
  protected:
@@ -50,8 +75,18 @@ class CpuSolver : public TransportSolver {
   /// number of 3D segments traversed.
   long sweep_one(long id, double* acc, double* psi, bool stage);
 
+  /// Event-backend variant of sweep_one: scans the flat event ranges of
+  /// both directions with the two-stage batch kernel. Bitwise identical
+  /// to sweep_one for the same track and accumulator.
+  long sweep_one_event(long id, double* acc, double* psi, bool stage,
+                       EventSweepScratch& ws);
+
   /// Builds the template cache on first use (unless kOff).
   void ensure_templates();
+
+  /// Builds (or adopts) the flat event arrays on first use of the event
+  /// backend — the once-per-solve flatten, traced as "solver/event_build".
+  void ensure_events();
 
   /// Persistent parallel-sweep scratch: the W x (num_fsrs * G) private
   /// tallies, per-worker psi buffers, and per-worker segment counters
@@ -59,8 +94,18 @@ class CpuSolver : public TransportSolver {
   /// tree reduction consumes the privates, so a fill is required anyway).
   void ensure_sweep_scratch(unsigned workers, long tally_len, int groups);
 
+  /// Sums the per-worker event/batch counters into the telemetry members
+  /// and resets them.
+  void collect_event_counters();
+
   TemplateMode template_mode_;
   const ChordTemplateCache* tmpl_ = nullptr;  ///< owned by the base class
+
+  SweepBackend backend_;
+  const EventArrays* events_ = nullptr;  ///< active event arrays
+  std::unique_ptr<EventArrays> owned_events_;
+  const EventArrays* shared_events_ = nullptr;  ///< session-provided
+  std::vector<EventSweepScratch> event_scratch_;  ///< per worker
 
   std::vector<std::vector<double>> priv_;  ///< per-worker FSR tallies
   std::vector<double> psi_scratch_;        ///< per-worker G-element psi

@@ -1,0 +1,183 @@
+#include "solver/event_sweep.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "gpusim/atomic.h"
+#include "solver/track_policy.h"
+#include "util/error.h"
+#include "util/parallel.h"
+
+namespace antmoc {
+
+SweepBackend parse_sweep_backend(const std::string& name) {
+  if (name == "history") return SweepBackend::kHistory;
+  if (name == "event") return SweepBackend::kEvent;
+  throw Error("unknown sweep.backend '" + name + "' (history|event)");
+}
+
+const char* sweep_backend_name(SweepBackend backend) {
+  return backend == SweepBackend::kEvent ? "event" : "history";
+}
+
+SweepBackend default_sweep_backend() {
+  if (const char* env = std::getenv("ANTMOC_SWEEP_BACKEND")) {
+    if (env[0] != '\0') return parse_sweep_backend(env);
+  }
+  return SweepBackend::kHistory;
+}
+
+EventArrays::EventArrays(const TrackStacks& stacks, const TrackInfoCache& info,
+                         const ChordTemplateCache* templates, int groups,
+                         util::Parallel* par, const TrackManager* manager) {
+  const long n = info.size();
+  require(groups > 0, "event arrays need at least one energy group");
+  require(stacks.geometry().num_fsrs() * static_cast<long>(groups) <=
+              std::numeric_limits<std::int32_t>::max(),
+          "event-array base index exceeds 32 bits");
+
+  // Pass 1: per-(track, direction) event ranges. Both directions of a
+  // track traverse the same segments, so one count serves both slots.
+  const std::vector<long>* counts =
+      templates != nullptr ? &templates->segment_counts() : nullptr;
+  first_.resize(2 * n + 1);
+  first_[0] = 0;
+  for (long id = 0; id < n; ++id) {
+    const long c =
+        counts != nullptr ? (*counts)[id] : stacks.count_segments(info[id]);
+    first_[2 * id + 1] = first_[2 * id] + c;
+    first_[2 * id + 2] = first_[2 * id + 1] + c;
+    batches_per_sweep_ += 2 * ((c + kEventBatch - 1) / kEventBatch);
+  }
+  base_.resize(first_.back());
+  lengths_.resize(first_.back());
+
+  // Pass 2: materialize both sweep directions through the same dispatch
+  // the history backend uses per sweep. Resident tracks replay the
+  // manager's stored segments — reversed for the backward direction,
+  // exactly like the history device sweep (the backward OTF walk scans
+  // from the other end and differs in final bits, so it must NOT be
+  // substituted here). Temporary tracks use template expansion when
+  // eligible, else the generic OTF walk (bitwise-identical streams either
+  // way; the template cache is validated against the walk at
+  // construction).
+  auto fill = [&](long id) {
+    long seg_count = 0;
+    const Segment3D* segs =
+        manager != nullptr ? manager->segments(id, seg_count) : nullptr;
+    for (int dir = 0; dir < 2; ++dir) {
+      long pos = first_[2 * id + dir];
+      auto emit = [&](long fsr, double len) {
+        base_[pos] = static_cast<std::int32_t>(fsr * groups);
+        lengths_[pos] = len;
+        ++pos;
+      };
+      const bool forward = dir == 0;
+      if (segs != nullptr) {
+        if (forward)
+          for (long s = 0; s < seg_count; ++s)
+            emit(segs[s].fsr, segs[s].length);
+        else
+          for (long s = seg_count - 1; s >= 0; --s)
+            emit(segs[s].fsr, segs[s].length);
+      } else if (templates == nullptr ||
+                 !templates->for_each_segment(id, forward, emit)) {
+        stacks.for_each_segment(info[id], forward, emit);
+      }
+    }
+  };
+  if (par != nullptr) {
+    // Each track owns a disjoint event range, so the parallel fill is
+    // race-free and its output independent of the worker count.
+    par->for_chunks(n, [&](unsigned, long b, long e) {
+      for (long id = b; id < e; ++id) fill(id);
+    });
+  } else {
+    for (long id = 0; id < n; ++id) fill(id);
+  }
+}
+
+namespace {
+
+/// Stage 1 of one batch: tau and attenuation factors for all
+/// (event, group) lanes — branch-free, vectorizable, psi-independent.
+inline void batch_attenuation(const std::int32_t* base, const double* length,
+                              int m, const double* sigma_t,
+                              const ExpTable* table, int G, double* tau,
+                              double* ex) {
+  for (int e = 0; e < m; ++e) {
+    const double len = length[e];
+    const double* st = sigma_t + base[e];
+    double* t = tau + e * G;
+#pragma omp simd
+    for (int g = 0; g < G; ++g) t[g] = st[g] * len;
+  }
+  const long lanes = static_cast<long>(m) * G;
+  if (table != nullptr) {
+    table->evaluate(tau, ex, lanes);
+  } else {
+    // Exact evaluator: one correctly-rounded libm call per lane, same
+    // call the history backend makes per (segment, group).
+    for (long k = 0; k < lanes; ++k) ex[k] = exp_f1(tau[k]);
+  }
+}
+
+}  // namespace
+
+void sweep_events(const std::int32_t* base, const double* length, long n,
+                  const double* sigma_t, const double* qos, double w,
+                  const ExpTable* table, int G, double* psi, double* acc,
+                  EventSweepScratch& ws) {
+  ws.ensure(G);
+  double* tau = ws.tau.data();
+  double* ex = ws.ex.data();
+  for (long b0 = 0; b0 < n; b0 += kEventBatch) {
+    const int m = static_cast<int>(std::min<long>(kEventBatch, n - b0));
+    batch_attenuation(base + b0, length + b0, m, sigma_t, table, G, tau, ex);
+
+    // Stage 2: the serial angular-flux recurrence. Events chain through
+    // psi in sweep order; groups are independent lanes.
+    for (int e = 0; e < m; ++e) {
+      const std::int32_t idx = base[b0 + e];
+      const double* q = qos + idx;
+      double* a = acc + idx;
+      const double* x = ex + e * G;
+#pragma omp simd
+      for (int g = 0; g < G; ++g) {
+        const double delta = (psi[g] - q[g]) * x[g];
+        psi[g] -= delta;
+        a[g] += w * delta;
+      }
+    }
+  }
+  ws.events += n;
+  ws.batches += (n + kEventBatch - 1) / kEventBatch;
+}
+
+void sweep_events_atomic(const std::int32_t* base, const double* length,
+                         long n, const double* sigma_t, const double* qos,
+                         double w, const ExpTable* table, int G, double* psi,
+                         double* accum, EventSweepScratch& ws) {
+  ws.ensure(G);
+  double* tau = ws.tau.data();
+  double* ex = ws.ex.data();
+  for (long b0 = 0; b0 < n; b0 += kEventBatch) {
+    const int m = static_cast<int>(std::min<long>(kEventBatch, n - b0));
+    batch_attenuation(base + b0, length + b0, m, sigma_t, table, G, tau, ex);
+    for (int e = 0; e < m; ++e) {
+      const std::int32_t idx = base[b0 + e];
+      const double* q = qos + idx;
+      const double* x = ex + e * G;
+      for (int g = 0; g < G; ++g) {
+        const double delta = (psi[g] - q[g]) * x[g];
+        psi[g] -= delta;
+        gpusim::device_atomic_add(accum[idx + g], w * delta);
+      }
+    }
+  }
+  ws.events += n;
+  ws.batches += (n + kEventBatch - 1) / kEventBatch;
+}
+
+}  // namespace antmoc

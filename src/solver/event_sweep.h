@@ -1,0 +1,186 @@
+#pragma once
+
+/// \file event_sweep.h
+/// Event-based transport-sweep backend (`sweep.backend = event`).
+///
+/// The history backend walks each 3D track segment by segment through a
+/// per-segment lambda (OTF regeneration or chord-template expansion),
+/// which defeats vectorization and interleaves index arithmetic with the
+/// attenuation math. The event backend — the MC/DC-style event-processing
+/// idea applied to MOC — flattens every sweep into contiguous per-sweep
+/// event arrays built ONCE per solve:
+///
+///   per event (= one 3D segment in sweep order):
+///     base[e]   : fsr * num_groups, the precomputed index into the
+///                 group-major sigma_t / q_over_sigma_t tables (and the
+///                 ExpTable argument precursor: tau_g = sigma_t[base+g]*len)
+///     length[e] : true 3D chord length (double — bitwise identity)
+///
+/// with a per-(track, direction) [first, count) range table. Both sweep
+/// directions are materialized in their own sweep order, so the kernel is
+/// always an ascending scan over flat SoA arrays.
+///
+/// The kernel processes events in fixed batches of kEventBatch. Each batch
+/// runs two stages:
+///   1. tau + attenuation factors for all (event, group) lanes of the
+///      batch — branch-free, independent lanes, `#pragma omp simd`
+///      vectorized over the interleaved (value, slope) ExpTable fma pairs;
+///   2. the serial angular-flux recurrence per event, with the 7-group
+///      inner loop SIMD-vectorized (groups are independent lanes).
+///
+/// Because the attenuation factor does not depend on psi, splitting it out
+/// changes no per-(segment, group) floating-point operation or operand:
+/// the backend is bitwise identical to the history sweep for a fixed
+/// worker count (conformance-tested in tests/event_sweep_test.cpp). The
+/// per-worker private-tally / staged-deposit discipline of the parallel
+/// sweep is reused unchanged.
+///
+/// Device solvers charge `EventArrays::bytes()` to their arena under
+/// "event_arrays"; on DeviceOutOfMemory the solver silently falls back to
+/// the history backend (mirroring the `track.templates` kAuto fallback).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "solver/exponential.h"
+#include "track/chord_template.h"
+#include "track/track3d.h"
+
+namespace antmoc {
+
+class TrackManager;
+
+namespace util {
+class Parallel;
+}
+
+/// `sweep.backend` knob (CpuSolver and GpuSolver).
+enum class SweepBackend { kHistory, kEvent };
+
+/// Parses "history" / "event"; throws antmoc::Error on anything else.
+SweepBackend parse_sweep_backend(const std::string& name);
+
+/// "history" / "event".
+const char* sweep_backend_name(SweepBackend backend);
+
+/// Process-wide default: ANTMOC_SWEEP_BACKEND env var when set (and
+/// valid), else kHistory.
+SweepBackend default_sweep_backend();
+
+/// Fixed event-batch size of the two-stage kernel. 64 events x 7 groups
+/// keeps both stage buffers (tau, ex) inside L1 while amortizing the
+/// batch loop overhead.
+inline constexpr int kEventBatch = 64;
+
+/// Flat per-sweep event arrays — one entry per (3D segment, direction),
+/// both directions materialized in sweep order.
+///
+/// Built from the same dispatch the history sweep uses (resident-segment
+/// replay when a TrackManager is supplied and holds the track, else
+/// chord-template expansion when a cache is supplied and the track is
+/// eligible, else the generic OTF walk), so the stored (fsr, length)
+/// stream is bitwise identical to what the history backend would apply
+/// per sweep. Residency matters for the backward direction: the history
+/// device sweep replays a resident track backward as the REVERSED stored
+/// forward walk, which differs in final bits from the backward OTF walk
+/// (the scan runs from the other end), so a device flatten must mirror
+/// the manager's per-track choice to stay bitwise.
+///
+/// Immutability contract: fully built by the constructor, const-only
+/// afterwards — shareable across sweep workers, devices, and concurrent
+/// engine jobs without synchronization (like TrackInfoCache).
+class EventArrays {
+ public:
+  /// \param par      optional fork-join pool for the fill pass (each track
+  ///                 writes a disjoint range, so the build is race-free and
+  ///                 its output independent of the worker count).
+  /// \param manager  optional device track manager: resident tracks replay
+  ///                 their stored segments (reversed when backward),
+  ///                 matching the history device sweep bit for bit.
+  EventArrays(const TrackStacks& stacks, const TrackInfoCache& info,
+              const ChordTemplateCache* templates, int groups,
+              util::Parallel* par = nullptr,
+              const TrackManager* manager = nullptr);
+
+  long num_tracks() const {
+    return static_cast<long>(first_.size() - 1) / 2;
+  }
+  /// Total events across all tracks and both directions.
+  long num_events() const { return static_cast<long>(lengths_.size()); }
+
+  /// First event of (track, direction) — dir 0 = forward, 1 = backward.
+  long first(long id, int dir) const { return first_[id * 2 + dir]; }
+  long count(long id, int dir) const {
+    return first_[id * 2 + dir + 1] - first_[id * 2 + dir];
+  }
+
+  const std::int32_t* base() const { return base_.data(); }
+  const double* length() const { return lengths_.data(); }
+
+  /// Stage-1 batches one full sweep issues (both directions) — the
+  /// denominator of the solver.event_batch_fill occupancy gauge.
+  long batches_per_sweep() const { return batches_per_sweep_; }
+
+  /// Device-arena charge ("event_arrays") for a laydown over
+  /// `total_segments` 3D segments of `num_tracks` tracks (both directions
+  /// are materialized). bytes() == bytes_for(...) for the built arrays.
+  static std::size_t bytes_for(long total_segments, long num_tracks) {
+    return static_cast<std::size_t>(total_segments) * 2 *
+               (sizeof(std::int32_t) + sizeof(double)) +
+           static_cast<std::size_t>(2 * num_tracks + 1) * sizeof(long);
+  }
+  std::size_t bytes() const {
+    return base_.size() * sizeof(std::int32_t) +
+           lengths_.size() * sizeof(double) + first_.size() * sizeof(long);
+  }
+
+ private:
+  std::vector<long> first_;  ///< per (track, dir) cumulative event start
+  std::vector<std::int32_t> base_;  ///< fsr * groups per event
+  std::vector<double> lengths_;     ///< chord length per event
+  long batches_per_sweep_ = 0;
+};
+
+/// Per-worker scratch of the two-stage kernel plus batch-occupancy
+/// counters for the solver.event_batch_fill gauge.
+struct EventSweepScratch {
+  std::vector<double> tau;  ///< [kEventBatch * groups] stage-1 arguments
+  std::vector<double> ex;   ///< [kEventBatch * groups] attenuation factors
+  long events = 0;          ///< events processed since the last reset
+  long batches = 0;         ///< stage-1 batches issued since the last reset
+
+  void ensure(int groups) {
+    const std::size_t len =
+        static_cast<std::size_t>(kEventBatch) * static_cast<std::size_t>(groups);
+    if (tau.size() < len) {
+      tau.resize(len);
+      ex.resize(len);
+    }
+  }
+  void reset_counters() {
+    events = 0;
+    batches = 0;
+  }
+};
+
+/// Two-stage event kernel over events [0, n) of one (track, direction):
+/// updates the G-element angular flux `psi` in place and accumulates
+/// w*delta into the private tally `acc` (indexed by base[e] + g).
+/// `table == nullptr` evaluates the exact expm1 attenuation instead.
+/// Bitwise identical to the history per-segment loop over the same
+/// (fsr, length) stream.
+void sweep_events(const std::int32_t* base, const double* length, long n,
+                  const double* sigma_t, const double* qos, double w,
+                  const ExpTable* table, int groups, double* psi,
+                  double* acc, EventSweepScratch& scratch);
+
+/// Atomic-tally variant for the device solver's non-privatized fallback:
+/// tallies w*delta into the shared accumulator with device atomics.
+void sweep_events_atomic(const std::int32_t* base, const double* length,
+                         long n, const double* sigma_t, const double* qos,
+                         double w, const ExpTable* table, int groups,
+                         double* psi, double* accum,
+                         EventSweepScratch& scratch);
+
+}  // namespace antmoc

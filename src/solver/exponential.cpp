@@ -1,0 +1,30 @@
+/// \file exponential.cpp
+/// Out-of-line home for ExpTable's batch kernel. This TU is compiled with
+/// the same gated SIMD flags as event_sweep.cpp (-fopenmp-simd and, when
+/// the build host executes AVX2+FMA, -mavx2 -mfma -ffp-contract=off) so
+/// the `#pragma omp simd` below is always live here — keeping it in the
+/// header would make it an ignored unknown pragma in every other TU.
+
+#include "solver/exponential.h"
+
+namespace antmoc {
+
+void ExpTable::evaluate(const double* tau, double* out, long n) const {
+  const double* p = pairs_.data();
+  const double dx = dx_;
+  const double max_tau = max_tau_;
+#pragma omp simd
+  for (long k = 0; k < n; ++k) {
+    const double t = tau[k];
+    const bool hi = t >= max_tau;
+    const bool lo = t <= 0.0;
+    const double x = t / dx;
+    const double xc = (hi || lo) ? 0.0 : x;
+    const std::size_t i = static_cast<std::size_t>(xc);
+    const double f = xc - static_cast<double>(i);
+    const double v = std::fma(f, p[2 * i + 1], p[2 * i]);
+    out[k] = hi ? 1.0 : (lo ? 0.0 : v);
+  }
+}
+
+}  // namespace antmoc

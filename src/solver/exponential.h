@@ -61,6 +61,16 @@ class ExpTable {
     return std::fma(f, p[1], p[0]);
   }
 
+  /// Batch evaluation for the event sweep's stage 1: out[k] must equal
+  /// operator()(tau[k]) bitwise for every lane. The body (exponential.cpp,
+  /// compiled with the event backend's SIMD flags) is the branchless
+  /// rewrite of operator() — out-of-range lanes clamp the interpolation
+  /// argument to 0 (any in-table index works; the lane's fma result is
+  /// discarded by the select) and the in-range lanes perform the exact
+  /// same divide / truncate / fma sequence, so vectorizing the loop
+  /// (`#pragma omp simd`, correctly rounded lane ops) cannot change a bit.
+  void evaluate(const double* tau, double* out, long n) const;
+
   double table_spacing() const { return dx_; }
   /// Number of knots (not stored doubles; see pair accessors below).
   std::size_t size() const { return pairs_.size() / 2; }

@@ -98,6 +98,12 @@ GpuSolver::GpuSolver(const TrackStacks& stacks,
 }
 
 void GpuSolver::compute_template_stats() {
+  if (events_ != nullptr) {
+    // Event backend: the flatten subsumed template dispatch; per-sweep
+    // expansion statistics would describe the build, not the sweeps.
+    template_dispatch_ = false;
+    return;
+  }
   template_dispatch_ = manager_->templates() != nullptr;
   if (!template_dispatch_) return;
   const auto& counts = manager_->segment_counts();
@@ -115,10 +121,12 @@ void GpuSolver::compute_template_stats() {
 
 void GpuSolver::setup_hot_path() {
   if (options_.shared != nullptr) {
-    // Session-owned hot path: the info cache and chord templates were
-    // charged (and, on OOM, deactivated) once at warm-up; jobs borrow
-    // them and only charge their private privatized buffers below.
+    // Session-owned hot path: the info cache, chord templates, and event
+    // arrays were charged (and, on OOM, dropped) once at warm-up; jobs
+    // borrow them and only charge their private privatized buffers below.
     cache_ = options_.shared->info_cache;
+    if (options_.backend == SweepBackend::kEvent)
+      events_ = options_.shared->events;
   } else {
     // Optional fast-path buffers are charged last so they never change
     // whether a track policy/budget fits the arena: if the remaining
@@ -144,6 +152,31 @@ void GpuSolver::setup_hot_path() {
         owned_manager_->set_templates_active(false);
       }
     }
+
+    if (options_.backend == SweepBackend::kEvent) {
+      // Event-array laydown, charged before it is built so an arena that
+      // cannot afford it never pays the flatten. OOM falls back to the
+      // history backend silently — same kAuto semantics as the chord
+      // templates above (there is no kForce for the backend knob; the
+      // degradation ladder keys off memory policy, not kernel shape).
+      try {
+        charge("event_arrays",
+               EventArrays::bytes_for(segments_per_sweep_ / 2,
+                                      stacks_.num_tracks()));
+        telemetry::TraceSpan span("solver/event_build", "solver");
+        owned_events_ = std::make_unique<EventArrays>(
+            stacks_, info_cache(), manager_->templates(), fsr_.num_groups(),
+            nullptr, manager_);
+        events_ = owned_events_.get();
+        span.set_arg("events", events_->num_events());
+      } catch (const DeviceOutOfMemory&) {
+        events_ = nullptr;
+      }
+    }
+  }
+  if (events_ != nullptr) {
+    active_backend_ = SweepBackend::kEvent;
+    event_batches_per_sweep_ = events_->batches_per_sweep();
   }
 
   if (options_.privatize == PrivatizeMode::kOff) return;
@@ -189,6 +222,37 @@ double GpuSolver::sweep_track(long id, double* acc, bool stage) {
     w = stacks_.direction_weight(id) * stacks_.track_area(id);
   }
   double psi[kMaxGroups];
+
+  if (events_ != nullptr) {
+    // Event backend: both directions scan the flat per-(track, direction)
+    // event ranges with the two-stage batch kernel — no residency or
+    // template dispatch (the flatten already resolved it). Bitwise
+    // identical to the history paths below.
+    static thread_local EventSweepScratch ws;
+    for (int dir = 0; dir < 2; ++dir) {
+      const float* in = psi_in_.data() + (id * 2 + dir) * G;
+      for (int g = 0; g < G; ++g) psi[g] = in[g];
+      const long first = events_->first(id, dir);
+      const long count = events_->count(id, dir);
+      if (acc != nullptr)
+        sweep_events(events_->base() + first, events_->length() + first,
+                     count, sigma_t, qos, w, exp_table_, G, psi, acc, ws);
+      else
+        sweep_events_atomic(events_->base() + first,
+                            events_->length() + first, count, sigma_t, qos,
+                            w, exp_table_, G, psi, accum, ws);
+      if (stage) {
+        double* out = stage_slot(id, dir);
+        for (int g = 0; g < G; ++g) out[g] = psi[g];
+      } else {
+        deposit(id, dir == 0, psi, /*atomic=*/true);
+      }
+    }
+    // Flat-array reads price at the calibrated event cost regardless of
+    // the track's residency class.
+    return static_cast<double>(2 * events_->count(id, 0)) *
+           manager_->costs().event;
+  }
 
   long seg_count = 0;
   const Segment3D* segs = manager_->segments(id, seg_count);
@@ -291,6 +355,7 @@ void GpuSolver::sweep() {
   last_template_fallbacks_ = template_fallbacks_per_sweep_;
   last_template_segments_ = template_segments_per_sweep_;
   last_resident_segments_ = resident_segments_per_sweep_;
+  last_event_batches_ = event_batches_per_sweep_;
 }
 
 void GpuSolver::sweep_subset(const std::vector<long>& ids) {
@@ -324,6 +389,8 @@ void GpuSolver::sweep_subset(const std::vector<long>& ids) {
   const auto& counts = manager_->segment_counts();
   for (long id : ids) {
     last_sweep_segments_ += 2 * counts[id];
+    if (events_ != nullptr)
+      last_event_batches_ += 2 * ((counts[id] + kEventBatch - 1) / kEventBatch);
     if (!template_dispatch_) continue;
     if (manager_->resident(id)) {
       last_resident_segments_ += 2 * counts[id];

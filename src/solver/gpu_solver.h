@@ -31,6 +31,9 @@ struct SharedDeviceState {
   const TrackInfoCache* info_cache = nullptr;
   /// L3 sweep order (sorted + round-robin dealt when l3_sort).
   const std::vector<long>* order = nullptr;
+  /// Flat event arrays already charged to the arena ("event_arrays") by
+  /// the session; nullptr = this device runs the history backend.
+  const EventArrays* events = nullptr;
 };
 
 /// FSR-tally strategy of the device sweep (the one-to-many track->FSR
@@ -63,6 +66,12 @@ struct GpuSolverOptions {
   /// OOM (feeds the degradation ladder). Ignored under kExplicit (no
   /// temporary tracks to serve).
   TemplateMode templates = TemplateMode::kAuto;
+  /// `sweep.backend` knob: kEvent lays the flat event arrays down on the
+  /// device (charged to the arena under "event_arrays") and sweeps them
+  /// with the two-stage batch kernel; on arena OOM the solver silently
+  /// falls back to the history backend, mirroring the `track.templates`
+  /// kAuto fallback. Bitwise identical to history either way.
+  SweepBackend backend = default_sweep_backend();
   /// Engine job mode: when set, the solver borrows the session's
   /// scenario-independent state instead of building its own — no track
   /// manager, L3 order, info-cache or template construction, none of
@@ -102,6 +111,11 @@ class GpuSolver : public TransportSolver {
   /// under kOff/kExplicit.
   bool templates_active() const { return manager_->templates_active(); }
 
+  /// True when the event backend's flat arrays fit the arena and sweeps
+  /// run event-based; false under sweep.backend=history or after the
+  /// "event_arrays" OOM fallback.
+  bool event_active() const { return events_ != nullptr; }
+
  protected:
   void sweep() override;
   void sweep_subset(const std::vector<long>& ids) override;
@@ -140,6 +154,13 @@ class GpuSolver : public TransportSolver {
   const TrackInfoCache* cache_ = nullptr;
   bool privatized_ = false;
   long segments_per_sweep_ = 0;  ///< both directions
+
+  /// Event backend: owned in the one-shot path (arena-charged under
+  /// "event_arrays"), borrowed from the session in shared mode; nullptr
+  /// after the OOM fallback (or under sweep.backend=history).
+  std::unique_ptr<EventArrays> owned_events_;
+  const EventArrays* events_ = nullptr;
+  long event_batches_per_sweep_ = 0;  ///< stage-1 batches, both directions
 
   /// Per-full-sweep template-dispatch statistics (both directions),
   /// precomputed once residency and template activation are final.

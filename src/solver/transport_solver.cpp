@@ -142,12 +142,32 @@ void TransportSolver::record_sweep_throughput(telemetry::TraceSpan& span,
   if (last_sweep_segments_ <= 0) return;
   span.set_arg("segments", last_sweep_segments_);
   if (!telemetry::on()) return;
+  const bool event = active_backend_ == SweepBackend::kEvent;
   auto& m = telemetry::metrics();
   m.counter("solver.sweep_segments")
       .add(static_cast<std::uint64_t>(last_sweep_segments_));
-  if (seconds > 0.0)
-    m.gauge("solver.segments_per_second")
-        .set(static_cast<double>(last_sweep_segments_) / seconds);
+  if (seconds > 0.0) {
+    const double rate = static_cast<double>(last_sweep_segments_) / seconds;
+    m.gauge("solver.segments_per_second").set(rate);
+    // Backend-tagged rate: traces comparing history vs event runs read
+    // the split without correlating gauge history against config.
+    m.gauge(telemetry::label("solver.segments_per_second", "backend",
+                             event ? 1 : 0))
+        .set(rate);
+  }
+  // Backend tag on the sweep span stream: spans carry one (name, value)
+  // arg slot — reserved for the segment count — so the backend rides as
+  // a paired instant event plus a steady gauge.
+  m.gauge("solver.sweep_backend").set(event ? 1.0 : 0.0);
+  telemetry::Telemetry::instance().instant(
+      "sweep.backend", "solver", /*rank=*/-1, "event", event ? 1 : 0);
+  if (event && last_event_batches_ > 0) {
+    // Mean occupancy of the stage-1 event batches (1.0 = every batch
+    // full); short tracks drag it down via their partial tail batches.
+    m.gauge("solver.event_batch_fill")
+        .set(static_cast<double>(last_sweep_segments_) /
+             (static_cast<double>(last_event_batches_) * kEventBatch));
+  }
   if (template_dispatch_) {
     m.counter("track.template_hits")
         .add(static_cast<std::uint64_t>(last_template_hits_));

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "material/material.h"
+#include "solver/event_sweep.h"
 #include "solver/exponential.h"
 #include "solver/fsr_data.h"
 #include "telemetry/telemetry.h"
@@ -178,6 +179,11 @@ class TransportSolver {
   /// 3D segments traversed by the most recent sweep (both directions).
   long last_sweep_segments() const { return last_sweep_segments_; }
 
+  /// Backend the sweep engine actually runs ("history" unless an event
+  /// backend activated — a requested event backend may have fallen back,
+  /// e.g. after the device-arena OOM on "event_arrays").
+  SweepBackend active_sweep_backend() const { return active_backend_; }
+
  protected:
   /// One full transport sweep: reads psi_in_, writes fsr().accumulator()
   /// and psi_next_. Must call deposit() (or equivalent) for every
@@ -281,6 +287,13 @@ class TransportSolver {
   long last_template_fallbacks_ = 0;
   long last_template_segments_ = 0;  ///< segments expanded from templates
   long last_resident_segments_ = 0;  ///< segments read from stored arrays
+
+  /// Active sweep backend + event-batch accounting, published by
+  /// record_sweep_throughput (the solver.sweep_backend tag and the
+  /// solver.event_batch_fill occupancy gauge). Engines running the event
+  /// backend set both; history engines leave the defaults.
+  SweepBackend active_backend_ = SweepBackend::kHistory;
+  long last_event_batches_ = 0;  ///< stage-1 batches of the last sweep
 
   std::vector<double> psi_out_;  ///< staged outgoing flux per (id, dir)
 

@@ -1,0 +1,313 @@
+/// \file event_sweep_test.cpp
+/// Event-backend conformance suite (DESIGN.md §13): the flat event-array
+/// sweep must be bitwise identical to the history backend for any fixed
+/// worker count, with and without chord templates, on host and device,
+/// cold and warm (engine). Also pins the EventArrays layout, the batch
+/// ExpTable evaluator, and the kAuto arena-OOM fallback to history.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "engine/session.h"
+#include "models/c5g7_model.h"
+#include "solver/cpu_solver.h"
+#include "solver/event_sweep.h"
+#include "solver/gpu_solver.h"
+#include "track/chord_template.h"
+#include "util/error.h"
+
+namespace antmoc {
+namespace {
+
+struct Problem {
+  models::C5G7Model model;
+  Quadrature quad;
+  TrackGenerator2D gen;
+  TrackStacks stacks;
+
+  Problem(models::C5G7Model m, int nazim, double spacing, int npolar,
+          double dz)
+      : model(std::move(m)),
+        quad(nazim, spacing, model.geometry.bounds().width_x(),
+             model.geometry.bounds().width_y(), npolar),
+        gen(quad, model.geometry.bounds(), radial_kinds(model.geometry)),
+        stacks((gen.trace(model.geometry), gen), model.geometry,
+               model.geometry.bounds().z_min,
+               model.geometry.bounds().z_max, dz) {}
+
+  static std::array<LinkKind, 4> radial_kinds(const Geometry& g) {
+    return {to_link_kind(g.boundary(Face::kXMin)),
+            to_link_kind(g.boundary(Face::kXMax)),
+            to_link_kind(g.boundary(Face::kYMin)),
+            to_link_kind(g.boundary(Face::kYMax))};
+  }
+};
+
+Problem pin_problem() {
+  models::C5G7Options opt;
+  opt.pins_per_assembly = 3;
+  opt.fuel_layers = 2;
+  opt.reflector_layers = 1;
+  opt.height_scale = 0.1;
+  return Problem(models::build_core(opt), 4, 0.5, 2, 1.0);
+}
+
+SolveOptions fixed(int iterations) {
+  SolveOptions opts;
+  opts.fixed_iterations = iterations;
+  return opts;
+}
+
+void expect_bitwise_flux(TransportSolver& a, TransportSolver& b) {
+  const auto& fa = a.fsr().scalar_flux();
+  const auto& fb = b.fsr().scalar_flux();
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) EXPECT_EQ(fa[i], fb[i]) << i;
+  const auto& pa = a.psi_in();
+  const auto& pb = b.psi_in();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]) << i;
+}
+
+// ------------------------------------------------------ knob parsing ------
+
+TEST(SweepBackendKnob, ParseAndName) {
+  EXPECT_EQ(parse_sweep_backend("history"), SweepBackend::kHistory);
+  EXPECT_EQ(parse_sweep_backend("event"), SweepBackend::kEvent);
+  EXPECT_THROW(parse_sweep_backend("events"), Error);
+  EXPECT_STREQ(sweep_backend_name(SweepBackend::kHistory), "history");
+  EXPECT_STREQ(sweep_backend_name(SweepBackend::kEvent), "event");
+}
+
+TEST(SweepBackendKnob, EnvDefault) {
+  ASSERT_EQ(setenv("ANTMOC_SWEEP_BACKEND", "event", 1), 0);
+  EXPECT_EQ(default_sweep_backend(), SweepBackend::kEvent);
+  ASSERT_EQ(setenv("ANTMOC_SWEEP_BACKEND", "history", 1), 0);
+  EXPECT_EQ(default_sweep_backend(), SweepBackend::kHistory);
+  ASSERT_EQ(unsetenv("ANTMOC_SWEEP_BACKEND"), 0);
+  EXPECT_EQ(default_sweep_backend(), SweepBackend::kHistory);
+}
+
+// -------------------------------------------------- EventArrays layout ----
+
+TEST(EventArrays, MirrorsTheHistoryWalk) {
+  Problem p = pin_problem();
+  const TrackInfoCache cache(p.stacks);
+  const EventArrays events(p.stacks, cache, nullptr, 7);
+
+  EXPECT_EQ(events.num_events(), 2 * p.stacks.total_segments());
+  EXPECT_EQ(events.bytes(),
+            EventArrays::bytes_for(p.stacks.total_segments(),
+                                   p.stacks.num_tracks()));
+
+  // Per-(track, direction) ranges tile [0, num_events) in track order and
+  // reproduce exactly the (fsr, length) stream of the generic walk.
+  long pos = 0;
+  for (long id = 0; id < p.stacks.num_tracks(); ++id) {
+    for (int dir = 0; dir < 2; ++dir) {
+      EXPECT_EQ(events.first(id, dir), pos) << id << "/" << dir;
+      std::vector<std::int32_t> base;
+      std::vector<double> len;
+      p.stacks.for_each_segment(
+          cache[id], dir == 0, [&](long fsr, double length) {
+            base.push_back(static_cast<std::int32_t>(fsr * 7));
+            len.push_back(length);
+          });
+      ASSERT_EQ(events.count(id, dir), static_cast<long>(base.size()));
+      for (std::size_t s = 0; s < base.size(); ++s) {
+        EXPECT_EQ(events.base()[pos], base[s]) << id << "/" << dir << "/" << s;
+        EXPECT_EQ(events.length()[pos], len[s]) << id << "/" << dir << "/" << s;
+        ++pos;
+      }
+    }
+  }
+  EXPECT_EQ(pos, events.num_events());
+}
+
+TEST(EventArrays, TemplateExpansionIdenticalToGenericWalk) {
+  Problem p = pin_problem();
+  const TrackInfoCache cache(p.stacks);
+  const ChordTemplateCache templates(p.stacks);
+  const EventArrays generic(p.stacks, cache, nullptr, 7);
+  const EventArrays templated(p.stacks, cache, &templates, 7);
+
+  ASSERT_EQ(generic.num_events(), templated.num_events());
+  for (long e = 0; e < generic.num_events(); ++e) {
+    EXPECT_EQ(generic.base()[e], templated.base()[e]) << e;
+    EXPECT_EQ(generic.length()[e], templated.length()[e]) << e;
+  }
+}
+
+// ------------------------------------------- batch ExpTable evaluator -----
+
+TEST(ExpTableBatch, BitwiseIdenticalToScalarOperator) {
+  const ExpTable table(40.0, 1e-6);
+  std::vector<double> tau;
+  for (double t = 1e-6; t < 50.0; t *= 1.31) tau.push_back(t);
+  tau.push_back(0.0);
+  tau.push_back(-1e-9);   // clamps to 0
+  tau.push_back(40.0);    // boundary
+  tau.push_back(1e3);     // clamps to 1
+  std::vector<double> out(tau.size());
+  table.evaluate(tau.data(), out.data(), static_cast<long>(tau.size()));
+  for (std::size_t i = 0; i < tau.size(); ++i)
+    EXPECT_EQ(out[i], table(tau[i])) << "tau=" << tau[i];
+}
+
+// --------------------------------------------------- host bit identity ----
+
+TEST(EventSweepCpu, BitwiseIdenticalToHistoryAcrossWorkersAndTemplates) {
+  Problem p = pin_problem();
+  for (TemplateMode templates : {TemplateMode::kAuto, TemplateMode::kOff}) {
+    for (unsigned workers : {1u, 2u, 4u}) {
+      CpuSolver history(p.stacks, p.model.materials, workers, templates,
+                        SweepBackend::kHistory);
+      CpuSolver event(p.stacks, p.model.materials, workers, templates,
+                      SweepBackend::kEvent);
+      const auto rh = history.solve(fixed(5));
+      const auto re = event.solve(fixed(5));
+      EXPECT_EQ(event.active_sweep_backend(), SweepBackend::kEvent);
+      EXPECT_EQ(rh.k_eff, re.k_eff)
+          << "workers=" << workers << " templates=" << static_cast<int>(templates);
+      EXPECT_EQ(rh.residual, re.residual);
+      EXPECT_EQ(history.last_sweep_segments(), event.last_sweep_segments());
+      expect_bitwise_flux(history, event);
+    }
+  }
+}
+
+TEST(EventSweepCpu, ExpTablePathAlsoBitwiseIdentical) {
+  Problem p = pin_problem();
+  const ExpTable table(40.0, 1e-6);
+  CpuSolver history(p.stacks, p.model.materials, 2, TemplateMode::kAuto,
+                    SweepBackend::kHistory);
+  CpuSolver event(p.stacks, p.model.materials, 2, TemplateMode::kAuto,
+                  SweepBackend::kEvent);
+  history.set_exp_table(&table);
+  event.set_exp_table(&table);
+  const auto rh = history.solve(fixed(5));
+  const auto re = event.solve(fixed(5));
+  EXPECT_EQ(rh.k_eff, re.k_eff);
+  expect_bitwise_flux(history, event);
+}
+
+// ------------------------------------------------- device bit identity ----
+
+TEST(EventSweepGpu, BitwiseIdenticalToHistoryAndChargedToArena) {
+  Problem p = pin_problem();
+  GpuSolverOptions opts;
+  opts.resident_budget_bytes = std::size_t{1} << 20;
+
+  gpusim::Device hist_dev(
+      gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+  opts.backend = SweepBackend::kHistory;
+  GpuSolver history(p.stacks, p.model.materials, hist_dev, opts);
+  EXPECT_FALSE(history.event_active());
+  const auto rh = history.solve(fixed(5));
+
+  gpusim::Device event_dev(
+      gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+  opts.backend = SweepBackend::kEvent;
+  GpuSolver event(p.stacks, p.model.materials, event_dev, opts);
+  EXPECT_TRUE(event.event_active());
+  EXPECT_EQ(event.active_sweep_backend(), SweepBackend::kEvent);
+  const auto re = event.solve(fixed(5));
+
+  EXPECT_EQ(rh.k_eff, re.k_eff);
+  expect_bitwise_flux(history, event);
+
+  const auto breakdown = event_dev.memory().breakdown();
+  ASSERT_TRUE(breakdown.count("event_arrays"));
+  EXPECT_EQ(breakdown.at("event_arrays"),
+            EventArrays::bytes_for(p.stacks.total_segments(),
+                                   p.stacks.num_tracks()));
+  EXPECT_FALSE(hist_dev.memory().breakdown().count("event_arrays"));
+}
+
+TEST(EventSweepGpu, AutoFallsBackToHistoryWhenArenaCannotAfford) {
+  Problem p = pin_problem();
+  GpuSolverOptions opts;
+  opts.resident_budget_bytes = std::size_t{1} << 20;
+  opts.privatize = PrivatizeMode::kOff;
+  opts.templates = TemplateMode::kOff;
+
+  // Mandatory footprint without the event arrays; a tight arena affords
+  // this plus a sliver, so only the "event_arrays" charge can fail.
+  std::size_t base = 0;
+  {
+    gpusim::Device probe(
+        gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+    opts.backend = SweepBackend::kHistory;
+    GpuSolver solver(p.stacks, p.model.materials, probe, opts);
+    base = probe.memory().used();
+  }
+  const auto tight = gpusim::DeviceSpec::scaled(base + 1024, 8);
+
+  gpusim::Device hist_dev(tight);
+  opts.backend = SweepBackend::kHistory;
+  GpuSolver history(p.stacks, p.model.materials, hist_dev, opts);
+  const auto rh = history.solve(fixed(4));
+
+  gpusim::Device event_dev(tight);
+  opts.backend = SweepBackend::kEvent;
+  GpuSolver fallback(p.stacks, p.model.materials, event_dev, opts);
+  EXPECT_FALSE(fallback.event_active());
+  EXPECT_EQ(fallback.active_sweep_backend(), SweepBackend::kHistory);
+  EXPECT_FALSE(event_dev.memory().breakdown().count("event_arrays"));
+  const auto re = fallback.solve(fixed(4));
+
+  // The fallback is silent and exact: bitwise the history solve.
+  EXPECT_EQ(rh.k_eff, re.k_eff);
+  expect_bitwise_flux(history, fallback);
+}
+
+// ------------------------------------------------ engine warm == cold -----
+
+TEST(EventSweepEngine, WarmJobsBitwiseIdenticalToColdOneShots) {
+  models::C5G7Options mopt;
+  mopt.pins_per_assembly = 3;
+  mopt.fuel_layers = 2;
+  mopt.reflector_layers = 1;
+  mopt.height_scale = 0.1;
+
+  engine::SessionOptions opts;
+  opts.num_devices = 1;
+  opts.device = gpusim::DeviceSpec::scaled(std::size_t{256} << 20, 4);
+  opts.num_azim = 4;
+  opts.azim_spacing = 0.5;
+  opts.num_polar = 2;
+  opts.z_spacing = 1.0;
+  opts.solve.fixed_iterations = 5;
+  opts.sweep_workers = 2;
+  opts.gpu.backend = SweepBackend::kEvent;
+
+  engine::Session session(models::build_core(mopt), opts);
+  std::vector<engine::Scenario> jobs(2);
+  jobs[0].name = "base";
+  jobs[1].name = "rodded";
+  {
+    engine::MaterialOp op;
+    op.kind = engine::MaterialOp::Kind::kSwap;
+    op.material = 6;
+    op.source = 7;
+    jobs[1].ops.push_back(op);
+  }
+  const auto warm = session.run(jobs);
+  ASSERT_EQ(warm.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto cold = session.solve_one_shot(jobs[i]);
+    ASSERT_TRUE(warm[i].ok) << warm[i].error;
+    ASSERT_TRUE(cold.ok) << cold.error;
+    EXPECT_EQ(warm[i].k_eff, cold.k_eff) << jobs[i].name;
+    EXPECT_EQ(warm[i].residual, cold.residual) << jobs[i].name;
+    ASSERT_EQ(warm[i].group_flux.size(), cold.group_flux.size());
+    for (std::size_t g = 0; g < warm[i].group_flux.size(); ++g)
+      EXPECT_EQ(warm[i].group_flux[g], cold.group_flux[g])
+          << jobs[i].name << " group " << g;
+  }
+}
+
+}  // namespace
+}  // namespace antmoc
