@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# CMFD acceleration gate (DESIGN.md §14). Runs bench_cmfd_accel,
+# validates the BENCH_cmfd.json it emits, and enforces the bars:
+#
+#   * JSON must be well-formed with every expected field, else FAIL.
+#   * Both solves must converge, and the accelerated run must never
+#     degrade to plain iteration.
+#   * Accelerated k_eff must land within 5 pcm of the plain k_eff.
+#   * CMFD must cut outer iterations >= 3x and wall clock to <= 0.6x.
+#   * The instrumented-but-idle run (tallying every sweep, never
+#     prolonging) must be bitwise identical to the plain solver.
+#
+# Usage: bench/run_cmfd_gate.sh [build-dir]   (from the repo root;
+#        build-dir defaults to ./build and must already contain the bench)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+BIN="$BUILD/bench/bench_cmfd_accel"
+
+if [ ! -x "$BIN" ]; then
+  echo "FAIL: $BIN not built (cmake --build $BUILD --target" \
+       "bench_cmfd_accel)"
+  exit 1
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+json="$workdir/BENCH_cmfd.json"
+
+echo "== cmfd gate: running bench_cmfd_accel =="
+"$BIN" "$json"
+
+[ -s "$json" ] || { echo "FAIL: bench wrote no BENCH_cmfd.json"; exit 1; }
+
+python3 - "$json" <<'EOF'
+import json, sys
+
+try:
+    data = json.load(open(sys.argv[1]))
+except Exception as e:
+    sys.exit(f"FAIL: BENCH_cmfd.json is malformed: {e}")
+
+def need(obj, key, ctx):
+    if key not in obj:
+        sys.exit(f"FAIL: missing field {ctx}.{key}")
+    return obj[key]
+
+assert need(data, "bench", "") == "cmfd_accel", "wrong bench tag"
+need(data, "tolerance", "")
+plain = need(data, "plain", "")
+cmfd = need(data, "cmfd", "")
+for name, run in (("plain", plain), ("cmfd", cmfd)):
+    assert need(run, "k_eff", name) > 0, f"{name}: non-positive k_eff"
+    assert need(run, "iterations", name) > 0, f"{name}: no iterations"
+    assert need(run, "seconds", name) > 0, f"{name}: non-positive seconds"
+    assert need(run, "converged", name), f"FAIL: {name} did not converge"
+assert not need(cmfd, "degraded", "cmfd"), \
+    "FAIL: accelerated run degraded to plain iteration"
+assert need(cmfd, "accelerations", "cmfd") > 0, \
+    "FAIL: accelerated run never applied a prolongation"
+
+pcm = need(data, "pcm", "")
+print(f"   k agreement: {pcm:.3f} pcm (bar: <= 5)")
+assert pcm <= 5.0, f"FAIL: accelerated k_eff off by {pcm:.3f} pcm > 5"
+
+outer = need(data, "outer_ratio", "")
+print(f"   outer iterations: {plain['iterations']} -> "
+      f"{cmfd['iterations']} ({outer:.2f}x, bar: >= 3)")
+assert outer >= 3.0, f"FAIL: outer-iteration reduction {outer:.2f}x < 3x"
+
+wall = need(data, "wallclock_ratio", "")
+print(f"   wall clock: {plain['seconds']:.2f}s -> {cmfd['seconds']:.2f}s "
+      f"({wall:.2f}x, bar: <= 0.6)")
+assert wall <= 0.6, f"FAIL: accelerated wall clock {wall:.2f}x > 0.6x"
+
+assert need(data, "off_bitwise", ""), \
+    (f"FAIL: instrumented-but-idle k {data.get('off_k_instrumented')} != "
+     f"plain {data.get('off_k_plain')} (tallies must be pure observers)")
+print(f"   idle instrumentation bitwise identical: "
+      f"k = {data['off_k_plain']:.12f}")
+print(f"   perf model predicted reduction: "
+      f"{data.get('predicted_outer_reduction', 0):.2f}x")
+EOF
+
+echo "cmfd gate PASSED"

@@ -24,6 +24,7 @@
 
 #include <cstdio>
 
+#include "cmfd/coarse_mesh.h"
 #include "engine/scenario.h"
 #include "engine/session.h"
 #include "io/writers.h"
@@ -98,6 +99,10 @@ int main(int argc, char** argv) {
   // boundary-first exchange hidden behind the interior sweep. Results are
   // identical either way; off restores the buffered-synchronous pattern.
   params.overlap = cfg.get_bool("comm.overlap", true);
+  // CMFD acceleration (DESIGN.md §14): off by default; cmfd.enable /
+  // ANTMOC_CMFD turn on the pin-resolution coarse solve, cmfd.mesh
+  // overrides the overlay (pin | assembly | NxMxK).
+  params.cmfd = cmfd::options_from(cfg);
 
   // --- Geometry Construction (stage 2) ------------------------------------
   const models::C5G7Model model = models::build_core(mopt);
@@ -124,6 +129,7 @@ int main(int argc, char** argv) {
     sopts.num_polar = params.num_polar;
     sopts.z_spacing = params.z_spacing;
     sopts.gpu = params.gpu_options;
+    sopts.cmfd = params.cmfd;
     sopts.solve = opts;
     sopts.solve.fixed_iterations =
         static_cast<int>(cfg.get_int("engine.fixed_iterations", 0));

@@ -1,0 +1,501 @@
+#include "cmfd/cmfd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "fault/fault.h"
+#include "perfmodel/perfmodel.h"
+#include "solver/fsr_data.h"
+#include "telemetry/telemetry.h"
+#include "util/error.h"
+#include "util/log.h"
+#include "util/parallel.h"
+
+namespace antmoc::cmfd {
+
+// ---------------------------------------------------------------------------
+// CrossingPlan
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Builds the crossing records of one (track, direction).
+void build_track_dir(const TrackStacks& stacks, const CoarseMesh& mesh,
+                     LinkKind z_min, LinkKind z_max, long id, bool forward,
+                     std::vector<Crossing>& recs, std::int32_t& first_cell) {
+  recs.clear();
+  first_cell = -1;
+  long ord = 0;
+  int prev_cell = -1;
+  long last_fsr = -1;
+  const auto push = [&](long ordinal, long slot) {
+    recs.push_back({static_cast<std::int32_t>(ordinal),
+                    static_cast<std::int32_t>(slot)});
+  };
+  // A corner crossing (cell change on more than one grid axis at once) is
+  // walked one axis at a time through the intermediate cells, so the full
+  // current lands on interior faces (netting to zero for the intermediate
+  // cells). Tallied on the boundary slots instead, its inflow would be
+  // unattributable to any face and fold into the removal correction,
+  // which destabilizes low-flux cells (negative diagonals).
+  const auto push_change = [&](long ordinal, int from, int to) {
+    const long slot = mesh.slot_between(from, to);
+    if (slot >= 0) {
+      push(ordinal, slot);
+      return;
+    }
+    const std::vector<int> path = mesh.path_between(from, to);
+    if (!path.empty()) {
+      int pc = from;
+      for (const int nc : path) {
+        push(ordinal, mesh.slot_between(pc, nc));
+        pc = nc;
+      }
+    } else {
+      push(ordinal, mesh.boundary_out_slot(from));
+      push(ordinal, mesh.boundary_in_slot(to));
+    }
+  };
+  stacks.for_each_segment(id, forward, [&](long fsr, double) {
+    const int c = mesh.cell_of(fsr);
+    if (ord == 0) {
+      first_cell = c;
+    } else if (c != prev_cell) {
+      push_change(ord, prev_cell, c);
+    }
+    prev_cell = c;
+    last_fsr = fsr;
+    ++ord;
+  });
+  if (ord == 0) return;  // empty track: nothing enters or leaves
+
+  // Entry (ordinal 0) and exit (ordinal = segment count) always tally the
+  // per-cell boundary slots — including domain-interface ends. The
+  // interface exchange is Jacobi-lagged (a neighbor sweeps this track's
+  // exit flux only next iteration), so attributing an interface exit to
+  // the shared interior face would pair this iteration's exit with the
+  // neighbor's *previous* entry and break the per-cell telescoping
+  // identity mid-transient (the mismatch folds into the removal
+  // correction and can drive it negative). Boundary in/out tallies keep
+  // every cell's currents consistent with exactly the angular fluxes its
+  // own sweep used; the true interface current simply rides in the
+  // removal term instead of a face closure.
+  (void)z_min;
+  (void)z_max;
+  (void)last_fsr;
+  recs.insert(recs.begin(), {0, static_cast<std::int32_t>(
+                                    mesh.boundary_in_slot(first_cell))});
+  push(ord, mesh.boundary_out_slot(prev_cell));
+}
+
+}  // namespace
+
+CrossingPlan::CrossingPlan(const TrackStacks& stacks, const CoarseMesh& mesh,
+                           LinkKind z_min_kind, LinkKind z_max_kind,
+                           util::Parallel* par) {
+  const long n = stacks.num_tracks();
+  std::vector<std::vector<Crossing>> all(static_cast<std::size_t>(n) * 2);
+  first_cell_.assign(static_cast<std::size_t>(n) * 2, -1);
+  const auto build = [&](long i) {
+    build_track_dir(stacks, mesh, z_min_kind, z_max_kind, i / 2,
+                    /*forward=*/i % 2 == 0, all[i], first_cell_[i]);
+  };
+  if (par != nullptr && par->workers() > 1) {
+    par->for_each(n * 2, build);
+  } else {
+    for (long i = 0; i < n * 2; ++i) build(i);
+  }
+  offset_.resize(static_cast<std::size_t>(n) * 2 + 1);
+  offset_[0] = 0;
+  for (std::size_t i = 0; i < all.size(); ++i)
+    offset_[i + 1] = offset_[i] + static_cast<long>(all[i].size());
+  rec_.resize(offset_.back());
+  for (std::size_t i = 0; i < all.size(); ++i)
+    std::copy(all[i].begin(), all[i].end(), rec_.begin() + offset_[i]);
+}
+
+// ---------------------------------------------------------------------------
+// CmfdAccelerator
+// ---------------------------------------------------------------------------
+
+CmfdAccelerator::CmfdAccelerator(CmfdOptions options)
+    : options_(options) {}
+
+CmfdAccelerator::~CmfdAccelerator() = default;
+
+void CmfdAccelerator::attach(const TrackStacks& stacks, LinkKind z_min_kind,
+                             LinkKind z_max_kind, util::Parallel* par,
+                             const CmfdContext* shared) {
+  if (ctx_ != nullptr) return;
+  if (shared != nullptr) {
+    ctx_ = shared;
+    return;
+  }
+  owned_ = std::make_unique<CmfdContext>(stacks.geometry(), options_.mesh,
+                                         stacks, z_min_kind, z_max_kind, par);
+  ctx_ = owned_.get();
+}
+
+void CmfdAccelerator::begin_sweep(int buffers, int groups) {
+  const std::size_t len =
+      static_cast<std::size_t>(ctx_->mesh.num_slots()) * groups;
+  if (static_cast<int>(bufs_.size()) != buffers ||
+      (buffers > 0 && bufs_[0].size() != len)) {
+    bufs_.assign(buffers, std::vector<double>(len, 0.0));
+  } else if (fresh_) {
+    for (auto& b : bufs_) std::fill(b.begin(), b.end(), 0.0);
+  }
+  fresh_ = false;
+}
+
+void CmfdAccelerator::merge_currents() {
+  if (bufs_.empty()) return;
+  merged_.assign(bufs_[0].size(), 0.0);
+  for (const auto& b : bufs_)  // ascending buffer order: deterministic
+    for (std::size_t i = 0; i < b.size(); ++i) merged_[i] += b[i];
+}
+
+bool CmfdAccelerator::accelerate(FsrData& fsr, std::vector<float>& psi_in,
+                                 double& k, double scale,
+                                 util::Parallel& par) {
+  ++iteration_;
+  if (degraded_ || iteration_ < options_.start_iteration) return false;
+  try {
+    fault::point("cmfd.solve", rank_);
+    return solve_and_prolong(fsr, psi_in, k, scale, par);
+  } catch (const Error& e) {
+    // Injected fault or divergence guard: degrade permanently to plain
+    // power iteration. Nothing has been mutated, so the remainder of the
+    // solve is bitwise identical to an unaccelerated run.
+    degraded_ = true;
+    log::warn("cmfd: degrading to unaccelerated iteration at iteration ",
+              iteration_, ": ", e.what());
+    if (telemetry::on())
+      telemetry::metrics().counter("solver.cmfd_degraded").add(1);
+    return false;
+  }
+}
+
+bool CmfdAccelerator::solve_and_prolong(FsrData& fsr,
+                                        std::vector<float>& psi_in,
+                                        double& k, double scale,
+                                        util::Parallel& par) {
+  telemetry::TraceSpan span("solver/cmfd_solve", "solver", rank_);
+  const CoarseMesh& mesh = ctx_->mesh;
+  const int C = mesh.num_cells();
+  const int G = fsr.num_groups();
+  const long CG = static_cast<long>(C) * G;
+  const auto& flux = fsr.scalar_flux();
+  const auto& sigma_t = fsr.sigma_t_flat();
+  const auto& volumes = fsr.volumes();
+  const auto& accum = fsr.accumulator();
+
+  // --- restriction: flux-volume-weighted homogenization (FSRs ascending) --
+  std::vector<double> vol(C, 0.0);
+  std::vector<double> vphi(CG, 0.0), sigtw(CG, 0.0), asum(CG, 0.0);
+  std::vector<double> nusfw(CG, 0.0), chiw(CG, 0.0);
+  std::vector<double> scatw(CG * G, 0.0);  // [c*G*G + gfrom*G + gto]
+  for (long r = 0; r < fsr.num_fsrs(); ++r) {
+    const double V = volumes[r];
+    if (V <= 0.0) continue;
+    const int c = mesh.cell_of(r);
+    const long base = r * static_cast<long>(G);
+    const long cb = static_cast<long>(c) * G;
+    const Material& m = fsr.material(r);
+    vol[c] += V;
+    double fis = 0.0;
+    for (int g = 0; g < G; ++g) {
+      const double vp = V * flux[base + g];
+      vphi[cb + g] += vp;
+      sigtw[cb + g] += sigma_t[base + g] * vp;
+      asum[cb + g] += accum[base + g] * scale;
+      nusfw[cb + g] += m.nu_sigma_f(g) * vp;
+      fis += m.nu_sigma_f(g) * vp;
+      double* sw = scatw.data() + (cb + g) * G;
+      for (int gto = 0; gto < G; ++gto) sw[gto] += m.sigma_s(g, gto) * vp;
+    }
+    for (int g = 0; g < G; ++g) chiw[cb + g] += m.chi(g) * fis;
+  }
+
+  // Volume-averaged restricted flux; a (cell, group) with no flux or no
+  // tracked volume is frozen out of the operator entirely.
+  std::vector<double> phi0(CG, 0.0);
+  std::vector<char> valid(CG, 0);
+  for (long i = 0; i < CG; ++i) {
+    const int c = static_cast<int>(i / G);
+    if (vol[c] > 0.0 && vphi[i] > 0.0) {
+      phi0[i] = vphi[i] / vol[c];
+      valid[i] = 1;
+    }
+  }
+
+  // --- face couplings: D-hat + D-tilde fitted to the tallied currents ---
+  const auto& faces = mesh.faces();
+  const long F = mesh.num_faces();
+  std::vector<double> dhat(F * G, 0.0), dtil(F * G, 0.0), jnet(F * G, 0.0);
+  std::vector<char> fvalid(F * G, 0);
+  require(static_cast<long>(merged_.size()) >=
+              mesh.num_slots() * static_cast<long>(G),
+          "cmfd: no merged currents for this sweep");
+  for (long f = 0; f < F; ++f) {
+    const CoarseMesh::FaceInfo& fc = faces[f];
+    const long ab = static_cast<long>(fc.a) * G;
+    const long bb = static_cast<long>(fc.b) * G;
+    for (int g = 0; g < G; ++g) {
+      if (!valid[ab + g] || !valid[bb + g]) continue;
+      const double st_a = sigtw[ab + g] / vphi[ab + g];
+      const double st_b = sigtw[bb + g] / vphi[bb + g];
+      if (st_a <= 0.0 || st_b <= 0.0) continue;
+      const double da = 1.0 / (3.0 * st_a);
+      const double db = 1.0 / (3.0 * st_b);
+      const double pa = phi0[ab + g];
+      const double pb = phi0[bb + g];
+      double dh = fc.area * 2.0 * da * db / (fc.ha * db + fc.hb * da);
+      const double j =
+          scale * CoarseMesh::net_current(merged_.data(), f, g, G);
+      double dt = (j - dh * (pa - pb)) / (pa + pb);
+      if (std::abs(dt) > dh) {
+        // Classical D-tilde clamp: collapse to a one-sided closure that
+        // still reproduces j at phi0 but keeps off-diagonals negative-free.
+        if (j > 0.0) {
+          dh = dt = j / (2.0 * pa);
+        } else {
+          dh = -j / (2.0 * pb);
+          dt = -dh;
+        }
+      }
+      const long i = f * G + g;
+      dhat[i] = dh;
+      dtil[i] = dt;
+      jnet[i] = j;
+      fvalid[i] = 1;
+    }
+  }
+
+  // --- removal correction: exact minus face-attributed leakage ----------
+  // The transport telescoping identity makes -sum(accum) the exact net
+  // leakage a cell saw this sweep (per tallied psi); subtracting the part
+  // the interior-face closure will reproduce leaves boundary leakage plus
+  // anything a frozen face could not carry, folded into removal.
+  std::vector<double> rterm(CG, 0.0);
+  for (long f = 0; f < F; ++f) {
+    const CoarseMesh::FaceInfo& fc = faces[f];
+    for (int g = 0; g < G; ++g) {
+      if (!fvalid[f * G + g]) continue;
+      const double j = jnet[f * G + g];
+      rterm[static_cast<long>(fc.a) * G + g] += j;  // leaves a through f
+      rterm[static_cast<long>(fc.b) * G + g] -= j;  // enters b through f
+    }
+  }
+  for (long i = 0; i < CG; ++i) {
+    if (!valid[i]) continue;
+    const double l_exact = -asum[i];
+    rterm[i] = (l_exact - rterm[i]) / phi0[i];
+  }
+
+  // --- operator assembly (volume-integrated coefficients) ---------------
+  // Unknown x is the volume-averaged coarse flux; every coefficient is
+  // scaled by phi0 so the coarse balance holds exactly at x = phi0 with
+  // this iteration's (lagged) source — the coarse solve then jumps to the
+  // eigenpair of the *updated* homogenized operator.
+  std::vector<double> diag(CG, 0.0), chihom(CG, 0.0), fcoef(CG, 0.0);
+  std::vector<double> fsrc_cell(C, 0.0);
+  for (int c = 0; c < C; ++c) {
+    const long cb = static_cast<long>(c) * G;
+    double fis = 0.0;
+    for (int g = 0; g < G; ++g) fis += nusfw[cb + g];
+    if (fis > 0.0)
+      for (int g = 0; g < G; ++g) chihom[cb + g] = chiw[cb + g] / fis;
+    for (int g = 0; g < G; ++g) {
+      if (!valid[cb + g]) continue;
+      fcoef[cb + g] = nusfw[cb + g] / phi0[cb + g];
+      diag[cb + g] = sigtw[cb + g] / phi0[cb + g] -
+                     scatw[(cb + g) * G + g] / phi0[cb + g] + rterm[cb + g];
+    }
+  }
+  for (long f = 0; f < F; ++f) {
+    const CoarseMesh::FaceInfo& fc = faces[f];
+    for (int g = 0; g < G; ++g) {
+      const long i = f * G + g;
+      if (!fvalid[i]) continue;
+      diag[static_cast<long>(fc.a) * G + g] += dhat[i] + dtil[i];
+      diag[static_cast<long>(fc.b) * G + g] += dhat[i] - dtil[i];
+    }
+  }
+  // Unattributed currents (corner crossings, frozen faces) fold into the
+  // removal term, which can transiently go negative for low-removal
+  // moderator cells while the MOC flux is still far from converged. That
+  // is a conditioning problem, not a divergence: skip this iteration and
+  // try again once the flux has settled.
+  for (long i = 0; i < CG; ++i) {
+    if (valid[i] && !(diag[i] > 0.0)) {
+      ++skips_;
+      if (telemetry::on())
+        telemetry::metrics().counter("solver.cmfd_skipped").add(1);
+      return false;
+    }
+  }
+
+  // Per-cell face adjacency (faces ascending -> deterministic traversal).
+  std::vector<std::vector<std::pair<long, bool>>> cell_faces(C);
+  for (long f = 0; f < F; ++f) {
+    cell_faces[faces[f].a].push_back({f, true});
+    cell_faces[faces[f].b].push_back({f, false});
+  }
+
+  // --- coarse eigenvalue solve: power iteration over Gauss-Seidel -------
+  std::vector<double> x = phi0;
+  double lambda = k;
+  double fsum = 0.0;
+  for (long i = 0; i < CG; ++i) fsum += fcoef[i] * x[i];
+  const double fsum0 = fsum;
+  if (!(fsum > 0.0)) {
+    ++skips_;  // nothing to normalize against yet — not a divergence
+    return false;
+  }
+
+  int outers = 0;
+  double lambda_hist[3] = {lambda, lambda, lambda};
+  bool converged = false;
+  for (; outers < options_.max_outer; ++outers) {
+    // Fixed fission source for this outer.
+    for (int c = 0; c < C; ++c) {
+      const long cb = static_cast<long>(c) * G;
+      double s = 0.0;
+      for (int g = 0; g < G; ++g) s += fcoef[cb + g] * x[cb + g];
+      fsrc_cell[c] = s;
+    }
+    for (int pass = 0; pass < options_.inner_sweeps; ++pass) {
+      for (int c = 0; c < C; ++c) {
+        const long cb = static_cast<long>(c) * G;
+        for (int g = 0; g < G; ++g) {
+          if (!valid[cb + g]) continue;
+          double rhs = chihom[cb + g] * fsrc_cell[c] / lambda;
+          const double* sw = scatw.data() + cb * G;  // [gfrom*G + gto]
+          for (int gf = 0; gf < G; ++gf) {
+            if (gf == g || !valid[cb + gf]) continue;
+            rhs += sw[gf * G + g] / phi0[cb + gf] * x[cb + gf];
+          }
+          for (const auto& [f, is_a] : cell_faces[c]) {
+            const long i = f * G + g;
+            if (!fvalid[i]) continue;
+            const int other = is_a ? faces[f].b : faces[f].a;
+            const double coeff =
+                is_a ? dhat[i] - dtil[i] : dhat[i] + dtil[i];
+            rhs += coeff * x[static_cast<long>(other) * G + g];
+          }
+          x[cb + g] = rhs / diag[cb + g];
+        }
+      }
+    }
+    double fsum_new = 0.0;
+    for (long i = 0; i < CG; ++i) fsum_new += fcoef[i] * x[i];
+    if (!std::isfinite(fsum_new) || fsum_new <= 0.0)
+      fail<SolverError>("cmfd: coarse fission source diverged");
+    const double lambda_new = lambda * fsum_new / fsum;
+    // An out-of-range eigenvalue is almost always the removal correction
+    // dwarfing the physical removal while the MOC iterate is still far
+    // from converged (the lag it carries decays with the transport
+    // transient) — same conditioning class as a non-positive diagonal.
+    // Skip and refit next iteration; non-finite values stay fatal.
+    if (!std::isfinite(lambda_new))
+      fail<SolverError>("cmfd: coarse eigenvalue diverged");
+    if (lambda_new <= 1e-2 || lambda_new >= 1e2) {
+      ++skips_;
+      if (telemetry::on())
+        telemetry::metrics().counter("solver.cmfd_skipped").add(1);
+      return false;
+    }
+    // Convergence is judged on the per-cell fission source normalized by
+    // the *global* source, not pointwise flux or per-cell relative
+    // change: components outside the dominant eigenspace — near-zero
+    // (cell, group) modes, or whole near-degenerate cells when the mesh
+    // has little or no face coupling — decay geometrically forever, so
+    // their own relative change never shrinks even though their
+    // amplitude (and relevance to the eigenpair) vanishes.
+    double dx = 0.0;
+    for (int c = 0; c < C; ++c) {
+      const long cb = static_cast<long>(c) * G;
+      double s = 0.0;
+      for (int g = 0; g < G; ++g) s += fcoef[cb + g] * x[cb + g];
+      const double rel = (s - fsrc_cell[c]) / fsum;
+      dx += rel * rel;
+    }
+    dx = std::sqrt(dx / static_cast<double>(C));
+    const double dl = std::abs(lambda_new - lambda) / lambda_new;
+    lambda_hist[2] = lambda_hist[1];
+    lambda_hist[1] = lambda;
+    lambda = lambda_new;
+    lambda_hist[0] = lambda;
+    fsum = fsum_new;
+    if (dl < options_.tolerance && dx < std::sqrt(options_.tolerance)) {
+      converged = true;
+      ++outers;
+      break;
+    }
+  }
+  if (!converged) {
+    // A stalled coarse solve on a transient-fitted operator is retried
+    // with next iteration's fit, like the other conditioning skips; a
+    // persistently stalling operator just leaves the solve unaccelerated
+    // (visible through skips() and solver.cmfd_skipped).
+    ++skips_;
+    if (telemetry::on())
+      telemetry::metrics().counter("solver.cmfd_skipped").add(1);
+    return false;
+  }
+  last_outers_ = outers;
+
+  // --- prolongation ------------------------------------------------------
+  // Normalize so the homogenized fission production is preserved, then
+  // rescale every FSR flux (and the incoming angular fluxes, keyed by the
+  // coarse cell each track direction first enters) by the coarse ratio.
+  const double s_norm = fsum0 / fsum;
+  std::vector<double> ratio(CG, 1.0);
+  const double rc = options_.ratio_clamp;
+  const double th = options_.relax;
+  for (long i = 0; i < CG; ++i) {
+    if (!valid[i]) continue;
+    ratio[i] = std::clamp(std::pow(x[i] * s_norm / phi0[i], th), 1.0 / rc,
+                          rc);
+  }
+  const std::vector<int>& cell_of = mesh.fsr_to_cell();
+  double* flux_mut = fsr.scalar_flux_mut().data();
+  par.for_each(fsr.num_fsrs(), [&](long r) {
+    const double* rr = ratio.data() + static_cast<long>(cell_of[r]) * G;
+    double* fl = flux_mut + r * static_cast<long>(G);
+    for (int g = 0; g < G; ++g) fl[g] *= rr[g];
+  });
+  const CrossingPlan& plan = ctx_->plan;
+  par.for_each(static_cast<long>(psi_in.size()) / G, [&](long i) {
+    const int c = plan.first_cell(i / 2, static_cast<int>(i % 2));
+    if (c < 0) return;
+    const double* rr = ratio.data() + static_cast<long>(c) * G;
+    float* p = psi_in.data() + i * static_cast<long>(G);
+    for (int g = 0; g < G; ++g)
+      p[g] = static_cast<float>(p[g] * rr[g]);
+  });
+  // Same damping on the eigenvalue jump (k and the flux must move
+  // consistently, and lambda = k at the accelerator's fixed point).
+  k = k * std::pow(lambda / k, th);
+  ++accelerations_;
+
+  if (telemetry::on()) {
+    telemetry::metrics().counter("solver.cmfd_iterations").add(outers);
+    // Model-predicted outer-sweep reduction, with the coarse power
+    // iteration's own contraction rate standing in for the transport
+    // dominance ratio.
+    const double d1 = std::abs(lambda_hist[0] - lambda_hist[1]);
+    const double d2 = std::abs(lambda_hist[1] - lambda_hist[2]);
+    const double rho =
+        d2 > 0.0 ? std::clamp(d1 / d2, 1e-3, 0.999) : 0.5;
+    telemetry::metrics()
+        .gauge("solver.cmfd_acceleration_ratio")
+        .set(perf::predict_cmfd_outer_reduction(rho));
+  }
+  span.set_arg("outers", outers);
+  return true;
+}
+
+}  // namespace antmoc::cmfd

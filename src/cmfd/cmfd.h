@@ -1,0 +1,196 @@
+#pragma once
+
+/// \file cmfd.h
+/// CMFD acceleration of the MOC power iteration (DESIGN.md §14).
+///
+/// Between transport sweeps the accelerator
+///   1. restricts: homogenizes the (already normalized) FSR scalar flux
+///      onto the coarse mesh — flux-volume-weighted Σt / scattering /
+///      νΣf / χ plus the cell-summed sweep accumulator;
+///   2. solves a coarse multigroup diffusion eigenvalue problem whose
+///      face couplings are D-hat (finite-difference) plus the D-tilde
+///      nonlinear correction fitted so every face closure reproduces the
+///      tallied net current exactly at the restricted flux, and whose
+///      removal includes a per-cell residual term folding in boundary
+///      leakage and any current the face tallies could not attribute;
+///   3. prolongs: rescales FSR scalar fluxes and incoming angular fluxes
+///      by the per-(cell, group) flux ratios and replaces k with the
+///      coarse eigenvalue.
+///
+/// Determinism contract: tallies are accumulated into per-worker (host)
+/// or per-CU (device) private buffers merged in ascending index order;
+/// restriction, operator assembly, the Gauss–Seidel sweeps, and
+/// prolongation all traverse cells/groups/FSRs in ascending order — so a
+/// fixed configuration is bit-reproducible, and a CMFD-off or degraded
+/// (diverged) run is bitwise identical to the unaccelerated solver: the
+/// sweep-side instrumentation only *reads* the angular flux.
+///
+/// Crossing plan: every (track, direction) gets a precomputed sorted list
+/// of (ordinal, slot) records — ordinal = number of segments attenuated
+/// before the crossing (entry 0, exit = segment count) — so the sweep
+/// kernels tally w * psi_g at exactly the right points without any
+/// geometry lookups. Track entries and exits — reflective wraps, vacuum
+/// ends, and domain-interface ends alike — tally the per-cell boundary
+/// slots: the interface exchange is Jacobi-lagged, so per-cell boundary
+/// tallies are the only attribution consistent with the angular fluxes
+/// each domain's sweep actually used.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cmfd/coarse_mesh.h"
+#include "track/track2d.h"
+#include "track/track3d.h"
+
+namespace antmoc {
+class FsrData;
+namespace util {
+class Parallel;
+}
+}  // namespace antmoc
+
+namespace antmoc::cmfd {
+
+/// One surface crossing of a (track, direction): tally w * psi into
+/// `slot` after `ordinal` segments have been attenuated.
+struct Crossing {
+  std::int32_t ordinal = 0;
+  std::int32_t slot = 0;
+};
+
+/// Per-(track, direction) crossing records in CSR form, built once per
+/// solver from the track stacks and the coarse mesh (direction index 0 =
+/// forward, matching the psi_in slot layout).
+class CrossingPlan {
+ public:
+  CrossingPlan(const TrackStacks& stacks, const CoarseMesh& mesh,
+               LinkKind z_min_kind, LinkKind z_max_kind,
+               util::Parallel* par = nullptr);
+
+  void records(long id, int dir, const Crossing*& begin,
+               const Crossing*& end) const {
+    const std::size_t i = static_cast<std::size_t>(id) * 2 + dir;
+    begin = rec_.data() + offset_[i];
+    end = rec_.data() + offset_[i + 1];
+  }
+
+  /// Coarse cell of the first segment of (id, dir); -1 for empty tracks.
+  int first_cell(long id, int dir) const {
+    return first_cell_[static_cast<std::size_t>(id) * 2 + dir];
+  }
+
+  long num_records() const { return static_cast<long>(rec_.size()); }
+
+ private:
+  std::vector<long> offset_;  ///< 2 * num_tracks + 1
+  std::vector<Crossing> rec_;
+  std::vector<std::int32_t> first_cell_;  ///< 2 * num_tracks
+};
+
+/// Scenario-independent CMFD state an engine Session shares across jobs:
+/// the coarse-mesh overlay and the crossing plan (both depend only on
+/// geometry + tracks, never on materials or fluxes).
+struct CmfdContext {
+  CoarseMesh mesh;
+  CrossingPlan plan;
+
+  CmfdContext(const Geometry& geometry, const MeshSpec& spec,
+              const TrackStacks& stacks, LinkKind z_min_kind,
+              LinkKind z_max_kind, util::Parallel* par = nullptr)
+      : mesh(geometry, spec),
+        plan(stacks, mesh, z_min_kind, z_max_kind, par) {}
+
+  /// Wraps an existing mesh (e.g. the arbitrary-map test constructor) and
+  /// builds the crossing plan for it.
+  CmfdContext(CoarseMesh m, const TrackStacks& stacks, LinkKind z_min_kind,
+              LinkKind z_max_kind, util::Parallel* par = nullptr)
+      : mesh(std::move(m)),
+        plan(stacks, mesh, z_min_kind, z_max_kind, par) {}
+};
+
+class CmfdAccelerator {
+ public:
+  explicit CmfdAccelerator(CmfdOptions options);
+  ~CmfdAccelerator();
+
+  const CmfdOptions& options() const { return options_; }
+
+  /// Builds (or borrows) the mesh + crossing plan. Idempotent; `shared`
+  /// (may be nullptr) is an engine-session context reused instead of
+  /// building an owned one.
+  void attach(const TrackStacks& stacks, LinkKind z_min_kind,
+              LinkKind z_max_kind, util::Parallel* par,
+              const CmfdContext* shared);
+  bool attached() const { return ctx_ != nullptr; }
+
+  const CoarseMesh& mesh() const { return ctx_->mesh; }
+  const CrossingPlan& plan() const { return ctx_->plan; }
+
+  /// Rank used for fault injection / telemetry (-1 single-process).
+  void set_rank(int rank) { rank_ = rank; }
+
+  // --- sweep-side tally buffers -------------------------------------------
+  /// Marks the start of a transport iteration: the next begin_sweep()
+  /// zeroes the private buffers. Called once per iteration (sweep_step),
+  /// so phased sweeps (boundary groups then interior) accumulate into the
+  /// same buffers instead of re-zeroing mid-iteration.
+  void begin_iteration() { fresh_ = true; }
+  /// Ensures `buffers` private current buffers exist, zeroing them only on
+  /// the first call after begin_iteration().
+  void begin_sweep(int buffers, int groups);
+  double* currents(int buffer) {
+    return bufs_[buffer].data();
+  }
+  /// Sums the private buffers into merged_currents() in ascending buffer
+  /// order (deterministic for a fixed buffer count).
+  void merge_currents();
+  /// Merged per-slot currents; the decomposed driver allreduces this
+  /// across ranks (fixed rank order) before close_step.
+  std::vector<double>& merged_currents() { return merged_; }
+
+  // --- acceleration --------------------------------------------------------
+  /// Runs restriction -> coarse eigenvalue solve -> prolongation on the
+  /// *normalized* flux (call after the power-iteration renormalization).
+  /// `scale` is the normalization factor of this iteration, applied to
+  /// the raw accumulator and currents so everything lives in the same
+  /// units as the flux. Returns true when prolongation was applied;
+  /// returns false — leaving flux, psi and k untouched, bit for bit —
+  /// before `start_iteration`, after divergence degraded the accelerator,
+  /// or when a fault is injected at "cmfd.solve".
+  bool accelerate(FsrData& fsr, std::vector<float>& psi_in, double& k,
+                  double scale, util::Parallel& par);
+
+  /// Permanently degraded to unaccelerated iteration (non-finite values
+  /// in the coarse solve or a cmfd.solve fault fired)?
+  bool degraded() const { return degraded_; }
+  int last_outer_iterations() const { return last_outers_; }
+  /// Number of accelerate() calls that applied a prolongation.
+  int accelerations() const { return accelerations_; }
+  /// Iterations skipped for conditioning — non-positive diagonal,
+  /// vanished fission source, out-of-range or stalled coarse eigenvalue,
+  /// all symptoms of an operator fitted to a still-transient iterate —
+  /// without degrading: the next iteration refits and retries.
+  int skips() const { return skips_; }
+
+ private:
+  bool solve_and_prolong(FsrData& fsr, std::vector<float>& psi_in,
+                         double& k, double scale, util::Parallel& par);
+
+  CmfdOptions options_;
+  const CmfdContext* ctx_ = nullptr;
+  std::unique_ptr<CmfdContext> owned_;
+  int rank_ = -1;
+
+  std::vector<std::vector<double>> bufs_;
+  std::vector<double> merged_;
+  bool fresh_ = true;
+
+  int iteration_ = 0;
+  bool degraded_ = false;
+  int last_outers_ = 0;
+  int accelerations_ = 0;
+  int skips_ = 0;
+};
+
+}  // namespace antmoc::cmfd

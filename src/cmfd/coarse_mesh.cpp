@@ -1,0 +1,390 @@
+#include "cmfd/coarse_mesh.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "util/config.h"
+#include "util/error.h"
+
+namespace antmoc::cmfd {
+namespace {
+
+/// Hard cap on coarse cells: CMFD is a *coarse* mesh, and the dense
+/// per-cell group-coupling tables scale as cells * groups^2.
+constexpr long kMaxCells = 1L << 22;
+
+/// Radial sample-grid resolutions for locating regions: doubled until
+/// every radial region has been hit at least once.
+constexpr int kFirstSampleGrid = 128;
+constexpr int kLastSampleGrid = 4096;
+
+[[noreturn]] void bad_mesh(const std::string& text, const std::string& why) {
+  throw ConfigError("cmfd.mesh: invalid mesh spec '" + text + "': " + why +
+                    " (expected pin | assembly | NxMxK with positive "
+                    "integer dims)");
+}
+
+/// One dimension token of "NxMxK"; rejects junk, non-positives, overflow.
+int parse_dim(const std::string& text, const std::string& token) {
+  if (token.empty()) bad_mesh(text, "empty dimension");
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '-' && c != '+')
+      bad_mesh(text, "dimension '" + token + "' is not an integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0')
+    bad_mesh(text, "dimension '" + token + "' is not an integer");
+  if (errno == ERANGE || v > INT_MAX)
+    bad_mesh(text, "dimension '" + token + "' overflows");
+  if (v <= 0) bad_mesh(text, "dimension '" + token + "' must be positive");
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+MeshSpec parse_mesh_spec(const std::string& text) {
+  MeshSpec spec;
+  if (text == "pin") {
+    spec.kind = MeshSpec::Kind::kPin;
+    return spec;
+  }
+  if (text == "assembly") {
+    spec.kind = MeshSpec::Kind::kAssembly;
+    return spec;
+  }
+  // NxMxK
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : text) {
+    if (c == 'x' || c == 'X') {
+      tokens.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  tokens.push_back(cur);
+  if (tokens.size() != 3)
+    bad_mesh(text, "expected three 'x'-separated dimensions");
+  spec.kind = MeshSpec::Kind::kExplicit;
+  spec.nx = parse_dim(text, tokens[0]);
+  spec.ny = parse_dim(text, tokens[1]);
+  spec.nz = parse_dim(text, tokens[2]);
+  const long cells = static_cast<long>(spec.nx) * spec.ny;
+  if (cells > kMaxCells || cells * spec.nz > kMaxCells)
+    bad_mesh(text, "grid exceeds the supported coarse-cell count");
+  return spec;
+}
+
+std::string mesh_spec_name(const MeshSpec& spec) {
+  switch (spec.kind) {
+    case MeshSpec::Kind::kPin:
+      return "pin";
+    case MeshSpec::Kind::kAssembly:
+      return "assembly";
+    case MeshSpec::Kind::kExplicit:
+      return std::to_string(spec.nx) + "x" + std::to_string(spec.ny) + "x" +
+             std::to_string(spec.nz);
+  }
+  return "pin";
+}
+
+CmfdOptions default_cmfd_options() {
+  CmfdOptions opts;
+  const char* env = std::getenv("ANTMOC_CMFD");
+  if (env == nullptr) return opts;
+  const std::string v(env);
+  if (v.empty() || v == "0" || v == "off" || v == "false") return opts;
+  opts.enable = true;
+  if (v != "1" && v != "on" && v != "true") opts.mesh = parse_mesh_spec(v);
+  return opts;
+}
+
+CmfdOptions options_from(const Config& config) {
+  CmfdOptions opts = default_cmfd_options();
+  opts.enable = config.get_bool("cmfd.enable", opts.enable);
+  if (config.contains("cmfd.mesh"))
+    opts.mesh = parse_mesh_spec(config.get_string("cmfd.mesh"));
+  opts.tolerance = config.get_double("cmfd.tolerance", opts.tolerance);
+  opts.max_outer =
+      static_cast<int>(config.get_int("cmfd.max_outer", opts.max_outer));
+  opts.inner_sweeps = static_cast<int>(
+      config.get_int("cmfd.inner_sweeps", opts.inner_sweeps));
+  opts.ratio_clamp = config.get_double("cmfd.ratio_clamp", opts.ratio_clamp);
+  opts.relax = config.get_double("cmfd.relax", opts.relax);
+  opts.start_iteration =
+      static_cast<int>(config.get_int("cmfd.start", opts.start_iteration));
+  return opts;
+}
+
+CoarseMesh::CoarseMesh(const Geometry& geometry, const MeshSpec& spec)
+    : geometry_(&geometry), grid_(true) {
+  const Bounds& b = geometry.bounds();
+  const int layers = geometry.num_axial_layers();
+
+  if (spec.kind == MeshSpec::Kind::kPin) {
+    const auto [gx, gy] = geometry.pin_grid();
+    nx_ = gx;
+    ny_ = gy;
+  } else if (spec.kind == MeshSpec::Kind::kAssembly) {
+    const auto [gx, gy] = geometry.assembly_grid();
+    nx_ = gx;
+    ny_ = gy;
+  } else {
+    nx_ = spec.nx;
+    ny_ = spec.ny;
+  }
+  x0_ = b.x_min;
+  y0_ = b.y_min;
+  pitch_x_ = b.width_x() / nx_;
+  pitch_y_ = b.width_y() / ny_;
+
+  // Axial planes: the geometry's own layer planes for pin/assembly meshes
+  // (so axial domain interfaces always fall on coarse-cell boundaries),
+  // uniform slabs for explicit grids.
+  if (spec.kind == MeshSpec::Kind::kExplicit) {
+    nz_ = spec.nz;
+    zs_.resize(nz_ + 1);
+    for (int i = 0; i <= nz_; ++i)
+      zs_[i] = b.z_min + b.width_z() * i / nz_;
+  } else {
+    nz_ = layers;
+    zs_.resize(nz_ + 1);
+    for (int i = 0; i < nz_; ++i) zs_[i] = geometry.layer_z_lo(i);
+    zs_[nz_] = geometry.layer_z_hi(nz_ - 1);
+  }
+  num_cells_ = nx_ * ny_ * nz_;
+  require(static_cast<long>(nx_) * ny_ * nz_ <= kMaxCells,
+          "cmfd: coarse mesh exceeds the supported cell count");
+
+  // Locate every radial region by deterministic centroid sampling: walk a
+  // doubling sample grid over the bounds until every region has been hit,
+  // then use the finest pass's per-region centroid to pick its column.
+  const int regions = geometry.num_radial_regions();
+  std::vector<double> sx(regions), sy(regions);
+  std::vector<long> hits(regions);
+  for (int grid = kFirstSampleGrid;; grid *= 2) {
+    std::fill(sx.begin(), sx.end(), 0.0);
+    std::fill(sy.begin(), sy.end(), 0.0);
+    std::fill(hits.begin(), hits.end(), 0L);
+    for (int j = 0; j < grid; ++j) {
+      for (int i = 0; i < grid; ++i) {
+        const Point2 p{b.x_min + b.width_x() * (i + 0.5) / grid,
+                       b.y_min + b.width_y() * (j + 0.5) / grid};
+        try {
+          const RadialFind f = geometry.find_radial(p);
+          sx[f.region] += p.x;
+          sy[f.region] += p.y;
+          ++hits[f.region];
+        } catch (const GeometryError&) {
+          // gaps / outside the radial CSG: skip the sample
+        }
+      }
+    }
+    const auto miss = std::find(hits.begin(), hits.end(), 0L);
+    if (miss == hits.end()) break;
+    if (grid >= kLastSampleGrid) {
+      const int r = static_cast<int>(miss - hits.begin());
+      fail("cmfd: could not locate radial region " + std::to_string(r) +
+           " ('" + geometry.region_name(r) + "') on a " +
+           std::to_string(grid) + "^2 sample grid");
+    }
+  }
+
+  std::vector<int> region_col(regions);
+  for (int r = 0; r < regions; ++r) {
+    const double cx = sx[r] / hits[r];
+    const double cy = sy[r] / hits[r];
+    const int ix = std::clamp(
+        static_cast<int>((cx - x0_) / pitch_x_), 0, nx_ - 1);
+    const int iy = std::clamp(
+        static_cast<int>((cy - y0_) / pitch_y_), 0, ny_ - 1);
+    region_col[r] = iy * nx_ + ix;
+  }
+
+  // Footprint merge: a column whose center lies inside a region homed to
+  // a different column is covered by an FSR wider than the grid pitch
+  // (e.g. a single-region reflector assembly under a pin mesh), so the
+  // two columns must act as one coarse cell. Union-find with the smallest
+  // column index as class representative keeps the merge deterministic.
+  const int ncol = nx_ * ny_;
+  std::vector<int> uf(ncol);
+  for (int c = 0; c < ncol; ++c) uf[c] = c;
+  const auto find = [&](int c) {
+    while (uf[c] != c) c = uf[c] = uf[uf[c]];
+    return c;
+  };
+  for (int col = 0; col < ncol; ++col) {
+    const int ix = col % nx_;
+    const int iy = col / nx_;
+    const Point2 p{x0_ + (ix + 0.5) * pitch_x_, y0_ + (iy + 0.5) * pitch_y_};
+    try {
+      const RadialFind f = geometry.find_radial(p);
+      const int a = find(col);
+      const int bcol = find(region_col[f.region]);
+      if (a != bcol) uf[std::max(a, bcol)] = std::min(a, bcol);
+    } catch (const GeometryError&) {
+      // column center in a gap / outside the radial CSG: leave it alone
+    }
+  }
+  std::vector<int> col_merged(ncol, -1);
+  int ncol_merged = 0;
+  for (int col = 0; col < ncol; ++col)
+    if (find(col) == col) col_merged[col] = ncol_merged++;
+  for (int col = 0; col < ncol; ++col) col_merged[col] = col_merged[find(col)];
+
+  num_cells_ = ncol_merged * nz_;
+  cell_map_.resize(static_cast<std::size_t>(ncol) * nz_);
+  rep_grid_.assign(num_cells_, -1);
+  for (int iz = 0; iz < nz_; ++iz) {
+    for (int col = 0; col < ncol; ++col) {
+      const int grid_cell = iz * ncol + col;
+      const int merged = iz * ncol_merged + col_merged[col];
+      cell_map_[grid_cell] = merged;
+      if (rep_grid_[merged] < 0) rep_grid_[merged] = grid_cell;
+    }
+  }
+
+  // Layer -> z-slab table (identity for pin/assembly meshes).
+  std::vector<int> layer_slab(layers);
+  for (int l = 0; l < layers; ++l) {
+    if (spec.kind != MeshSpec::Kind::kExplicit) {
+      layer_slab[l] = l;
+    } else {
+      const double mid =
+          0.5 * (geometry.layer_z_lo(l) + geometry.layer_z_hi(l));
+      layer_slab[l] = std::clamp(
+          static_cast<int>((mid - b.z_min) / (b.width_z() / nz_)), 0,
+          nz_ - 1);
+    }
+  }
+
+  fsr_to_cell_.resize(geometry.num_fsrs());
+  for (long fsr = 0; fsr < geometry.num_fsrs(); ++fsr) {
+    const int col = col_merged[region_col[geometry.fsr_radial_region(fsr)]];
+    fsr_to_cell_[fsr] =
+        layer_slab[geometry.fsr_layer(fsr)] * ncol_merged + col;
+  }
+
+  build_faces();
+}
+
+CoarseMesh::CoarseMesh(const Geometry& geometry, int num_cells,
+                       std::vector<int> fsr_to_cell)
+    : geometry_(&geometry),
+      grid_(false),
+      nx_(num_cells),
+      ny_(1),
+      nz_(1),
+      num_cells_(num_cells),
+      fsr_to_cell_(std::move(fsr_to_cell)) {
+  require(static_cast<long>(fsr_to_cell_.size()) == geometry.num_fsrs(),
+          "cmfd: FSR -> cell map size mismatch");
+  for (int c : fsr_to_cell_)
+    require(c >= 0 && c < num_cells_, "cmfd: FSR -> cell map out of range");
+  // No faces: every crossing lands on the per-cell boundary slots.
+}
+
+void CoarseMesh::build_faces() {
+  // Walk every grid-adjacent cell pair, map both ends through the merge,
+  // and accumulate one FaceInfo per merged pair (grid faces interior to a
+  // merged cell vanish; several grid faces between the same two merged
+  // cells sum their areas). The std::map keeps faces ordered by (a, b),
+  // so enumeration — and everything downstream — is deterministic.
+  faces_.clear();
+  face_key_.clear();
+  std::map<std::pair<int, int>, FaceInfo> merged;
+  const auto dz = [&](int iz) { return zs_[iz + 1] - zs_[iz]; };
+  const auto add = [&](int ca, int cb, int axis, double area, double ha,
+                       double hb) {
+    const int ma = cell_map_[ca];
+    const int mb = cell_map_[cb];
+    if (ma == mb) return;
+    const auto key = std::minmax(ma, mb);
+    auto [it, fresh] = merged.try_emplace({key.first, key.second});
+    FaceInfo& f = it->second;
+    if (fresh) {
+      f.a = key.first;
+      f.b = key.second;
+      f.axis = axis;
+      f.ha = ha;
+      f.hb = hb;
+    }
+    f.area += area;
+  };
+  for (int iz = 0; iz < nz_; ++iz) {
+    for (int iy = 0; iy < ny_; ++iy) {
+      for (int ix = 0; ix < nx_; ++ix) {
+        const int c = cell_index(ix, iy, iz);
+        if (ix + 1 < nx_)
+          add(c, cell_index(ix + 1, iy, iz), 0, pitch_y_ * dz(iz), pitch_x_,
+              pitch_x_);
+        if (iy + 1 < ny_)
+          add(c, cell_index(ix, iy + 1, iz), 1, pitch_x_ * dz(iz), pitch_y_,
+              pitch_y_);
+        if (iz + 1 < nz_)
+          add(c, cell_index(ix, iy, iz + 1), 2, pitch_x_ * pitch_y_, dz(iz),
+              dz(iz + 1));
+      }
+    }
+  }
+  faces_.reserve(merged.size());
+  face_key_.reserve(merged.size());
+  for (const auto& [key, f] : merged) {
+    face_key_.push_back(static_cast<long>(key.first) * num_cells_ +
+                        key.second);
+    faces_.push_back(f);
+  }
+}
+
+long CoarseMesh::slot_between(int from, int to) const {
+  if (!grid_ || from == to) return -1;
+  const long key =
+      static_cast<long>(std::min(from, to)) * num_cells_ + std::max(from, to);
+  const auto it = std::lower_bound(face_key_.begin(), face_key_.end(), key);
+  if (it == face_key_.end() || *it != key) return -1;
+  const long face = it - face_key_.begin();
+  return face * 2 + (from == faces_[face].a ? 0 : 1);
+}
+
+std::vector<int> CoarseMesh::path_between(int from, int to) const {
+  std::vector<int> path;
+  if (!grid_ || from == to) return path;
+  const int gf = rep_grid_[from], gt = rep_grid_[to];
+  const int fi = gf % nx_, fj = (gf / nx_) % ny_, fk = gf / (nx_ * ny_);
+  const int ti = gt % nx_, tj = (gt / nx_) % ny_, tk = gt / (nx_ * ny_);
+  if (std::abs(ti - fi) > 1 || std::abs(tj - fj) > 1 || std::abs(tk - fk) > 1)
+    return path;
+  int ci = fi, cj = fj, ck = fk;
+  int prev = from;
+  const auto step = [&] {
+    const int m = cell_map_[cell_index(ci, cj, ck)];
+    if (m != prev) {
+      path.push_back(m);
+      prev = m;
+    }
+  };
+  while (ci != ti) {
+    ci += ti > ci ? 1 : -1;
+    step();
+  }
+  while (cj != tj) {
+    cj += tj > cj ? 1 : -1;
+    step();
+  }
+  while (ck != tk) {
+    ck += tk > ck ? 1 : -1;
+    step();
+  }
+  return path;
+}
+
+}  // namespace antmoc::cmfd

@@ -1,0 +1,180 @@
+#pragma once
+
+/// \file coarse_mesh.h
+/// Coarse-mesh overlay for CMFD acceleration (DESIGN.md §14).
+///
+/// A CoarseMesh is a regular nx x ny x nz grid laid over the geometry's
+/// bounds, with every FSR assigned to exactly one coarse cell. The grid —
+/// not the tracks — defines the face tables, so every domain of a
+/// decomposed run (all built on the same global geometry) enumerates
+/// bitwise-identical faces and slots without any communication. Face
+/// areas and pitches are geometric (mesh pitches and axial planes), again
+/// identical everywhere by construction.
+///
+/// Surface-current slot layout (per energy group, group-major buffers are
+/// indexed slot * G + g):
+///   * interior faces: slot = face * 2 + orient, orient 0 = a crossing
+///     from the lo cell into the hi cell along the face axis;
+///   * per-cell boundary tallies: slot = num_faces()*2 + cell*2 + {in,out}
+///     for crossings entering/leaving a cell through anything that is not
+///     an interior grid face (the geometry boundary, domain-decomposition
+///     seams, and — for the arbitrary-map test constructor — everything).
+///
+/// The mesh resolution comes from `cmfd.mesh`: "pin" (the product of
+/// lattice dimensions down the nesting chain x axial layers), "assembly"
+/// (the root lattice only), or an explicit "NxMxK". Pin and assembly
+/// meshes keep the geometry's axial layers as z planes, so axial domain
+/// interfaces always coincide with coarse-cell boundaries; explicit
+/// meshes slice z uniformly.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geometry/geometry.h"
+
+namespace antmoc {
+class Config;
+}
+
+namespace antmoc::cmfd {
+
+/// Parsed `cmfd.mesh` value.
+struct MeshSpec {
+  enum class Kind { kPin, kAssembly, kExplicit };
+  Kind kind = Kind::kPin;
+  int nx = 0, ny = 0, nz = 0;  ///< explicit grids only
+};
+
+/// Parses "pin" | "assembly" | "NxMxK"; throws ConfigError naming the
+/// `cmfd.mesh` key on anything else (zero/negative dims, overflow, typos).
+MeshSpec parse_mesh_spec(const std::string& text);
+
+/// Canonical text form ("pin", "assembly", "4x4x3").
+std::string mesh_spec_name(const MeshSpec& spec);
+
+/// CMFD knobs (`cmfd.*` config keys; ANTMOC_CMFD env default).
+struct CmfdOptions {
+  bool enable = false;          ///< cmfd.enable
+  MeshSpec mesh;                ///< cmfd.mesh (default pin)
+  double tolerance = 1e-8;      ///< cmfd.tolerance — coarse eigenvalue tol
+  int max_outer = 200;          ///< cmfd.max_outer — coarse power iterations
+  int inner_sweeps = 4;         ///< cmfd.inner_sweeps — GS passes per outer
+  double ratio_clamp = 5.0;     ///< cmfd.ratio_clamp — prolongation bound
+  /// cmfd.relax — geometric damping of the prolongation (ratios and the
+  /// eigenvalue jump are raised to this power). 1 = undamped; the coupled
+  /// MOC+CMFD map can limit-cycle undamped, so the default under-relaxes.
+  double relax = 0.7;
+  int start_iteration = 1;      ///< cmfd.start — first accelerated iteration
+};
+
+/// Reads `cmfd.*` keys with ANTMOC_CMFD as the enable/mesh default
+/// (ANTMOC_CMFD=1/on enables the pin mesh; any other non-empty, non-0/off
+/// value is parsed as a mesh spec and enables). Explicit config keys win.
+CmfdOptions options_from(const Config& config);
+
+/// The ANTMOC_CMFD environment default alone (no config).
+CmfdOptions default_cmfd_options();
+
+class CoarseMesh {
+ public:
+  /// Grid overlay over `geometry` at the requested resolution. Radial
+  /// regions are located by deterministic centroid sampling of
+  /// Geometry::find_radial on a doubling sample grid; throws if a region
+  /// cannot be located at the finest resolution.
+  ///
+  /// Grid columns whose space belongs to a radial region homed to a
+  /// *different* column are merged with that column (union-find, smallest
+  /// column index as the representative), so the coarse mesh is never
+  /// finer than the FSR structure: pin resolution where the geometry has
+  /// pins, one merged cell per slab over e.g. a single-region reflector
+  /// assembly. Without the merge, every crossing into such a region would
+  /// tally against one centroid cell's boundary slots as unattributable
+  /// inflow, driving its removal correction negative. num_cells() is
+  /// therefore at most nx()*ny()*nz().
+  CoarseMesh(const Geometry& geometry, const MeshSpec& spec);
+
+  /// Test constructor: an arbitrary FSR -> cell map with no grid
+  /// structure. Every crossing tallies to the cells' boundary in/out
+  /// slots (slot_between always returns -1), which keeps the per-cell
+  /// current-conservation identity exact for any map — the property the
+  /// fuzz tests exercise.
+  CoarseMesh(const Geometry& geometry, int num_cells,
+             std::vector<int> fsr_to_cell);
+
+  int num_cells() const { return num_cells_; }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  bool grid() const { return grid_; }
+
+  int cell_of(long fsr) const { return fsr_to_cell_[fsr]; }
+  const std::vector<int>& fsr_to_cell() const { return fsr_to_cell_; }
+
+  /// One interior grid face between cells a (lo) and b (hi) along `axis`
+  /// (0 = x, 1 = y, 2 = z). `area` is the geometric face area; `ha`/`hb`
+  /// are the cell pitches normal to the face on either side.
+  struct FaceInfo {
+    int a = -1, b = -1;
+    int axis = 0;
+    double area = 0.0;
+    double ha = 0.0, hb = 0.0;
+  };
+
+  long num_faces() const { return static_cast<long>(faces_.size()); }
+  const std::vector<FaceInfo>& faces() const { return faces_; }
+
+  /// Total current slots: interior faces x 2 orientations plus the
+  /// per-cell boundary in/out pairs.
+  long num_slots() const { return num_faces() * 2 + num_cells_ * 2L; }
+
+  /// Slot of a crossing from cell `from` into cell `to`; -1 unless the
+  /// two cells share an interior face.
+  long slot_between(int from, int to) const;
+
+  /// Path from `from` to `to` stepping the grid one axis at a time (x,
+  /// then y, then z, between the cells' representative grid columns), so
+  /// a corner crossing can be attributed to real interior faces instead
+  /// of the boundary slots (where its unattributed inflow would fold into
+  /// the removal correction and destabilize low-flux cells). Returns the
+  /// visited cells excluding `from` and including `to`; empty when the
+  /// representatives are more than one grid cell apart on any axis or the
+  /// mesh has no grid structure.
+  std::vector<int> path_between(int from, int to) const;
+
+  long boundary_in_slot(int cell) const {
+    return num_faces() * 2 + cell * 2L;
+  }
+  long boundary_out_slot(int cell) const {
+    return num_faces() * 2 + cell * 2L + 1;
+  }
+
+  /// Net current through interior face f in the lo -> hi sense, read from
+  /// a slot-major currents buffer.
+  static double net_current(const double* currents, long face, int g,
+                            int groups) {
+    return currents[(face * 2 + 0) * groups + g] -
+           currents[(face * 2 + 1) * groups + g];
+  }
+
+ private:
+  void build_faces();
+  int cell_index(int ix, int iy, int iz) const {
+    return (iz * ny_ + iy) * nx_ + ix;
+  }
+
+  const Geometry* geometry_;
+  bool grid_ = false;
+  int nx_ = 1, ny_ = 1, nz_ = 1;
+  int num_cells_ = 0;
+  double x0_ = 0.0, y0_ = 0.0;
+  double pitch_x_ = 0.0, pitch_y_ = 0.0;
+  std::vector<double> zs_;  ///< nz + 1 axial planes (grid mode)
+  std::vector<int> fsr_to_cell_;
+  std::vector<FaceInfo> faces_;
+  std::vector<int> cell_map_;   ///< grid cell -> merged cell (grid mode)
+  std::vector<int> rep_grid_;   ///< merged cell -> representative grid cell
+  std::vector<long> face_key_;  ///< a * num_cells_ + b per face, sorted
+};
+
+}  // namespace antmoc::cmfd

@@ -142,6 +142,15 @@ Session::Session(models::C5G7Model model, const SessionOptions& options)
 
   }
 
+  if (opts_.cmfd.enable) {
+    // Scenario-independent CMFD geometry, shared read-only by every job
+    // (material swaps never change the FSR->cell map or the crossings).
+    cmfd_ctx_ = std::make_unique<cmfd::CmfdContext>(
+        model_.geometry, opts_.cmfd.mesh, stacks_,
+        to_link_kind(model_.geometry.boundary(Face::kZMin)),
+        to_link_kind(model_.geometry.boundary(Face::kZMax)));
+  }
+
   slots_.reserve(opts_.num_devices);
   for (int d = 0; d < opts_.num_devices; ++d) {
     slots_.push_back(std::make_unique<DeviceSlot>(opts_.device));
@@ -418,6 +427,10 @@ void Session::run_scenario(const Scenario& scenario, DeviceSlot& slot,
     solver.set_shared_caches(&info_cache_, templates_.get());
     solver.install_links(links_);
     solver.set_global_volumes(volumes_);
+    if (opts_.cmfd.enable) {
+      solver.enable_cmfd(opts_.cmfd);
+      solver.set_shared_cmfd_context(cmfd_ctx_.get());
+    }
 
     const SolveResult sr = stepwise_solve(solver, slot.launch_mu, opts_.solve);
     result.step_k.push_back(sr.k_eff);
@@ -465,6 +478,9 @@ JobResult Session::solve_one_shot(const Scenario& scenario) const {
       GpuSolver solver(stacks, mats, device, gpu);
       solver.set_exp_table(table.get());
       solver.set_sweep_workers(opts_.sweep_workers);
+      // Cold CMFD builds its own mesh + plan; construction is
+      // deterministic, so the warm borrowed-context job matches bitwise.
+      if (opts_.cmfd.enable) solver.enable_cmfd(opts_.cmfd);
       const SolveResult sr = solver.solve(opts_.solve);
       result.step_k.push_back(sr.k_eff);
       if (step + 1 == scenario.steps) {

@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "cmfd/cmfd.h"
 #include "engine/scenario.h"
 #include "gpusim/device.h"
 #include "models/c5g7_model.h"
@@ -61,6 +62,14 @@ struct SessionOptions {
 
   /// Host sweep workers per job solver (fixed => bit-reproducible).
   unsigned sweep_workers = 1;
+
+  /// CMFD acceleration (`cmfd.*`) for every job solver. The coarse-mesh
+  /// overlay and crossing plan are scenario-independent (geometry +
+  /// tracks only), so the session builds them once at warm-up and every
+  /// job borrows them; the per-job CMFD state (tally buffers, coarse
+  /// solve) is private. A warm accelerated job stays bitwise identical to
+  /// solve_one_shot with the same options.
+  cmfd::CmfdOptions cmfd;
 
   /// Concurrent job executors; 0 = one per device.
   int max_concurrent = 0;
@@ -188,6 +197,9 @@ class Session {
   /// (built once; charged per device under "event_arrays" with the same
   /// OOM-falls-back-to-history semantics as a one-shot solver).
   std::unique_ptr<EventArrays> events_;
+  /// Session-shared CMFD geometry state (mesh + crossing plan), built at
+  /// warm-up when cmfd.enable; null otherwise.
+  std::unique_ptr<cmfd::CmfdContext> cmfd_ctx_;
   std::vector<double> volumes_;  ///< track-based FSR volumes, shared
   std::vector<Link3D> links_;    ///< per-(track, direction) link table
   std::size_t job_floor_ = 0;

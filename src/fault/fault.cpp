@@ -52,6 +52,9 @@ const std::vector<PointInfo>& known_points() {
   static const std::vector<PointInfo> points = {
       {"checkpoint.write",
        "before a rank writes its per-domain checkpoint shards"},
+      {"cmfd.solve",
+       "before each CMFD coarse solve (a throw degrades the solver to "
+       "plain unaccelerated iteration for the rest of the run)"},
       {"comm.allreduce", "entry of allreduce / allreduce_slots"},
       {"comm.barrier", "entry of the barrier collective"},
       {"comm.irecv", "posting a nonblocking receive"},

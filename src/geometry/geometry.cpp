@@ -31,6 +31,48 @@ int Geometry::layer_at(double z) const {
   return lo;
 }
 
+namespace {
+
+/// (gx, gy) of the pin grid rooted at `universe`: lattices multiply their
+/// dimensions by the finest grid among their children; cell universes
+/// take the finest grid among their fill universes; material-only
+/// universes are a single pin. Depth-capped against fill cycles.
+std::pair<int, int> grid_of(const std::vector<Universe>& universes,
+                            const std::vector<Cell>& cells, int uid,
+                            int depth) {
+  if (uid < 0 || depth > 64) return {1, 1};
+  const Universe& u = universes[uid];
+  int gx = 1, gy = 1;
+  if (u.is_lattice) {
+    for (int child : u.lattice_universes) {
+      const auto [cx, cy] = grid_of(universes, cells, child, depth + 1);
+      gx = std::max(gx, cx);
+      gy = std::max(gy, cy);
+    }
+    return {u.nx * gx, u.ny * gy};
+  }
+  for (int cid : u.cells) {
+    const auto [cx, cy] =
+        grid_of(universes, cells, cells[cid].fill, depth + 1);
+    gx = std::max(gx, cx);
+    gy = std::max(gy, cy);
+  }
+  return {gx, gy};
+}
+
+}  // namespace
+
+std::pair<int, int> Geometry::pin_grid() const {
+  return grid_of(universes_, cells_, root_universe_, 0);
+}
+
+std::pair<int, int> Geometry::assembly_grid() const {
+  if (root_universe_ < 0 || !universes_[root_universe_].is_lattice)
+    return {1, 1};
+  const Universe& root = universes_[root_universe_];
+  return {root.nx, root.ny};
+}
+
 bool Geometry::cell_contains(const Cell& cell, Point2 local) const {
   for (const Halfspace& hs : cell.region) {
     const double v = surfaces_[hs.surface].evaluate(local);

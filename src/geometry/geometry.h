@@ -13,6 +13,7 @@
 /// FSR numbering: fsr = radial_region * num_axial_layers + layer.
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "geometry/point.h"
@@ -115,6 +116,15 @@ class Geometry {
 
   /// Layer containing z (clamped to the valid range).
   int layer_at(double z) const;
+
+  // --- lattice structure ---------------------------------------------------
+  /// Radial pin-cell grid: the product of lattice dimensions down the
+  /// deepest nesting chain (e.g. a 3x3 assembly lattice of 5x5 pin
+  /// lattices -> 15x15). (1, 1) when the root is not a lattice.
+  std::pair<int, int> pin_grid() const;
+
+  /// Root lattice dimensions only ((1, 1) when the root is not a lattice).
+  std::pair<int, int> assembly_grid() const;
 
   // --- point queries -------------------------------------------------------
   /// Locates the radial region containing p; throws GeometryError if p is

@@ -104,6 +104,15 @@ double predict_event_sweep_cycles(long n3dseg) {
   return static_cast<double>(n3dseg) * sweep_costs().event;
 }
 
+double predict_cmfd_outer_reduction(double dominance_ratio,
+                                    double cmfd_error_reduction) {
+  if (!(dominance_ratio > 0.0) || dominance_ratio >= 1.0) return 1.0;
+  if (!(cmfd_error_reduction > 0.0) || cmfd_error_reduction >= 1.0)
+    return 1.0;
+  return std::max(1.0, std::log(cmfd_error_reduction) /
+                           std::log(dominance_ratio));
+}
+
 std::uint64_t communication_bytes(long n3d, int num_groups) {
   return static_cast<std::uint64_t>(n3d) * 2u *
          static_cast<std::uint64_t>(num_groups) * 4u;

@@ -84,6 +84,14 @@ double predict_sweep_cycles(long n3dseg, double resident_fraction,
 /// regeneration tax the event backend no longer pays.
 double predict_event_sweep_cycles(long n3dseg);
 
+/// CMFD outer-iteration reduction model (DESIGN.md §14): unaccelerated
+/// power iteration contracts the error by the dominance ratio per sweep,
+/// an accelerated outer contracts it by `cmfd_error_reduction`, so the
+/// predicted sweep-count ratio is ln(reduction) / ln(dominance_ratio),
+/// clamped to >= 1 (CMFD never costs outer sweeps in this model).
+double predict_cmfd_outer_reduction(double dominance_ratio,
+                                    double cmfd_error_reduction = 0.1);
+
 /// Eq. 7: communication = N_3D * 2 * num_groups * 4 bytes — the full
 /// boundary-flux state exchanged by the buffered-synchronous scheme.
 std::uint64_t communication_bytes(long n3d, int num_groups);

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <numeric>
 
+#include "cmfd/cmfd.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
 namespace antmoc {
 
-long CpuSolver::sweep_one(long id, double* acc, double* psi, bool stage) {
+long CpuSolver::sweep_one(long id, double* acc, double* psi, bool stage,
+                          double* cur) {
   const int G = fsr_.num_groups();
   const auto& sigma_t = fsr_.sigma_t_flat();
   const auto& qos = fsr_.q_over_sigma_t();
@@ -21,7 +23,20 @@ long CpuSolver::sweep_one(long id, double* acc, double* psi, bool stage) {
     const float* in = psi_in_.data() + (id * 2 + dir) * G;
     for (int g = 0; g < G; ++g) psi[g] = in[g];
 
+    // CMFD crossing records of this (track, direction): tally w*psi into
+    // the recorded slot whenever the segment ordinal reaches a record.
+    const cmfd::Crossing* cp = nullptr;
+    const cmfd::Crossing* ce = nullptr;
+    if (cur != nullptr) cmfd_->plan().records(id, dir, cp, ce);
+    long ord = 0;
+
     const auto attenuate = [&](long fsr_id, double len) {
+      while (cp != ce && cp->ordinal == ord) {
+        double* slot = cur + static_cast<long>(cp->slot) * G;
+        for (int g = 0; g < G; ++g) slot[g] += w * psi[g];
+        ++cp;
+      }
+      ++ord;
       ++segments;
       const long base = fsr_id * G;
       for (int g = 0; g < G; ++g) {
@@ -35,6 +50,11 @@ long CpuSolver::sweep_one(long id, double* acc, double* psi, bool stage) {
     // otherwise — bitwise-identical output either way.
     if (tmpl_ == nullptr || !tmpl_->for_each_segment(id, forward, attenuate))
       stacks_.for_each_segment(info, forward, attenuate);
+    while (cp != ce) {  // exit crossings (ordinal == segment count)
+      double* slot = cur + static_cast<long>(cp->slot) * G;
+      for (int g = 0; g < G; ++g) slot[g] += w * psi[g];
+      ++cp;
+    }
 
     if (stage) {
       double* out = stage_slot(id, dir);
@@ -47,7 +67,7 @@ long CpuSolver::sweep_one(long id, double* acc, double* psi, bool stage) {
 }
 
 long CpuSolver::sweep_one_event(long id, double* acc, double* psi, bool stage,
-                                EventSweepScratch& ws) {
+                                EventSweepScratch& ws, double* cur) {
   const int G = fsr_.num_groups();
   const double* sigma_t = fsr_.sigma_t_flat().data();
   const double* qos = fsr_.q_over_sigma_t().data();
@@ -59,8 +79,37 @@ long CpuSolver::sweep_one_event(long id, double* acc, double* psi, bool stage,
 
     const long first = events_->first(id, dir);
     const long count = events_->count(id, dir);
-    sweep_events(events_->base() + first, events_->length() + first, count,
-                 sigma_t, qos, w, exp_table_, G, psi, acc, ws);
+    if (cur == nullptr) {
+      sweep_events(events_->base() + first, events_->length() + first, count,
+                   sigma_t, qos, w, exp_table_, G, psi, acc, ws);
+    } else {
+      // Split the flat range at the recorded crossing ordinals: stage 1 of
+      // the batch kernel is per-event independent and stage 2 is a
+      // sequential psi recurrence, so sub-range calls are bitwise
+      // identical to one full-range call.
+      const cmfd::Crossing* cp = nullptr;
+      const cmfd::Crossing* ce = nullptr;
+      cmfd_->plan().records(id, dir, cp, ce);
+      long done = 0;
+      while (cp != ce) {
+        const long ord = cp->ordinal;
+        if (ord > done) {
+          sweep_events(events_->base() + first + done,
+                       events_->length() + first + done, ord - done, sigma_t,
+                       qos, w, exp_table_, G, psi, acc, ws);
+          done = ord;
+        }
+        while (cp != ce && cp->ordinal == ord) {
+          double* slot = cur + static_cast<long>(cp->slot) * G;
+          for (int g = 0; g < G; ++g) slot[g] += w * psi[g];
+          ++cp;
+        }
+      }
+      if (count > done)
+        sweep_events(events_->base() + first + done,
+                     events_->length() + first + done, count - done, sigma_t,
+                     qos, w, exp_table_, G, psi, acc, ws);
+    }
     segments += count;
 
     if (stage) {
@@ -132,6 +181,8 @@ void CpuSolver::sweep() {
   ensure_templates();
   ensure_events();
   const bool event = events_ != nullptr;
+  const bool tally = cmfd_active();
+  if (tally) cmfd_->begin_sweep(static_cast<int>(std::max(W, 1u)), G);
 
   if (event) {
     // The flatten subsumed per-sweep template dispatch; expansion stats
@@ -157,16 +208,17 @@ void CpuSolver::sweep() {
     // binary searches, replaced by the info cache).
     if (psi_scratch_.size() < static_cast<std::size_t>(G))
       psi_scratch_.resize(G);
+    double* cur = tally ? cmfd_->currents(0) : nullptr;
     long segments = 0;
     if (event) {
       for (long id = 0; id < n; ++id)
         segments += sweep_one_event(id, accum.data(), psi_scratch_.data(),
-                                    /*stage=*/false, event_scratch_[0]);
+                                    /*stage=*/false, event_scratch_[0], cur);
       collect_event_counters();
     } else {
       for (long id = 0; id < n; ++id)
-        segments +=
-            sweep_one(id, accum.data(), psi_scratch_.data(), /*stage=*/false);
+        segments += sweep_one(id, accum.data(), psi_scratch_.data(),
+                              /*stage=*/false, cur);
     }
     last_sweep_segments_ = segments;
     return;
@@ -185,14 +237,15 @@ void CpuSolver::sweep() {
   P.for_chunks(n, [&](unsigned w, long b, long e) {
     double* psi = psi_scratch_.data() + static_cast<std::size_t>(w) * G;
     double* acc = priv_[w].data();
+    double* cur = tally ? cmfd_->currents(static_cast<int>(w)) : nullptr;
     long count = 0;
     if (event) {
       EventSweepScratch& ws = event_scratch_[w];
       for (long id = b; id < e; ++id)
-        count += sweep_one_event(id, acc, psi, /*stage=*/true, ws);
+        count += sweep_one_event(id, acc, psi, /*stage=*/true, ws, cur);
     } else {
       for (long id = b; id < e; ++id)
-        count += sweep_one(id, acc, psi, /*stage=*/true);
+        count += sweep_one(id, acc, psi, /*stage=*/true, cur);
     }
     worker_segments_[w] = count;
   });
@@ -214,6 +267,8 @@ void CpuSolver::sweep_subset(const std::vector<long>& ids) {
   ensure_templates();
   ensure_events();
   const bool event = events_ != nullptr;
+  const bool tally = cmfd_active();
+  if (tally) cmfd_->begin_sweep(static_cast<int>(std::max(W, 1u)), G);
 
   if (event) {
     template_dispatch_ = false;
@@ -234,16 +289,17 @@ void CpuSolver::sweep_subset(const std::vector<long>& ids) {
   if (W == 1) {
     if (psi_scratch_.size() < static_cast<std::size_t>(G))
       psi_scratch_.resize(G);
+    double* cur = tally ? cmfd_->currents(0) : nullptr;
     long segments = 0;
     if (event) {
       for (long id : ids)
         segments += sweep_one_event(id, accum.data(), psi_scratch_.data(),
-                                    /*stage=*/true, event_scratch_[0]);
+                                    /*stage=*/true, event_scratch_[0], cur);
       collect_event_counters();
     } else {
       for (long id : ids)
-        segments +=
-            sweep_one(id, accum.data(), psi_scratch_.data(), /*stage=*/true);
+        segments += sweep_one(id, accum.data(), psi_scratch_.data(),
+                              /*stage=*/true, cur);
     }
     last_sweep_segments_ += segments;
     return;
@@ -257,14 +313,15 @@ void CpuSolver::sweep_subset(const std::vector<long>& ids) {
   P.for_chunks(m, [&](unsigned w, long b, long e) {
     double* psi = psi_scratch_.data() + static_cast<std::size_t>(w) * G;
     double* acc = priv_[w].data();
+    double* cur = tally ? cmfd_->currents(static_cast<int>(w)) : nullptr;
     long count = 0;
     if (event) {
       EventSweepScratch& ws = event_scratch_[w];
       for (long i = b; i < e; ++i)
-        count += sweep_one_event(ids[i], acc, psi, /*stage=*/true, ws);
+        count += sweep_one_event(ids[i], acc, psi, /*stage=*/true, ws, cur);
     } else {
       for (long i = b; i < e; ++i)
-        count += sweep_one(ids[i], acc, psi, /*stage=*/true);
+        count += sweep_one(ids[i], acc, psi, /*stage=*/true, cur);
     }
     worker_segments_[w] = count;
   });

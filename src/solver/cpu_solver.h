@@ -71,15 +71,20 @@ class CpuSolver : public TransportSolver {
  private:
   /// Attenuates both directions of track `id`, tallying w*delta into `acc`
   /// and staging (stage = true) or depositing (stage = false) the outgoing
-  /// flux. `psi` is a caller-owned G-element scratch buffer. Returns the
-  /// number of 3D segments traversed.
-  long sweep_one(long id, double* acc, double* psi, bool stage);
+  /// flux. `psi` is a caller-owned G-element scratch buffer. `cur`, when
+  /// non-null, is a CMFD surface-current buffer: w*psi is added at every
+  /// crossing the plan recorded for this track — a pure read of psi, so
+  /// the attenuation arithmetic (and hence all fluxes) is bitwise
+  /// unchanged by tallying. Returns the number of 3D segments traversed.
+  long sweep_one(long id, double* acc, double* psi, bool stage, double* cur);
 
   /// Event-backend variant of sweep_one: scans the flat event ranges of
-  /// both directions with the two-stage batch kernel. Bitwise identical
-  /// to sweep_one for the same track and accumulator.
+  /// both directions with the two-stage batch kernel, splitting each range
+  /// at the recorded crossing ordinals when `cur` is non-null (the batch
+  /// kernel is sequential in psi, so sub-range calls are bitwise identical
+  /// to one call). Bitwise identical to sweep_one for the same track.
   long sweep_one_event(long id, double* acc, double* psi, bool stage,
-                       EventSweepScratch& ws);
+                       EventSweepScratch& ws, double* cur);
 
   /// Builds the template cache on first use (unless kOff).
   void ensure_templates();

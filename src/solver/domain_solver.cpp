@@ -9,6 +9,7 @@
 #include <mutex>
 #include <numeric>
 
+#include "cmfd/cmfd.h"
 #include "fault/fault.h"
 #include "partition/load_mapper.h"
 #include "solver/cpu_solver.h"
@@ -496,9 +497,14 @@ class RankDriver {
     } else {
       auto impl = std::make_unique<DomainImpl<CpuSolver>>(
           *od.stacks, materials_, decomp_, d, &router_, comm_,
-          params_.overlap, params_.sweep_workers);
+          params_.overlap, params_.sweep_workers, TemplateMode::kAuto,
+          params_.sweep_backend);
       od.host = impl.get();
       od.owner = std::move(impl);
+    }
+    if (params_.cmfd.enable) {
+      od.owner->enable_cmfd(params_.cmfd);
+      od.owner->cmfd_accel()->set_rank(rank_);
     }
     {
       std::lock_guard lock(shared_.mutex);
@@ -610,6 +616,18 @@ class RankDriver {
       for (auto& od : owned_)
         contribs.emplace_back(od.domain, &od.owner->fsr().accumulator());
       comm_.allreduce_slots(contribs, comm::ReduceOp::kSum);
+      if (params_.cmfd.enable) {
+        // Global coarse surface currents, keyed by domain like the FSR
+        // accumulators above: every rank then holds the identical tally
+        // vector, solves the identical coarse diffusion system in
+        // close_step, and applies the identical prolongation — bitwise,
+        // takeover-stable.
+        std::vector<std::pair<int, std::vector<double>*>> currents;
+        for (auto& od : owned_)
+          currents.emplace_back(od.domain,
+                                &od.owner->cmfd_accel()->merged_currents());
+        comm_.allreduce_slots(currents, comm::ReduceOp::kSum);
+      }
       for (auto& od : owned_) od.host->post_exports();
       for (auto& od : owned_) od.host->collect_imports();
     }

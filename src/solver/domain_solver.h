@@ -32,8 +32,10 @@
 #include <vector>
 
 #include "cluster/migration.h"
+#include "cmfd/coarse_mesh.h"
 #include "comm/runtime.h"
 #include "solver/decomposition.h"
+#include "solver/event_sweep.h"
 #include "solver/gpu_solver.h"
 #include "solver/transport_solver.h"
 
@@ -51,6 +53,15 @@ struct DomainRunParams {
   GpuSolverOptions gpu_options;
   /// Host sweep fork-join width per rank (`sweep.workers`; 0 = auto).
   unsigned sweep_workers = 0;
+  /// Host sweep kernel organization (`sweep.backend`); bitwise identical
+  /// either way for a fixed worker count. Device sweeps configure theirs
+  /// through `gpu_options.backend`.
+  SweepBackend sweep_backend = default_sweep_backend();
+  /// CMFD acceleration (`cmfd.*`). Every domain tallies its local coarse
+  /// surface currents; the driver allreduces them keyed by domain (fixed
+  /// order) so all ranks solve the identical global coarse system and
+  /// prolong identically.
+  cmfd::CmfdOptions cmfd;
   /// Overlap communication with computation (`comm.overlap`): nonblocking
   /// flux exchange hidden behind the interior sweep. Off = the paper's
   /// buffered-synchronous exchange. Results are identical either way.

@@ -30,6 +30,14 @@ class FsrData {
   const std::vector<double>& scalar_flux() const { return flux_; }
   double flux(long fsr, int g) const { return flux_[fsr * num_groups_ + g]; }
 
+  /// Mutable flux access for in-place rescaling (CMFD prolongation).
+  std::vector<double>& scalar_flux_mut() { return flux_; }
+
+  int material_id(long fsr) const { return material_of_[fsr]; }
+  const Material& material(long fsr) const {
+    return (*materials_)[material_of_[fsr]];
+  }
+
   /// Replaces the scalar flux wholesale (checkpoint restore).
   void set_scalar_flux(std::vector<double> flux);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "cmfd/cmfd.h"
 #include "gpusim/atomic.h"
 #include "perfmodel/layout.h"
 #include "util/error.h"
@@ -204,7 +205,7 @@ void GpuSolver::charge(const std::string& label, std::size_t bytes) {
   charges_.emplace_back(device_.memory(), label, bytes);
 }
 
-double GpuSolver::sweep_track(long id, double* acc, bool stage) {
+double GpuSolver::sweep_track(long id, double* acc, bool stage, double* cur) {
   const int G = fsr_.num_groups();
   const double* sigma_t = fsr_.sigma_t_flat().data();
   const double* qos = fsr_.q_over_sigma_t().data();
@@ -223,24 +224,62 @@ double GpuSolver::sweep_track(long id, double* acc, bool stage) {
   }
   double psi[kMaxGroups];
 
+  // CMFD crossing tally: private per-CU buffer when privatized (acc !=
+  // nullptr), device atomics into the shared buffer otherwise — the same
+  // strategy split as the FSR tallies.
+  const auto tally_crossing = [&](const cmfd::Crossing* c) {
+    double* slot = cur + static_cast<long>(c->slot) * G;
+    if (acc != nullptr)
+      for (int g = 0; g < G; ++g) slot[g] += w * psi[g];
+    else
+      for (int g = 0; g < G; ++g)
+        gpusim::device_atomic_add(slot[g], w * psi[g]);
+  };
+
   if (events_ != nullptr) {
     // Event backend: both directions scan the flat per-(track, direction)
     // event ranges with the two-stage batch kernel — no residency or
     // template dispatch (the flatten already resolved it). Bitwise
-    // identical to the history paths below.
+    // identical to the history paths below. When tallying currents the
+    // range is split at the crossing ordinals; stage 2 of the batch
+    // kernel is a sequential psi recurrence, so sub-range calls are
+    // bitwise identical to one full-range call.
     static thread_local EventSweepScratch ws;
     for (int dir = 0; dir < 2; ++dir) {
       const float* in = psi_in_.data() + (id * 2 + dir) * G;
       for (int g = 0; g < G; ++g) psi[g] = in[g];
       const long first = events_->first(id, dir);
       const long count = events_->count(id, dir);
-      if (acc != nullptr)
-        sweep_events(events_->base() + first, events_->length() + first,
-                     count, sigma_t, qos, w, exp_table_, G, psi, acc, ws);
-      else
-        sweep_events_atomic(events_->base() + first,
-                            events_->length() + first, count, sigma_t, qos,
-                            w, exp_table_, G, psi, accum, ws);
+      const auto run = [&](long off, long n) {
+        if (acc != nullptr)
+          sweep_events(events_->base() + first + off,
+                       events_->length() + first + off, n, sigma_t, qos, w,
+                       exp_table_, G, psi, acc, ws);
+        else
+          sweep_events_atomic(events_->base() + first + off,
+                              events_->length() + first + off, n, sigma_t,
+                              qos, w, exp_table_, G, psi, accum, ws);
+      };
+      if (cur == nullptr) {
+        run(0, count);
+      } else {
+        const cmfd::Crossing* cp = nullptr;
+        const cmfd::Crossing* ce = nullptr;
+        cmfd_->plan().records(id, dir, cp, ce);
+        long done = 0;
+        while (cp != ce) {
+          const long ord = cp->ordinal;
+          if (ord > done) {
+            run(done, ord - done);
+            done = ord;
+          }
+          while (cp != ce && cp->ordinal == ord) {
+            tally_crossing(cp);
+            ++cp;
+          }
+        }
+        if (count > done) run(done, count - done);
+      }
       if (stage) {
         double* out = stage_slot(id, dir);
         for (int g = 0; g < G; ++g) out[g] = psi[g];
@@ -262,7 +301,17 @@ double GpuSolver::sweep_track(long id, double* acc, bool stage) {
     const float* in = psi_in_.data() + (id * 2 + dir) * G;
     for (int g = 0; g < G; ++g) psi[g] = in[g];
 
+    const cmfd::Crossing* cp = nullptr;
+    const cmfd::Crossing* ce = nullptr;
+    if (cur != nullptr) cmfd_->plan().records(id, dir, cp, ce);
+    long ord = 0;
+
     auto apply = [&](long fsr_id, double len) {
+      while (cp != ce && cp->ordinal == ord) {
+        tally_crossing(cp);
+        ++cp;
+      }
+      ++ord;
       const long base = fsr_id * G;
       for (int g = 0; g < G; ++g) {
         const double ex = attenuation(sigma_t[base + g] * len);
@@ -289,6 +338,10 @@ double GpuSolver::sweep_track(long id, double* acc, bool stage) {
       const ChordTemplateCache* t = manager_->templates();
       if (t == nullptr || !t->for_each_segment(id, forward, apply))
         stacks_.for_each_segment(*info, forward, apply);
+    }
+    while (cp != ce) {  // exit crossings (ordinal == segment count)
+      tally_crossing(cp);
+      ++cp;
     }
 
     if (stage) {
@@ -328,6 +381,10 @@ void GpuSolver::sweep() {
   const auto assignment = options_.l3_sort
                               ? gpusim::Assignment::kRoundRobin
                               : gpusim::Assignment::kBlocked;
+  const bool tally = cmfd_active();
+  if (tally)
+    cmfd_->begin_sweep(privatized_ ? device_.spec().num_cus : 1,
+                       fsr_.num_groups());
 
   if (privatized_) {
     // Each CU tallies into its private slice of the scratch buffer;
@@ -340,14 +397,16 @@ void GpuSolver::sweep() {
         "transport_sweep", order_->size(), assignment,
         [&](std::size_t item, int cu) {
           return sweep_track((*order_)[item], scratch + cu * len,
-                             /*stage=*/true);
+                             /*stage=*/true,
+                             tally ? cmfd_->currents(cu) : nullptr);
         });
     flush_staged_deposits();
     reduce_tallies();
   } else {
+    double* cur = tally ? cmfd_->currents(0) : nullptr;
     last_stats_ = device_.launch(
         "transport_sweep", order_->size(), assignment, [&](std::size_t item) {
-          return sweep_track((*order_)[item], nullptr, /*stage=*/false);
+          return sweep_track((*order_)[item], nullptr, /*stage=*/false, cur);
         });
   }
   last_sweep_segments_ = segments_per_sweep_;
@@ -369,6 +428,10 @@ void GpuSolver::sweep_subset(const std::vector<long>& ids) {
   const auto assignment = options_.l3_sort
                               ? gpusim::Assignment::kRoundRobin
                               : gpusim::Assignment::kBlocked;
+  const bool tally = cmfd_active();
+  if (tally)
+    cmfd_->begin_sweep(privatized_ ? device_.spec().num_cus : 1,
+                       fsr_.num_groups());
   if (privatized_) {
     const std::size_t len =
         static_cast<std::size_t>(fsr_.num_fsrs()) * fsr_.num_groups();
@@ -377,13 +440,15 @@ void GpuSolver::sweep_subset(const std::vector<long>& ids) {
         "transport_sweep", ids.size(), assignment,
         [&](std::size_t item, int cu) {
           return sweep_track(ids[item], scratch + cu * len,
-                             /*stage=*/true);
+                             /*stage=*/true,
+                             tally ? cmfd_->currents(cu) : nullptr);
         });
     reduce_tallies();
   } else {
+    double* cur = tally ? cmfd_->currents(0) : nullptr;
     last_stats_ = device_.launch(
         "transport_sweep", ids.size(), assignment, [&](std::size_t item) {
-          return sweep_track(ids[item], nullptr, /*stage=*/true);
+          return sweep_track(ids[item], nullptr, /*stage=*/true, cur);
         });
   }
   const auto& counts = manager_->segment_counts();

@@ -126,8 +126,12 @@ class GpuSolver : public TransportSolver {
   /// One 3D track's transport kernel: attenuate both directions, tallying
   /// w*delta into `acc` (nullptr = atomics into the shared accumulator)
   /// and staging (stage = true) or atomically depositing the outgoing
-  /// flux. Returns the modeled device cost of the track.
-  double sweep_track(long id, double* acc, bool stage);
+  /// flux. `cur`, when non-null, is a CMFD surface-current buffer (per-CU
+  /// private when privatized, the shared buffer 0 — tallied with device
+  /// atomics — on the atomic fallback, keyed off acc == nullptr); the
+  /// tallies are pure reads of psi, so the attenuation arithmetic is
+  /// bitwise unchanged. Returns the modeled device cost of the track.
+  double sweep_track(long id, double* acc, bool stage, double* cur);
 
   /// Merges the per-CU privatized tally scratch into the shared
   /// accumulator in fixed CU order (and re-zeroes the scratch).

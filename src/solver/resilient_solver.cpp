@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "cmfd/cmfd.h"
 #include "telemetry/telemetry.h"
 #include "util/error.h"
 #include "util/log.h"
@@ -115,6 +116,7 @@ ResilientSolveReport solve_resilient(const TrackStacks& stacks,
         throw;  // OTF itself does not fit: nothing left to shed
     }
   }
+  if (options.cmfd.enable) solver->enable_cmfd(options.cmfd);
   report.actual_policy = gpu.policy;
   report.resident_budget_bytes = gpu.resident_budget_bytes;
 
@@ -153,12 +155,15 @@ ResilientSolveReport solve_resilient(const TrackStacks& stacks,
       // continue from the last checkpoint instead of from scratch.
       solver.reset();
       solver = std::make_unique<GpuSolver>(stacks, materials, device, gpu);
+      if (options.cmfd.enable) solver->enable_cmfd(options.cmfd);
       solver->load_state(options.checkpoint_path);
       solve_opts.resume = true;
       report.resumed_from_checkpoint = true;
     }
   }
 
+  report.cmfd_degraded = solver->cmfd_accel() != nullptr &&
+                         solver->cmfd_accel()->degraded();
   log::info("resilient solve: ", report.summary());
   return report;
 }

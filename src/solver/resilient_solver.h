@@ -34,6 +34,11 @@ namespace antmoc {
 struct ResilientSolveOptions {
   GpuSolverOptions gpu;    ///< requested policy / budget / mapping knobs
   SolveOptions solve;
+  /// CMFD acceleration (`cmfd.*`). Its own degradation is internal — a
+  /// diverged coarse solve (or an injected cmfd.solve fault) permanently
+  /// drops back to plain power iteration without failing the solve; the
+  /// report records that it happened.
+  cmfd::CmfdOptions cmfd;
 
   /// Geometric factor applied to resident_budget_bytes on each Managed
   /// retry after an out-of-memory failure.
@@ -70,6 +75,8 @@ struct ResilientSolveReport {
   std::vector<DowngradeStep> downgrades;
   int restarts = 0;
   bool resumed_from_checkpoint = false;
+  /// CMFD was enabled but degraded to unaccelerated iteration mid-run.
+  bool cmfd_degraded = false;
 
   /// One-line human-readable account ("EXP -> Managed(3 GiB) -> OTF ...").
   std::string summary() const;

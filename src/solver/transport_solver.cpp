@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "cmfd/cmfd.h"
 #include "fault/fault.h"
 #include "gpusim/atomic.h"
 #include "io/writers.h"
@@ -43,6 +44,17 @@ TransportSolver::TransportSolver(const TrackStacks& stacks,
   const long slots = stacks.num_tracks() * 2 * fsr_.num_groups();
   psi_in_.assign(slots, 0.0f);
   psi_next_.assign(slots, 0.0f);
+}
+
+TransportSolver::~TransportSolver() = default;
+
+void TransportSolver::enable_cmfd(const cmfd::CmfdOptions& options) {
+  if (!options.enable) return;
+  cmfd_ = std::make_unique<cmfd::CmfdAccelerator>(options);
+}
+
+bool TransportSolver::cmfd_active() const {
+  return cmfd_ != nullptr && cmfd_->attached();
 }
 
 void TransportSolver::set_z_kinds(LinkKind z_min, LinkKind z_max) {
@@ -366,6 +378,8 @@ std::int64_t TransportSolver::load_state(const std::string& path) {
 void TransportSolver::prepare_solve(const SolveOptions& options) {
   build_links();
   fsr_.set_parallel(&par());
+  if (cmfd_ != nullptr)
+    cmfd_->attach(stacks_, z_min_kind_, z_max_kind_, &par(), shared_cmfd_);
   if (!volumes_ready_) {
     compute_volumes();
     volumes_ready_ = true;
@@ -399,12 +413,16 @@ void TransportSolver::prepare_solve(const SolveOptions& options) {
 void TransportSolver::sweep_step() {
   fsr_.zero_accumulator();
   std::fill(psi_next_.begin(), psi_next_.end(), 0.0f);
+  if (cmfd_active()) cmfd_->begin_iteration();
   ScopedTimer sweep_probe("solver/transport_sweep");
   telemetry::TraceSpan sweep_span("solver/transport_sweep", "solver");
   Timer sweep_timer;
   sweep_timer.start();
   sweep();
   sweep_timer.stop();
+  // Merged here — inside the per-iteration step — so the decomposed
+  // driver can allreduce merged_currents() before close_step.
+  if (cmfd_active()) cmfd_->merge_currents();
   last_sweep_seconds_ = sweep_timer.seconds();
   record_sweep_throughput(sweep_span, sweep_timer.seconds());
 }
@@ -427,6 +445,20 @@ TransportSolver::IterationStats TransportSolver::close_step(
 
   IterationStats stats;
   stats.production = production;
+  if (cmfd_active() &&
+      cmfd_->accelerate(fsr_, psi_in_, k_, scale, par())) {
+    // Re-normalize the prolonged eigenvector. The coarse ratios preserve
+    // the homogenized fission production, so this is a ~1 correction —
+    // and it runs only when prolongation was applied, keeping the
+    // degraded/fault path bitwise identical to plain power iteration.
+    const double p2 = fsr_.fission_production();
+    require(p2 > 0.0, "fission production vanished after CMFD");
+    const double s2 = 1.0 / p2;
+    fsr_.scale_flux(s2);
+    par().for_each(static_cast<long>(psi_in_.size()), [&](long i) {
+      pin[i] = static_cast<float>(pin[i] * s2);
+    });
+  }
   stats.residual = fsr_.fission_source_residual();
   stats.k_eff = k_;
   fsr_.update_source(k_);

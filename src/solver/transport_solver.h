@@ -30,6 +30,12 @@
 
 namespace antmoc {
 
+namespace cmfd {
+class CmfdAccelerator;
+struct CmfdContext;
+struct CmfdOptions;
+}  // namespace cmfd
+
 struct SolveOptions {
   double tolerance = 1e-5;
   int max_iterations = 2000;
@@ -59,7 +65,7 @@ class TransportSolver {
   /// domain-decomposed solvers override them with kInterface.
   TransportSolver(const TrackStacks& stacks,
                   const std::vector<Material>& materials);
-  virtual ~TransportSolver() = default;
+  virtual ~TransportSolver();  // out of line: cmfd_ is incomplete here
 
   TransportSolver(const TransportSolver&) = delete;
   TransportSolver& operator=(const TransportSolver&) = delete;
@@ -179,6 +185,26 @@ class TransportSolver {
   /// 3D segments traversed by the most recent sweep (both directions).
   long last_sweep_segments() const { return last_sweep_segments_; }
 
+  // --- CMFD acceleration (DESIGN.md §14) -----------------------------------
+  /// Enables CMFD acceleration with the given knobs. Call before
+  /// prepare_solve()/solve(); the accelerator attaches its coarse mesh +
+  /// crossing plan there (or borrows a session-shared context installed
+  /// via set_shared_cmfd_context). With acceleration off — or degraded by
+  /// a divergence/fault — the solve is bitwise identical to an
+  /// unaccelerated run: the sweep tallies only read the angular flux.
+  void enable_cmfd(const cmfd::CmfdOptions& options);
+
+  /// Session-shared coarse-mesh context (mesh + crossing plan); must
+  /// outlive the solver and match its stacks and z-face kinds.
+  void set_shared_cmfd_context(const cmfd::CmfdContext* context) {
+    shared_cmfd_ = context;
+  }
+
+  /// The attached accelerator, nullptr when CMFD is off. (Named to avoid
+  /// shadowing the antmoc::cmfd namespace in solver class scopes.)
+  cmfd::CmfdAccelerator* cmfd_accel() { return cmfd_.get(); }
+  const cmfd::CmfdAccelerator* cmfd_accel() const { return cmfd_.get(); }
+
   /// Backend the sweep engine actually runs ("history" unless an event
   /// backend activated — a requested event backend may have fallen back,
   /// e.g. after the device-arena OOM on "event_arrays").
@@ -296,6 +322,14 @@ class TransportSolver {
   long last_event_batches_ = 0;  ///< stage-1 batches of the last sweep
 
   std::vector<double> psi_out_;  ///< staged outgoing flux per (id, dir)
+
+  /// CMFD accelerator (owned; nullptr = off). Sweep engines consult it
+  /// for per-worker current buffers; close_step runs the coarse solve.
+  std::unique_ptr<cmfd::CmfdAccelerator> cmfd_;
+  const cmfd::CmfdContext* shared_cmfd_ = nullptr;
+
+  /// True when the accelerator is attached and tallying this solve.
+  bool cmfd_active() const;
 
  private:
   unsigned workers_knob_ = 0;

@@ -1,0 +1,228 @@
+/// \file cmfd_test.cpp
+/// CMFD acceleration battery (DESIGN.md §14): the accelerated solver must
+/// reproduce the unaccelerated k_eff within a few pcm while cutting the
+/// outer-iteration count by at least 3x on the gated C5G7 core; with the
+/// accelerator instrumented but never prolonging, results must be bitwise
+/// identical to the plain solver (the sweep-side tallies only *read* the
+/// angular flux); and a divergence/fault degrade must land bitwise on the
+/// plain-iteration answer.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "cmfd/cmfd.h"
+#include "fault/fault.h"
+#include "models/c5g7_model.h"
+#include "perfmodel/perfmodel.h"
+#include "solver/cpu_solver.h"
+#include "track/generator2d.h"
+#include "track/track3d.h"
+
+namespace antmoc {
+namespace {
+
+struct Problem {
+  models::C5G7Model model;
+  Quadrature quad;
+  TrackGenerator2D gen;
+  TrackStacks stacks;
+
+  Problem(models::C5G7Model m, int nazim, double spacing, int npolar,
+          double dz)
+      : model(std::move(m)),
+        quad(nazim, spacing, model.geometry.bounds().width_x(),
+             model.geometry.bounds().width_y(), npolar),
+        gen(quad, model.geometry.bounds(), radial_kinds(model.geometry)),
+        stacks((gen.trace(model.geometry), gen), model.geometry,
+               model.geometry.bounds().z_min,
+               model.geometry.bounds().z_max, dz) {}
+
+  static std::array<LinkKind, 4> radial_kinds(const Geometry& g) {
+    return {to_link_kind(g.boundary(Face::kXMin)),
+            to_link_kind(g.boundary(Face::kXMax)),
+            to_link_kind(g.boundary(Face::kYMin)),
+            to_link_kind(g.boundary(Face::kYMax))};
+  }
+};
+
+/// The gate problem: a scaled C5G7 core large enough that plain power
+/// iteration needs hundreds of sweeps (dominance ratio close to 1).
+Problem gate_problem() {
+  models::C5G7Options opt;
+  opt.pins_per_assembly = 5;
+  opt.fuel_layers = 3;
+  opt.reflector_layers = 1;
+  opt.height_scale = 0.15;
+  return Problem(models::build_core(opt), 4, 0.3, 2, 0.75);
+}
+
+SolveOptions gate_options() {
+  SolveOptions opts;
+  opts.tolerance = 1e-7;
+  opts.max_iterations = 2000;
+  return opts;
+}
+
+void expect_bitwise_flux(const TransportSolver& a, const TransportSolver& b) {
+  const auto& fa = a.fsr().scalar_flux();
+  const auto& fb = b.fsr().scalar_flux();
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) EXPECT_EQ(fa[i], fb[i]) << i;
+}
+
+// ------------------------------------------------------- coarse mesh ------
+
+TEST(CoarseMesh, PinOverlayCoversEveryFsr) {
+  Problem p = gate_problem();
+  const cmfd::CoarseMesh mesh(p.model.geometry, cmfd::MeshSpec{});
+  ASSERT_TRUE(mesh.grid());
+  EXPECT_GT(mesh.num_cells(), 1);
+  EXPECT_LE(mesh.num_cells(), mesh.nx() * mesh.ny() * mesh.nz());
+  for (long r = 0; r < p.model.geometry.num_fsrs(); ++r) {
+    const int c = mesh.cell_of(r);
+    ASSERT_GE(c, 0) << "fsr " << r;
+    ASSERT_LT(c, mesh.num_cells()) << "fsr " << r;
+  }
+}
+
+TEST(CoarseMesh, FacesAreInteriorAndOriented) {
+  Problem p = gate_problem();
+  const cmfd::CoarseMesh mesh(p.model.geometry, cmfd::MeshSpec{});
+  ASSERT_GT(mesh.num_faces(), 0);
+  for (const auto& f : mesh.faces()) {
+    EXPECT_GE(f.a, 0);
+    EXPECT_LT(f.a, f.b);
+    EXPECT_LT(f.b, mesh.num_cells());
+    EXPECT_GT(f.area, 0.0);
+    EXPECT_GT(f.ha, 0.0);
+    EXPECT_GT(f.hb, 0.0);
+    // The slot query must agree with the face table in both orientations.
+    EXPECT_GE(mesh.slot_between(f.a, f.b), 0);
+    EXPECT_GE(mesh.slot_between(f.b, f.a), 0);
+    EXPECT_NE(mesh.slot_between(f.a, f.b), mesh.slot_between(f.b, f.a));
+  }
+  EXPECT_EQ(mesh.num_slots(),
+            mesh.num_faces() * 2 + mesh.num_cells() * 2L);
+}
+
+TEST(CrossingPlan, EveryTrackDirectionEntersAndExits) {
+  Problem p = gate_problem();
+  const cmfd::CoarseMesh mesh(p.model.geometry, cmfd::MeshSpec{});
+  const cmfd::CrossingPlan plan(p.stacks, mesh, LinkKind::kReflective,
+                                LinkKind::kReflective);
+  EXPECT_GT(plan.num_records(), 0);
+  for (long id = 0; id < p.stacks.num_tracks(); ++id)
+    for (int dir = 0; dir < 2; ++dir) {
+      const cmfd::Crossing* begin = nullptr;
+      const cmfd::Crossing* end = nullptr;
+      plan.records(id, dir, begin, end);
+      if (begin == end) continue;  // empty track
+      EXPECT_EQ(begin->ordinal, 0);  // entry tally
+      EXPECT_GE(plan.first_cell(id, dir), 0);
+      for (const cmfd::Crossing* c = begin; c != end; ++c) {
+        EXPECT_GE(c->slot, 0);
+        EXPECT_LT(c->slot, mesh.num_slots());
+        if (c + 1 != end) EXPECT_LE(c->ordinal, (c + 1)->ordinal);
+      }
+    }
+}
+
+// ----------------------------------------------------- headline gates ------
+
+TEST(CmfdAcceleration, MatchesPlainKeffAndCutsOuterIterations) {
+  const SolveOptions opts = gate_options();
+
+  Problem plain_p = gate_problem();
+  CpuSolver plain(plain_p.stacks, plain_p.model.materials, 1);
+  const SolveResult r0 = plain.solve(opts);
+  ASSERT_TRUE(r0.converged);
+
+  Problem acc_p = gate_problem();
+  CpuSolver acc(acc_p.stacks, acc_p.model.materials, 1);
+  cmfd::CmfdOptions co;
+  co.enable = true;
+  acc.enable_cmfd(co);
+  const SolveResult r1 = acc.solve(opts);
+  ASSERT_TRUE(r1.converged);
+
+  EXPECT_FALSE(acc.cmfd_accel()->degraded());
+  EXPECT_GT(acc.cmfd_accel()->accelerations(), 0);
+  // k agreement: the accelerator changes the iteration path, not the
+  // fixed point — 5 pcm covers the different convergence stopping points.
+  EXPECT_NEAR(r1.k_eff, r0.k_eff, 5e-5);
+  // The headline gate: at least 3x fewer transport sweeps (measured ~6.8x).
+  EXPECT_LE(r1.iterations * 3, r0.iterations);
+}
+
+TEST(CmfdAcceleration, InstrumentedButNeverProlongingIsBitwiseIdentical) {
+  // With start_iteration beyond the solve, the tallies run every sweep but
+  // accelerate() never mutates flux, psi or k: results must be bitwise
+  // identical to a solver with no accelerator at all. This pins the
+  // determinism contract that the sweep-side instrumentation only reads
+  // the angular flux — and therefore that cmfd.enable=off (which skips
+  // the instrumentation entirely) is bitwise identical to the pre-CMFD
+  // solver.
+  SolveOptions opts = gate_options();
+  opts.max_iterations = 40;
+  opts.tolerance = 0.0;
+
+  Problem plain_p = gate_problem();
+  CpuSolver plain(plain_p.stacks, plain_p.model.materials, 2);
+  const SolveResult r0 = plain.solve(opts);
+
+  Problem acc_p = gate_problem();
+  CpuSolver acc(acc_p.stacks, acc_p.model.materials, 2);
+  cmfd::CmfdOptions co;
+  co.enable = true;
+  co.start_iteration = 1000000;
+  acc.enable_cmfd(co);
+  const SolveResult r1 = acc.solve(opts);
+
+  EXPECT_EQ(r1.k_eff, r0.k_eff);
+  EXPECT_EQ(r1.iterations, r0.iterations);
+  EXPECT_EQ(r1.residual, r0.residual);
+  expect_bitwise_flux(acc, plain);
+  EXPECT_EQ(acc.cmfd_accel()->accelerations(), 0);
+}
+
+TEST(CmfdAcceleration, FaultDegradeLandsOnPlainAnswerBitwise) {
+  const SolveOptions opts = gate_options();
+
+  Problem plain_p = gate_problem();
+  CpuSolver plain(plain_p.stacks, plain_p.model.materials, 1);
+  const SolveResult r0 = plain.solve(opts);
+
+  fault::ScopedPlan fault_plan("cmfd.solve throw solver nth=1");
+  Problem acc_p = gate_problem();
+  CpuSolver acc(acc_p.stacks, acc_p.model.materials, 1);
+  cmfd::CmfdOptions co;
+  co.enable = true;
+  acc.enable_cmfd(co);
+  const SolveResult r1 = acc.solve(opts);
+
+  EXPECT_TRUE(acc.cmfd_accel()->degraded());
+  EXPECT_EQ(acc.cmfd_accel()->accelerations(), 0);
+  EXPECT_EQ(r1.k_eff, r0.k_eff);
+  EXPECT_EQ(r1.iterations, r0.iterations);
+  EXPECT_EQ(r1.residual, r0.residual);
+  expect_bitwise_flux(acc, plain);
+}
+
+// ------------------------------------------------------- perf model --------
+
+TEST(CmfdPerfModel, OuterReductionModelIsSane) {
+  // Closer-to-critical problems (dominance ratio -> 1) gain more.
+  const double slow = perf::predict_cmfd_outer_reduction(0.99);
+  const double fast = perf::predict_cmfd_outer_reduction(0.5);
+  EXPECT_GT(slow, fast);
+  EXPECT_GE(fast, 1.0);
+  // Degenerate inputs never predict a slowdown.
+  EXPECT_EQ(perf::predict_cmfd_outer_reduction(0.0), 1.0);
+  EXPECT_EQ(perf::predict_cmfd_outer_reduction(1.0), 1.0);
+  EXPECT_EQ(perf::predict_cmfd_outer_reduction(0.9, 1.5), 1.0);
+}
+
+}  // namespace
+}  // namespace antmoc

@@ -13,6 +13,7 @@
 #include "engine/session.h"
 #include "models/c5g7_model.h"
 #include "solver/cpu_solver.h"
+#include "solver/domain_solver.h"
 #include "solver/event_sweep.h"
 #include "solver/gpu_solver.h"
 #include "track/chord_template.h"
@@ -264,6 +265,45 @@ TEST(EventSweepGpu, AutoFallsBackToHistoryWhenArenaCannotAfford) {
 }
 
 // ------------------------------------------------ engine warm == cold -----
+
+TEST(EventSweepDecomposed, TwoDomainRunBitwiseIdenticalToHistory) {
+  // The backend contract must survive domain decomposition: each rank
+  // sweeps its own laydown, exchanges interface fluxes, and the event
+  // organization of those sweeps must not move a single bit of the
+  // global answer.
+  const auto model = [] {
+    models::C5G7Options opt;
+    opt.pins_per_assembly = 3;
+    opt.fuel_layers = 2;
+    opt.reflector_layers = 1;
+    opt.height_scale = 0.1;
+    return models::build_core(opt);
+  }();
+  DomainRunParams params;
+  params.num_azim = 4;
+  params.azim_spacing = 0.5;
+  params.num_polar = 2;
+  params.z_spacing = 1.0;
+  params.sweep_workers = 2;
+  SolveOptions opts;
+  opts.fixed_iterations = 6;
+
+  params.sweep_backend = SweepBackend::kHistory;
+  const auto hist = solve_decomposed(model.geometry, model.materials,
+                                     {1, 1, 2}, params, opts);
+  params.sweep_backend = SweepBackend::kEvent;
+  const auto ev = solve_decomposed(model.geometry, model.materials,
+                                   {1, 1, 2}, params, opts);
+
+  EXPECT_EQ(ev.result.k_eff, hist.result.k_eff);
+  EXPECT_EQ(ev.result.residual, hist.result.residual);
+  ASSERT_EQ(ev.scalar_flux.size(), hist.scalar_flux.size());
+  for (std::size_t i = 0; i < ev.scalar_flux.size(); ++i)
+    EXPECT_EQ(ev.scalar_flux[i], hist.scalar_flux[i]) << i;
+  ASSERT_EQ(ev.fission_rate.size(), hist.fission_rate.size());
+  for (std::size_t i = 0; i < ev.fission_rate.size(); ++i)
+    EXPECT_EQ(ev.fission_rate[i], hist.fission_rate[i]) << i;
+}
 
 TEST(EventSweepEngine, WarmJobsBitwiseIdenticalToColdOneShots) {
   models::C5G7Options mopt;

@@ -260,5 +260,60 @@ INSTANTIATE_TEST_SUITE_P(Sweep, DecompSweep,
                                            std::array<int, 3>{3, 1, 1},
                                            std::array<int, 3>{1, 1, 4}));
 
+// =================================================== knob negative paths ====
+
+/// Runs `fn`, expecting it to throw an Error whose message contains every
+/// fragment — a malformed knob must name the key and the offending value,
+/// or the user gets a stack trace instead of a fix.
+template <class Fn>
+void expect_diagnostic(Fn&& fn, std::initializer_list<const char*> fragments) {
+  try {
+    fn();
+    FAIL() << "expected a diagnostic";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    for (const char* fragment : fragments)
+      EXPECT_NE(what.find(fragment), std::string::npos)
+          << "diagnostic missing '" << fragment << "': " << what;
+  }
+}
+
+TEST(CmfdMeshKnob, MalformedSpecsNameTheKeyAndValue) {
+  const auto parse = [](const char* text) {
+    return [text] { cmfd::parse_mesh_spec(text); };
+  };
+  // Zero and negative dims.
+  expect_diagnostic(parse("0x4x4"), {"cmfd.mesh", "0x4x4", "positive"});
+  expect_diagnostic(parse("4x-2x4"), {"cmfd.mesh", "4x-2x4", "-2"});
+  // Overflow: a dimension beyond int, and a product beyond the cell cap.
+  expect_diagnostic(parse("99999999999999999999x2x2"),
+                    {"cmfd.mesh", "overflows"});
+  expect_diagnostic(parse("4096x4096x4096"), {"cmfd.mesh", "exceeds"});
+  // Shape and token junk.
+  expect_diagnostic(parse("4x4"), {"cmfd.mesh", "4x4", "three"});
+  expect_diagnostic(parse("pinn"), {"cmfd.mesh", "pinn"});
+  expect_diagnostic(parse("4xax4"), {"cmfd.mesh", "not an integer"});
+  expect_diagnostic(parse(""), {"cmfd.mesh"});
+}
+
+TEST(CmfdMeshKnob, WellFormedSpecsRoundTrip) {
+  EXPECT_EQ(cmfd::mesh_spec_name(cmfd::parse_mesh_spec("pin")), "pin");
+  EXPECT_EQ(cmfd::mesh_spec_name(cmfd::parse_mesh_spec("assembly")),
+            "assembly");
+  const cmfd::MeshSpec spec = cmfd::parse_mesh_spec("8X4x3");
+  EXPECT_EQ(spec.nx, 8);
+  EXPECT_EQ(spec.ny, 4);
+  EXPECT_EQ(spec.nz, 3);
+  EXPECT_EQ(cmfd::mesh_spec_name(spec), "8x4x3");
+}
+
+TEST(SweepBackendKnob, TyposNameTheKeyAndValue) {
+  expect_diagnostic([] { parse_sweep_backend("histroy"); },
+                    {"sweep.backend", "histroy"});
+  expect_diagnostic([] { parse_sweep_backend("evnet"); },
+                    {"sweep.backend", "evnet"});
+  expect_diagnostic([] { parse_sweep_backend(""); }, {"sweep.backend"});
+}
+
 }  // namespace
 }  // namespace antmoc
