@@ -1,0 +1,187 @@
+/// \file bench_memory_gate.cpp
+/// Compact segment-store gate bench (DESIGN.md §15): on the scaled C5G7
+/// core, measures
+///   1. the resident footprint — one EXP TrackManager per storage mode
+///      over the same tracks; compact must hold the same segments in
+///      <= 0.55x the bytes;
+///   2. the accuracy bars — converged exact vs compact host solves;
+///      |dk| must stay <= 2 pcm and the per-FSR flux RMS <= 1e-5
+///      relative;
+///   3. the capped-arena payoff — two Managed managers under one byte
+///      budget sized below the exact footprint; compact must pack a
+///      strictly higher resident segment fraction, and under the paper's
+///      pinned sweep-cost model {1, 6, 1.5} its eligible-sweep
+///      throughput (segments per modeled cycle) must be >= 1.15x the
+///      exact manager's at the same cap.
+/// Emits BENCH_memory.json (path = argv[1], default ./BENCH_memory.json);
+/// bench/run_memory_gate.sh validates it and enforces the bars.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "bench/common.h"
+#include "perfmodel/layout.h"
+#include "perfmodel/perfmodel.h"
+#include "perfmodel/sweep_costs.h"
+#include "solver/cpu_solver.h"
+#include "solver/track_policy.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace antmoc;
+using namespace antmoc::bench;
+
+constexpr int kWorkers = 2;
+
+SolveOptions gate_options() {
+  SolveOptions opts;
+  opts.tolerance = 1e-7;
+  opts.max_iterations = 2000;
+  return opts;
+}
+
+struct Run {
+  SolveResult result;
+  double seconds = 0.0;
+  std::vector<double> flux;
+};
+
+Run run_solver(const Problem& p, TrackStorage storage) {
+  CpuSolver solver(p.stacks, p.model.materials, kWorkers,
+                   TemplateMode::kAuto, SweepBackend::kHistory, storage);
+  Timer t;
+  t.start();
+  Run r;
+  r.result = solver.solve(gate_options());
+  t.stop();
+  r.seconds = t.seconds();
+  r.flux = solver.fsr().scalar_flux();
+  return r;
+}
+
+double relative_flux_rms(const std::vector<double>& exact,
+                         const std::vector<double>& compact) {
+  double sum = 0.0;
+  long counted = 0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    if (exact[i] == 0.0) continue;
+    const double rel = (compact[i] - exact[i]) / exact[i];
+    sum += rel * rel;
+    ++counted;
+  }
+  return counted > 0 ? std::sqrt(sum / static_cast<double>(counted)) : 0.0;
+}
+
+double segment_fraction(const TrackManager& m) {
+  return m.total_segments() > 0
+             ? static_cast<double>(m.resident_segments()) /
+                   static_cast<double>(m.total_segments())
+             : 0.0;
+}
+
+/// Modeled segments per cycle for a history sweep at the manager's
+/// residency (Eq. 6 with the pinned paper costs) — the "eligible-sweep
+/// segments/s" bar with the machine-speed constant divided out.
+double model_throughput(const TrackManager& m) {
+  const long segs = m.total_segments();
+  return static_cast<double>(segs) /
+         perf::predict_sweep_cycles(segs, segment_fraction(m),
+                                    m.templated_fraction());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_memory.json";
+  TelemetryScope telemetry("BENCH_memory");
+
+  // Deterministic throughput model: pin the paper's Fig. 9 cost ratios so
+  // the capped-arena bar does not depend on this host's micro-calibration.
+  perf::set_sweep_costs({1.0, 6.0, 1.5});
+
+  // The C5G7 core at a laydown the converged accuracy solves finish in
+  // seconds: full 3x3-assembly heterogeneity, shallow axial extent.
+  Problem p(scaled_core(2, 1, 0.1), 4, 0.5, 2, 1.0);
+
+  // 1. Resident footprint, same tracks fully resident in both layouts.
+  TrackManager exact_exp(p.stacks, TrackPolicy::kExplicit, nullptr, 0);
+  TrackManager compact_exp(p.stacks, TrackPolicy::kExplicit, nullptr, 0,
+                           nullptr, TrackStorage::kCompact);
+  const double bytes_ratio =
+      static_cast<double>(compact_exp.resident_bytes()) /
+      static_cast<double>(exact_exp.resident_bytes());
+
+  // 2. Accuracy bars on converged solves.
+  std::printf("== exact storage, converged ==\n");
+  const Run exact = run_solver(p, TrackStorage::kExact);
+  std::printf("== compact storage, converged ==\n");
+  const Run compact = run_solver(p, TrackStorage::kCompact);
+  const double pcm =
+      std::abs(compact.result.k_eff - exact.result.k_eff) * 1e5;
+  const double flux_rms = relative_flux_rms(exact.flux, compact.flux);
+
+  // 3. Capped arena: one budget below the exact footprint, two Managed
+  //    managers. Compact packs ~2x the segments per byte, so it keeps a
+  //    higher fraction resident and pays the 6x OTF walk less often.
+  const std::size_t budget = static_cast<std::size_t>(
+      0.45 * static_cast<double>(exact_exp.resident_bytes()));
+  TrackManager exact_cap(p.stacks, TrackPolicy::kManaged, nullptr, budget);
+  TrackManager compact_cap(p.stacks, TrackPolicy::kManaged, nullptr, budget,
+                           nullptr, TrackStorage::kCompact);
+  const double exact_fraction = segment_fraction(exact_cap);
+  const double compact_fraction = segment_fraction(compact_cap);
+  const double throughput_ratio =
+      model_throughput(compact_cap) / model_throughput(exact_cap);
+
+  print_table(
+      "Compact segment stores (scaled C5G7 core)",
+      {"configuration", "k_eff", "resident bytes", "capped fraction"},
+      {{"exact", fmt(exact.result.k_eff, "%.8f"),
+        std::to_string(exact_exp.resident_bytes()),
+        fmt(exact_fraction, "%.3f")},
+       {"compact", fmt(compact.result.k_eff, "%.8f"),
+        std::to_string(compact_exp.resident_bytes()),
+        fmt(compact_fraction, "%.3f")},
+       {"delta", fmt(pcm, "%.3f") + " pcm", fmt(bytes_ratio, "%.3f") + "x",
+        fmt(throughput_ratio, "%.2f") + "x model"}});
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"bench\": \"memory_compact\",\n"
+      "  \"tolerance\": %.3g,\n"
+      "  \"workers\": %d,\n"
+      "  \"segment_bytes\": {\"exact\": %zu, \"compact\": %zu},\n"
+      "  \"exact\": {\"k_eff\": %.17g, \"iterations\": %d,\n"
+      "            \"converged\": %s, \"seconds\": %.9g,\n"
+      "            \"resident_bytes\": %zu},\n"
+      "  \"compact\": {\"k_eff\": %.17g, \"iterations\": %d,\n"
+      "              \"converged\": %s, \"seconds\": %.9g,\n"
+      "              \"resident_bytes\": %zu},\n"
+      "  \"bytes_ratio\": %.9g,\n"
+      "  \"pcm\": %.9g,\n"
+      "  \"flux_rms\": %.9g,\n"
+      "  \"capped\": {\"budget_bytes\": %zu,\n"
+      "             \"exact_fraction\": %.9g,\n"
+      "             \"compact_fraction\": %.9g,\n"
+      "             \"throughput_ratio\": %.9g}\n"
+      "}\n",
+      gate_options().tolerance, kWorkers, perf::kSegment3DBytes,
+      perf::kSegment3DCompactBytes, exact.result.k_eff,
+      exact.result.iterations, exact.result.converged ? "true" : "false",
+      exact.seconds, exact_exp.resident_bytes(), compact.result.k_eff,
+      compact.result.iterations,
+      compact.result.converged ? "true" : "false", compact.seconds,
+      compact_exp.resident_bytes(), bytes_ratio, pcm, flux_rms, budget,
+      exact_fraction, compact_fraction, throughput_ratio);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Compact segment-store gate (DESIGN.md §15). Runs bench_memory_gate,
+# validates the BENCH_memory.json it emits, and enforces the bars:
+#
+#   * JSON must be well-formed with every expected field, else FAIL.
+#   * Both converged solves must actually converge.
+#   * Compact resident bytes must be <= 0.55x exact over the same tracks.
+#   * Compact k_eff must land within 2 pcm of exact, and the per-FSR
+#     scalar-flux RMS must stay <= 1e-5 relative.
+#   * Under one capped arena budget, compact must keep a strictly higher
+#     resident segment fraction and model >= 1.15x the eligible-sweep
+#     throughput of exact at the same cap (pinned costs {1, 6, 1.5}).
+#
+# Usage: bench/run_memory_gate.sh [build-dir]   (from the repo root;
+#        build-dir defaults to ./build and must already contain the bench)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+BIN="$BUILD/bench/bench_memory_gate"
+
+if [ ! -x "$BIN" ]; then
+  echo "FAIL: $BIN not built (cmake --build $BUILD --target" \
+       "bench_memory_gate)"
+  exit 1
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+json="$workdir/BENCH_memory.json"
+
+echo "== memory gate: running bench_memory_gate =="
+"$BIN" "$json"
+
+[ -s "$json" ] || { echo "FAIL: bench wrote no BENCH_memory.json"; exit 1; }
+
+python3 - "$json" <<'EOF'
+import json, sys
+
+try:
+    data = json.load(open(sys.argv[1]))
+except Exception as e:
+    sys.exit(f"FAIL: BENCH_memory.json is malformed: {e}")
+
+def need(obj, key, ctx):
+    if key not in obj:
+        sys.exit(f"FAIL: missing field {ctx}.{key}")
+    return obj[key]
+
+assert need(data, "bench", "") == "memory_compact", "wrong bench tag"
+need(data, "tolerance", "")
+seg = need(data, "segment_bytes", "")
+assert need(seg, "exact", "segment_bytes") == 16
+assert need(seg, "compact", "segment_bytes") == 8
+
+exact = need(data, "exact", "")
+compact = need(data, "compact", "")
+for name, run in (("exact", exact), ("compact", compact)):
+    assert need(run, "k_eff", name) > 0, f"{name}: non-positive k_eff"
+    assert need(run, "iterations", name) > 0, f"{name}: no iterations"
+    assert need(run, "seconds", name) > 0, f"{name}: non-positive seconds"
+    assert need(run, "converged", name), f"FAIL: {name} did not converge"
+    assert need(run, "resident_bytes", name) > 0, f"{name}: empty store"
+
+ratio = need(data, "bytes_ratio", "")
+print(f"   resident bytes: {exact['resident_bytes']} -> "
+      f"{compact['resident_bytes']} ({ratio:.3f}x, bar: <= 0.55)")
+assert ratio <= 0.55, f"FAIL: compact resident bytes {ratio:.3f}x > 0.55x"
+
+pcm = need(data, "pcm", "")
+print(f"   k agreement: {pcm:.3f} pcm (bar: <= 2)")
+assert pcm <= 2.0, f"FAIL: compact k_eff off by {pcm:.3f} pcm > 2"
+
+rms = need(data, "flux_rms", "")
+print(f"   per-FSR flux RMS: {rms:.3g} relative (bar: <= 1e-5)")
+assert rms <= 1e-5, f"FAIL: flux RMS {rms:.3g} > 1e-5 relative"
+
+cap = need(data, "capped", "")
+ef = need(cap, "exact_fraction", "capped")
+cf = need(cap, "compact_fraction", "capped")
+print(f"   capped arena ({cap.get('budget_bytes')} B): resident fraction "
+      f"{ef:.3f} -> {cf:.3f} (bar: strictly higher)")
+assert cf > ef, \
+    f"FAIL: compact fraction {cf:.3f} not above exact {ef:.3f} at same cap"
+
+tput = need(cap, "throughput_ratio", "capped")
+print(f"   modeled eligible-sweep throughput: {tput:.2f}x (bar: >= 1.15)")
+assert tput >= 1.15, f"FAIL: modeled throughput {tput:.2f}x < 1.15x"
+EOF
+
+echo "memory gate PASSED"

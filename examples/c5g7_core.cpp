@@ -89,6 +89,14 @@ int main(int argc, char** argv) {
                              : TemplateMode::kAuto;
   const double otf_cost = cfg.get_double("track.otf_cost", 0.0);
   if (otf_cost > 0.0) perf::set_otf_cost_ratio(otf_cost);
+  // Segment-store precision (exact | compact; DESIGN.md §15). Compact
+  // halves the resident footprint (int32 FSR + fp32 chord) at a bounded
+  // accuracy cost; exact is bitwise identical to the seed. The CLI
+  // default defers to ANTMOC_TRACK_STORAGE, then exact.
+  params.gpu_options.storage = parse_track_storage(cfg.get_string(
+      "track.storage", track_storage_name(default_track_storage())));
+  require_compact_storage_compatible(params.gpu_options.storage,
+                                     params.gpu_options.templates);
   // Sweep kernel organization (history | event; DESIGN.md §13). The CLI
   // default defers to ANTMOC_SWEEP_BACKEND, then history. Both backends
   // are bitwise identical for a fixed worker count; event trades a

@@ -102,13 +102,15 @@ Session::Session(models::C5G7Model model, const SessionOptions& options)
                                                   opts_.exp_tolerance)
                      : nullptr),
       templates_(opts_.gpu.policy != TrackPolicy::kExplicit &&
-                         opts_.gpu.templates != TemplateMode::kOff
+                         opts_.gpu.templates != TemplateMode::kOff &&
+                         opts_.gpu.storage != TrackStorage::kCompact
                      ? std::make_unique<ChordTemplateCache>(stacks_)
                      : nullptr),
       info_cache_(stacks_) {
   opts_.gpu.shared = nullptr;  // managed per slot, never caller-provided
   if (opts_.max_concurrent <= 0) opts_.max_concurrent = opts_.num_devices;
   require(opts_.num_devices >= 1, "session needs at least one device");
+  require_compact_storage_compatible(opts_.gpu.storage, opts_.gpu.templates);
 
   // Warm-up probe: one host-side prepare computes the link table and
   // track-based FSR volumes every job reuses. Template mode off — the
@@ -170,7 +172,7 @@ void Session::warm_up_device(DeviceSlot& slot) {
   // (manager ctor), 2d/3d track tables, then the optional hot-path caches.
   slot.manager = std::make_unique<TrackManager>(
       stacks_, opts_.gpu.policy, &slot.device, opts_.gpu.resident_budget_bytes,
-      templates_.get());
+      templates_.get(), opts_.gpu.storage);
 
   auto& arena = slot.device.memory();
   slot.charges.emplace_back(arena, "2d_tracks",
@@ -212,7 +214,7 @@ void Session::warm_up_device(DeviceSlot& slot) {
       events_ = std::make_unique<EventArrays>(
           stacks_, info_cache_, templates_.get(),
           model_.materials.front().num_groups(), nullptr,
-          slot.manager.get());
+          slot.manager.get(), opts_.gpu.storage);
       span.set_arg("events", events_->num_events());
     }
     try {

@@ -18,8 +18,32 @@ inline constexpr std::size_t kSegment2DBytes = 16;
 inline constexpr std::size_t kTrack3DBytes = 32;
 /// One 3D segment: FSR id + length (matches sizeof(Segment3D)).
 inline constexpr std::size_t kSegment3DBytes = 16;
+/// One 3D segment in the compact store (`track.storage = compact`): SoA
+/// int32 FSR id + float chord length. Chords round once to fp32 at store
+/// time; all attenuation and tally arithmetic stays fp64.
+inline constexpr std::size_t kSegment3DCompactBytes = 8;
+/// Event-array bytes per 3D segment (`sweep.backend = event`): both sweep
+/// directions materialized, each event an int32 base index + a chord
+/// (fp64 exact, fp32 compact). The per-track range table is priced
+/// separately (see EventArrays::bytes_for).
+inline constexpr std::size_t kEventBytes = 2 * (4 + 8);
+inline constexpr std::size_t kEventBytesCompact = 2 * (4 + 4);
 /// Boundary angular flux per track: 2 directions, single precision
 /// (paper §3.3), double-buffered.
 inline constexpr std::size_t kFluxBytesPerTrackGroup = 2 * 4 * 2;
+
+/// Storage mode of the hot per-segment state (the `track.storage` knob,
+/// DESIGN.md §15). kExact keeps the bitwise-reproducible AoS Segment3D
+/// store; kCompact halves it (and the event-array chord lane) at a
+/// pcm-bounded accuracy cost.
+enum class TrackStorage { kExact, kCompact };
+
+constexpr std::size_t segment3d_bytes(TrackStorage storage) {
+  return storage == TrackStorage::kCompact ? kSegment3DCompactBytes
+                                           : kSegment3DBytes;
+}
+constexpr std::size_t event_bytes(TrackStorage storage) {
+  return storage == TrackStorage::kCompact ? kEventBytesCompact : kEventBytes;
+}
 
 }  // namespace antmoc::perf

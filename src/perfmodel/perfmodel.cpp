@@ -67,7 +67,8 @@ long SegmentRatios::predict_segments_3d(long num_tracks_3d) const {
 
 MemoryModel::Breakdown MemoryModel::predict(long n2d, long n2dseg, long n3d,
                                             long n3dseg,
-                                            double resident_fraction) const {
+                                            double resident_fraction,
+                                            TrackStorage storage) const {
   require(resident_fraction >= 0.0 && resident_fraction <= 1.0,
           "resident_fraction must be in [0, 1]");
   Breakdown b;
@@ -75,7 +76,8 @@ MemoryModel::Breakdown MemoryModel::predict(long n2d, long n2dseg, long n3d,
   b.segments_2d = static_cast<std::uint64_t>(n2dseg) * kSegment2DBytes;
   b.tracks_3d = static_cast<std::uint64_t>(n3d) * kTrack3DBytes;
   b.segments_3d = static_cast<std::uint64_t>(
-      static_cast<double>(n3dseg) * resident_fraction * kSegment3DBytes);
+      static_cast<double>(n3dseg) * resident_fraction *
+      static_cast<double>(segment3d_bytes(storage)));
   b.track_fluxes = static_cast<std::uint64_t>(n3d) * num_groups *
                    kFluxBytesPerTrackGroup;
   b.fixed = fixed_bytes;

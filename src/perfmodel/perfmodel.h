@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "perfmodel/layout.h"
 #include "track/generator2d.h"
 #include "track/track3d.h"
 
@@ -40,7 +41,9 @@ struct SegmentRatios {
 };
 
 /// Eq. 5 terms: per-structure device memory. `resident_fraction` scales
-/// the 3D segment storage (1 = EXP, 0 = OTF, in between = Manager).
+/// the 3D segment storage (1 = EXP, 0 = OTF, in between = Manager), and
+/// `storage` prices each resident segment at segment3d_bytes(storage) —
+/// 16 B exact, 8 B compact.
 struct MemoryModel {
   int num_groups = 7;
   std::size_t fixed_bytes = 0;  ///< F in Eq. 5 (constants, XS tables, ...)
@@ -64,7 +67,8 @@ struct MemoryModel {
   };
 
   Breakdown predict(long n2d, long n2dseg, long n3d, long n3dseg,
-                    double resident_fraction = 1.0) const;
+                    double resident_fraction = 1.0,
+                    TrackStorage storage = TrackStorage::kExact) const;
 };
 
 /// Eq. 6: computation ~ N_3Dseg. Returns modeled device cycles for one

@@ -47,9 +47,18 @@ long CpuSolver::sweep_one(long id, double* acc, double* psi, bool stage,
       }
     };
     // Template expansion when the track is eligible, generic OTF walk
-    // otherwise — bitwise-identical output either way.
-    if (tmpl_ == nullptr || !tmpl_->for_each_segment(id, forward, attenuate))
+    // otherwise — bitwise-identical output either way. Compact storage
+    // rounds every chord once to fp32, matching the device solvers'
+    // compact stores, so the host reference reproduces their fluxes.
+    if (storage_ == TrackStorage::kCompact) {
+      auto rounded = [&](long fsr_id, double len) {
+        attenuate(fsr_id, static_cast<double>(static_cast<float>(len)));
+      };
+      stacks_.for_each_segment(info, forward, rounded);
+    } else if (tmpl_ == nullptr ||
+               !tmpl_->for_each_segment(id, forward, attenuate)) {
       stacks_.for_each_segment(info, forward, attenuate);
+    }
     while (cp != ce) {  // exit crossings (ordinal == segment count)
       double* slot = cur + static_cast<long>(cp->slot) * G;
       for (int g = 0; g < G; ++g) slot[g] += w * psi[g];
@@ -79,9 +88,20 @@ long CpuSolver::sweep_one_event(long id, double* acc, double* psi, bool stage,
 
     const long first = events_->first(id, dir);
     const long count = events_->count(id, dir);
+    // Dispatch onto the chord lane the arrays were built with: the fp32
+    // lane under compact storage, fp64 otherwise.
+    const auto run = [&](long off, long n) {
+      if (events_->storage() == TrackStorage::kCompact)
+        sweep_events(events_->base() + first + off,
+                     events_->length32() + first + off, n, sigma_t, qos, w,
+                     exp_table_, G, psi, acc, ws);
+      else
+        sweep_events(events_->base() + first + off,
+                     events_->length() + first + off, n, sigma_t, qos, w,
+                     exp_table_, G, psi, acc, ws);
+    };
     if (cur == nullptr) {
-      sweep_events(events_->base() + first, events_->length() + first, count,
-                   sigma_t, qos, w, exp_table_, G, psi, acc, ws);
+      run(0, count);
     } else {
       // Split the flat range at the recorded crossing ordinals: stage 1 of
       // the batch kernel is per-event independent and stage 2 is a
@@ -94,9 +114,7 @@ long CpuSolver::sweep_one_event(long id, double* acc, double* psi, bool stage,
       while (cp != ce) {
         const long ord = cp->ordinal;
         if (ord > done) {
-          sweep_events(events_->base() + first + done,
-                       events_->length() + first + done, ord - done, sigma_t,
-                       qos, w, exp_table_, G, psi, acc, ws);
+          run(done, ord - done);
           done = ord;
         }
         while (cp != ce && cp->ordinal == ord) {
@@ -105,10 +123,7 @@ long CpuSolver::sweep_one_event(long id, double* acc, double* psi, bool stage,
           ++cp;
         }
       }
-      if (count > done)
-        sweep_events(events_->base() + first + done,
-                     events_->length() + first + done, count - done, sigma_t,
-                     qos, w, exp_table_, G, psi, acc, ws);
+      if (count > done) run(done, count - done);
     }
     segments += count;
 
@@ -123,6 +138,9 @@ long CpuSolver::sweep_one_event(long id, double* acc, double* psi, bool stage,
 }
 
 void CpuSolver::ensure_templates() {
+  // Compact storage deactivates template dispatch: the cache stores exact
+  // fp64 chords and would bypass the one-rounding-point policy.
+  if (storage_ == TrackStorage::kCompact) return;
   if (template_mode_ == TemplateMode::kOff || tmpl_ != nullptr) return;
   tmpl_ = &chord_templates();
   template_dispatch_ = true;
@@ -139,7 +157,8 @@ void CpuSolver::ensure_events() {
     Timer timer;
     timer.start();
     owned_events_ = std::make_unique<EventArrays>(
-        stacks_, info_cache(), tmpl_, fsr_.num_groups(), &par());
+        stacks_, info_cache(), tmpl_, fsr_.num_groups(), &par(), nullptr,
+        storage_);
     timer.stop();
     events_ = owned_events_.get();
     span.set_arg("events", events_->num_events());

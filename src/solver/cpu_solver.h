@@ -28,6 +28,7 @@
 
 #include "solver/event_sweep.h"
 #include "solver/exponential.h"
+#include "solver/track_policy.h"
 #include "solver/transport_solver.h"
 #include "track/chord_template.h"
 
@@ -44,17 +45,29 @@ class CpuSolver : public TransportSolver {
   ///                   defaults to the ANTMOC_SWEEP_BACKEND env var, else
   ///                   history. Both backends are bitwise identical for a
   ///                   fixed worker count.
+  /// \param storage    chord precision policy (`track.storage`); kCompact
+  ///                   rounds every chord once to fp32 (and gives the
+  ///                   event arrays the fp32 lane) while all attenuation
+  ///                   arithmetic stays fp64, matching the device solvers'
+  ///                   compact mode. Deactivates template dispatch;
+  ///                   incompatible with templates = kForce.
   CpuSolver(const TrackStacks& stacks,
             const std::vector<Material>& materials, unsigned workers = 0,
             TemplateMode templates = TemplateMode::kAuto,
-            SweepBackend backend = default_sweep_backend())
+            SweepBackend backend = default_sweep_backend(),
+            TrackStorage storage = default_track_storage())
       : TransportSolver(stacks, materials),
         template_mode_(templates),
-        backend_(backend) {
+        backend_(backend),
+        storage_(storage) {
+    require_compact_storage_compatible(storage, templates);
     set_sweep_workers(workers);
   }
 
   SweepBackend sweep_backend() const { return backend_; }
+
+  /// Chord precision policy in force.
+  TrackStorage storage_mode() const override { return storage_; }
 
   /// Points the event backend at session-shared event arrays instead of
   /// building a private copy (not owned; must outlive the solver; must
@@ -107,6 +120,7 @@ class CpuSolver : public TransportSolver {
   const ChordTemplateCache* tmpl_ = nullptr;  ///< owned by the base class
 
   SweepBackend backend_;
+  TrackStorage storage_ = TrackStorage::kExact;
   const EventArrays* events_ = nullptr;  ///< active event arrays
   std::unique_ptr<EventArrays> owned_events_;
   const EventArrays* shared_events_ = nullptr;  ///< session-provided

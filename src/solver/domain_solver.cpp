@@ -498,7 +498,7 @@ class RankDriver {
       auto impl = std::make_unique<DomainImpl<CpuSolver>>(
           *od.stacks, materials_, decomp_, d, &router_, comm_,
           params_.overlap, params_.sweep_workers, TemplateMode::kAuto,
-          params_.sweep_backend);
+          params_.sweep_backend, params_.gpu_options.storage);
       od.host = impl.get();
       od.owner = std::move(impl);
     }

@@ -30,7 +30,9 @@ SweepBackend default_sweep_backend() {
 
 EventArrays::EventArrays(const TrackStacks& stacks, const TrackInfoCache& info,
                          const ChordTemplateCache* templates, int groups,
-                         util::Parallel* par, const TrackManager* manager) {
+                         util::Parallel* par, const TrackManager* manager,
+                         TrackStorage storage)
+    : storage_(storage) {
   const long n = info.size();
   require(groups > 0, "event arrays need at least one energy group");
   require(stacks.geometry().num_fsrs() * static_cast<long>(groups) <=
@@ -51,7 +53,10 @@ EventArrays::EventArrays(const TrackStacks& stacks, const TrackInfoCache& info,
     batches_per_sweep_ += 2 * ((c + kEventBatch - 1) / kEventBatch);
   }
   base_.resize(first_.back());
-  lengths_.resize(first_.back());
+  if (storage_ == TrackStorage::kCompact)
+    lengths32_.resize(first_.back());
+  else
+    lengths_.resize(first_.back());
 
   // Pass 2: materialize both sweep directions through the same dispatch
   // the history backend uses per sweep. Resident tracks replay the
@@ -61,29 +66,27 @@ EventArrays::EventArrays(const TrackStacks& stacks, const TrackInfoCache& info,
   // substituted here). Temporary tracks use template expansion when
   // eligible, else the generic OTF walk (bitwise-identical streams either
   // way; the template cache is validated against the walk at
-  // construction).
+  // construction). Under compact storage the chord lands in the fp32
+  // lane — the same single rounding point the compact history walk
+  // applies, so the two backends still agree on every chord.
+  const bool compact = storage_ == TrackStorage::kCompact;
   auto fill = [&](long id) {
-    long seg_count = 0;
-    const Segment3D* segs =
-        manager != nullptr ? manager->segments(id, seg_count) : nullptr;
     for (int dir = 0; dir < 2; ++dir) {
       long pos = first_[2 * id + dir];
       auto emit = [&](long fsr, double len) {
         base_[pos] = static_cast<std::int32_t>(fsr * groups);
-        lengths_[pos] = len;
+        if (compact)
+          lengths32_[pos] = static_cast<float>(len);
+        else
+          lengths_[pos] = len;
         ++pos;
       };
       const bool forward = dir == 0;
-      if (segs != nullptr) {
-        if (forward)
-          for (long s = 0; s < seg_count; ++s)
-            emit(segs[s].fsr, segs[s].length);
-        else
-          for (long s = seg_count - 1; s >= 0; --s)
-            emit(segs[s].fsr, segs[s].length);
-      } else if (templates == nullptr ||
-                 !templates->for_each_segment(id, forward, emit)) {
-        stacks.for_each_segment(info[id], forward, emit);
+      if (manager == nullptr ||
+          !manager->for_each_resident_segment(id, forward, emit)) {
+        if (templates == nullptr ||
+            !templates->for_each_segment(id, forward, emit))
+          stacks.for_each_segment(info[id], forward, emit);
       }
     }
   };
@@ -102,12 +105,16 @@ namespace {
 
 /// Stage 1 of one batch: tau and attenuation factors for all
 /// (event, group) lanes — branch-free, vectorizable, psi-independent.
-inline void batch_attenuation(const std::int32_t* base, const double* length,
+/// `LenT` is the stored chord width (double exact, float compact); the
+/// chord widens to fp64 before the tau product, so all arithmetic is
+/// fp64 either way.
+template <class LenT>
+inline void batch_attenuation(const std::int32_t* base, const LenT* length,
                               int m, const double* sigma_t,
                               const ExpTable* table, int G, double* tau,
                               double* ex) {
   for (int e = 0; e < m; ++e) {
-    const double len = length[e];
+    const double len = static_cast<double>(length[e]);
     const double* st = sigma_t + base[e];
     double* t = tau + e * G;
 #pragma omp simd
@@ -123,12 +130,11 @@ inline void batch_attenuation(const std::int32_t* base, const double* length,
   }
 }
 
-}  // namespace
-
-void sweep_events(const std::int32_t* base, const double* length, long n,
-                  const double* sigma_t, const double* qos, double w,
-                  const ExpTable* table, int G, double* psi, double* acc,
-                  EventSweepScratch& ws) {
+template <class LenT>
+void sweep_events_impl(const std::int32_t* base, const LenT* length, long n,
+                       const double* sigma_t, const double* qos, double w,
+                       const ExpTable* table, int G, double* psi, double* acc,
+                       EventSweepScratch& ws) {
   ws.ensure(G);
   double* tau = ws.tau.data();
   double* ex = ws.ex.data();
@@ -155,10 +161,12 @@ void sweep_events(const std::int32_t* base, const double* length, long n,
   ws.batches += (n + kEventBatch - 1) / kEventBatch;
 }
 
-void sweep_events_atomic(const std::int32_t* base, const double* length,
-                         long n, const double* sigma_t, const double* qos,
-                         double w, const ExpTable* table, int G, double* psi,
-                         double* accum, EventSweepScratch& ws) {
+template <class LenT>
+void sweep_events_atomic_impl(const std::int32_t* base, const LenT* length,
+                              long n, const double* sigma_t,
+                              const double* qos, double w,
+                              const ExpTable* table, int G, double* psi,
+                              double* accum, EventSweepScratch& ws) {
   ws.ensure(G);
   double* tau = ws.tau.data();
   double* ex = ws.ex.data();
@@ -178,6 +186,38 @@ void sweep_events_atomic(const std::int32_t* base, const double* length,
   }
   ws.events += n;
   ws.batches += (n + kEventBatch - 1) / kEventBatch;
+}
+
+}  // namespace
+
+void sweep_events(const std::int32_t* base, const double* length, long n,
+                  const double* sigma_t, const double* qos, double w,
+                  const ExpTable* table, int G, double* psi, double* acc,
+                  EventSweepScratch& ws) {
+  sweep_events_impl(base, length, n, sigma_t, qos, w, table, G, psi, acc, ws);
+}
+
+void sweep_events(const std::int32_t* base, const float* length, long n,
+                  const double* sigma_t, const double* qos, double w,
+                  const ExpTable* table, int G, double* psi, double* acc,
+                  EventSweepScratch& ws) {
+  sweep_events_impl(base, length, n, sigma_t, qos, w, table, G, psi, acc, ws);
+}
+
+void sweep_events_atomic(const std::int32_t* base, const double* length,
+                         long n, const double* sigma_t, const double* qos,
+                         double w, const ExpTable* table, int G, double* psi,
+                         double* accum, EventSweepScratch& ws) {
+  sweep_events_atomic_impl(base, length, n, sigma_t, qos, w, table, G, psi,
+                           accum, ws);
+}
+
+void sweep_events_atomic(const std::int32_t* base, const float* length,
+                         long n, const double* sigma_t, const double* qos,
+                         double w, const ExpTable* table, int G, double* psi,
+                         double* accum, EventSweepScratch& ws) {
+  sweep_events_atomic_impl(base, length, n, sigma_t, qos, w, table, G, psi,
+                           accum, ws);
 }
 
 }  // namespace antmoc

@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "perfmodel/layout.h"
 #include "solver/exponential.h"
 #include "track/chord_template.h"
 #include "track/track3d.h"
@@ -50,6 +51,10 @@
 namespace antmoc {
 
 class TrackManager;
+
+/// See solver/track_policy.h for the knob plumbing; the enum itself lives
+/// in perf/layout.h so the memory model prices both lane widths.
+using TrackStorage = perf::TrackStorage;
 
 namespace util {
 class Parallel;
@@ -98,10 +103,17 @@ class EventArrays {
   /// \param manager  optional device track manager: resident tracks replay
   ///                 their stored segments (reversed when backward),
   ///                 matching the history device sweep bit for bit.
+  /// \param storage  chord-lane width (`track.storage`): kExact keeps the
+  ///                 fp64 lane, kCompact a parallel fp32 lane (half the
+  ///                 per-event chord bytes); stage-2 psi recurrence and
+  ///                 all FSR tallies stay fp64 accumulation either way.
   EventArrays(const TrackStacks& stacks, const TrackInfoCache& info,
               const ChordTemplateCache* templates, int groups,
               util::Parallel* par = nullptr,
-              const TrackManager* manager = nullptr);
+              const TrackManager* manager = nullptr,
+              TrackStorage storage = TrackStorage::kExact);
+
+  TrackStorage storage() const { return storage_; }
 
   long num_tracks() const {
     return static_cast<long>(first_.size() - 1) / 2;
@@ -116,7 +128,10 @@ class EventArrays {
   }
 
   const std::int32_t* base() const { return base_.data(); }
+  /// Exact (fp64) chord lane; empty under compact storage.
   const double* length() const { return lengths_.data(); }
+  /// Compact (fp32) chord lane; empty under exact storage.
+  const float* length32() const { return lengths32_.data(); }
 
   /// Stage-1 batches one full sweep issues (both directions) — the
   /// denominator of the solver.event_batch_fill occupancy gauge.
@@ -124,21 +139,27 @@ class EventArrays {
 
   /// Device-arena charge ("event_arrays") for a laydown over
   /// `total_segments` 3D segments of `num_tracks` tracks (both directions
-  /// are materialized). bytes() == bytes_for(...) for the built arrays.
-  static std::size_t bytes_for(long total_segments, long num_tracks) {
-    return static_cast<std::size_t>(total_segments) * 2 *
-               (sizeof(std::int32_t) + sizeof(double)) +
+  /// are materialized): perf::event_bytes(storage) per segment plus the
+  /// per-(track, direction) range table. bytes() == bytes_for(...) for
+  /// the built arrays.
+  static std::size_t bytes_for(long total_segments, long num_tracks,
+                               TrackStorage storage = TrackStorage::kExact) {
+    return static_cast<std::size_t>(total_segments) *
+               perf::event_bytes(storage) +
            static_cast<std::size_t>(2 * num_tracks + 1) * sizeof(long);
   }
   std::size_t bytes() const {
     return base_.size() * sizeof(std::int32_t) +
-           lengths_.size() * sizeof(double) + first_.size() * sizeof(long);
+           lengths_.size() * sizeof(double) +
+           lengths32_.size() * sizeof(float) + first_.size() * sizeof(long);
   }
 
  private:
+  TrackStorage storage_ = TrackStorage::kExact;
   std::vector<long> first_;  ///< per (track, dir) cumulative event start
   std::vector<std::int32_t> base_;  ///< fsr * groups per event
-  std::vector<double> lengths_;     ///< chord length per event
+  std::vector<double> lengths_;     ///< fp64 chord per event (exact)
+  std::vector<float> lengths32_;    ///< fp32 chord per event (compact)
   long batches_per_sweep_ = 0;
 };
 
@@ -175,9 +196,26 @@ void sweep_events(const std::int32_t* base, const double* length, long n,
                   const ExpTable* table, int groups, double* psi,
                   double* acc, EventSweepScratch& scratch);
 
+/// Compact-lane overload: stage 1 reads fp32 chords and widens each to
+/// fp64 before the tau product, so every arithmetic operation — tau,
+/// attenuation, psi recurrence, tallies — is still fp64; only the stored
+/// chord is narrower (the NuDEAL-style single-precision-storage /
+/// double-accumulation split).
+void sweep_events(const std::int32_t* base, const float* length, long n,
+                  const double* sigma_t, const double* qos, double w,
+                  const ExpTable* table, int groups, double* psi,
+                  double* acc, EventSweepScratch& scratch);
+
 /// Atomic-tally variant for the device solver's non-privatized fallback:
 /// tallies w*delta into the shared accumulator with device atomics.
 void sweep_events_atomic(const std::int32_t* base, const double* length,
+                         long n, const double* sigma_t, const double* qos,
+                         double w, const ExpTable* table, int groups,
+                         double* psi, double* accum,
+                         EventSweepScratch& scratch);
+
+/// Compact-lane overload of sweep_events_atomic.
+void sweep_events_atomic(const std::int32_t* base, const float* length,
                          long n, const double* sigma_t, const double* qos,
                          double w, const ExpTable* table, int groups,
                          double* psi, double* accum,

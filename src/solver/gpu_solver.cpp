@@ -49,13 +49,17 @@ GpuSolver::GpuSolver(const TrackStacks& stacks,
             "shared device state needs a track manager and a sweep order");
     manager_ = options_.shared->manager;
     order_ = options_.shared->order;
+    options_.storage = manager_->storage();  // the session owns the mode
   } else {
+    require_compact_storage_compatible(options.storage, options.templates);
     owned_manager_ = std::make_unique<TrackManager>(
         stacks, options.policy, &device, options.resident_budget_bytes,
         options.policy != TrackPolicy::kExplicit &&
-                options.templates != TemplateMode::kOff
+                options.templates != TemplateMode::kOff &&
+                options.storage != TrackStorage::kCompact
             ? &chord_templates()
-            : nullptr);
+            : nullptr,
+        options.storage);
     manager_ = owned_manager_.get();
 
     const auto& gen = stacks.generator();
@@ -163,11 +167,12 @@ void GpuSolver::setup_hot_path() {
       try {
         charge("event_arrays",
                EventArrays::bytes_for(segments_per_sweep_ / 2,
-                                      stacks_.num_tracks()));
+                                      stacks_.num_tracks(),
+                                      options_.storage));
         telemetry::TraceSpan span("solver/event_build", "solver");
         owned_events_ = std::make_unique<EventArrays>(
             stacks_, info_cache(), manager_->templates(), fsr_.num_groups(),
-            nullptr, manager_);
+            nullptr, manager_, options_.storage);
         events_ = owned_events_.get();
         span.set_arg("events", events_->num_events());
       } catch (const DeviceOutOfMemory&) {
@@ -251,14 +256,25 @@ double GpuSolver::sweep_track(long id, double* acc, bool stage, double* cur) {
       const long first = events_->first(id, dir);
       const long count = events_->count(id, dir);
       const auto run = [&](long off, long n) {
-        if (acc != nullptr)
+        if (events_->storage() == TrackStorage::kCompact) {
+          if (acc != nullptr)
+            sweep_events(events_->base() + first + off,
+                         events_->length32() + first + off, n, sigma_t, qos,
+                         w, exp_table_, G, psi, acc, ws);
+          else
+            sweep_events_atomic(events_->base() + first + off,
+                                events_->length32() + first + off, n,
+                                sigma_t, qos, w, exp_table_, G, psi, accum,
+                                ws);
+        } else if (acc != nullptr) {
           sweep_events(events_->base() + first + off,
                        events_->length() + first + off, n, sigma_t, qos, w,
                        exp_table_, G, psi, acc, ws);
-        else
+        } else {
           sweep_events_atomic(events_->base() + first + off,
                               events_->length() + first + off, n, sigma_t,
                               qos, w, exp_table_, G, psi, accum, ws);
+        }
       };
       if (cur == nullptr) {
         run(0, count);
@@ -293,8 +309,7 @@ double GpuSolver::sweep_track(long id, double* acc, bool stage, double* cur) {
            manager_->costs().event;
   }
 
-  long seg_count = 0;
-  const Segment3D* segs = manager_->segments(id, seg_count);
+  const bool compact = manager_->storage() == TrackStorage::kCompact;
 
   for (int dir = 0; dir < 2; ++dir) {
     const bool forward = dir == 0;
@@ -324,20 +339,23 @@ double GpuSolver::sweep_track(long id, double* acc, bool stage, double* cur) {
       }
     };
 
-    if (segs != nullptr) {
-      // Resident: sweep the stored segments (reversed when backward).
-      if (forward)
-        for (long s = 0; s < seg_count; ++s)
-          apply(segs[s].fsr, segs[s].length);
-      else
-        for (long s = seg_count - 1; s >= 0; --s)
-          apply(segs[s].fsr, segs[s].length);
-    } else {
+    // Resident: replay the stored segments (reversed when backward). The
+    // manager widens compact fp32 chords back to fp64 before `apply`.
+    if (!manager_->for_each_resident_segment(id, forward, apply)) {
       // Temporary: template expansion when eligible, else the fused OTF
       // regeneration + sweep (paper §4.1). Bitwise-identical either way.
-      const ChordTemplateCache* t = manager_->templates();
-      if (t == nullptr || !t->for_each_segment(id, forward, apply))
-        stacks_.for_each_segment(*info, forward, apply);
+      // Compact mode applies the same one-rounding-point chord policy to
+      // the regenerated walk so temporary and resident tracks agree.
+      if (compact) {
+        auto rounded = [&](long fsr_id, double len) {
+          apply(fsr_id, static_cast<double>(static_cast<float>(len)));
+        };
+        stacks_.for_each_segment(*info, forward, rounded);
+      } else {
+        const ChordTemplateCache* t = manager_->templates();
+        if (t == nullptr || !t->for_each_segment(id, forward, apply))
+          stacks_.for_each_segment(*info, forward, apply);
+      }
     }
     while (cp != ce) {  // exit crossings (ordinal == segment count)
       tally_crossing(cp);

@@ -66,6 +66,15 @@ struct GpuSolverOptions {
   /// OOM (feeds the degradation ladder). Ignored under kExplicit (no
   /// temporary tracks to serve).
   TemplateMode templates = TemplateMode::kAuto;
+  /// `track.storage` knob (DESIGN.md §15): kCompact stores resident
+  /// segments as an int32-FSR + fp32-chord SoA pair (8 B/segment instead
+  /// of 16) and gives the event backend an fp32 chord lane; every chord
+  /// rounds once to fp32 while all attenuation and tally arithmetic stays
+  /// fp64. kExact (the default) is bitwise identical to the seed.
+  /// Incompatible with templates = kForce (compact deactivates template
+  /// dispatch). Ignored in shared mode: the session's manager owns the
+  /// storage mode.
+  TrackStorage storage = default_track_storage();
   /// `sweep.backend` knob: kEvent lays the flat event arrays down on the
   /// device (charged to the arena under "event_arrays") and sweeps them
   /// with the two-stage batch kernel; on arena OOM the solver silently
@@ -115,6 +124,9 @@ class GpuSolver : public TransportSolver {
   /// run event-based; false under sweep.backend=history or after the
   /// "event_arrays" OOM fallback.
   bool event_active() const { return events_ != nullptr; }
+
+  /// Storage mode actually in force (the shared manager's in job mode).
+  TrackStorage storage_mode() const override { return manager_->storage(); }
 
  protected:
   void sweep() override;

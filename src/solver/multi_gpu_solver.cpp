@@ -21,11 +21,14 @@ MultiGpuSolver::MultiGpuSolver(const TrackStacks& stacks,
       // a distributed resident set is modeled by the cluster simulator.
       manager_(stacks, options.policy, nullptr, options.resident_budget_bytes,
                options.policy != TrackPolicy::kExplicit &&
-                       options.templates != TemplateMode::kOff
+                       options.templates != TemplateMode::kOff &&
+                       options.storage != TrackStorage::kCompact
                    ? &chord_templates()
-                   : nullptr),
+                   : nullptr,
+               options.storage),
       device_par_(static_cast<unsigned>(std::max(1, options.num_devices))) {
   require(options.num_devices >= 1, "need at least one device");
+  require_compact_storage_compatible(options.storage, options.templates);
   require(fsr_.num_groups() <= kMaxGroups,
           "MultiGpuSolver supports at most 64 energy groups");
 
@@ -209,8 +212,7 @@ void MultiGpuSolver::sweep() {
     }
     double psi[kMaxGroups];
 
-    long seg_count = 0;
-    const Segment3D* segs = manager_.segments(id, seg_count);
+    const bool compact = manager_.storage() == TrackStorage::kCompact;
 
     for (int dir = 0; dir < 2; ++dir) {
       const bool forward = dir == 0;
@@ -230,17 +232,19 @@ void MultiGpuSolver::sweep() {
         }
       };
 
-      if (segs != nullptr) {
-        if (forward)
-          for (long s = 0; s < seg_count; ++s)
-            apply(segs[s].fsr, segs[s].length);
-        else
-          for (long s = seg_count - 1; s >= 0; --s)
-            apply(segs[s].fsr, segs[s].length);
-      } else {
-        const ChordTemplateCache* t = manager_.templates();
-        if (t == nullptr || !t->for_each_segment(id, forward, apply))
-          stacks_.for_each_segment(*info, forward, apply);
+      if (!manager_.for_each_resident_segment(id, forward, apply)) {
+        // Compact mode rounds regenerated chords once to fp32 — the same
+        // single rounding point the compact resident store applies.
+        if (compact) {
+          auto rounded = [&](long fsr_id, double len) {
+            apply(fsr_id, static_cast<double>(static_cast<float>(len)));
+          };
+          stacks_.for_each_segment(*info, forward, rounded);
+        } else {
+          const ChordTemplateCache* t = manager_.templates();
+          if (t == nullptr || !t->for_each_segment(id, forward, apply))
+            stacks_.for_each_segment(*info, forward, apply);
+        }
       }
 
       if (acc != nullptr) {

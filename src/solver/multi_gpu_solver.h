@@ -38,6 +38,12 @@ struct MultiGpuOptions {
   /// walk on every device if any arena cannot afford its share, kForce
   /// throws instead. Ignored under kExplicit.
   TemplateMode templates = TemplateMode::kAuto;
+  /// `track.storage` knob (DESIGN.md §15): kCompact keeps the node's
+  /// resident segments in the int32-FSR + fp32-chord SoA store (8
+  /// B/segment) and rounds every temporary-track chord once to fp32 so
+  /// the whole node shares one precision policy. Incompatible with
+  /// templates = kForce.
+  TrackStorage storage = default_track_storage();
 };
 
 class MultiGpuSolver : public TransportSolver {
@@ -69,6 +75,9 @@ class MultiGpuSolver : public TransportSolver {
   /// True when temporary tracks dispatch through the chord-template
   /// cache on every device.
   bool templates_active() const { return manager_.templates_active(); }
+
+  /// Storage mode in force on every device of the node.
+  TrackStorage storage_mode() const override { return manager_.storage(); }
 
  protected:
   void sweep() override;

@@ -23,14 +23,17 @@ const char* policy_name(TrackPolicy policy) {
 
 std::string ResilientSolveReport::summary() const {
   std::string text = std::string(policy_name(requested_policy));
+  if (requested_storage == TrackStorage::kCompact) text += "[compact]";
   for (const auto& step : downgrades) {
     text += " -> ";
     text += policy_name(step.to);
+    if (step.to_storage == TrackStorage::kCompact) text += "[compact]";
     if (step.to == TrackPolicy::kManaged)
       text += "(" + std::to_string(step.budget_bytes >> 10) + " KiB)";
   }
   text += "; ran ";
   text += policy_name(actual_policy);
+  if (actual_storage == TrackStorage::kCompact) text += "[compact]";
   text += ", k_eff=" + std::to_string(result.k_eff) + " in " +
           std::to_string(result.iterations) + " iterations";
   if (restarts > 0)
@@ -47,28 +50,39 @@ bool downgrade(GpuSolverOptions& gpu, const ResilientSolveOptions& options,
                std::vector<DowngradeStep>& steps) {
   DowngradeStep step;
   step.from = gpu.policy;
+  step.from_storage = gpu.storage;
   step.reason = reason;
-  switch (gpu.policy) {
-    case TrackPolicy::kExplicit:
-      gpu.policy = TrackPolicy::kManaged;
-      break;
-    case TrackPolicy::kManaged: {
-      const auto next = static_cast<std::size_t>(
-          static_cast<double>(gpu.resident_budget_bytes) *
-          options.budget_shrink);
-      if (shrinks_used < options.max_budget_shrinks &&
-          next >= options.min_budget_bytes) {
-        gpu.resident_budget_bytes = next;
-        ++shrinks_used;
-      } else {
-        gpu.policy = TrackPolicy::kOnTheFly;
+  if (gpu.policy == TrackPolicy::kExplicit &&
+      gpu.storage == TrackStorage::kExact &&
+      gpu.templates != TemplateMode::kForce) {
+    // First rung (DESIGN.md §15): halve the per-segment footprint before
+    // shedding any residency. Skipped under track.templates = force,
+    // which compact storage is incompatible with.
+    gpu.storage = TrackStorage::kCompact;
+  } else {
+    switch (gpu.policy) {
+      case TrackPolicy::kExplicit:
+        gpu.policy = TrackPolicy::kManaged;
+        break;
+      case TrackPolicy::kManaged: {
+        const auto next = static_cast<std::size_t>(
+            static_cast<double>(gpu.resident_budget_bytes) *
+            options.budget_shrink);
+        if (shrinks_used < options.max_budget_shrinks &&
+            next >= options.min_budget_bytes) {
+          gpu.resident_budget_bytes = next;
+          ++shrinks_used;
+        } else {
+          gpu.policy = TrackPolicy::kOnTheFly;
+        }
+        break;
       }
-      break;
+      case TrackPolicy::kOnTheFly:
+        return false;  // already at the bottom of the ladder
     }
-    case TrackPolicy::kOnTheFly:
-      return false;  // already at the bottom of the ladder
   }
   step.to = gpu.policy;
+  step.to_storage = gpu.storage;
   step.budget_bytes = gpu.resident_budget_bytes;
   steps.push_back(step);
   // Ladder steps land in the trace as instants so the timeline shows *when*
@@ -80,6 +94,10 @@ bool downgrade(GpuSolverOptions& gpu, const ResilientSolveOptions& options,
     telemetry::metrics().counter("resilient.downgrades").add(1);
   log::warn("resilient solve: device OOM with policy ", policy_name(step.from),
             " — downgrading to ", policy_name(step.to),
+            step.to_storage == TrackStorage::kCompact &&
+                    step.from_storage == TrackStorage::kExact
+                ? " [compact storage]"
+                : "",
             step.to == TrackPolicy::kManaged
                 ? " (budget " + std::to_string(step.budget_bytes) + " B)"
                 : std::string(),
@@ -99,6 +117,7 @@ ResilientSolveReport solve_resilient(const TrackStacks& stacks,
                                      const ResilientSolveOptions& options) {
   ResilientSolveReport report;
   report.requested_policy = options.gpu.policy;
+  report.requested_storage = options.gpu.storage;
 
   GpuSolverOptions gpu = options.gpu;
   int shrinks_used = 0;
@@ -118,6 +137,7 @@ ResilientSolveReport solve_resilient(const TrackStacks& stacks,
   }
   if (options.cmfd.enable) solver->enable_cmfd(options.cmfd);
   report.actual_policy = gpu.policy;
+  report.actual_storage = gpu.storage;
   report.resident_budget_bytes = gpu.resident_budget_bytes;
 
   SolveOptions solve_opts = options.solve;

@@ -8,10 +8,14 @@
 /// solve_resilient() automates the fallback: DeviceOutOfMemory during
 /// solver setup walks a degradation ladder —
 ///
-///   EXP  ->  Managed (resident budget shrunk geometrically per retry)
+///   EXP  ->  EXP[compact] (8 B/segment stores, DESIGN.md §15)
+///        ->  Managed (resident budget shrunk geometrically per retry)
 ///        ->  OTF
 ///
-/// — logging each downgrade and recording it in the report, so a solve
+/// — the compact rung halves the resident-segment footprint before any
+/// residency is shed (skipped when track.templates = force, which compact
+/// storage is incompatible with, or when the request was already
+/// compact) — logging each downgrade and recording it in the report, so a solve
 /// configured optimistically for a large device still completes on a small
 /// one, and the report says which policy actually ran and why.
 ///
@@ -60,6 +64,10 @@ struct ResilientSolveOptions {
 struct DowngradeStep {
   TrackPolicy from = TrackPolicy::kExplicit;
   TrackPolicy to = TrackPolicy::kExplicit;
+  /// Segment storage before/after the step: the compact rung flips
+  /// kExact -> kCompact without touching the policy.
+  TrackStorage from_storage = TrackStorage::kExact;
+  TrackStorage to_storage = TrackStorage::kExact;
   /// Resident budget in force after this step (meaningful for kManaged).
   std::size_t budget_bytes = 0;
   /// The failure that forced the step (the OOM diagnostic).
@@ -70,6 +78,10 @@ struct ResilientSolveReport {
   SolveResult result;
   TrackPolicy requested_policy = TrackPolicy::kExplicit;
   TrackPolicy actual_policy = TrackPolicy::kExplicit;
+  /// Segment storage requested / actually run with (the compact ladder
+  /// rung can flip the latter to kCompact).
+  TrackStorage requested_storage = TrackStorage::kExact;
+  TrackStorage actual_storage = TrackStorage::kExact;
   /// Resident budget the successful configuration ran with.
   std::size_t resident_budget_bytes = 0;
   std::vector<DowngradeStep> downgrades;

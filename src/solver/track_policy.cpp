@@ -2,12 +2,54 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <numeric>
 #include <utility>
 
+#include "telemetry/telemetry.h"
 #include "util/error.h"
 
 namespace antmoc {
+
+// The Eq. 5 layout constants (perf/layout.h) must match the structs they
+// model, or arena charges and memory predictions silently drift apart.
+// layout.h cannot include the track headers (dependency direction), so the
+// contract is pinned here, where both sides are visible.
+static_assert(sizeof(Segment3D) == perf::kSegment3DBytes,
+              "perf::kSegment3DBytes must match sizeof(Segment3D)");
+static_assert(sizeof(Segment2D) == perf::kSegment2DBytes,
+              "perf::kSegment2DBytes must match sizeof(Segment2D)");
+static_assert(sizeof(std::int32_t) + sizeof(float) ==
+                  perf::kSegment3DCompactBytes,
+              "perf::kSegment3DCompactBytes must match the compact SoA pair");
+
+TrackStorage parse_track_storage(const std::string& name) {
+  if (name == "exact") return TrackStorage::kExact;
+  if (name == "compact") return TrackStorage::kCompact;
+  throw Error("unknown track.storage '" + name + "' (exact|compact)");
+}
+
+const char* track_storage_name(TrackStorage storage) {
+  return storage == TrackStorage::kCompact ? "compact" : "exact";
+}
+
+TrackStorage default_track_storage() {
+  if (const char* env = std::getenv("ANTMOC_TRACK_STORAGE")) {
+    if (env[0] != '\0') return parse_track_storage(env);
+  }
+  return TrackStorage::kExact;
+}
+
+void require_compact_storage_compatible(TrackStorage storage,
+                                        TemplateMode templates) {
+  if (storage == TrackStorage::kCompact && templates == TemplateMode::kForce)
+    throw Error(
+        "track.storage 'compact' deactivates chord-template dispatch and "
+        "conflicts with track.templates 'force' (use auto or off)");
+}
+
 namespace {
 
 /// Startup micro-calibration (once per process): times the three segment
@@ -121,12 +163,23 @@ void calibrate_sweep_costs(const TrackStacks& stacks,
 TrackManager::TrackManager(const TrackStacks& stacks, TrackPolicy policy,
                            gpusim::Device* device,
                            std::size_t resident_budget_bytes,
-                           const ChordTemplateCache* templates)
+                           const ChordTemplateCache* templates,
+                           TrackStorage storage)
     : policy_(policy),
+      storage_mode_(storage),
       device_(device),
       templates_(templates),
-      templates_active_(templates != nullptr) {
+      // Compact storage routes every chord through one fp32 rounding
+      // point (store or rounded walk) — the fp64 template fast-path is
+      // deactivated, though its validated segment counts are still
+      // reused below.
+      templates_active_(templates != nullptr &&
+                        storage != TrackStorage::kCompact) {
   const long n = stacks.num_tracks();
+  if (storage_mode_ == TrackStorage::kCompact)
+    require(stacks.geometry().num_fsrs() <=
+                std::numeric_limits<std::int32_t>::max(),
+            "compact track storage: FSR count exceeds 32 bits");
   offset_.assign(n, -1);
   if (templates_ != nullptr && templates_->num_tracks() == n) {
     // Validated construction byproduct — skip the counting pass.
@@ -164,12 +217,16 @@ TrackManager::TrackManager(const TrackStacks& stacks, TrackPolicy policy,
                                    ? static_cast<std::size_t>(-1)
                                    : resident_budget_bytes;
 
+    // The per-segment byte cost is the storage mode's: the compact SoA
+    // pair halves it, so the same Managed budget packs ~2x the segments
+    // (exactly how compact mode raises the resident fraction).
+    const std::size_t seg_bytes = perf::segment3d_bytes(storage_mode_);
     long resident_segments = 0;
     std::vector<long> chosen;
     std::size_t bytes = 0;
     for (long id : order) {
       const std::size_t need =
-          static_cast<std::size_t>(counts_[id]) * sizeof(Segment3D);
+          static_cast<std::size_t>(counts_[id]) * seg_bytes;
       if (policy == TrackPolicy::kManaged && bytes + need > budget) continue;
       bytes += need;
       chosen.push_back(id);
@@ -182,34 +239,70 @@ TrackManager::TrackManager(const TrackStacks& stacks, TrackPolicy policy,
     // Charge the device arena before materializing: an over-capacity EXP
     // run must fail here, not after host allocation.
     if (device_ != nullptr)
-      device_->memory().charge("3d_segments",
-                               resident_segments * sizeof(Segment3D));
+      device_->memory().charge("3d_segments", resident_segments * seg_bytes);
+    resident_segments_ = resident_segments;
 
-    storage_.reserve(resident_segments);
-    for (long id : chosen) {
-      offset_[id] = static_cast<long>(storage_.size());
-      stacks.for_each_segment(id, /*forward=*/true,
-                              [&](long fsr, double len) {
-                                storage_.push_back({fsr, len});
-                              });
-      require(
-          static_cast<long>(storage_.size()) - offset_[id] == counts_[id],
-          "segment expansion count mismatch");
+    if (storage_mode_ == TrackStorage::kCompact) {
+      fsr32_.reserve(resident_segments);
+      len32_.reserve(resident_segments);
+      for (long id : chosen) {
+        offset_[id] = static_cast<long>(fsr32_.size());
+        stacks.for_each_segment(
+            id, /*forward=*/true, [&](long fsr, double len) {
+              const float len32 = static_cast<float>(len);
+              // One rounding point per chord; a chord the fp32 range
+              // cannot represent (overflow, or a nonzero length
+              // underflowing to zero) would silently corrupt the sweep.
+              require(std::isfinite(len32) && (len32 > 0.0f || len == 0.0),
+                      "compact track storage: chord length outside the "
+                      "fp32 range");
+              fsr32_.push_back(static_cast<std::int32_t>(fsr));
+              len32_.push_back(len32);
+            });
+        require(
+            static_cast<long>(fsr32_.size()) - offset_[id] == counts_[id],
+            "segment expansion count mismatch");
+      }
+    } else {
+      storage_.reserve(resident_segments);
+      for (long id : chosen) {
+        offset_[id] = static_cast<long>(storage_.size());
+        stacks.for_each_segment(id, /*forward=*/true,
+                                [&](long fsr, double len) {
+                                  storage_.push_back({fsr, len});
+                                });
+        require(
+            static_cast<long>(storage_.size()) - offset_[id] == counts_[id],
+            "segment expansion count mismatch");
+      }
     }
     num_resident_ = static_cast<long>(chosen.size());
   }
 
-  if (templates_ != nullptr && templates_->num_tracks() == n) {
+  if (templates_active_ && templates_->num_tracks() == n) {
     for (long id = 0; id < n; ++id)
       if (offset_[id] < 0 && templates_->eligible(id))
         templated_segments_ += counts_[id];
   }
+
+  // `track.storage` telemetry: the BENCH_memory gate and the engine's
+  // admission accounting read the same numbers the arena was charged.
+  if (telemetry::on()) {
+    auto& m = telemetry::metrics();
+    const int mode = storage_mode_ == TrackStorage::kCompact ? 1 : 0;
+    m.gauge("track.storage_mode").set(static_cast<double>(mode));
+    m.gauge(telemetry::label("track.resident_bytes", "mode", mode))
+        .set(static_cast<double>(resident_bytes()));
+    m.gauge(telemetry::label("track.resident_fraction", "mode", mode))
+        .set(resident_fraction());
+  }
 }
 
 TrackManager::~TrackManager() {
-  if (device_ != nullptr && !storage_.empty())
-    device_->memory().release("3d_segments",
-                              storage_.size() * sizeof(Segment3D));
+  if (device_ != nullptr && resident_segments_ > 0)
+    device_->memory().release(
+        "3d_segments", static_cast<std::size_t>(resident_segments_) *
+                           perf::segment3d_bytes(storage_mode_));
 }
 
 }  // namespace antmoc

@@ -24,9 +24,12 @@
 /// unless pinned by the `track.otf_cost` knob or perf::set_sweep_costs().
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "gpusim/device.h"
+#include "perfmodel/layout.h"
 #include "perfmodel/sweep_costs.h"
 #include "track/chord_template.h"
 #include "track/track3d.h"
@@ -34,6 +37,29 @@
 namespace antmoc {
 
 enum class TrackPolicy { kExplicit, kOnTheFly, kManaged };
+
+/// `track.storage` knob (DESIGN.md §15): exact keeps the AoS Segment3D
+/// resident store (16 B/segment, bitwise-reproducible); compact keeps a
+/// SoA int32-FSR + fp32-chord pair (8 B/segment) and rounds every chord
+/// once to fp32 while all attenuation and tally arithmetic stays fp64.
+using TrackStorage = perf::TrackStorage;
+
+/// Parses "exact" / "compact"; throws antmoc::Error on anything else.
+TrackStorage parse_track_storage(const std::string& name);
+
+/// "exact" / "compact".
+const char* track_storage_name(TrackStorage storage);
+
+/// Process-wide default: ANTMOC_TRACK_STORAGE env var when set (and
+/// valid), else kExact.
+TrackStorage default_track_storage();
+
+/// Compact storage routes every temporary track through the fp32-rounded
+/// generic walk and deactivates chord-template dispatch (one rounding
+/// point per chord); `track.templates = force` demands templates, so the
+/// combination is a contradiction. Throws antmoc::Error naming both keys.
+void require_compact_storage_compatible(TrackStorage storage,
+                                        TemplateMode templates);
 
 class TrackManager {
  public:
@@ -49,16 +75,25 @@ class TrackManager {
   /// \param templates  optional chord-template cache (not owned; must
   ///        outlive the manager). Segment counts are reused from it, the
   ///        Managed ranking treats covered tracks as cheap, and
-  ///        track_cost() prices them at the template ratio.
+  ///        track_cost() prices them at the template ratio. Compact
+  ///        storage deactivates template dispatch (counts are still
+  ///        reused); kForce callers must reject the combination first
+  ///        via require_compact_storage_compatible().
+  /// \param storage  resident-store layout (`track.storage`): kExact is
+  ///        the 16 B/segment AoS store, kCompact the 8 B/segment SoA
+  ///        int32+fp32 store (charged at perf::kSegment3DCompactBytes, so
+  ///        the Managed budget packs ~2x the segments).
   TrackManager(const TrackStacks& stacks, TrackPolicy policy,
                gpusim::Device* device, std::size_t resident_budget_bytes,
-               const ChordTemplateCache* templates = nullptr);
+               const ChordTemplateCache* templates = nullptr,
+               TrackStorage storage = TrackStorage::kExact);
   ~TrackManager();
 
   TrackManager(const TrackManager&) = delete;
   TrackManager& operator=(const TrackManager&) = delete;
 
   TrackPolicy policy() const { return policy_; }
+  TrackStorage storage() const { return storage_mode_; }
 
   bool resident(long id) const { return offset_[id] >= 0; }
 
@@ -68,13 +103,46 @@ class TrackManager {
   }
 
   /// Stored segments of a resident track (nullptr for temporary tracks).
+  /// Exact storage only: the compact SoA store has no Segment3D records,
+  /// so this returns nullptr there — replay through
+  /// for_each_resident_segment() instead.
   const Segment3D* segments(long id, long& count) const {
-    if (offset_[id] < 0) {
+    if (storage_mode_ != TrackStorage::kExact || offset_[id] < 0) {
       count = 0;
       return nullptr;
     }
     count = counts_[id];
     return storage_.data() + offset_[id];
+  }
+
+  /// Replays the stored segments of a resident track through
+  /// `f(fsr, length)` — reversed when `forward` is false, exactly like
+  /// the device sweep's backward replay — dispatching on the storage
+  /// mode (compact chords widen fp32 -> fp64 losslessly). Returns false
+  /// for temporary tracks: the caller falls back to template expansion
+  /// or the generic OTF walk.
+  template <class F>
+  bool for_each_resident_segment(long id, bool forward, F&& f) const {
+    const long off = offset_[id];
+    if (off < 0) return false;
+    const long count = counts_[id];
+    if (storage_mode_ == TrackStorage::kCompact) {
+      const std::int32_t* fsr = fsr32_.data() + off;
+      const float* len = len32_.data() + off;
+      if (forward)
+        for (long s = 0; s < count; ++s)
+          f(static_cast<long>(fsr[s]), static_cast<double>(len[s]));
+      else
+        for (long s = count - 1; s >= 0; --s)
+          f(static_cast<long>(fsr[s]), static_cast<double>(len[s]));
+    } else {
+      const Segment3D* segs = storage_.data() + off;
+      if (forward)
+        for (long s = 0; s < count; ++s) f(segs[s].fsr, segs[s].length);
+      else
+        for (long s = count - 1; s >= 0; --s) f(segs[s].fsr, segs[s].length);
+    }
+    return true;
   }
 
   /// 3D segment count per track (computed for every track regardless of
@@ -83,13 +151,15 @@ class TrackManager {
 
   long num_resident() const { return num_resident_; }
   double resident_fraction() const {
-    return storage_.empty() && counts_.empty()
-               ? 0.0
-               : static_cast<double>(num_resident_) /
-                     static_cast<double>(counts_.size());
+    return counts_.empty() ? 0.0
+                           : static_cast<double>(num_resident_) /
+                                 static_cast<double>(counts_.size());
   }
+  /// Resident segments stored (either layout).
+  long resident_segments() const { return resident_segments_; }
   std::size_t resident_bytes() const {
-    return storage_.size() * sizeof(Segment3D);
+    return static_cast<std::size_t>(resident_segments_) *
+           perf::segment3d_bytes(storage_mode_);
   }
   long total_segments() const { return total_segments_; }
 
@@ -130,14 +200,18 @@ class TrackManager {
 
  private:
   TrackPolicy policy_;
+  TrackStorage storage_mode_ = TrackStorage::kExact;
   gpusim::Device* device_;
   const ChordTemplateCache* templates_;
   bool templates_active_ = false;
   perf::SweepCosts costs_;
   std::vector<long> counts_;
   std::vector<long> offset_;  ///< -1 for temporary tracks
-  std::vector<Segment3D> storage_;
+  std::vector<Segment3D> storage_;          ///< exact resident store (AoS)
+  std::vector<std::int32_t> fsr32_;         ///< compact resident FSR lane
+  std::vector<float> len32_;                ///< compact resident chord lane
   long num_resident_ = 0;
+  long resident_segments_ = 0;
   long total_segments_ = 0;
   long templated_segments_ = 0;
 };

@@ -10,6 +10,7 @@
 #include "gpusim/atomic.h"
 #include "io/writers.h"
 #include "perfmodel/sweep_costs.h"
+#include "solver/track_policy.h"
 #include "telemetry/telemetry.h"
 #include "util/error.h"
 #include "util/log.h"
@@ -332,16 +333,23 @@ void TransportSolver::save_state(const std::string& path,
   const std::int64_t num_fsrs = fsr_.num_fsrs();
   const std::int32_t groups = fsr_.num_groups();
   const std::int64_t psi_size = static_cast<std::int64_t>(psi_in_.size());
+  // Storage mode rides in the shape header: a compact-mode flux history
+  // is pcm-level different from an exact one, so a resume must not mix
+  // them. Iteration stays the FIRST payload field — the cluster's shard
+  // recovery reads just those 8 bytes (read_shard_iteration).
+  const std::int32_t storage =
+      storage_mode() == TrackStorage::kCompact ? 1 : 0;
   const auto& flux = fsr_.scalar_flux();
   std::vector<std::byte> payload;
   payload.reserve(sizeof iteration + sizeof num_fsrs + sizeof groups +
-                  sizeof psi_size + sizeof k_ +
+                  sizeof psi_size + sizeof storage + sizeof k_ +
                   flux.size() * sizeof(double) +
                   psi_in_.size() * sizeof(float));
   append_bytes(payload, &iteration, sizeof iteration);
   append_bytes(payload, &num_fsrs, sizeof num_fsrs);
   append_bytes(payload, &groups, sizeof groups);
   append_bytes(payload, &psi_size, sizeof psi_size);
+  append_bytes(payload, &storage, sizeof storage);
   append_bytes(payload, &k_, sizeof k_);
   append_bytes(payload, flux.data(), flux.size() * sizeof(double));
   append_bytes(payload, psi_in_.data(), psi_in_.size() * sizeof(float));
@@ -352,14 +360,23 @@ std::int64_t TransportSolver::load_state(const std::string& path) {
   const std::vector<std::byte> payload = io::read_checked_blob(path);
   std::size_t offset = 0;
   std::int64_t iteration = 0, num_fsrs = 0, psi_size = 0;
-  std::int32_t groups = 0;
+  std::int32_t groups = 0, storage = 0;
   extract_bytes(payload, offset, &iteration, sizeof iteration, path);
   extract_bytes(payload, offset, &num_fsrs, sizeof num_fsrs, path);
   extract_bytes(payload, offset, &groups, sizeof groups, path);
   extract_bytes(payload, offset, &psi_size, sizeof psi_size, path);
+  extract_bytes(payload, offset, &storage, sizeof storage, path);
   require(num_fsrs == fsr_.num_fsrs() && groups == fsr_.num_groups() &&
               psi_size == static_cast<std::int64_t>(psi_in_.size()),
           "checkpoint shape does not match this solver: " + path);
+  const TrackStorage recorded =
+      storage == 1 ? TrackStorage::kCompact : TrackStorage::kExact;
+  require(recorded == storage_mode(),
+          "checkpoint track.storage '" +
+              std::string(track_storage_name(recorded)) +
+              "' does not match this solver's '" +
+              std::string(track_storage_name(storage_mode())) +
+              "': " + path);
   extract_bytes(payload, offset, &k_, sizeof k_, path);
   std::vector<double> flux(num_fsrs * groups);
   extract_bytes(payload, offset, flux.data(), flux.size() * sizeof(double),

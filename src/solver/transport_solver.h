@@ -210,6 +210,12 @@ class TransportSolver {
   /// e.g. after the device-arena OOM on "event_arrays").
   SweepBackend active_sweep_backend() const { return active_backend_; }
 
+  /// Storage mode of the hot per-segment state (`track.storage`).
+  /// Recorded in checkpoints: a compact-mode flux history is pcm-level
+  /// different from an exact one, so resume/migration must round-trip
+  /// the mode instead of silently mixing the two.
+  virtual TrackStorage storage_mode() const { return TrackStorage::kExact; }
+
  protected:
   /// One full transport sweep: reads psi_in_, writes fsr().accumulator()
   /// and psi_next_. Must call deposit() (or equivalent) for every

@@ -1,0 +1,439 @@
+/// \file memory_test.cpp
+/// Compact segment-store suite (DESIGN.md §15): layout constants, arena
+/// accounting in both storage modes, the Managed budget packing ~2x the
+/// tracks under compact, the bounded accuracy contract (|dk| <= 2 pcm,
+/// per-FSR flux RMS <= 1e-5 relative), event/history agreement under
+/// compact chords, the compact event-OOM fallback, checkpoint round-trip
+/// of the storage mode, and the track.storage telemetry gauges.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "models/c5g7_model.h"
+#include "perfmodel/layout.h"
+#include "perfmodel/perfmodel.h"
+#include "solver/cpu_solver.h"
+#include "solver/event_sweep.h"
+#include "solver/gpu_solver.h"
+#include "solver/track_policy.h"
+#include "telemetry/telemetry.h"
+#include "util/error.h"
+
+namespace antmoc {
+namespace {
+
+struct Problem {
+  models::C5G7Model model;
+  Quadrature quad;
+  TrackGenerator2D gen;
+  TrackStacks stacks;
+
+  Problem(models::C5G7Model m, int nazim, double spacing, int npolar,
+          double dz)
+      : model(std::move(m)),
+        quad(nazim, spacing, model.geometry.bounds().width_x(),
+             model.geometry.bounds().width_y(), npolar),
+        gen(quad, model.geometry.bounds(), radial_kinds(model.geometry)),
+        stacks((gen.trace(model.geometry), gen), model.geometry,
+               model.geometry.bounds().z_min,
+               model.geometry.bounds().z_max, dz) {}
+
+  static std::array<LinkKind, 4> radial_kinds(const Geometry& g) {
+    return {to_link_kind(g.boundary(Face::kXMin)),
+            to_link_kind(g.boundary(Face::kXMax)),
+            to_link_kind(g.boundary(Face::kYMin)),
+            to_link_kind(g.boundary(Face::kYMax))};
+  }
+};
+
+Problem pin_problem() {
+  models::C5G7Options opt;
+  opt.pins_per_assembly = 3;
+  opt.fuel_layers = 2;
+  opt.reflector_layers = 1;
+  opt.height_scale = 0.1;
+  return Problem(models::build_core(opt), 4, 0.5, 2, 1.0);
+}
+
+SolveOptions fixed(int iterations) {
+  SolveOptions opts;
+  opts.fixed_iterations = iterations;
+  return opts;
+}
+
+void expect_bitwise_flux(TransportSolver& a, TransportSolver& b) {
+  const auto& fa = a.fsr().scalar_flux();
+  const auto& fb = b.fsr().scalar_flux();
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) EXPECT_EQ(fa[i], fb[i]) << i;
+  const auto& pa = a.psi_in();
+  const auto& pb = b.psi_in();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]) << i;
+}
+
+// ---------------------------------------------------- layout regression ---
+
+TEST(CompactLayout, ConstantsMatchTheStructsAndHelpers) {
+  // The perf model prices Eq. 5 with these constants; if the structs ever
+  // drift (padding, field widths), the predictions silently rot.
+  EXPECT_EQ(sizeof(Segment3D), perf::kSegment3DBytes);
+  EXPECT_EQ(sizeof(Segment2D), perf::kSegment2DBytes);
+  EXPECT_EQ(sizeof(std::int32_t) + sizeof(float),
+            perf::kSegment3DCompactBytes);
+  EXPECT_EQ(perf::kSegment3DCompactBytes, 8u);
+  EXPECT_EQ(perf::segment3d_bytes(TrackStorage::kExact),
+            perf::kSegment3DBytes);
+  EXPECT_EQ(perf::segment3d_bytes(TrackStorage::kCompact),
+            perf::kSegment3DCompactBytes);
+  // Event lanes: both directions of a segment, int32 base + chord.
+  EXPECT_EQ(perf::kEventBytes, 2 * (sizeof(std::int32_t) + sizeof(double)));
+  EXPECT_EQ(perf::kEventBytesCompact,
+            2 * (sizeof(std::int32_t) + sizeof(float)));
+  EXPECT_EQ(perf::event_bytes(TrackStorage::kExact), perf::kEventBytes);
+  EXPECT_EQ(perf::event_bytes(TrackStorage::kCompact),
+            perf::kEventBytesCompact);
+}
+
+TEST(CompactLayout, EventBytesForPricesBothModes) {
+  const long segments = 1000, tracks = 64;
+  const std::size_t ranges = (2 * tracks + 1) * sizeof(long);
+  EXPECT_EQ(EventArrays::bytes_for(segments, tracks),
+            segments * perf::kEventBytes + ranges);
+  EXPECT_EQ(EventArrays::bytes_for(segments, tracks, TrackStorage::kCompact),
+            segments * perf::kEventBytesCompact + ranges);
+  // Compact shrinks the chord lane from double to float (24 -> 16 bytes
+  // per segment: the int32 base lane is mode-free, as is the range table).
+  EXPECT_EQ(3 * (EventArrays::bytes_for(segments, tracks,
+                                        TrackStorage::kCompact) -
+                 ranges),
+            2 * (EventArrays::bytes_for(segments, tracks) - ranges));
+}
+
+TEST(MemoryModelEq5, CompactStorageHalvesTheSegmentTerm) {
+  perf::MemoryModel model;
+  const auto exact = model.predict(100, 2000, 1000, 50000, 0.5);
+  const auto compact =
+      model.predict(100, 2000, 1000, 50000, 0.5, TrackStorage::kCompact);
+  EXPECT_EQ(exact.segments_3d, 2 * compact.segments_3d);
+  EXPECT_EQ(exact.tracks_3d, compact.tracks_3d);
+  EXPECT_EQ(exact.track_fluxes, compact.track_fluxes);
+}
+
+TEST(TrackStorageKnob, EnvDefault) {
+  ASSERT_EQ(setenv("ANTMOC_TRACK_STORAGE", "compact", 1), 0);
+  EXPECT_EQ(default_track_storage(), TrackStorage::kCompact);
+  ASSERT_EQ(setenv("ANTMOC_TRACK_STORAGE", "exact", 1), 0);
+  EXPECT_EQ(default_track_storage(), TrackStorage::kExact);
+  ASSERT_EQ(unsetenv("ANTMOC_TRACK_STORAGE"), 0);
+  EXPECT_EQ(default_track_storage(), TrackStorage::kExact);
+}
+
+// --------------------------------------------------- resident store -------
+
+TEST(CompactStore, ReplayMatchesTheWalkWithExactlyOneRounding) {
+  Problem p = pin_problem();
+  TrackManager manager(p.stacks, TrackPolicy::kExplicit, nullptr, 0, nullptr,
+                       TrackStorage::kCompact);
+  EXPECT_EQ(manager.storage(), TrackStorage::kCompact);
+  // Compact has no AoS records to hand out.
+  long count = 0;
+  EXPECT_EQ(manager.segments(0, count), nullptr);
+
+  for (long id = 0; id < p.stacks.num_tracks(); ++id) {
+    for (bool forward : {true, false}) {
+      std::vector<long> walk_fsr;
+      std::vector<double> walk_len;
+      p.stacks.for_each_segment(p.stacks.info(id), forward,
+                                [&](long fsr, double len) {
+                                  walk_fsr.push_back(fsr);
+                                  walk_len.push_back(len);
+                                });
+      std::size_t s = 0;
+      ASSERT_TRUE(manager.for_each_resident_segment(
+          id, forward, [&](long fsr, double len) {
+            ASSERT_LT(s, walk_fsr.size());
+            EXPECT_EQ(fsr, walk_fsr[s]);
+            // The one rounding point: store fp32, widen back losslessly.
+            EXPECT_EQ(len, static_cast<double>(
+                               static_cast<float>(walk_len[s])));
+            ++s;
+          }));
+      EXPECT_EQ(s, walk_fsr.size());
+    }
+  }
+}
+
+TEST(CompactStore, ArenaChargeMatchesBytesForInBothModes) {
+  Problem p = pin_problem();
+  const long segments = p.stacks.total_segments();
+  for (TrackStorage storage :
+       {TrackStorage::kExact, TrackStorage::kCompact}) {
+    gpusim::Device device(
+        gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+    TrackManager manager(p.stacks, TrackPolicy::kExplicit, &device, 0,
+                         nullptr, storage);
+    EXPECT_EQ(manager.resident_segments(), segments);
+    EXPECT_EQ(manager.resident_bytes(),
+              static_cast<std::size_t>(segments) *
+                  perf::segment3d_bytes(storage));
+    const auto breakdown = device.memory().breakdown();
+    ASSERT_TRUE(breakdown.count("3d_segments"));
+    EXPECT_EQ(breakdown.at("3d_segments"), manager.resident_bytes());
+  }
+}
+
+TEST(CompactStore, EventArraysChargeMatchesBytesForInBothModes) {
+  Problem p = pin_problem();
+  for (TrackStorage storage :
+       {TrackStorage::kExact, TrackStorage::kCompact}) {
+    gpusim::Device device(
+        gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+    GpuSolverOptions opts;
+    opts.policy = TrackPolicy::kExplicit;
+    opts.backend = SweepBackend::kEvent;
+    opts.storage = storage;
+    GpuSolver solver(p.stacks, p.model.materials, device, opts);
+    ASSERT_TRUE(solver.event_active());
+    const auto breakdown = device.memory().breakdown();
+    ASSERT_TRUE(breakdown.count("event_arrays"));
+    EXPECT_EQ(breakdown.at("event_arrays"),
+              EventArrays::bytes_for(p.stacks.total_segments(),
+                                     p.stacks.num_tracks(), storage));
+  }
+}
+
+TEST(CompactStore, ManagedBudgetPacksMoreResidentSegments) {
+  Problem p = pin_problem();
+  // A budget that holds roughly half the exact store, so compact (half
+  // the bytes per segment) can pack about twice the segments.
+  const std::size_t budget = static_cast<std::size_t>(
+      p.stacks.total_segments() * perf::kSegment3DBytes / 2);
+  TrackManager exact(p.stacks, TrackPolicy::kManaged, nullptr, budget);
+  TrackManager compact(p.stacks, TrackPolicy::kManaged, nullptr, budget,
+                       nullptr, TrackStorage::kCompact);
+  EXPECT_GT(compact.resident_segments(), exact.resident_segments());
+  EXPECT_GT(compact.resident_fraction(), exact.resident_fraction());
+  EXPECT_LE(compact.resident_bytes(), budget);
+  // Same byte budget, ~2x the resident segments.
+  EXPECT_GE(compact.resident_segments(),
+            2 * exact.resident_segments() - 1);
+}
+
+// ---------------------------------------------------- accuracy contract ---
+
+TEST(CompactAccuracy, KeffWithinTwoPcmAndFluxRmsBounded) {
+  Problem p = pin_problem();
+  SolveOptions opts;
+  opts.tolerance = 1e-7;
+  opts.max_iterations = 20000;
+
+  CpuSolver exact(p.stacks, p.model.materials, 2, TemplateMode::kAuto,
+                  SweepBackend::kHistory, TrackStorage::kExact);
+  CpuSolver compact(p.stacks, p.model.materials, 2, TemplateMode::kAuto,
+                    SweepBackend::kHistory, TrackStorage::kCompact);
+  const auto re = exact.solve(opts);
+  const auto rc = compact.solve(opts);
+  ASSERT_TRUE(re.converged);
+  ASSERT_TRUE(rc.converged);
+
+  // |dk| <= 2 pcm: fp32 chords carry ~1e-7 relative error, far inside
+  // the bar, but the bar is what the mode contracts to.
+  EXPECT_NEAR(rc.k_eff, re.k_eff, 2e-5);
+
+  const auto& fe = exact.fsr().scalar_flux();
+  const auto& fc = compact.fsr().scalar_flux();
+  ASSERT_EQ(fe.size(), fc.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < fe.size(); ++i) {
+    ASSERT_GT(fe[i], 0.0);
+    const double rel = (fc[i] - fe[i]) / fe[i];
+    sum += rel * rel;
+  }
+  const double rms = std::sqrt(sum / static_cast<double>(fe.size()));
+  EXPECT_LE(rms, 1e-5);
+}
+
+TEST(CompactConformance, ExplicitStorageMatchesTheKnobDefault) {
+  // `exact` must be byte-for-byte the seed behavior: a solver constructed
+  // with the explicit knob equals one built with all defaults.
+  Problem p = pin_problem();
+  CpuSolver implicit_mode(p.stacks, p.model.materials, 2);
+  CpuSolver explicit_mode(p.stacks, p.model.materials, 2,
+                          TemplateMode::kAuto, SweepBackend::kHistory,
+                          TrackStorage::kExact);
+  EXPECT_EQ(implicit_mode.storage_mode(), TrackStorage::kExact);
+  const auto ri = implicit_mode.solve(fixed(5));
+  const auto rx = explicit_mode.solve(fixed(5));
+  EXPECT_EQ(ri.k_eff, rx.k_eff);
+  expect_bitwise_flux(implicit_mode, explicit_mode);
+}
+
+// ------------------------------------------ event backend under compact ---
+
+TEST(CompactConformance, EventBackendBitwiseIdenticalToCompactHistory) {
+  Problem p = pin_problem();
+  for (unsigned workers : {1u, 2u}) {
+    CpuSolver history(p.stacks, p.model.materials, workers,
+                      TemplateMode::kAuto, SweepBackend::kHistory,
+                      TrackStorage::kCompact);
+    CpuSolver event(p.stacks, p.model.materials, workers,
+                    TemplateMode::kAuto, SweepBackend::kEvent,
+                    TrackStorage::kCompact);
+    const auto rh = history.solve(fixed(5));
+    const auto re = event.solve(fixed(5));
+    EXPECT_EQ(event.active_sweep_backend(), SweepBackend::kEvent);
+    EXPECT_EQ(rh.k_eff, re.k_eff) << "workers=" << workers;
+    expect_bitwise_flux(history, event);
+  }
+}
+
+TEST(CompactConformance, DeviceEventBitwiseIdenticalToDeviceHistory) {
+  Problem p = pin_problem();
+  GpuSolverOptions opts;
+  opts.policy = TrackPolicy::kExplicit;
+  opts.storage = TrackStorage::kCompact;
+
+  gpusim::Device hist_dev(
+      gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+  opts.backend = SweepBackend::kHistory;
+  GpuSolver history(p.stacks, p.model.materials, hist_dev, opts);
+  EXPECT_EQ(history.storage_mode(), TrackStorage::kCompact);
+  const auto rh = history.solve(fixed(5));
+
+  gpusim::Device event_dev(
+      gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+  opts.backend = SweepBackend::kEvent;
+  GpuSolver event(p.stacks, p.model.materials, event_dev, opts);
+  ASSERT_TRUE(event.event_active());
+  const auto re = event.solve(fixed(5));
+
+  // One chord policy, one recurrence: the event organization moves no
+  // bits relative to the compact history sweep.
+  EXPECT_EQ(rh.k_eff, re.k_eff);
+  expect_bitwise_flux(history, event);
+
+  // And the device physics stays within accumulation-order noise of the
+  // compact host reference.
+  CpuSolver host(p.stacks, p.model.materials, 1, TemplateMode::kAuto,
+                 SweepBackend::kHistory, TrackStorage::kCompact);
+  const auto rc = host.solve(fixed(5));
+  EXPECT_NEAR(rh.k_eff, rc.k_eff, 1e-5 * rc.k_eff);
+}
+
+TEST(CompactConformance, EventOomFallbackIsFluxIdenticalCompact) {
+  Problem p = pin_problem();
+  GpuSolverOptions opts;
+  opts.policy = TrackPolicy::kExplicit;
+  opts.privatize = PrivatizeMode::kOff;
+  opts.templates = TemplateMode::kOff;
+  opts.storage = TrackStorage::kCompact;
+
+  // Mandatory compact footprint without the event arrays; a tight arena
+  // affords this plus a sliver, so only the "event_arrays" charge fails.
+  std::size_t base = 0;
+  {
+    gpusim::Device probe(
+        gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+    opts.backend = SweepBackend::kHistory;
+    GpuSolver solver(p.stacks, p.model.materials, probe, opts);
+    base = probe.memory().used();
+  }
+  const auto tight = gpusim::DeviceSpec::scaled(base + 1024, 8);
+
+  gpusim::Device hist_dev(tight);
+  opts.backend = SweepBackend::kHistory;
+  GpuSolver history(p.stacks, p.model.materials, hist_dev, opts);
+  const auto rh = history.solve(fixed(4));
+
+  gpusim::Device event_dev(tight);
+  opts.backend = SweepBackend::kEvent;
+  GpuSolver fallback(p.stacks, p.model.materials, event_dev, opts);
+  EXPECT_FALSE(fallback.event_active());
+  EXPECT_EQ(fallback.active_sweep_backend(), SweepBackend::kHistory);
+  EXPECT_EQ(fallback.storage_mode(), TrackStorage::kCompact);
+  EXPECT_FALSE(event_dev.memory().breakdown().count("event_arrays"));
+  const auto re = fallback.solve(fixed(4));
+
+  // The fallback sheds the arrays, never the chord policy: bitwise the
+  // compact history solve.
+  EXPECT_EQ(rh.k_eff, re.k_eff);
+  expect_bitwise_flux(history, fallback);
+}
+
+// ------------------------------------------------- checkpoint round-trip --
+
+TEST(CompactCheckpoint, StorageModeRoundTripsAndMismatchIsRejected) {
+  Problem p = pin_problem();
+  const std::string path = ::testing::TempDir() + "/antmoc_compact.ckpt";
+  std::remove(path.c_str());
+
+  // Uninterrupted compact reference: six straight iterations.
+  CpuSolver reference(p.stacks, p.model.materials, 1, TemplateMode::kAuto,
+                      SweepBackend::kHistory, TrackStorage::kCompact);
+  const auto rref = reference.solve(fixed(6));
+
+  CpuSolver writer(p.stacks, p.model.materials, 1, TemplateMode::kAuto,
+                   SweepBackend::kHistory, TrackStorage::kCompact);
+  writer.solve(fixed(3));
+  writer.save_state(path, 3);
+
+  // Same mode: 3 checkpointed + 3 resumed == 6 straight, bitwise.
+  CpuSolver reader(p.stacks, p.model.materials, 1, TemplateMode::kAuto,
+                   SweepBackend::kHistory, TrackStorage::kCompact);
+  reader.load_state(path);
+  SolveOptions resume = fixed(3);
+  resume.resume = true;
+  const auto rr = reader.solve(resume);
+  EXPECT_EQ(rr.k_eff, rref.k_eff);
+  expect_bitwise_flux(reader, reference);
+
+  // Mode mismatch: a compact checkpoint must not silently feed an exact
+  // solver (the chord policies differ); the diagnostic names both modes.
+  CpuSolver exact(p.stacks, p.model.materials, 1);
+  try {
+    exact.load_state(path);
+    FAIL() << "expected a storage-mode mismatch diagnostic";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("compact"), std::string::npos) << what;
+    EXPECT_NE(what.find("exact"), std::string::npos) << what;
+    EXPECT_NE(what.find("track.storage"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ telemetry ---
+
+TEST(CompactTelemetry, StorageModeAndResidencyGaugesAreTagged) {
+  telemetry::Config cfg;
+  cfg.enabled = true;
+  telemetry::Telemetry::instance().set_config(cfg);
+  telemetry::Telemetry::instance().reset();
+
+  Problem p = pin_problem();
+  gpusim::Device device(gpusim::DeviceSpec::scaled(std::size_t{1} << 30, 8));
+  TrackManager manager(p.stacks, TrackPolicy::kExplicit, &device, 0, nullptr,
+                       TrackStorage::kCompact);
+
+  auto& m = telemetry::metrics();
+  EXPECT_DOUBLE_EQ(m.gauge("track.storage_mode").value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      m.gauge(telemetry::label("track.resident_bytes", "mode", 1)).value(),
+      static_cast<double>(manager.resident_bytes()));
+  EXPECT_DOUBLE_EQ(
+      m.gauge(telemetry::label("track.resident_fraction", "mode", 1))
+          .value(),
+      1.0);
+
+  telemetry::Telemetry::instance().reset();
+  telemetry::Telemetry::instance().set_enabled(false);
+}
+
+}  // namespace
+}  // namespace antmoc

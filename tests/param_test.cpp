@@ -315,5 +315,38 @@ TEST(SweepBackendKnob, TyposNameTheKeyAndValue) {
   expect_diagnostic([] { parse_sweep_backend(""); }, {"sweep.backend"});
 }
 
+TEST(TrackStorageKnob, TyposNameTheKeyAndValue) {
+  expect_diagnostic([] { parse_track_storage("compcat"); },
+                    {"track.storage", "compcat"});
+  expect_diagnostic([] { parse_track_storage("exat"); },
+                    {"track.storage", "exat"});
+  expect_diagnostic([] { parse_track_storage(""); }, {"track.storage"});
+}
+
+TEST(TrackStorageKnob, WellFormedValuesRoundTrip) {
+  EXPECT_EQ(track_storage_name(parse_track_storage("exact")),
+            std::string("exact"));
+  EXPECT_EQ(track_storage_name(parse_track_storage("compact")),
+            std::string("compact"));
+}
+
+TEST(TrackStorageKnob, CompactPlusForcedTemplatesNamesBothKeys) {
+  // The conflict diagnostic must name both offending knobs so the user
+  // knows which one to flip.
+  expect_diagnostic(
+      [] {
+        require_compact_storage_compatible(TrackStorage::kCompact,
+                                           TemplateMode::kForce);
+      },
+      {"track.storage", "compact", "track.templates", "force"});
+  // Every other combination is fine.
+  require_compact_storage_compatible(TrackStorage::kCompact,
+                                     TemplateMode::kAuto);
+  require_compact_storage_compatible(TrackStorage::kCompact,
+                                     TemplateMode::kOff);
+  require_compact_storage_compatible(TrackStorage::kExact,
+                                     TemplateMode::kForce);
+}
+
 }  // namespace
 }  // namespace antmoc
